@@ -1,0 +1,276 @@
+//! GSN-structured assurance cases with executable evidence queries — the
+//! SACM/ACME substitute of this reproduction (paper §V-C).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a node of an [`AssuranceCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeRef(pub(crate) u32);
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The GSN element kinds used by this case model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GsnKind {
+    /// A claim about the system.
+    Goal,
+    /// How a goal is decomposed into subgoals.
+    Strategy,
+    /// Contextual information.
+    Context,
+    /// An evidence item (GSN solution), optionally machine-checkable.
+    Solution,
+}
+
+impl fmt::Display for GsnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsnKind::Goal => f.write_str("Goal"),
+            GsnKind::Strategy => f.write_str("Strategy"),
+            GsnKind::Context => f.write_str("Context"),
+            GsnKind::Solution => f.write_str("Solution"),
+        }
+    }
+}
+
+/// An executable evidence check: load a federated model and evaluate an EQL
+/// expression; the evidence holds iff the result is truthy.
+///
+/// This is the paper's "we trace to our generated FMEDA result and store a
+/// query to calculate SPFM in the assurance case model, to check whether
+/// the SPFM meets the target ASIL value".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceQuery {
+    /// Model technology (a driver-registry kind: `"csv"`, `"memory"`, …).
+    pub model_kind: String,
+    /// Model location (path or registry key).
+    pub location: String,
+    /// The EQL expression; must evaluate truthy for the evidence to hold.
+    pub expression: String,
+}
+
+/// One GSN node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GsnNode {
+    /// Conventional GSN identifier, e.g. `"G1"`, `"S1"`, `"Sn1"`.
+    pub id: String,
+    /// Element kind.
+    pub kind: GsnKind,
+    /// The claim / strategy / context / evidence statement.
+    pub statement: String,
+    /// Supporting children (goals, strategies, solutions).
+    pub supported_by: Vec<NodeRef>,
+    /// Contextual links.
+    pub in_context_of: Vec<NodeRef>,
+    /// Machine-checkable evidence (solutions only).
+    pub query: Option<EvidenceQuery>,
+}
+
+/// A goal-structured assurance case.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_assurance::{AssuranceCase, EvidenceQuery};
+///
+/// let mut case = AssuranceCase::new("power-supply safety");
+/// let g1 = case.goal("G1", "The power supply is acceptably safe");
+/// let sn1 = case.solution("Sn1", "FMEDA results meet the ASIL-B SPFM target");
+/// case.support(g1, sn1);
+/// case.set_root(g1);
+/// case.attach_query(sn1, EvidenceQuery {
+///     model_kind: "memory".into(),
+///     location: "fmeda".into(),
+///     expression: "rows.size() > 0".into(),
+/// });
+/// assert_eq!(case.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AssuranceCase {
+    /// Case title.
+    pub name: String,
+    nodes: Vec<GsnNode>,
+    root: Option<NodeRef>,
+}
+
+impl AssuranceCase {
+    /// Creates an empty case.
+    pub fn new(name: impl Into<String>) -> Self {
+        AssuranceCase { name: name.into(), nodes: Vec::new(), root: None }
+    }
+
+    fn add(&mut self, id: impl Into<String>, kind: GsnKind, statement: impl Into<String>) -> NodeRef {
+        let node = NodeRef(self.nodes.len() as u32);
+        self.nodes.push(GsnNode {
+            id: id.into(),
+            kind,
+            statement: statement.into(),
+            supported_by: Vec::new(),
+            in_context_of: Vec::new(),
+            query: None,
+        });
+        node
+    }
+
+    /// Adds a goal.
+    pub fn goal(&mut self, id: impl Into<String>, statement: impl Into<String>) -> NodeRef {
+        self.add(id, GsnKind::Goal, statement)
+    }
+
+    /// Adds a strategy.
+    pub fn strategy(&mut self, id: impl Into<String>, statement: impl Into<String>) -> NodeRef {
+        self.add(id, GsnKind::Strategy, statement)
+    }
+
+    /// Adds a context element.
+    pub fn context(&mut self, id: impl Into<String>, statement: impl Into<String>) -> NodeRef {
+        self.add(id, GsnKind::Context, statement)
+    }
+
+    /// Adds a solution (evidence item).
+    pub fn solution(&mut self, id: impl Into<String>, statement: impl Into<String>) -> NodeRef {
+        self.add(id, GsnKind::Solution, statement)
+    }
+
+    /// Records `parent ⟶ supported-by ⟶ child`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle is foreign to this case.
+    pub fn support(&mut self, parent: NodeRef, child: NodeRef) {
+        assert!((child.0 as usize) < self.nodes.len(), "unknown child node");
+        let p = &mut self.nodes[parent.0 as usize];
+        if !p.supported_by.contains(&child) {
+            p.supported_by.push(child);
+        }
+    }
+
+    /// Records `node ⟶ in-context-of ⟶ context`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle is foreign to this case.
+    pub fn in_context(&mut self, node: NodeRef, context: NodeRef) {
+        assert!((context.0 as usize) < self.nodes.len(), "unknown context node");
+        let n = &mut self.nodes[node.0 as usize];
+        if !n.in_context_of.contains(&context) {
+            n.in_context_of.push(context);
+        }
+    }
+
+    /// Attaches a machine-checkable evidence query to a solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a [`GsnKind::Solution`].
+    pub fn attach_query(&mut self, node: NodeRef, query: EvidenceQuery) {
+        let n = &mut self.nodes[node.0 as usize];
+        assert_eq!(n.kind, GsnKind::Solution, "queries attach to solutions");
+        n.query = Some(query);
+    }
+
+    /// Designates the root goal.
+    pub fn set_root(&mut self, root: NodeRef) {
+        self.root = Some(root);
+    }
+
+    /// The root goal, if set.
+    pub fn root(&self) -> Option<NodeRef> {
+        self.root
+    }
+
+    /// The node behind a handle.
+    pub fn node(&self, node: NodeRef) -> &GsnNode {
+        &self.nodes[node.0 as usize]
+    }
+
+    /// Iterates `(handle, node)` in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeRef, &GsnNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeRef(i as u32), n))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for an empty case.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Renders the goal structure as an indented ASCII outline.
+    pub fn render(&self) -> String {
+        let mut out = format!("assurance case `{}`\n", self.name);
+        if let Some(root) = self.root {
+            self.render_node(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, node: NodeRef, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let n = self.node(node);
+        let _ = writeln!(out, "{}{} [{}] {}", "  ".repeat(depth), n.id, n.kind, n.statement);
+        for &ctx in &n.in_context_of {
+            let c = self.node(ctx);
+            let _ = writeln!(out, "{}({} context: {})", "  ".repeat(depth + 1), c.id, c.statement);
+        }
+        for &child in &n.supported_by {
+            self.render_node(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render_structure() {
+        let mut case = AssuranceCase::new("demo");
+        let g1 = case.goal("G1", "system is safe");
+        let s1 = case.strategy("S1", "argue over hazards");
+        let g2 = case.goal("G2", "H1 mitigated");
+        let sn1 = case.solution("Sn1", "FMEDA evidence");
+        let c1 = case.context("C1", "ISO 26262 item definition");
+        case.support(g1, s1);
+        case.support(s1, g2);
+        case.support(g2, sn1);
+        case.in_context(g1, c1);
+        case.set_root(g1);
+        let text = case.render();
+        assert!(text.contains("G1 [Goal]"));
+        assert!(text.contains("  S1 [Strategy]"));
+        assert!(text.contains("    G2 [Goal]"));
+        assert!(text.contains("      Sn1 [Solution]"));
+        assert!(text.contains("C1 context"));
+    }
+
+    #[test]
+    fn support_deduplicates() {
+        let mut case = AssuranceCase::new("d");
+        let g = case.goal("G1", "x");
+        let sn = case.solution("Sn1", "y");
+        case.support(g, sn);
+        case.support(g, sn);
+        assert_eq!(case.node(g).supported_by.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queries attach to solutions")]
+    fn query_on_goal_panics() {
+        let mut case = AssuranceCase::new("d");
+        let g = case.goal("G1", "x");
+        case.attach_query(g, EvidenceQuery {
+            model_kind: "memory".into(),
+            location: "m".into(),
+            expression: "true".into(),
+        });
+    }
+}

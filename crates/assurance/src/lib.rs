@@ -1,0 +1,42 @@
+//! # decisive-assurance
+//!
+//! Model-based assurance cases with **automated evaluation** — the ACME /
+//! SACM substitute integrating DECISIVE's artefacts into the broader System
+//! Assurance process (paper §V-C).
+//!
+//! An [`AssuranceCase`] is a GSN goal structure whose solutions may carry
+//! [`EvidenceQuery`]s: executable EQL expressions over federated artefacts
+//! (the generated FMEDA tables, hazard logs, …). [`evaluate`] re-runs every
+//! query, so a design change that regenerates the FMEDA automatically
+//! re-validates — or invalidates — the case.
+//!
+//! ## Example
+//!
+//! ```
+//! use decisive_assurance::{evaluate, AssuranceCase, EvidenceQuery};
+//! use decisive_federation::{DriverRegistry, Value};
+//!
+//! let mut case = AssuranceCase::new("power-supply");
+//! let g1 = case.goal("G1", "The power supply is acceptably safe");
+//! let sn1 = case.solution("Sn1", "FMEDA exists and covers the design");
+//! case.support(g1, sn1);
+//! case.set_root(g1);
+//! case.attach_query(sn1, EvidenceQuery {
+//!     model_kind: "memory".into(),
+//!     location: "fmeda".into(),
+//!     expression: "rows.size() > 0".into(),
+//! });
+//!
+//! let registry = DriverRegistry::with_defaults();
+//! registry.memory().register("fmeda", Value::list([Value::record([("Component", Value::from("D1"))])]));
+//! assert!(evaluate(&case, &registry).is_satisfied());
+//! ```
+
+#![warn(missing_docs)]
+
+mod case;
+mod eval;
+pub mod generate;
+
+pub use case::{AssuranceCase, EvidenceQuery, GsnKind, GsnNode, NodeRef};
+pub use eval::{evaluate, Evaluation, Status};

@@ -1,0 +1,56 @@
+//! Bench: the simulation substrate — DC operating points, fault-injection
+//! re-simulation, and transient stepping on the case-study circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use decisive::blocks::{gallery, to_circuit};
+use decisive::circuit::{Circuit, Fault, NodeId};
+
+fn ladder_network(sections: usize) -> Circuit {
+    let mut c = Circuit::new("ladder");
+    let mut prev = c.node();
+    c.add_voltage_source("V", prev, NodeId::GROUND, 12.0).expect("wiring");
+    for i in 0..sections {
+        let next = c.node();
+        c.add_resistor(format!("Rs{i}"), prev, next, 100.0).expect("wiring");
+        c.add_resistor(format!("Rp{i}"), next, NodeId::GROUND, 1_000.0).expect("wiring");
+        prev = next;
+    }
+    c.add_current_sensor("CS", prev, NodeId::GROUND).expect("wiring");
+    c
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    let (diagram, blocks) = gallery::sensor_power_supply();
+    let lowered = to_circuit(&diagram).expect("lowering");
+
+    c.bench_function("circuit/dc_case_study", |b| {
+        b.iter(|| black_box(&lowered.circuit).dc().expect("dc"))
+    });
+
+    let d1 = lowered.element(blocks.d1).expect("D1");
+    c.bench_function("circuit/inject_and_resolve", |b| {
+        b.iter(|| {
+            let faulted = black_box(&lowered.circuit).with_fault(d1, Fault::Open).expect("fault");
+            faulted.dc().expect("dc")
+        })
+    });
+
+    c.bench_function("circuit/transient_1ms", |b| {
+        b.iter(|| black_box(&lowered.circuit).transient(1e-3, 1e-5).expect("transient"))
+    });
+
+    // Linear solver scaling on resistor ladders.
+    let mut group = c.benchmark_group("circuit/dc_ladder");
+    for sections in [10usize, 50, 200] {
+        let circuit = ladder_network(sections);
+        group.bench_with_input(BenchmarkId::from_parameter(sections), &circuit, |b, circuit| {
+            b.iter(|| black_box(circuit).dc().expect("dc"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit);
+criterion_main!(benches);

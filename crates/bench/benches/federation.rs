@@ -1,0 +1,71 @@
+//! Bench: the federation substrate — JSON/CSV parsing, EQL evaluation and
+//! the serde bridge, at the sizes the FMEA pipeline actually pushes
+//! through them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use decisive::core::case_study;
+use decisive::federation::{csv, eql, json, serde_bridge};
+
+fn reliability_csv(rows: usize) -> String {
+    let mut text = String::from("Component,FIT,Failure_Mode,Distribution\n");
+    for i in 0..rows {
+        text.push_str(&format!("Part{i},{},Open,0.3\nPart{i},{},Short,0.7\n", i % 400, i % 400));
+    }
+    text
+}
+
+fn bench_federation(c: &mut Criterion) {
+    // CSV parsing at spreadsheet sizes.
+    let mut group = c.benchmark_group("federation/csv_parse");
+    for rows in [10usize, 1_000, 10_000] {
+        let text = reliability_csv(rows);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| csv::parse(black_box(text)).expect("parses"))
+        });
+    }
+    group.finish();
+
+    // EQL over a parsed table: the paper's stored SPFM-style query.
+    let table = csv::parse(&reliability_csv(1_000)).expect("parses");
+    let query = eql::Query::parse(
+        "rows.select(r | r.Failure_Mode = 'Open').collect(r | r.FIT * r.Distribution).sum()",
+    )
+    .expect("parses");
+    c.bench_function("federation/eql_select_collect_sum_1k", |b| {
+        b.iter(|| query.eval(black_box(&table)).expect("evaluates"))
+    });
+    c.bench_function("federation/eql_parse", |b| {
+        b.iter(|| {
+            eql::Query::parse(black_box(
+                "rows.select(r | r.Component = 'Diode' and r.FIT >= 10).collect(r | r.FIT).sum() / 325.0",
+            ))
+            .expect("parses")
+        })
+    });
+
+    // JSON round trip of a realistic document.
+    let doc = json::to_string(&table);
+    c.bench_function("federation/json_parse_reliability_1k", |b| {
+        b.iter(|| json::parse(black_box(&doc)).expect("parses"))
+    });
+
+    // The serde bridge on a full SSAM model (what persistence pays).
+    let (model, _) = case_study::ssam_model();
+    c.bench_function("federation/serde_bridge_model_to_value", |b| {
+        b.iter(|| serde_bridge::to_value(black_box(&model)).expect("serializes"))
+    });
+    let value = serde_bridge::to_value(&model).expect("serializes");
+    c.bench_function("federation/serde_bridge_value_to_model", |b| {
+        b.iter(|| {
+            let back: decisive::ssam::model::SsamModel =
+                serde_bridge::from_value(black_box(&value)).expect("deserializes");
+            back
+        })
+    });
+}
+
+criterion_group!(benches, bench_federation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench (ablation): the literal Algorithm 1 (exhaustive path enumeration)
+//! versus the optimised cut-vertex variant, on chains (linear path count)
+//! and redundancy ladders (exponential path count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
+use decisive::workload::sets::{chain_model, ladder_model};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chain");
+    for n in [10usize, 50, 200] {
+        let (model, top) = chain_model(n);
+        for (label, algorithm) in [
+            ("paths", GraphAlgorithm::ExhaustivePaths),
+            ("cut", GraphAlgorithm::CutVertex),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&model, top),
+                |b, (model, top)| {
+                    let config = GraphConfig { algorithm, ..GraphConfig::default() };
+                    b.iter(|| graph::run(black_box(model), *top, &config).expect("fmea"))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Ladders: path count = width^depth; exhaustive explodes, cut-vertex
+    // stays polynomial. Keep exhaustive within its cap.
+    let mut group = c.benchmark_group("ablation/ladder");
+    for (width, depth) in [(2usize, 6usize), (2, 10), (3, 8)] {
+        let (model, top) = ladder_model(width, depth);
+        let id = format!("{width}x{depth}");
+        let paths_feasible = (width as f64).powi(depth as i32) <= 100_000.0;
+        if paths_feasible {
+            group.bench_with_input(BenchmarkId::new("paths", &id), &(&model, top), |b, (model, top)| {
+                let config = GraphConfig {
+                    algorithm: GraphAlgorithm::ExhaustivePaths,
+                    max_paths: 10_000_000,
+                    ..GraphConfig::default()
+                };
+                b.iter(|| graph::run(black_box(model), *top, &config).expect("fmea"))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("cut", &id), &(&model, top), |b, (model, top)| {
+            let config = GraphConfig::default();
+            b.iter(|| graph::run(black_box(model), *top, &config).expect("fmea"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

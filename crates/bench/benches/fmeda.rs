@@ -1,0 +1,40 @@
+//! Bench: the Table IV pipeline — automated FME(D)A of the case study,
+//! deployment application and SPFM computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use decisive::blocks::gallery;
+use decisive::core::fmea::injection::{self, InjectionConfig};
+use decisive::core::mechanism::{DeployedMechanism, Deployment};
+use decisive::core::reliability::ReliabilityDb;
+use decisive::ssam::architecture::Coverage;
+
+fn bench_fmeda(c: &mut Criterion) {
+    let (diagram, _) = gallery::sensor_power_supply();
+    let reliability = ReliabilityDb::paper_table_ii();
+    let config = InjectionConfig::default();
+
+    c.bench_function("table4/injection_fmea_case_study", |b| {
+        b.iter(|| injection::run(black_box(&diagram), black_box(&reliability), &config).expect("fmea"))
+    });
+
+    let table = injection::run(&diagram, &reliability, &config).expect("fmea");
+    let mut deployment = Deployment::new();
+    deployment.deploy("MC1", "RAM Failure", DeployedMechanism {
+        name: "ECC".into(),
+        coverage: Coverage::new(0.99),
+        cost_hours: 2.0,
+    });
+    c.bench_function("table4/apply_deployment_and_spfm", |b| {
+        b.iter(|| {
+            let fmeda = black_box(&table).with_deployment(black_box(&deployment));
+            black_box(fmeda.spfm())
+        })
+    });
+
+    c.bench_function("table4/spfm_only", |b| b.iter(|| black_box(&table).spfm()));
+}
+
+criterion_group!(benches, bench_fmeda);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench: fault tree analysis — synthesis from SSAM, MOCUS cut sets and
+//! quantification — plus the FMEA-from-FTA baseline against the direct
+//! graph FMEA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use decisive::core::case_study;
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::fta::{build_fault_tree, fmea_from_fault_tree};
+use decisive::workload::sets::{chain_model, ladder_model};
+
+fn bench_fta(c: &mut Criterion) {
+    let (model, top) = case_study::ssam_model();
+    c.bench_function("fta/synthesis_case_study", |b| {
+        b.iter(|| build_fault_tree(black_box(&model), top, 10_000).expect("synthesis"))
+    });
+    let synthesised = build_fault_tree(&model, top, 10_000).expect("synthesis");
+    c.bench_function("fta/minimal_cut_sets", |b| {
+        b.iter(|| black_box(&synthesised.tree).minimal_cut_sets())
+    });
+    c.bench_function("fta/quantify_10kh", |b| {
+        b.iter(|| black_box(&synthesised.tree).quantify(10_000.0))
+    });
+
+    // Baseline comparison: FMEA via fault trees vs the direct graph FMEA.
+    let mut group = c.benchmark_group("fta/baseline_vs_direct");
+    for n in [20usize, 100] {
+        let (chain, chain_top) = chain_model(n);
+        group.bench_with_input(BenchmarkId::new("via_fta", n), &(&chain, chain_top), |b, (m, t)| {
+            b.iter(|| {
+                let s = build_fault_tree(black_box(m), *t, 1_000_000).expect("synthesis");
+                fmea_from_fault_tree(&s, m, *t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &(&chain, chain_top), |b, (m, t)| {
+            b.iter(|| graph::run(black_box(m), *t, &GraphConfig::default()).expect("fmea"))
+        });
+    }
+    group.finish();
+
+    // Redundant ladders stress MOCUS (multi-event cut sets).
+    let mut group = c.benchmark_group("fta/ladder_cut_sets");
+    for (width, depth) in [(2usize, 4usize), (2, 6)] {
+        let (ladder, ladder_top) = ladder_model(width, depth);
+        let synthesised = build_fault_tree(&ladder, ladder_top, 1_000_000).expect("synthesis");
+        let id = format!("{width}x{depth}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &synthesised, |b, s| {
+            b.iter(|| black_box(&s.tree).minimal_cut_sets())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fta);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench: Table VI — evaluation time versus model size, eager versus
+//! indexed model stores. (The full Set4/Set5 runs live in `make_tables`;
+//! Criterion sweeps the tractable sizes so the scaling *curve* is visible.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use decisive::federation::store::{scan_count, EagerStore, IndexedStore, SyntheticSource};
+use decisive::federation::Value;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6/eager_scan");
+    for elements in [109u64, 269, 1_369, 5_689, 56_890, 568_900] {
+        group.throughput(Throughput::Elements(elements));
+        group.bench_with_input(BenchmarkId::from_parameter(elements), &elements, |b, &n| {
+            let store = EagerStore::load(&SyntheticSource::new(n), 8 << 30).expect("fits");
+            b.iter(|| {
+                scan_count(black_box(&store), |v| {
+                    v.get("safety_related") == Some(&Value::Bool(true))
+                })
+                .expect("scan")
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table6/indexed_scan");
+    for elements in [5_689u64, 56_890, 568_900] {
+        group.throughput(Throughput::Elements(elements));
+        group.bench_with_input(BenchmarkId::from_parameter(elements), &elements, |b, &n| {
+            let store = IndexedStore::new(Arc::new(SyntheticSource::new(n)), 4_096, 8);
+            b.iter(|| {
+                scan_count(black_box(&store), |v| {
+                    v.get("safety_related") == Some(&Value::Bool(true))
+                })
+                .expect("scan")
+            })
+        });
+    }
+    group.finish();
+
+    // Eager loading cost itself (what EMF pays before any query runs).
+    let mut group = c.benchmark_group("table6/eager_load");
+    for elements in [5_689u64, 56_890] {
+        group.throughput(Throughput::Elements(elements));
+        group.bench_with_input(BenchmarkId::from_parameter(elements), &elements, |b, &n| {
+            let source = SyntheticSource::new(n);
+            b.iter(|| EagerStore::load(black_box(&source), 8 << 30).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

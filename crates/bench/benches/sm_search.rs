@@ -1,0 +1,51 @@
+//! Bench (ablation): the three safety-mechanism search strategies —
+//! exhaustive enumeration, greedy, and the dynamic-programming Pareto
+//! front — on the case study and on System B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::core::fmea::injection::{self, InjectionConfig};
+use decisive::core::mechanism::{search, MechanismCatalog};
+use decisive::core::{case_study, reliability::ReliabilityDb};
+use decisive::workload::systems::system_b;
+
+fn bench_search(c: &mut Criterion) {
+    // Case study: tiny space, all strategies apply.
+    let (model, top) = case_study::ssam_model();
+    let table = graph::run(&model, top, &GraphConfig::default()).expect("fmea");
+    let catalog = MechanismCatalog::paper_table_iii();
+    let _ = ReliabilityDb::paper_table_ii();
+
+    let mut group = c.benchmark_group("search/case_study");
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| search::exhaustive(black_box(&table), black_box(&catalog), 0.90).expect("small space"))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| search::greedy(black_box(&table), black_box(&catalog), 0.90))
+    });
+    group.bench_function("pareto_dp", |b| {
+        b.iter(|| search::pareto_front(black_box(&table), black_box(&catalog)).expect("dp"))
+    });
+    group.finish();
+
+    // System B: combinatorial space — exhaustive is infeasible by design;
+    // greedy and the DP front handle it.
+    let subject = system_b();
+    let table_b = injection::run(&subject.diagram, &subject.reliability, &InjectionConfig::default())
+        .expect("fmea");
+    let mut group = c.benchmark_group("search/system_b");
+    for (label, target) in [("greedy@0.90", 0.90), ("greedy@0.97", 0.97)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &target, |b, &t| {
+            b.iter(|| search::greedy(black_box(&table_b), black_box(&subject.catalog), t))
+        });
+    }
+    group.bench_function("pareto_dp", |b| {
+        b.iter(|| search::pareto_front(black_box(&table_b), black_box(&subject.catalog)).expect("dp"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

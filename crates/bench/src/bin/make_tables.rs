@@ -1,0 +1,422 @@
+//! `make_tables` — regenerates every table and figure of the DECISIVE paper
+//! (DAC 2022) from this reproduction.
+//!
+//! ```text
+//! cargo run -p decisive-bench --release --bin make_tables            # everything
+//! cargo run -p decisive-bench --release --bin make_tables -- --table 4
+//! cargo run -p decisive-bench --release --bin make_tables -- --rq 3
+//! cargo run -p decisive-bench --release --bin make_tables -- --figure 1
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use decisive::blocks::{coverage, gallery, to_ssam};
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::core::fmea::injection::{self, InjectionConfig};
+
+use decisive::core::mechanism::{DeployedMechanism, Deployment, MechanismCatalog};
+use decisive::core::process::{DecisiveProcess, DesignModel, SystemDefinition};
+use decisive::core::reliability::ReliabilityDb;
+use decisive::core::{case_study, metrics};
+use decisive::federation::store::{scan_count, EagerStore, IndexedStore, ModelStore};
+use decisive::federation::Value;
+use decisive::ssam::architecture::Coverage;
+use decisive::workload::analyst::{
+    automated_design_run, automated_fmea, manual_design_run, manual_fmea, AnalystProfile,
+};
+use decisive::workload::sets::SCALABILITY_SETS;
+use decisive::workload::systems::{system_a, system_b};
+use decisive_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |what: &str, n: &str| -> bool {
+        args.is_empty()
+            || args == ["--all"]
+            || args.windows(2).any(|w| w[0] == format!("--{what}") && w[1] == n)
+    };
+    if run("table", "1") {
+        table_1();
+    }
+    if run("table", "2") {
+        table_2();
+    }
+    if run("table", "3") {
+        table_3();
+    }
+    if run("table", "4") {
+        table_4();
+    }
+    if run("table", "5") || run("rq", "3") {
+        table_5();
+    }
+    if run("table", "6") || run("rq", "4") {
+        table_6();
+    }
+    if run("rq", "1") {
+        rq_1();
+    }
+    if run("rq", "2") {
+        rq_2();
+    }
+    if run("figure", "1") {
+        figure_1();
+    }
+    if run("figure", "2") {
+        figure_2();
+    }
+    if run("figure", "7") {
+        figure_7();
+    }
+    if run("figure", "10") {
+        figure_10();
+    }
+    if run("figure", "11") {
+        figure_11();
+    }
+}
+
+/// Table I: FMEDA on a Phase Locked Loop.
+fn table_1() {
+    println!("\n=== Table I: FMEDA on Phase Locked Loop (PLL) ===");
+    // The Table I PLL as a real SSAM model: modes, effect-based impact
+    // classification and mechanisms all flow through the graph engine.
+    let (model, top) = case_study::pll_model();
+    let deployment = Deployment::from_ssam(&model);
+    let fmeda = graph::run(&model, top, &GraphConfig::default())
+        .expect("graph FMEA")
+        .with_deployment(&deployment);
+    let rendered: Vec<Vec<String>> = fmeda
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                "safety-critical".into(),
+                r.failure_mode.clone(),
+                r.impact.map(|i| i.to_string()).unwrap_or_default(),
+                format!("{:.1}%", r.distribution * 100.0),
+                r.mechanism.clone().unwrap_or_else(|| "N/A".into()),
+                format!("{:.0}%", r.coverage.value() * 100.0),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["Char.", "FM", "Impact", "Dist", "SMs", "Cov."], &rendered));
+    println!(
+        "LFM {:.1}% (uncovered IVF share) — paper: lower 40.1% wd 70% | higher 28.7% N/A | jitter 31.2% lockstep 99%",
+        fmeda.lfm() * 100.0
+    );
+}
+
+/// Table II: the example component reliability model.
+fn table_2() {
+    println!("\n=== Table II: Example component reliability model ===");
+    let db = ReliabilityDb::paper_table_ii();
+    let value = db.to_value();
+    let rows: Vec<Vec<String>> = value
+        .as_list()
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| {
+            vec![
+                r.get("Component").and_then(Value::as_str).unwrap_or("").to_owned(),
+                format!("{}", r.get("FIT").and_then(Value::as_f64).unwrap_or(0.0)),
+                r.get("Failure_Mode").and_then(Value::as_str).unwrap_or("").to_owned(),
+                format!("{:.0}%", r.get("Distribution").and_then(Value::as_f64).unwrap_or(0.0) * 100.0),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["Component", "FIT", "Failure_Mode", "Distribution"], &rows));
+    // Persist the CSV artefact the case study imports (DECISIVE Step 3).
+    if std::fs::create_dir_all("data").is_ok() {
+        let _ = std::fs::write("data/reliability.csv", decisive::federation::csv::to_string(&value));
+        println!("(written to data/reliability.csv)");
+    }
+}
+
+/// Table III: the example safety mechanism model.
+fn table_3() {
+    println!("\n=== Table III: Example safety mechanism model ===");
+    let catalog = MechanismCatalog::paper_table_iii();
+    let rows: Vec<Vec<String>> = catalog
+        .entries()
+        .iter()
+        .map(|e| {
+            vec![
+                e.component_type.clone(),
+                e.failure_mode.clone(),
+                e.name.clone(),
+                format!("{:.0}%", e.coverage.value() * 100.0),
+                format!("{:.1}", e.cost_hours),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Component", "Failure_Mode", "Safety_Mechanism", "Cov.", "Cost(hrs)"], &rows)
+    );
+}
+
+/// Table IV: the generated FMEDA for the power-supply case study.
+fn table_4() {
+    println!("\n=== Table IV: Generated FMEDA (power-supply case study) ===");
+    let (diagram, _) = gallery::sensor_power_supply();
+    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+        .expect("injection FMEA");
+    println!("SPFM before refinement: {:5.2}%  (paper: 5.38%)", table.spfm() * 100.0);
+    let mut deployment = Deployment::new();
+    deployment.deploy("MC1", "RAM Failure", DeployedMechanism {
+        name: "ECC".into(),
+        coverage: Coverage::new(0.99),
+        cost_hours: 2.0,
+    });
+    let fmeda = table.with_deployment(&deployment);
+    let rows: Vec<Vec<String>> = fmeda
+        .rows
+        .iter()
+        .filter(|r| ["D1", "L1", "MC1"].contains(&r.component.as_str()))
+        .map(|r| {
+            vec![
+                r.component.clone(),
+                format!("{}", r.fit.value()),
+                if r.safety_related { "Yes".into() } else { "No".into() },
+                r.failure_mode.clone(),
+                format!("{:.0}%", r.distribution * 100.0),
+                r.mechanism.clone().unwrap_or_else(|| "No SM".into()),
+                if r.coverage.value() > 0.0 {
+                    format!("{:.0}%", r.coverage.value() * 100.0)
+                } else {
+                    String::new()
+                },
+                if r.safety_related {
+                    format!("{} FIT", (r.residual_fit().value() * 1e9).round() / 1e9)
+                } else {
+                    String::new()
+                },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Component",
+                "FIT",
+                "Safety_Related",
+                "Failure_Mode",
+                "Distribution",
+                "Safety_Mechanism",
+                "SM_Coverage",
+                "Single_Point_Failure_Rate",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "SPFM after ECC: {:5.2}% -> {}  (paper: 96.77% -> ASIL-B)",
+        fmeda.spfm() * 100.0,
+        metrics::achieved_asil(fmeda.spfm())
+    );
+}
+
+/// Table V: the efficiency experiment (manual vs DECISIVE-with-SAME).
+fn table_5() {
+    println!("\n=== Table V: Efficiency experiment (RQ3) ===");
+    let a = AnalystProfile::participant_a();
+    let b = AnalystProfile::participant_b();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |system: &str, run: &decisive::workload::analyst::DesignRun| {
+        rows.push(vec![
+            system.into(),
+            format!(
+                "{}({})",
+                if run.analyst.ends_with('A') { "A" } else { "B" },
+                if run.automated { "Auto." } else { "Man." }
+            ),
+            format!("{:.0}", run.minutes),
+            format!("{}", run.iterations),
+        ]);
+    };
+    let sys_a = system_a();
+    let sys_b = system_b();
+    // Setting 1: A manual, B automated.
+    push("A", &manual_design_run(&a, &sys_a, 0.90).expect("run"));
+    push("A", &automated_design_run(&b, &sys_a, 0.90).expect("run"));
+    push("B", &manual_design_run(&a, &sys_b, 0.90).expect("run"));
+    push("B", &automated_design_run(&b, &sys_b, 0.90).expect("run"));
+    // Setting 2: roles swapped.
+    push("A", &automated_design_run(&a, &sys_a, 0.90).expect("run"));
+    push("A", &manual_design_run(&b, &sys_a, 0.90).expect("run"));
+    push("B", &automated_design_run(&a, &sys_b, 0.90).expect("run"));
+    push("B", &manual_design_run(&b, &sys_b, 0.90).expect("run"));
+    print!(
+        "{}",
+        render_table(&["System", "Participant", "Time spent (minutes)", "No. Iterations"], &rows)
+    );
+    println!("paper: A 505/62, B 1143/105 (setting 1); A 57/497, B 110/1166 (setting 2) — ~10x");
+}
+
+/// Table VI: the scalability experiment.
+fn table_6() {
+    println!("\n=== Table VI: Scalability (RQ4) ===");
+    let heap = 4u64 << 30;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for set in &SCALABILITY_SETS {
+        let start = Instant::now();
+        let outcome = EagerStore::load(&set.source(), heap).map(|store| {
+            scan_count(&store, |v| v.get("safety_related") == Some(&Value::Bool(true)))
+                .expect("scan succeeds")
+        });
+        let cell = match outcome {
+            Ok(_) => format!("{:.2}", start.elapsed().as_secs_f64()),
+            Err(_) => "N/A (memory overflow)".to_owned(),
+        };
+        rows.push(vec![set.name.into(), set.elements.to_string(), cell]);
+    }
+    print!(
+        "{}",
+        render_table(&["Model", "No. of Model Elements", "Time taken for Evaluation(sec)"], &rows)
+    );
+    println!("paper: 0.1 / 0.2 / 0.8 / 4.1 / 48.3 / N/A (memory overflow)");
+    // The scalable-store remedy the paper points to (Hawk-style indexing):
+    let set5 = &SCALABILITY_SETS[5];
+    let indexed = IndexedStore::new(Arc::new(set5.source()), 4_096, 8);
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for i in (0..set5.elements).step_by((set5.elements / 10_000) as usize) {
+        if indexed.get(i).expect("indexed access").get("safety_related") == Some(&Value::Bool(true)) {
+            hits += 1;
+        }
+    }
+    println!(
+        "indexed store samples 10,000 of Set5's {} elements in {:.2}s ({} safety-related) within {} MiB",
+        set5.elements,
+        start.elapsed().as_secs_f64(),
+        hits,
+        indexed.resident_bytes() >> 20
+    );
+}
+
+/// RQ1: correctness of the automated FMEA against the (simulated) manual one.
+fn rq_1() {
+    println!("\n=== RQ1: Correctness ===");
+    for (subject, profile) in [
+        (system_a(), AnalystProfile::participant_a()),
+        (system_b(), AnalystProfile::participant_b()),
+    ] {
+        let automated = automated_fmea(&subject).expect("automated FMEA");
+        let manual = manual_fmea(&profile, &automated);
+        let difference = automated.disagreement(&manual) * 100.0;
+        let sr_match = automated.safety_related_components() == manual.safety_related_components();
+        println!(
+            "{}: manual-vs-automated difference {:.2}% — safety-related components {} (paper: {}%)",
+            subject.name,
+            difference,
+            if sr_match { "all identified correctly" } else { "MISMATCH" },
+            if subject.name.ends_with('A') { "1.5" } else { "2.67" },
+        );
+    }
+}
+
+/// RQ2: block coverage of the analysis pipeline.
+fn rq_2() {
+    println!("\n=== RQ2: Coverage ===");
+    for subject in [system_a(), system_b()] {
+        let report = coverage::census(&subject.diagram);
+        println!(
+            "{}: {} analysable blocks — {} native, {} via the annotated-subsystem workaround -> {:.0}% coverage",
+            subject.name,
+            report.analysable,
+            report.native,
+            report.workaround,
+            report.coverage() * 100.0
+        );
+    }
+    println!("paper: 100% of both subjects covered with the workaround solution");
+}
+
+/// Figure 1: the DECISIVE process artefact trace.
+fn figure_1() {
+    println!("\n=== Figure 1: DECISIVE stages and key artefacts ===");
+    let (diagram, _) = gallery::sensor_power_supply();
+    let hazard_log = case_study::hazard_log();
+    println!("Step 1  system definition + HARA -> hazard log ({} event(s))", hazard_log.events().len());
+    println!("Step 2  system architectural design ({} elements)", diagram.element_count());
+    let mut process = DecisiveProcess::new(
+        SystemDefinition::new("power-supply", "sensor supply"),
+        hazard_log,
+        DesignModel::Diagram(diagram),
+    )
+    .with_reliability(ReliabilityDb::paper_table_ii())
+    .with_catalog(MechanismCatalog::paper_table_iii());
+    println!("Step 3  reliability data aggregated (Table II)");
+    let concept = process.run_to_target(10).expect("converges");
+    for record in &concept.iterations {
+        println!(
+            "Step 4  iteration {}: SPFM {:.2}% ({}), {} mechanism(s), {:.1} h",
+            record.number,
+            record.spfm * 100.0,
+            record.achieved,
+            record.mechanisms_deployed,
+            record.deployment_cost
+        );
+    }
+    println!(
+        "Step 5  safety concept: {} allocation(s), final SPFM {:.2}%",
+        concept.allocations.len(),
+        concept.spfm * 100.0
+    );
+}
+
+/// Figures 2–6: the metamodel census.
+fn figure_2() {
+    println!("\n=== Figures 2-6: SSAM metamodel inventory (case-study model) ===");
+    let (model, _) = case_study::ssam_model();
+    println!("{}", decisive::ssam::render::metamodel_inventory(&model));
+}
+
+/// Figures 7–9/12: the editors, substituted by renderers.
+fn figure_7() {
+    println!("\n=== Figures 7-9/12: model views (editor substitute) ===");
+    let (model, top) = case_study::ssam_model();
+    println!("{}", decisive::ssam::render::ascii_tree(&model));
+    println!("{}", decisive::ssam::render::dot_graph(&model, top));
+}
+
+/// Figure 10: the two working-process paths.
+fn figure_10() {
+    println!("\n=== Figure 10: SAME working process ===");
+    let (diagram, _) = gallery::sensor_power_supply();
+    let db = ReliabilityDb::paper_table_ii();
+    let injected = injection::run(&diagram, &db, &InjectionConfig::default()).expect("injection");
+    let (model, top) = case_study::ssam_model();
+    let graphed = graph::run(&model, top, &GraphConfig::default()).expect("graph");
+    println!(
+        "block-diagram path (fault injection): {} rows, SPFM {:.2}%",
+        injected.rows.len(),
+        injected.spfm() * 100.0
+    );
+    println!(
+        "SSAM path (Algorithm 1):             {} rows, SPFM {:.2}%",
+        graphed.rows.len(),
+        graphed.spfm() * 100.0
+    );
+    println!("row-level disagreement between the paths: {:.1}%", injected.disagreement(&graphed) * 100.0);
+    let transformed = to_ssam(&diagram);
+    println!(
+        "transformation: {} blocks -> {} SSAM components (lossless: {})",
+        diagram.block_count(),
+        transformed.components.len() - 1,
+        decisive::blocks::from_ssam(&transformed).map(|d| d == diagram).unwrap_or(false)
+    );
+}
+
+/// Figure 11: the case-study design itself.
+fn figure_11() {
+    println!("\n=== Figure 11: sensor power-supply design ===");
+    let (diagram, _) = gallery::sensor_power_supply();
+    for (_, block) in diagram.blocks() {
+        println!("  {:8} {}", block.name, block.kind.tag());
+    }
+    println!("  {} connections", diagram.connections().len());
+}

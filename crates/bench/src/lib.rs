@@ -1,0 +1,75 @@
+//! Shared helpers for the DECISIVE benchmark harness.
+
+#![warn(missing_docs)]
+
+/// Renders an ASCII table with padded columns.
+///
+/// # Examples
+///
+/// ```
+/// let text = decisive_bench::render_table(
+///     &["Component", "FIT"],
+///     &[vec!["D1".into(), "10".into()], vec!["MC1".into(), "300".into()]],
+/// );
+/// assert!(text.contains("| D1"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let rule: String = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String]| -> String {
+        let mut s = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            s.push_str(&format!(" {cell:<w$} |"));
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&fmt_row(&headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pads_columns() {
+        let t = render_table(&["a", "long"], &[vec!["xxxx".into(), "y".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("| a    | long |"));
+        assert!(lines[3].contains("| xxxx | y    |"));
+    }
+
+    #[test]
+    fn handles_short_rows() {
+        let t = render_table(&["a", "b"], &[vec!["only".into()]]);
+        assert!(t.contains("| only |"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Block types for block-diagram system models — the Simulink/Simscape
+//! authoring layer of this reproduction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a block inside a [`BlockDiagram`](crate::BlockDiagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Raw index in insertion order.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A port of a block, numbered from 0.
+///
+/// Two-terminal electrical blocks use port 0 as `+` and port 1 as `-`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Port(pub u8);
+
+/// The kind (and parameters) of a block.
+///
+/// Mirrors the subset of Simulink's Simscape Foundation electrical library
+/// the paper analyses, plus the simulation-infrastructure blocks present in
+/// Fig. 11 (`SolverConfig`, `Scope`, `Workspace`) and the *annotated
+/// subsystem* workaround for parts outside the library (paper §VI-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// DC voltage source (Fig. 11 `DC1`).
+    DcVoltageSource {
+        /// Source voltage in volts.
+        volts: f64,
+    },
+    /// DC current source.
+    DcCurrentSource {
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// Resistor.
+    Resistor {
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Capacitor (Fig. 11 `C1`, `C2`).
+    Capacitor {
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Inductor (Fig. 11 `L1`).
+    Inductor {
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Diode (Fig. 11 `D1`).
+    Diode,
+    /// Ideal switch.
+    Switch {
+        /// `true` if conducting.
+        closed: bool,
+    },
+    /// Ground reference (Fig. 11 `GND1`). One port.
+    Ground,
+    /// Series current sensor (Fig. 11 `CS1`).
+    CurrentSensor,
+    /// Parallel voltage sensor.
+    VoltageSensor,
+    /// Microcontroller — an annotated subsystem behaving as a brown-out
+    /// load electrically (Fig. 11 `MC1`).
+    Mcu {
+        /// Operating supply current in amperes.
+        on_amps: f64,
+        /// Brown-out threshold in volts.
+        brownout_volts: f64,
+        /// Supply current when functionally faulted (e.g. RAM failure).
+        fault_amps: f64,
+    },
+    /// A software component — transformable to SSAM but not electrical.
+    Software,
+    /// Solver configuration (Fig. 11 `S1`) — simulation infrastructure.
+    SolverConfig,
+    /// Signal scope (Fig. 11 `Scope1`) — simulation infrastructure.
+    Scope,
+    /// Workspace writer (Fig. 11 `Out1`) — simulation infrastructure.
+    Workspace,
+    /// An annotated subsystem outside the supported library: the paper's
+    /// coverage workaround ("we create subsystems in Simulink and annotate
+    /// them to be the desired elements").
+    AnnotatedSubsystem {
+        /// The annotation naming what the subsystem stands for.
+        annotation: String,
+    },
+}
+
+impl BlockKind {
+    /// The reliability-model lookup key for this block kind
+    /// (Table II `Component` column), when one applies.
+    pub fn type_key(&self) -> Option<&str> {
+        match self {
+            BlockKind::DcVoltageSource { .. } => Some("DCSource"),
+            BlockKind::DcCurrentSource { .. } => Some("CurrentSource"),
+            BlockKind::Resistor { .. } => Some("Resistor"),
+            BlockKind::Capacitor { .. } => Some("Capacitor"),
+            BlockKind::Inductor { .. } => Some("Inductor"),
+            BlockKind::Diode => Some("Diode"),
+            BlockKind::Switch { .. } => Some("Switch"),
+            BlockKind::CurrentSensor => Some("CurrentSensor"),
+            BlockKind::VoltageSensor => Some("VoltageSensor"),
+            BlockKind::Mcu { .. } => Some("MC"),
+            BlockKind::Software => Some("Software"),
+            BlockKind::AnnotatedSubsystem { annotation } => Some(annotation),
+            BlockKind::Ground | BlockKind::SolverConfig | BlockKind::Scope | BlockKind::Workspace => None,
+        }
+    }
+
+    /// `true` for blocks that exist only to configure or observe the
+    /// simulation (Fig. 11: "All other blocks are related to simulation").
+    pub fn is_simulation_infrastructure(&self) -> bool {
+        matches!(self, BlockKind::SolverConfig | BlockKind::Scope | BlockKind::Workspace)
+    }
+
+    /// `true` for blocks that lower to circuit elements.
+    pub fn is_electrical(&self) -> bool {
+        matches!(
+            self,
+            BlockKind::DcVoltageSource { .. }
+                | BlockKind::DcCurrentSource { .. }
+                | BlockKind::Resistor { .. }
+                | BlockKind::Capacitor { .. }
+                | BlockKind::Inductor { .. }
+                | BlockKind::Diode
+                | BlockKind::Switch { .. }
+                | BlockKind::Ground
+                | BlockKind::CurrentSensor
+                | BlockKind::VoltageSensor
+                | BlockKind::Mcu { .. }
+        )
+    }
+
+    /// Number of ports this block exposes.
+    pub fn port_count(&self) -> u8 {
+        match self {
+            BlockKind::Ground => 1,
+            BlockKind::SolverConfig => 1,
+            BlockKind::Scope | BlockKind::Workspace => 1,
+            BlockKind::Software => 2,
+            _ => 2,
+        }
+    }
+
+    /// A short tag for rendering and coverage reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BlockKind::DcVoltageSource { .. } => "dc-voltage-source",
+            BlockKind::DcCurrentSource { .. } => "dc-current-source",
+            BlockKind::Resistor { .. } => "resistor",
+            BlockKind::Capacitor { .. } => "capacitor",
+            BlockKind::Inductor { .. } => "inductor",
+            BlockKind::Diode => "diode",
+            BlockKind::Switch { .. } => "switch",
+            BlockKind::Ground => "ground",
+            BlockKind::CurrentSensor => "current-sensor",
+            BlockKind::VoltageSensor => "voltage-sensor",
+            BlockKind::Mcu { .. } => "mcu",
+            BlockKind::Software => "software",
+            BlockKind::SolverConfig => "solver-config",
+            BlockKind::Scope => "scope",
+            BlockKind::Workspace => "workspace",
+            BlockKind::AnnotatedSubsystem { .. } => "annotated-subsystem",
+        }
+    }
+}
+
+/// A named block instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Instance name, e.g. `"D1"`.
+    pub name: String,
+    /// Kind and parameters.
+    pub kind: BlockKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_keys_match_reliability_table() {
+        assert_eq!(BlockKind::Diode.type_key(), Some("Diode"));
+        assert_eq!(BlockKind::Capacitor { farads: 1e-6 }.type_key(), Some("Capacitor"));
+        assert_eq!(BlockKind::Inductor { henries: 1e-3 }.type_key(), Some("Inductor"));
+        assert_eq!(
+            BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 }.type_key(),
+            Some("MC")
+        );
+        assert_eq!(BlockKind::Ground.type_key(), None);
+    }
+
+    #[test]
+    fn simulation_infrastructure_is_flagged() {
+        assert!(BlockKind::SolverConfig.is_simulation_infrastructure());
+        assert!(BlockKind::Scope.is_simulation_infrastructure());
+        assert!(!BlockKind::Diode.is_simulation_infrastructure());
+    }
+
+    #[test]
+    fn electrical_classification() {
+        assert!(BlockKind::Diode.is_electrical());
+        assert!(BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.0 }.is_electrical());
+        assert!(!BlockKind::Software.is_electrical());
+        assert!(!BlockKind::Scope.is_electrical());
+    }
+
+    #[test]
+    fn port_counts() {
+        assert_eq!(BlockKind::Ground.port_count(), 1);
+        assert_eq!(BlockKind::Diode.port_count(), 2);
+    }
+
+    #[test]
+    fn annotated_subsystem_carries_its_annotation() {
+        let k = BlockKind::AnnotatedSubsystem { annotation: "PLL".to_owned() };
+        assert_eq!(k.type_key(), Some("PLL"));
+        assert_eq!(k.tag(), "annotated-subsystem");
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`BlockDiagram`] container: blocks, connections and net extraction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::block::{Block, BlockId, BlockKind, Port};
+
+/// Errors produced while building or transforming block diagrams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiagramError {
+    /// A connection referenced a block the diagram does not contain.
+    UnknownBlock {
+        /// The offending block id.
+        block: u32,
+    },
+    /// A connection referenced a port the block does not expose.
+    UnknownPort {
+        /// The block name.
+        block: String,
+        /// The offending port index.
+        port: u8,
+    },
+    /// The diagram cannot be lowered to a circuit.
+    NotLowerable {
+        /// Why lowering failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for DiagramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagramError::UnknownBlock { block } => write!(f, "unknown block b{block}"),
+            DiagramError::UnknownPort { block, port } => {
+                write!(f, "block `{block}` has no port {port}")
+            }
+            DiagramError::NotLowerable { message } => write!(f, "diagram not lowerable: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DiagramError {}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, DiagramError>;
+
+/// A directed connection between two block ports.
+///
+/// Electrically a connection just merges two nets; the direction records the
+/// author's signal-flow intent, which the SSAM transformation preserves so
+/// the graph-based FMEA can reason about paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Connection {
+    /// Source block.
+    pub from: BlockId,
+    /// Source port.
+    pub from_port: Port,
+    /// Target block.
+    pub to: BlockId,
+    /// Target port.
+    pub to_port: Port,
+}
+
+/// A block-diagram system model.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_blocks::{BlockDiagram, BlockKind, Port};
+///
+/// # fn main() -> Result<(), decisive_blocks::DiagramError> {
+/// let mut d = BlockDiagram::new("demo");
+/// let src = d.add_block("DC1", BlockKind::DcVoltageSource { volts: 5.0 });
+/// let gnd = d.add_block("GND1", BlockKind::Ground);
+/// d.connect(src, Port(1), gnd, Port(0))?;
+/// assert_eq!(d.block_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockDiagram {
+    name: String,
+    blocks: Vec<Block>,
+    connections: Vec<Connection>,
+}
+
+impl BlockDiagram {
+    /// Creates an empty diagram.
+    pub fn new(name: impl Into<String>) -> Self {
+        BlockDiagram { name: name.into(), blocks: Vec::new(), connections: Vec::new() }
+    }
+
+    /// The diagram name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a block and returns its handle.
+    pub fn add_block(&mut self, name: impl Into<String>, kind: BlockKind) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { name: name.into(), kind });
+        id
+    }
+
+    /// Connects `from.from_port → to.to_port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiagramError::UnknownBlock`] / [`DiagramError::UnknownPort`]
+    /// for dangling endpoints.
+    pub fn connect(&mut self, from: BlockId, from_port: Port, to: BlockId, to_port: Port) -> Result<()> {
+        for (id, port) in [(from, from_port), (to, to_port)] {
+            let block = self
+                .blocks
+                .get(id.0 as usize)
+                .ok_or(DiagramError::UnknownBlock { block: id.0 })?;
+            if port.0 >= block.kind.port_count() {
+                return Err(DiagramError::UnknownPort { block: block.name.clone(), port: port.0 });
+            }
+        }
+        self.connections.push(Connection { from, from_port, to, to_port });
+        Ok(())
+    }
+
+    /// The block with the given handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiagramError::UnknownBlock`] for out-of-range handles.
+    pub fn block(&self, id: BlockId) -> Result<&Block> {
+        self.blocks.get(id.0 as usize).ok_or(DiagramError::UnknownBlock { block: id.0 })
+    }
+
+    /// Iterates `(id, block)` in insertion order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// The connections in insertion order.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Finds a block by instance name (first match).
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.name == name).map(|i| BlockId(i as u32))
+    }
+
+    /// Total element count (blocks + connections), the granularity the
+    /// paper uses to size models ("102 elements in the design").
+    pub fn element_count(&self) -> usize {
+        self.blocks.len() + self.connections.len()
+    }
+
+    /// Computes the electrical nets of the diagram: every port is assigned
+    /// a net id; connected ports share one. Returns `nets[block][port]`.
+    pub(crate) fn nets(&self) -> Vec<Vec<usize>> {
+        // Union-find over a flat port numbering.
+        let offsets: Vec<usize> = {
+            let mut acc = 0usize;
+            self.blocks
+                .iter()
+                .map(|b| {
+                    let o = acc;
+                    acc += b.kind.port_count() as usize;
+                    o
+                })
+                .collect()
+        };
+        let total: usize =
+            self.blocks.iter().map(|b| b.kind.port_count() as usize).sum();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for c in &self.connections {
+            let a = offsets[c.from.0 as usize] + c.from_port.0 as usize;
+            let b = offsets[c.to.0 as usize] + c.to_port.0 as usize;
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Renumber roots densely.
+        let mut net_of_root = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let mut result = Vec::with_capacity(self.blocks.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            let mut ports = Vec::with_capacity(b.kind.port_count() as usize);
+            for p in 0..b.kind.port_count() as usize {
+                let root = find(&mut parent, offsets[i] + p);
+                let net = *net_of_root.entry(root).or_insert_with(|| {
+                    let n = next;
+                    next += 1;
+                    n
+                });
+                ports.push(net);
+            }
+            result.push(ports);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_validates_endpoints() {
+        let mut d = BlockDiagram::new("t");
+        let a = d.add_block("A", BlockKind::Resistor { ohms: 1.0 });
+        let g = d.add_block("G", BlockKind::Ground);
+        assert!(d.connect(a, Port(1), g, Port(0)).is_ok());
+        assert!(matches!(
+            d.connect(a, Port(2), g, Port(0)),
+            Err(DiagramError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            d.connect(BlockId(9), Port(0), g, Port(0)),
+            Err(DiagramError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn nets_merge_connected_ports() {
+        let mut d = BlockDiagram::new("t");
+        let v = d.add_block("V", BlockKind::DcVoltageSource { volts: 5.0 });
+        let r = d.add_block("R", BlockKind::Resistor { ohms: 1.0 });
+        let g = d.add_block("G", BlockKind::Ground);
+        d.connect(v, Port(0), r, Port(0)).unwrap();
+        d.connect(r, Port(1), g, Port(0)).unwrap();
+        d.connect(v, Port(1), g, Port(0)).unwrap();
+        let nets = d.nets();
+        assert_eq!(nets[v.0 as usize][0], nets[r.0 as usize][0]);
+        assert_eq!(nets[r.0 as usize][1], nets[g.0 as usize][0]);
+        assert_eq!(nets[v.0 as usize][1], nets[g.0 as usize][0]);
+        assert_ne!(nets[v.0 as usize][0], nets[v.0 as usize][1]);
+    }
+
+    #[test]
+    fn element_count_includes_connections() {
+        let mut d = BlockDiagram::new("t");
+        let a = d.add_block("A", BlockKind::Resistor { ohms: 1.0 });
+        let g = d.add_block("G", BlockKind::Ground);
+        d.connect(a, Port(1), g, Port(0)).unwrap();
+        assert_eq!(d.element_count(), 3);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut d = BlockDiagram::new("t");
+        let a = d.add_block("D1", BlockKind::Diode);
+        assert_eq!(d.block_by_name("D1"), Some(a));
+        assert_eq!(d.block_by_name("X"), None);
+        assert_eq!(d.block(a).unwrap().name, "D1");
+    }
+}

@@ -1,0 +1,213 @@
+//! Ready-made diagrams, including the paper's case study.
+
+use crate::block::{BlockId, BlockKind, Port};
+use crate::diagram::BlockDiagram;
+
+/// Handles to the named blocks of the [`sensor_power_supply`] diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerSupplyBlocks {
+    /// 5 V DC source.
+    pub dc1: BlockId,
+    /// Series diode.
+    pub d1: BlockId,
+    /// Series inductor.
+    pub l1: BlockId,
+    /// Input filter capacitor (10 µF).
+    pub c1: BlockId,
+    /// Input decoupling capacitor (100 nF).
+    pub c2: BlockId,
+    /// Ground reference.
+    pub gnd1: BlockId,
+    /// Microcontroller load.
+    pub mc1: BlockId,
+    /// Current sensor in the load branch.
+    pub cs1: BlockId,
+}
+
+/// Builds the sensor power-supply system of the paper's case study
+/// (Fig. 11): `DC1` (5 V) feeding `MC1` through `D1` and `L1`, with `CS1`
+/// sensing the load current, `C1`/`C2` as input filter capacitors, and the
+/// simulation-infrastructure blocks `S1`, `Scope1` and `Out1`.
+///
+/// The filter capacitors sit across the source, consistent with the paper's
+/// analysis assumption that "DC1 is stable (i.e. over-voltage and
+/// under-voltage are not considered)": faults masked by the stiff source do
+/// not disturb the reading at `CS1` (see EXPERIMENTS.md, Table IV).
+///
+/// # Examples
+///
+/// ```
+/// use decisive_blocks::gallery;
+///
+/// let (d, blocks) = gallery::sensor_power_supply();
+/// assert!(d.block_by_name("D1").is_some());
+/// assert_eq!(d.block_by_name("CS1"), Some(blocks.cs1));
+/// ```
+pub fn sensor_power_supply() -> (BlockDiagram, PowerSupplyBlocks) {
+    let mut d = BlockDiagram::new("sensor-power-supply");
+    let dc1 = d.add_block("DC1", BlockKind::DcVoltageSource { volts: 5.0 });
+    let d1 = d.add_block("D1", BlockKind::Diode);
+    let l1 = d.add_block("L1", BlockKind::Inductor { henries: 1e-3 });
+    let c1 = d.add_block("C1", BlockKind::Capacitor { farads: 10e-6 });
+    let c2 = d.add_block("C2", BlockKind::Capacitor { farads: 100e-9 });
+    let gnd1 = d.add_block("GND1", BlockKind::Ground);
+    let mc1 = d.add_block("MC1", BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 });
+    let cs1 = d.add_block("CS1", BlockKind::CurrentSensor);
+    let s1 = d.add_block("S1", BlockKind::SolverConfig);
+    let scope1 = d.add_block("Scope1", BlockKind::Scope);
+    let out1 = d.add_block("Out1", BlockKind::Workspace);
+
+    let ok = "gallery wiring is static";
+    // Power path: DC1+ → D1 → L1 → CS1 → MC1 → ground.
+    d.connect(dc1, Port(0), d1, Port(0)).expect(ok);
+    d.connect(d1, Port(1), l1, Port(0)).expect(ok);
+    d.connect(l1, Port(1), cs1, Port(0)).expect(ok);
+    d.connect(cs1, Port(1), mc1, Port(0)).expect(ok);
+    d.connect(mc1, Port(1), gnd1, Port(0)).expect(ok);
+    d.connect(dc1, Port(1), gnd1, Port(0)).expect(ok);
+    // Input filter across the (stable) source.
+    d.connect(c1, Port(0), dc1, Port(0)).expect(ok);
+    d.connect(c1, Port(1), gnd1, Port(0)).expect(ok);
+    d.connect(c2, Port(0), dc1, Port(0)).expect(ok);
+    d.connect(c2, Port(1), gnd1, Port(0)).expect(ok);
+    // Simulation infrastructure (Fig. 11: S1, Scope1, Out1).
+    d.connect(s1, Port(0), dc1, Port(0)).expect(ok);
+    d.connect(scope1, Port(0), cs1, Port(1)).expect(ok);
+    d.connect(out1, Port(0), cs1, Port(1)).expect(ok);
+
+    (d, PowerSupplyBlocks { dc1, d1, l1, c1, c2, gnd1, mc1, cs1 })
+}
+
+/// Handles to the named blocks of the [`redundant_power_supply`] diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundantSupplyBlocks {
+    /// Primary 5 V source.
+    pub dc_a: BlockId,
+    /// Secondary 5 V source.
+    pub dc_b: BlockId,
+    /// Primary OR-ing diode.
+    pub d_a: BlockId,
+    /// Secondary OR-ing diode.
+    pub d_b: BlockId,
+    /// Load current sensor.
+    pub cs1: BlockId,
+    /// Microcontroller load.
+    pub mc1: BlockId,
+}
+
+/// A diode-OR redundant supply: two independent 5 V rails feed the load
+/// through OR-ing diodes, so no single rail component is a single point of
+/// failure — the classic 1oo2 arrangement behind SSAM's
+/// [`ToleranceType::OneOutOfTwo`](decisive_ssam::architecture::ToleranceType).
+///
+/// # Examples
+///
+/// ```
+/// use decisive_blocks::{gallery, to_circuit};
+/// use decisive_circuit::Fault;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (d, blocks) = gallery::redundant_power_supply();
+/// let lowered = to_circuit(&d)?;
+/// let cs = lowered.element(blocks.cs1).expect("CS1");
+/// // Losing one diode leaves the load powered by the other rail.
+/// let faulted = lowered.circuit.with_fault(lowered.element(blocks.d_a).unwrap(), Fault::Open)?;
+/// let reading = faulted.sensor_reading(&faulted.dc()?, cs)?;
+/// assert!((reading - 0.1).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn redundant_power_supply() -> (BlockDiagram, RedundantSupplyBlocks) {
+    let ok = "gallery wiring is static";
+    let mut d = BlockDiagram::new("redundant-power-supply");
+    let gnd = d.add_block("GND1", BlockKind::Ground);
+    let dc_a = d.add_block("DC_A", BlockKind::DcVoltageSource { volts: 5.0 });
+    let dc_b = d.add_block("DC_B", BlockKind::DcVoltageSource { volts: 5.0 });
+    let d_a = d.add_block("D_A", BlockKind::Diode);
+    let d_b = d.add_block("D_B", BlockKind::Diode);
+    let cs1 = d.add_block("CS1", BlockKind::CurrentSensor);
+    let mc1 = d.add_block("MC1", BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 });
+    // Rail A and rail B OR onto the common node feeding CS1 → MC1 → gnd.
+    d.connect(dc_a, Port(0), d_a, Port(0)).expect(ok);
+    d.connect(dc_b, Port(0), d_b, Port(0)).expect(ok);
+    d.connect(d_a, Port(1), cs1, Port(0)).expect(ok);
+    d.connect(d_b, Port(1), cs1, Port(0)).expect(ok);
+    d.connect(cs1, Port(1), mc1, Port(0)).expect(ok);
+    d.connect(mc1, Port(1), gnd, Port(0)).expect(ok);
+    d.connect(dc_a, Port(1), gnd, Port(0)).expect(ok);
+    d.connect(dc_b, Port(1), gnd, Port(0)).expect(ok);
+    (d, RedundantSupplyBlocks { dc_a, dc_b, d_a, d_b, cs1, mc1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_circuit::to_circuit;
+
+    #[test]
+    fn power_supply_nominal_reading_is_100ma() {
+        let (d, blocks) = sensor_power_supply();
+        let lowered = to_circuit(&d).unwrap();
+        let cs = lowered.element(blocks.cs1).unwrap();
+        let sol = lowered.circuit.dc().unwrap();
+        let reading = lowered.circuit.sensor_reading(&sol, cs).unwrap();
+        assert!((reading - 0.1).abs() < 1e-4, "MC1 draws 100 mA nominally, got {reading}");
+    }
+
+    #[test]
+    fn power_supply_element_census_matches_fig11() {
+        let (d, _) = sensor_power_supply();
+        assert_eq!(d.block_count(), 11);
+        let names: Vec<_> = d.blocks().map(|(_, b)| b.name.as_str()).collect();
+        for expected in ["DC1", "D1", "L1", "C1", "C2", "GND1", "MC1", "CS1", "S1", "Scope1", "Out1"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn open_diode_starves_the_load() {
+        let (d, blocks) = sensor_power_supply();
+        let lowered = to_circuit(&d).unwrap();
+        let d1 = lowered.element(blocks.d1).unwrap();
+        let cs = lowered.element(blocks.cs1).unwrap();
+        let faulted = lowered.circuit.with_fault(d1, decisive_circuit::Fault::Open).unwrap();
+        let reading = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+        assert!(reading < 1e-4, "open D1 must cut the supply, got {reading}");
+    }
+
+    #[test]
+    fn redundant_supply_survives_single_rail_faults() {
+        let (d, blocks) = redundant_power_supply();
+        let lowered = to_circuit(&d).unwrap();
+        let cs = lowered.element(blocks.cs1).unwrap();
+        let nominal = lowered.circuit.sensor_reading(&lowered.circuit.dc().unwrap(), cs).unwrap();
+        assert!((nominal - 0.1).abs() < 1e-3);
+        // Any single rail-side fault is tolerated…
+        for target in [blocks.dc_a, blocks.d_a, blocks.dc_b, blocks.d_b] {
+            let element = lowered.element(target).unwrap();
+            let faulted = lowered.circuit.with_fault(element, decisive_circuit::Fault::Open).unwrap();
+            let reading = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+            assert!((reading - nominal).abs() / nominal < 0.05, "single fault must be masked");
+        }
+        // …but losing both diodes kills the load.
+        let both = lowered
+            .circuit
+            .with_fault(lowered.element(blocks.d_a).unwrap(), decisive_circuit::Fault::Open)
+            .unwrap()
+            .with_fault(lowered.element(blocks.d_b).unwrap(), decisive_circuit::Fault::Open)
+            .unwrap();
+        let reading = both.sensor_reading(&both.dc().unwrap(), cs).unwrap();
+        assert!(reading < 1e-4, "dual fault must not be masked, got {reading}");
+    }
+
+    #[test]
+    fn shorted_filter_cap_is_masked_by_the_stiff_source() {
+        let (d, blocks) = sensor_power_supply();
+        let lowered = to_circuit(&d).unwrap();
+        let c1 = lowered.element(blocks.c1).unwrap();
+        let cs = lowered.element(blocks.cs1).unwrap();
+        let faulted = lowered.circuit.with_fault(c1, decisive_circuit::Fault::Short).unwrap();
+        let reading = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+        assert!((reading - 0.1).abs() < 1e-3, "stable DC1 masks the shorted cap, got {reading}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # decisive-blocks
+//!
+//! Block-diagram system models — the Simulink authoring layer of the
+//! DECISIVE reproduction — with:
+//!
+//! * [`BlockDiagram`] building and net extraction,
+//! * lossless transformation to SSAM and back ([`to_ssam`], [`from_ssam`]),
+//!   reproducing the paper's Simulink→SSAM transformation contribution,
+//! * lowering to simulator netlists ([`to_circuit`]), and
+//! * the block-type [`coverage`] census behind the paper's RQ2.
+//!
+//! The paper's case-study model (Fig. 11) ships in [`gallery`].
+//!
+//! ## Example
+//!
+//! ```
+//! use decisive_blocks::{gallery, to_ssam, from_ssam, to_circuit};
+//!
+//! # fn main() -> Result<(), decisive_blocks::DiagramError> {
+//! let (diagram, _) = gallery::sensor_power_supply();
+//! // Lossless transformation (paper: "without information loss").
+//! let model = to_ssam(&diagram);
+//! assert_eq!(from_ssam(&model)?, diagram);
+//! // And the same diagram lowers to a simulatable netlist.
+//! let lowered = to_circuit(&diagram)?;
+//! assert!(lowered.circuit.element_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod block;
+pub mod coverage;
+mod diagram;
+pub mod gallery;
+pub mod text;
+mod to_circuit;
+mod to_ssam;
+
+pub use block::{Block, BlockId, BlockKind, Port};
+pub use diagram::{BlockDiagram, Connection, DiagramError, Result};
+pub use to_circuit::{to_circuit, LoweredCircuit};
+pub use to_ssam::{from_ssam, to_ssam};

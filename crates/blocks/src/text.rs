@@ -1,0 +1,190 @@
+//! A plain-text block-diagram format (`.bd`) — the import/export surface
+//! standing in for reading "system architecture defined in arbitrary tools"
+//! (paper §IV-B6's import function).
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! diagram sensor-power-supply
+//! block DC1 dc-voltage-source volts=5
+//! block D1 diode
+//! block GND1 ground
+//! connect DC1.0 -> D1.0
+//! connect DC1.1 -> GND1.0
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Parameters use the same
+//! `key=value;key=value` encoding as the SSAM transformation, so the two
+//! serialisations stay consistent.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::block::BlockId;
+use crate::diagram::{BlockDiagram, DiagramError, Result};
+use crate::to_ssam::{kind_from, params_string};
+use crate::Port;
+
+/// Serialises a diagram to the `.bd` text format.
+pub fn to_text(diagram: &BlockDiagram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "diagram {}", diagram.name());
+    for (_, block) in diagram.blocks() {
+        let params = params_string(&block.kind);
+        if params.is_empty() {
+            let _ = writeln!(out, "block {} {}", block.name, block.kind.tag());
+        } else {
+            let _ = writeln!(out, "block {} {} {}", block.name, block.kind.tag(), params);
+        }
+    }
+    for connection in diagram.connections() {
+        let name = |id: BlockId| {
+            diagram.block(id).map(|b| b.name.clone()).unwrap_or_default()
+        };
+        let _ = writeln!(
+            out,
+            "connect {}.{} -> {}.{}",
+            name(connection.from),
+            connection.from_port.0,
+            name(connection.to),
+            connection.to_port.0
+        );
+    }
+    out
+}
+
+/// Parses a `.bd` document.
+///
+/// # Errors
+///
+/// Returns [`DiagramError::NotLowerable`] with a line-tagged message for
+/// malformed input, unknown block kinds or dangling connection endpoints.
+pub fn from_text(text: &str) -> Result<BlockDiagram> {
+    let bad = |line_no: usize, message: String| DiagramError::NotLowerable {
+        message: format!("line {line_no}: {message}"),
+    };
+    let mut diagram: Option<BlockDiagram> = None;
+    let mut by_name: HashMap<String, BlockId> = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("diagram") => {
+                let name = words.next().ok_or_else(|| bad(line_no, "missing diagram name".into()))?;
+                if diagram.is_some() {
+                    return Err(bad(line_no, "duplicate `diagram` line".into()));
+                }
+                diagram = Some(BlockDiagram::new(name));
+            }
+            Some("block") => {
+                let d = diagram
+                    .as_mut()
+                    .ok_or_else(|| bad(line_no, "`block` before `diagram`".into()))?;
+                let name = words.next().ok_or_else(|| bad(line_no, "missing block name".into()))?;
+                let tag = words.next().ok_or_else(|| bad(line_no, "missing block kind".into()))?;
+                let params = words.next().unwrap_or("");
+                let kind = kind_from(tag, params)
+                    .ok_or_else(|| bad(line_no, format!("unknown block kind `{tag}` or bad parameters `{params}`")))?;
+                if by_name.contains_key(name) {
+                    return Err(bad(line_no, format!("duplicate block name `{name}`")));
+                }
+                let id = d.add_block(name, kind);
+                by_name.insert(name.to_owned(), id);
+            }
+            Some("connect") => {
+                let d = diagram
+                    .as_mut()
+                    .ok_or_else(|| bad(line_no, "`connect` before `diagram`".into()))?;
+                let from = words.next().ok_or_else(|| bad(line_no, "missing source endpoint".into()))?;
+                let arrow = words.next();
+                if arrow != Some("->") {
+                    return Err(bad(line_no, "expected `->` between endpoints".into()));
+                }
+                let to = words.next().ok_or_else(|| bad(line_no, "missing target endpoint".into()))?;
+                let parse_endpoint = |endpoint: &str| -> Result<(BlockId, Port)> {
+                    let (name, port) = endpoint
+                        .rsplit_once('.')
+                        .ok_or_else(|| bad(line_no, format!("endpoint `{endpoint}` must be `block.port`")))?;
+                    let id = by_name
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| bad(line_no, format!("unknown block `{name}`")))?;
+                    let port = port
+                        .parse::<u8>()
+                        .map_err(|_| bad(line_no, format!("bad port number `{port}`")))?;
+                    Ok((id, Port(port)))
+                };
+                let (from_id, from_port) = parse_endpoint(from)?;
+                let (to_id, to_port) = parse_endpoint(to)?;
+                d.connect(from_id, from_port, to_id, to_port)
+                    .map_err(|e| bad(line_no, e.to_string()))?;
+            }
+            Some(other) => return Err(bad(line_no, format!("unknown directive `{other}`"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    diagram.ok_or_else(|| DiagramError::NotLowerable { message: "no `diagram` line".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+
+    #[test]
+    fn case_study_roundtrips_through_text() {
+        let (diagram, _) = gallery::sensor_power_supply();
+        let text = to_text(&diagram);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, diagram);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let d = from_text(
+            "# a comment\n\
+             diagram demo\n\
+             \n\
+             block V dc-voltage-source volts=5\n\
+             block G ground\n\
+             connect V.1 -> G.0\n",
+        )
+        .unwrap();
+        assert_eq!(d.block_count(), 2);
+        assert_eq!(d.connections().len(), 1);
+        assert_eq!(d.name(), "demo");
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let check = |text: &str, needle: &str| {
+            let err = from_text(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        };
+        check("block X diode\n", "before `diagram`");
+        check("diagram d\nblock X nosuchkind\n", "unknown block kind");
+        check("diagram d\nblock X diode\nblock X diode\n", "duplicate block name");
+        check("diagram d\nconnect A.0 -> B.0\n", "unknown block `A`");
+        check("diagram d\nblock A diode\nconnect A.0 A.1\n", "expected `->`");
+        check("diagram d\nblock A diode\nconnect A.x -> A.1\n", "bad port number");
+        check("diagram d\nfrobnicate\n", "unknown directive");
+        check("", "no `diagram` line");
+        check("diagram d\nblock A diode\nconnect A.7 -> A.0\n", "line 3");
+    }
+
+    #[test]
+    fn imported_diagram_is_analysable() {
+        let (original, blocks) = gallery::sensor_power_supply();
+        let imported = from_text(&to_text(&original)).unwrap();
+        let lowered = crate::to_circuit(&imported).unwrap();
+        let cs1 = imported.block_by_name("CS1").unwrap();
+        let sensor = lowered.element(cs1).unwrap();
+        let reading = lowered.circuit.sensor_reading(&lowered.circuit.dc().unwrap(), sensor).unwrap();
+        assert!((reading - 0.1).abs() < 1e-4);
+        let _ = blocks;
+    }
+}

@@ -1,0 +1,160 @@
+//! Lowering a [`BlockDiagram`] to a [`Circuit`] netlist — what happens when
+//! SAME hands the Simulink model to the simulator.
+
+use std::collections::HashMap;
+
+use decisive_circuit::{Circuit, ElementId, ElementKind, NodeId};
+
+use crate::block::{BlockId, BlockKind};
+use crate::diagram::{BlockDiagram, DiagramError, Result};
+
+/// A lowered circuit plus the block → element correspondence, so fault
+/// injection driven from the block model can find its electrical target.
+#[derive(Debug, Clone)]
+pub struct LoweredCircuit {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Which circuit element each electrical block became.
+    pub element_of: HashMap<BlockId, ElementId>,
+}
+
+impl LoweredCircuit {
+    /// The circuit element backing `block`, if the block was electrical.
+    pub fn element(&self, block: BlockId) -> Option<ElementId> {
+        self.element_of.get(&block).copied()
+    }
+}
+
+/// Lowers `diagram` to a circuit netlist.
+///
+/// Nets are derived from the connections (union-find over ports); any net
+/// touching a [`BlockKind::Ground`] port becomes the ground node.
+/// Simulation-infrastructure and software blocks do not lower.
+///
+/// # Errors
+///
+/// Returns [`DiagramError::NotLowerable`] when the diagram has electrical
+/// blocks but no ground reference.
+pub fn to_circuit(diagram: &BlockDiagram) -> Result<LoweredCircuit> {
+    let nets = diagram_nets(diagram);
+    let has_electrical = diagram.blocks().any(|(_, b)| b.kind.is_electrical());
+    // Identify ground nets.
+    let mut ground_nets = std::collections::HashSet::new();
+    for (id, b) in diagram.blocks() {
+        if matches!(b.kind, BlockKind::Ground) {
+            ground_nets.insert(nets[id.raw() as usize][0]);
+        }
+    }
+    if has_electrical && ground_nets.is_empty() {
+        return Err(DiagramError::NotLowerable {
+            message: "no ground reference block in an electrical diagram".to_owned(),
+        });
+    }
+    let mut circuit = Circuit::new(diagram.name());
+    let mut node_of_net: HashMap<usize, NodeId> = HashMap::new();
+    let mut node_for = |net: usize, circuit: &mut Circuit| -> NodeId {
+        if ground_nets.contains(&net) {
+            return NodeId::GROUND;
+        }
+        *node_of_net.entry(net).or_insert_with(|| circuit.node())
+    };
+    let mut element_of = HashMap::new();
+    for (id, block) in diagram.blocks() {
+        let kind = match &block.kind {
+            BlockKind::DcVoltageSource { volts } => ElementKind::VoltageSource { volts: *volts },
+            BlockKind::DcCurrentSource { amps } => ElementKind::CurrentSource { amps: *amps },
+            BlockKind::Resistor { ohms } => ElementKind::Resistor { ohms: *ohms },
+            BlockKind::Capacitor { farads } => ElementKind::Capacitor { farads: *farads },
+            BlockKind::Inductor { henries } => ElementKind::Inductor { henries: *henries },
+            BlockKind::Diode => ElementKind::Diode(decisive_circuit::DiodeParams::default()),
+            BlockKind::Switch { closed } => ElementKind::Switch { closed: *closed },
+            BlockKind::CurrentSensor => ElementKind::CurrentSensor,
+            BlockKind::VoltageSensor => ElementKind::VoltageSensor,
+            BlockKind::Mcu { on_amps, brownout_volts, fault_amps } => ElementKind::Load {
+                on_amps: *on_amps,
+                brownout_volts: *brownout_volts,
+                fault_amps: *fault_amps,
+                faulted: false,
+            },
+            // Ground nodes were handled through the net mapping.
+            BlockKind::Ground
+            | BlockKind::Software
+            | BlockKind::SolverConfig
+            | BlockKind::Scope
+            | BlockKind::Workspace
+            | BlockKind::AnnotatedSubsystem { .. } => continue,
+        };
+        let block_nets = &nets[id.raw() as usize];
+        let plus = node_for(block_nets[0], &mut circuit);
+        let minus = node_for(block_nets[1], &mut circuit);
+        let element = circuit.add(block.name.clone(), plus, minus, kind).map_err(|e| {
+            DiagramError::NotLowerable { message: format!("block `{}`: {e}", block.name) }
+        })?;
+        element_of.insert(id, element);
+    }
+    Ok(LoweredCircuit { circuit, element_of })
+}
+
+fn diagram_nets(diagram: &BlockDiagram) -> Vec<Vec<usize>> {
+    diagram.nets()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Port;
+
+    fn divider() -> (BlockDiagram, BlockId, BlockId) {
+        let mut d = BlockDiagram::new("div");
+        let v = d.add_block("V1", BlockKind::DcVoltageSource { volts: 10.0 });
+        let r1 = d.add_block("R1", BlockKind::Resistor { ohms: 1_000.0 });
+        let r2 = d.add_block("R2", BlockKind::Resistor { ohms: 1_000.0 });
+        let vs = d.add_block("VS1", BlockKind::VoltageSensor);
+        let g = d.add_block("GND1", BlockKind::Ground);
+        d.connect(v, Port(0), r1, Port(0)).unwrap();
+        d.connect(r1, Port(1), r2, Port(0)).unwrap();
+        d.connect(r2, Port(1), g, Port(0)).unwrap();
+        d.connect(v, Port(1), g, Port(0)).unwrap();
+        d.connect(vs, Port(0), r2, Port(0)).unwrap();
+        d.connect(vs, Port(1), g, Port(0)).unwrap();
+        (d, r1, vs)
+    }
+
+    #[test]
+    fn lowered_divider_simulates_correctly() {
+        let (d, _, vs) = divider();
+        let lowered = to_circuit(&d).unwrap();
+        let sensor = lowered.element(vs).unwrap();
+        let sol = lowered.circuit.dc().unwrap();
+        let v = lowered.circuit.sensor_reading(&sol, sensor).unwrap();
+        assert!((v - 5.0).abs() < 1e-3, "divider midpoint, got {v}");
+    }
+
+    #[test]
+    fn block_element_mapping_is_complete_for_electrical_blocks() {
+        let (d, r1, _) = divider();
+        let lowered = to_circuit(&d).unwrap();
+        assert!(lowered.element(r1).is_some());
+        let gnd = d.block_by_name("GND1").unwrap();
+        assert!(lowered.element(gnd).is_none(), "ground is a node, not an element");
+    }
+
+    #[test]
+    fn missing_ground_is_rejected() {
+        let mut d = BlockDiagram::new("nognd");
+        let v = d.add_block("V1", BlockKind::DcVoltageSource { volts: 5.0 });
+        let r = d.add_block("R1", BlockKind::Resistor { ohms: 1.0 });
+        d.connect(v, Port(0), r, Port(0)).unwrap();
+        d.connect(v, Port(1), r, Port(1)).unwrap();
+        assert!(matches!(to_circuit(&d), Err(DiagramError::NotLowerable { .. })));
+    }
+
+    #[test]
+    fn non_electrical_blocks_are_skipped() {
+        let (mut d, _, _) = divider();
+        d.add_block("S1", BlockKind::SolverConfig);
+        d.add_block("SW1", BlockKind::Software);
+        let lowered = to_circuit(&d).unwrap();
+        assert_eq!(lowered.circuit.element_count(), 4, "V1, R1, R2, VS1");
+    }
+}

@@ -1,0 +1,306 @@
+//! The lossless block-diagram → SSAM model-to-model transformation and its
+//! inverse (paper contribution: "a tested transformation algorithm to
+//! transform Simulink models to SSAM without information loss").
+//!
+//! Block parameters survive in an inline [`ExternalReference`] on each
+//! generated component, so [`from_ssam`] can reconstruct the original
+//! diagram exactly — the round-trip is the "no information loss" test.
+
+use decisive_ssam::architecture::{Component, ComponentKind, IoDirection};
+use decisive_ssam::base::{ExternalModelKind, ExternalReference};
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+use crate::block::{BlockKind, Port};
+use crate::diagram::{BlockDiagram, DiagramError, Result};
+
+/// Metadata location marking a component as transformed from a block.
+const INLINE_LOCATION: &str = "inline:block-params";
+
+/// Transforms `diagram` into an SSAM model.
+///
+/// The diagram becomes a top-level `System` component; every block becomes
+/// a child component carrying its parameters in an inline external
+/// reference; every connection becomes a port-pinned relationship. Boundary
+/// relationships `top → source` and `sensor → top` orient the paper's
+/// input→output path analysis (Algorithm 1).
+pub fn to_ssam(diagram: &BlockDiagram) -> SsamModel {
+    let mut model = SsamModel::new(diagram.name());
+    let mut top_component = Component::new(diagram.name(), ComponentKind::System);
+    top_component.type_key = Some("BlockDiagram".to_owned());
+    let top = model.add_component(top_component);
+
+    let mut component_of: Vec<Idx<Component>> = Vec::with_capacity(diagram.block_count());
+    for (_, block) in diagram.blocks() {
+        let kind = match block.kind {
+            BlockKind::Software => ComponentKind::Software,
+            _ => ComponentKind::Hardware,
+        };
+        let mut c = Component::new(block.name.clone(), kind);
+        c.type_key = block.kind.type_key().map(str::to_owned);
+        c.core.external_refs.push(
+            ExternalReference::new(INLINE_LOCATION, ExternalModelKind::BlockDiagram)
+                .with_metadata("tag", block.kind.tag())
+                .with_metadata("params", params_string(&block.kind)),
+        );
+        let idx = model.add_child_component(top, c);
+        component_of.push(idx);
+    }
+
+    // Ports: one IO node per block port, named p0/p1, direction from use.
+    let port_node = |model: &mut SsamModel, comp: Idx<Component>, port: Port, dir: IoDirection| {
+        let name = format!("p{}", port.0);
+        let existing = model.components[comp]
+            .io_nodes
+            .iter()
+            .copied()
+            .find(|&n| model.io_nodes[n].core.name.value() == name);
+        match existing {
+            Some(n) => n,
+            None => model.add_io_node(comp, name, dir),
+        }
+    };
+
+    for conn in diagram.connections() {
+        let from = component_of[conn.from.raw() as usize];
+        let to = component_of[conn.to.raw() as usize];
+        let from_port = port_node(&mut model, from, conn.from_port, IoDirection::Output);
+        let to_port = port_node(&mut model, to, conn.to_port, IoDirection::Input);
+        model.connect_ports(from, from_port, to, to_port);
+    }
+
+    // Boundary orientation for path analysis.
+    for (id, block) in diagram.blocks() {
+        match block.kind {
+            BlockKind::DcVoltageSource { .. } | BlockKind::DcCurrentSource { .. } => {
+                model.connect(top, component_of[id.raw() as usize]);
+            }
+            BlockKind::CurrentSensor | BlockKind::VoltageSensor => {
+                model.connect(component_of[id.raw() as usize], top);
+            }
+            _ => {}
+        }
+    }
+    model
+}
+
+/// Reconstructs the block diagram from a model produced by [`to_ssam`] —
+/// the inverse transformation used to verify losslessness.
+///
+/// # Errors
+///
+/// Returns [`DiagramError::NotLowerable`] when the model was not produced
+/// by [`to_ssam`] (missing top component or block parameters).
+pub fn from_ssam(model: &SsamModel) -> Result<BlockDiagram> {
+    let (top, _) = model
+        .components
+        .iter()
+        .find(|(_, c)| c.parent.is_none() && c.type_key.as_deref() == Some("BlockDiagram"))
+        .ok_or_else(|| DiagramError::NotLowerable {
+            message: "model has no top-level BlockDiagram component".to_owned(),
+        })?;
+    let mut diagram = BlockDiagram::new(model.components[top].core.name.value());
+    let children = model.components[top].children.clone();
+    let mut block_of = std::collections::HashMap::new();
+    for (i, &child) in children.iter().enumerate() {
+        let c = &model.components[child];
+        let params = c
+            .core
+            .external_refs
+            .iter()
+            .find(|r| r.location == INLINE_LOCATION)
+            .ok_or_else(|| DiagramError::NotLowerable {
+                message: format!("component `{}` carries no block parameters", c.core.name),
+            })?;
+        let tag = params.metadata_value("tag").unwrap_or_default();
+        let body = params.metadata_value("params").unwrap_or_default();
+        let kind = kind_from(tag, body).ok_or_else(|| DiagramError::NotLowerable {
+            message: format!("component `{}` has unparseable block parameters `{tag}: {body}`", c.core.name),
+        })?;
+        let id = diagram.add_block(c.core.name.value(), kind);
+        debug_assert_eq!(id.raw() as usize, i);
+        block_of.insert(child, id);
+    }
+    for (_, rel) in model.relationships.iter() {
+        // Skip the boundary relationships that involve the top component.
+        if rel.from == top || rel.to == top {
+            continue;
+        }
+        let (Some(&from), Some(&to)) = (block_of.get(&rel.from), block_of.get(&rel.to)) else {
+            continue;
+        };
+        let from_port = port_of(model, rel.from_port)?;
+        let to_port = port_of(model, rel.to_port)?;
+        diagram
+            .connect(from, from_port, to, to_port)
+            .map_err(|e| DiagramError::NotLowerable { message: e.to_string() })?;
+    }
+    Ok(diagram)
+}
+
+fn port_of(
+    model: &SsamModel,
+    node: Option<Idx<decisive_ssam::architecture::IoNode>>,
+) -> Result<Port> {
+    let node = node.ok_or_else(|| DiagramError::NotLowerable {
+        message: "relationship without pinned ports".to_owned(),
+    })?;
+    let name = model.io_nodes[node].core.name.value();
+    name.strip_prefix('p')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(Port)
+        .ok_or_else(|| DiagramError::NotLowerable { message: format!("bad port name `{name}`") })
+}
+
+/// Serialises the parameters of a block kind as `key=value` pairs.
+pub(crate) fn params_string(kind: &BlockKind) -> String {
+    match kind {
+        BlockKind::DcVoltageSource { volts } => format!("volts={volts}"),
+        BlockKind::DcCurrentSource { amps } => format!("amps={amps}"),
+        BlockKind::Resistor { ohms } => format!("ohms={ohms}"),
+        BlockKind::Capacitor { farads } => format!("farads={farads}"),
+        BlockKind::Inductor { henries } => format!("henries={henries}"),
+        BlockKind::Switch { closed } => format!("closed={closed}"),
+        BlockKind::Mcu { on_amps, brownout_volts, fault_amps } => {
+            format!("on_amps={on_amps};brownout_volts={brownout_volts};fault_amps={fault_amps}")
+        }
+        BlockKind::AnnotatedSubsystem { annotation } => format!("annotation={annotation}"),
+        BlockKind::Diode
+        | BlockKind::Ground
+        | BlockKind::CurrentSensor
+        | BlockKind::VoltageSensor
+        | BlockKind::Software
+        | BlockKind::SolverConfig
+        | BlockKind::Scope
+        | BlockKind::Workspace => String::new(),
+    }
+}
+
+pub(crate) fn kind_from(tag: &str, params: &str) -> Option<BlockKind> {
+    let field = |key: &str| -> Option<&str> {
+        params
+            .split(';')
+            .find_map(|pair| pair.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+    };
+    let num = |key: &str| field(key).and_then(|v| v.parse::<f64>().ok());
+    Some(match tag {
+        "dc-voltage-source" => BlockKind::DcVoltageSource { volts: num("volts")? },
+        "dc-current-source" => BlockKind::DcCurrentSource { amps: num("amps")? },
+        "resistor" => BlockKind::Resistor { ohms: num("ohms")? },
+        "capacitor" => BlockKind::Capacitor { farads: num("farads")? },
+        "inductor" => BlockKind::Inductor { henries: num("henries")? },
+        "diode" => BlockKind::Diode,
+        "switch" => BlockKind::Switch { closed: field("closed")?.parse().ok()? },
+        "ground" => BlockKind::Ground,
+        "current-sensor" => BlockKind::CurrentSensor,
+        "voltage-sensor" => BlockKind::VoltageSensor,
+        "mcu" => BlockKind::Mcu {
+            on_amps: num("on_amps")?,
+            brownout_volts: num("brownout_volts")?,
+            fault_amps: num("fault_amps")?,
+        },
+        "software" => BlockKind::Software,
+        "solver-config" => BlockKind::SolverConfig,
+        "scope" => BlockKind::Scope,
+        "workspace" => BlockKind::Workspace,
+        "annotated-subsystem" => BlockKind::AnnotatedSubsystem { annotation: field("annotation")?.to_owned() },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use crate::diagram::BlockDiagram;
+
+    fn all_kinds() -> Vec<BlockKind> {
+        vec![
+            BlockKind::DcVoltageSource { volts: 5.0 },
+            BlockKind::DcCurrentSource { amps: 0.1 },
+            BlockKind::Resistor { ohms: 47.5 },
+            BlockKind::Capacitor { farads: 1e-6 },
+            BlockKind::Inductor { henries: 2e-3 },
+            BlockKind::Diode,
+            BlockKind::Switch { closed: true },
+            BlockKind::Ground,
+            BlockKind::CurrentSensor,
+            BlockKind::VoltageSensor,
+            BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 },
+            BlockKind::Software,
+            BlockKind::SolverConfig,
+            BlockKind::Scope,
+            BlockKind::Workspace,
+            BlockKind::AnnotatedSubsystem { annotation: "PLL".to_owned() },
+        ]
+    }
+
+    #[test]
+    fn params_roundtrip_for_every_kind() {
+        for kind in all_kinds() {
+            let back = kind_from(kind.tag(), &params_string(&kind))
+                .unwrap_or_else(|| panic!("no roundtrip for {kind:?}"));
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn transformation_roundtrip_is_lossless() {
+        let mut d = BlockDiagram::new("rt");
+        let mut prev: Option<BlockId> = None;
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let id = d.add_block(format!("B{i}"), kind);
+            if let Some(p) = prev {
+                // Wire a chain through port 0/whatever exists.
+                let from_port = Port(0);
+                let to_port = Port(0);
+                d.connect(p, from_port, id, to_port).unwrap();
+            }
+            prev = Some(id);
+        }
+        let model = to_ssam(&d);
+        let back = from_ssam(&model).unwrap();
+        assert_eq!(back, d, "round-trip must preserve every block and connection");
+    }
+
+    #[test]
+    fn to_ssam_creates_boundary_relationships() {
+        let mut d = BlockDiagram::new("b");
+        let v = d.add_block("V1", BlockKind::DcVoltageSource { volts: 5.0 });
+        let cs = d.add_block("CS1", BlockKind::CurrentSensor);
+        d.connect(v, Port(0), cs, Port(0)).unwrap();
+        let model = to_ssam(&d);
+        let top = model.component_by_name("b").unwrap();
+        let v_c = model.component_by_name("V1").unwrap();
+        let cs_c = model.component_by_name("CS1").unwrap();
+        let rels: Vec<_> = model.relationships.iter().map(|(_, r)| (r.from, r.to)).collect();
+        assert!(rels.contains(&(top, v_c)), "top → source boundary edge");
+        assert!(rels.contains(&(cs_c, top)), "sensor → top boundary edge");
+        assert!(rels.contains(&(v_c, cs_c)), "authored connection preserved");
+    }
+
+    #[test]
+    fn type_keys_survive_transformation() {
+        let mut d = BlockDiagram::new("k");
+        d.add_block("D1", BlockKind::Diode);
+        let model = to_ssam(&d);
+        let c = model.component_by_name("D1").unwrap();
+        assert_eq!(model.components[c].type_key.as_deref(), Some("Diode"));
+    }
+
+    #[test]
+    fn from_ssam_rejects_foreign_models() {
+        let model = SsamModel::new("not-a-diagram");
+        assert!(from_ssam(&model).is_err());
+    }
+
+    #[test]
+    fn ssam_model_is_valid() {
+        let mut d = BlockDiagram::new("v");
+        let v = d.add_block("V1", BlockKind::DcVoltageSource { volts: 5.0 });
+        let g = d.add_block("G", BlockKind::Ground);
+        d.connect(v, Port(1), g, Port(0)).unwrap();
+        let model = to_ssam(&d);
+        assert!(decisive_ssam::validate::is_valid(&model));
+    }
+}

@@ -1,0 +1,193 @@
+//! Circuit element types — the analogue of Simulink's Simscape Foundation
+//! electrical library (paper §VI-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A circuit node. Node `0` is always the ground reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The ground reference node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of the node (`0` = ground).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ground() {
+            f.write_str("gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Handle to an element inside a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ElementId(pub(crate) u32);
+
+impl ElementId {
+    /// Raw index of the element in insertion order.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Shockley diode parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiodeParams {
+    /// Saturation current in amperes.
+    pub saturation_current: f64,
+    /// Emission coefficient (ideality factor).
+    pub emission: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        // A generic silicon diode: ~0.7 V drop at 100 mA.
+        DiodeParams { saturation_current: 2e-13, emission: 1.0 }
+    }
+}
+
+/// The body of a circuit element.
+///
+/// Each variant mirrors a Simscape Foundation block. The behavioural
+/// [`ElementKind::Load`] stands in for complex parts (e.g. microcontrollers)
+/// exactly like the paper's "create subsystems in Simulink and annotate them
+/// to be the desired elements" workaround (paper §VI-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// Ideal DC voltage source from `minus` to `plus`.
+    VoltageSource {
+        /// Source voltage in volts.
+        volts: f64,
+    },
+    /// Ideal DC current source pushing current out of `plus`.
+    CurrentSource {
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// Linear resistor.
+    Resistor {
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Capacitor — an open circuit at DC, companion-modelled in transient.
+    Capacitor {
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Inductor — a short circuit at DC, companion-modelled in transient.
+    Inductor {
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Shockley diode, anode = `plus`, cathode = `minus`.
+    Diode(DiodeParams),
+    /// Ideal switch.
+    Switch {
+        /// `true` if the switch conducts.
+        closed: bool,
+    },
+    /// Series current sensor (an ideal 0 V source whose branch current is
+    /// the reading). Mirrors Simscape's current sensor block.
+    CurrentSensor,
+    /// Voltage sensor measuring `v(plus) - v(minus)` without loading the
+    /// circuit.
+    VoltageSensor,
+    /// Behavioural load with a brown-out threshold: draws `on_amps` whenever
+    /// its terminal voltage exceeds `brownout_volts` (smoothly interpolated
+    /// for Newton convergence) and shuts down below it. `fault_amps` is the
+    /// current drawn when a *functional* fault (e.g. an MCU RAM failure) is
+    /// injected.
+    Load {
+        /// Nominal operating current in amperes.
+        on_amps: f64,
+        /// Minimum supply voltage for operation, in volts.
+        brownout_volts: f64,
+        /// Current drawn when functionally faulted.
+        fault_amps: f64,
+        /// `true` once a functional fault has been injected.
+        faulted: bool,
+    },
+}
+
+impl ElementKind {
+    /// A short human-readable tag, e.g. `"resistor"`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ElementKind::VoltageSource { .. } => "vsource",
+            ElementKind::CurrentSource { .. } => "isource",
+            ElementKind::Resistor { .. } => "resistor",
+            ElementKind::Capacitor { .. } => "capacitor",
+            ElementKind::Inductor { .. } => "inductor",
+            ElementKind::Diode(_) => "diode",
+            ElementKind::Switch { .. } => "switch",
+            ElementKind::CurrentSensor => "current-sensor",
+            ElementKind::VoltageSensor => "voltage-sensor",
+            ElementKind::Load { .. } => "load",
+        }
+    }
+
+    /// `true` if the element is a (current or voltage) sensor.
+    pub fn is_sensor(&self) -> bool {
+        matches!(self, ElementKind::CurrentSensor | ElementKind::VoltageSensor)
+    }
+}
+
+/// A named two-terminal element instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// Instance name (e.g. `"D1"`).
+    pub name: String,
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// Element body.
+    pub kind: ElementKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId::GROUND.to_string(), "gnd");
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert!(NodeId::GROUND.is_ground());
+    }
+
+    #[test]
+    fn kind_tags_and_sensor_check() {
+        assert_eq!(ElementKind::CurrentSensor.tag(), "current-sensor");
+        assert!(ElementKind::CurrentSensor.is_sensor());
+        assert!(ElementKind::VoltageSensor.is_sensor());
+        assert!(!ElementKind::Resistor { ohms: 1.0 }.is_sensor());
+    }
+
+    #[test]
+    fn default_diode_params_are_physical() {
+        let p = DiodeParams::default();
+        assert!(p.saturation_current > 0.0);
+        assert!(p.emission >= 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for circuit construction and simulation.
+
+use std::fmt;
+
+/// Errors produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The nodal matrix is singular — typically a floating subcircuit or a
+    /// loop of ideal voltage sources.
+    SingularMatrix {
+        /// The pivot row at which elimination failed.
+        row: usize,
+    },
+    /// Newton iteration failed to converge within the iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// The final residual (max |Δv|).
+        residual: f64,
+    },
+    /// An element references a node the circuit does not contain.
+    UnknownNode {
+        /// The offending node index.
+        node: u32,
+    },
+    /// An operation referenced an element that does not exist.
+    UnknownElement {
+        /// The offending element index.
+        element: u32,
+    },
+    /// A sensor reading was requested from a non-sensor element.
+    NotASensor {
+        /// Name of the element that is not a sensor.
+        name: String,
+    },
+    /// A parameter was out of its physical range.
+    InvalidParameter {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::SingularMatrix { row } => {
+                write!(f, "singular nodal matrix at pivot row {row} (floating node or source loop?)")
+            }
+            CircuitError::NoConvergence { iterations, residual } => {
+                write!(f, "newton iteration did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            CircuitError::UnknownNode { node } => write!(f, "unknown node n{node}"),
+            CircuitError::UnknownElement { element } => write!(f, "unknown element e{element}"),
+            CircuitError::NotASensor { name } => write!(f, "element `{name}` is not a sensor"),
+            CircuitError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Convenient result alias for circuit operations.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = CircuitError::SingularMatrix { row: 3 };
+        assert!(e.to_string().contains("row 3"));
+        let e = CircuitError::NoConvergence { iterations: 50, residual: 1.0 };
+        assert!(e.to_string().contains("50"));
+        let e = CircuitError::NotASensor { name: "R1".into() };
+        assert!(e.to_string().contains("R1"));
+    }
+}

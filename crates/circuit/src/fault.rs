@@ -1,0 +1,181 @@
+//! Fault injection — the core primitive behind the paper's automated FMEA
+//! (§IV-D1: "the failure injection is performed automatically based on the
+//! failure modes of the components in the system design").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::element::{ElementId, ElementKind};
+use crate::error::{CircuitError, Result};
+use crate::netlist::Circuit;
+
+/// Resistance substituted for an *open* element, in ohms.
+pub const OPEN_OHMS: f64 = 1e12;
+/// Resistance substituted for a *shorted* element, in ohms.
+pub const SHORT_OHMS: f64 = 1e-3;
+
+/// A fault that can be injected into a circuit element.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The element becomes an open circuit (loss of function).
+    Open,
+    /// The element becomes a short circuit.
+    Short,
+    /// The element's primary parameter is scaled by the given factor
+    /// (drift faults, e.g. a resistor doubling in value).
+    ParamScale(f64),
+    /// A functional (non-electrical) fault, e.g. an MCU RAM failure.
+    /// Only behavioural loads accept it.
+    Functional,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Open => f.write_str("open"),
+            Fault::Short => f.write_str("short"),
+            Fault::ParamScale(s) => write!(f, "param×{s}"),
+            Fault::Functional => f.write_str("functional"),
+        }
+    }
+}
+
+impl Circuit {
+    /// Returns a copy of the circuit with `fault` injected into `target`.
+    ///
+    /// Open/short faults replace the element with an extreme resistance, so
+    /// the node set and all other element ids stay stable — readings before
+    /// and after injection are directly comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownElement`] for a bad id and
+    /// [`CircuitError::InvalidParameter`] if the fault does not apply to the
+    /// element kind (e.g. [`Fault::Functional`] on a resistor).
+    pub fn with_fault(&self, target: ElementId, fault: Fault) -> Result<Circuit> {
+        let mut faulted = self.clone();
+        let element = faulted.element_mut(target)?;
+        match fault {
+            Fault::Open => element.kind = ElementKind::Resistor { ohms: OPEN_OHMS },
+            Fault::Short => element.kind = ElementKind::Resistor { ohms: SHORT_OHMS },
+            Fault::ParamScale(s) => {
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(CircuitError::InvalidParameter {
+                        message: format!("parameter scale must be positive and finite, got {s}"),
+                    });
+                }
+                match &mut element.kind {
+                    ElementKind::VoltageSource { volts } => *volts *= s,
+                    ElementKind::CurrentSource { amps } => *amps *= s,
+                    ElementKind::Resistor { ohms } => *ohms *= s,
+                    ElementKind::Capacitor { farads } => *farads *= s,
+                    ElementKind::Inductor { henries } => *henries *= s,
+                    ElementKind::Load { on_amps, .. } => *on_amps *= s,
+                    other => {
+                        return Err(CircuitError::InvalidParameter {
+                            message: format!("cannot scale parameter of a {}", other.tag()),
+                        })
+                    }
+                }
+            }
+            Fault::Functional => match &mut element.kind {
+                ElementKind::Load { faulted, .. } => *faulted = true,
+                other => {
+                    return Err(CircuitError::InvalidParameter {
+                        message: format!(
+                            "functional faults only apply to behavioural loads, not a {}",
+                            other.tag()
+                        ),
+                    })
+                }
+            },
+        }
+        Ok(faulted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::NodeId;
+
+    fn series_circuit() -> (Circuit, ElementId, ElementId, ElementId) {
+        let mut c = Circuit::new("series");
+        let top = c.node();
+        let mid = c.node();
+        let out = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        let r1 = c.add_resistor("R1", top, mid, 10.0).unwrap();
+        let cs = c.add_current_sensor("CS", mid, out).unwrap();
+        let load = c.add_load("MC", out, NodeId::GROUND, 0.1, 3.0, 0.02).unwrap();
+        (c, r1, cs, load)
+    }
+
+    #[test]
+    fn open_fault_kills_the_reading() {
+        let (c, r1, cs, _) = series_circuit();
+        let nominal = c.sensor_reading(&c.dc().unwrap(), cs).unwrap();
+        assert!((nominal - 0.1).abs() < 1e-4);
+        let faulted = c.with_fault(r1, Fault::Open).unwrap();
+        let after = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+        assert!(after.abs() < 1e-6, "open series resistor must cut the current, got {after}");
+    }
+
+    #[test]
+    fn short_fault_keeps_regulated_load_current() {
+        let (c, r1, cs, _) = series_circuit();
+        let faulted = c.with_fault(r1, Fault::Short).unwrap();
+        let after = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+        assert!((after - 0.1).abs() < 1e-4, "regulated load hides the short, got {after}");
+    }
+
+    #[test]
+    fn functional_fault_changes_load_draw() {
+        let (c, _, cs, load) = series_circuit();
+        let faulted = c.with_fault(load, Fault::Functional).unwrap();
+        let after = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+        assert!((after - 0.02).abs() < 1e-4, "faulted MCU draws fault_amps, got {after}");
+    }
+
+    #[test]
+    fn functional_fault_rejected_on_passives() {
+        let (c, r1, _, _) = series_circuit();
+        assert!(matches!(
+            c.with_fault(r1, Fault::Functional),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn param_scale_fault() {
+        let (c, r1, cs, _) = series_circuit();
+        // Scaling a series resistor by 1000x starves the regulated load below
+        // its brown-out threshold.
+        let faulted = c.with_fault(r1, Fault::ParamScale(1_000.0)).unwrap();
+        let after = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
+        assert!(after < 0.01, "starved load shuts down, got {after}");
+        assert!(c.with_fault(r1, Fault::ParamScale(-1.0)).is_err());
+    }
+
+    #[test]
+    fn injection_does_not_mutate_original() {
+        let (c, r1, _, _) = series_circuit();
+        let before = c.clone();
+        let _ = c.with_fault(r1, Fault::Open).unwrap();
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(Fault::Open.to_string(), "open");
+        assert_eq!(Fault::Short.to_string(), "short");
+        assert_eq!(Fault::Functional.to_string(), "functional");
+        assert_eq!(Fault::ParamScale(2.0).to_string(), "param×2");
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let (c, ..) = series_circuit();
+        assert!(c.with_fault(ElementId(99), Fault::Open).is_err());
+    }
+}

@@ -1,0 +1,584 @@
+//! Modified Nodal Analysis: matrix stamping, Newton iteration and the DC
+//! operating-point solution.
+//!
+//! The unknown vector is `[v_1 … v_N, i_b1 … i_bM]` — node voltages
+//! (excluding ground) followed by branch currents for elements that need
+//! one (voltage sources, current sensors, and inductors at DC, where they
+//! behave as 0 V sources).
+
+use std::collections::HashMap;
+
+use crate::element::{DiodeParams, ElementId, ElementKind, NodeId};
+use crate::error::{CircuitError, Result};
+use crate::netlist::Circuit;
+use crate::solve::Dense;
+
+/// Thermal voltage kT/q at ~300 K, in volts.
+pub(crate) const VT: f64 = 0.025852;
+/// Minimum conductance from every node to ground, keeping floating nodes
+/// solvable (standard SPICE practice).
+pub(crate) const GMIN: f64 = 1e-9;
+/// Conductance of a shorted element / closed switch.
+pub(crate) const G_SHORT: f64 = 1e6;
+/// Conductance of an open element / open switch.
+pub(crate) const G_OPEN: f64 = 1e-12;
+/// Smoothing width of the behavioural load's brown-out transition, in volts.
+const LOAD_SMOOTH: f64 = 0.05;
+
+const MAX_NEWTON: usize = 400;
+const V_TOL: f64 = 1e-9;
+
+/// Which analysis the layout is built for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Mode {
+    /// DC operating point: capacitors open, inductors short (0 V sources).
+    Dc,
+    /// Backward-Euler transient step: reactive elements use companions.
+    Transient,
+}
+
+/// Variable layout of the MNA system for a given circuit and mode.
+#[derive(Debug, Clone)]
+pub(crate) struct Layout {
+    pub(crate) n_nodes: usize,
+    pub(crate) dim: usize,
+    branch: HashMap<ElementId, usize>,
+}
+
+impl Layout {
+    pub(crate) fn build(circuit: &Circuit, mode: Mode) -> Layout {
+        let n_nodes = circuit.node_count() - 1; // exclude ground
+        let mut branch = HashMap::new();
+        let mut next = n_nodes;
+        for (id, e) in circuit.elements() {
+            let needs_branch = matches!(e.kind, ElementKind::VoltageSource { .. })
+                || matches!(e.kind, ElementKind::CurrentSensor)
+                || (mode == Mode::Dc && matches!(e.kind, ElementKind::Inductor { .. }));
+            if needs_branch {
+                branch.insert(id, next);
+                next += 1;
+            }
+        }
+        Layout { n_nodes, dim: next, branch }
+    }
+
+    pub(crate) fn branch_of(&self, id: ElementId) -> Option<usize> {
+        self.branch.get(&id).copied()
+    }
+
+    pub(crate) fn branch_map(&self) -> &HashMap<ElementId, usize> {
+        &self.branch
+    }
+}
+
+/// Companion-model inputs for a backward-Euler transient step.
+pub(crate) struct Companions<'a> {
+    /// Step size in seconds.
+    pub(crate) h: f64,
+    /// Node voltages (index 0 = ground) at the previous time point.
+    pub(crate) prev_v: &'a [f64],
+    /// Inductor branch currents at the previous time point.
+    pub(crate) inductor_i: &'a HashMap<ElementId, f64>,
+}
+
+fn exp_lim(x: f64) -> f64 {
+    x.min(70.0).exp()
+}
+
+fn diode_iv(p: &DiodeParams, v: f64) -> (f64, f64) {
+    let nvt = p.emission * VT;
+    let e = exp_lim(v / nvt);
+    let i = p.saturation_current * (e - 1.0);
+    let g = (p.saturation_current / nvt * e).max(GMIN);
+    (i, g)
+}
+
+fn load_iv(on_amps: f64, brownout_volts: f64, fault_amps: f64, faulted: bool, v: f64) -> (f64, f64) {
+    let amps = if faulted { fault_amps } else { on_amps };
+    let s = 1.0 / (1.0 + exp_lim(-(v - brownout_volts) / LOAD_SMOOTH));
+    let i = amps * s;
+    let g = (amps * s * (1.0 - s) / LOAD_SMOOTH).max(GMIN);
+    (i, g)
+}
+
+/// SPICE3-style junction voltage limiting, preventing Newton overshoot on
+/// the diode exponential.
+fn pnjlim(vnew: f64, vold: f64, vt: f64, vcrit: f64) -> f64 {
+    if vnew > vcrit && (vnew - vold).abs() > 2.0 * vt {
+        if vold > 0.0 {
+            let arg = 1.0 + (vnew - vold) / vt;
+            if arg > 0.0 {
+                vold + vt * arg.ln()
+            } else {
+                vcrit
+            }
+        } else {
+            vt * (vnew / vt).max(1e-30).ln()
+        }
+    } else {
+        vnew
+    }
+}
+
+fn vcrit(p: &DiodeParams) -> f64 {
+    let nvt = p.emission * VT;
+    nvt * (nvt / (std::f64::consts::SQRT_2 * p.saturation_current)).ln()
+}
+
+struct Stamper {
+    a: Dense,
+    b: Vec<f64>,
+}
+
+impl Stamper {
+    fn new(dim: usize) -> Self {
+        Stamper { a: Dense::new(dim), b: vec![0.0; dim] }
+    }
+
+    fn var(node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.raw() as usize - 1)
+        }
+    }
+
+    fn conductance(&mut self, plus: NodeId, minus: NodeId, g: f64) {
+        if let Some(p) = Self::var(plus) {
+            self.a.add(p, p, g);
+        }
+        if let Some(m) = Self::var(minus) {
+            self.a.add(m, m, g);
+        }
+        if let (Some(p), Some(m)) = (Self::var(plus), Self::var(minus)) {
+            self.a.add(p, m, -g);
+            self.a.add(m, p, -g);
+        }
+    }
+
+    /// Current source of `i` amps flowing from `plus` through the element to
+    /// `minus`.
+    fn current(&mut self, plus: NodeId, minus: NodeId, i: f64) {
+        if let Some(p) = Self::var(plus) {
+            self.b[p] -= i;
+        }
+        if let Some(m) = Self::var(minus) {
+            self.b[m] += i;
+        }
+    }
+
+    fn voltage_source(&mut self, plus: NodeId, minus: NodeId, branch: usize, volts: f64) {
+        if let Some(p) = Self::var(plus) {
+            self.a.add(p, branch, 1.0);
+            self.a.add(branch, p, 1.0);
+        }
+        if let Some(m) = Self::var(minus) {
+            self.a.add(m, branch, -1.0);
+            self.a.add(branch, m, -1.0);
+        }
+        self.b[branch] += volts;
+    }
+}
+
+/// Junction linearization points for the nonlinear elements, indexed by
+/// element id.
+type Junctions = HashMap<ElementId, f64>;
+
+fn assemble(
+    circuit: &Circuit,
+    layout: &Layout,
+    junctions: &Junctions,
+    companions: Option<&Companions<'_>>,
+) -> (Dense, Vec<f64>) {
+    let mut st = Stamper::new(layout.dim);
+    // gmin on every non-ground node.
+    for n in 0..layout.n_nodes {
+        st.a.add(n, n, GMIN);
+    }
+    for (id, e) in circuit.elements() {
+        match &e.kind {
+            ElementKind::VoltageSource { volts } => {
+                let br = layout.branch_of(id).expect("vsource has a branch var");
+                st.voltage_source(e.plus, e.minus, br, *volts);
+            }
+            ElementKind::CurrentSensor => {
+                let br = layout.branch_of(id).expect("sensor has a branch var");
+                st.voltage_source(e.plus, e.minus, br, 0.0);
+            }
+            ElementKind::CurrentSource { amps } => st.current(e.plus, e.minus, *amps),
+            ElementKind::Resistor { ohms } => st.conductance(e.plus, e.minus, 1.0 / ohms),
+            ElementKind::Switch { closed } => {
+                st.conductance(e.plus, e.minus, if *closed { G_SHORT } else { G_OPEN });
+            }
+            ElementKind::VoltageSensor => {} // does not load the circuit
+            ElementKind::Capacitor { farads } => {
+                if let Some(c) = companions {
+                    let g = farads / c.h;
+                    let v_prev = node_v(c.prev_v, e.plus) - node_v(c.prev_v, e.minus);
+                    st.conductance(e.plus, e.minus, g);
+                    st.current(e.plus, e.minus, -g * v_prev);
+                }
+                // DC: open circuit — only gmin applies.
+            }
+            ElementKind::Inductor { henries } => {
+                if let Some(c) = companions {
+                    let g = c.h / henries;
+                    let i_prev = c.inductor_i.get(&id).copied().unwrap_or(0.0);
+                    st.conductance(e.plus, e.minus, g);
+                    st.current(e.plus, e.minus, i_prev);
+                } else {
+                    let br = layout.branch_of(id).expect("dc inductor has a branch var");
+                    st.voltage_source(e.plus, e.minus, br, 0.0);
+                }
+            }
+            ElementKind::Diode(p) => {
+                let v0 = junctions.get(&id).copied().unwrap_or(0.0);
+                let (i0, g) = diode_iv(p, v0);
+                let ieq = i0 - g * v0;
+                st.conductance(e.plus, e.minus, g);
+                st.current(e.plus, e.minus, ieq);
+            }
+            ElementKind::Load { on_amps, brownout_volts, fault_amps, faulted } => {
+                let v0 = junctions.get(&id).copied().unwrap_or(0.0);
+                let (i0, g) = load_iv(*on_amps, *brownout_volts, *fault_amps, *faulted, v0);
+                let ieq = i0 - g * v0;
+                st.conductance(e.plus, e.minus, g);
+                st.current(e.plus, e.minus, ieq);
+            }
+        }
+    }
+    (st.a, st.b)
+}
+
+fn node_v(full_v: &[f64], node: NodeId) -> f64 {
+    full_v[node.raw() as usize]
+}
+
+/// Runs the Newton loop for one operating point (DC or one transient step).
+///
+/// Returns the converged unknown vector.
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    layout: &Layout,
+    companions: Option<&Companions<'_>>,
+) -> Result<Vec<f64>> {
+    let mut junctions: Junctions = HashMap::new();
+    // Warm-start diodes near their conduction knee.
+    for (id, e) in circuit.elements() {
+        match &e.kind {
+            ElementKind::Diode(p) => {
+                junctions.insert(id, vcrit(p).min(0.8));
+            }
+            ElementKind::Load { .. } => {
+                junctions.insert(id, 0.0);
+            }
+            _ => {}
+        }
+    }
+    let mut last_x: Option<Vec<f64>> = None;
+    for iteration in 0..MAX_NEWTON {
+        let (a, b) = assemble(circuit, layout, &junctions, companions);
+        let x = a.solve(b)?;
+        let mut max_delta: f64 = 0.0;
+        for (id, e) in circuit.elements() {
+            let vd = x_node(&x, e.plus) - x_node(&x, e.minus);
+            match &e.kind {
+                ElementKind::Diode(p) => {
+                    let vold = junctions[&id];
+                    let vlim = pnjlim(vd, vold, p.emission * VT, vcrit(p));
+                    max_delta = max_delta.max((vlim - vold).abs());
+                    junctions.insert(id, vlim);
+                }
+                ElementKind::Load { .. } => {
+                    // Limit the linearization step: the brown-out sigmoid is
+                    // nearly flat away from its threshold, so an unlimited
+                    // Newton step oscillates between the on and off plateaus.
+                    let vold = junctions[&id];
+                    let vlim = vold + (vd - vold).clamp(-0.5, 0.5);
+                    max_delta = max_delta.max((vlim - vold).abs());
+                    junctions.insert(id, vlim);
+                }
+                _ => {}
+            }
+        }
+        if let Some(prev) = &last_x {
+            for (a, b) in prev.iter().zip(x.iter()) {
+                max_delta = max_delta.max((a - b).abs());
+            }
+        }
+        let converged = last_x.is_some() && max_delta < V_TOL;
+        last_x = Some(x);
+        if converged {
+            return Ok(last_x.expect("just set"));
+        }
+        let _ = iteration;
+    }
+    Err(CircuitError::NoConvergence { iterations: MAX_NEWTON, residual: f64::NAN })
+}
+
+fn x_node(x: &[f64], node: NodeId) -> f64 {
+    if node.is_ground() {
+        0.0
+    } else {
+        x[node.raw() as usize - 1]
+    }
+}
+
+/// A solved operating point: node voltages and branch currents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    n_nodes: usize,
+    x: Vec<f64>,
+    branch: HashMap<ElementId, usize>,
+}
+
+impl DcSolution {
+    pub(crate) fn new(layout: &Layout, x: Vec<f64>) -> Self {
+        DcSolution { n_nodes: layout.n_nodes, x, branch: layout.branch_map().clone() }
+    }
+
+    /// Voltage of `node` relative to ground.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        x_node(&self.x, node)
+    }
+
+    /// All node voltages including ground at index 0.
+    pub fn node_voltages(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.n_nodes + 1);
+        v.push(0.0);
+        v.extend_from_slice(&self.x[..self.n_nodes]);
+        v
+    }
+
+    pub(crate) fn branch_current(&self, id: ElementId) -> Option<f64> {
+        self.branch.get(&id).map(|&i| self.x[i])
+    }
+}
+
+impl Circuit {
+    /// Computes the DC operating point (capacitors open, inductors short).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] for ill-posed circuits and
+    /// [`CircuitError::NoConvergence`] if the Newton iteration on nonlinear
+    /// elements fails.
+    pub fn dc(&self) -> Result<DcSolution> {
+        let layout = Layout::build(self, Mode::Dc);
+        let x = newton_solve(self, &layout, None)?;
+        Ok(DcSolution::new(&layout, x))
+    }
+
+    /// Current through element `id` at the given operating point, measured
+    /// from `plus` to `minus` through the element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownElement`] for out-of-range ids.
+    pub fn element_current(&self, sol: &DcSolution, id: ElementId) -> Result<f64> {
+        let e = self.element(id)?;
+        let vd = sol.voltage(e.plus) - sol.voltage(e.minus);
+        Ok(match &e.kind {
+            ElementKind::VoltageSource { .. } | ElementKind::CurrentSensor => {
+                sol.branch_current(id).unwrap_or(0.0)
+            }
+            ElementKind::Inductor { .. } => sol.branch_current(id).unwrap_or(0.0),
+            ElementKind::CurrentSource { amps } => *amps,
+            ElementKind::Resistor { ohms } => vd / ohms,
+            ElementKind::Capacitor { .. } => 0.0,
+            ElementKind::Switch { closed } => vd * if *closed { G_SHORT } else { G_OPEN },
+            ElementKind::VoltageSensor => 0.0,
+            ElementKind::Diode(p) => diode_iv(p, vd).0,
+            ElementKind::Load { on_amps, brownout_volts, fault_amps, faulted } => {
+                load_iv(*on_amps, *brownout_volts, *fault_amps, *faulted, vd).0
+            }
+        })
+    }
+
+    /// The reading of a sensor element: branch current for current sensors,
+    /// terminal voltage difference for voltage sensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotASensor`] if `id` is not a sensor.
+    pub fn sensor_reading(&self, sol: &DcSolution, id: ElementId) -> Result<f64> {
+        let e = self.element(id)?;
+        match e.kind {
+            ElementKind::CurrentSensor => Ok(sol.branch_current(id).unwrap_or(0.0)),
+            ElementKind::VoltageSensor => Ok(sol.voltage(e.plus) - sol.voltage(e.minus)),
+            _ => Err(CircuitError::NotASensor { name: e.name.clone() }),
+        }
+    }
+
+    /// Readings of every sensor in the circuit, in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::sensor_reading`].
+    pub fn all_sensor_readings(&self, sol: &DcSolution) -> Result<Vec<(ElementId, f64)>> {
+        self.sensors()
+            .map(|(id, _)| self.sensor_reading(sol, id).map(|r| (id, r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::NodeId;
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new("div");
+        let top = c.node();
+        let mid = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 12.0).unwrap();
+        c.add_resistor("R1", top, mid, 2_000.0).unwrap();
+        c.add_resistor("R2", mid, NodeId::GROUND, 1_000.0).unwrap();
+        let sol = c.dc().unwrap();
+        assert!((sol.voltage(top) - 12.0).abs() < 1e-6);
+        assert!((sol.voltage(mid) - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn vsource_current_is_negative_when_delivering() {
+        let mut c = Circuit::new("src");
+        let top = c.node();
+        let v = c.add_voltage_source("V1", top, NodeId::GROUND, 10.0).unwrap();
+        c.add_resistor("R", top, NodeId::GROUND, 1_000.0).unwrap();
+        let sol = c.dc().unwrap();
+        let i = c.element_current(&sol, v).unwrap();
+        assert!((i + 0.01).abs() < 1e-6, "SPICE convention: delivering source has negative current, got {i}");
+    }
+
+    #[test]
+    fn current_sensor_reads_series_current() {
+        let mut c = Circuit::new("cs");
+        let top = c.node();
+        let mid = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        let cs = c.add_current_sensor("CS1", top, mid).unwrap();
+        c.add_resistor("R", mid, NodeId::GROUND, 50.0).unwrap();
+        let sol = c.dc().unwrap();
+        let reading = c.sensor_reading(&sol, cs).unwrap();
+        assert!((reading - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_drops_about_700mv() {
+        let mut c = Circuit::new("d");
+        let top = c.node();
+        let out = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        c.add_diode("D1", top, out).unwrap();
+        c.add_resistor("R", out, NodeId::GROUND, 43.0).unwrap();
+        let sol = c.dc().unwrap();
+        let drop = sol.voltage(top) - sol.voltage(out);
+        assert!((0.5..0.95).contains(&drop), "diode drop {drop} outside silicon range");
+    }
+
+    #[test]
+    fn reverse_diode_blocks() {
+        let mut c = Circuit::new("rev");
+        let top = c.node();
+        let out = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        c.add_diode("D1", out, top).unwrap(); // reversed
+        c.add_resistor("R", out, NodeId::GROUND, 100.0).unwrap();
+        let sol = c.dc().unwrap();
+        assert!(sol.voltage(out).abs() < 1e-3, "reverse diode should block, out = {}", sol.voltage(out));
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new("l");
+        let top = c.node();
+        let mid = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        let l = c.add_inductor("L1", top, mid, 1e-3).unwrap();
+        c.add_resistor("R", mid, NodeId::GROUND, 100.0).unwrap();
+        let sol = c.dc().unwrap();
+        assert!((sol.voltage(mid) - 5.0).abs() < 1e-6);
+        let i = c.element_current(&sol, l).unwrap();
+        assert!((i - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut c = Circuit::new("c");
+        let top = c.node();
+        let mid = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        c.add_resistor("R", top, mid, 1_000.0).unwrap();
+        c.add_capacitor("C1", mid, NodeId::GROUND, 1e-6).unwrap();
+        let sol = c.dc().unwrap();
+        // No DC path to ground except gmin: mid floats to the source voltage.
+        assert!((sol.voltage(mid) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn brownout_load_draws_nominal_current_when_powered() {
+        let mut c = Circuit::new("load");
+        let top = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
+        let load = c.add_load("MC1", top, NodeId::GROUND, 0.1, 3.0, 0.02).unwrap();
+        let sol = c.dc().unwrap();
+        let i = c.element_current(&sol, load).unwrap();
+        assert!((i - 0.1).abs() < 1e-6, "load current {i}");
+    }
+
+    #[test]
+    fn brownout_load_shuts_down_below_threshold() {
+        let mut c = Circuit::new("bo");
+        let top = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 1.0).unwrap();
+        let load = c.add_load("MC1", top, NodeId::GROUND, 0.1, 3.0, 0.02).unwrap();
+        let sol = c.dc().unwrap();
+        let i = c.element_current(&sol, load).unwrap();
+        assert!(i < 1e-6, "load should be off at 1 V, draws {i}");
+    }
+
+    #[test]
+    fn floating_node_is_kept_solvable_by_gmin() {
+        let mut c = Circuit::new("float");
+        let a = c.node();
+        let b = c.node();
+        c.add_voltage_source("V1", a, NodeId::GROUND, 5.0).unwrap();
+        c.add_resistor("R", a, b, 1_000.0).unwrap();
+        // b is otherwise floating.
+        let sol = c.dc().unwrap();
+        assert!((sol.voltage(b) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn voltage_sensor_does_not_load() {
+        let mut c = Circuit::new("vs");
+        let top = c.node();
+        let mid = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 10.0).unwrap();
+        c.add_resistor("R1", top, mid, 1_000.0).unwrap();
+        c.add_resistor("R2", mid, NodeId::GROUND, 1_000.0).unwrap();
+        let vs = c.add_voltage_sensor("VS1", mid, NodeId::GROUND).unwrap();
+        let sol = c.dc().unwrap();
+        assert!((c.sensor_reading(&sol, vs).unwrap() - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sensor_reading_rejects_non_sensor() {
+        let mut c = Circuit::new("ns");
+        let top = c.node();
+        c.add_voltage_source("V1", top, NodeId::GROUND, 1.0).unwrap();
+        let r = c.add_resistor("R", top, NodeId::GROUND, 1.0).unwrap();
+        let sol = c.dc().unwrap();
+        assert!(matches!(c.sensor_reading(&sol, r), Err(CircuitError::NotASensor { .. })));
+    }
+
+    #[test]
+    fn source_loop_is_singular() {
+        let mut c = Circuit::new("loop");
+        let a = c.node();
+        c.add_voltage_source("V1", a, NodeId::GROUND, 5.0).unwrap();
+        c.add_voltage_source("V2", a, NodeId::GROUND, 3.0).unwrap();
+        assert!(matches!(c.dc(), Err(CircuitError::SingularMatrix { .. })));
+    }
+}

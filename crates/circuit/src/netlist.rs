@@ -1,0 +1,340 @@
+//! The [`Circuit`] netlist: nodes, elements and the builder API.
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{DiodeParams, Element, ElementId, ElementKind, NodeId};
+use crate::error::{CircuitError, Result};
+
+/// A flat netlist of two-terminal elements over a set of nodes.
+///
+/// Node [`NodeId::GROUND`] exists from the start; create further nodes with
+/// [`Circuit::node`].
+///
+/// # Examples
+///
+/// A resistive divider:
+///
+/// ```
+/// use decisive_circuit::{Circuit, NodeId};
+///
+/// # fn main() -> Result<(), decisive_circuit::CircuitError> {
+/// let mut c = Circuit::new("divider");
+/// let top = c.node();
+/// let mid = c.node();
+/// c.add_voltage_source("V1", top, NodeId::GROUND, 10.0)?;
+/// c.add_resistor("R1", top, mid, 1_000.0)?;
+/// c.add_resistor("R2", mid, NodeId::GROUND, 1_000.0)?;
+/// let sol = c.dc()?;
+/// assert!((sol.voltage(mid) - 5.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    node_count: u32,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit { name: name.into(), node_count: 1, elements: Vec::new() }
+    }
+
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Allocates a fresh node.
+    pub fn node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    /// Adds an element between `plus` and `minus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if either terminal was not
+    /// created by this circuit, and [`CircuitError::InvalidParameter`] for
+    /// non-physical parameters (negative resistance, …).
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        kind: ElementKind,
+    ) -> Result<ElementId> {
+        for n in [plus, minus] {
+            if n.0 >= self.node_count {
+                return Err(CircuitError::UnknownNode { node: n.0 });
+            }
+        }
+        validate_kind(&kind)?;
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element { name: name.into(), plus, minus, kind });
+        Ok(id)
+    }
+
+    /// Adds an ideal DC voltage source.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_voltage_source(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        volts: f64,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::VoltageSource { volts })
+    }
+
+    /// Adds an ideal DC current source pushing current out of `plus`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_current_source(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        amps: f64,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::CurrentSource { amps })
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_resistor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::Resistor { ohms })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        farads: f64,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::Capacitor { farads })
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_inductor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        henries: f64,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::Inductor { henries })
+    }
+
+    /// Adds a diode with default silicon parameters (anode = `plus`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_diode(
+        &mut self,
+        name: impl Into<String>,
+        anode: NodeId,
+        cathode: NodeId,
+    ) -> Result<ElementId> {
+        self.add(name, anode, cathode, ElementKind::Diode(DiodeParams::default()))
+    }
+
+    /// Adds a series current sensor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_current_sensor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::CurrentSensor)
+    }
+
+    /// Adds a non-loading voltage sensor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_voltage_sensor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+    ) -> Result<ElementId> {
+        self.add(name, plus, minus, ElementKind::VoltageSensor)
+    }
+
+    /// Adds a behavioural brown-out load drawing `on_amps` above
+    /// `brownout_volts` and `fault_amps` when functionally faulted.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::add`].
+    pub fn add_load(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        on_amps: f64,
+        brownout_volts: f64,
+        fault_amps: f64,
+    ) -> Result<ElementId> {
+        self.add(
+            name,
+            plus,
+            minus,
+            ElementKind::Load { on_amps, brownout_volts, fault_amps, faulted: false },
+        )
+    }
+
+    /// Returns the element with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownElement`] for out-of-range ids.
+    pub fn element(&self, id: ElementId) -> Result<&Element> {
+        self.elements.get(id.0 as usize).ok_or(CircuitError::UnknownElement { element: id.0 })
+    }
+
+    pub(crate) fn element_mut(&mut self, id: ElementId) -> Result<&mut Element> {
+        self.elements.get_mut(id.0 as usize).ok_or(CircuitError::UnknownElement { element: id.0 })
+    }
+
+    /// Iterates over `(id, element)` pairs in insertion order.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements.iter().enumerate().map(|(i, e)| (ElementId(i as u32), e))
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Finds an element by instance name (first match).
+    pub fn element_by_name(&self, name: &str) -> Option<ElementId> {
+        self.elements.iter().position(|e| e.name == name).map(|i| ElementId(i as u32))
+    }
+
+    /// All sensors in the circuit, in insertion order.
+    pub fn sensors(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements().filter(|(_, e)| e.kind.is_sensor())
+    }
+}
+
+fn validate_kind(kind: &ElementKind) -> Result<()> {
+    let bad = |message: String| Err(CircuitError::InvalidParameter { message });
+    match kind {
+        ElementKind::Resistor { ohms } if *ohms <= 0.0 || !ohms.is_finite() => {
+            bad(format!("resistance must be positive and finite, got {ohms}"))
+        }
+        ElementKind::Capacitor { farads } if *farads <= 0.0 || !farads.is_finite() => {
+            bad(format!("capacitance must be positive and finite, got {farads}"))
+        }
+        ElementKind::Inductor { henries } if *henries <= 0.0 || !henries.is_finite() => {
+            bad(format!("inductance must be positive and finite, got {henries}"))
+        }
+        ElementKind::Diode(p) if p.saturation_current <= 0.0 || p.emission < 1.0 => {
+            bad("diode saturation current must be positive and emission >= 1".to_owned())
+        }
+        ElementKind::Load { on_amps, fault_amps, .. } if *on_amps < 0.0 || *fault_amps < 0.0 => {
+            bad("load currents must be non-negative".to_owned())
+        }
+        ElementKind::VoltageSource { volts } if !volts.is_finite() => {
+            bad("source voltage must be finite".to_owned())
+        }
+        ElementKind::CurrentSource { amps } if !amps.is_finite() => {
+            bad("source current must be finite".to_owned())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_sequential_nodes() {
+        let mut c = Circuit::new("t");
+        let a = c.node();
+        let b = c.node();
+        assert_eq!(a.raw(), 1);
+        assert_eq!(b.raw(), 2);
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn add_rejects_unknown_nodes() {
+        let mut c = Circuit::new("t");
+        let err = c.add_resistor("R1", NodeId(5), NodeId::GROUND, 1.0).unwrap_err();
+        assert_eq!(err, CircuitError::UnknownNode { node: 5 });
+    }
+
+    #[test]
+    fn add_rejects_nonphysical_parameters() {
+        let mut c = Circuit::new("t");
+        let n = c.node();
+        assert!(c.add_resistor("R", n, NodeId::GROUND, -1.0).is_err());
+        assert!(c.add_capacitor("C", n, NodeId::GROUND, 0.0).is_err());
+        assert!(c.add_inductor("L", n, NodeId::GROUND, f64::NAN).is_err());
+        assert!(c.add_voltage_source("V", n, NodeId::GROUND, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let mut c = Circuit::new("t");
+        let n = c.node();
+        let r = c.add_resistor("R1", n, NodeId::GROUND, 10.0).unwrap();
+        assert_eq!(c.element_by_name("R1"), Some(r));
+        assert_eq!(c.element(r).unwrap().name, "R1");
+        assert!(c.element_by_name("nope").is_none());
+        assert!(c.element(ElementId(9)).is_err());
+    }
+
+    #[test]
+    fn sensors_iterator_filters() {
+        let mut c = Circuit::new("t");
+        let n = c.node();
+        c.add_resistor("R1", n, NodeId::GROUND, 10.0).unwrap();
+        c.add_current_sensor("CS1", n, NodeId::GROUND).unwrap();
+        c.add_voltage_sensor("VS1", n, NodeId::GROUND).unwrap();
+        assert_eq!(c.sensors().count(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Dense linear algebra for the MNA solver.
+
+use crate::error::{CircuitError, Result};
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone)]
+pub(crate) struct Dense {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl Dense {
+    pub(crate) fn new(n: usize) -> Self {
+        Dense { n, a: vec![0.0; n * n] }
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.n + c] += v;
+    }
+
+    /// Solves `self * x = b` by Gaussian elimination with partial pivoting,
+    /// consuming the matrix.
+    pub(crate) fn solve(mut self, mut b: Vec<f64>) -> Result<Vec<f64>> {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n);
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = self.a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = self.a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-13 {
+                return Err(CircuitError::SingularMatrix { row: col });
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    self.a.swap(col * n + c, pivot_row * n + c);
+                }
+                b.swap(col, pivot_row);
+            }
+            let pivot = self.a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = self.a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    self.a[r * n + c] -= factor * self.a[col * n + c];
+                }
+                b[r] -= factor * b[col];
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for r in (0..n).rev() {
+            let mut sum = b[r];
+            for c in (r + 1)..n {
+                sum -= self.a[r * n + c] * x[c];
+            }
+            x[r] = sum / self.a[r * n + r];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Dense::new(3);
+        for i in 0..3 {
+            m.add(i, i, 1.0);
+        }
+        let x = m.solve(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10]  => x = [1; 3]
+        let mut m = Dense::new(2);
+        m.add(0, 0, 2.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 3.0);
+        let x = m.solve(vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] => x = [3; 2]
+        let mut m = Dense::new(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let x = m.solve(vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut m = Dense::new(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let err = m.solve(vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, CircuitError::SingularMatrix { .. }));
+    }
+}

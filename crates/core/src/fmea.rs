@@ -1,0 +1,394 @@
+//! FME(D)A result tables — the *component safety analysis model* produced by
+//! DECISIVE Step 4a (and what Table IV of the paper shows).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use decisive_federation::Value;
+use decisive_ssam::architecture::{Coverage, FailureImpact, FailureNature, Fit};
+
+use crate::mechanism::Deployment;
+
+pub mod graph;
+pub mod injection;
+
+/// One analysed failure mode of one component instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FmeaRow {
+    /// Component instance name (Table IV `Component`).
+    pub component: String,
+    /// Reliability type key, for mechanism catalog lookups.
+    pub type_key: Option<String>,
+    /// Component total FIT (Table IV `FIT`).
+    pub fit: Fit,
+    /// Failure mode name (Table IV `Failure_Mode`).
+    pub failure_mode: String,
+    /// Failure nature.
+    pub nature: FailureNature,
+    /// Share of the component's FIT in this mode (Table IV `Distribution`).
+    pub distribution: f64,
+    /// Whether this failure mode can cause a single-point fault
+    /// (Table IV `Safety_Related`).
+    pub safety_related: bool,
+    /// Impact classification, when determinable (Table I `Impact`:
+    /// DVF directly violates the safety goal, IVF only with a second
+    /// fault).
+    pub impact: Option<FailureImpact>,
+    /// Deployed safety mechanism, if any (Table IV `Safety_Mechanism`).
+    pub mechanism: Option<String>,
+    /// Diagnostic coverage of the deployed mechanism (Table IV `SM_Coverage`).
+    pub coverage: Coverage,
+    /// Analysis warning, e.g. Algorithm 1's warning on non-loss natures.
+    pub warning: Option<String>,
+}
+
+impl FmeaRow {
+    /// The FIT attributable to this failure mode: `FIT × distribution`.
+    pub fn mode_fit(&self) -> Fit {
+        self.fit * self.distribution
+    }
+
+    /// The residual single-point failure rate after diagnostics
+    /// (Table IV `Single_Point_Failure_Rate`): zero for non-safety-related
+    /// modes, `mode_fit × (1 − coverage)` otherwise.
+    pub fn residual_fit(&self) -> Fit {
+        if self.safety_related {
+            self.mode_fit() * self.coverage.residual()
+        } else {
+            Fit::ZERO
+        }
+    }
+}
+
+/// A complete FME(D)A result for one system.
+///
+/// # Examples
+///
+/// Build the paper's Table IV by hand and check its SPFM:
+///
+/// ```
+/// use decisive_core::fmea::{FmeaRow, FmeaTable};
+/// use decisive_ssam::architecture::{Coverage, FailureNature, Fit};
+///
+/// let mut table = FmeaTable::new("power-supply");
+/// let row = |component: &str, fit, mode: &str, dist, sr| FmeaRow {
+///     component: component.into(),
+///     type_key: None,
+///     fit: Fit::new(fit),
+///     failure_mode: mode.into(),
+///     nature: FailureNature::LossOfFunction,
+///     distribution: dist,
+///     safety_related: sr,
+///     impact: None,
+///     mechanism: None,
+///     coverage: Coverage::NONE,
+///     warning: None,
+/// };
+/// table.push(row("D1", 10.0, "Open", 0.3, true));
+/// table.push(row("D1", 10.0, "Short", 0.7, false));
+/// table.push(row("L1", 15.0, "Open", 0.3, true));
+/// table.push(row("L1", 15.0, "Short", 0.7, false));
+/// table.push(row("MC1", 300.0, "RAM Failure", 1.0, true));
+/// // 1 - (3 + 4.5 + 300) / 325 = 5.38 %
+/// assert!((table.spfm() - 0.0538).abs() < 5e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FmeaTable {
+    /// Name of the analysed system.
+    pub system: String,
+    /// The analysed rows.
+    pub rows: Vec<FmeaRow>,
+}
+
+impl FmeaTable {
+    /// Creates an empty table.
+    pub fn new(system: impl Into<String>) -> Self {
+        FmeaTable { system: system.into(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: FmeaRow) {
+        self.rows.push(row);
+    }
+
+    /// The names of all safety-related components (those with at least one
+    /// safety-related failure mode), sorted.
+    pub fn safety_related_components(&self) -> BTreeSet<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.safety_related)
+            .map(|r| r.component.clone())
+            .collect()
+    }
+
+    /// The Single Point Fault Metric of the analysed design (paper Eq. 1):
+    ///
+    /// ```text
+    /// SPFM = 1 − Σ_SR_HW λ_SPF / Σ_SR_HW λ
+    /// ```
+    ///
+    /// summed over *safety-related* components only. A design with no
+    /// safety-related component has no single-point faults: SPFM = 1.
+    pub fn spfm(&self) -> f64 {
+        let sr: BTreeSet<String> = self.safety_related_components();
+        if sr.is_empty() {
+            return 1.0;
+        }
+        // Denominator: each safety-related component's total FIT, once.
+        let mut seen = BTreeSet::new();
+        let mut total = Fit::ZERO;
+        for row in &self.rows {
+            if sr.contains(&row.component) && seen.insert(row.component.clone()) {
+                total += row.fit;
+            }
+        }
+        let spf: Fit = self.rows.iter().map(FmeaRow::residual_fit).sum();
+        if total.value() == 0.0 {
+            return 1.0;
+        }
+        1.0 - spf.value() / total.value()
+    }
+
+    /// Returns a copy with `deployment`'s mechanisms applied to the matching
+    /// rows — the cheap what-if evaluation behind Step 4b's exploration.
+    #[must_use]
+    pub fn with_deployment(&self, deployment: &Deployment) -> FmeaTable {
+        let mut out = self.clone();
+        for row in &mut out.rows {
+            match deployment.get(&row.component, &row.failure_mode) {
+                Some(m) => {
+                    row.mechanism = Some(m.name.clone());
+                    row.coverage = m.coverage;
+                }
+                None => {
+                    row.mechanism = None;
+                    row.coverage = Coverage::NONE;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of rows whose `safety_related` verdict differs from
+    /// `other`'s verdict for the same `(component, failure mode)` — the
+    /// paper's RQ1 correctness measure ("we observe a 1.5% difference
+    /// between the FMEA results").
+    ///
+    /// Rows present in only one table count as disagreements.
+    pub fn disagreement(&self, other: &FmeaTable) -> f64 {
+        let key = |r: &FmeaRow| (r.component.clone(), r.failure_mode.clone());
+        let mine: std::collections::BTreeMap<_, bool> =
+            self.rows.iter().map(|r| (key(r), r.safety_related)).collect();
+        let theirs: std::collections::BTreeMap<_, bool> =
+            other.rows.iter().map(|r| (key(r), r.safety_related)).collect();
+        let all: BTreeSet<_> = mine.keys().chain(theirs.keys()).cloned().collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        let disagreements = all
+            .iter()
+            .filter(|k| mine.get(*k) != theirs.get(*k))
+            .count();
+        disagreements as f64 / all.len() as f64
+    }
+
+    /// The Latent Fault Metric computed from the rows' impact
+    /// classifications: the share of safety-relevant hardware's FIT whose
+    /// indirect-violation (IVF) modes remain uncovered by diagnostics.
+    ///
+    /// Safety-relevant hardware here includes components with latent-fault
+    /// potential (any IVF-classified mode), not only single-point
+    /// components — ISO 26262-5 counts multiple-point faults against the
+    /// same hardware scope. Rows without a classification count as
+    /// non-latent.
+    pub fn lfm(&self) -> f64 {
+        let mut relevant = self.safety_related_components();
+        relevant.extend(
+            self.rows
+                .iter()
+                .filter(|r| r.impact == Some(FailureImpact::IndirectViolation))
+                .map(|r| r.component.clone()),
+        );
+        if relevant.is_empty() {
+            return 1.0;
+        }
+        let mut total = Fit::ZERO;
+        let mut latent = Fit::ZERO;
+        for row in &self.rows {
+            if !relevant.contains(&row.component) {
+                continue;
+            }
+            total += row.mode_fit();
+            if row.impact == Some(FailureImpact::IndirectViolation) {
+                latent += row.mode_fit() * row.coverage.residual();
+            }
+        }
+        if total.value() == 0.0 {
+            1.0
+        } else {
+            1.0 - latent.value() / total.value()
+        }
+    }
+
+    /// Serialises the table as a list of records, for federation and the
+    /// "Excel-based FMEA table" the paper always produces.
+    pub fn to_value(&self) -> Value {
+        Value::List(
+            self.rows
+                .iter()
+                .map(|r| {
+                    Value::record([
+                        ("Component", Value::from(r.component.as_str())),
+                        ("FIT", Value::Real(r.fit.value())),
+                        ("Safety_Related", Value::from(if r.safety_related { "Yes" } else { "No" })),
+                        ("Failure_Mode", Value::from(r.failure_mode.as_str())),
+                        (
+                            "Impact",
+                            Value::from(r.impact.map(|i| i.to_string()).unwrap_or_default()),
+                        ),
+                        ("Distribution", Value::Real(r.distribution)),
+                        (
+                            "Safety_Mechanism",
+                            Value::from(r.mechanism.as_deref().unwrap_or("No SM")),
+                        ),
+                        ("SM_Coverage", Value::Real(r.coverage.value())),
+                        ("Single_Point_Failure_Rate", Value::Real(r.residual_fit().value())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Serialises the table as CSV (the paper's Excel substitute).
+    pub fn to_csv_string(&self) -> String {
+        decisive_federation::csv::to_string(&self.to_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::DeployedMechanism;
+
+    fn paper_rows() -> FmeaTable {
+        let mut t = FmeaTable::new("power-supply");
+        let mk = |component: &str, type_key: &str, fit, mode: &str, nature, dist, sr| FmeaRow {
+            component: component.into(),
+            type_key: Some(type_key.into()),
+            fit: Fit::new(fit),
+            failure_mode: mode.into(),
+            nature,
+            distribution: dist,
+            safety_related: sr,
+            impact: None,
+            mechanism: None,
+            coverage: Coverage::NONE,
+            warning: None,
+        };
+        use FailureNature::{Erroneous, LossOfFunction};
+        t.push(mk("D1", "Diode", 10.0, "Open", LossOfFunction, 0.3, true));
+        t.push(mk("D1", "Diode", 10.0, "Short", Erroneous, 0.7, false));
+        t.push(mk("L1", "Inductor", 15.0, "Open", LossOfFunction, 0.3, true));
+        t.push(mk("L1", "Inductor", 15.0, "Short", Erroneous, 0.7, false));
+        t.push(mk("MC1", "MC", 300.0, "RAM Failure", LossOfFunction, 1.0, true));
+        t.push(mk("C1", "Capacitor", 2.0, "Open", LossOfFunction, 0.3, false));
+        t.push(mk("C1", "Capacitor", 2.0, "Short", Erroneous, 0.7, false));
+        t
+    }
+
+    #[test]
+    fn spfm_matches_paper_before_mechanisms() {
+        let t = paper_rows();
+        // 1 - 307.5/325 = 0.0538...
+        assert!((t.spfm() - (1.0 - 307.5 / 325.0)).abs() < 1e-12);
+        assert!((t.spfm() - 0.0538).abs() < 5e-4);
+    }
+
+    #[test]
+    fn spfm_matches_paper_after_ecc() {
+        let t = paper_rows();
+        let mut d = Deployment::new();
+        d.deploy("MC1", "RAM Failure", DeployedMechanism {
+            name: "ECC".into(),
+            coverage: Coverage::new(0.99),
+            cost_hours: 2.0,
+        });
+        let refined = t.with_deployment(&d);
+        // 1 - (3 + 4.5 + 3)/325 = 0.96769...
+        assert!((refined.spfm() - (1.0 - 10.5 / 325.0)).abs() < 1e-12);
+        assert!((refined.spfm() - 0.9677).abs() < 5e-5);
+        // MC1's residual drops to 3 FIT, as in Table IV.
+        let mc1 = refined.rows.iter().find(|r| r.component == "MC1").unwrap();
+        assert!((mc1.residual_fit().value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn safety_related_components_match_paper() {
+        let t = paper_rows();
+        let sr: Vec<_> = t.safety_related_components().into_iter().collect();
+        assert_eq!(sr, vec!["D1", "L1", "MC1"]);
+    }
+
+    #[test]
+    fn spfm_of_empty_or_safe_table_is_one() {
+        assert_eq!(FmeaTable::new("x").spfm(), 1.0);
+        let mut t = paper_rows();
+        for r in &mut t.rows {
+            r.safety_related = false;
+        }
+        assert_eq!(t.spfm(), 1.0);
+    }
+
+    #[test]
+    fn residual_fit_rows() {
+        let t = paper_rows();
+        let d1_open = &t.rows[0];
+        assert!((d1_open.residual_fit().value() - 3.0).abs() < 1e-12);
+        let d1_short = &t.rows[1];
+        assert_eq!(d1_short.residual_fit(), Fit::ZERO, "non-SR rows have no SPF rate");
+    }
+
+    #[test]
+    fn disagreement_measures_verdict_flips() {
+        let a = paper_rows();
+        let mut b = paper_rows();
+        assert_eq!(a.disagreement(&b), 0.0);
+        b.rows[1].safety_related = true; // flip one verdict out of 7
+        assert!((a.disagreement(&b) - 1.0 / 7.0).abs() < 1e-12);
+        // A missing row counts as a disagreement.
+        b.rows.pop();
+        let d = a.disagreement(&b);
+        assert!(d > 1.0 / 7.0);
+    }
+
+    #[test]
+    fn csv_export_has_paper_columns() {
+        let t = paper_rows();
+        let csv = t.to_csv_string();
+        let header = csv.lines().next().unwrap();
+        for col in [
+            "Component",
+            "FIT",
+            "Safety_Related",
+            "Failure_Mode",
+            "Distribution",
+            "Safety_Mechanism",
+            "SM_Coverage",
+            "Single_Point_Failure_Rate",
+        ] {
+            assert!(header.contains(col), "missing column {col}");
+        }
+        assert!(csv.contains("No SM"));
+    }
+
+    #[test]
+    fn with_deployment_resets_undeployed_rows() {
+        let mut t = paper_rows();
+        t.rows[0].mechanism = Some("stale".into());
+        t.rows[0].coverage = Coverage::new(0.5);
+        let cleared = t.with_deployment(&Deployment::new());
+        assert!(cleared.rows[0].mechanism.is_none());
+        assert_eq!(cleared.rows[0].coverage, Coverage::NONE);
+    }
+}

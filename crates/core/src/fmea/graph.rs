@@ -1,0 +1,650 @@
+//! Graph-based FMEA over SSAM models — the paper's Algorithm 1
+//! ("Determining single point failures for SSAM models").
+//!
+//! A failure mode of *loss-of-function or similar nature* is safety-related
+//! when its component lies on **every** path from the container's input to
+//! its output — losing it severs the function outright (a single-point
+//! fault). Failure modes of other natures receive a warning (Algorithm 1
+//! line 11). Per §IV-B6, a failure mode may also *cite affected components*;
+//! if any cited component is path-critical, the mode is safety-related too.
+//!
+//! Two interchangeable algorithms compute path criticality:
+//!
+//! * [`GraphAlgorithm::ExhaustivePaths`] — the literal Algorithm 1:
+//!   enumerate all simple input→output paths and intersect them;
+//! * [`GraphAlgorithm::CutVertex`] — the optimised equivalent: a component
+//!   is on all paths iff removing it disconnects input from output.
+//!
+//! Both give identical verdicts (property-tested); the bench
+//! `fmea_algorithms` measures the gap.
+
+use std::collections::{HashMap, HashSet};
+
+use decisive_ssam::architecture::{Component, Coverage, Fit};
+use decisive_ssam::base::CiteRef;
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+use crate::error::{CoreError, Result};
+use crate::fmea::{FmeaRow, FmeaTable};
+
+/// Which path-criticality algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GraphAlgorithm {
+    /// Enumerate all simple paths (the paper's Algorithm 1, line 2).
+    ExhaustivePaths,
+    /// Per-component reachability cut check — same verdicts, polynomial
+    /// time.
+    #[default]
+    CutVertex,
+}
+
+/// Which failure modes the analysis covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnalysisScope {
+    /// Analyse every failure mode of every component.
+    #[default]
+    All,
+    /// Analyse only failure modes associated with the given hazard — the
+    /// paper's per-hazard scoping ("For our chosen top-level hazard (H1),
+    /// we are interested in correct readings at CS1", §V-A).
+    Hazard(Idx<decisive_ssam::hazard::HazardousSituation>),
+}
+
+/// Configuration of the graph engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphConfig {
+    /// The algorithm to use.
+    pub algorithm: GraphAlgorithm,
+    /// Abort [`GraphAlgorithm::ExhaustivePaths`] beyond this many paths.
+    pub max_paths: usize,
+    /// Which failure modes to analyse.
+    pub scope: AnalysisScope,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            algorithm: GraphAlgorithm::default(),
+            max_paths: 1_000_000,
+            scope: AnalysisScope::All,
+        }
+    }
+}
+
+/// Runs the graph-based FMEA on the component `top` of `model`.
+///
+/// The analysis recurses into non-atomic subcomponents (Algorithm 1
+/// line 14); a nested failure mode is safety-related only if its own
+/// component is path-critical within its container *and* the container is
+/// itself critical at the level above.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when path enumeration exceeds
+/// `max_paths` (switch to [`GraphAlgorithm::CutVertex`]).
+pub fn run(model: &SsamModel, top: Idx<Component>, config: &GraphConfig) -> Result<FmeaTable> {
+    let mut table = FmeaTable::new(model.components[top].core.name.value());
+    analyse_container(model, top, true, config, &mut table)?;
+    Ok(table)
+}
+
+fn analyse_container(
+    model: &SsamModel,
+    container: Idx<Component>,
+    container_critical: bool,
+    config: &GraphConfig,
+    table: &mut FmeaTable,
+) -> Result<()> {
+    let graph = BoundaryGraph::build(model, container);
+    let critical = critical_components(&graph, config)?;
+    let on_some_path = graph.on_some_path();
+    for &child in &model.components[container].children {
+        let component = &model.components[child];
+        let on_all_paths = critical.contains(&child);
+        for (_, fm) in model.failure_modes_of(child) {
+            if let AnalysisScope::Hazard(hazard) = config.scope {
+                if !fm.hazards.contains(&hazard) {
+                    continue;
+                }
+            }
+            let mut row = FmeaRow {
+                component: component.core.name.value().to_owned(),
+                type_key: component.type_key.clone(),
+                fit: component.fit.unwrap_or(Fit::ZERO),
+                failure_mode: fm.core.name.value().to_owned(),
+                nature: fm.nature.clone(),
+                distribution: fm.distribution,
+                safety_related: false,
+                impact: None,
+                mechanism: None,
+                coverage: Coverage::NONE,
+                warning: None,
+            };
+            if component.fit.is_none() {
+                row.warning = Some(format!(
+                    "component `{}` has no reliability data (FIT treated as 0)",
+                    component.core.name
+                ));
+            }
+            if fm.nature.breaks_path() {
+                let affected_critical = fm
+                    .affected_components
+                    .iter()
+                    .any(|a| critical.contains(a))
+                    || affected_via_cites(model, fm).iter().any(|a| critical.contains(a));
+                row.safety_related = container_critical && (on_all_paths || affected_critical);
+                // Impact classification (Table I DVF/IVF): modelled effects
+                // win; otherwise derive it from path topology — a
+                // single-point loss directly violates the goal, a redundant
+                // on-path loss violates it only with a second fault.
+                row.impact = effect_impact(model, fm).or(Some(if row.safety_related {
+                    decisive_ssam::architecture::FailureImpact::DirectViolation
+                } else if on_some_path.contains(&child) {
+                    decisive_ssam::architecture::FailureImpact::IndirectViolation
+                } else {
+                    decisive_ssam::architecture::FailureImpact::NoEffect
+                }));
+            } else {
+                row.impact = effect_impact(model, fm);
+                // Algorithm 1 line 11: provide a warning on fm.
+                row.warning = Some(format!(
+                    "failure mode `{}` has nature `{}` — outside the loss-of-function analysis; review manually",
+                    fm.core.name, fm.nature
+                ));
+            }
+            table.push(row);
+        }
+        if !component.is_atomic() {
+            // Algorithm 1 line 14: repeat this algorithm for c.
+            analyse_container(model, child, container_critical && on_all_paths, config, table)?;
+        }
+    }
+    Ok(())
+}
+
+/// The strongest impact among a failure mode's modelled effects, if any.
+fn effect_impact(
+    model: &SsamModel,
+    fm: &decisive_ssam::architecture::FailureMode,
+) -> Option<decisive_ssam::architecture::FailureImpact> {
+    use decisive_ssam::architecture::FailureImpact::{DirectViolation, IndirectViolation, NoEffect};
+    let mut strongest = None;
+    for &effect in &fm.effects {
+        let impact = model.failure_effects[effect].impact;
+        strongest = Some(match (strongest, impact) {
+            (Some(DirectViolation), _) | (_, DirectViolation) => DirectViolation,
+            (Some(IndirectViolation), _) | (_, IndirectViolation) => IndirectViolation,
+            _ => NoEffect,
+        });
+    }
+    strongest
+}
+
+/// Affected components reachable through the failure mode's effects' `cite`
+/// links (Fig. 5: "FailureEffect may be used to refer to another Component
+/// by using the cite reference").
+fn affected_via_cites(
+    model: &SsamModel,
+    fm: &decisive_ssam::architecture::FailureMode,
+) -> Vec<Idx<Component>> {
+    fm.effects
+        .iter()
+        .flat_map(|&e| model.failure_effects[e].core.cites.iter())
+        .filter_map(|cite| match cite {
+            CiteRef::Component(c) => Some(*c),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The children of `container` lying on every input→output path.
+fn critical_components(
+    graph: &BoundaryGraph,
+    config: &GraphConfig,
+) -> Result<HashSet<Idx<Component>>> {
+    match config.algorithm {
+        GraphAlgorithm::ExhaustivePaths => graph.intersect_all_paths(config.max_paths),
+        GraphAlgorithm::CutVertex => Ok(graph.cut_vertices()),
+    }
+}
+
+/// The wiring of a container's children with two virtual nodes: `SRC`
+/// (the container's input boundary) and `SINK` (its output boundary).
+struct BoundaryGraph {
+    /// Adjacency: node → successors. Node 0 = SRC, 1 = SINK, others map
+    /// children.
+    succ: Vec<Vec<usize>>,
+    /// Node index of each child component.
+    node_of: HashMap<Idx<Component>, usize>,
+}
+
+const SRC: usize = 0;
+const SINK: usize = 1;
+
+impl BoundaryGraph {
+    fn build(model: &SsamModel, container: Idx<Component>) -> BoundaryGraph {
+        let children = &model.components[container].children;
+        let mut node_of = HashMap::new();
+        for (i, &c) in children.iter().enumerate() {
+            node_of.insert(c, i + 2);
+        }
+        let mut succ = vec![Vec::new(); children.len() + 2];
+        for (_, rel) in model.relationships_within(container) {
+            let from = if rel.from == container { SRC } else { node_of[&rel.from] };
+            let to = if rel.to == container { SINK } else { node_of[&rel.to] };
+            if !succ[from].contains(&to) {
+                succ[from].push(to);
+            }
+        }
+        BoundaryGraph { succ, node_of }
+    }
+
+    fn component_of(&self, node: usize) -> Option<Idx<Component>> {
+        self.node_of.iter().find(|(_, &n)| n == node).map(|(&c, _)| c)
+    }
+
+    /// All simple SRC→SINK paths intersected — the literal Algorithm 1.
+    fn intersect_all_paths(&self, max_paths: usize) -> Result<HashSet<Idx<Component>>> {
+        let mut on_all: Option<HashSet<usize>> = None;
+        let mut count = 0usize;
+        let mut stack: Vec<usize> = vec![SRC];
+        let mut on_path = vec![false; self.succ.len()];
+        on_path[SRC] = true;
+        self.dfs(SRC, &mut stack, &mut on_path, &mut on_all, &mut count, max_paths)?;
+        let nodes = on_all.unwrap_or_default();
+        Ok(nodes.into_iter().filter_map(|n| self.component_of(n)).collect())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        node: usize,
+        stack: &mut Vec<usize>,
+        on_path: &mut Vec<bool>,
+        on_all: &mut Option<HashSet<usize>>,
+        count: &mut usize,
+        max_paths: usize,
+    ) -> Result<()> {
+        if node == SINK {
+            *count += 1;
+            if *count > max_paths {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "path enumeration exceeded {max_paths} paths; use GraphAlgorithm::CutVertex"
+                    ),
+                });
+            }
+            let path_nodes: HashSet<usize> =
+                stack.iter().copied().filter(|&n| n != SRC && n != SINK).collect();
+            match on_all {
+                Some(acc) => acc.retain(|n| path_nodes.contains(n)),
+                None => *on_all = Some(path_nodes),
+            }
+            return Ok(());
+        }
+        for &next in &self.succ[node] {
+            if on_path[next] {
+                continue;
+            }
+            on_path[next] = true;
+            stack.push(next);
+            self.dfs(next, stack, on_path, on_all, count, max_paths)?;
+            stack.pop();
+            on_path[next] = false;
+        }
+        Ok(())
+    }
+
+    /// Children whose removal disconnects SRC from SINK.
+    fn cut_vertices(&self) -> HashSet<Idx<Component>> {
+        if !self.reachable(None) {
+            // No path at all: vacuously, no component is load-bearing.
+            return HashSet::new();
+        }
+        self.node_of
+            .iter()
+            .filter(|(_, &node)| !self.reachable(Some(node)))
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Children lying on *at least one* SRC→SINK path: reachable from SRC
+    /// and co-reachable to SINK.
+    fn on_some_path(&self) -> HashSet<Idx<Component>> {
+        let forward = self.reach_from(SRC, |n| &self.succ[n]);
+        // Build predecessor lists for the backward sweep.
+        let mut pred = vec![Vec::new(); self.succ.len()];
+        for (from, nexts) in self.succ.iter().enumerate() {
+            for &to in nexts {
+                pred[to].push(from);
+            }
+        }
+        let backward = self.reach_from(SINK, |n| &pred[n]);
+        self.node_of
+            .iter()
+            .filter(|(_, &node)| forward[node] && backward[node])
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    fn reach_from<'a>(&'a self, start: usize, next: impl Fn(usize) -> &'a Vec<usize>) -> Vec<bool> {
+        let mut seen = vec![false; self.succ.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            for &m in next(n) {
+                if !seen[m] {
+                    seen[m] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// BFS SRC→SINK, optionally with one node removed.
+    fn reachable(&self, without: Option<usize>) -> bool {
+        let mut seen = vec![false; self.succ.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[SRC] = true;
+        queue.push_back(SRC);
+        while let Some(n) = queue.pop_front() {
+            if n == SINK {
+                return true;
+            }
+            for &next in &self.succ[n] {
+                if Some(next) == without || seen[next] {
+                    continue;
+                }
+                seen[next] = true;
+                queue.push_back(next);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+    use decisive_ssam::architecture::{ComponentKind, FailureNature};
+
+    fn run_both(model: &SsamModel, top: Idx<Component>) -> (FmeaTable, FmeaTable) {
+        let paths = run(model, top, &GraphConfig {
+            algorithm: GraphAlgorithm::ExhaustivePaths,
+            ..GraphConfig::default()
+        })
+        .unwrap();
+        let cuts = run(model, top, &GraphConfig::default()).unwrap();
+        (paths, cuts)
+    }
+
+    /// The §V-B result: the SSAM path reproduces Table IV exactly.
+    #[test]
+    fn case_study_ssam_matches_table_iv() {
+        let (model, top) = case_study::ssam_model();
+        let (paths, cuts) = run_both(&model, top);
+        for table in [&paths, &cuts] {
+            let sr: Vec<_> = table.safety_related_components().into_iter().collect();
+            assert_eq!(sr, vec!["D1", "L1", "MC1"]);
+            assert!((table.spfm() - 0.0538).abs() < 5e-4, "spfm = {}", table.spfm());
+        }
+        assert_eq!(paths.disagreement(&cuts), 0.0);
+    }
+
+    #[test]
+    fn erroneous_modes_get_warnings_not_verdicts() {
+        let (model, top) = case_study::ssam_model();
+        let table = run(&model, top, &GraphConfig::default()).unwrap();
+        let d1_short = table
+            .rows
+            .iter()
+            .find(|r| r.component == "D1" && r.failure_mode == "Short")
+            .unwrap();
+        assert!(!d1_short.safety_related);
+        assert!(d1_short.warning.as_deref().unwrap().contains("review manually"));
+    }
+
+    #[test]
+    fn shunt_components_are_not_single_points() {
+        let (model, top) = case_study::ssam_model();
+        let table = run(&model, top, &GraphConfig::default()).unwrap();
+        let c1_open = table
+            .rows
+            .iter()
+            .find(|r| r.component == "C1" && r.failure_mode == "Open")
+            .unwrap();
+        assert!(!c1_open.safety_related, "filter caps hang off the stable source");
+    }
+
+    #[test]
+    fn parallel_redundancy_defeats_single_points() {
+        // top → a → sink and top → b → sink: neither a nor b is on all paths.
+        let mut model = SsamModel::new("redundant");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let a = model.add_child_component(top, Component::new("a", ComponentKind::Hardware));
+        let b = model.add_child_component(top, Component::new("b", ComponentKind::Hardware));
+        for c in [a, b] {
+            model.components[c].fit = Some(Fit::new(10.0));
+            model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+            model.connect(top, c);
+            model.connect(c, top);
+        }
+        let (paths, cuts) = run_both(&model, top);
+        assert!(paths.safety_related_components().is_empty());
+        assert_eq!(paths.disagreement(&cuts), 0.0);
+        assert_eq!(paths.spfm(), 1.0);
+    }
+
+    #[test]
+    fn series_chain_is_all_single_points() {
+        let mut model = SsamModel::new("series");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let a = model.add_child_component(top, Component::new("a", ComponentKind::Hardware));
+        let b = model.add_child_component(top, Component::new("b", ComponentKind::Hardware));
+        for c in [a, b] {
+            model.components[c].fit = Some(Fit::new(5.0));
+            model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+        }
+        model.connect(top, a);
+        model.connect(a, b);
+        model.connect(b, top);
+        let (paths, cuts) = run_both(&model, top);
+        assert_eq!(paths.safety_related_components().len(), 2);
+        assert_eq!(paths.disagreement(&cuts), 0.0);
+        assert!((paths.spfm() - 0.0).abs() < 1e-12, "all FIT is single-point");
+    }
+
+    #[test]
+    fn affected_components_promote_off_path_modes() {
+        // mon watches the chain but sits off-path; citing an on-path
+        // component makes its loss safety-related (paper §IV-B6).
+        let mut model = SsamModel::new("affected");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let a = model.add_child_component(top, Component::new("a", ComponentKind::Hardware));
+        let mon = model.add_child_component(top, Component::new("mon", ComponentKind::Hardware));
+        model.components[a].fit = Some(Fit::new(5.0));
+        model.components[mon].fit = Some(Fit::new(5.0));
+        model.add_failure_mode(a, "Open", FailureNature::LossOfFunction, 1.0);
+        let fm = model.add_failure_mode(mon, "Loss", FailureNature::LossOfFunction, 1.0);
+        model.failure_modes[fm].affected_components.push(a);
+        model.connect(top, a);
+        model.connect(a, top);
+        model.connect(a, mon);
+        let (paths, cuts) = run_both(&model, top);
+        assert!(paths.safety_related_components().contains("mon"));
+        assert_eq!(paths.disagreement(&cuts), 0.0);
+    }
+
+    #[test]
+    fn nested_components_are_recursed_into() {
+        let mut model = SsamModel::new("nested");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let sub = model.add_child_component(top, Component::new("sub", ComponentKind::System));
+        let inner = model.add_child_component(sub, Component::new("inner", ComponentKind::Hardware));
+        model.components[inner].fit = Some(Fit::new(7.0));
+        model.add_failure_mode(inner, "Open", FailureNature::LossOfFunction, 1.0);
+        model.connect(top, sub);
+        model.connect(sub, top);
+        model.connect(sub, inner);
+        model.connect(inner, sub);
+        let table = run(&model, top, &GraphConfig::default()).unwrap();
+        let inner_row = table.rows.iter().find(|r| r.component == "inner").unwrap();
+        assert!(inner_row.safety_related, "critical inside a critical container");
+    }
+
+    #[test]
+    fn nested_inside_redundant_container_is_not_single_point() {
+        let mut model = SsamModel::new("nested-redundant");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let sub_a = model.add_child_component(top, Component::new("subA", ComponentKind::System));
+        let sub_b = model.add_child_component(top, Component::new("subB", ComponentKind::System));
+        for sub in [sub_a, sub_b] {
+            let inner = model.add_child_component(sub, Component::new(
+                format!("inner-{}", model.components[sub].core.name),
+                ComponentKind::Hardware,
+            ));
+            model.components[inner].fit = Some(Fit::new(7.0));
+            model.add_failure_mode(inner, "Open", FailureNature::LossOfFunction, 1.0);
+            model.connect(top, sub);
+            model.connect(sub, top);
+            model.connect(sub, inner);
+            model.connect(inner, sub);
+        }
+        let table = run(&model, top, &GraphConfig::default()).unwrap();
+        assert!(
+            table.safety_related_components().is_empty(),
+            "redundant containers shield their internals"
+        );
+    }
+
+    #[test]
+    fn path_cap_is_enforced() {
+        // A dense ladder has exponentially many paths.
+        let mut model = SsamModel::new("ladder");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let mut layer: Vec<_> = (0..2)
+            .map(|i| model.add_child_component(top, Component::new(format!("n0_{i}"), ComponentKind::Hardware)))
+            .collect();
+        for (i, &n) in layer.iter().enumerate() {
+            let _ = i;
+            model.connect(top, n);
+        }
+        for depth in 1..12 {
+            let next: Vec<_> = (0..2)
+                .map(|i| {
+                    model.add_child_component(top, Component::new(format!("n{depth}_{i}"), ComponentKind::Hardware))
+                })
+                .collect();
+            for &a in &layer {
+                for &b in &next {
+                    model.connect(a, b);
+                }
+            }
+            layer = next;
+        }
+        for &n in &layer {
+            model.connect(n, top);
+        }
+        let config = GraphConfig {
+            algorithm: GraphAlgorithm::ExhaustivePaths,
+            max_paths: 100,
+            ..GraphConfig::default()
+        };
+        assert!(matches!(
+            run(&model, top, &config),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        // The cut-vertex variant handles it fine.
+        assert!(run(&model, top, &GraphConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn impact_classification_follows_topology() {
+        use decisive_ssam::architecture::FailureImpact;
+        // Series chain: single-point losses are DVFs.
+        let (model, top) = case_study::ssam_model();
+        let table = run(&model, top, &GraphConfig::default()).unwrap();
+        let row = |component: &str, mode: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.component == component && r.failure_mode == mode)
+                .unwrap()
+        };
+        assert_eq!(row("D1", "Open").impact, Some(FailureImpact::DirectViolation));
+        // Off-path losses have no effect on the boundary function.
+        assert_eq!(row("C1", "Open").impact, Some(FailureImpact::NoEffect));
+        // Non-loss natures without modelled effects stay unclassified.
+        assert_eq!(row("D1", "Short").impact, None);
+    }
+
+    #[test]
+    fn redundant_losses_classify_as_indirect_violations() {
+        use decisive_ssam::architecture::FailureImpact;
+        let mut model = SsamModel::new("redundant");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        for name in ["a", "b"] {
+            let c = model.add_child_component(top, Component::new(name, ComponentKind::Hardware));
+            model.components[c].fit = Some(Fit::new(10.0));
+            model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+            model.connect(top, c);
+            model.connect(c, top);
+        }
+        let table = run(&model, top, &GraphConfig::default()).unwrap();
+        for row in &table.rows {
+            assert_eq!(
+                row.impact,
+                Some(FailureImpact::IndirectViolation),
+                "{}: a redundant on-path loss violates only with a second fault",
+                row.component
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_scope_restricts_the_rows() {
+        let (model, top) = case_study::ssam_model();
+        let h1 = model.hazards.indices().next().expect("H1 exists");
+        let scoped = run(&model, top, &GraphConfig {
+            scope: AnalysisScope::Hazard(h1),
+            ..GraphConfig::default()
+        })
+        .unwrap();
+        // Only the H1-associated loss modes appear (D1/L1 opens, MC1 RAM).
+        assert_eq!(scoped.rows.len(), 3);
+        assert!(scoped.rows.iter().all(|r| r.safety_related));
+        // SPFM is unchanged: the excluded rows carried no residual rate.
+        let full = run(&model, top, &GraphConfig::default()).unwrap();
+        assert!((scoped.spfm() - full.spfm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foreign_hazard_scope_yields_no_rows() {
+        let (mut model, top) = case_study::ssam_model();
+        let h2 = model.add_hazard(decisive_ssam::hazard::HazardousSituation::new("H2"));
+        let scoped = run(&model, top, &GraphConfig {
+            scope: AnalysisScope::Hazard(h2),
+            ..GraphConfig::default()
+        })
+        .unwrap();
+        assert!(scoped.rows.is_empty());
+        assert_eq!(scoped.spfm(), 1.0);
+    }
+
+    #[test]
+    fn disconnected_boundary_yields_no_verdicts() {
+        let mut model = SsamModel::new("disc");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let a = model.add_child_component(top, Component::new("a", ComponentKind::Hardware));
+        model.components[a].fit = Some(Fit::new(1.0));
+        model.add_failure_mode(a, "Open", FailureNature::LossOfFunction, 1.0);
+        // No boundary edges at all.
+        let (paths, cuts) = run_both(&model, top);
+        assert!(paths.safety_related_components().is_empty());
+        assert!(cuts.safety_related_components().is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! Change impact analysis — the *iterative* in DECISIVE.
+//!
+//! "Whenever there are changes to the system definition or system
+//! requirements, or when new hazards are identified, the DECISIVE process
+//! shall be repeated to determine the impacts of the changes" (paper §III).
+//! This module diffs two revisions of an SSAM model and reports which
+//! components are impacted and whether the automated safety analysis must
+//! re-run — the input to the paper's Clause-8-style change management.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::model::SsamModel;
+
+/// One detected change between two model revisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelChange {
+    /// A component exists only in the new revision.
+    ComponentAdded {
+        /// Component name.
+        name: String,
+    },
+    /// A component exists only in the old revision.
+    ComponentRemoved {
+        /// Component name.
+        name: String,
+    },
+    /// A component's failure rate changed.
+    FitChanged {
+        /// Component name.
+        name: String,
+        /// Old FIT value (if any).
+        from: Option<f64>,
+        /// New FIT value (if any).
+        to: Option<f64>,
+    },
+    /// A component's failure modes changed (names, natures or
+    /// distributions).
+    FailureModesChanged {
+        /// Component name.
+        name: String,
+    },
+    /// A component's deployed safety mechanisms changed.
+    MechanismsChanged {
+        /// Component name.
+        name: String,
+    },
+    /// The wiring between components changed.
+    RelationshipsChanged {
+        /// Endpoints (component names) of edges added or removed.
+        endpoints: Vec<String>,
+    },
+    /// The hazard set changed (new or retired hazards).
+    HazardsChanged,
+}
+
+/// The result of diffing two model revisions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ImpactReport {
+    /// All detected changes.
+    pub changes: Vec<ModelChange>,
+    /// Components whose analysis verdicts may change.
+    pub impacted_components: BTreeSet<String>,
+}
+
+impl ImpactReport {
+    /// `true` when the automated FME(D)A must re-run.
+    pub fn requires_reanalysis(&self) -> bool {
+        !self.changes.is_empty()
+    }
+
+    /// Renders the report as text for a change-management record.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.changes.is_empty() {
+            out.push_str("no analysable changes\n");
+            return out;
+        }
+        for change in &self.changes {
+            let _ = match change {
+                ModelChange::ComponentAdded { name } => writeln!(out, "added component `{name}`"),
+                ModelChange::ComponentRemoved { name } => writeln!(out, "removed component `{name}`"),
+                ModelChange::FitChanged { name, from, to } => {
+                    writeln!(out, "`{name}` FIT changed: {from:?} -> {to:?}")
+                }
+                ModelChange::FailureModesChanged { name } => {
+                    writeln!(out, "`{name}` failure modes changed")
+                }
+                ModelChange::MechanismsChanged { name } => {
+                    writeln!(out, "`{name}` safety mechanisms changed")
+                }
+                ModelChange::RelationshipsChanged { endpoints } => {
+                    writeln!(out, "wiring changed around [{}]", endpoints.join(", "))
+                }
+                ModelChange::HazardsChanged => writeln!(out, "hazard set changed"),
+            };
+        }
+        let _ = writeln!(
+            out,
+            "impacted components: [{}] — re-run the automated FME(D)A",
+            self.impacted_components.iter().cloned().collect::<Vec<_>>().join(", ")
+        );
+        out
+    }
+}
+
+type ComponentFingerprint = (
+    Option<String>,                    // type key
+    Option<u64>,                       // FIT bits
+    Vec<(String, String, u64)>,        // failure modes: name, nature, distribution bits
+    Vec<(String, u64, u64)>,           // mechanisms: name, coverage bits, covered-mode hash
+);
+
+fn fingerprint(model: &SsamModel) -> BTreeMap<String, ComponentFingerprint> {
+    let mut map = BTreeMap::new();
+    for (idx, c) in model.components.iter() {
+        let modes: Vec<(String, String, u64)> = {
+            let mut v: Vec<_> = model
+                .failure_modes_of(idx)
+                .map(|(_, fm)| {
+                    (
+                        fm.core.name.value().to_owned(),
+                        fm.nature.to_string(),
+                        fm.distribution.to_bits(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let mechanisms: Vec<(String, u64, u64)> = {
+            let mut v: Vec<_> = c
+                .safety_mechanisms
+                .iter()
+                .map(|&sm| {
+                    let m = &model.safety_mechanisms[sm];
+                    let covered = model.failure_modes[m.covers].core.name.value();
+                    (
+                        m.core.name.value().to_owned(),
+                        m.coverage.value().to_bits(),
+                        covered.bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        map.insert(
+            c.core.name.value().to_owned(),
+            (c.type_key.clone(), c.fit.map(|f| f.value().to_bits()), modes, mechanisms),
+        );
+    }
+    map
+}
+
+fn edge_names(model: &SsamModel) -> BTreeMap<(String, String), usize> {
+    let mut edges = BTreeMap::new();
+    for (_, rel) in model.relationships.iter() {
+        let from = model.components[rel.from].core.name.value().to_owned();
+        let to = model.components[rel.to].core.name.value().to_owned();
+        *edges.entry((from, to)).or_insert(0) += 1;
+    }
+    edges
+}
+
+/// Diffs two revisions of a model (matched by component name).
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::{case_study, impact};
+/// use decisive_ssam::architecture::Fit;
+///
+/// let (old_model, _) = case_study::ssam_model();
+/// let (mut new_model, _) = case_study::ssam_model();
+/// let mc1 = new_model.component_by_name("MC1").expect("MC1");
+/// new_model.components[mc1].fit = Some(Fit::new(600.0));
+/// let report = impact::diff_models(&old_model, &new_model);
+/// assert!(report.requires_reanalysis());
+/// assert!(report.impacted_components.contains("MC1"));
+/// ```
+pub fn diff_models(old: &SsamModel, new: &SsamModel) -> ImpactReport {
+    let mut report = ImpactReport::default();
+    let old_fp = fingerprint(old);
+    let new_fp = fingerprint(new);
+
+    for (name, old_entry) in &old_fp {
+        match new_fp.get(name) {
+            None => {
+                report.changes.push(ModelChange::ComponentRemoved { name: name.clone() });
+                report.impacted_components.insert(name.clone());
+            }
+            Some(new_entry) => {
+                if old_entry.1 != new_entry.1 {
+                    report.changes.push(ModelChange::FitChanged {
+                        name: name.clone(),
+                        from: old_entry.1.map(f64::from_bits),
+                        to: new_entry.1.map(f64::from_bits),
+                    });
+                    report.impacted_components.insert(name.clone());
+                }
+                if old_entry.2 != new_entry.2 {
+                    report.changes.push(ModelChange::FailureModesChanged { name: name.clone() });
+                    report.impacted_components.insert(name.clone());
+                }
+                if old_entry.3 != new_entry.3 {
+                    report.changes.push(ModelChange::MechanismsChanged { name: name.clone() });
+                    report.impacted_components.insert(name.clone());
+                }
+            }
+        }
+    }
+    for name in new_fp.keys() {
+        if !old_fp.contains_key(name) {
+            report.changes.push(ModelChange::ComponentAdded { name: name.clone() });
+            report.impacted_components.insert(name.clone());
+        }
+    }
+
+    let old_edges = edge_names(old);
+    let new_edges = edge_names(new);
+    if old_edges != new_edges {
+        let mut endpoints = BTreeSet::new();
+        for (edge, count) in &old_edges {
+            if new_edges.get(edge) != Some(count) {
+                endpoints.insert(edge.0.clone());
+                endpoints.insert(edge.1.clone());
+            }
+        }
+        for (edge, count) in &new_edges {
+            if old_edges.get(edge) != Some(count) {
+                endpoints.insert(edge.0.clone());
+                endpoints.insert(edge.1.clone());
+            }
+        }
+        report.impacted_components.extend(endpoints.iter().cloned());
+        report
+            .changes
+            .push(ModelChange::RelationshipsChanged { endpoints: endpoints.into_iter().collect() });
+    }
+
+    let hazard_names = |m: &SsamModel| -> BTreeSet<String> {
+        m.hazards.iter().map(|(_, h)| h.core.name.value().to_owned()).collect()
+    };
+    if hazard_names(old) != hazard_names(new) {
+        report.changes.push(ModelChange::HazardsChanged);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+    use decisive_ssam::architecture::{Component, ComponentKind, Coverage, FailureNature, Fit};
+
+    #[test]
+    fn identical_models_need_no_reanalysis() {
+        let (a, _) = case_study::ssam_model();
+        let (b, _) = case_study::ssam_model();
+        let report = diff_models(&a, &b);
+        assert!(!report.requires_reanalysis());
+        assert!(report.impacted_components.is_empty());
+        assert!(report.render().contains("no analysable changes"));
+    }
+
+    #[test]
+    fn fit_change_is_detected() {
+        let (old, _) = case_study::ssam_model();
+        let (mut new, _) = case_study::ssam_model();
+        let d1 = new.component_by_name("D1").expect("D1");
+        new.components[d1].fit = Some(Fit::new(20.0));
+        let report = diff_models(&old, &new);
+        assert!(matches!(
+            report.changes.as_slice(),
+            [ModelChange::FitChanged { name, from: Some(f), to: Some(t) }]
+                if name == "D1" && *f == 10.0 && *t == 20.0
+        ));
+        assert_eq!(report.impacted_components.len(), 1);
+    }
+
+    #[test]
+    fn added_and_removed_components() {
+        let (old, _) = case_study::ssam_model();
+        let (mut new, top) = case_study::ssam_model();
+        new.add_child_component(top, Component::new("R9", ComponentKind::Hardware));
+        let report = diff_models(&old, &new);
+        assert!(report.changes.contains(&ModelChange::ComponentAdded { name: "R9".into() }));
+        let reverse = diff_models(&new, &old);
+        assert!(reverse.changes.contains(&ModelChange::ComponentRemoved { name: "R9".into() }));
+    }
+
+    #[test]
+    fn mechanism_deployment_is_a_change() {
+        let (old, _) = case_study::ssam_model();
+        let (mut new, _) = case_study::ssam_model();
+        let mc1 = new.component_by_name("MC1").expect("MC1");
+        let ram = new.components[mc1].failure_modes[0];
+        new.deploy_safety_mechanism(mc1, "ECC", ram, Coverage::new(0.99), 2.0);
+        let report = diff_models(&old, &new);
+        assert!(report
+            .changes
+            .contains(&ModelChange::MechanismsChanged { name: "MC1".into() }));
+    }
+
+    #[test]
+    fn rewiring_impacts_both_endpoints() {
+        let (old, _) = case_study::ssam_model();
+        let (mut new, _) = case_study::ssam_model();
+        let d1 = new.component_by_name("D1").expect("D1");
+        let c1 = new.component_by_name("C1").expect("C1");
+        new.connect(d1, c1);
+        let report = diff_models(&old, &new);
+        assert!(report.impacted_components.contains("D1"));
+        assert!(report.impacted_components.contains("C1"));
+        assert!(report.render().contains("wiring changed"));
+    }
+
+    #[test]
+    fn failure_mode_distribution_change_is_detected() {
+        let (old, _) = case_study::ssam_model();
+        let (mut new, _) = case_study::ssam_model();
+        let d1 = new.component_by_name("D1").expect("D1");
+        let open = new.components[d1].failure_modes[0];
+        new.failure_modes[open].distribution = 0.5;
+        let report = diff_models(&old, &new);
+        assert!(report
+            .changes
+            .contains(&ModelChange::FailureModesChanged { name: "D1".into() }));
+    }
+
+    #[test]
+    fn new_hazard_triggers_the_process() {
+        let (old, _) = case_study::ssam_model();
+        let (mut new, _) = case_study::ssam_model();
+        new.add_hazard(decisive_ssam::hazard::HazardousSituation::new("H2"));
+        let report = diff_models(&old, &new);
+        assert!(report.changes.contains(&ModelChange::HazardsChanged));
+    }
+
+    #[test]
+    fn impact_predicts_spfm_drift() {
+        use crate::fmea::graph::{self, GraphConfig};
+        let (old, old_top) = case_study::ssam_model();
+        let (mut new, new_top) = case_study::ssam_model();
+        let mc1 = new.component_by_name("MC1").expect("MC1");
+        new.components[mc1].fit = Some(Fit::new(600.0));
+        let report = diff_models(&old, &new);
+        assert!(report.requires_reanalysis());
+        // And indeed the verdict-bearing metric moved.
+        let before = graph::run(&old, old_top, &GraphConfig::default()).expect("fmea");
+        let after = graph::run(&new, new_top, &GraphConfig::default()).expect("fmea");
+        assert!((before.spfm() - after.spfm()).abs() > 1e-6);
+        let _ = FailureNature::LossOfFunction;
+    }
+}

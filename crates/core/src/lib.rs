@@ -1,0 +1,62 @@
+//! # decisive-core
+//!
+//! **DECISIVE** — *DEsigning CrItical Systems with IteratiVe automated
+//! safEty analysis* (DAC 2022) — the paper's primary contribution,
+//! reimplemented as a Rust library.
+//!
+//! The crate automates DECISIVE Steps 3–4 so that critical-system design is
+//! *driven* by safety analysis:
+//!
+//! * [`reliability`] — the component reliability model (Step 3) and its
+//!   aggregation into designs;
+//! * [`fmea::injection`] — automated FMEA by fault injection over
+//!   block-diagram models (the Simulink path, §IV-D1);
+//! * [`fmea::graph`] — automated FMEA over SSAM models (Algorithm 1), with
+//!   an exhaustive-paths and an optimised cut-vertex variant;
+//! * [`metrics`] — SPFM (paper Eq. 1), ASIL targets and achieved levels;
+//! * [`mechanism`] — the safety-mechanism catalog, deployments, and the
+//!   automated Step 4b search (exhaustive / greedy / Pareto front);
+//! * [`process`] — the five-step iterative process driver (Fig. 1), from
+//!   system definition to synthesised safety concept;
+//! * [`monitor`] — runtime monitor generation from `dynamic` components;
+//! * [`case_study`] — the paper's §V power-supply case study, ready-made.
+//!
+//! ## Example
+//!
+//! The headline result — SPFM 5.38 % before and 96.77 % after deploying
+//! ECC, reaching ASIL-B:
+//!
+//! ```
+//! use decisive_core::{case_study, fmea::graph, mechanism, metrics};
+//!
+//! # fn main() -> Result<(), decisive_core::CoreError> {
+//! let (model, top) = case_study::ssam_model();
+//! let table = graph::run(&model, top, &graph::GraphConfig::default())?;
+//! assert!((table.spfm() - 0.0538).abs() < 5e-4);
+//!
+//! let catalog = mechanism::MechanismCatalog::paper_table_iii();
+//! let refined = mechanism::search::greedy(&table, &catalog, 0.90).expect("ECC reaches ASIL-B");
+//! assert!((refined.spfm - 0.9677).abs() < 5e-5);
+//! assert_eq!(
+//!     metrics::achieved_asil(refined.spfm),
+//!     decisive_ssam::base::IntegrityLevel::AsilB
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod case_study;
+mod error;
+pub mod fmea;
+pub mod impact;
+pub mod mechanism;
+pub mod metrics;
+pub mod monitor;
+pub mod persist;
+pub mod process;
+pub mod reliability;
+pub mod trace;
+
+pub use error::{CoreError, Result};

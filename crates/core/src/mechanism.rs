@@ -1,0 +1,376 @@
+//! The safety mechanism model and deployments — DECISIVE Step 4b's input
+//! (Table III: component type, failure mode, mechanism, coverage, cost).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use decisive_federation::Value;
+use decisive_ssam::architecture::Coverage;
+use decisive_ssam::model::SsamModel;
+
+use crate::error::{CoreError, Result};
+
+pub mod search;
+
+/// One catalog entry: a mechanism applicable to a failure mode of a
+/// component type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismSpec {
+    /// Component type key (Table III `Component`).
+    pub component_type: String,
+    /// The failure mode this mechanism diagnoses (Table III `Failure_Mode`).
+    pub failure_mode: String,
+    /// Mechanism name (Table III `Safety_Mechanism`): `"ECC"`, `"watchdog"`, ….
+    pub name: String,
+    /// Diagnostic coverage achieved.
+    pub coverage: Coverage,
+    /// Deployment cost in engineering hours (Table III `Cost(hrs)`).
+    pub cost_hours: f64,
+}
+
+/// A catalog of deployable safety mechanisms.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::mechanism::MechanismCatalog;
+///
+/// # fn main() -> Result<(), decisive_core::CoreError> {
+/// let catalog = MechanismCatalog::from_csv_str(
+///     "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\n\
+///      MC,RAM Failure,ECC,0.99,2.0\n",
+/// )?;
+/// assert_eq!(catalog.options_for("MC", "RAM Failure").count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MechanismCatalog {
+    entries: Vec<MechanismSpec>,
+}
+
+impl MechanismCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        MechanismCatalog::default()
+    }
+
+    /// Adds an entry.
+    pub fn push(&mut self, spec: MechanismSpec) {
+        self.entries.push(spec);
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[MechanismSpec] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the catalog has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The mechanisms applicable to `failure_mode` of `component_type`.
+    pub fn options_for<'a>(
+        &'a self,
+        component_type: &'a str,
+        failure_mode: &'a str,
+    ) -> impl Iterator<Item = &'a MechanismSpec> {
+        self.entries
+            .iter()
+            .filter(move |e| e.component_type == component_type && e.failure_mode == failure_mode)
+    }
+
+    /// Builds a catalog from a Table III-shaped federated value: records
+    /// with `Component`, `Failure_Mode`, `Safety_Mechanism`, `Cov.` and
+    /// `Cost(hrs)` fields. Coverage accepts either a fraction or a
+    /// percentage string (`"99%"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for malformed rows.
+    pub fn from_value(rows: &Value) -> Result<MechanismCatalog> {
+        let items = rows.as_list().ok_or_else(|| CoreError::InvalidParameter {
+            message: format!("safety mechanism model must be a list of rows, got {}", rows.type_name()),
+        })?;
+        let mut catalog = MechanismCatalog::new();
+        for (i, row) in items.iter().enumerate() {
+            let text = |name: &str| -> Result<String> {
+                row.get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| CoreError::InvalidParameter {
+                        message: format!("safety mechanism row {i} is missing `{name}`"),
+                    })
+            };
+            let coverage = row
+                .get("Cov.")
+                .or_else(|| row.get("Coverage"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| CoreError::InvalidParameter {
+                    message: format!("safety mechanism row {i} is missing a numeric `Cov.`"),
+                })?;
+            if !(0.0..=1.0).contains(&coverage) {
+                return Err(CoreError::InvalidParameter {
+                    message: format!("safety mechanism row {i}: coverage {coverage} outside [0, 1]"),
+                });
+            }
+            let cost = row
+                .get("Cost(hrs)")
+                .or_else(|| row.get("Cost"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            catalog.push(MechanismSpec {
+                component_type: text("Component")?,
+                failure_mode: text("Failure_Mode")?,
+                name: text("Safety_Mechanism")?,
+                coverage: Coverage::new(coverage),
+                cost_hours: cost,
+            });
+        }
+        Ok(catalog)
+    }
+
+    /// Parses a Table III-shaped CSV document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSV and validation errors.
+    pub fn from_csv_str(text: &str) -> Result<MechanismCatalog> {
+        let rows = decisive_federation::csv::parse(text)?;
+        MechanismCatalog::from_value(&rows)
+    }
+
+    /// The paper's example safety mechanism model (Table III).
+    pub fn paper_table_iii() -> MechanismCatalog {
+        MechanismCatalog::from_csv_str(
+            "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\n\
+             MC,RAM Failure,ECC,0.99,2.0\n",
+        )
+        .expect("static table parses")
+    }
+}
+
+/// A safety mechanism chosen for one `(component instance, failure mode)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployedMechanism {
+    /// Mechanism name.
+    pub name: String,
+    /// Diagnostic coverage achieved.
+    pub coverage: Coverage,
+    /// Deployment cost in engineering hours.
+    pub cost_hours: f64,
+}
+
+/// A set of safety mechanism deployments, keyed by
+/// `(component instance name, failure mode name)`.
+///
+/// Deployments stay *separate from the design* — the paper emphasises that
+/// analysts "do not have to make actual changes to the system design" while
+/// exploring Step 4b; the deployment is merged into the design (or an SSAM
+/// model) only once chosen.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Deployment {
+    entries: HashMap<(String, String), DeployedMechanism>,
+}
+
+impl Deployment {
+    /// Creates an empty deployment.
+    pub fn new() -> Self {
+        Deployment::default()
+    }
+
+    /// Deploys `mechanism` on `(component, failure_mode)`, returning any
+    /// previously deployed mechanism.
+    pub fn deploy(
+        &mut self,
+        component: impl Into<String>,
+        failure_mode: impl Into<String>,
+        mechanism: DeployedMechanism,
+    ) -> Option<DeployedMechanism> {
+        self.entries.insert((component.into(), failure_mode.into()), mechanism)
+    }
+
+    /// The mechanism deployed on `(component, failure_mode)`, if any.
+    pub fn get(&self, component: &str, failure_mode: &str) -> Option<&DeployedMechanism> {
+        self.entries.get(&(component.to_owned(), failure_mode.to_owned()))
+    }
+
+    /// Number of deployments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total deployment cost in engineering hours.
+    pub fn total_cost(&self) -> f64 {
+        // fold instead of sum: an empty `Iterator::<f64>::sum` is -0.0,
+        // which leaks into reports as "-0.0 h".
+        self.entries.values().fold(0.0, |acc, m| acc + m.cost_hours)
+    }
+
+    /// Iterates `((component, failure_mode), mechanism)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &DeployedMechanism)> {
+        self.entries.iter()
+    }
+
+    /// Collects the safety mechanisms already modelled in an SSAM design
+    /// (the §V-B path, where the user models ECC directly on `MC1`).
+    pub fn from_ssam(model: &SsamModel) -> Deployment {
+        let mut deployment = Deployment::new();
+        for (cidx, component) in model.components.iter() {
+            for &sm in &component.safety_mechanisms {
+                let mech = &model.safety_mechanisms[sm];
+                let fm = &model.failure_modes[mech.covers];
+                debug_assert_eq!(fm.owner, cidx);
+                deployment.deploy(
+                    component.core.name.value(),
+                    fm.core.name.value(),
+                    DeployedMechanism {
+                        name: mech.core.name.value().to_owned(),
+                        coverage: mech.coverage,
+                        cost_hours: mech.cost_hours,
+                    },
+                );
+            }
+        }
+        deployment
+    }
+
+    /// Writes this deployment into an SSAM model — the paper's "changes in
+    /// SSAM can be propagated back to the original model". Components and
+    /// failure modes are matched by name; unknown pairs are reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownComponent`] when a deployment target does
+    /// not exist in the model.
+    pub fn apply_to_ssam(&self, model: &mut SsamModel) -> Result<()> {
+        for ((component, failure_mode), mech) in &self.entries {
+            let cidx = model
+                .component_by_name(component)
+                .ok_or_else(|| CoreError::UnknownComponent { name: component.clone() })?;
+            let fm_idx = model.components[cidx]
+                .failure_modes
+                .iter()
+                .copied()
+                .find(|&fm| model.failure_modes[fm].core.name.value() == failure_mode)
+                .ok_or_else(|| CoreError::UnknownComponent {
+                    name: format!("{component}.{failure_mode}"),
+                })?;
+            let already = model
+                .mechanisms_covering(cidx, fm_idx)
+                .any(|m| m.core.name.value() == mech.name);
+            if !already {
+                model.deploy_safety_mechanism(
+                    cidx,
+                    mech.name.clone(),
+                    fm_idx,
+                    mech.coverage,
+                    mech.cost_hours,
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_ssam::architecture::{Component, ComponentKind, FailureNature};
+
+    #[test]
+    fn paper_table_iii_shape() {
+        let c = MechanismCatalog::paper_table_iii();
+        assert_eq!(c.len(), 1);
+        let ecc = c.options_for("MC", "RAM Failure").next().unwrap();
+        assert_eq!(ecc.name, "ECC");
+        assert_eq!(ecc.coverage, Coverage::new(0.99));
+        assert_eq!(ecc.cost_hours, 2.0);
+        assert_eq!(c.options_for("MC", "Other").count(), 0);
+    }
+
+    #[test]
+    fn coverage_accepts_percent_strings() {
+        let c = MechanismCatalog::from_csv_str(
+            "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\nMCU,RAM Failure,ECC,99%,2.0\n",
+        )
+        .unwrap();
+        assert_eq!(c.entries()[0].coverage, Coverage::new(0.99));
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(MechanismCatalog::from_csv_str("Component,Failure_Mode\nMCU,x\n").is_err());
+        assert!(MechanismCatalog::from_csv_str(
+            "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\nMCU,x,ECC,1.5,1\n"
+        )
+        .is_err());
+        assert!(MechanismCatalog::from_value(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn deployment_cost_and_lookup() {
+        let mut d = Deployment::new();
+        d.deploy("MC1", "RAM Failure", DeployedMechanism {
+            name: "ECC".into(),
+            coverage: Coverage::new(0.99),
+            cost_hours: 2.0,
+        });
+        d.deploy("D1", "Open", DeployedMechanism {
+            name: "redundant diode".into(),
+            coverage: Coverage::new(0.9),
+            cost_hours: 1.5,
+        });
+        assert_eq!(d.len(), 2);
+        assert!((d.total_cost() - 3.5).abs() < 1e-12);
+        assert_eq!(d.get("MC1", "RAM Failure").unwrap().name, "ECC");
+        assert!(d.get("MC1", "Other").is_none());
+    }
+
+    #[test]
+    fn ssam_roundtrip_of_deployments() {
+        let mut model = SsamModel::new("m");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let mc1 = model.add_child_component(top, Component::new("MC1", ComponentKind::Hardware));
+        model.add_failure_mode(mc1, "RAM Failure", FailureNature::LossOfFunction, 1.0);
+
+        let mut d = Deployment::new();
+        d.deploy("MC1", "RAM Failure", DeployedMechanism {
+            name: "ECC".into(),
+            coverage: Coverage::new(0.99),
+            cost_hours: 2.0,
+        });
+        d.apply_to_ssam(&mut model).unwrap();
+        assert_eq!(model.safety_mechanisms.len(), 1);
+        // Idempotent.
+        d.apply_to_ssam(&mut model).unwrap();
+        assert_eq!(model.safety_mechanisms.len(), 1);
+
+        let back = Deployment::from_ssam(&model);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn apply_to_unknown_component_errors() {
+        let mut model = SsamModel::new("m");
+        let mut d = Deployment::new();
+        d.deploy("ghost", "Open", DeployedMechanism {
+            name: "wd".into(),
+            coverage: Coverage::new(0.5),
+            cost_hours: 1.0,
+        });
+        assert!(matches!(d.apply_to_ssam(&mut model), Err(CoreError::UnknownComponent { .. })));
+    }
+}

@@ -1,0 +1,502 @@
+//! Automated safety-mechanism deployment search — DECISIVE Step 4b's
+//! automation: "the users may … let SAME determine the solution for the
+//! target safety level and costs. If there are multiple options available …
+//! ask SAME to search for the pareto front of viable solutions."
+//!
+//! Three strategies over the same space (each FMEA row independently picks
+//! one applicable catalog mechanism or none):
+//!
+//! * [`exhaustive`] — optimal minimum-cost deployment meeting a target SPFM
+//!   (bounded enumeration);
+//! * [`greedy`] — repeatedly deploys the best SPFM-gain-per-cost option;
+//! * [`pareto_front`] — all non-dominated (cost, SPFM) trade-offs, for the
+//!   analyst to "choose the Safety Mechanisms that they see fit".
+
+use crate::error::{CoreError, Result};
+use crate::fmea::FmeaTable;
+use crate::mechanism::{DeployedMechanism, Deployment, MechanismCatalog, MechanismSpec};
+
+/// One search result: a deployment with its cost and achieved SPFM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The chosen deployment.
+    pub deployment: Deployment,
+    /// Total cost in engineering hours.
+    pub cost: f64,
+    /// SPFM of the design with this deployment applied.
+    pub spfm: f64,
+}
+
+/// Enumeration guard for [`exhaustive`].
+pub const EXHAUSTIVE_LIMIT: u128 = 2_000_000;
+
+/// The per-row deployment choices: `(row index, applicable mechanisms)`.
+fn choices<'a>(
+    table: &'a FmeaTable,
+    catalog: &'a MechanismCatalog,
+) -> Vec<(usize, Vec<&'a MechanismSpec>)> {
+    table
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| row.safety_related)
+        .filter_map(|(i, row)| {
+            let type_key = row.type_key.as_deref()?;
+            let options: Vec<&MechanismSpec> =
+                catalog.options_for(type_key, &row.failure_mode).collect();
+            (!options.is_empty()).then_some((i, options))
+        })
+        .collect()
+}
+
+fn outcome(table: &FmeaTable, deployment: Deployment) -> SearchOutcome {
+    let cost = deployment.total_cost();
+    let spfm = table.with_deployment(&deployment).spfm();
+    SearchOutcome { deployment, cost, spfm }
+}
+
+fn deploy_spec(deployment: &mut Deployment, table: &FmeaTable, row: usize, spec: &MechanismSpec) {
+    let r = &table.rows[row];
+    deployment.deploy(
+        r.component.clone(),
+        r.failure_mode.clone(),
+        DeployedMechanism {
+            name: spec.name.clone(),
+            coverage: spec.coverage,
+            cost_hours: spec.cost_hours,
+        },
+    );
+}
+
+/// Finds the minimum-cost deployment achieving `target_spfm` by exhaustive
+/// enumeration. Returns `None` when no combination reaches the target.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SearchSpaceTooLarge`] when the space exceeds
+/// [`EXHAUSTIVE_LIMIT`] combinations.
+pub fn exhaustive(
+    table: &FmeaTable,
+    catalog: &MechanismCatalog,
+    target_spfm: f64,
+) -> Result<Option<SearchOutcome>> {
+    let slots = choices(table, catalog);
+    let combinations: u128 = slots
+        .iter()
+        .map(|(_, opts)| opts.len() as u128 + 1)
+        .product();
+    if combinations > EXHAUSTIVE_LIMIT {
+        return Err(CoreError::SearchSpaceTooLarge { combinations, limit: EXHAUSTIVE_LIMIT });
+    }
+    let mut best: Option<SearchOutcome> = None;
+    let mut assignment: Vec<Option<usize>> = vec![None; slots.len()];
+    enumerate(table, &slots, &mut assignment, 0, target_spfm, &mut best);
+    Ok(best)
+}
+
+fn enumerate(
+    table: &FmeaTable,
+    slots: &[(usize, Vec<&MechanismSpec>)],
+    assignment: &mut Vec<Option<usize>>,
+    depth: usize,
+    target_spfm: f64,
+    best: &mut Option<SearchOutcome>,
+) {
+    if depth == slots.len() {
+        let mut deployment = Deployment::new();
+        for (slot, choice) in slots.iter().zip(assignment.iter()) {
+            if let Some(option) = choice {
+                deploy_spec(&mut deployment, table, slot.0, slot.1[*option]);
+            }
+        }
+        let candidate = outcome(table, deployment);
+        if candidate.spfm >= target_spfm
+            && best.as_ref().map_or(true, |b| candidate.cost < b.cost)
+        {
+            *best = Some(candidate);
+        }
+        return;
+    }
+    for choice in std::iter::once(None).chain((0..slots[depth].1.len()).map(Some)) {
+        assignment[depth] = choice;
+        enumerate(table, slots, assignment, depth + 1, target_spfm, best);
+    }
+    assignment[depth] = None;
+}
+
+/// Greedy search: repeatedly deploys the option with the best SPFM gain per
+/// cost until the target is met or no option helps. Fast, near-optimal on
+/// realistic catalogs; returns `None` when the target stays unreachable
+/// (use [`greedy_best_effort`] to keep the partial deployment instead).
+pub fn greedy(
+    table: &FmeaTable,
+    catalog: &MechanismCatalog,
+    target_spfm: f64,
+) -> Option<SearchOutcome> {
+    let current = greedy_loop(table, catalog, target_spfm);
+    (current.spfm >= target_spfm).then_some(current)
+}
+
+/// Greedy search without a target: deploys options with positive
+/// SPFM-gain-per-cost until none remain, returning whatever was achieved.
+pub fn greedy_best_effort(table: &FmeaTable, catalog: &MechanismCatalog) -> SearchOutcome {
+    greedy_loop(table, catalog, f64::INFINITY)
+}
+
+fn greedy_loop(table: &FmeaTable, catalog: &MechanismCatalog, target_spfm: f64) -> SearchOutcome {
+    let slots = choices(table, catalog);
+    let mut deployment = Deployment::new();
+    let mut current = outcome(table, deployment.clone());
+    while current.spfm < target_spfm {
+        // Pick the best SPFM-gain-per-cost step, allowing an already
+        // deployed mechanism to be *replaced* by a stronger one (otherwise
+        // a cheap early pick locks its slot and the optimum is missed).
+        let mut best_gain = 0.0;
+        let mut best_pick: Option<(usize, &MechanismSpec)> = None;
+        for (row, options) in &slots {
+            for spec in options {
+                let already = deployment
+                    .get(&table.rows[*row].component, &table.rows[*row].failure_mode)
+                    .is_some_and(|m| m.name == spec.name);
+                if already {
+                    continue;
+                }
+                let mut trial = deployment.clone();
+                deploy_spec(&mut trial, table, *row, spec);
+                let spfm = table.with_deployment(&trial).spfm();
+                let gain = (spfm - current.spfm) / spec.cost_hours.max(1e-9);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_pick = Some((*row, spec));
+                }
+            }
+        }
+        let Some((row, spec)) = best_pick else {
+            break;
+        };
+        deploy_spec(&mut deployment, table, row, spec);
+        current = outcome(table, deployment.clone());
+    }
+    current
+}
+
+/// Computes the Pareto front of `(cost, SPFM)` trade-offs: every returned
+/// outcome is non-dominated (no other choice is both cheaper and safer).
+/// Sorted by increasing cost.
+///
+/// Because every row's residual single-point FIT contributes *additively*
+/// and *independently* to the SPFM numerator, the front is computed by
+/// dynamic programming over the deployment slots with dominance pruning —
+/// exact, without enumerating the combinatorial space (which for the AUV
+/// subject exceeds 10⁶ combinations).
+pub fn pareto_front(table: &FmeaTable, catalog: &MechanismCatalog) -> Result<Vec<SearchOutcome>> {
+    let slots = choices(table, catalog);
+    // States: (cost, residual single-point FIT, chosen option per slot).
+    struct State {
+        cost: f64,
+        residual: f64,
+        picks: Vec<Option<usize>>,
+    }
+    let base_residual: f64 = table.rows.iter().map(|r| r.residual_fit().value()).sum();
+    let mut states = vec![State { cost: 0.0, residual: base_residual, picks: vec![None; slots.len()] }];
+    for (slot_idx, (row, options)) in slots.iter().enumerate() {
+        let row_base = table.rows[*row].mode_fit().value();
+        let mut next: Vec<State> = Vec::with_capacity(states.len() * (options.len() + 1));
+        for state in &states {
+            next.push(State { cost: state.cost, residual: state.residual, picks: state.picks.clone() });
+            for (opt_idx, spec) in options.iter().enumerate() {
+                // The undeployed row contributes its full mode FIT (its
+                // coverage is NONE in the base table); deploying replaces
+                // that contribution by the uncovered remainder.
+                let delta = row_base * spec.coverage.value();
+                let mut picks = state.picks.clone();
+                picks[slot_idx] = Some(opt_idx);
+                next.push(State {
+                    cost: state.cost + spec.cost_hours,
+                    residual: state.residual - delta,
+                    picks,
+                });
+            }
+        }
+        // Dominance pruning: sort by cost, keep strictly-improving residual.
+        next.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.residual.partial_cmp(&b.residual).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut pruned: Vec<State> = Vec::new();
+        for state in next {
+            match pruned.last() {
+                Some(best) if state.residual >= best.residual - 1e-12 => {}
+                _ => pruned.push(state),
+            }
+        }
+        states = pruned;
+    }
+    // Materialise deployments and exact SPFMs for the surviving states.
+    let mut front: Vec<SearchOutcome> = states
+        .into_iter()
+        .map(|state| {
+            let mut deployment = Deployment::new();
+            for (slot, pick) in slots.iter().zip(state.picks.iter()) {
+                if let Some(opt) = pick {
+                    deploy_spec(&mut deployment, table, slot.0, slot.1[*opt]);
+                }
+            }
+            outcome(table, deployment)
+        })
+        .collect();
+    // The per-slot pruning keeps cost-sorted states; re-check dominance on
+    // the exact SPFM values to be safe.
+    front.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<SearchOutcome> = Vec::new();
+    for candidate in front {
+        if out.last().map_or(true, |best| candidate.spfm > best.spfm + 1e-15) {
+            out.push(candidate);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmea::FmeaRow;
+    use decisive_ssam::architecture::{Coverage, FailureNature, Fit};
+
+    fn case_study_table() -> FmeaTable {
+        let mut t = FmeaTable::new("power-supply");
+        let mk = |component: &str, type_key: &str, fit, mode: &str, dist, sr| FmeaRow {
+            component: component.into(),
+            type_key: Some(type_key.into()),
+            fit: Fit::new(fit),
+            failure_mode: mode.into(),
+            nature: FailureNature::LossOfFunction,
+            distribution: dist,
+            safety_related: sr,
+            impact: None,
+            mechanism: None,
+            coverage: Coverage::NONE,
+            warning: None,
+        };
+        t.push(mk("D1", "Diode", 10.0, "Open", 0.3, true));
+        t.push(mk("L1", "Inductor", 15.0, "Open", 0.3, true));
+        t.push(mk("MC1", "MC", 300.0, "RAM Failure", 1.0, true));
+        t
+    }
+
+    fn catalog() -> MechanismCatalog {
+        MechanismCatalog::paper_table_iii()
+    }
+
+    /// The case study: deploying ECC (the only option) reaches ASIL-B.
+    #[test]
+    fn exhaustive_reproduces_the_paper_refinement() {
+        let best = exhaustive(&case_study_table(), &catalog(), 0.90).unwrap().unwrap();
+        assert_eq!(best.deployment.len(), 1);
+        assert_eq!(best.deployment.get("MC1", "RAM Failure").unwrap().name, "ECC");
+        assert!((best.spfm - 0.9677).abs() < 5e-5, "spfm {}", best.spfm);
+        assert!((best.cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_the_case_study() {
+        let g = greedy(&case_study_table(), &catalog(), 0.90).unwrap();
+        let e = exhaustive(&case_study_table(), &catalog(), 0.90).unwrap().unwrap();
+        assert_eq!(g.deployment, e.deployment);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        // ECC alone cannot push SPFM to 99 % (D1/L1 opens stay uncovered).
+        assert!(exhaustive(&case_study_table(), &catalog(), 0.99).unwrap().is_none());
+        assert!(greedy(&case_study_table(), &catalog(), 0.99).is_none());
+    }
+
+    fn rich_catalog() -> MechanismCatalog {
+        MechanismCatalog::from_csv_str(
+            "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\n\
+             MC,RAM Failure,ECC,0.99,2.0\n\
+             MC,RAM Failure,software scrubbing,0.60,0.5\n\
+             Diode,Open,redundant diode,0.95,1.0\n\
+             Inductor,Open,supply monitor,0.90,1.5\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_finds_cheapest_combination() {
+        let table = case_study_table();
+        let catalog = rich_catalog();
+        let best = exhaustive(&table, &catalog, 0.97).unwrap().unwrap();
+        assert!(best.spfm >= 0.97);
+        // Every alternative meeting the target costs at least as much.
+        for other in pareto_front(&table, &catalog).unwrap() {
+            if other.spfm >= 0.97 {
+                assert!(other.cost >= best.cost - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_reaches_targets_the_catalog_supports() {
+        let table = case_study_table();
+        let catalog = rich_catalog();
+        let g = greedy(&table, &catalog, 0.98).unwrap();
+        assert!(g.spfm >= 0.98);
+        // Greedy is not guaranteed optimal, but must not be absurd: within
+        // the total catalog cost.
+        assert!(g.cost <= 5.0);
+    }
+
+    #[test]
+    fn greedy_best_effort_deploys_everything_useful() {
+        let table = case_study_table();
+        let catalog = rich_catalog();
+        // The best the catalog can do: 1 − (0.15 + 0.45 + 3)/325 ≈ 0.98892.
+        let best = greedy_best_effort(&table, &catalog);
+        assert!((best.spfm - (1.0 - 3.6 / 325.0)).abs() < 1e-9);
+        assert_eq!(best.deployment.len(), 3);
+        // And `greedy` with an unreachable target reports None.
+        assert!(greedy(&table, &catalog, 0.99).is_none());
+    }
+
+    #[test]
+    fn pareto_front_is_sorted_and_non_dominated() {
+        let front = pareto_front(&case_study_table(), &rich_catalog()).unwrap();
+        assert!(!front.is_empty());
+        for pair in front.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+            assert!(pair[0].spfm < pair[1].spfm, "higher cost must buy higher SPFM on the front");
+        }
+        // The empty deployment (cost 0) is always on the front.
+        assert_eq!(front[0].cost, 0.0);
+        // The all-best deployment's SPFM is the front's maximum:
+        // 1 − (0.15 + 0.45 + 3)/325 ≈ 0.98892.
+        let max_spfm = front.last().unwrap().spfm;
+        assert!((max_spfm - (1.0 - 3.6 / 325.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_space_guard_trips() {
+        let mut table = FmeaTable::new("big");
+        let mut catalog = MechanismCatalog::new();
+        for i in 0..40 {
+            table.push(FmeaRow {
+                component: format!("C{i}"),
+                type_key: Some("X".into()),
+                fit: Fit::new(10.0),
+                failure_mode: "Open".into(),
+                nature: FailureNature::LossOfFunction,
+                distribution: 1.0,
+                safety_related: true,
+                impact: None,
+                mechanism: None,
+                coverage: Coverage::NONE,
+                warning: None,
+            });
+        }
+        for name in ["a", "b", "c"] {
+            catalog.push(MechanismSpec {
+                component_type: "X".into(),
+                failure_mode: "Open".into(),
+                name: name.into(),
+                coverage: Coverage::new(0.9),
+                cost_hours: 1.0,
+            });
+        }
+        assert!(matches!(
+            exhaustive(&table, &catalog, 0.9),
+            Err(CoreError::SearchSpaceTooLarge { .. })
+        ));
+        // Greedy handles the same space without enumeration.
+        assert!(greedy(&table, &catalog, 0.9).is_some());
+    }
+
+    #[test]
+    fn pareto_dp_matches_brute_force_on_small_spaces() {
+        // Brute force: enumerate every assignment and keep non-dominated
+        // outcomes; the DP must produce the same (cost, spfm) front.
+        let table = case_study_table();
+        let catalog = rich_catalog();
+        let slots = choices(&table, &catalog);
+        let mut all: Vec<SearchOutcome> = Vec::new();
+        let combos: usize = slots.iter().map(|(_, o)| o.len() + 1).product();
+        for mask in 0..combos {
+            let mut rest = mask;
+            let mut deployment = Deployment::new();
+            for (row, options) in &slots {
+                let pick = rest % (options.len() + 1);
+                rest /= options.len() + 1;
+                if pick > 0 {
+                    deploy_spec(&mut deployment, &table, *row, options[pick - 1]);
+                }
+            }
+            all.push(outcome(&table, deployment));
+        }
+        all.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap()
+                .then(b.spfm.partial_cmp(&a.spfm).unwrap())
+        });
+        let mut reference: Vec<(f64, f64)> = Vec::new();
+        for c in all {
+            if reference.last().map_or(true, |(_, s)| c.spfm > *s + 1e-15) {
+                reference.push((c.cost, c.spfm));
+            }
+        }
+        let dp: Vec<(f64, f64)> =
+            pareto_front(&table, &catalog).unwrap().iter().map(|o| (o.cost, o.spfm)).collect();
+        assert_eq!(dp.len(), reference.len());
+        for ((dc, ds), (rc, rs)) in dp.iter().zip(&reference) {
+            assert!((dc - rc).abs() < 1e-9 && (ds - rs).abs() < 1e-12, "dp {dp:?} vs ref {reference:?}");
+        }
+    }
+
+    #[test]
+    fn pareto_scales_to_many_slots() {
+        // 40 slots × 3 options ≈ 4^40 combinations — enumeration would never
+        // finish; the DP front stays small.
+        let mut table = FmeaTable::new("big");
+        let mut catalog = MechanismCatalog::new();
+        for i in 0..40 {
+            table.push(FmeaRow {
+                component: format!("C{i}"),
+                type_key: Some("X".into()),
+                fit: Fit::new(10.0),
+                failure_mode: "Open".into(),
+                nature: FailureNature::LossOfFunction,
+                distribution: 1.0,
+                safety_related: true,
+                impact: None,
+                mechanism: None,
+                coverage: Coverage::NONE,
+                warning: None,
+            });
+        }
+        for (name, cov, cost) in [("a", 0.9, 1.0), ("b", 0.99, 2.0), ("c", 0.5, 0.25)] {
+            catalog.push(MechanismSpec {
+                component_type: "X".into(),
+                failure_mode: "Open".into(),
+                name: name.into(),
+                coverage: Coverage::new(cov),
+                cost_hours: cost,
+            });
+        }
+        let front = pareto_front(&table, &catalog).unwrap();
+        assert!(front.len() > 10, "rich trade-off space");
+        for pair in front.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost && pair[0].spfm < pair[1].spfm);
+        }
+    }
+
+    #[test]
+    fn rows_without_catalog_options_are_ignored() {
+        let mut table = case_study_table();
+        table.rows[0].type_key = None; // D1 loses its type key
+        let best = exhaustive(&table, &catalog(), 0.90).unwrap().unwrap();
+        assert_eq!(best.deployment.len(), 1, "only MC1 has options");
+    }
+}

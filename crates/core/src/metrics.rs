@@ -1,0 +1,242 @@
+//! Architectural metrics and ASIL targets (ISO 26262-5).
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::architecture::{FailureImpact, Fit};
+use decisive_ssam::base::IntegrityLevel;
+
+use crate::fmea::FmeaTable;
+
+/// The hardware architectural metrics of an analysed design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureMetrics {
+    /// Single Point Fault Metric (paper Eq. 1).
+    pub spfm: f64,
+    /// Total FIT of safety-related hardware (the Eq. 1 denominator).
+    pub total_sr_fit: Fit,
+    /// Residual single-point FIT after diagnostics (the Eq. 1 numerator).
+    pub residual_spf_fit: Fit,
+    /// The highest ASIL whose SPFM target the design meets.
+    pub achieved_asil: IntegrityLevel,
+}
+
+/// Computes the metrics of `table`.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::{fmea::FmeaTable, metrics};
+///
+/// let metrics = metrics::compute(&FmeaTable::new("empty"));
+/// assert_eq!(metrics.spfm, 1.0);
+/// ```
+pub fn compute(table: &FmeaTable) -> ArchitectureMetrics {
+    let sr = table.safety_related_components();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut total = Fit::ZERO;
+    for row in &table.rows {
+        if sr.contains(&row.component) && seen.insert(row.component.clone()) {
+            total += row.fit;
+        }
+    }
+    let residual: Fit = table.rows.iter().map(|r| r.residual_fit()).sum();
+    let spfm = table.spfm();
+    ArchitectureMetrics {
+        spfm,
+        total_sr_fit: total,
+        residual_spf_fit: residual,
+        achieved_asil: achieved_asil(spfm),
+    }
+}
+
+/// The SPFM target for an ASIL (ISO 26262-5 Table 4): ≥ 90 % for ASIL-B,
+/// ≥ 97 % for ASIL-C, ≥ 99 % for ASIL-D. ASIL-A and QM have no target.
+pub fn spfm_target(asil: IntegrityLevel) -> Option<f64> {
+    match asil {
+        IntegrityLevel::AsilB => Some(0.90),
+        IntegrityLevel::AsilC => Some(0.97),
+        IntegrityLevel::AsilD => Some(0.99),
+        _ => None,
+    }
+}
+
+/// The Latent Fault Metric target for an ASIL (ISO 26262-5 Table 5):
+/// ≥ 60 % for ASIL-B, ≥ 80 % for ASIL-C, ≥ 90 % for ASIL-D.
+pub fn lfm_target(asil: IntegrityLevel) -> Option<f64> {
+    match asil {
+        IntegrityLevel::AsilB => Some(0.60),
+        IntegrityLevel::AsilC => Some(0.80),
+        IntegrityLevel::AsilD => Some(0.90),
+        _ => None,
+    }
+}
+
+/// The highest ASIL whose SPFM target `spfm` meets; designs below the
+/// ASIL-B threshold report ASIL-A (which carries no SPFM requirement).
+pub fn achieved_asil(spfm: f64) -> IntegrityLevel {
+    if spfm >= 0.99 {
+        IntegrityLevel::AsilD
+    } else if spfm >= 0.97 {
+        IntegrityLevel::AsilC
+    } else if spfm >= 0.90 {
+        IntegrityLevel::AsilB
+    } else {
+        IntegrityLevel::AsilA
+    }
+}
+
+/// `true` if `table` meets the SPFM target of `target` (trivially true for
+/// targets without an SPFM requirement).
+pub fn meets_target(table: &FmeaTable, target: IntegrityLevel) -> bool {
+    match spfm_target(target) {
+        Some(t) => table.spfm() >= t,
+        None => true,
+    }
+}
+
+/// An extension beyond the paper: the Probabilistic Metric for random
+/// Hardware Failures (ISO 26262-5 §9) approximated as the residual
+/// single-point failure rate, in failures/hour.
+///
+/// ISO 26262 targets: `< 10⁻⁷/h` for ASIL-B/C, `< 10⁻⁸/h` for ASIL-D.
+pub fn pmhf(table: &FmeaTable) -> f64 {
+    table.rows.iter().map(|r| r.residual_fit()).sum::<Fit>().per_hour()
+}
+
+/// The PMHF target for an ASIL (ISO 26262-5 Table 6), in failures/hour.
+pub fn pmhf_target(asil: IntegrityLevel) -> Option<f64> {
+    match asil {
+        IntegrityLevel::AsilB | IntegrityLevel::AsilC => Some(1e-7),
+        IntegrityLevel::AsilD => Some(1e-8),
+        _ => None,
+    }
+}
+
+/// An extension beyond the paper: the Latent Fault Metric, counting
+/// indirect-violation (IVF) failure modes that no diagnostic covers as
+/// latent. Requires rows to carry impact classifications via `nature` — the
+/// caller provides the classification map from effects analysis.
+pub fn latent_fault_metric(table: &FmeaTable, impact_of: impl Fn(&crate::fmea::FmeaRow) -> FailureImpact) -> f64 {
+    let sr = table.safety_related_components();
+    if sr.is_empty() {
+        return 1.0;
+    }
+    let mut total = Fit::ZERO;
+    let mut latent = Fit::ZERO;
+    for row in &table.rows {
+        if !sr.contains(&row.component) {
+            continue;
+        }
+        total += row.mode_fit();
+        if impact_of(row) == FailureImpact::IndirectViolation {
+            latent += row.mode_fit() * row.coverage.residual();
+        }
+    }
+    if total.value() == 0.0 {
+        1.0
+    } else {
+        1.0 - latent.value() / total.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmea::FmeaRow;
+    use decisive_ssam::architecture::{Coverage, FailureNature};
+
+    fn table() -> FmeaTable {
+        let mut t = FmeaTable::new("t");
+        t.push(FmeaRow {
+            component: "A".into(),
+            type_key: None,
+            fit: Fit::new(100.0),
+            failure_mode: "Open".into(),
+            nature: FailureNature::LossOfFunction,
+            distribution: 0.5,
+            safety_related: true,
+            impact: None,
+            mechanism: Some("wd".into()),
+            coverage: Coverage::new(0.9),
+            warning: None,
+        });
+        t.push(FmeaRow {
+            component: "A".into(),
+            type_key: None,
+            fit: Fit::new(100.0),
+            failure_mode: "Short".into(),
+            nature: FailureNature::Erroneous,
+            distribution: 0.5,
+            safety_related: false,
+            impact: None,
+            mechanism: None,
+            coverage: Coverage::NONE,
+            warning: None,
+        });
+        t
+    }
+
+    #[test]
+    fn compute_aggregates_fit() {
+        let m = compute(&table());
+        assert_eq!(m.total_sr_fit, Fit::new(100.0));
+        // residual = 100 * 0.5 * 0.1 = 5
+        assert!((m.residual_spf_fit.value() - 5.0).abs() < 1e-9);
+        assert!((m.spfm - 0.95).abs() < 1e-12);
+        assert_eq!(m.achieved_asil, IntegrityLevel::AsilB);
+    }
+
+    #[test]
+    fn targets_match_iso_26262() {
+        assert_eq!(spfm_target(IntegrityLevel::AsilB), Some(0.90));
+        assert_eq!(spfm_target(IntegrityLevel::AsilC), Some(0.97));
+        assert_eq!(spfm_target(IntegrityLevel::AsilD), Some(0.99));
+        assert_eq!(spfm_target(IntegrityLevel::AsilA), None);
+        assert_eq!(lfm_target(IntegrityLevel::AsilD), Some(0.90));
+    }
+
+    #[test]
+    fn achieved_asil_thresholds() {
+        assert_eq!(achieved_asil(0.995), IntegrityLevel::AsilD);
+        assert_eq!(achieved_asil(0.98), IntegrityLevel::AsilC);
+        assert_eq!(achieved_asil(0.9677), IntegrityLevel::AsilB);
+        assert_eq!(achieved_asil(0.0538), IntegrityLevel::AsilA);
+    }
+
+    #[test]
+    fn meets_target_logic() {
+        let t = table(); // spfm 0.95
+        assert!(meets_target(&t, IntegrityLevel::AsilB));
+        assert!(!meets_target(&t, IntegrityLevel::AsilC));
+        assert!(meets_target(&t, IntegrityLevel::Qm));
+    }
+
+    #[test]
+    fn pmhf_is_residual_rate_per_hour() {
+        let t = table(); // residual 5 FIT = 5e-9 /h
+        assert!((pmhf(&t) - 5e-9).abs() < 1e-18);
+        assert_eq!(pmhf_target(IntegrityLevel::AsilB), Some(1e-7));
+        assert_eq!(pmhf_target(IntegrityLevel::AsilD), Some(1e-8));
+        assert_eq!(pmhf_target(IntegrityLevel::Qm), None);
+        // The paper's refined design: 10.5 FIT residual → 1.05e-8 /h,
+        // meeting the ASIL-B PMHF target.
+        assert!(10.5e-9 < pmhf_target(IntegrityLevel::AsilB).unwrap());
+    }
+
+    #[test]
+    fn lfm_counts_uncovered_ivf_modes() {
+        let t = table();
+        // Classify the short as IVF with no coverage: latent = 50 of 100.
+        let lfm = latent_fault_metric(&t, |r| {
+            if r.failure_mode == "Short" {
+                FailureImpact::IndirectViolation
+            } else {
+                FailureImpact::DirectViolation
+            }
+        });
+        assert!((lfm - 0.5).abs() < 1e-12);
+        // No IVF modes → perfect LFM.
+        let lfm = latent_fault_metric(&t, |_| FailureImpact::DirectViolation);
+        assert_eq!(lfm, 1.0);
+    }
+}

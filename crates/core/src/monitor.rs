@@ -1,0 +1,220 @@
+//! Runtime monitor generation from SSAM models — the paper's *dynamic*
+//! component facility ("the SSAM model … can also be easily converted to a
+//! runtime monitoring algorithm", §IV-B6; future work item 4).
+//!
+//! Components declared `dynamic` contribute one check per IO node that has
+//! admissible limits; the generated [`RuntimeMonitor`] evaluates streams of
+//! runtime samples against those limits.
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::model::SsamModel;
+
+/// One generated limit check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorCheck {
+    /// Monitored component instance.
+    pub component: String,
+    /// Monitored IO node.
+    pub io_node: String,
+    /// Lower admissible limit.
+    pub lower: Option<f64>,
+    /// Upper admissible limit.
+    pub upper: Option<f64>,
+}
+
+/// Which limit a sample violated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// The sample fell below the lower limit.
+    Lower,
+    /// The sample exceeded the upper limit.
+    Upper,
+}
+
+/// A detected limit violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violating component.
+    pub component: String,
+    /// The violating IO node.
+    pub io_node: String,
+    /// The observed value.
+    pub value: f64,
+    /// Which limit was violated.
+    pub bound: Bound,
+}
+
+/// A runtime monitor generated from an SSAM model.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::{case_study, monitor::RuntimeMonitor};
+///
+/// let (model, _) = case_study::ssam_model();
+/// let monitor = RuntimeMonitor::generate(&model);
+/// assert!(!monitor.checks().is_empty());
+/// // A healthy reading passes; a collapsed supply does not.
+/// assert!(monitor.observe("CS1", "reading", 0.1).is_none());
+/// assert!(monitor.observe("CS1", "reading", 0.0).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RuntimeMonitor {
+    checks: Vec<MonitorCheck>,
+}
+
+impl RuntimeMonitor {
+    /// Generates a monitor from every limited IO node of every component
+    /// that is `dynamic` or whose *owner chain* contains a dynamic
+    /// component.
+    pub fn generate(model: &SsamModel) -> RuntimeMonitor {
+        let mut checks = Vec::new();
+        for (_, node) in model.io_nodes.iter() {
+            if node.lower_limit.is_none() && node.upper_limit.is_none() {
+                continue;
+            }
+            let owner = &model.components[node.owner];
+            let dynamic_context = owner.dynamic || {
+                // Walk up the containment chain.
+                let mut cur = owner.parent;
+                let mut found = false;
+                while let Some(p) = cur {
+                    if model.components[p].dynamic {
+                        found = true;
+                        break;
+                    }
+                    cur = model.components[p].parent;
+                }
+                found
+            };
+            if dynamic_context {
+                checks.push(MonitorCheck {
+                    component: owner.core.name.value().to_owned(),
+                    io_node: node.core.name.value().to_owned(),
+                    lower: node.lower_limit,
+                    upper: node.upper_limit,
+                });
+            }
+        }
+        RuntimeMonitor { checks }
+    }
+
+    /// The generated checks.
+    pub fn checks(&self) -> &[MonitorCheck] {
+        &self.checks
+    }
+
+    /// Evaluates one sample; returns the violation if any check trips.
+    /// Samples for unmonitored nodes pass silently.
+    pub fn observe(&self, component: &str, io_node: &str, value: f64) -> Option<Violation> {
+        let check = self
+            .checks
+            .iter()
+            .find(|c| c.component == component && c.io_node == io_node)?;
+        if let Some(lo) = check.lower {
+            if value < lo {
+                return Some(Violation {
+                    component: component.to_owned(),
+                    io_node: io_node.to_owned(),
+                    value,
+                    bound: Bound::Lower,
+                });
+            }
+        }
+        if let Some(hi) = check.upper {
+            if value > hi {
+                return Some(Violation {
+                    component: component.to_owned(),
+                    io_node: io_node.to_owned(),
+                    value,
+                    bound: Bound::Upper,
+                });
+            }
+        }
+        None
+    }
+
+    /// Evaluates a stream of `(component, io_node, value)` samples,
+    /// returning all violations in order.
+    pub fn run_stream<'a>(
+        &self,
+        samples: impl IntoIterator<Item = (&'a str, &'a str, f64)>,
+    ) -> Vec<Violation> {
+        samples
+            .into_iter()
+            .filter_map(|(c, n, v)| self.observe(c, n, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_ssam::architecture::{Component, ComponentKind, IoDirection};
+
+    fn model_with_limits(dynamic: bool) -> SsamModel {
+        let mut model = SsamModel::new("m");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let c = model.add_child_component(top, Component::new("sensor", ComponentKind::Hardware));
+        model.components[c].dynamic = dynamic;
+        let node = model.add_io_node(c, "out", IoDirection::Output);
+        model.io_nodes[node].lower_limit = Some(1.0);
+        model.io_nodes[node].upper_limit = Some(2.0);
+        model
+    }
+
+    #[test]
+    fn only_dynamic_components_are_monitored() {
+        let monitor = RuntimeMonitor::generate(&model_with_limits(false));
+        assert!(monitor.checks().is_empty());
+        let monitor = RuntimeMonitor::generate(&model_with_limits(true));
+        assert_eq!(monitor.checks().len(), 1);
+    }
+
+    #[test]
+    fn dynamic_flag_propagates_down_the_containment_chain() {
+        let mut model = SsamModel::new("m");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        model.components[top].dynamic = true;
+        let c = model.add_child_component(top, Component::new("child", ComponentKind::Hardware));
+        let node = model.add_io_node(c, "out", IoDirection::Output);
+        model.io_nodes[node].upper_limit = Some(5.0);
+        let monitor = RuntimeMonitor::generate(&model);
+        assert_eq!(monitor.checks().len(), 1, "dynamic container implies dynamic children");
+    }
+
+    #[test]
+    fn observe_detects_both_bounds() {
+        let monitor = RuntimeMonitor::generate(&model_with_limits(true));
+        assert!(monitor.observe("sensor", "out", 1.5).is_none());
+        assert_eq!(monitor.observe("sensor", "out", 0.5).unwrap().bound, Bound::Lower);
+        assert_eq!(monitor.observe("sensor", "out", 2.5).unwrap().bound, Bound::Upper);
+        assert!(monitor.observe("unknown", "out", 99.0).is_none());
+    }
+
+    #[test]
+    fn stream_evaluation_collects_all_violations() {
+        let monitor = RuntimeMonitor::generate(&model_with_limits(true));
+        let violations = monitor.run_stream([
+            ("sensor", "out", 1.2),
+            ("sensor", "out", 0.2),
+            ("sensor", "out", 1.9),
+            ("sensor", "out", 3.0),
+        ]);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].bound, Bound::Lower);
+        assert_eq!(violations[1].bound, Bound::Upper);
+        assert_eq!(violations[1].value, 3.0);
+    }
+
+    #[test]
+    fn nodes_without_limits_generate_no_checks() {
+        let mut model = SsamModel::new("m");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let c = model.add_child_component(top, Component::new("c", ComponentKind::Hardware));
+        model.components[c].dynamic = true;
+        model.add_io_node(c, "free", IoDirection::Output);
+        assert!(RuntimeMonitor::generate(&model).checks().is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! The component reliability model — DECISIVE Step 3's input ("reliability
+//! data related to each component … is aggregated into the system design").
+//!
+//! Reliability data is keyed by component *type* (Table II: Diode,
+//! Capacitor, Inductor, MC) and carries the FIT and the failure-mode
+//! probability distribution. It can be built programmatically, parsed from
+//! CSV (the paper's Excel spreadsheet), or pulled through the federation
+//! layer from any registered model technology.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use decisive_federation::Value;
+use decisive_ssam::architecture::{FailureNature, Fit};
+use decisive_ssam::model::SsamModel;
+
+use crate::error::{CoreError, Result};
+
+/// One failure mode of a component type with its probability share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureModeSpec {
+    /// Mode name (Table II `Failure_Mode`): `"Open"`, `"Short"`, ….
+    pub name: String,
+    /// Failure nature, driving the graph-based FMEA (Algorithm 1).
+    pub nature: FailureNature,
+    /// Share of the type's FIT in `[0, 1]` (Table II `Distribution`).
+    pub distribution: f64,
+}
+
+/// Reliability data for one component type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentReliability {
+    /// The type key (Table II `Component`).
+    pub type_key: String,
+    /// Base failure rate.
+    pub fit: Fit,
+    /// Failure modes with their distribution.
+    pub modes: Vec<FailureModeSpec>,
+}
+
+/// A reliability database keyed by component type.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::reliability::ReliabilityDb;
+///
+/// # fn main() -> Result<(), decisive_core::CoreError> {
+/// let db = ReliabilityDb::from_csv_str(
+///     "Component,FIT,Failure_Mode,Distribution\n\
+///      Diode,10,Open,0.3\n\
+///      Diode,10,Short,0.7\n",
+/// )?;
+/// assert_eq!(db.get("Diode").unwrap().fit.value(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReliabilityDb {
+    entries: HashMap<String, ComponentReliability>,
+}
+
+impl ReliabilityDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        ReliabilityDb::default()
+    }
+
+    /// Inserts (or replaces) an entry, returning the previous one if any.
+    pub fn insert(&mut self, entry: ComponentReliability) -> Option<ComponentReliability> {
+        self.entries.insert(entry.type_key.clone(), entry)
+    }
+
+    /// Looks up reliability data for a component type.
+    pub fn get(&self, type_key: &str) -> Option<&ComponentReliability> {
+        self.entries.get(type_key)
+    }
+
+    /// Number of component types covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &ComponentReliability> {
+        self.entries.values()
+    }
+
+    /// Builds a database from a federated model value shaped like Table II:
+    /// a list of records with `Component`, `FIT`, `Failure_Mode` and
+    /// `Distribution` fields (an optional `Nature` field overrides the
+    /// heuristic nature inference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for rows missing required
+    /// fields or with out-of-range distributions.
+    pub fn from_value(rows: &Value) -> Result<ReliabilityDb> {
+        let items = rows.as_list().ok_or_else(|| CoreError::InvalidParameter {
+            message: format!("reliability model must be a list of rows, got {}", rows.type_name()),
+        })?;
+        let mut db = ReliabilityDb::new();
+        for (i, row) in items.iter().enumerate() {
+            let field = |name: &str| {
+                row.get(name).ok_or_else(|| CoreError::InvalidParameter {
+                    message: format!("reliability row {i} is missing `{name}`"),
+                })
+            };
+            let type_key = field("Component")?
+                .as_str()
+                .ok_or_else(|| CoreError::InvalidParameter {
+                    message: format!("reliability row {i}: `Component` must be a string"),
+                })?
+                .to_owned();
+            let fit_value = field("FIT")?.as_f64().ok_or_else(|| CoreError::InvalidParameter {
+                message: format!("reliability row {i}: `FIT` must be numeric"),
+            })?;
+            if !(fit_value.is_finite() && fit_value >= 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    message: format!("reliability row {i}: FIT {fit_value} out of range"),
+                });
+            }
+            let mode_name = field("Failure_Mode")?
+                .as_str()
+                .ok_or_else(|| CoreError::InvalidParameter {
+                    message: format!("reliability row {i}: `Failure_Mode` must be a string"),
+                })?
+                .to_owned();
+            let distribution =
+                field("Distribution")?.as_f64().ok_or_else(|| CoreError::InvalidParameter {
+                    message: format!("reliability row {i}: `Distribution` must be numeric"),
+                })?;
+            if !(0.0..=1.0).contains(&distribution) {
+                return Err(CoreError::InvalidParameter {
+                    message: format!("reliability row {i}: distribution {distribution} outside [0, 1]"),
+                });
+            }
+            let nature = match row.get("Nature").and_then(Value::as_str) {
+                Some(n) => nature_from_str(n),
+                None => infer_nature(&mode_name),
+            };
+            let entry = db.entries.entry(type_key.clone()).or_insert_with(|| ComponentReliability {
+                type_key,
+                fit: Fit::new(fit_value),
+                modes: Vec::new(),
+            });
+            entry.modes.push(FailureModeSpec { name: mode_name, nature, distribution });
+        }
+        Ok(db)
+    }
+
+    /// Parses a Table II-shaped CSV document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSV parse errors and the validation errors of
+    /// [`ReliabilityDb::from_value`].
+    pub fn from_csv_str(text: &str) -> Result<ReliabilityDb> {
+        let rows = decisive_federation::csv::parse(text)?;
+        ReliabilityDb::from_value(&rows)
+    }
+
+    /// Serialises the database back into a Table II-shaped value.
+    pub fn to_value(&self) -> Value {
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let mut rows = Vec::new();
+        for key in keys {
+            let entry = &self.entries[key];
+            for mode in &entry.modes {
+                rows.push(Value::record([
+                    ("Component", Value::from(entry.type_key.as_str())),
+                    ("FIT", Value::Real(entry.fit.value())),
+                    ("Failure_Mode", Value::from(mode.name.as_str())),
+                    ("Distribution", Value::Real(mode.distribution)),
+                ]));
+            }
+        }
+        Value::List(rows)
+    }
+
+    /// The paper's example reliability model (Table II), used by the case
+    /// study and the examples.
+    pub fn paper_table_ii() -> ReliabilityDb {
+        ReliabilityDb::from_csv_str(
+            "Component,FIT,Failure_Mode,Distribution\n\
+             Diode,10,Open,0.3\n\
+             Diode,10,Short,0.7\n\
+             Capacitor,2,Open,0.3\n\
+             Capacitor,2,Short,0.7\n\
+             Inductor,15,Open,0.3\n\
+             Inductor,15,Short,0.7\n\
+             MC,300,RAM Failure,1.0\n",
+        )
+        .expect("static table parses")
+    }
+
+    /// DECISIVE Step 3: aggregates reliability data into an SSAM model —
+    /// every component whose `type_key` has an entry receives its FIT and
+    /// failure modes. Returns how many components were annotated.
+    pub fn aggregate_into(&self, model: &mut SsamModel) -> usize {
+        let targets: Vec<_> = model
+            .components
+            .iter()
+            .filter_map(|(idx, c)| {
+                c.type_key
+                    .as_deref()
+                    .and_then(|k| self.entries.get(k))
+                    .map(|entry| (idx, entry.clone()))
+            })
+            .collect();
+        let count = targets.len();
+        for (idx, entry) in targets {
+            model.components[idx].fit = Some(entry.fit);
+            if model.components[idx].failure_modes.is_empty() {
+                for mode in &entry.modes {
+                    let fm = model.add_failure_mode(idx, mode.name.clone(), mode.nature.clone(), mode.distribution);
+                    let _ = fm;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Infers a failure nature from a mode name — the heuristic used when the
+/// reliability source (like Table II) does not state natures explicitly.
+///
+/// Loss-of-supply modes (`open`, anything containing `loss` or `failure`)
+/// break the function outright; `short` produces wrong behaviour instead.
+pub fn infer_nature(mode_name: &str) -> FailureNature {
+    let lower = mode_name.to_ascii_lowercase();
+    if lower.contains("open") || lower.contains("loss") || lower.contains("failure") {
+        FailureNature::LossOfFunction
+    } else if lower.contains("short") {
+        FailureNature::Erroneous
+    } else if lower.contains("drift") || lower.contains("degrad") {
+        FailureNature::Degraded
+    } else {
+        FailureNature::Other(mode_name.to_owned())
+    }
+}
+
+fn nature_from_str(s: &str) -> FailureNature {
+    match s.to_ascii_lowercase().as_str() {
+        "loss" | "loss of function" | "lossoffunction" => FailureNature::LossOfFunction,
+        "erroneous" => FailureNature::Erroneous,
+        "degraded" => FailureNature::Degraded,
+        "intermittent" => FailureNature::Intermittent,
+        "commission" => FailureNature::Commission,
+        other => FailureNature::Other(other.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_ssam::architecture::{Component, ComponentKind};
+
+    #[test]
+    fn paper_table_ii_shape() {
+        let db = ReliabilityDb::paper_table_ii();
+        assert_eq!(db.len(), 4);
+        let diode = db.get("Diode").unwrap();
+        assert_eq!(diode.fit, Fit::new(10.0));
+        assert_eq!(diode.modes.len(), 2);
+        assert_eq!(diode.modes[0].name, "Open");
+        assert_eq!(diode.modes[0].nature, FailureNature::LossOfFunction);
+        assert_eq!(diode.modes[1].nature, FailureNature::Erroneous);
+        let mc = db.get("MC").unwrap();
+        assert_eq!(mc.modes[0].nature, FailureNature::LossOfFunction, "RAM Failure is a loss of function");
+    }
+
+    #[test]
+    fn nature_inference() {
+        assert_eq!(infer_nature("Open"), FailureNature::LossOfFunction);
+        assert_eq!(infer_nature("Short"), FailureNature::Erroneous);
+        assert_eq!(infer_nature("RAM Failure"), FailureNature::LossOfFunction);
+        assert_eq!(infer_nature("Parameter Drift"), FailureNature::Degraded);
+        assert!(matches!(infer_nature("jitter"), FailureNature::Other(_)));
+    }
+
+    #[test]
+    fn explicit_nature_column_overrides() {
+        let db = ReliabilityDb::from_csv_str(
+            "Component,FIT,Failure_Mode,Distribution,Nature\nPLL,50,jitter,1.0,erroneous\n",
+        )
+        .unwrap();
+        assert_eq!(db.get("PLL").unwrap().modes[0].nature, FailureNature::Erroneous);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected() {
+        assert!(ReliabilityDb::from_csv_str("Component,FIT\nDiode,10\n").is_err());
+        assert!(ReliabilityDb::from_csv_str(
+            "Component,FIT,Failure_Mode,Distribution\nDiode,-1,Open,0.3\n"
+        )
+        .is_err());
+        assert!(ReliabilityDb::from_csv_str(
+            "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,1.5\n"
+        )
+        .is_err());
+        assert!(ReliabilityDb::from_value(&Value::from("nope")).is_err());
+    }
+
+    #[test]
+    fn to_value_roundtrip() {
+        let db = ReliabilityDb::paper_table_ii();
+        let back = ReliabilityDb::from_value(&db.to_value()).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn aggregate_into_ssam_annotates_components() {
+        let db = ReliabilityDb::paper_table_ii();
+        let mut model = SsamModel::new("m");
+        let top = model.add_component(Component::new("top", ComponentKind::System));
+        let mut d1 = Component::new("D1", ComponentKind::Hardware);
+        d1.type_key = Some("Diode".to_owned());
+        let d1 = model.add_child_component(top, d1);
+        let mut r1 = Component::new("R1", ComponentKind::Hardware);
+        r1.type_key = Some("Resistor".to_owned()); // no entry in Table II
+        model.add_child_component(top, r1);
+        let annotated = db.aggregate_into(&mut model);
+        assert_eq!(annotated, 1);
+        assert_eq!(model.components[d1].fit, Some(Fit::new(10.0)));
+        assert_eq!(model.components[d1].failure_modes.len(), 2);
+        // Re-aggregating must not duplicate failure modes.
+        db.aggregate_into(&mut model);
+        assert_eq!(model.components[d1].failure_modes.len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Traceability reporting across the federated model — the paper's §II-C
+//! requirement that "components and their respective requirement shall
+//! typically link, and the failure modes of a component shall also be
+//! associated with identified hazards".
+//!
+//! The report walks every failure mode and collects, through SSAM's `cite`
+//! and reference facilities: the hazards it can cause, the mechanisms
+//! covering it, and the requirements allocated to its component.
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::base::CiteRef;
+use decisive_ssam::model::SsamModel;
+
+/// One traceability row: a failure mode with everything linked to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Component instance.
+    pub component: String,
+    /// Failure mode name.
+    pub failure_mode: String,
+    /// Hazards this failure mode is associated with.
+    pub hazards: Vec<String>,
+    /// Safety mechanisms covering this failure mode.
+    pub mechanisms: Vec<String>,
+    /// Requirements citing the component.
+    pub requirements: Vec<String>,
+}
+
+impl TraceEntry {
+    /// `true` when the failure mode has no hazard association — a gap a
+    /// reviewer should close.
+    pub fn is_unassociated(&self) -> bool {
+        self.hazards.is_empty()
+    }
+}
+
+/// Builds the traceability report of `model`, one entry per failure mode,
+/// in component allocation order.
+pub fn traceability_report(model: &SsamModel) -> Vec<TraceEntry> {
+    let mut report = Vec::new();
+    for (cidx, component) in model.components.iter() {
+        // Requirements citing this component.
+        let requirements: Vec<String> = model
+            .requirements
+            .iter()
+            .filter(|(_, r)| r.core.cites.iter().any(|c| matches!(c, CiteRef::Component(i) if *i == cidx)))
+            .map(|(_, r)| r.core.name.value().to_owned())
+            .collect();
+        for (fm_idx, fm) in model.failure_modes_of(cidx) {
+            let hazards = fm
+                .hazards
+                .iter()
+                .map(|&h| model.hazards[h].core.name.value().to_owned())
+                .collect();
+            let mechanisms = model
+                .mechanisms_covering(cidx, fm_idx)
+                .map(|m| m.core.name.value().to_owned())
+                .collect();
+            report.push(TraceEntry {
+                component: component.core.name.value().to_owned(),
+                failure_mode: fm.core.name.value().to_owned(),
+                hazards,
+                mechanisms,
+                requirements: requirements.clone(),
+            });
+        }
+    }
+    report
+}
+
+/// Renders the report as aligned text, flagging unassociated failure modes.
+pub fn render_report(report: &[TraceEntry]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for entry in report {
+        let _ = writeln!(
+            out,
+            "{}/{} -> hazards [{}] mechanisms [{}] requirements [{}]{}",
+            entry.component,
+            entry.failure_mode,
+            entry.hazards.join(", "),
+            entry.mechanisms.join(", "),
+            entry.requirements.join(", "),
+            if entry.is_unassociated() { "  (!) no hazard association" } else { "" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    #[test]
+    fn case_study_traces_loss_modes_to_h1() {
+        let (model, _) = case_study::ssam_model();
+        let report = traceability_report(&model);
+        let entry = |component: &str, mode: &str| {
+            report
+                .iter()
+                .find(|e| e.component == component && e.failure_mode == mode)
+                .unwrap_or_else(|| panic!("missing {component}/{mode}"))
+        };
+        assert_eq!(entry("D1", "Open").hazards, vec!["H1"]);
+        assert_eq!(entry("L1", "Open").hazards, vec!["H1"]);
+        assert_eq!(entry("MC1", "RAM Failure").hazards, vec!["H1"]);
+        // Erroneous modes are not tied to the loss hazard.
+        assert!(entry("D1", "Short").is_unassociated());
+    }
+
+    #[test]
+    fn requirements_trace_to_the_sensing_chain() {
+        let (model, _) = case_study::ssam_model();
+        let report = traceability_report(&model);
+        let mc1 = report.iter().find(|e| e.component == "MC1").expect("MC1 entry");
+        assert_eq!(mc1.requirements, vec!["SR-1"]);
+    }
+
+    #[test]
+    fn deployed_mechanisms_appear_in_the_report() {
+        let (mut model, _) = case_study::ssam_model();
+        let mc1 = model.component_by_name("MC1").expect("MC1");
+        let ram = model.components[mc1].failure_modes[0];
+        model.deploy_safety_mechanism(
+            mc1,
+            "ECC",
+            ram,
+            decisive_ssam::architecture::Coverage::new(0.99),
+            2.0,
+        );
+        let report = traceability_report(&model);
+        let entry = report
+            .iter()
+            .find(|e| e.component == "MC1" && e.failure_mode == "RAM Failure")
+            .expect("MC1 RAM entry");
+        assert_eq!(entry.mechanisms, vec!["ECC"]);
+    }
+
+    #[test]
+    fn rendering_flags_gaps() {
+        let (model, _) = case_study::ssam_model();
+        let text = render_report(&traceability_report(&model));
+        assert!(text.contains("D1/Open -> hazards [H1]"));
+        assert!(text.contains("no hazard association"));
+    }
+}

@@ -1,0 +1,217 @@
+//! `decisive` — command-line front end to the toolchain: validate, analyse
+//! and render SSAM models persisted as JSON.
+//!
+//! ```text
+//! decisive demo model.json                 # write the case-study model
+//! decisive validate model.json             # SSAM well-formedness report
+//! decisive fmea model.json [--csv out.csv] # automated FMEA (Algorithm 1)
+//! decisive spfm table.json                 # metrics of a saved FMEA table
+//! decisive render model.json [--dot]       # ASCII tree or Graphviz DOT
+//! decisive monitor model.json              # generated runtime checks
+//! ```
+
+use std::process::ExitCode;
+
+use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
+use decisive::core::monitor::RuntimeMonitor;
+use decisive::core::{case_study, metrics, persist};
+use decisive::ssam::model::SsamModel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("import") => cmd_import(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("fmea") => cmd_fmea(&args[1..]),
+        Some("spfm") => cmd_spfm(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
+        Some("impact") => cmd_impact(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "decisive — iterative automated safety analysis\n\n\
+         usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
+         decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
+         decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
+         decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
+         decisive trace <model.json>"
+    );
+}
+
+fn required_path(args: &[String]) -> Result<&str, String> {
+    args.first().map(String::as_str).ok_or_else(|| "missing <path> argument".to_owned())
+}
+
+fn load(path: &str) -> Result<SsamModel, String> {
+    persist::load_model(path).map_err(|e| e.to_string())
+}
+
+fn top_of(model: &SsamModel) -> Result<decisive::ssam::id::Idx<decisive::ssam::architecture::Component>, String> {
+    model
+        .components
+        .iter()
+        .find(|(_, c)| c.parent.is_none())
+        .map(|(i, _)| i)
+        .ok_or_else(|| "model has no top-level component".to_owned())
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("usage: decisive import <design.bd> <model.json>".to_owned());
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+    let model = decisive::blocks::to_ssam(&diagram);
+    persist::save_model(&model, output).map_err(|e| e.to_string())?;
+    println!(
+        "imported `{}` ({} blocks, {} connections) -> {output}",
+        diagram.name(),
+        diagram.block_count(),
+        diagram.connections().len()
+    );
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let (model, _) = case_study::ssam_model();
+    persist::save_model(&model, path).map_err(|e| e.to_string())?;
+    println!("wrote the power-supply case study ({} elements) to {path}", model.element_count());
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let model = load(path)?;
+    let issues = decisive::ssam::validate::validate(&model);
+    if issues.is_empty() {
+        println!("{path}: well-formed ({} elements)", model.element_count());
+        Ok(())
+    } else {
+        for issue in &issues {
+            println!("{issue}");
+        }
+        Err(format!("{} issue(s) found", issues.len()))
+    }
+}
+
+fn cmd_fmea(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let model = load(path)?;
+    let top = top_of(&model)?;
+    let algorithm = match flag_value(args, "--algorithm").unwrap_or("cut") {
+        "paths" => GraphAlgorithm::ExhaustivePaths,
+        "cut" => GraphAlgorithm::CutVertex,
+        other => return Err(format!("unknown algorithm `{other}` (paths|cut)")),
+    };
+    let table = graph::run(&model, top, &GraphConfig { algorithm, ..GraphConfig::default() })
+        .map_err(|e| e.to_string())?;
+    print!("{}", table.to_csv_string());
+    let m = metrics::compute(&table);
+    println!(
+        "# SPFM {:.2}% ({}) over {} FIT of safety-related hardware",
+        m.spfm * 100.0,
+        m.achieved_asil,
+        m.total_sr_fit.value()
+    );
+    if let Some(out) = flag_value(args, "--csv") {
+        std::fs::write(out, table.to_csv_string()).map_err(|e| e.to_string())?;
+        println!("# written to {out}");
+    }
+    if let Some(out) = flag_value(args, "--json") {
+        persist::save_table(&table, out).map_err(|e| e.to_string())?;
+        println!("# written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_spfm(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let table = persist::load_table(path).map_err(|e| e.to_string())?;
+    let m = metrics::compute(&table);
+    println!("system:            {}", table.system);
+    println!("rows:              {}", table.rows.len());
+    println!("safety-related:    {:?}", table.safety_related_components());
+    println!("SPFM:              {:.4} ({:.2}%)", m.spfm, m.spfm * 100.0);
+    println!("achieved ASIL:     {}", m.achieved_asil);
+    println!("SR hardware FIT:   {}", m.total_sr_fit);
+    println!("residual SPF FIT:  {}", m.residual_spf_fit);
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let model = load(path)?;
+    if args.iter().any(|a| a == "--dot") {
+        let top = top_of(&model)?;
+        print!("{}", decisive::ssam::render::dot_graph(&model, top));
+    } else {
+        print!("{}", decisive::ssam::render::ascii_tree(&model));
+    }
+    Ok(())
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let model = load(path)?;
+    let monitor = RuntimeMonitor::generate(&model);
+    if monitor.checks().is_empty() {
+        println!("no runtime checks (no dynamic components with limited IO nodes)");
+    }
+    for check in monitor.checks() {
+        println!(
+            "{}::{} in [{}, {}]",
+            check.component,
+            check.io_node,
+            check.lower.map(|v| v.to_string()).unwrap_or_else(|| "-inf".into()),
+            check.upper.map(|v| v.to_string()).unwrap_or_else(|| "+inf".into()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_impact(args: &[String]) -> Result<(), String> {
+    let [old_path, new_path] = args else {
+        return Err("usage: decisive impact <old.json> <new.json>".to_owned());
+    };
+    let old_model = load(old_path)?;
+    let new_model = load(new_path)?;
+    let report = decisive::core::impact::diff_models(&old_model, &new_model);
+    print!("{}", report.render());
+    if report.requires_reanalysis() {
+        Err("re-analysis required".to_owned())
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = required_path(args)?;
+    let model = load(path)?;
+    let report = decisive::core::trace::traceability_report(&model);
+    print!("{}", decisive::core::trace::render_report(&report));
+    let gaps = report.iter().filter(|e| e.is_unassociated()).count();
+    println!("# {} failure mode(s), {} without a hazard association", report.len(), gaps);
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str())
+}

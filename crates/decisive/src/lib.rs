@@ -1,0 +1,54 @@
+//! # decisive
+//!
+//! The facade crate of the **DECISIVE** reproduction — *DEsigning CrItical
+//! Systems with IteratiVe automated safEty analysis* (DAC 2022) — tying the
+//! whole toolchain together:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`ssam`] | `decisive-ssam` | the Structured System Architecture Metamodel |
+//! | [`circuit`] | `decisive-circuit` | the fault-injectable analog simulator (Simulink substitute) |
+//! | [`blocks`] | `decisive-blocks` | block-diagram authoring + lossless SSAM transformation |
+//! | [`federation`] | `decisive-federation` | heterogeneous model drivers, EQL, scalable stores |
+//! | [`hara`] | `decisive-hara` | hazard analysis & risk assessment (ISO 26262 risk graph) |
+//! | [`core`] | `decisive-core` | automated FME(D)A, SPFM, mechanism search, the process driver |
+//! | [`fta`] | `decisive-fta` | fault tree analysis (HiP-HOPS-style baseline + future work) |
+//! | [`assurance`] | `decisive-assurance` | GSN assurance cases with automated evaluation |
+//! | [`workload`] | `decisive-workload` | evaluation subjects and the simulated analyst |
+//!
+//! See the repository's `examples/` for runnable walk-throughs, starting
+//! with `quickstart.rs` (the paper's case study end to end), and
+//! `EXPERIMENTS.md` for the paper-versus-measured record of every table
+//! and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use decisive::core::{case_study, fmea::graph, mechanism, metrics};
+//!
+//! # fn main() -> Result<(), decisive::core::CoreError> {
+//! let (model, top) = case_study::ssam_model();
+//! let table = graph::run(&model, top, &graph::GraphConfig::default())?;
+//! assert!((table.spfm() - 0.0538).abs() < 5e-4); // the paper's 5.38 %
+//! let refined = mechanism::search::greedy(
+//!     &table,
+//!     &mechanism::MechanismCatalog::paper_table_iii(),
+//!     0.90,
+//! )
+//! .expect("ECC reaches ASIL-B");
+//! assert!((refined.spfm - 0.9677).abs() < 5e-5); // the paper's 96.77 %
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use decisive_assurance as assurance;
+pub use decisive_blocks as blocks;
+pub use decisive_circuit as circuit;
+pub use decisive_core as core;
+pub use decisive_federation as federation;
+pub use decisive_fta as fta;
+pub use decisive_hara as hara;
+pub use decisive_ssam as ssam;
+pub use decisive_workload as workload;

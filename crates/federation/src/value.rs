@@ -1,0 +1,271 @@
+//! The [`Value`] data model — the common shape every federated model is
+//! exposed as, playing the role Epsilon's model connectivity layer plays in
+//! the paper: one uniform surface over CSV, JSON, spreadsheets and in-memory
+//! models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamically-typed model value.
+///
+/// Records keep insertion order (so CSV column order survives a round trip).
+///
+/// # Examples
+///
+/// ```
+/// use decisive_federation::Value;
+///
+/// let row = Value::record([("Component", Value::from("Diode")), ("FIT", Value::from(10.0))]);
+/// assert_eq!(row.get("FIT").and_then(Value::as_f64), Some(10.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Real(f64),
+    /// String.
+    Str(String),
+    /// Ordered list.
+    List(Vec<Value>),
+    /// Ordered key → value record.
+    Record(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a record from `(key, value)` pairs.
+    pub fn record<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Record(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a list.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// A short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Field lookup on records; `None` elsewhere or when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Record(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index lookup on lists.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::List(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Number of items (list) or fields (record); `None` elsewhere.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Value::List(items) => Some(items.len()),
+            Value::Record(pairs) => Some(pairs.len()),
+            _ => None,
+        }
+    }
+
+    /// `true` for an empty list or record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (ints only — reals are not silently truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`; ints widen, numeric strings (optionally with a
+    /// trailing `%`, scaled by 1/100) coerce.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            Value::Str(s) => {
+                let t = s.trim();
+                if let Some(pct) = t.strip_suffix('%') {
+                    pct.trim().parse::<f64>().ok().map(|v| v / 100.0)
+                } else {
+                    t.parse::<f64>().ok()
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items of a list, if it is one.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Rough in-memory footprint in bytes, used by the eager model store's
+    /// memory budget (the Table VI scalability experiment).
+    pub fn estimated_bytes(&self) -> u64 {
+        match self {
+            Value::Null | Value::Bool(_) => 16,
+            Value::Int(_) | Value::Real(_) => 24,
+            Value::Str(s) => 24 + s.len() as u64,
+            Value::List(items) => 24 + items.iter().map(Value::estimated_bytes).sum::<u64>(),
+            Value::Record(pairs) => {
+                24 + pairs
+                    .iter()
+                    .map(|(k, v)| 24 + k.len() as u64 + v.estimated_bytes())
+                    .sum::<u64>()
+            }
+        }
+    }
+
+    /// Truthiness for EQL conditions: `false`, `null`, `0`, `""`, and empty
+    /// collections are falsy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Real(r) => *r != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(items) => !items.is_empty(),
+            Value::Record(pairs) => !pairs.is_empty(),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Value::List(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lookup_preserves_order() {
+        let r = Value::record([("b", Value::from(1)), ("a", Value::from(2))]);
+        assert_eq!(r.get("b"), Some(&Value::Int(1)));
+        assert_eq!(r.get("missing"), None);
+        if let Value::Record(pairs) = &r {
+            assert_eq!(pairs[0].0, "b");
+        } else {
+            panic!("not a record");
+        }
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::from("2.5").as_f64(), Some(2.5));
+        assert_eq!(Value::from("30%").as_f64(), Some(0.3));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Real(1.5).as_i64(), None, "no silent truncation");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::from("").truthy());
+        assert!(!Value::list([]).truthy());
+        assert!(Value::from("x").truthy());
+        assert!(Value::Bool(true).truthy());
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_content() {
+        let small = Value::from("x");
+        let big = Value::record([("key", Value::list((0..100).map(Value::from)))]);
+        assert!(big.estimated_bytes() > small.estimated_bytes());
+    }
+
+    #[test]
+    fn from_iterator_collects_lists() {
+        let v: Value = (1..=3).map(|i| i as i64).collect();
+        assert_eq!(v.len(), Some(3));
+        assert_eq!(v.at(2), Some(&Value::Int(3)));
+    }
+}

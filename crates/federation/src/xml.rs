@@ -1,0 +1,484 @@
+//! A small, self-contained XML parser and printer over [`Value`] — covering
+//! the XML federation target the paper lists ("the graphical tool for SSAM
+//! supports the extraction and federation of information defined using: …
+//! XML, CSV, Excel", §IV-C).
+//!
+//! ## Mapping
+//!
+//! An element maps to a [`Value::Record`]:
+//!
+//! * attributes become `"@name"` fields,
+//! * child elements become fields named after their tag — repeated tags
+//!   collapse into a [`Value::List`],
+//! * significant text content lands under `"#text"`.
+//!
+//! The top-level document maps to `{"<root-tag>": <root-record>}` so the
+//! root's name survives a round trip. The supported subset: prolog,
+//! comments, CDATA, attributes with single or double quotes, self-closing
+//! tags and the five predefined entities. DTDs and namespaces-aware
+//! processing are out of scope (prefixes are kept verbatim in names).
+
+use crate::error::{FederationError, Result};
+use crate::value::Value;
+
+/// Parses an XML document.
+///
+/// # Errors
+///
+/// Returns [`FederationError::Parse`] with line/column for malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_federation::{xml, Value};
+///
+/// # fn main() -> Result<(), decisive_federation::FederationError> {
+/// let doc = xml::parse(r#"<parts><part id="D1" fit="10"/><part id="L1" fit="15"/></parts>"#)?;
+/// let parts = doc.get("parts").and_then(|p| p.get("part")).expect("list of parts");
+/// assert_eq!(parts.len(), Some(2));
+/// assert_eq!(parts.at(0).unwrap().get("@fit"), Some(&Value::Int(10)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(input: &str) -> Result<Value> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    let (tag, element) = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(Value::record([(tag, element)]))
+}
+
+/// Prints a value produced by [`parse`] (or shaped like its output) back to
+/// XML. The input must be a single-field record naming the root element.
+///
+/// # Errors
+///
+/// Returns [`FederationError::Eval`] when the value does not follow the
+/// documented mapping.
+pub fn to_string(value: &Value) -> Result<String> {
+    let Value::Record(pairs) = value else {
+        return Err(FederationError::eval(format!(
+            "xml document must be a record, got a {}",
+            value.type_name()
+        )));
+    };
+    let [(tag, root)] = pairs.as_slice() else {
+        return Err(FederationError::eval(
+            "xml document must have exactly one root field".to_owned(),
+        ));
+    };
+    let mut out = String::new();
+    write_element(tag, root, &mut out)?;
+    Ok(out)
+}
+
+fn write_element(tag: &str, value: &Value, out: &mut String) -> Result<()> {
+    out.push('<');
+    out.push_str(tag);
+    let Value::Record(pairs) = value else {
+        // Scalar content: <tag>text</tag>.
+        out.push('>');
+        escape_into(&scalar_text(value), out);
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+        return Ok(());
+    };
+    // Attributes first.
+    for (key, v) in pairs {
+        if let Some(name) = key.strip_prefix('@') {
+            out.push(' ');
+            out.push_str(name);
+            out.push_str("=\"");
+            escape_into(&scalar_text(v), out);
+            out.push('"');
+        }
+    }
+    let has_content = pairs.iter().any(|(k, _)| !k.starts_with('@'));
+    if !has_content {
+        out.push_str("/>");
+        return Ok(());
+    }
+    out.push('>');
+    for (key, v) in pairs {
+        if key.starts_with('@') {
+            continue;
+        }
+        if key == "#text" {
+            escape_into(&scalar_text(v), out);
+            continue;
+        }
+        match v {
+            Value::List(items) => {
+                for item in items {
+                    write_element(key, item, out)?;
+                }
+            }
+            other => write_element(key, other, out)?,
+        }
+    }
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+    Ok(())
+}
+
+fn scalar_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Null => String::new(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Real(r) => r.to_string(),
+        other => crate::json::to_string(other),
+    }
+}
+
+fn escape_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> FederationError {
+        let (mut line, mut column) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        FederationError::Parse { format: "xml", line, column, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments and processing instructions / prolog.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.take_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.take_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.take_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn take_until(&mut self, end: &str) -> Result<()> {
+        match self.bytes[self.pos..]
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(offset) => {
+                self.pos += offset + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct (expected `{end}`)"))),
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in name"))?
+            .to_owned())
+    }
+
+    fn element(&mut self) -> Result<(String, Value)> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let tag = self.name()?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok((tag, Value::Record(pairs)));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected `=` after attribute `{attr}`")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected a quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in attribute"))?;
+                    self.pos += 1;
+                    pairs.push((format!("@{attr}"), type_text(&unescape(raw))));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.name()?;
+                if closing != tag {
+                    return Err(self.err(format!("mismatched closing tag `{closing}` (expected `{tag}`)")));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` in closing tag"));
+                }
+                self.pos += 1;
+                break;
+            } else if self.starts_with("<!--") {
+                self.take_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.take_until("]]>")?;
+                let end = self.pos - "]]>".len();
+                text.push_str(
+                    std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8 in CDATA"))?,
+                );
+            } else if self.peek() == Some(b'<') {
+                let (child_tag, child) = self.element()?;
+                insert_child(&mut pairs, child_tag, child);
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in text"))?;
+                text.push_str(&unescape(raw));
+            } else {
+                return Err(self.err(format!("unexpected end of input inside `{tag}`")));
+            }
+        }
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            pairs.push(("#text".to_owned(), type_text(trimmed)));
+        }
+        Ok((tag, Value::Record(pairs)))
+    }
+}
+
+/// Appends a child, collapsing repeated tags into a list.
+fn insert_child(pairs: &mut Vec<(String, Value)>, tag: String, child: Value) {
+    if let Some((_, existing)) = pairs.iter_mut().find(|(k, _)| *k == tag) {
+        match existing {
+            Value::List(items) => items.push(child),
+            other => {
+                let first = std::mem::take(other);
+                *other = Value::List(vec![first, child]);
+            }
+        }
+    } else {
+        pairs.push((tag, child));
+    }
+}
+
+fn unescape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = match rest.find(';') {
+            Some(s) => s,
+            None => {
+                out.push_str(rest);
+                return out;
+            }
+        };
+        match &rest[..=semi] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            entity => {
+                if let Some(code) = entity
+                    .strip_prefix("&#x")
+                    .or_else(|| entity.strip_prefix("&#X"))
+                    .and_then(|h| u32::from_str_radix(&h[..h.len() - 1], 16).ok())
+                    .or_else(|| entity.strip_prefix("&#").and_then(|d| d[..d.len() - 1].parse().ok()))
+                {
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                } else {
+                    out.push_str(entity);
+                }
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Auto-types textual content like the CSV driver does.
+fn type_text(text: &str) -> Value {
+    if let Ok(i) = text.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(r) = text.parse::<f64>() {
+        return Value::Real(r);
+    }
+    match text {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(text.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_attributes_children_and_text() {
+        let v = parse(
+            "<?xml version=\"1.0\"?>\n<!-- reliability -->\n\
+             <component id='D1' fit=\"10\">\n  <mode name=\"Open\">0.3</mode>\n  <mode name=\"Short\">0.7</mode>\n</component>",
+        )
+        .unwrap();
+        let c = v.get("component").unwrap();
+        assert_eq!(c.get("@id"), Some(&Value::from("D1")));
+        assert_eq!(c.get("@fit"), Some(&Value::Int(10)));
+        let modes = c.get("mode").unwrap();
+        assert_eq!(modes.len(), Some(2));
+        assert_eq!(modes.at(0).unwrap().get("#text"), Some(&Value::Real(0.3)));
+        assert_eq!(modes.at(1).unwrap().get("@name"), Some(&Value::from("Short")));
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let v = parse("<a><b/><c><d x='1'/></c></a>").unwrap();
+        let a = v.get("a").unwrap();
+        assert_eq!(a.get("b"), Some(&Value::Record(vec![])));
+        assert_eq!(
+            a.get("c").unwrap().get("d").unwrap().get("@x"),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let v = parse("<t a=\"&lt;x&gt;\">&amp;joined <![CDATA[<raw & text>]]> &#65;&#x42;</t>").unwrap();
+        let t = v.get("t").unwrap();
+        assert_eq!(t.get("@a"), Some(&Value::from("<x>")));
+        let text = t.get("#text").unwrap().as_str().unwrap();
+        assert!(text.contains("&joined"));
+        assert!(text.contains("<raw & text>"));
+        assert!(text.contains("AB"));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        for (doc, needle) in [
+            ("<a><b></a>", "mismatched closing tag"),
+            ("<a x=1></a>", "quoted attribute"),
+            ("<a", "unexpected end"),
+            ("<a></a><b/>", "trailing content"),
+            ("plain text", "expected `<`"),
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{doc}` gave `{err}`, wanted `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = "<parts count=\"2\"><part id=\"D1\" fit=\"10\"/><part id=\"L1\" fit=\"15\"/><note>ok &amp; fine</note></parts>";
+        let v = parse(doc).unwrap();
+        let printed = to_string(&v).unwrap();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn to_string_rejects_non_documents() {
+        assert!(to_string(&Value::Int(1)).is_err());
+        assert!(to_string(&Value::record([("a", Value::Null), ("b", Value::Null)])).is_err());
+    }
+
+    #[test]
+    fn eql_navigates_parsed_xml() {
+        let v = parse(
+            "<reliability><row component=\"Diode\" fit=\"10\"/><row component=\"MC\" fit=\"300\"/></reliability>",
+        )
+        .unwrap();
+        // String indexing reaches attribute fields directly.
+        let total = crate::eql::eval_str("model.reliability.row.collect(r | r['@fit']).sum()", &v)
+            .expect("query runs");
+        assert_eq!(total.as_f64(), Some(310.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal cut set extraction (MOCUS) and quantification.
+
+use std::collections::BTreeSet;
+
+use crate::tree::{FaultTree, Gate, Node, NodeId};
+
+/// A cut set: a set of basic events whose joint occurrence fails the top
+/// event.
+pub type CutSet = BTreeSet<NodeId>;
+
+impl FaultTree {
+    /// Computes the minimal cut sets of the top event using MOCUS-style
+    /// top-down expansion followed by minimisation.
+    ///
+    /// Returns an empty vector when no top event is set. Voting gates
+    /// `k/n` expand into OR-of-ANDs over all `k`-subsets of their inputs.
+    pub fn minimal_cut_sets(&self) -> Vec<CutSet> {
+        let Some(top) = self.top() else {
+            return Vec::new();
+        };
+        let expanded = self.expand(top);
+        minimise(expanded)
+    }
+
+    /// The cut sets of `node` before minimisation.
+    fn expand(&self, node: NodeId) -> Vec<CutSet> {
+        match self.node(node) {
+            Node::Basic { .. } => {
+                vec![std::iter::once(node).collect()]
+            }
+            Node::Event { gate, children, .. } => match gate {
+                Gate::Or => children.iter().flat_map(|&c| self.expand(c)).collect(),
+                Gate::And => {
+                    let mut acc: Vec<CutSet> = vec![CutSet::new()];
+                    for &c in children {
+                        let child_sets = self.expand(c);
+                        let mut next = Vec::with_capacity(acc.len() * child_sets.len());
+                        for a in &acc {
+                            for cs in &child_sets {
+                                let mut merged = a.clone();
+                                merged.extend(cs.iter().copied());
+                                next.push(merged);
+                            }
+                        }
+                        acc = next;
+                    }
+                    acc
+                }
+                Gate::Voting { k } => {
+                    // k-out-of-n failure: OR over all k-subsets ANDed.
+                    let k = *k as usize;
+                    let mut acc = Vec::new();
+                    for subset in combinations(children, k) {
+                        let mut sets: Vec<CutSet> = vec![CutSet::new()];
+                        for c in subset {
+                            let child_sets = self.expand(c);
+                            let mut next = Vec::with_capacity(sets.len() * child_sets.len());
+                            for a in &sets {
+                                for cs in &child_sets {
+                                    let mut merged = a.clone();
+                                    merged.extend(cs.iter().copied());
+                                    next.push(merged);
+                                }
+                            }
+                            sets = next;
+                        }
+                        acc.extend(sets);
+                    }
+                    acc
+                }
+            },
+        }
+    }
+}
+
+fn combinations(items: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    if items.len() < k {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let first = items[0];
+    for mut rest in combinations(&items[1..], k - 1) {
+        rest.insert(0, first);
+        out.push(rest);
+    }
+    out.extend(combinations(&items[1..], k));
+    out
+}
+
+/// Removes duplicate and superset cut sets, returning them sorted by size
+/// then content (singletons — the single-point faults — first).
+pub fn minimise(mut sets: Vec<CutSet>) -> Vec<CutSet> {
+    sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    let mut minimal: Vec<CutSet> = Vec::new();
+    for candidate in sets {
+        if !minimal.iter().any(|m| m.is_subset(&candidate)) {
+            minimal.push(candidate);
+        }
+    }
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_ssam::architecture::Fit;
+
+    fn fit() -> Fit {
+        Fit::new(1.0)
+    }
+
+    #[test]
+    fn or_of_basics_yields_singletons() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", fit());
+        let b = ft.basic("b", fit());
+        let top = ft.event("top", Gate::Or, vec![a, b]);
+        ft.set_top(top);
+        let mcs = ft.minimal_cut_sets();
+        assert_eq!(mcs.len(), 2);
+        assert!(mcs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn and_of_basics_yields_one_pair() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", fit());
+        let b = ft.basic("b", fit());
+        let top = ft.event("top", Gate::And, vec![a, b]);
+        ft.set_top(top);
+        let mcs = ft.minimal_cut_sets();
+        assert_eq!(mcs.len(), 1);
+        assert_eq!(mcs[0].len(), 2);
+    }
+
+    #[test]
+    fn nested_tree_minimises_supersets() {
+        // top = OR(a, AND(a, b)) — the AND branch is absorbed by {a}.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", fit());
+        let b = ft.basic("b", fit());
+        let and = ft.event("and", Gate::And, vec![a, b]);
+        let top = ft.event("top", Gate::Or, vec![a, and]);
+        ft.set_top(top);
+        let mcs = ft.minimal_cut_sets();
+        assert_eq!(mcs.len(), 1);
+        assert_eq!(mcs[0].len(), 1);
+    }
+
+    #[test]
+    fn voting_gate_expands_k_subsets() {
+        // 2oo3 failure: any two of three failing fails the top.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", fit());
+        let b = ft.basic("b", fit());
+        let c = ft.basic("c", fit());
+        let top = ft.event("top", Gate::Voting { k: 2 }, vec![a, b, c]);
+        ft.set_top(top);
+        let mcs = ft.minimal_cut_sets();
+        assert_eq!(mcs.len(), 3);
+        assert!(mcs.iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn and_over_or_paths_structure() {
+        // The path-set dual of a series/parallel system:
+        // top = AND(OR(a, b), OR(a, c)) → mcs: {a}, {b, c}.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", fit());
+        let b = ft.basic("b", fit());
+        let c = ft.basic("c", fit());
+        let p1 = ft.event("p1", Gate::Or, vec![a, b]);
+        let p2 = ft.event("p2", Gate::Or, vec![a, c]);
+        let top = ft.event("top", Gate::And, vec![p1, p2]);
+        ft.set_top(top);
+        let mcs = ft.minimal_cut_sets();
+        assert_eq!(mcs.len(), 2);
+        assert_eq!(mcs[0].len(), 1, "singleton {{a}} first");
+        assert_eq!(mcs[1].len(), 2);
+    }
+
+    #[test]
+    fn no_top_event_yields_nothing() {
+        let mut ft = FaultTree::new("t");
+        ft.basic("a", fit());
+        assert!(ft.minimal_cut_sets().is_empty());
+    }
+
+    #[test]
+    fn combinations_counts() {
+        let ids: Vec<NodeId> = (0..4).map(NodeId).collect();
+        assert_eq!(combinations(&ids, 2).len(), 6);
+        assert_eq!(combinations(&ids, 4).len(), 1);
+        assert_eq!(combinations(&ids, 5).len(), 0);
+        assert_eq!(combinations(&ids, 0).len(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Monte Carlo estimation of the top-event probability — the stochastic
+//! simulation capability the paper attributes to AltaRica in related work
+//! (§VII), used here to cross-validate the analytic cut-set quantification.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{FaultTree, Gate, Node};
+
+/// The result of a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Trials simulated.
+    pub trials: u64,
+    /// Trials in which the top event occurred.
+    pub failures: u64,
+    /// Estimated top-event probability.
+    pub probability: f64,
+    /// Standard error of the estimate (binomial).
+    pub std_error: f64,
+}
+
+impl MonteCarloResult {
+    /// `true` when `analytic` lies within `sigmas` standard errors of the
+    /// estimate.
+    pub fn agrees_with(&self, analytic: f64, sigmas: f64) -> bool {
+        (self.probability - analytic).abs() <= sigmas * self.std_error.max(1e-12)
+    }
+}
+
+impl FaultTree {
+    /// Simulates `trials` missions of `mission_hours`, sampling each basic
+    /// event independently and evaluating the gate structure exactly.
+    ///
+    /// Unlike the analytic rare-event approximation
+    /// ([`FaultTree::quantify`](crate::FaultTree::quantify)), the
+    /// simulation is unbiased for arbitrary event probabilities, so it
+    /// bounds the approximation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive mission times or zero trials.
+    pub fn simulate(&self, mission_hours: f64, trials: u64, seed: u64) -> MonteCarloResult {
+        assert!(
+            mission_hours > 0.0 && mission_hours.is_finite(),
+            "mission time must be positive and finite, got {mission_hours}"
+        );
+        assert!(trials > 0, "at least one trial is required");
+        let Some(top) = self.top() else {
+            return MonteCarloResult { trials, failures: 0, probability: 0.0, std_error: 0.0 };
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Per-node failure probability for basics; nodes are created
+        // children-first, so one forward pass evaluates the whole DAG.
+        let p_fail: Vec<Option<f64>> = self
+            .nodes()
+            .map(|(_, n)| match n {
+                Node::Basic { fit, .. } => Some(fit.failure_probability(mission_hours)),
+                Node::Event { .. } => None,
+            })
+            .collect();
+        let mut failed = vec![false; self.len()];
+        let mut failures = 0u64;
+        for _ in 0..trials {
+            for (id, node) in self.nodes() {
+                let i = id.raw() as usize;
+                failed[i] = match node {
+                    Node::Basic { .. } => rng.gen::<f64>() < p_fail[i].expect("basic"),
+                    Node::Event { gate, children, .. } => {
+                        let down = children.iter().filter(|c| failed[c.raw() as usize]).count();
+                        match gate {
+                            Gate::And => down == children.len() && !children.is_empty(),
+                            Gate::Or => down > 0,
+                            Gate::Voting { k } => down >= *k as usize,
+                        }
+                    }
+                };
+            }
+            if failed[top.raw() as usize] {
+                failures += 1;
+            }
+        }
+        let probability = failures as f64 / trials as f64;
+        let std_error = (probability * (1.0 - probability) / trials as f64).sqrt();
+        MonteCarloResult { trials, failures, probability, std_error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Gate;
+    use decisive_ssam::architecture::Fit;
+
+    const TRIALS: u64 = 200_000;
+
+    #[test]
+    fn series_agrees_with_analytic() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(5_000.0));
+        let b = ft.basic("b", Fit::new(8_000.0));
+        let top = ft.event("top", Gate::Or, vec![a, b]);
+        ft.set_top(top);
+        let t = 10_000.0;
+        let pa = Fit::new(5_000.0).failure_probability(t);
+        let pb = Fit::new(8_000.0).failure_probability(t);
+        let exact = 1.0 - (1.0 - pa) * (1.0 - pb);
+        let mc = ft.simulate(t, TRIALS, 42);
+        assert!(mc.agrees_with(exact, 4.0), "mc {} vs exact {exact}", mc.probability);
+    }
+
+    #[test]
+    fn parallel_agrees_with_analytic() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(50_000.0));
+        let b = ft.basic("b", Fit::new(50_000.0));
+        let top = ft.event("top", Gate::And, vec![a, b]);
+        ft.set_top(top);
+        let t = 10_000.0;
+        let p = Fit::new(50_000.0).failure_probability(t);
+        let exact = p * p;
+        let mc = ft.simulate(t, TRIALS, 7);
+        assert!(mc.agrees_with(exact, 4.0), "mc {} vs exact {exact}", mc.probability);
+    }
+
+    #[test]
+    fn voting_2oo3_agrees_with_binomial() {
+        let mut ft = FaultTree::new("t");
+        let channels: Vec<_> = (0..3).map(|i| ft.basic(format!("c{i}"), Fit::new(30_000.0))).collect();
+        let top = ft.event("top", Gate::Voting { k: 2 }, channels);
+        ft.set_top(top);
+        let t = 10_000.0;
+        let p = Fit::new(30_000.0).failure_probability(t);
+        // P(at least 2 of 3) = 3p²(1-p) + p³
+        let exact = 3.0 * p * p * (1.0 - p) + p * p * p;
+        let mc = ft.simulate(t, TRIALS, 11);
+        assert!(mc.agrees_with(exact, 4.0), "mc {} vs exact {exact}", mc.probability);
+    }
+
+    #[test]
+    fn rare_event_approximation_is_validated_for_small_probabilities() {
+        // The analytic quantify() uses Σ P(cut set); for small event
+        // probabilities the Monte Carlo estimate must agree with it.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(1_000.0));
+        let b = ft.basic("b", Fit::new(2_000.0));
+        let c = ft.basic("c", Fit::new(3_000.0));
+        let and = ft.event("and", Gate::And, vec![b, c]);
+        let top = ft.event("top", Gate::Or, vec![a, and]);
+        ft.set_top(top);
+        let analytic = ft.quantify(10_000.0).top_probability;
+        let mc = ft.simulate(10_000.0, TRIALS, 3);
+        assert!(mc.agrees_with(analytic, 4.0), "mc {} vs analytic {analytic}", mc.probability);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(10_000.0));
+        ft.set_top(a);
+        let x = ft.simulate(10_000.0, 10_000, 99);
+        let y = ft.simulate(10_000.0, 10_000, 99);
+        assert_eq!(x, y);
+        let z = ft.simulate(10_000.0, 10_000, 100);
+        assert_ne!(x.failures, z.failures);
+    }
+
+    #[test]
+    fn treeless_simulation_reports_zero() {
+        let ft = FaultTree::new("empty");
+        let mc = ft.simulate(1.0, 10, 0);
+        assert_eq!(mc.failures, 0);
+        assert_eq!(mc.probability, 0.0);
+    }
+}

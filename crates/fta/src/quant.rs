@@ -1,0 +1,171 @@
+//! Quantitative fault tree analysis: top-event probability and importance
+//! measures over the minimal cut sets.
+
+use std::collections::BTreeMap;
+
+use crate::cutset::CutSet;
+use crate::tree::{FaultTree, Node, NodeId};
+
+/// Quantification results for a fault tree over a mission time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantification {
+    /// Mission time in hours.
+    pub mission_hours: f64,
+    /// Top event probability (rare-event approximation over the minimal
+    /// cut sets).
+    pub top_probability: f64,
+    /// Per-cut-set probability, aligned with the minimal cut set order.
+    pub cut_set_probabilities: Vec<f64>,
+    /// Fussell-Vesely importance per basic event: the share of the top
+    /// probability flowing through cut sets containing the event.
+    pub fussell_vesely: BTreeMap<NodeId, f64>,
+    /// Birnbaum importance per basic event (rare-event approximation).
+    pub birnbaum: BTreeMap<NodeId, f64>,
+}
+
+impl FaultTree {
+    /// Quantifies the tree over `mission_hours` using the rare-event
+    /// approximation `P(top) ≈ Σ P(cut set)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mission_hours` is not positive and finite.
+    pub fn quantify(&self, mission_hours: f64) -> Quantification {
+        assert!(
+            mission_hours > 0.0 && mission_hours.is_finite(),
+            "mission time must be positive and finite, got {mission_hours}"
+        );
+        let mcs = self.minimal_cut_sets();
+        let p_of = |id: NodeId| -> f64 {
+            match self.node(id) {
+                Node::Basic { fit, .. } => fit.failure_probability(mission_hours),
+                Node::Event { .. } => unreachable!("cut sets contain only basic events"),
+            }
+        };
+        let cut_set_probabilities: Vec<f64> =
+            mcs.iter().map(|cs| cs.iter().map(|&e| p_of(e)).product()).collect();
+        let top_probability: f64 = cut_set_probabilities.iter().sum::<f64>().min(1.0);
+
+        let mut fussell_vesely = BTreeMap::new();
+        let mut birnbaum = BTreeMap::new();
+        for (id, _, _) in self.basic_events() {
+            let through: f64 = mcs
+                .iter()
+                .zip(&cut_set_probabilities)
+                .filter(|(cs, _)| cs.contains(&id))
+                .map(|(_, p)| p)
+                .sum();
+            let fv = if top_probability > 0.0 { through / top_probability } else { 0.0 };
+            fussell_vesely.insert(id, fv.min(1.0));
+            // Birnbaum: ∂P(top)/∂p_i ≈ Σ over cut sets containing i of the
+            // product of the *other* events' probabilities.
+            let b: f64 = mcs
+                .iter()
+                .filter(|cs| cs.contains(&id))
+                .map(|cs| cs.iter().filter(|&&e| e != id).map(|&e| p_of(e)).product::<f64>())
+                .sum();
+            birnbaum.insert(id, b.min(1.0));
+        }
+        Quantification {
+            mission_hours,
+            top_probability,
+            cut_set_probabilities,
+            fussell_vesely,
+            birnbaum,
+        }
+    }
+
+    /// Single-point basic events: those forming a singleton minimal cut set.
+    pub fn single_points(&self) -> Vec<NodeId> {
+        self.minimal_cut_sets()
+            .into_iter()
+            .filter(|cs| cs.len() == 1)
+            .map(|cs| *cs.iter().next().expect("singleton"))
+            .collect()
+    }
+
+    /// The minimal cut sets rendered with event names, for reports.
+    pub fn cut_sets_by_name(&self) -> Vec<Vec<String>> {
+        self.minimal_cut_sets()
+            .iter()
+            .map(|cs: &CutSet| cs.iter().map(|&e| self.node(e).name().to_owned()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Gate;
+    use decisive_ssam::architecture::Fit;
+
+    /// A series system: P(top) ≈ p1 + p2 for small probabilities.
+    #[test]
+    fn series_probability_adds() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(100.0));
+        let b = ft.basic("b", Fit::new(200.0));
+        let top = ft.event("top", Gate::Or, vec![a, b]);
+        ft.set_top(top);
+        let q = ft.quantify(10_000.0);
+        let pa = Fit::new(100.0).failure_probability(10_000.0);
+        let pb = Fit::new(200.0).failure_probability(10_000.0);
+        assert!((q.top_probability - (pa + pb)).abs() < 1e-9);
+    }
+
+    /// A parallel system: P(top) = p1 * p2.
+    #[test]
+    fn parallel_probability_multiplies() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(100.0));
+        let b = ft.basic("b", Fit::new(200.0));
+        let top = ft.event("top", Gate::And, vec![a, b]);
+        ft.set_top(top);
+        let q = ft.quantify(10_000.0);
+        let pa = Fit::new(100.0).failure_probability(10_000.0);
+        let pb = Fit::new(200.0).failure_probability(10_000.0);
+        assert!((q.top_probability - pa * pb).abs() < 1e-12);
+        // Redundancy slashes risk by orders of magnitude.
+        assert!(q.top_probability < pa / 100.0);
+    }
+
+    #[test]
+    fn importance_measures_rank_the_dominant_event() {
+        let mut ft = FaultTree::new("t");
+        let weak = ft.basic("weak", Fit::new(1000.0));
+        let strong = ft.basic("strong", Fit::new(1.0));
+        let top = ft.event("top", Gate::Or, vec![weak, strong]);
+        ft.set_top(top);
+        let q = ft.quantify(10_000.0);
+        assert!(q.fussell_vesely[&weak] > q.fussell_vesely[&strong]);
+        // Birnbaum of events under a bare OR is 1 (they are single points).
+        assert!((q.birnbaum[&weak] - 1.0).abs() < 1e-9);
+        // FV sums to ~1 when cut sets are disjoint singletons.
+        let total: f64 = q.fussell_vesely.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_points_are_singleton_cut_sets() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(1.0));
+        let b = ft.basic("b", Fit::new(1.0));
+        let c = ft.basic("c", Fit::new(1.0));
+        let and = ft.event("and", Gate::And, vec![b, c]);
+        let top = ft.event("top", Gate::Or, vec![a, and]);
+        ft.set_top(top);
+        assert_eq!(ft.single_points(), vec![a]);
+        let names = ft.cut_sets_by_name();
+        assert_eq!(names[0], vec!["a"]);
+        assert_eq!(names[1], vec!["b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mission time must be")]
+    fn bad_mission_time_panics() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(1.0));
+        ft.set_top(a);
+        let _ = ft.quantify(-1.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Fault tree structure: basic events, gates and the tree container.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use decisive_ssam::architecture::Fit;
+
+/// Handle to a node of a [`FaultTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index in insertion order.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ft{}", self.0)
+    }
+}
+
+/// Gate semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Output fails when *all* inputs fail.
+    And,
+    /// Output fails when *any* input fails.
+    Or,
+    /// Output fails when at least `k` inputs fail (k-out-of-n failure
+    /// voting; the dual of SSAM's 1oo2/2oo3 success tolerances).
+    Voting {
+        /// Failure threshold.
+        k: u8,
+    },
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::And => f.write_str("AND"),
+            Gate::Or => f.write_str("OR"),
+            Gate::Voting { k } => write!(f, "{k}oo-N"),
+        }
+    }
+}
+
+/// A fault tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A basic event: an atomic failure with a rate.
+    Basic {
+        /// Event label, conventionally `component:failure-mode`.
+        name: String,
+        /// Failure rate of the event.
+        fit: Fit,
+    },
+    /// An intermediate event combining children through a gate.
+    Event {
+        /// Event label.
+        name: String,
+        /// Gate semantics.
+        gate: Gate,
+        /// Child nodes.
+        children: Vec<NodeId>,
+    },
+}
+
+impl Node {
+    /// The node's label.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Basic { name, .. } | Node::Event { name, .. } => name,
+        }
+    }
+}
+
+/// A fault tree with a designated top event.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_fta::{FaultTree, Gate};
+/// use decisive_ssam::architecture::Fit;
+///
+/// let mut ft = FaultTree::new("supply fails");
+/// let d1 = ft.basic("D1:Open", Fit::new(3.0));
+/// let l1 = ft.basic("L1:Open", Fit::new(4.5));
+/// let top = ft.event("no current path", Gate::Or, vec![d1, l1]);
+/// ft.set_top(top);
+/// assert_eq!(ft.minimal_cut_sets().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTree {
+    /// Tree title (the hazard under analysis).
+    pub title: String,
+    nodes: Vec<Node>,
+    top: Option<NodeId>,
+}
+
+impl FaultTree {
+    /// Creates an empty tree.
+    pub fn new(title: impl Into<String>) -> Self {
+        FaultTree { title: title.into(), nodes: Vec::new(), top: None }
+    }
+
+    /// Adds a basic event.
+    pub fn basic(&mut self, name: impl Into<String>, fit: Fit) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Basic { name: name.into(), fit });
+        id
+    }
+
+    /// Adds an intermediate event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any child id is out of range (children must be created
+    /// first — fault trees are acyclic by construction).
+    pub fn event(&mut self, name: impl Into<String>, gate: Gate, children: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        for &c in &children {
+            assert!(
+                (c.0 as usize) < self.nodes.len(),
+                "child {c} does not exist yet; create children before parents"
+            );
+        }
+        self.nodes.push(Node::Event { name: name.into(), gate, children });
+        id
+    }
+
+    /// Designates the top event.
+    pub fn set_top(&mut self, top: NodeId) {
+        assert!((top.0 as usize) < self.nodes.len(), "top node must exist");
+        self.top = Some(top);
+    }
+
+    /// The top event, if set.
+    pub fn top(&self) -> Option<NodeId> {
+        self.top
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Iterates `(id, node)` in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All basic events, in insertion order.
+    pub fn basic_events(&self) -> impl Iterator<Item = (NodeId, &str, Fit)> {
+        self.nodes().filter_map(|(id, n)| match n {
+            Node::Basic { name, fit } => Some((id, name.as_str(), *fit)),
+            Node::Event { .. } => None,
+        })
+    }
+
+    /// Renders the tree as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.title);
+        for (id, node) in self.nodes() {
+            match node {
+                Node::Basic { name, fit } => {
+                    let _ = writeln!(out, "  n{} [label=\"{name}\\n{fit}\", shape=circle];", id.0);
+                }
+                Node::Event { name, gate, children } => {
+                    let _ = writeln!(out, "  n{} [label=\"{name}\\n[{gate}]\", shape=box];", id.0);
+                    for c in children {
+                        let _ = writeln!(out, "  n{} -> n{};", id.0, c.0);
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_acyclic_trees() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(1.0));
+        let b = ft.basic("b", Fit::new(2.0));
+        let top = ft.event("top", Gate::And, vec![a, b]);
+        ft.set_top(top);
+        assert_eq!(ft.len(), 3);
+        assert_eq!(ft.top(), Some(top));
+        assert_eq!(ft.basic_events().count(), 2);
+        assert_eq!(ft.node(a).name(), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "create children before parents")]
+    fn forward_references_panic() {
+        let mut ft = FaultTree::new("t");
+        let _ = ft.event("bad", Gate::Or, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn dot_rendering_mentions_gates_and_events() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("D1:Open", Fit::new(3.0));
+        let top = ft.event("top", Gate::Or, vec![a]);
+        ft.set_top(top);
+        let dot = ft.to_dot();
+        assert!(dot.contains("D1:Open"));
+        assert!(dot.contains("[OR]"));
+        assert!(dot.contains("n1 -> n0"));
+    }
+
+    #[test]
+    fn gate_display() {
+        assert_eq!(Gate::And.to_string(), "AND");
+        assert_eq!(Gate::Voting { k: 2 }.to_string(), "2oo-N");
+    }
+}

@@ -1,0 +1,27 @@
+//! # decisive-hara
+//!
+//! Hazard Analysis and Risk Assessment — DECISIVE Step 1's system assurance
+//! artefact (paper Fig. 1).
+//!
+//! Provides the ISO 26262-3 risk graph ([`determine_asil`]), ASIL
+//! decomposition tables ([`decompositions`]), and the [`HazardLog`] artefact
+//! with its materialisation into SSAM hazard packages.
+//!
+//! ## Example
+//!
+//! ```
+//! use decisive_hara::{determine_asil, Controllability, Exposure, Severity};
+//! use decisive_ssam::base::IntegrityLevel;
+//!
+//! // The case study's H1 (power supply fails unexpectedly) at S2/E4/C2:
+//! let asil = determine_asil(Severity::S2, Exposure::E4, Controllability::C2);
+//! assert_eq!(asil, IntegrityLevel::AsilB);
+//! ```
+
+#![warn(missing_docs)]
+
+mod log;
+mod risk;
+
+pub use log::{HazardLog, HazardousEvent};
+pub use risk::{decompositions, determine_asil, Controllability, Decomposition, Exposure, Severity};

@@ -1,0 +1,164 @@
+//! The hazard log — the key artefact of DECISIVE Step 1 ("Along with the
+//! definition of the system, Hazard Analysis and Risk Assessment (HARA)
+//! shall be performed, after which a hazard log will be produced").
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::base::IntegrityLevel;
+use decisive_ssam::hazard::{HazardPackage, HazardousSituation};
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+use crate::risk::{determine_asil, Controllability, Exposure, Severity};
+
+/// One assessed hazardous event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardousEvent {
+    /// Short identifier, e.g. `"H1"`.
+    pub id: String,
+    /// Hazard description, e.g. `"The power supply fails unexpectedly"`.
+    pub description: String,
+    /// The operational situation in which the hazard manifests.
+    pub situation: String,
+    /// Assessed severity.
+    pub severity: Severity,
+    /// Assessed exposure.
+    pub exposure: Exposure,
+    /// Assessed controllability.
+    pub controllability: Controllability,
+    /// The safety goal derived from this event.
+    pub safety_goal: String,
+}
+
+impl HazardousEvent {
+    /// The ASIL determined by the risk graph for this event.
+    pub fn asil(&self) -> IntegrityLevel {
+        determine_asil(self.severity, self.exposure, self.controllability)
+    }
+}
+
+/// An ordered collection of assessed hazardous events.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_hara::{Controllability, Exposure, HazardLog, HazardousEvent, Severity};
+/// use decisive_ssam::base::IntegrityLevel;
+///
+/// let mut log = HazardLog::new("power-supply HARA");
+/// log.record(HazardousEvent {
+///     id: "H1".into(),
+///     description: "The power supply fails unexpectedly".into(),
+///     situation: "proximity sensing active".into(),
+///     severity: Severity::S2,
+///     exposure: Exposure::E4,
+///     controllability: Controllability::C2,
+///     safety_goal: "The supply shall not fail silently".into(),
+/// });
+/// assert_eq!(log.highest_asil(), Some(IntegrityLevel::AsilB));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HazardLog {
+    /// Log title.
+    pub title: String,
+    events: Vec<HazardousEvent>,
+}
+
+impl HazardLog {
+    /// Creates an empty log.
+    pub fn new(title: impl Into<String>) -> Self {
+        HazardLog { title: title.into(), events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: HazardousEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[HazardousEvent] {
+        &self.events
+    }
+
+    /// Looks up an event by id.
+    pub fn event(&self, id: &str) -> Option<&HazardousEvent> {
+        self.events.iter().find(|e| e.id == id)
+    }
+
+    /// The most stringent ASIL across all events, or `None` for an empty
+    /// log. This drives the target integrity level of the DECISIVE loop.
+    pub fn highest_asil(&self) -> Option<IntegrityLevel> {
+        self.events.iter().map(HazardousEvent::asil).max()
+    }
+
+    /// Materialises the log into an SSAM model as a [`HazardPackage`],
+    /// returning the situation index for each event (in order).
+    pub fn to_ssam(&self, model: &mut SsamModel) -> Vec<Idx<HazardousSituation>> {
+        let mut package = HazardPackage::new(self.title.clone());
+        let mut indices = Vec::with_capacity(self.events.len());
+        for event in &self.events {
+            let mut situation = HazardousSituation::new(event.id.clone())
+                .with_severity(event.severity);
+            situation.core.description =
+                Some(format!("{} — {} — goal: {}", event.description, event.situation, event.safety_goal));
+            let idx = model.add_hazard(situation);
+            package.situations.push(idx);
+            indices.push(idx);
+        }
+        model.hazard_packages.push(package);
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h1() -> HazardousEvent {
+        HazardousEvent {
+            id: "H1".into(),
+            description: "The power supply fails unexpectedly".into(),
+            situation: "proximity sensing active".into(),
+            severity: Severity::S2,
+            exposure: Exposure::E4,
+            controllability: Controllability::C2,
+            safety_goal: "The supply shall not fail silently".into(),
+        }
+    }
+
+    #[test]
+    fn case_study_h1_is_asil_b() {
+        // The paper sets ASIL-B as the target for H1 (§V-A); S2/E4/C2
+        // reproduces that through the risk graph.
+        assert_eq!(h1().asil(), IntegrityLevel::AsilB);
+    }
+
+    #[test]
+    fn highest_asil_across_events() {
+        let mut log = HazardLog::new("t");
+        assert_eq!(log.highest_asil(), None);
+        log.record(h1());
+        let mut h2 = h1();
+        h2.id = "H2".into();
+        h2.severity = Severity::S3;
+        h2.controllability = Controllability::C3;
+        log.record(h2);
+        assert_eq!(log.highest_asil(), Some(IntegrityLevel::AsilD));
+        assert_eq!(log.event("H1").unwrap().id, "H1");
+        assert!(log.event("H9").is_none());
+    }
+
+    #[test]
+    fn to_ssam_creates_hazard_package() {
+        let mut log = HazardLog::new("hara");
+        log.record(h1());
+        let mut model = SsamModel::new("m");
+        let indices = log.to_ssam(&mut model);
+        assert_eq!(indices.len(), 1);
+        assert_eq!(model.hazard_packages.len(), 1);
+        assert_eq!(model.hazards.len(), 1);
+        let situation = &model.hazards[indices[0]];
+        assert_eq!(situation.core.name.value(), "H1");
+        assert!(situation.core.description.as_deref().unwrap().contains("fails unexpectedly"));
+    }
+}

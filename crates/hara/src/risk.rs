@@ -1,0 +1,161 @@
+//! Risk assessment parameters and ASIL determination (ISO 26262-3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use decisive_ssam::base::IntegrityLevel;
+pub use decisive_ssam::hazard::Severity;
+
+/// Probability of exposure to the operational situation (E0–E4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Exposure {
+    /// Incredibly unlikely.
+    E0,
+    /// Very low probability.
+    E1,
+    /// Low probability.
+    E2,
+    /// Medium probability.
+    E3,
+    /// High probability.
+    E4,
+}
+
+/// Controllability of the hazardous event by the driver (C0–C3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Controllability {
+    /// Controllable in general.
+    C0,
+    /// Simply controllable.
+    C1,
+    /// Normally controllable.
+    C2,
+    /// Difficult to control or uncontrollable.
+    C3,
+}
+
+impl fmt::Display for Exposure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", *self as u8)
+    }
+}
+
+impl fmt::Display for Controllability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", *self as u8)
+    }
+}
+
+/// Determines the ASIL from severity, exposure and controllability per the
+/// ISO 26262-3 risk graph (Table 4).
+///
+/// `S0`, `E0` or `C0` always yield `QM`; otherwise the class sum
+/// `S + E + C` maps 7→A, 8→B, 9→C, 10→D.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_hara::{determine_asil, Controllability, Exposure, Severity};
+/// use decisive_ssam::base::IntegrityLevel;
+///
+/// assert_eq!(
+///     determine_asil(Severity::S3, Exposure::E4, Controllability::C3),
+///     IntegrityLevel::AsilD
+/// );
+/// assert_eq!(
+///     determine_asil(Severity::S1, Exposure::E1, Controllability::C1),
+///     IntegrityLevel::Qm
+/// );
+/// ```
+pub fn determine_asil(s: Severity, e: Exposure, c: Controllability) -> IntegrityLevel {
+    let (s, e, c) = (s as u8, e as u8, c as u8);
+    if s == 0 || e == 0 || c == 0 {
+        return IntegrityLevel::Qm;
+    }
+    match s + e + c {
+        10 => IntegrityLevel::AsilD,
+        9 => IntegrityLevel::AsilC,
+        8 => IntegrityLevel::AsilB,
+        7 => IntegrityLevel::AsilA,
+        _ => IntegrityLevel::Qm,
+    }
+}
+
+/// One legal ASIL decomposition of a safety requirement over two redundant
+/// elements (ISO 26262-9 §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decomposition {
+    /// The first decomposed requirement's ASIL.
+    pub first: IntegrityLevel,
+    /// The second decomposed requirement's ASIL.
+    pub second: IntegrityLevel,
+}
+
+/// The legal decompositions of `asil` per ISO 26262-9, most balanced first.
+///
+/// Returns an empty vector for `QM` and non-ASIL levels (nothing to
+/// decompose).
+pub fn decompositions(asil: IntegrityLevel) -> Vec<Decomposition> {
+    use IntegrityLevel::{AsilA, AsilB, AsilC, AsilD, Qm};
+    match asil {
+        AsilD => vec![
+            Decomposition { first: AsilB, second: AsilB },
+            Decomposition { first: AsilC, second: AsilA },
+            Decomposition { first: AsilD, second: Qm },
+        ],
+        AsilC => vec![
+            Decomposition { first: AsilB, second: AsilA },
+            Decomposition { first: AsilC, second: Qm },
+        ],
+        AsilB => vec![
+            Decomposition { first: AsilA, second: AsilA },
+            Decomposition { first: AsilB, second: Qm },
+        ],
+        AsilA => vec![Decomposition { first: AsilA, second: Qm }],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risk_graph_extremes() {
+        assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C3), IntegrityLevel::AsilD);
+        assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C2), IntegrityLevel::AsilC);
+        assert_eq!(determine_asil(Severity::S2, Exposure::E4, Controllability::C2), IntegrityLevel::AsilB);
+        assert_eq!(determine_asil(Severity::S1, Exposure::E4, Controllability::C2), IntegrityLevel::AsilA);
+        assert_eq!(determine_asil(Severity::S1, Exposure::E2, Controllability::C2), IntegrityLevel::Qm);
+    }
+
+    #[test]
+    fn zero_classes_always_qm() {
+        assert_eq!(determine_asil(Severity::S0, Exposure::E4, Controllability::C3), IntegrityLevel::Qm);
+        assert_eq!(determine_asil(Severity::S3, Exposure::E0, Controllability::C3), IntegrityLevel::Qm);
+        assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C0), IntegrityLevel::Qm);
+    }
+
+    #[test]
+    fn risk_graph_is_monotone_in_each_parameter() {
+        let asil = |s, e, c| determine_asil(s, e, c);
+        assert!(asil(Severity::S3, Exposure::E3, Controllability::C3) <= asil(Severity::S3, Exposure::E4, Controllability::C3));
+        assert!(asil(Severity::S2, Exposure::E4, Controllability::C3) <= asil(Severity::S3, Exposure::E4, Controllability::C3));
+        assert!(asil(Severity::S3, Exposure::E4, Controllability::C2) <= asil(Severity::S3, Exposure::E4, Controllability::C3));
+    }
+
+    #[test]
+    fn decomposition_tables() {
+        let d = decompositions(IntegrityLevel::AsilD);
+        assert!(d.contains(&Decomposition { first: IntegrityLevel::AsilB, second: IntegrityLevel::AsilB }));
+        assert!(d.contains(&Decomposition { first: IntegrityLevel::AsilD, second: IntegrityLevel::Qm }));
+        assert!(decompositions(IntegrityLevel::Qm).is_empty());
+        assert_eq!(decompositions(IntegrityLevel::AsilA).len(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Exposure::E3.to_string(), "E3");
+        assert_eq!(Controllability::C2.to_string(), "C2");
+    }
+}

@@ -1,0 +1,591 @@
+//! The SSAM *Architecture* module (paper Fig. 5).
+//!
+//! Block-based system architecture: nested [`Component`]s with
+//! [`IoNode`] ports, [`ComponentRelationship`] connections, per-component
+//! [`FailureMode`]s and [`FailureEffect`]s, deployable [`SafetyMechanism`]s
+//! and [`Function`]s with redundancy tolerance types. This is the module the
+//! automated FMEA (paper Algorithm 1) operates on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+use crate::base::{ElementCore, IntegrityLevel};
+use crate::hazard::HazardousSituation;
+use crate::id::Idx;
+
+/// Failure-In-Time: expected failures per 10⁹ device-hours (paper §IV-D1).
+///
+/// `Fit` is a transparent `f64` newtype so FIT arithmetic cannot be confused
+/// with probabilities or coverages.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::architecture::Fit;
+///
+/// let diode = Fit::new(10.0);
+/// let open_share = diode * 0.3;           // 30 % of failures are "open"
+/// assert_eq!(open_share, Fit::new(3.0));
+/// assert_eq!((diode + Fit::new(5.0)).value(), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Fit(f64);
+
+impl Fit {
+    /// Zero failure rate.
+    pub const ZERO: Fit = Fit(0.0);
+
+    /// Creates a FIT value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "FIT must be a finite non-negative number, got {value}");
+        Fit(value)
+    }
+
+    /// The raw failures-per-10⁹-hours value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a failure rate λ in failures/hour.
+    pub fn per_hour(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Probability of at least one failure over a `mission_hours` mission,
+    /// assuming an exponential failure process: `1 - exp(-λt)`.
+    pub fn failure_probability(self, mission_hours: f64) -> f64 {
+        1.0 - (-self.per_hour() * mission_hours).exp()
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fit {
+    fn add_assign(&mut self, rhs: Fit) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Fit {
+    type Output = Fit;
+    fn mul(self, share: f64) -> Fit {
+        Fit(self.0 * share)
+    }
+}
+
+impl std::iter::Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        iter.fold(Fit::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} FIT", self.0)
+    }
+}
+
+/// Component granularity (paper Fig. 5, `ComponentType`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A (sub)system aggregating hardware and software.
+    System,
+    /// A hardware part.
+    Hardware,
+    /// A software part.
+    Software,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentKind::System => f.write_str("system"),
+            ComponentKind::Hardware => f.write_str("hardware"),
+            ComponentKind::Software => f.write_str("software"),
+        }
+    }
+}
+
+/// Redundancy/voting tolerance of a [`Function`] (paper Fig. 5: 1oo1, 1oo2,
+/// 1oo3 or 2oo3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ToleranceType {
+    /// 1-out-of-1: a single channel must work.
+    OneOutOfOne,
+    /// 1-out-of-2: either of two redundant channels suffices.
+    OneOutOfTwo,
+    /// 1-out-of-3: any of three redundant channels suffices.
+    OneOutOfThree,
+    /// 2-out-of-3: majority voting over three channels.
+    TwoOutOfThree,
+}
+
+impl ToleranceType {
+    /// `(k, n)`: the function works iff at least `k` of `n` channels work.
+    pub fn k_of_n(self) -> (u8, u8) {
+        match self {
+            ToleranceType::OneOutOfOne => (1, 1),
+            ToleranceType::OneOutOfTwo => (1, 2),
+            ToleranceType::OneOutOfThree => (1, 3),
+            ToleranceType::TwoOutOfThree => (2, 3),
+        }
+    }
+
+    /// Number of channel *failures* tolerated before the function fails.
+    pub fn failures_tolerated(self) -> u8 {
+        let (k, n) = self.k_of_n();
+        n - k
+    }
+}
+
+impl fmt::Display for ToleranceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (k, n) = self.k_of_n();
+        write!(f, "{k}oo{n}")
+    }
+}
+
+/// Direction of an [`IoNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoDirection {
+    /// Data/energy flows into the owning component.
+    Input,
+    /// Data/energy flows out of the owning component.
+    Output,
+    /// Bidirectional port.
+    Inout,
+}
+
+/// An input/output port of a [`Component`], optionally carrying the value
+/// being passed and its admissible limits (paper Fig. 5, `IONodes`).
+///
+/// The limits make an SSAM model convertible into a *runtime monitoring*
+/// algorithm (paper §IV-B6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoNode {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Port direction.
+    pub direction: IoDirection,
+    /// The component owning this port.
+    pub owner: Idx<Component>,
+    /// Current / nominal value passed through the port.
+    pub value: Option<f64>,
+    /// Lower admissible limit of `value`.
+    pub lower_limit: Option<f64>,
+    /// Upper admissible limit of `value`.
+    pub upper_limit: Option<f64>,
+}
+
+impl IoNode {
+    /// `true` if `sample` violates the configured limits.
+    ///
+    /// Unset limits never trigger.
+    pub fn violates_limits(&self, sample: f64) -> bool {
+        self.lower_limit.is_some_and(|lo| sample < lo)
+            || self.upper_limit.is_some_and(|hi| sample > hi)
+    }
+}
+
+/// Nature of a [`FailureMode`]; Algorithm 1 treats `LossOfFunction` ("or
+/// similar nature") as path-breaking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureNature {
+    /// The component stops providing its function (e.g. resistor *open*).
+    LossOfFunction,
+    /// The component functions but out of specification.
+    Degraded,
+    /// The component produces wrong outputs (e.g. resistor *short*).
+    Erroneous,
+    /// The failure comes and goes.
+    Intermittent,
+    /// The component acts when it should not.
+    Commission,
+    /// Anything else, named.
+    Other(String),
+}
+
+impl FailureNature {
+    /// `true` for loss-of-function "or similar nature" per Algorithm 1 line 5
+    /// — the natures that break a signal path outright.
+    pub fn breaks_path(&self) -> bool {
+        matches!(self, FailureNature::LossOfFunction)
+    }
+}
+
+impl fmt::Display for FailureNature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureNature::LossOfFunction => f.write_str("loss of function"),
+            FailureNature::Degraded => f.write_str("degraded"),
+            FailureNature::Erroneous => f.write_str("erroneous"),
+            FailureNature::Intermittent => f.write_str("intermittent"),
+            FailureNature::Commission => f.write_str("commission"),
+            FailureNature::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Impact classification of a failure (Table I: DVF / IVF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureImpact {
+    /// Directly violates a safety goal.
+    DirectViolation,
+    /// Indirectly violates a safety goal (only with a second fault).
+    IndirectViolation,
+    /// No safety impact.
+    NoEffect,
+}
+
+impl fmt::Display for FailureImpact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureImpact::DirectViolation => f.write_str("DVF"),
+            FailureImpact::IndirectViolation => f.write_str("IVF"),
+            FailureImpact::NoEffect => f.write_str("none"),
+        }
+    }
+}
+
+/// A failure mode of a component (paper Fig. 5, `FailureMode`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureMode {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Owning component.
+    pub owner: Idx<Component>,
+    /// Failure nature, driving Algorithm 1.
+    pub nature: FailureNature,
+    /// Share of the owner's FIT attributed to this mode, in `[0, 1]`
+    /// (Table II "Distribution").
+    pub distribution: f64,
+    /// Root cause description.
+    pub cause: Option<String>,
+    /// Exposure / duty-cycle factor in `[0, 1]`, if modelled.
+    pub exposure: Option<f64>,
+    /// Hazards this failure mode relates to (Fig. 9 "Reference: Hazards").
+    pub hazards: Vec<Idx<HazardousSituation>>,
+    /// Effects of this failure mode.
+    pub effects: Vec<Idx<FailureEffect>>,
+    /// Components affected by this failure mode (used by the automated FMEA
+    /// to infer single-point faults, paper §IV-B6).
+    pub affected_components: Vec<Idx<Component>>,
+}
+
+/// The effect of a failure, citing affected elements via the base `cite`
+/// facility (paper Fig. 5, `FailureEffect`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureEffect {
+    /// Shared element facilities (use `core.cites` to point at affected
+    /// components).
+    pub core: ElementCore,
+    /// Impact classification.
+    pub impact: FailureImpact,
+}
+
+/// Diagnostic coverage fraction in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::architecture::Coverage;
+///
+/// let ecc = Coverage::new(0.99);
+/// assert_eq!(ecc.residual(), 0.010000000000000009);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Coverage(f64);
+
+impl Coverage {
+    /// No diagnostic coverage.
+    pub const NONE: Coverage = Coverage(0.0);
+
+    /// Creates a coverage value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not within `[0, 1]`.
+    pub fn new(value: f64) -> Self {
+        assert!((0.0..=1.0).contains(&value), "coverage must be within [0, 1], got {value}");
+        Coverage(value)
+    }
+
+    /// The covered fraction.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The *uncovered* fraction `1 - c`.
+    pub fn residual(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Combines two independent diagnostics: `1 - (1-a)(1-b)`.
+    #[must_use]
+    pub fn combine(self, other: Coverage) -> Coverage {
+        Coverage(1.0 - self.residual() * other.residual())
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// A safety mechanism deployed on a component to achieve diagnostic coverage
+/// of one of its failure modes (paper Fig. 5, `SafetyMechanism`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyMechanism {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// The failure mode this mechanism diagnoses.
+    pub covers: Idx<FailureMode>,
+    /// Diagnostic coverage achieved.
+    pub coverage: Coverage,
+    /// Deployment cost in engineering hours (paper §IV-D2: users "model a
+    /// cost for each Safety Mechanism").
+    pub cost_hours: f64,
+}
+
+/// A function performed by a component, with its redundancy tolerance
+/// (paper Fig. 5, `Function`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Owning component.
+    pub owner: Idx<Component>,
+    /// Voting / redundancy arrangement.
+    pub tolerance: ToleranceType,
+    /// `true` if the function is safety-related.
+    pub safety_related: bool,
+}
+
+/// An atomic or composite component of the system under design
+/// (paper Fig. 5, `Component`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Granularity: system / hardware / software.
+    pub kind: ComponentKind,
+    /// Base failure rate, if known.
+    pub fit: Option<Fit>,
+    /// Allocated integrity level.
+    pub integrity: Option<IntegrityLevel>,
+    /// `true` if any failure mode can cause a hazardous event.
+    pub safety_related: bool,
+    /// `true` if the component is *dynamic* — i.e. it can emit runtime data
+    /// and a monitor should be generated for it (paper §IV-C item c).
+    pub dynamic: bool,
+    /// Reliability-model lookup key, e.g. `"Diode"` (Table II `Component`).
+    pub type_key: Option<String>,
+    /// Containing component, if nested.
+    pub parent: Option<Idx<Component>>,
+    /// Nested subcomponents.
+    pub children: Vec<Idx<Component>>,
+    /// Ports.
+    pub io_nodes: Vec<Idx<IoNode>>,
+    /// Failure modes.
+    pub failure_modes: Vec<Idx<FailureMode>>,
+    /// Safety mechanisms deployed on this component.
+    pub safety_mechanisms: Vec<Idx<SafetyMechanism>>,
+    /// Functions performed.
+    pub functions: Vec<Idx<Function>>,
+}
+
+impl Component {
+    /// Creates a hardware component with no reliability data.
+    pub fn new(name: impl Into<crate::base::LangString>, kind: ComponentKind) -> Self {
+        Component {
+            core: ElementCore::named(name),
+            kind,
+            fit: None,
+            integrity: None,
+            safety_related: false,
+            dynamic: false,
+            type_key: None,
+            parent: None,
+            children: Vec::new(),
+            io_nodes: Vec::new(),
+            failure_modes: Vec::new(),
+            safety_mechanisms: Vec::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// `true` if this component has no subcomponents.
+    pub fn is_atomic(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A directed connection between two components, optionally pinned to
+/// specific ports (paper Fig. 5, `ComponentRelationship`).
+///
+/// The connection may reference the *container* component itself on either
+/// end, which models the boundary between a composite component's port and
+/// its internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRelationship {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Source component.
+    pub from: Idx<Component>,
+    /// Source port, if pinned.
+    pub from_port: Option<Idx<IoNode>>,
+    /// Target component.
+    pub to: Idx<Component>,
+    /// Target port, if pinned.
+    pub to_port: Option<Idx<IoNode>>,
+}
+
+impl ComponentRelationship {
+    /// Creates an unpinned connection `from → to`.
+    pub fn new(from: Idx<Component>, to: Idx<Component>) -> Self {
+        ComponentRelationship {
+            core: ElementCore::named(""),
+            from,
+            from_port: None,
+            to,
+            to_port: None,
+        }
+    }
+}
+
+/// Export surface of a [`ComponentPackage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPackageInterface {
+    /// Interface name.
+    pub name: String,
+    /// Components exported through this interface.
+    pub exported: Vec<Idx<Component>>,
+}
+
+/// A modular group of architecture elements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPackage {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Top-level components of this package (nested components are reached
+    /// through their parents).
+    pub components: Vec<Idx<Component>>,
+    /// Connections between components in this package.
+    pub relationships: Vec<ComponentRelationship>,
+    /// Export interfaces.
+    pub interfaces: Vec<ComponentPackageInterface>,
+}
+
+impl ComponentPackage {
+    /// Creates an empty package.
+    pub fn new(name: impl Into<crate::base::LangString>) -> Self {
+        ComponentPackage {
+            core: ElementCore::named(name),
+            components: Vec::new(),
+            relationships: Vec::new(),
+            interfaces: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_arithmetic() {
+        let total: Fit = [Fit::new(10.0), Fit::new(15.0), Fit::new(300.0)].into_iter().sum();
+        assert_eq!(total, Fit::new(325.0));
+        assert_eq!(Fit::new(10.0) * 0.3, Fit::new(3.0));
+        assert!((Fit::new(1.0).per_hour() - 1e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    fn fit_failure_probability_monotone() {
+        let f = Fit::new(1000.0);
+        let p1 = f.failure_probability(1_000.0);
+        let p2 = f.failure_probability(100_000.0);
+        assert!(p1 < p2);
+        assert!(p1 > 0.0 && p2 < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIT must be")]
+    fn negative_fit_panics() {
+        let _ = Fit::new(-1.0);
+    }
+
+    #[test]
+    fn tolerance_k_of_n() {
+        assert_eq!(ToleranceType::TwoOutOfThree.k_of_n(), (2, 3));
+        assert_eq!(ToleranceType::TwoOutOfThree.failures_tolerated(), 1);
+        assert_eq!(ToleranceType::OneOutOfThree.failures_tolerated(), 2);
+        assert_eq!(ToleranceType::OneOutOfOne.to_string(), "1oo1");
+        assert_eq!(ToleranceType::TwoOutOfThree.to_string(), "2oo3");
+    }
+
+    #[test]
+    fn coverage_combine_and_residual() {
+        let a = Coverage::new(0.9);
+        let b = Coverage::new(0.5);
+        let c = a.combine(b);
+        assert!((c.value() - 0.95).abs() < 1e-12);
+        assert!((Coverage::new(0.99).residual() - 0.01).abs() < 1e-12);
+        assert_eq!(Coverage::new(0.7).to_string(), "70.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be")]
+    fn coverage_out_of_range_panics() {
+        let _ = Coverage::new(1.2);
+    }
+
+    #[test]
+    fn io_node_limit_violation() {
+        let node = IoNode {
+            core: ElementCore::named("out"),
+            direction: IoDirection::Output,
+            owner: Idx::from_raw(0),
+            value: Some(5.0),
+            lower_limit: Some(4.5),
+            upper_limit: Some(5.5),
+        };
+        assert!(!node.violates_limits(5.0));
+        assert!(node.violates_limits(4.0));
+        assert!(node.violates_limits(6.0));
+    }
+
+    #[test]
+    fn failure_nature_path_breaking() {
+        assert!(FailureNature::LossOfFunction.breaks_path());
+        assert!(!FailureNature::Erroneous.breaks_path());
+        assert_eq!(FailureNature::Other("stuck-at".into()).to_string(), "stuck-at");
+    }
+
+    #[test]
+    fn component_defaults() {
+        let c = Component::new("D1", ComponentKind::Hardware);
+        assert!(c.is_atomic());
+        assert!(!c.safety_related);
+        assert_eq!(c.kind.to_string(), "hardware");
+    }
+
+    #[test]
+    fn failure_impact_display_matches_paper() {
+        assert_eq!(FailureImpact::DirectViolation.to_string(), "DVF");
+        assert_eq!(FailureImpact::IndirectViolation.to_string(), "IVF");
+    }
+}

@@ -1,0 +1,395 @@
+//! The SSAM *Base* module (paper Fig. 2).
+//!
+//! Every SSAM element carries an [`ElementCore`]: a multi-language name, free
+//! description, machine-executable [`ImplementationConstraint`]s, traceability
+//! to *external heterogeneous models* via [`ExternalReference`]s, and `cite`
+//! links to other elements in the same model ([`CiteRef`]). These facilities
+//! are what lets an SSAM model act as a *federation model* over data held in
+//! CSV, JSON, spreadsheet or block-diagram files.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::architecture::{Component, FailureMode, Function, IoNode, SafetyMechanism};
+use crate::hazard::{ControlMeasure, HazardousSituation};
+use crate::id::Idx;
+use crate::mbsa::Artifact;
+use crate::requirement::Requirement;
+
+/// A string tagged with an optional IETF-style language code.
+///
+/// SSAM names are `LangString`s so that models can carry, e.g., both English
+/// and Chinese component names (paper §IV-B1).
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::base::LangString;
+///
+/// let name = LangString::from("diode");
+/// assert_eq!(name.value(), "diode");
+/// assert!(name.lang().is_none());
+///
+/// let zh = LangString::with_lang("二极管", "zh");
+/// assert_eq!(zh.lang(), Some("zh"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LangString {
+    value: String,
+    lang: Option<String>,
+}
+
+impl LangString {
+    /// Creates a language-neutral string.
+    pub fn new(value: impl Into<String>) -> Self {
+        LangString { value: value.into(), lang: None }
+    }
+
+    /// Creates a string tagged with a language code (e.g. `"en"`, `"zh"`).
+    pub fn with_lang(value: impl Into<String>, lang: impl Into<String>) -> Self {
+        LangString { value: value.into(), lang: Some(lang.into()) }
+    }
+
+    /// The textual value.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// The language code, if any.
+    pub fn lang(&self) -> Option<&str> {
+        self.lang.as_deref()
+    }
+}
+
+impl From<&str> for LangString {
+    fn from(s: &str) -> Self {
+        LangString::new(s)
+    }
+}
+
+impl From<String> for LangString {
+    fn from(s: String) -> Self {
+        LangString::new(s)
+    }
+}
+
+impl fmt::Display for LangString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.value)
+    }
+}
+
+/// A machine-executable constraint attached to a model element.
+///
+/// The paper attaches Epsilon Object Language scripts; this reproduction
+/// attaches [EQL](https://docs.rs/decisive-federation) queries. The
+/// `language` field names the dialect so other interpreters can be plugged
+/// in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImplementationConstraint {
+    /// Constraint dialect, e.g. `"eql"`.
+    pub language: String,
+    /// The executable text of the constraint / extraction script.
+    pub body: String,
+}
+
+impl ImplementationConstraint {
+    /// Creates an EQL constraint (the default dialect of this toolchain).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use decisive_ssam::base::ImplementationConstraint;
+    ///
+    /// let c = ImplementationConstraint::eql("rows.select(r | r.Component = 'Diode')");
+    /// assert_eq!(c.language, "eql");
+    /// ```
+    pub fn eql(body: impl Into<String>) -> Self {
+        ImplementationConstraint { language: "eql".to_owned(), body: body.into() }
+    }
+
+    /// Creates a constraint in an arbitrary dialect.
+    pub fn new(language: impl Into<String>, body: impl Into<String>) -> Self {
+        ImplementationConstraint { language: language.into(), body: body.into() }
+    }
+}
+
+/// The technology an [`ExternalReference`] points at.
+///
+/// Mirrors the federated technologies listed in paper §IV-C: EMF, Simulink,
+/// Cameo/MagicDraw, XML, CSV, Excel, ….
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExternalModelKind {
+    /// Comma-separated values (the paper's Excel reliability spreadsheets).
+    Csv,
+    /// JSON documents.
+    Json,
+    /// An in-memory model registered with the federation driver registry.
+    Memory,
+    /// A block-diagram model (the paper's Simulink models).
+    BlockDiagram,
+    /// Another SSAM model.
+    Ssam,
+    /// Any other technology, named.
+    Other(String),
+}
+
+impl fmt::Display for ExternalModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExternalModelKind::Csv => f.write_str("csv"),
+            ExternalModelKind::Json => f.write_str("json"),
+            ExternalModelKind::Memory => f.write_str("memory"),
+            ExternalModelKind::BlockDiagram => f.write_str("block-diagram"),
+            ExternalModelKind::Ssam => f.write_str("ssam"),
+            ExternalModelKind::Other(name) => f.write_str(name),
+        }
+    }
+}
+
+/// A traceability link from an SSAM element to data held *outside* the SSAM
+/// model (paper Fig. 2, `ExternalReference`).
+///
+/// The `extraction` constraint, when executed by a federation engine, pulls
+/// the referenced information out of the external model — e.g. the FIT of a
+/// component out of a reliability spreadsheet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalReference {
+    /// Where the external model lives (path, URI, or registry key).
+    pub location: String,
+    /// The external model's technology.
+    pub kind: ExternalModelKind,
+    /// Free-form key/value metadata about the external model.
+    pub metadata: Vec<(String, String)>,
+    /// Executable extraction script pulling data from the external model.
+    pub extraction: Option<ImplementationConstraint>,
+}
+
+impl ExternalReference {
+    /// Creates a reference with no metadata or extraction script.
+    pub fn new(location: impl Into<String>, kind: ExternalModelKind) -> Self {
+        ExternalReference {
+            location: location.into(),
+            kind,
+            metadata: Vec::new(),
+            extraction: None,
+        }
+    }
+
+    /// Attaches an extraction script (builder style).
+    #[must_use]
+    pub fn with_extraction(mut self, constraint: ImplementationConstraint) -> Self {
+        self.extraction = Some(constraint);
+        self
+    }
+
+    /// Appends a metadata key/value pair (builder style).
+    #[must_use]
+    pub fn with_metadata(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a metadata value by key.
+    pub fn metadata_value(&self, key: &str) -> Option<&str> {
+        self.metadata.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A typed `cite` link to another element of the same SSAM model
+/// (paper §IV-B1: a `ModelElement` is able to "cite" another `ModelElement`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CiteRef {
+    /// Cites a requirement.
+    Requirement(Idx<Requirement>),
+    /// Cites a hazardous situation.
+    Hazard(Idx<HazardousSituation>),
+    /// Cites a control measure.
+    ControlMeasure(Idx<ControlMeasure>),
+    /// Cites a component.
+    Component(Idx<Component>),
+    /// Cites an IO node.
+    IoNode(Idx<IoNode>),
+    /// Cites a failure mode.
+    FailureMode(Idx<FailureMode>),
+    /// Cites a safety mechanism.
+    SafetyMechanism(Idx<SafetyMechanism>),
+    /// Cites a function.
+    Function(Idx<Function>),
+    /// Cites an MBSA artifact.
+    Artifact(Idx<Artifact>),
+}
+
+/// Safety integrity levels across application domains (paper §II-A).
+///
+/// SSAM deliberately does not adhere 100% to ISO 26262; the same field holds
+/// automotive ASILs and IEC 61508 SILs. The ordering reflects increasing
+/// rigour *within* a family; `QM` is the least stringent overall.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::base::IntegrityLevel;
+///
+/// assert!(IntegrityLevel::AsilD > IntegrityLevel::AsilB);
+/// assert_eq!(IntegrityLevel::AsilB.to_string(), "ASIL-B");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IntegrityLevel {
+    /// Quality managed — no safety requirement.
+    Qm,
+    /// ISO 26262 ASIL-A.
+    AsilA,
+    /// ISO 26262 ASIL-B.
+    AsilB,
+    /// ISO 26262 ASIL-C.
+    AsilC,
+    /// ISO 26262 ASIL-D.
+    AsilD,
+    /// IEC 61508 SIL 1.
+    Sil1,
+    /// IEC 61508 SIL 2.
+    Sil2,
+    /// IEC 61508 SIL 3.
+    Sil3,
+    /// IEC 61508 SIL 4.
+    Sil4,
+}
+
+impl fmt::Display for IntegrityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntegrityLevel::Qm => "QM",
+            IntegrityLevel::AsilA => "ASIL-A",
+            IntegrityLevel::AsilB => "ASIL-B",
+            IntegrityLevel::AsilC => "ASIL-C",
+            IntegrityLevel::AsilD => "ASIL-D",
+            IntegrityLevel::Sil1 => "SIL-1",
+            IntegrityLevel::Sil2 => "SIL-2",
+            IntegrityLevel::Sil3 => "SIL-3",
+            IntegrityLevel::Sil4 => "SIL-4",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for IntegrityLevel {
+    type Err = ParseIntegrityLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_ascii_uppercase();
+        Ok(match norm.as_str() {
+            "QM" => IntegrityLevel::Qm,
+            "ASILA" | "A" => IntegrityLevel::AsilA,
+            "ASILB" | "B" => IntegrityLevel::AsilB,
+            "ASILC" | "C" => IntegrityLevel::AsilC,
+            "ASILD" | "D" => IntegrityLevel::AsilD,
+            "SIL1" => IntegrityLevel::Sil1,
+            "SIL2" => IntegrityLevel::Sil2,
+            "SIL3" => IntegrityLevel::Sil3,
+            "SIL4" => IntegrityLevel::Sil4,
+            _ => return Err(ParseIntegrityLevelError { input: s.to_owned() }),
+        })
+    }
+}
+
+/// Error returned when parsing an [`IntegrityLevel`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntegrityLevelError {
+    input: String,
+}
+
+impl fmt::Display for ParseIntegrityLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown integrity level `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseIntegrityLevelError {}
+
+/// The fields shared by every SSAM model element (paper Fig. 2,
+/// `ModelElement` with its `UtilityElement`s).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ElementCore {
+    /// Human-readable, possibly language-tagged name.
+    pub name: LangString,
+    /// Free-form description.
+    pub description: Option<String>,
+    /// Machine-executable constraints attached to the element.
+    pub constraints: Vec<ImplementationConstraint>,
+    /// Traceability to external heterogeneous models.
+    pub external_refs: Vec<ExternalReference>,
+    /// Traceability to other elements of the same model.
+    pub cites: Vec<CiteRef>,
+}
+
+impl ElementCore {
+    /// Creates a core with the given name and nothing else.
+    pub fn named(name: impl Into<LangString>) -> Self {
+        ElementCore { name: name.into(), ..ElementCore::default() }
+    }
+
+    /// Adds a `cite` traceability link.
+    pub fn cite(&mut self, target: CiteRef) {
+        if !self.cites.contains(&target) {
+            self.cites.push(target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lang_string_display_and_accessors() {
+        let s = LangString::with_lang("Stromversorgung", "de");
+        assert_eq!(s.to_string(), "Stromversorgung");
+        assert_eq!(s.lang(), Some("de"));
+        let plain: LangString = "psu".into();
+        assert_eq!(plain.value(), "psu");
+    }
+
+    #[test]
+    fn integrity_level_ordering_and_parse() {
+        assert!(IntegrityLevel::Qm < IntegrityLevel::AsilA);
+        assert!(IntegrityLevel::AsilC < IntegrityLevel::AsilD);
+        assert_eq!("ASIL-B".parse::<IntegrityLevel>().unwrap(), IntegrityLevel::AsilB);
+        assert_eq!("asil_d".parse::<IntegrityLevel>().unwrap(), IntegrityLevel::AsilD);
+        assert_eq!("SIL 3".parse::<IntegrityLevel>().unwrap(), IntegrityLevel::Sil3);
+        assert!("ASIL-E".parse::<IntegrityLevel>().is_err());
+    }
+
+    #[test]
+    fn integrity_level_parse_error_displays_input() {
+        let err = "bogus".parse::<IntegrityLevel>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn external_reference_builder_and_metadata() {
+        let r = ExternalReference::new("data/reliability.csv", ExternalModelKind::Csv)
+            .with_metadata("sheet", "components")
+            .with_extraction(ImplementationConstraint::eql("rows.first().FIT"));
+        assert_eq!(r.metadata_value("sheet"), Some("components"));
+        assert_eq!(r.metadata_value("missing"), None);
+        assert_eq!(r.extraction.as_ref().unwrap().language, "eql");
+        assert_eq!(r.kind.to_string(), "csv");
+    }
+
+    #[test]
+    fn cite_deduplicates() {
+        use crate::id::Idx;
+        let mut core = ElementCore::named("c");
+        let target = CiteRef::Requirement(Idx::from_raw(0));
+        core.cite(target);
+        core.cite(target);
+        assert_eq!(core.cites.len(), 1);
+    }
+
+    #[test]
+    fn external_model_kind_display_other() {
+        assert_eq!(ExternalModelKind::Other("aadl".into()).to_string(), "aadl");
+        assert_eq!(ExternalModelKind::BlockDiagram.to_string(), "block-diagram");
+    }
+}

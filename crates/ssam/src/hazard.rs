@@ -1,0 +1,204 @@
+//! The SSAM *Hazard* module (paper Fig. 4).
+//!
+//! Hazard elements model [`HazardousSituation`]s with their [`Cause`]s,
+//! severities and probabilities, and the [`ControlMeasure`]s deployed to
+//! mitigate them — together with the [`SafetyDecision`] rationale and the
+//! [`ValidationPlan`] / effectiveness-of-verification evidence that the
+//! measure actually works.
+
+use serde::{Deserialize, Serialize};
+
+use crate::base::ElementCore;
+use crate::id::Idx;
+
+/// Severity of the harm caused by a hazardous situation.
+///
+/// SSAM deliberately stays close to, but not identical with, ISO 26262
+/// (paper footnote 3): `S0`–`S3` match the automotive classes but the type is
+/// domain-neutral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// No injuries.
+    S0,
+    /// Light and moderate injuries.
+    S1,
+    /// Severe and life-threatening injuries (survival probable).
+    S2,
+    /// Life-threatening injuries (survival uncertain) or fatal injuries.
+    S3,
+}
+
+/// A root cause of a hazardous situation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cause {
+    /// Cause name.
+    pub name: String,
+    /// Longer description of the causal chain.
+    pub description: Option<String>,
+}
+
+impl Cause {
+    /// Creates a cause with just a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cause { name: name.into(), description: None }
+    }
+}
+
+/// A situation in which a hazard, an operational context and a system
+/// configuration coincide (paper §II-A, §IV-B3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardousSituation {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Causes that may lead to this situation.
+    pub causes: Vec<Cause>,
+    /// Severity of the resulting harm, if assessed.
+    pub severity: Option<Severity>,
+    /// Probability of occurrence in `[0, 1]`, if assessed.
+    pub probability: Option<f64>,
+}
+
+impl HazardousSituation {
+    /// Creates an unassessed hazardous situation.
+    pub fn new(name: impl Into<crate::base::LangString>) -> Self {
+        HazardousSituation {
+            core: ElementCore::named(name),
+            causes: Vec::new(),
+            severity: None,
+            probability: None,
+        }
+    }
+
+    /// Sets the severity (builder style).
+    #[must_use]
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = Some(severity);
+        self
+    }
+
+    /// Sets the probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[must_use]
+    pub fn with_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be within [0, 1], got {p}");
+        self.probability = Some(p);
+        self
+    }
+}
+
+/// The rationale for deploying a control measure (paper Fig. 4,
+/// `SafetyDecision`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetyDecision {
+    /// Decision rationale text.
+    pub rationale: String,
+}
+
+/// The plan (and outcome) for validating a control measure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationPlan {
+    /// What will be done to validate the measure.
+    pub description: String,
+    /// Whether validation has been carried out successfully.
+    pub validated: bool,
+}
+
+/// A measure associated to hazardous situations to mitigate them to an
+/// acceptable level (paper Fig. 4, `ControlMeasure`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlMeasure {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// The hazardous situations this measure mitigates.
+    pub mitigates: Vec<Idx<HazardousSituation>>,
+    /// Rationale for deploying this measure.
+    pub decision: Option<SafetyDecision>,
+    /// Validation plan and status.
+    pub validation: Option<ValidationPlan>,
+    /// Effectiveness of verification in `[0, 1]` (paper: "EoV").
+    pub effectiveness_of_verification: Option<f64>,
+}
+
+impl ControlMeasure {
+    /// Creates a control measure mitigating nothing yet.
+    pub fn new(name: impl Into<crate::base::LangString>) -> Self {
+        ControlMeasure {
+            core: ElementCore::named(name),
+            mitigates: Vec::new(),
+            decision: None,
+            validation: None,
+            effectiveness_of_verification: None,
+        }
+    }
+}
+
+/// Export surface of a [`HazardPackage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardPackageInterface {
+    /// Interface name.
+    pub name: String,
+    /// Hazardous situations exported through this interface.
+    pub exported: Vec<Idx<HazardousSituation>>,
+}
+
+/// A modular group of hazard elements — the model-level *hazard log*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardPackage {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Hazardous situations contained in this package.
+    pub situations: Vec<Idx<HazardousSituation>>,
+    /// Control measures contained in this package.
+    pub measures: Vec<Idx<ControlMeasure>>,
+    /// Export interfaces.
+    pub interfaces: Vec<HazardPackageInterface>,
+}
+
+impl HazardPackage {
+    /// Creates an empty hazard package.
+    pub fn new(name: impl Into<crate::base::LangString>) -> Self {
+        HazardPackage {
+            core: ElementCore::named(name),
+            situations: Vec::new(),
+            measures: Vec::new(),
+            interfaces: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_harm() {
+        assert!(Severity::S0 < Severity::S3);
+        assert!(Severity::S2 < Severity::S3);
+    }
+
+    #[test]
+    fn hazardous_situation_builder() {
+        let h = HazardousSituation::new("H1")
+            .with_severity(Severity::S2)
+            .with_probability(0.01);
+        assert_eq!(h.severity, Some(Severity::S2));
+        assert_eq!(h.probability, Some(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be within")]
+    fn probability_out_of_range_panics() {
+        let _ = HazardousSituation::new("H1").with_probability(1.5);
+    }
+
+    #[test]
+    fn control_measure_defaults_empty() {
+        let m = ControlMeasure::new("watchdog");
+        assert!(m.mitigates.is_empty());
+        assert!(m.decision.is_none());
+        assert!(m.effectiveness_of_verification.is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Typed arena indices used throughout the SSAM model.
+//!
+//! Every element kind (components, failure modes, requirements, …) lives in
+//! its own [`Arena`]; an [`Idx<T>`] is a cheap, copyable, *typed* handle into
+//! that arena. The type parameter makes it impossible to use, say, a
+//! requirement index to look up a component.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+
+/// A typed index into an [`Arena<T>`].
+///
+/// `Idx` is `Copy` regardless of `T` and compares by raw index only.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::id::{Arena, Idx};
+///
+/// let mut arena: Arena<String> = Arena::new();
+/// let a: Idx<String> = arena.alloc("hello".to_owned());
+/// assert_eq!(arena[a], "hello");
+/// ```
+pub struct Idx<T> {
+    raw: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Idx<T> {
+    /// Creates an index from a raw `u32`.
+    ///
+    /// Only meaningful for indices previously produced by the arena the
+    /// value will be used with; looking up a fabricated index may panic or
+    /// return an unrelated element.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Idx { raw, _marker: PhantomData }
+    }
+
+    /// Returns the raw `u32` backing this index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// Returns the index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.raw as usize
+    }
+}
+
+impl<T> Clone for Idx<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Idx<T> {}
+
+impl<T> PartialEq for Idx<T> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for Idx<T> {}
+
+impl<T> PartialOrd for Idx<T> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Idx<T> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl<T> Hash for Idx<T> {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+
+impl<T> fmt::Debug for Idx<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Idx<{}>({})", short_type_name::<T>(), self.raw)
+    }
+}
+
+impl<T> fmt::Display for Idx<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.raw)
+    }
+}
+
+impl<T> Serialize for Idx<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u32(self.raw)
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Idx<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u32::deserialize(deserializer).map(Idx::from_raw)
+    }
+}
+
+fn short_type_name<T>() -> &'static str {
+    let full = std::any::type_name::<T>();
+    full.rsplit("::").next().unwrap_or(full)
+}
+
+/// A growable, append-only store of `T` addressed by [`Idx<T>`].
+///
+/// Arenas never remove elements — SSAM models are built incrementally and
+/// elements are retired by dropping references to them, which mirrors EMF's
+/// containment semantics closely enough for this reproduction.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::id::Arena;
+///
+/// let mut arena = Arena::new();
+/// let one = arena.alloc(1);
+/// let two = arena.alloc(2);
+/// assert_eq!(arena.len(), 2);
+/// assert_eq!(arena[one] + arena[two], 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena { items: Vec::new() }
+    }
+
+    /// Creates an empty arena with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena { items: Vec::with_capacity(cap) }
+    }
+
+    /// Stores `value` and returns its typed index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena already holds `u32::MAX` elements.
+    pub fn alloc(&mut self, value: T) -> Idx<T> {
+        let raw = u32::try_from(self.items.len()).expect("arena exceeds u32::MAX elements");
+        self.items.push(value);
+        Idx::from_raw(raw)
+    }
+
+    /// Returns a reference to the element at `idx`, if in bounds.
+    pub fn get(&self, idx: Idx<T>) -> Option<&T> {
+        self.items.get(idx.index())
+    }
+
+    /// Returns a mutable reference to the element at `idx`, if in bounds.
+    pub fn get_mut(&mut self, idx: Idx<T>) -> Option<&mut T> {
+        self.items.get_mut(idx.index())
+    }
+
+    /// Number of elements allocated.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no elements have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(index, element)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx<T>, &T)> {
+        self.items.iter().enumerate().map(|(i, v)| (Idx::from_raw(i as u32), v))
+    }
+
+    /// Iterates over `(index, element)` pairs with mutable access.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Idx<T>, &mut T)> {
+        self.items.iter_mut().enumerate().map(|(i, v)| (Idx::from_raw(i as u32), v))
+    }
+
+    /// Iterates over all valid indices.
+    pub fn indices(&self) -> impl Iterator<Item = Idx<T>> + '_ {
+        (0..self.items.len() as u32).map(Idx::from_raw)
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> std::ops::Index<Idx<T>> for Arena<T> {
+    type Output = T;
+    fn index(&self, idx: Idx<T>) -> &T {
+        &self.items[idx.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Idx<T>> for Arena<T> {
+    fn index_mut(&mut self, idx: Idx<T>) -> &mut T {
+        &mut self.items[idx.index()]
+    }
+}
+
+impl<T> FromIterator<T> for Arena<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Arena { items: iter.into_iter().collect() }
+    }
+}
+
+impl<T> Extend<T> for Arena<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_index() {
+        let mut a = Arena::new();
+        let x = a.alloc("x");
+        let y = a.alloc("y");
+        assert_eq!(a[x], "x");
+        assert_eq!(a[y], "y");
+        assert_ne!(x, y);
+        assert_eq!(x.raw(), 0);
+        assert_eq!(y.raw(), 1);
+    }
+
+    #[test]
+    fn iter_yields_allocation_order() {
+        let a: Arena<i32> = [10, 20, 30].into_iter().collect();
+        let collected: Vec<_> = a.iter().map(|(i, v)| (i.raw(), *v)).collect();
+        assert_eq!(collected, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn idx_is_copy_eq_hash() {
+        use std::collections::HashSet;
+        let mut a = Arena::new();
+        let x = a.alloc(1u8);
+        let mut set = HashSet::new();
+        set.insert(x);
+        assert!(set.contains(&x));
+        let copied = x; // Copy
+        assert_eq!(copied, x);
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let a: Arena<u8> = Arena::new();
+        assert!(a.get(Idx::from_raw(3)).is_none());
+    }
+
+    #[test]
+    fn debug_contains_type_name() {
+        let mut a = Arena::new();
+        let x = a.alloc(1i64);
+        assert_eq!(format!("{x:?}"), "Idx<i64>(0)");
+        assert_eq!(format!("{x}"), "#0");
+    }
+
+    #[test]
+    fn from_raw_roundtrips() {
+        let idx: Idx<String> = Idx::from_raw(7);
+        assert_eq!(idx.raw(), 7);
+        assert_eq!(idx.index(), 7);
+        assert_eq!(Idx::<String>::from_raw(idx.raw()), idx);
+    }
+}

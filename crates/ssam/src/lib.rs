@@ -1,0 +1,71 @@
+//! # decisive-ssam
+//!
+//! The **Structured System Architecture Metamodel (SSAM)** — the modelling
+//! language at the heart of the DECISIVE methodology (DAC 2022, "Designing
+//! Critical Systems with Iterative Automated Safety Analysis").
+//!
+//! SSAM lets practitioners create, in one federated model:
+//!
+//! * **system safety requirement models** ([`requirement`]),
+//! * **hazard analysis and risk assessment models** ([`hazard`]),
+//! * **block-based system component models** on any level of abstraction
+//!   ([`architecture`]), and
+//! * **assurance traceability** to the produced artefacts ([`mbsa`]).
+//!
+//! The [`base`] module provides the shared facilities every element carries:
+//! multi-language names, machine-executable constraints, `cite` links inside
+//! the model, and [`base::ExternalReference`]s *outside* the model — the
+//! traceability to heterogeneous models (CSV, JSON, block diagrams) that
+//! makes automated model federation possible.
+//!
+//! ## Example
+//!
+//! Build the paper's power-supply case study skeleton and validate it:
+//!
+//! ```
+//! use decisive_ssam::prelude::*;
+//!
+//! let mut model = SsamModel::new("sensor-power-supply");
+//! let psu = model.add_component(Component::new("PSU", ComponentKind::System));
+//! let mut d1 = Component::new("D1", ComponentKind::Hardware);
+//! d1.fit = Some(Fit::new(10.0));
+//! d1.type_key = Some("Diode".to_owned());
+//! let d1 = model.add_child_component(psu, d1);
+//! model.add_failure_mode(d1, "Open", FailureNature::LossOfFunction, 0.3);
+//! model.add_failure_mode(d1, "Short", FailureNature::Erroneous, 0.7);
+//! assert!(decisive_ssam::validate::is_valid(&model));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod architecture;
+pub mod base;
+pub mod hazard;
+pub mod id;
+pub mod mbsa;
+pub mod model;
+pub mod query;
+pub mod render;
+pub mod requirement;
+pub mod validate;
+
+/// Convenient glob-import of the types needed to build models.
+pub mod prelude {
+    pub use crate::architecture::{
+        Component, ComponentKind, ComponentPackage, ComponentRelationship, Coverage,
+        FailureEffect, FailureImpact, FailureMode, FailureNature, Fit, Function, IoDirection,
+        IoNode, SafetyMechanism, ToleranceType,
+    };
+    pub use crate::base::{
+        CiteRef, ElementCore, ExternalModelKind, ExternalReference, ImplementationConstraint,
+        IntegrityLevel, LangString,
+    };
+    pub use crate::hazard::{Cause, ControlMeasure, HazardPackage, HazardousSituation, Severity};
+    pub use crate::id::{Arena, Idx};
+    pub use crate::mbsa::{Artifact, ArtifactKind, MbsaPackage};
+    pub use crate::model::SsamModel;
+    pub use crate::requirement::{
+        Requirement, RequirementKind, RequirementPackage, RequirementRelationKind,
+        RequirementRelationship,
+    };
+}

@@ -1,0 +1,139 @@
+//! The SSAM *MBSA* (Model-Based Systems Assurance) module (paper Fig. 6).
+//!
+//! MBSA elements tie the engineering artefacts produced along the DECISIVE
+//! process — FMEA tables, hazard logs, requirement specs — to the assurance
+//! argument. An [`Artifact`] can carry an executable query so that the
+//! evidence it provides is *re-checkable* whenever the design changes
+//! (paper §V-C).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::base::{CiteRef, ElementCore, ImplementationConstraint};
+use crate::id::Idx;
+
+/// What kind of engineering artefact an [`Artifact`] element references.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A generated FME(D)A table.
+    FmeaResult,
+    /// A hazard log from HARA.
+    HazardLog,
+    /// A requirement specification.
+    RequirementSpec,
+    /// A system design model.
+    DesignModel,
+    /// A reliability data source.
+    ReliabilityModel,
+    /// A safety mechanism catalogue.
+    SafetyMechanismModel,
+    /// A synthesised safety concept.
+    SafetyConcept,
+    /// Any other artefact, named.
+    Other(String),
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactKind::FmeaResult => f.write_str("FMEA result"),
+            ArtifactKind::HazardLog => f.write_str("hazard log"),
+            ArtifactKind::RequirementSpec => f.write_str("requirement spec"),
+            ArtifactKind::DesignModel => f.write_str("design model"),
+            ArtifactKind::ReliabilityModel => f.write_str("reliability model"),
+            ArtifactKind::SafetyMechanismModel => f.write_str("safety mechanism model"),
+            ArtifactKind::SafetyConcept => f.write_str("safety concept"),
+            ArtifactKind::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A reference to an engineering artefact, optionally with an executable
+/// query extracting/validating the evidence it carries.
+///
+/// The paper's example stores "a query to calculate SPFM in the assurance
+/// case model, to check whether the SPFM meets the target ASIL value".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Artefact kind.
+    pub kind: ArtifactKind,
+    /// Where the artefact lives (path, URI or registry key).
+    pub location: String,
+    /// Executable evidence query (e.g. an EQL expression computing SPFM).
+    pub query: Option<ImplementationConstraint>,
+}
+
+impl Artifact {
+    /// Creates an artifact reference without a query.
+    pub fn new(
+        name: impl Into<crate::base::LangString>,
+        kind: ArtifactKind,
+        location: impl Into<String>,
+    ) -> Self {
+        Artifact {
+            core: ElementCore::named(name),
+            kind,
+            location: location.into(),
+            query: None,
+        }
+    }
+
+    /// Attaches an evidence query (builder style).
+    #[must_use]
+    pub fn with_query(mut self, query: ImplementationConstraint) -> Self {
+        self.query = Some(query);
+        self
+    }
+}
+
+/// Links an artifact, as evidence, to the model element it supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvidenceLink {
+    /// The evidence artifact.
+    pub artifact: Idx<Artifact>,
+    /// The supported element (typically a requirement or control measure).
+    pub supports: CiteRef,
+}
+
+/// A modular group of MBSA elements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MbsaPackage {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Artifacts contained in this package.
+    pub artifacts: Vec<Idx<Artifact>>,
+    /// Evidence links contained in this package.
+    pub evidence: Vec<EvidenceLink>,
+}
+
+impl MbsaPackage {
+    /// Creates an empty MBSA package.
+    pub fn new(name: impl Into<crate::base::LangString>) -> Self {
+        MbsaPackage {
+            core: ElementCore::named(name),
+            artifacts: Vec::new(),
+            evidence: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_with_query() {
+        let a = Artifact::new("fmeda", ArtifactKind::FmeaResult, "out/fmeda.csv")
+            .with_query(ImplementationConstraint::eql("spfm() >= 0.90"));
+        assert_eq!(a.kind, ArtifactKind::FmeaResult);
+        assert!(a.query.is_some());
+        assert_eq!(a.kind.to_string(), "FMEA result");
+    }
+
+    #[test]
+    fn artifact_kind_other_displays_name() {
+        assert_eq!(ArtifactKind::Other("FTA".into()).to_string(), "FTA");
+    }
+}

@@ -1,0 +1,396 @@
+//! The [`SsamModel`] — the container of all SSAM arenas and packages, with
+//! construction and navigation APIs.
+//!
+//! A model owns typed arenas for every element kind plus the package
+//! structure grouping them. Builders keep the bidirectional invariants
+//! (parent ↔ child, owner ↔ port, owner ↔ failure mode) intact; `validate`
+//! checks the rest.
+
+use serde::{Deserialize, Serialize};
+
+use crate::architecture::{
+    Component, ComponentPackage, ComponentRelationship, Coverage, FailureMode,
+    FailureNature, Function, IoDirection, IoNode, SafetyMechanism, ToleranceType,
+};
+use crate::base::{ElementCore, LangString};
+use crate::hazard::{ControlMeasure, HazardPackage, HazardousSituation};
+use crate::id::{Arena, Idx};
+use crate::mbsa::{Artifact, MbsaPackage};
+use crate::requirement::{Requirement, RequirementPackage};
+
+/// A complete SSAM model: arenas for every element kind plus the package
+/// structure grouping them.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::prelude::*;
+///
+/// let mut model = SsamModel::new("power-supply");
+/// let top = model.add_component(Component::new("PSU", ComponentKind::System));
+/// let d1 = model.add_child_component(top, Component::new("D1", ComponentKind::Hardware));
+/// model.connect(top, d1);
+/// assert_eq!(model.element_count(), 3); // 2 components + 1 relationship
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SsamModel {
+    /// Model name.
+    pub name: LangString,
+    /// All requirements.
+    pub requirements: Arena<Requirement>,
+    /// All hazardous situations.
+    pub hazards: Arena<HazardousSituation>,
+    /// All control measures.
+    pub control_measures: Arena<ControlMeasure>,
+    /// All components.
+    pub components: Arena<Component>,
+    /// All component relationships.
+    pub relationships: Arena<ComponentRelationship>,
+    /// All IO nodes.
+    pub io_nodes: Arena<IoNode>,
+    /// All failure modes.
+    pub failure_modes: Arena<FailureMode>,
+    /// All failure effects.
+    pub failure_effects: Arena<crate::architecture::FailureEffect>,
+    /// All safety mechanisms.
+    pub safety_mechanisms: Arena<SafetyMechanism>,
+    /// All functions.
+    pub functions: Arena<Function>,
+    /// All MBSA artifacts.
+    pub artifacts: Arena<Artifact>,
+    /// Requirement packages.
+    pub requirement_packages: Vec<RequirementPackage>,
+    /// Hazard packages.
+    pub hazard_packages: Vec<HazardPackage>,
+    /// Component packages.
+    pub component_packages: Vec<ComponentPackage>,
+    /// MBSA packages.
+    pub mbsa_packages: Vec<MbsaPackage>,
+}
+
+impl SsamModel {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<LangString>) -> Self {
+        SsamModel { name: name.into(), ..SsamModel::default() }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a top-level component.
+    pub fn add_component(&mut self, component: Component) -> Idx<Component> {
+        self.components.alloc(component)
+    }
+
+    /// Adds `child` nested inside `parent`, maintaining both links.
+    pub fn add_child_component(&mut self, parent: Idx<Component>, mut child: Component) -> Idx<Component> {
+        child.parent = Some(parent);
+        let idx = self.components.alloc(child);
+        self.components[parent].children.push(idx);
+        idx
+    }
+
+    /// Adds an IO node owned by `component`.
+    pub fn add_io_node(
+        &mut self,
+        component: Idx<Component>,
+        name: impl Into<LangString>,
+        direction: IoDirection,
+    ) -> Idx<IoNode> {
+        let node = IoNode {
+            core: ElementCore::named(name),
+            direction,
+            owner: component,
+            value: None,
+            lower_limit: None,
+            upper_limit: None,
+        };
+        let idx = self.io_nodes.alloc(node);
+        self.components[component].io_nodes.push(idx);
+        idx
+    }
+
+    /// Connects `from → to` without pinning ports and returns the
+    /// relationship index.
+    pub fn connect(&mut self, from: Idx<Component>, to: Idx<Component>) -> Idx<ComponentRelationship> {
+        self.relationships.alloc(ComponentRelationship::new(from, to))
+    }
+
+    /// Connects `from → to` pinned to specific ports.
+    pub fn connect_ports(
+        &mut self,
+        from: Idx<Component>,
+        from_port: Idx<IoNode>,
+        to: Idx<Component>,
+        to_port: Idx<IoNode>,
+    ) -> Idx<ComponentRelationship> {
+        let mut rel = ComponentRelationship::new(from, to);
+        rel.from_port = Some(from_port);
+        rel.to_port = Some(to_port);
+        self.relationships.alloc(rel)
+    }
+
+    /// Adds a failure mode to `component`, maintaining both links.
+    pub fn add_failure_mode(
+        &mut self,
+        component: Idx<Component>,
+        name: impl Into<LangString>,
+        nature: FailureNature,
+        distribution: f64,
+    ) -> Idx<FailureMode> {
+        assert!(
+            (0.0..=1.0).contains(&distribution),
+            "failure mode distribution must be within [0, 1], got {distribution}"
+        );
+        let fm = FailureMode {
+            core: ElementCore::named(name),
+            owner: component,
+            nature,
+            distribution,
+            cause: None,
+            exposure: None,
+            hazards: Vec::new(),
+            effects: Vec::new(),
+            affected_components: Vec::new(),
+        };
+        let idx = self.failure_modes.alloc(fm);
+        self.components[component].failure_modes.push(idx);
+        idx
+    }
+
+    /// Deploys a safety mechanism on `component` covering `failure_mode`.
+    pub fn deploy_safety_mechanism(
+        &mut self,
+        component: Idx<Component>,
+        name: impl Into<LangString>,
+        failure_mode: Idx<FailureMode>,
+        coverage: Coverage,
+        cost_hours: f64,
+    ) -> Idx<SafetyMechanism> {
+        let sm = SafetyMechanism {
+            core: ElementCore::named(name),
+            covers: failure_mode,
+            coverage,
+            cost_hours,
+        };
+        let idx = self.safety_mechanisms.alloc(sm);
+        self.components[component].safety_mechanisms.push(idx);
+        idx
+    }
+
+    /// Adds a function performed by `component`.
+    pub fn add_function(
+        &mut self,
+        component: Idx<Component>,
+        name: impl Into<LangString>,
+        tolerance: ToleranceType,
+    ) -> Idx<Function> {
+        let f = Function {
+            core: ElementCore::named(name),
+            owner: component,
+            tolerance,
+            safety_related: false,
+        };
+        let idx = self.functions.alloc(f);
+        self.components[component].functions.push(idx);
+        idx
+    }
+
+    /// Adds a requirement to the arenas (packages reference it separately).
+    pub fn add_requirement(&mut self, requirement: Requirement) -> Idx<Requirement> {
+        self.requirements.alloc(requirement)
+    }
+
+    /// Adds a hazardous situation.
+    pub fn add_hazard(&mut self, hazard: HazardousSituation) -> Idx<HazardousSituation> {
+        self.hazards.alloc(hazard)
+    }
+
+    /// Adds a control measure.
+    pub fn add_control_measure(&mut self, measure: ControlMeasure) -> Idx<ControlMeasure> {
+        self.control_measures.alloc(measure)
+    }
+
+    /// Adds an MBSA artifact.
+    pub fn add_artifact(&mut self, artifact: Artifact) -> Idx<Artifact> {
+        self.artifacts.alloc(artifact)
+    }
+
+    // ------------------------------------------------------------------
+    // Navigation
+    // ------------------------------------------------------------------
+
+    /// Looks up a component by name (first match in allocation order).
+    pub fn component_by_name(&self, name: &str) -> Option<Idx<Component>> {
+        self.components.iter().find(|(_, c)| c.core.name.value() == name).map(|(i, _)| i)
+    }
+
+    /// The direct subcomponents of `component`.
+    pub fn children_of(&self, component: Idx<Component>) -> &[Idx<Component>] {
+        &self.components[component].children
+    }
+
+    /// All transitive subcomponents of `component`, depth-first.
+    pub fn descendants_of(&self, component: Idx<Component>) -> Vec<Idx<Component>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<Idx<Component>> = self.components[component].children.clone();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            stack.extend(self.components[c].children.iter().copied());
+        }
+        out
+    }
+
+    /// Relationships whose endpoints are `container` itself or direct
+    /// children of `container` — i.e. the internal wiring of `container`.
+    pub fn relationships_within(
+        &self,
+        container: Idx<Component>,
+    ) -> impl Iterator<Item = (Idx<ComponentRelationship>, &ComponentRelationship)> {
+        let is_member = move |m: &Self, c: Idx<Component>| {
+            c == container || m.components[c].parent == Some(container)
+        };
+        self.relationships.iter().filter(move |(_, r)| is_member(self, r.from) && is_member(self, r.to))
+    }
+
+    /// Failure modes of `component`.
+    pub fn failure_modes_of(
+        &self,
+        component: Idx<Component>,
+    ) -> impl Iterator<Item = (Idx<FailureMode>, &FailureMode)> {
+        self.components[component]
+            .failure_modes
+            .iter()
+            .map(move |&i| (i, &self.failure_modes[i]))
+    }
+
+    /// Safety mechanisms deployed on `component` that cover `fm`.
+    pub fn mechanisms_covering(
+        &self,
+        component: Idx<Component>,
+        fm: Idx<FailureMode>,
+    ) -> impl Iterator<Item = &SafetyMechanism> {
+        self.components[component]
+            .safety_mechanisms
+            .iter()
+            .map(move |&i| &self.safety_mechanisms[i])
+            .filter(move |sm| sm.covers == fm)
+    }
+
+    /// Total number of model elements, matching the "No. of Model Elements"
+    /// metric of the paper's scalability evaluation (Table VI).
+    pub fn element_count(&self) -> usize {
+        self.requirements.len()
+            + self.hazards.len()
+            + self.control_measures.len()
+            + self.components.len()
+            + self.relationships.len()
+            + self.io_nodes.len()
+            + self.failure_modes.len()
+            + self.failure_effects.len()
+            + self.safety_mechanisms.len()
+            + self.functions.len()
+            + self.artifacts.len()
+    }
+
+    /// Components flagged `dynamic` (candidates for runtime monitoring).
+    pub fn dynamic_components(&self) -> impl Iterator<Item = (Idx<Component>, &Component)> {
+        self.components.iter().filter(|(_, c)| c.dynamic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{ComponentKind, Fit};
+
+    fn tiny_model() -> (SsamModel, Idx<Component>, Idx<Component>, Idx<Component>) {
+        let mut m = SsamModel::new("m");
+        let top = m.add_component(Component::new("top", ComponentKind::System));
+        let a = m.add_child_component(top, Component::new("a", ComponentKind::Hardware));
+        let b = m.add_child_component(top, Component::new("b", ComponentKind::Hardware));
+        m.connect(top, a);
+        m.connect(a, b);
+        m.connect(b, top);
+        (m, top, a, b)
+    }
+
+    #[test]
+    fn parent_child_links_are_bidirectional() {
+        let (m, top, a, b) = tiny_model();
+        assert_eq!(m.components[a].parent, Some(top));
+        assert_eq!(m.children_of(top), &[a, b]);
+    }
+
+    #[test]
+    fn descendants_are_transitive() {
+        let (mut m, top, a, _) = tiny_model();
+        let nested = m.add_child_component(a, Component::new("a1", ComponentKind::Software));
+        let mut d = m.descendants_of(top);
+        d.sort();
+        let mut expected = vec![a, nested, m.component_by_name("b").unwrap()];
+        expected.sort();
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn relationships_within_filters_to_container() {
+        let (mut m, top, a, b) = tiny_model();
+        // An unrelated top-level pair must not appear.
+        let x = m.add_component(Component::new("x", ComponentKind::Hardware));
+        let y = m.add_component(Component::new("y", ComponentKind::Hardware));
+        m.connect(x, y);
+        let within: Vec<_> = m.relationships_within(top).map(|(i, _)| i).collect();
+        assert_eq!(within.len(), 3);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn failure_mode_distribution_validated() {
+        let (mut m, _, a, _) = tiny_model();
+        let fm = m.add_failure_mode(a, "open", FailureNature::LossOfFunction, 0.3);
+        assert_eq!(m.failure_modes[fm].owner, a);
+        assert_eq!(m.failure_modes_of(a).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution must be")]
+    fn bad_distribution_panics() {
+        let (mut m, _, a, _) = tiny_model();
+        let _ = m.add_failure_mode(a, "open", FailureNature::LossOfFunction, 1.3);
+    }
+
+    #[test]
+    fn mechanisms_covering_filters_by_mode() {
+        let (mut m, _, a, _) = tiny_model();
+        let open = m.add_failure_mode(a, "open", FailureNature::LossOfFunction, 0.3);
+        let short = m.add_failure_mode(a, "short", FailureNature::Erroneous, 0.7);
+        m.deploy_safety_mechanism(a, "wd", open, Coverage::new(0.7), 1.0);
+        assert_eq!(m.mechanisms_covering(a, open).count(), 1);
+        assert_eq!(m.mechanisms_covering(a, short).count(), 0);
+    }
+
+    #[test]
+    fn element_count_sums_all_arenas() {
+        let (mut m, _, a, _) = tiny_model();
+        let before = m.element_count();
+        m.add_failure_mode(a, "open", FailureNature::LossOfFunction, 0.5);
+        m.add_io_node(a, "in", IoDirection::Input);
+        assert_eq!(m.element_count(), before + 2);
+    }
+
+    #[test]
+    fn component_by_name_finds_first() {
+        let (m, top, _, _) = tiny_model();
+        assert_eq!(m.component_by_name("top"), Some(top));
+        assert_eq!(m.component_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn fit_helpers_on_components() {
+        let (mut m, _, a, _) = tiny_model();
+        m.components[a].fit = Some(Fit::new(10.0));
+        assert_eq!(m.components[a].fit.unwrap().value(), 10.0);
+    }
+}

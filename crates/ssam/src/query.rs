@@ -1,0 +1,164 @@
+//! Navigation queries over [`SsamModel`]s — the programmatic counterpart of
+//! the SAME editors' internal-reference panes (Figs. 8–9): walking from
+//! components to their requirements, hazards, mechanisms and containers.
+
+use std::collections::BTreeSet;
+
+use crate::architecture::Component;
+use crate::base::CiteRef;
+use crate::hazard::{ControlMeasure, HazardousSituation};
+use crate::id::Idx;
+use crate::model::SsamModel;
+use crate::requirement::Requirement;
+
+impl SsamModel {
+    /// Components whose reliability `type_key` equals `key`, in allocation
+    /// order.
+    pub fn components_by_type_key(&self, key: &str) -> Vec<Idx<Component>> {
+        self.components
+            .iter()
+            .filter(|(_, c)| c.type_key.as_deref() == Some(key))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The containment chain of `component`, nearest parent first.
+    pub fn ancestors_of(&self, component: Idx<Component>) -> Vec<Idx<Component>> {
+        let mut out = Vec::new();
+        let mut cur = self.components[component].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.components[p].parent;
+        }
+        out
+    }
+
+    /// The outermost container of `component` (itself if top-level).
+    pub fn root_of(&self, component: Idx<Component>) -> Idx<Component> {
+        self.ancestors_of(component).last().copied().unwrap_or(component)
+    }
+
+    /// Hazards associated with any failure mode of `component`.
+    pub fn hazards_of_component(
+        &self,
+        component: Idx<Component>,
+    ) -> BTreeSet<Idx<HazardousSituation>> {
+        self.failure_modes_of(component)
+            .flat_map(|(_, fm)| fm.hazards.iter().copied())
+            .collect()
+    }
+
+    /// Control measures that mitigate `hazard`.
+    pub fn measures_mitigating(
+        &self,
+        hazard: Idx<HazardousSituation>,
+    ) -> Vec<Idx<ControlMeasure>> {
+        self.control_measures
+            .iter()
+            .filter(|(_, m)| m.mitigates.contains(&hazard))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Requirements citing `component` through the base `cite` facility.
+    pub fn requirements_citing(&self, component: Idx<Component>) -> Vec<Idx<Requirement>> {
+        self.requirements
+            .iter()
+            .filter(|(_, r)| {
+                r.core
+                    .cites
+                    .iter()
+                    .any(|c| matches!(c, CiteRef::Component(i) if *i == component))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total engineering-hours cost of every deployed safety mechanism.
+    pub fn total_mechanism_cost(&self) -> f64 {
+        self.safety_mechanisms.iter().map(|(_, m)| m.cost_hours).sum()
+    }
+
+    /// Components carrying at least one failure mode but no reliability
+    /// rate — gaps DECISIVE Step 3 should fill.
+    pub fn components_missing_fit(&self) -> Vec<Idx<Component>> {
+        self.components
+            .iter()
+            .filter(|(_, c)| c.fit.is_none() && !c.failure_modes.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{ComponentKind, Coverage, FailureNature, Fit};
+    use crate::hazard::HazardousSituation;
+    use crate::requirement::Requirement;
+
+    fn model() -> (SsamModel, Idx<Component>, Idx<Component>, Idx<Component>) {
+        let mut m = SsamModel::new("q");
+        let top = m.add_component(Component::new("top", ComponentKind::System));
+        let mut sub = Component::new("sub", ComponentKind::System);
+        sub.type_key = Some("Subsystem".into());
+        let sub = m.add_child_component(top, sub);
+        let mut leaf = Component::new("leaf", ComponentKind::Hardware);
+        leaf.type_key = Some("Diode".into());
+        let leaf = m.add_child_component(sub, leaf);
+        (m, top, sub, leaf)
+    }
+
+    #[test]
+    fn type_key_lookup() {
+        let (m, _, _, leaf) = model();
+        assert_eq!(m.components_by_type_key("Diode"), vec![leaf]);
+        assert!(m.components_by_type_key("Resistor").is_empty());
+    }
+
+    #[test]
+    fn ancestry_navigation() {
+        let (m, top, sub, leaf) = model();
+        assert_eq!(m.ancestors_of(leaf), vec![sub, top]);
+        assert_eq!(m.root_of(leaf), top);
+        assert_eq!(m.root_of(top), top);
+        assert!(m.ancestors_of(top).is_empty());
+    }
+
+    #[test]
+    fn hazard_and_measure_links() {
+        let (mut m, _, _, leaf) = model();
+        let h = m.add_hazard(HazardousSituation::new("H1"));
+        let fm = m.add_failure_mode(leaf, "Open", FailureNature::LossOfFunction, 1.0);
+        m.failure_modes[fm].hazards.push(h);
+        let mut measure = crate::hazard::ControlMeasure::new("shield");
+        measure.mitigates.push(h);
+        let measure = m.add_control_measure(measure);
+        assert_eq!(m.hazards_of_component(leaf), [h].into_iter().collect());
+        assert_eq!(m.measures_mitigating(h), vec![measure]);
+        let other = m.add_hazard(HazardousSituation::new("H2"));
+        assert!(m.measures_mitigating(other).is_empty());
+    }
+
+    #[test]
+    fn requirement_citations() {
+        let (mut m, _, _, leaf) = model();
+        let req = m.add_requirement(Requirement::functional("FR-1", "works"));
+        m.requirements[req].core.cite(CiteRef::Component(leaf));
+        assert_eq!(m.requirements_citing(leaf), vec![req]);
+        let (_, _, sub, _) = (0, 0, Idx::<Component>::from_raw(1), 0);
+        assert!(m.requirements_citing(sub).is_empty());
+    }
+
+    #[test]
+    fn mechanism_cost_and_fit_gaps() {
+        let (mut m, _, _, leaf) = model();
+        let fm = m.add_failure_mode(leaf, "Open", FailureNature::LossOfFunction, 1.0);
+        assert_eq!(m.components_missing_fit(), vec![leaf]);
+        m.components[leaf].fit = Some(Fit::new(10.0));
+        assert!(m.components_missing_fit().is_empty());
+        m.deploy_safety_mechanism(leaf, "wd", fm, Coverage::new(0.9), 2.5);
+        m.deploy_safety_mechanism(leaf, "ecc", fm, Coverage::new(0.99), 1.5);
+        assert!((m.total_mechanism_cost() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Text renderers for SSAM models.
+//!
+//! The paper's SAME tool provides Sirius-based graphical editors (Figs. 7–9,
+//! 12). A GUI is out of scope here; these renderers provide the equivalent
+//! *views*: an ASCII containment tree and a Graphviz DOT graph of the
+//! component architecture, so models remain inspectable.
+
+use std::fmt::Write as _;
+
+use crate::architecture::Component;
+use crate::id::Idx;
+use crate::model::SsamModel;
+
+/// Renders the containment hierarchy of `model` as an ASCII tree.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::prelude::*;
+/// use decisive_ssam::render::ascii_tree;
+///
+/// let mut m = SsamModel::new("demo");
+/// let top = m.add_component(Component::new("PSU", ComponentKind::System));
+/// m.add_child_component(top, Component::new("D1", ComponentKind::Hardware));
+/// let tree = ascii_tree(&m);
+/// assert!(tree.contains("PSU"));
+/// assert!(tree.contains("D1"));
+/// ```
+pub fn ascii_tree(model: &SsamModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model `{}`", model.name);
+    let roots: Vec<Idx<Component>> = model
+        .components
+        .iter()
+        .filter(|(_, c)| c.parent.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    for root in roots {
+        render_node(model, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(model: &SsamModel, idx: Idx<Component>, depth: usize, out: &mut String) {
+    let c = &model.components[idx];
+    let indent = "  ".repeat(depth);
+    let fit = c.fit.map(|f| format!(" [{f}]")).unwrap_or_default();
+    let sr = if c.safety_related { " (safety-related)" } else { "" };
+    let _ = writeln!(out, "{indent}- {} <{}>{fit}{sr}", c.core.name, c.kind);
+    for &fm in &c.failure_modes {
+        let m = &model.failure_modes[fm];
+        let _ = writeln!(
+            out,
+            "{indent}    * FM `{}` ({}, {:.1}%)",
+            m.core.name,
+            m.nature,
+            m.distribution * 100.0
+        );
+    }
+    for &child in &c.children {
+        render_node(model, child, depth + 1, out);
+    }
+}
+
+/// Renders the component connection graph of `container`'s children as
+/// Graphviz DOT. Pass the top-level component to visualise the whole design
+/// at one level of nesting.
+pub fn dot_graph(model: &SsamModel, container: Idx<Component>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", model.components[container].core.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    for &child in &model.components[container].children {
+        let c = &model.components[child];
+        let shape = if c.safety_related { "box, style=bold" } else { "box" };
+        let _ = writeln!(out, "  n{} [label=\"{}\", shape={shape}];", child.raw(), c.core.name);
+    }
+    for (_, rel) in model.relationships_within(container) {
+        let from_label = if rel.from == container { "in".to_owned() } else { format!("n{}", rel.from.raw()) };
+        let to_label = if rel.to == container { "out".to_owned() } else { format!("n{}", rel.to.raw()) };
+        if rel.from == container {
+            let _ = writeln!(out, "  in [shape=point];");
+        }
+        if rel.to == container {
+            let _ = writeln!(out, "  out [shape=point];");
+        }
+        let _ = writeln!(out, "  {from_label} -> {to_label};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// One line per metamodel module with its element census — the textual
+/// equivalent of the paper's metamodel figures (Figs. 2–6).
+pub fn metamodel_inventory(model: &SsamModel) -> String {
+    format!(
+        "base: (shared facilities)\n\
+         requirement: {} requirements, {} packages\n\
+         hazard: {} situations, {} measures, {} packages\n\
+         architecture: {} components, {} relationships, {} io-nodes, {} failure-modes, {} mechanisms, {} functions\n\
+         mbsa: {} artifacts, {} packages\n\
+         total elements: {}",
+        model.requirements.len(),
+        model.requirement_packages.len(),
+        model.hazards.len(),
+        model.control_measures.len(),
+        model.hazard_packages.len(),
+        model.components.len(),
+        model.relationships.len(),
+        model.io_nodes.len(),
+        model.failure_modes.len(),
+        model.safety_mechanisms.len(),
+        model.functions.len(),
+        model.artifacts.len(),
+        model.mbsa_packages.len(),
+        model.element_count(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{Component, ComponentKind, FailureNature, Fit};
+    use crate::model::SsamModel;
+
+    fn demo() -> (SsamModel, Idx<Component>) {
+        let mut m = SsamModel::new("demo");
+        let top = m.add_component(Component::new("PSU", ComponentKind::System));
+        let d1 = m.add_child_component(top, Component::new("D1", ComponentKind::Hardware));
+        let l1 = m.add_child_component(top, Component::new("L1", ComponentKind::Hardware));
+        m.components[d1].fit = Some(Fit::new(10.0));
+        m.components[d1].safety_related = true;
+        m.add_failure_mode(d1, "open", FailureNature::LossOfFunction, 0.3);
+        m.connect(top, d1);
+        m.connect(d1, l1);
+        m.connect(l1, top);
+        (m, top)
+    }
+
+    #[test]
+    fn ascii_tree_lists_components_and_modes() {
+        let (m, _) = demo();
+        let tree = ascii_tree(&m);
+        assert!(tree.contains("PSU"));
+        assert!(tree.contains("D1"));
+        assert!(tree.contains("10 FIT"));
+        assert!(tree.contains("FM `open`"));
+        assert!(tree.contains("safety-related"));
+    }
+
+    #[test]
+    fn dot_graph_has_nodes_edges_and_boundary() {
+        let (m, top) = demo();
+        let dot = dot_graph(&m, top);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"D1\""));
+        assert!(dot.contains("in ->"));
+        assert!(dot.contains("-> out"));
+        assert!(dot.contains("style=bold"), "safety-related nodes are bold");
+    }
+
+    #[test]
+    fn inventory_counts_match() {
+        let (m, _) = demo();
+        let inv = metamodel_inventory(&m);
+        assert!(inv.contains("3 components"));
+        assert!(inv.contains("3 relationships"));
+        assert!(inv.contains(&format!("total elements: {}", m.element_count())));
+    }
+}

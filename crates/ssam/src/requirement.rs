@@ -1,0 +1,160 @@
+//! The SSAM *Requirement* module (paper Fig. 3).
+//!
+//! Requirements are organised in [`RequirementPackage`]s which may expose
+//! [`RequirementPackageInterface`]s so that requirement sets can be modular,
+//! reused and interchanged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::base::{ElementCore, IntegrityLevel};
+use crate::id::Idx;
+
+/// Distinguishes plain requirements from safety requirements (paper Fig. 3:
+/// `Requirement` vs `SafetyRequirement`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequirementKind {
+    /// A functional requirement: what the system must (or must not) do.
+    Functional,
+    /// A safety requirement: a functional part plus an integrity level.
+    Safety,
+    /// A non-functional requirement (performance, cost, …).
+    NonFunctional,
+}
+
+/// A single requirement.
+///
+/// A *safety* requirement carries an [`IntegrityLevel`] specifying the degree
+/// of rigour necessary for its implementation (paper §II-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Shared element facilities (name, description, traceability).
+    pub core: ElementCore,
+    /// The requirement's kind.
+    pub kind: RequirementKind,
+    /// Normative requirement text ("the system shall …").
+    pub text: String,
+    /// Required integrity level; mandatory for safety requirements.
+    pub integrity: Option<IntegrityLevel>,
+}
+
+impl Requirement {
+    /// Creates a functional requirement.
+    pub fn functional(name: impl Into<crate::base::LangString>, text: impl Into<String>) -> Self {
+        Requirement {
+            core: ElementCore::named(name),
+            kind: RequirementKind::Functional,
+            text: text.into(),
+            integrity: None,
+        }
+    }
+
+    /// Creates a safety requirement at the given integrity level.
+    pub fn safety(
+        name: impl Into<crate::base::LangString>,
+        text: impl Into<String>,
+        integrity: IntegrityLevel,
+    ) -> Self {
+        Requirement {
+            core: ElementCore::named(name),
+            kind: RequirementKind::Safety,
+            text: text.into(),
+            integrity: Some(integrity),
+        }
+    }
+}
+
+/// The semantics of a [`RequirementRelationship`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequirementRelationKind {
+    /// The `from` requirement is derived from the `to` requirement.
+    DerivedFrom,
+    /// The `from` requirement refines the `to` requirement.
+    Refines,
+    /// The `from` requirement conflicts with the `to` requirement.
+    Conflicts,
+    /// The `from` requirement duplicates the `to` requirement.
+    Duplicates,
+}
+
+/// A typed edge between two requirements (paper Fig. 3,
+/// `RequirementRelationship`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequirementRelationship {
+    /// Source requirement.
+    pub from: Idx<Requirement>,
+    /// Target requirement.
+    pub to: Idx<Requirement>,
+    /// Relationship semantics.
+    pub kind: RequirementRelationKind,
+}
+
+/// A named export surface of a [`RequirementPackage`], listing the
+/// requirements visible to other packages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequirementPackageInterface {
+    /// Interface name.
+    pub name: String,
+    /// Requirements exported through this interface.
+    pub exported: Vec<Idx<Requirement>>,
+}
+
+/// A modular group of requirements with optional interfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequirementPackage {
+    /// Shared element facilities.
+    pub core: ElementCore,
+    /// Requirements contained in this package.
+    pub requirements: Vec<Idx<Requirement>>,
+    /// Relationships between requirements of this package.
+    pub relationships: Vec<RequirementRelationship>,
+    /// Export interfaces.
+    pub interfaces: Vec<RequirementPackageInterface>,
+}
+
+impl RequirementPackage {
+    /// Creates an empty package.
+    pub fn new(name: impl Into<crate::base::LangString>) -> Self {
+        RequirementPackage {
+            core: ElementCore::named(name),
+            requirements: Vec::new(),
+            relationships: Vec::new(),
+            interfaces: Vec::new(),
+        }
+    }
+
+    /// Whether `req` is exported by any interface of this package.
+    pub fn exports(&self, req: Idx<Requirement>) -> bool {
+        self.interfaces.iter().any(|i| i.exported.contains(&req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_requirement_has_integrity() {
+        let r = Requirement::safety("SR-1", "power shall not fail silently", IntegrityLevel::AsilB);
+        assert_eq!(r.kind, RequirementKind::Safety);
+        assert_eq!(r.integrity, Some(IntegrityLevel::AsilB));
+    }
+
+    #[test]
+    fn functional_requirement_has_no_integrity() {
+        let r = Requirement::functional("FR-1", "supply 5 V");
+        assert_eq!(r.kind, RequirementKind::Functional);
+        assert!(r.integrity.is_none());
+    }
+
+    #[test]
+    fn package_export_check() {
+        let mut pkg = RequirementPackage::new("reqs");
+        let idx = Idx::from_raw(0);
+        assert!(!pkg.exports(idx));
+        pkg.interfaces.push(RequirementPackageInterface {
+            name: "public".into(),
+            exported: vec![idx],
+        });
+        assert!(pkg.exports(idx));
+    }
+}

@@ -1,0 +1,288 @@
+//! Well-formedness validation for [`SsamModel`]s.
+//!
+//! The builder APIs keep structural links consistent by construction; this
+//! module checks the *semantic* invariants that builders cannot enforce:
+//! acyclic containment, distributions summing to one, ports used by
+//! relationships belonging to the relationship endpoints, and safety
+//! mechanisms covering failure modes of their own component.
+
+use std::fmt;
+
+use crate::architecture::Component;
+use crate::id::Idx;
+use crate::model::SsamModel;
+
+/// How severe a validation finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IssueSeverity {
+    /// Advisory; the model is usable.
+    Warning,
+    /// The model violates an SSAM invariant and analyses may misbehave.
+    Error,
+}
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationIssue {
+    /// Severity of the finding.
+    pub severity: IssueSeverity,
+    /// Human-readable description, naming the offending elements.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            IssueSeverity::Warning => "warning",
+            IssueSeverity::Error => "error",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// Validates `model`, returning all findings (empty means well-formed).
+///
+/// # Examples
+///
+/// ```
+/// use decisive_ssam::prelude::*;
+/// use decisive_ssam::validate::validate;
+///
+/// let mut model = SsamModel::new("ok");
+/// let top = model.add_component(Component::new("top", ComponentKind::System));
+/// let d = model.add_child_component(top, Component::new("d", ComponentKind::Hardware));
+/// model.add_failure_mode(d, "open", FailureNature::LossOfFunction, 1.0);
+/// assert!(validate(&model).is_empty());
+/// ```
+pub fn validate(model: &SsamModel) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    check_containment_acyclic(model, &mut issues);
+    check_parent_child_symmetry(model, &mut issues);
+    check_distributions(model, &mut issues);
+    check_relationship_ports(model, &mut issues);
+    check_mechanism_ownership(model, &mut issues);
+    check_io_limits(model, &mut issues);
+    issues
+}
+
+/// `true` if `model` has no `Error`-severity findings.
+pub fn is_valid(model: &SsamModel) -> bool {
+    validate(model).iter().all(|i| i.severity != IssueSeverity::Error)
+}
+
+fn check_containment_acyclic(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
+    for (idx, _) in model.components.iter() {
+        let mut seen = vec![idx];
+        let mut cur = idx;
+        while let Some(p) = model.components[cur].parent {
+            if seen.contains(&p) {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "containment cycle through component `{}`",
+                        model.components[idx].core.name
+                    ),
+                });
+                return;
+            }
+            seen.push(p);
+            cur = p;
+        }
+    }
+}
+
+fn check_parent_child_symmetry(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
+    for (idx, c) in model.components.iter() {
+        for &child in &c.children {
+            if model.components[child].parent != Some(idx) {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "component `{}` lists `{}` as child but the child's parent link disagrees",
+                        c.core.name, model.components[child].core.name
+                    ),
+                });
+            }
+        }
+        if let Some(p) = c.parent {
+            if !model.components[p].children.contains(&idx) {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "component `{}` claims parent `{}` but is not among its children",
+                        c.core.name, model.components[p].core.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_distributions(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
+    for (idx, c) in model.components.iter() {
+        if c.failure_modes.is_empty() {
+            continue;
+        }
+        let total: f64 = c.failure_modes.iter().map(|&fm| model.failure_modes[fm].distribution).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            issues.push(ValidationIssue {
+                severity: IssueSeverity::Warning,
+                message: format!(
+                    "failure mode distribution of `{}` sums to {:.4}, expected 1.0",
+                    model.components[idx].core.name, total
+                ),
+            });
+        }
+    }
+}
+
+fn check_relationship_ports(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
+    let port_belongs = |port, comp: Idx<Component>| model.io_nodes[port].owner == comp;
+    for (_, rel) in model.relationships.iter() {
+        if let Some(p) = rel.from_port {
+            if !port_belongs(p, rel.from) {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "relationship source port `{}` does not belong to `{}`",
+                        model.io_nodes[p].core.name, model.components[rel.from].core.name
+                    ),
+                });
+            }
+        }
+        if let Some(p) = rel.to_port {
+            if !port_belongs(p, rel.to) {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "relationship target port `{}` does not belong to `{}`",
+                        model.io_nodes[p].core.name, model.components[rel.to].core.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_mechanism_ownership(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
+    for (cidx, c) in model.components.iter() {
+        for &sm in &c.safety_mechanisms {
+            let covered = model.safety_mechanisms[sm].covers;
+            if model.failure_modes[covered].owner != cidx {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "safety mechanism `{}` on `{}` covers a failure mode of another component",
+                        model.safety_mechanisms[sm].core.name, c.core.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_io_limits(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
+    for (_, node) in model.io_nodes.iter() {
+        if let (Some(lo), Some(hi)) = (node.lower_limit, node.upper_limit) {
+            if lo > hi {
+                issues.push(ValidationIssue {
+                    severity: IssueSeverity::Error,
+                    message: format!(
+                        "IO node `{}` has lower limit {lo} above upper limit {hi}",
+                        node.core.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{Component, ComponentKind, Coverage, FailureNature, IoDirection};
+    use crate::model::SsamModel;
+
+    fn model_with_pair() -> (SsamModel, Idx<Component>, Idx<Component>) {
+        let mut m = SsamModel::new("v");
+        let top = m.add_component(Component::new("top", ComponentKind::System));
+        let a = m.add_child_component(top, Component::new("a", ComponentKind::Hardware));
+        (m, top, a)
+    }
+
+    #[test]
+    fn clean_model_validates() {
+        let (mut m, _, a) = model_with_pair();
+        m.add_failure_mode(a, "open", FailureNature::LossOfFunction, 0.3);
+        m.add_failure_mode(a, "short", FailureNature::Erroneous, 0.7);
+        assert!(validate(&m).is_empty());
+        assert!(is_valid(&m));
+    }
+
+    #[test]
+    fn detects_containment_cycle() {
+        let (mut m, top, a) = model_with_pair();
+        m.components[top].parent = Some(a); // cycle: top -> a -> top
+        m.components[a].children.push(top);
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("containment cycle")));
+        assert!(!is_valid(&m));
+    }
+
+    #[test]
+    fn detects_asymmetric_parent_link() {
+        let (mut m, _, a) = model_with_pair();
+        let orphan = m.add_component(Component::new("orphan", ComponentKind::Hardware));
+        m.components[orphan].parent = Some(a); // a does not list orphan
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("claims parent")));
+    }
+
+    #[test]
+    fn warns_on_bad_distribution_sum() {
+        let (mut m, _, a) = model_with_pair();
+        m.add_failure_mode(a, "open", FailureNature::LossOfFunction, 0.3);
+        let issues = validate(&m);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, IssueSeverity::Warning);
+        assert!(is_valid(&m), "warnings do not invalidate");
+    }
+
+    #[test]
+    fn detects_foreign_port_on_relationship() {
+        let (mut m, top, a) = model_with_pair();
+        let b = m.add_child_component(top, Component::new("b", ComponentKind::Hardware));
+        let a_out = m.add_io_node(a, "out", IoDirection::Output);
+        let b_in = m.add_io_node(b, "in", IoDirection::Input);
+        // Deliberately swap the ports.
+        m.connect_ports(a, b_in, b, a_out);
+        let issues = validate(&m);
+        assert_eq!(issues.iter().filter(|i| i.message.contains("port")).count(), 2);
+    }
+
+    #[test]
+    fn detects_mechanism_covering_foreign_mode() {
+        let (mut m, top, a) = model_with_pair();
+        let b = m.add_child_component(top, Component::new("b", ComponentKind::Hardware));
+        let fm_b = m.add_failure_mode(b, "open", FailureNature::LossOfFunction, 1.0);
+        m.deploy_safety_mechanism(a, "wd", fm_b, Coverage::new(0.9), 1.0);
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("another component")));
+    }
+
+    #[test]
+    fn detects_inverted_io_limits() {
+        let (mut m, _, a) = model_with_pair();
+        let n = m.add_io_node(a, "out", IoDirection::Output);
+        m.io_nodes[n].lower_limit = Some(5.0);
+        m.io_nodes[n].upper_limit = Some(1.0);
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("lower limit")));
+    }
+
+    #[test]
+    fn issue_display_includes_severity() {
+        let i = ValidationIssue { severity: IssueSeverity::Error, message: "boom".into() };
+        assert_eq!(i.to_string(), "error: boom");
+    }
+}

@@ -1,0 +1,30 @@
+//! # decisive-workload
+//!
+//! Evaluation workloads for the DECISIVE reproduction:
+//!
+//! * [`systems`] — deterministic stand-ins for the paper's proprietary
+//!   evaluation subjects: System A (102 elements) and System B (the AUV
+//!   main control unit, 230 elements);
+//! * [`analyst`] — the simulated manual analyst behind Table V and RQ1,
+//!   with an explicit per-action cost model and a seeded subjective-error
+//!   rate;
+//! * [`sets`] — the Table VI scalability sets (Set0–Set5) and parametric
+//!   SSAM model generators (chains and redundancy ladders) for algorithm
+//!   benchmarking.
+//!
+//! ## Example
+//!
+//! ```
+//! use decisive_workload::systems;
+//!
+//! let a = systems::system_a();
+//! let b = systems::system_b();
+//! assert_eq!(a.element_count(), 102);
+//! assert_eq!(b.element_count(), 230);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyst;
+pub mod sets;
+pub mod systems;

@@ -1,0 +1,147 @@
+//! The scalability model sets of the paper's Table VI (Set0–Set5) and
+//! parametric SSAM model generators for algorithm benchmarking.
+
+use decisive_ssam::architecture::{Component, ComponentKind, FailureNature, Fit};
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+/// One scalability data set: a name and its element count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalabilitySet {
+    /// Set name (`"Set0"` … `"Set5"`).
+    pub name: &'static str,
+    /// Number of model elements.
+    pub elements: u64,
+}
+
+/// The six sets of Table VI. Set3 is the largest real model of the paper's
+/// development process (5 689 elements); Set4/Set5 are duplicated blow-ups.
+pub const SCALABILITY_SETS: [ScalabilitySet; 6] = [
+    ScalabilitySet { name: "Set0", elements: 109 },
+    ScalabilitySet { name: "Set1", elements: 269 },
+    ScalabilitySet { name: "Set2", elements: 1_369 },
+    ScalabilitySet { name: "Set3", elements: 5_689 },
+    ScalabilitySet { name: "Set4", elements: 5_689_000 },
+    ScalabilitySet { name: "Set5", elements: 568_990_000 },
+];
+
+impl ScalabilitySet {
+    /// A deterministic element source of this set's size, for the model
+    /// stores of `decisive-federation`.
+    pub fn source(&self) -> decisive_federation::store::SyntheticSource {
+        decisive_federation::store::SyntheticSource::new(self.elements)
+    }
+}
+
+/// Builds a series-chain SSAM model with `n` components under one top-level
+/// system: `top → c0 → c1 → … → top`, each component carrying one
+/// loss-of-function failure mode. Every component is a single point, so the
+/// FMEA verdict is known in closed form — ideal for benchmarking.
+pub fn chain_model(n: usize) -> (SsamModel, Idx<Component>) {
+    let mut model = SsamModel::new(format!("chain-{n}"));
+    let top = model.add_component(Component::new("top", ComponentKind::System));
+    let mut prev: Option<Idx<Component>> = None;
+    for i in 0..n {
+        let mut c = Component::new(format!("c{i}"), ComponentKind::Hardware);
+        c.fit = Some(Fit::new(10.0));
+        let c = model.add_child_component(top, c);
+        model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+        match prev {
+            None => {
+                model.connect(top, c);
+            }
+            Some(p) => {
+                model.connect(p, c);
+            }
+        }
+        prev = Some(c);
+    }
+    if let Some(last) = prev {
+        model.connect(last, top);
+    }
+    (model, top)
+}
+
+/// Builds a layered redundancy ladder: `width` parallel components per
+/// layer, `depth` layers, fully connected layer-to-layer. The number of
+/// simple paths grows as `width^depth`, which separates the exhaustive
+/// Algorithm 1 from the cut-vertex variant.
+pub fn ladder_model(width: usize, depth: usize) -> (SsamModel, Idx<Component>) {
+    assert!(width >= 1 && depth >= 1, "ladder needs at least one node");
+    let mut model = SsamModel::new(format!("ladder-{width}x{depth}"));
+    let top = model.add_component(Component::new("top", ComponentKind::System));
+    let mut layer: Vec<Idx<Component>> = Vec::new();
+    for d in 0..depth {
+        let next: Vec<Idx<Component>> = (0..width)
+            .map(|w| {
+                let mut c = Component::new(format!("n{d}_{w}"), ComponentKind::Hardware);
+                c.fit = Some(Fit::new(10.0));
+                let c = model.add_child_component(top, c);
+                model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+                c
+            })
+            .collect();
+        if d == 0 {
+            for &c in &next {
+                model.connect(top, c);
+            }
+        } else {
+            for &a in &layer {
+                for &b in &next {
+                    model.connect(a, b);
+                }
+            }
+        }
+        layer = next;
+    }
+    for &c in &layer {
+        model.connect(c, top);
+    }
+    (model, top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
+
+    #[test]
+    fn table_vi_sets_match_the_paper() {
+        use decisive_federation::store::ElementSource as _;
+        assert_eq!(SCALABILITY_SETS[0].elements, 109);
+        assert_eq!(SCALABILITY_SETS[3].elements, 5_689);
+        assert_eq!(SCALABILITY_SETS[5].elements, 568_990_000);
+        assert_eq!(SCALABILITY_SETS[2].source().len(), 1_369);
+    }
+
+    #[test]
+    fn chain_model_element_count_and_verdict() {
+        let (model, top) = chain_model(20);
+        // 21 components + 21 relationships + 20 failure modes.
+        assert_eq!(model.element_count(), 62);
+        let table = graph::run(&model, top, &GraphConfig::default()).unwrap();
+        assert_eq!(table.safety_related_components().len(), 20, "every chain link is a single point");
+    }
+
+    #[test]
+    fn ladder_model_is_redundant() {
+        let (model, top) = ladder_model(2, 3);
+        let table = graph::run(&model, top, &GraphConfig::default()).unwrap();
+        assert!(table.safety_related_components().is_empty());
+        // Exhaustive agrees on small ladders.
+        let paths = graph::run(
+            &model,
+            top,
+            &GraphConfig { algorithm: GraphAlgorithm::ExhaustivePaths, ..GraphConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(paths.disagreement(&table), 0.0);
+    }
+
+    #[test]
+    fn ladder_width_one_degenerates_to_a_chain() {
+        let (model, top) = ladder_model(1, 5);
+        let table = graph::run(&model, top, &GraphConfig::default()).unwrap();
+        assert_eq!(table.safety_related_components().len(), 5);
+    }
+}

@@ -1,0 +1,65 @@
+//! Integration into the System Assurance process (paper §V-C): build a
+//! model-based assurance case whose evidence is an executable query over
+//! the generated FMEDA, then watch the case re-evaluate automatically as
+//! the design changes.
+//!
+//! Run with: `cargo run --example assurance_case`
+
+use decisive::assurance::{evaluate, AssuranceCase, EvidenceQuery};
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::core::mechanism::{search, MechanismCatalog};
+use decisive::core::case_study;
+use decisive::federation::DriverRegistry;
+
+/// The SPFM-from-FMEDA query the paper stores in the assurance case model:
+/// Eq. 1 computed over the exported FMEDA rows.
+const SPFM_MEETS_ASIL_B: &str = "1.0 - rows.collect(r | r.Single_Point_Failure_Rate).sum() / \
+     rows.select(r | r.Safety_Related = 'Yes').collect(r | [r.Component, r.FIT]).distinct() \
+     .collect(p | p[1]).sum() >= 0.9";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The assurance case: a small GSN structure for the power supply.
+    let mut case = AssuranceCase::new("sensor power supply safety case");
+    let g1 = case.goal("G1", "The sensor power supply is acceptably safe to operate");
+    let c1 = case.context("C1", "SEooC per ISO 26262; hazard H1: supply fails unexpectedly");
+    let s1 = case.strategy("S1", "Argue over the architectural metrics of the refined design");
+    let g2 = case.goal("G2", "The design meets the ASIL-B single point fault metric");
+    let sn1 = case.solution("Sn1", "Generated FMEDA: SPFM >= 90%");
+    case.in_context(g1, c1);
+    case.support(g1, s1);
+    case.support(s1, g2);
+    case.support(g2, sn1);
+    case.set_root(g1);
+    case.attach_query(sn1, EvidenceQuery {
+        model_kind: "memory".into(),
+        location: "artefacts/fmeda".into(),
+        expression: SPFM_MEETS_ASIL_B.into(),
+    });
+    println!("{}", case.render());
+
+    // Produce the FMEDA artefact from the unrefined design and publish it.
+    let registry = DriverRegistry::with_defaults();
+    let (model, top) = case_study::ssam_model();
+    let table = graph::run(&model, top, &GraphConfig::default())?;
+    registry.memory().register("artefacts/fmeda", table.to_value());
+    let evaluation = evaluate(&case, &registry);
+    println!("before refinement (SPFM {:.2}%): case {:?}", table.spfm() * 100.0, evaluation.overall());
+    for (node, status) in evaluation.open_items() {
+        println!("  open: {} — {:?}", case.node(node).id, status);
+    }
+
+    // Refine the design (deploy ECC via the automated search), regenerate
+    // the artefact — the *same* case now evaluates satisfied.
+    let refined = search::greedy(&table, &MechanismCatalog::paper_table_iii(), 0.90)
+        .expect("ECC reaches ASIL-B");
+    let fmeda = table.with_deployment(&refined.deployment);
+    registry.memory().register("artefacts/fmeda", fmeda.to_value());
+    let evaluation = evaluate(&case, &registry);
+    println!(
+        "after refinement  (SPFM {:.2}%): case {:?}",
+        fmeda.spfm() * 100.0,
+        evaluation.overall()
+    );
+    assert!(evaluation.is_satisfied());
+    Ok(())
+}

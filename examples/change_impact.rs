@@ -1,0 +1,69 @@
+//! The iterative loop across design revisions: persist a model, change the
+//! design, let the impact analysis decide whether the automated safety
+//! analysis must re-run, and watch the assurance case react (paper §III:
+//! "whenever there are changes … the DECISIVE process shall be repeated to
+//! determine the impacts of the changes").
+//!
+//! Run with: `cargo run --example change_impact`
+
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::core::{case_study, impact, metrics, persist, trace};
+use decisive::ssam::architecture::Fit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Revision 1: the baseline model, persisted like any other artefact.
+    let (baseline, top) = case_study::ssam_model();
+    let path = std::env::temp_dir().join("decisive_change_impact_model.json");
+    persist::save_model(&baseline, &path)?;
+    println!("revision 1 saved to {}", path.display());
+
+    let table_v1 = graph::run(&baseline, top, &GraphConfig::default())?;
+    println!("revision 1 SPFM: {:.2}%", table_v1.spfm() * 100.0);
+
+    // A no-op revision: reload the model and diff — nothing to do.
+    let reloaded = persist::load_model(&path)?;
+    let report = impact::diff_models(&baseline, &reloaded);
+    println!("\nreload diff: requires re-analysis? {}", report.requires_reanalysis());
+
+    // Revision 2: the supplier revises the MCU's FIT (worse RAM) and the
+    // designer adds a bleed resistor across the filter caps.
+    let mut revision = reloaded;
+    let mc1 = revision.component_by_name("MC1").expect("MC1 exists");
+    revision.components[mc1].fit = Some(Fit::new(450.0));
+    let dc1 = revision.component_by_name("DC1").expect("DC1 exists");
+    let bleed = revision.add_child_component(
+        top,
+        {
+            let mut c = decisive::ssam::architecture::Component::new(
+                "R_BLEED",
+                decisive::ssam::architecture::ComponentKind::Hardware,
+            );
+            c.type_key = Some("Resistor".to_owned());
+            c
+        },
+    );
+    revision.connect(dc1, bleed);
+
+    let report = impact::diff_models(&baseline, &revision);
+    println!("\nchange impact report (revision 1 -> 2):");
+    print!("{}", report.render());
+
+    // The report gates the re-analysis.
+    if report.requires_reanalysis() {
+        let table_v2 = graph::run(&revision, top, &GraphConfig::default())?;
+        println!(
+            "re-analysed: SPFM {:.2}% -> {:.2}% (achieved {})",
+            table_v1.spfm() * 100.0,
+            table_v2.spfm() * 100.0,
+            metrics::achieved_asil(table_v2.spfm())
+        );
+        assert!(table_v2.spfm() < table_v1.spfm(), "a worse MCU must lower the SPFM");
+    }
+
+    // Traceability stays navigable across revisions.
+    println!("\ntraceability (revision 2):");
+    print!("{}", trace::render_report(&trace::traceability_report(&revision)));
+
+    std::fs::remove_file(path).ok();
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The §V case study in detail: simulate the power supply, inject faults by
+//! hand, run the automated FMEA on *both* of SAME's paths (fault injection
+//! on the block diagram, Algorithm 1 on the SSAM model), regenerate
+//! Table IV, and cross-check with fault tree analysis.
+//!
+//! Run with: `cargo run --example power_supply`
+
+use decisive::blocks::{from_ssam, gallery, to_circuit, to_ssam};
+use decisive::circuit::Fault;
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::core::fmea::injection::{self, InjectionConfig};
+use decisive::core::mechanism::{DeployedMechanism, Deployment};
+use decisive::core::reliability::ReliabilityDb;
+use decisive::core::{case_study, metrics};
+use decisive::fta::build_fault_tree;
+use decisive::ssam::architecture::Coverage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (diagram, blocks) = gallery::sensor_power_supply();
+
+    // --- Manual fault injection, the primitive behind the automated FMEA.
+    let lowered = to_circuit(&diagram)?;
+    let cs1 = lowered.element(blocks.cs1).expect("CS1 is electrical");
+    let nominal = lowered.circuit.sensor_reading(&lowered.circuit.dc()?, cs1)?;
+    println!("nominal CS1 reading: {:.1} mA", nominal * 1000.0);
+    for (name, block, fault) in [
+        ("D1 open", blocks.d1, Fault::Open),
+        ("D1 short", blocks.d1, Fault::Short),
+        ("L1 open", blocks.l1, Fault::Open),
+        ("C1 short", blocks.c1, Fault::Short),
+        ("MC1 RAM failure", blocks.mc1, Fault::Functional),
+    ] {
+        let element = lowered.element(block).expect("electrical");
+        let faulted = lowered.circuit.with_fault(element, fault)?;
+        let reading = faulted.sensor_reading(&faulted.dc()?, cs1)?;
+        println!("  after {name:<16}: {:7.1} mA", reading * 1000.0);
+    }
+
+    // --- The automated FMEA (DECISIVE Step 4a), Simulink path.
+    let reliability = ReliabilityDb::paper_table_ii();
+    let table = injection::run(&diagram, &reliability, &InjectionConfig::default())?;
+    println!("\ngenerated FMEA (fault injection):");
+    print!("{}", table.to_csv_string());
+    println!("SPFM = {:.2}% -> {}", table.spfm() * 100.0, metrics::achieved_asil(table.spfm()));
+
+    // --- Step 4b: deploy ECC on MC1 (Table III) and regenerate (Table IV).
+    let mut deployment = Deployment::new();
+    deployment.deploy(
+        "MC1",
+        "RAM Failure",
+        DeployedMechanism { name: "ECC".into(), coverage: Coverage::new(0.99), cost_hours: 2.0 },
+    );
+    let fmeda = table.with_deployment(&deployment);
+    println!("\ngenerated FMEDA after deploying ECC (the paper's Table IV):");
+    print!("{}", fmeda.to_csv_string());
+    println!("SPFM = {:.2}% -> {}", fmeda.spfm() * 100.0, metrics::achieved_asil(fmeda.spfm()));
+
+    // --- The SSAM path (§V-B): transform and analyse with Algorithm 1.
+    let transformed = to_ssam(&diagram);
+    assert_eq!(from_ssam(&transformed)?, diagram, "transformation is lossless");
+    let (model, top) = case_study::ssam_model();
+    let graph_table = graph::run(&model, top, &GraphConfig::default())?;
+    println!(
+        "\nSSAM path (Algorithm 1) safety-related components: {:?}",
+        graph_table.safety_related_components()
+    );
+    assert_eq!(graph_table.disagreement(&table), 0.0, "both paths agree");
+
+    // --- Cross-check with fault tree analysis.
+    let synthesised = build_fault_tree(&model, top, 10_000)?;
+    println!("\nfault tree minimal cut sets:");
+    for cut_set in synthesised.tree.cut_sets_by_name() {
+        println!("  {{{}}}", cut_set.join(", "));
+    }
+    let quantification = synthesised.tree.quantify(10_000.0);
+    println!(
+        "top event probability over 10,000 h: {:.3e}",
+        quantification.top_probability
+    );
+    Ok(())
+}

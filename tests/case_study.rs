@@ -1,0 +1,110 @@
+//! Integration test: the paper's §V case study, exercised across crates —
+//! the numbers of Table IV and §V-A/§V-B must come out exactly.
+
+use decisive::blocks::gallery;
+use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
+use decisive::core::fmea::injection::{self, InjectionConfig};
+use decisive::core::mechanism::{DeployedMechanism, Deployment, MechanismCatalog};
+use decisive::core::reliability::ReliabilityDb;
+use decisive::core::{case_study, metrics};
+use decisive::ssam::architecture::Coverage;
+use decisive::ssam::base::IntegrityLevel;
+
+fn ecc_deployment() -> Deployment {
+    let mut d = Deployment::new();
+    d.deploy(
+        "MC1",
+        "RAM Failure",
+        DeployedMechanism { name: "ECC".into(), coverage: Coverage::new(0.99), cost_hours: 2.0 },
+    );
+    d
+}
+
+/// §V-A: the Simulink path — automated FMEA by fault injection.
+#[test]
+fn matlab_path_reproduces_spfm_figures() {
+    let (diagram, _) = gallery::sensor_power_supply();
+    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+        .expect("injection FMEA runs");
+    // "the calculated SPFM is 5.38%"
+    assert!((table.spfm() - 0.0538).abs() < 5e-4, "spfm = {}", table.spfm());
+    assert_eq!(metrics::achieved_asil(table.spfm()), IntegrityLevel::AsilA);
+    // "safety-related components are D1, L1 and MC1"
+    let sr: Vec<_> = table.safety_related_components().into_iter().collect();
+    assert_eq!(sr, vec!["D1", "L1", "MC1"]);
+    // "This time it yields 96.77%, and achieves ASIL-B"
+    let fmeda = table.with_deployment(&ecc_deployment());
+    assert!((fmeda.spfm() - 0.9677).abs() < 5e-5, "spfm = {}", fmeda.spfm());
+    assert_eq!(metrics::achieved_asil(fmeda.spfm()), IntegrityLevel::AsilB);
+}
+
+/// Table IV, row by row.
+#[test]
+fn generated_fmeda_matches_table_iv() {
+    let (diagram, _) = gallery::sensor_power_supply();
+    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+        .expect("injection FMEA runs")
+        .with_deployment(&ecc_deployment());
+    let row = |component: &str, mode: &str| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.component == component && r.failure_mode == mode)
+            .unwrap_or_else(|| panic!("missing row {component}/{mode}"))
+    };
+    // D1: 10 FIT, Open 30% SR with no SM -> 3 FIT residual; Short not SR.
+    let d1_open = row("D1", "Open");
+    assert!(d1_open.safety_related);
+    assert!((d1_open.residual_fit().value() - 3.0).abs() < 1e-9);
+    assert!(!row("D1", "Short").safety_related);
+    // L1: 15 FIT, Open 30% -> 4.5 FIT residual.
+    let l1_open = row("L1", "Open");
+    assert!(l1_open.safety_related);
+    assert!((l1_open.residual_fit().value() - 4.5).abs() < 1e-9);
+    assert!(!row("L1", "Short").safety_related);
+    // MC1: 300 FIT, RAM Failure 100%, ECC 99% -> 3 FIT residual.
+    let mc1 = row("MC1", "RAM Failure");
+    assert!(mc1.safety_related);
+    assert_eq!(mc1.mechanism.as_deref(), Some("ECC"));
+    assert!((mc1.residual_fit().value() - 3.0).abs() < 1e-9);
+}
+
+/// §V-B: "we are able to achieve the same SPFM of 96.77%" on the SSAM path,
+/// with both graph algorithms.
+#[test]
+fn ssam_path_agrees_with_matlab_path() {
+    let (model, top) = case_study::ssam_model();
+    for algorithm in [GraphAlgorithm::ExhaustivePaths, GraphAlgorithm::CutVertex] {
+        let table = graph::run(&model, top, &GraphConfig { algorithm, ..GraphConfig::default() })
+            .expect("graph FMEA runs");
+        let fmeda = table.with_deployment(&ecc_deployment());
+        assert!((fmeda.spfm() - 0.9677).abs() < 5e-5, "{algorithm:?}: spfm = {}", fmeda.spfm());
+        assert_eq!(metrics::achieved_asil(fmeda.spfm()), IntegrityLevel::AsilB);
+    }
+}
+
+/// Step 4b automation: the search finds ECC as the single cheapest
+/// deployment reaching ASIL-B.
+#[test]
+fn automated_search_finds_ecc() {
+    let (model, top) = case_study::ssam_model();
+    let table = graph::run(&model, top, &GraphConfig::default()).expect("graph FMEA runs");
+    let catalog = MechanismCatalog::paper_table_iii();
+    let best = decisive::core::mechanism::search::exhaustive(&table, &catalog, 0.90)
+        .expect("search space is tiny")
+        .expect("ECC reaches the target");
+    assert_eq!(best.deployment.len(), 1);
+    assert_eq!(best.deployment.get("MC1", "RAM Failure").unwrap().name, "ECC");
+    assert!((best.cost - 2.0).abs() < 1e-12);
+}
+
+/// The two SAME paths produce row-identical verdicts for the case study.
+#[test]
+fn both_paths_have_zero_disagreement() {
+    let (diagram, _) = gallery::sensor_power_supply();
+    let injected = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+        .expect("injection FMEA runs");
+    let (model, top) = case_study::ssam_model();
+    let graphed = graph::run(&model, top, &GraphConfig::default()).expect("graph FMEA runs");
+    assert_eq!(injected.disagreement(&graphed), 0.0);
+}

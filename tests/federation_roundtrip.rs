@@ -1,0 +1,126 @@
+//! Integration test: model federation across technologies — the REQ2 story.
+//! Data authored as CSV, JSON and in-memory models flows through drivers,
+//! EQL extraction, SSAM external references and the scalable stores.
+
+use std::sync::Arc;
+
+use decisive::federation::store::{
+    scan_count, EagerStore, ElementSource, IndexedStore, ModelStore, SyntheticSource,
+};
+use decisive::federation::{csv, eql, json, DriverRegistry, FederationError, Value};
+use decisive::ssam::base::{ExternalModelKind, ExternalReference, ImplementationConstraint};
+
+/// An SSAM external reference resolved end to end: location + kind +
+/// extraction script, exactly as Fig. 8 shows for component D1.
+#[test]
+fn external_reference_resolution() {
+    let registry = DriverRegistry::with_defaults();
+    registry.memory().register(
+        "designs/system.json",
+        json::parse(
+            r#"{"components": [
+                {"id": "D1", "fit": 10, "integrity": "ASIL-B"},
+                {"id": "L1", "fit": 15, "integrity": "QM"}
+            ]}"#,
+        )
+        .expect("fixture parses"),
+    );
+    let reference = ExternalReference::new("designs/system.json", ExternalModelKind::Json)
+        .with_metadata("schema", "component-db/v1")
+        .with_extraction(ImplementationConstraint::eql(
+            "model.components.select(c | c.id = 'D1').first().fit",
+        ));
+    let script = reference.extraction.as_ref().expect("script attached");
+    // (The fixture is registered in-memory; a real deployment would pick the
+    // driver from `reference.kind`.)
+    let result = registry
+        .extract("memory", &reference.location, &script.body)
+        .expect("extraction resolves");
+    assert_eq!(result, Value::Int(10));
+    assert_eq!(reference.metadata_value("schema"), Some("component-db/v1"));
+}
+
+/// The same tabular data must behave identically whether it arrived as CSV
+/// or as JSON.
+#[test]
+fn csv_and_json_views_agree() {
+    let from_csv = csv::parse("Component,FIT\nDiode,10\nInductor,15\nMC,300\n").expect("csv parses");
+    let from_json = json::parse(
+        r#"[{"Component":"Diode","FIT":10},{"Component":"Inductor","FIT":15},{"Component":"MC","FIT":300}]"#,
+    )
+    .expect("json parses");
+    let query = "rows.collect(r | r.FIT).sum()";
+    let a = eql::eval_str(query, &from_csv).expect("csv query");
+    let b = eql::eval_str(query, &from_json).expect("json query");
+    assert_eq!(a, b);
+    assert_eq!(a.as_f64(), Some(325.0));
+}
+
+/// CSV → Value → JSON → Value → CSV survives with identical content.
+#[test]
+fn cross_format_roundtrip() {
+    let original = "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,0.3\nDiode,10,Short,0.7\n";
+    let as_value = csv::parse(original).expect("csv parses");
+    let as_json = json::to_string(&as_value);
+    let back = json::parse(&as_json).expect("json reparses");
+    assert_eq!(back, as_value);
+    assert_eq!(csv::to_string(&back), original);
+}
+
+/// Table VI's mechanism difference: the eager store dies on Set5-sized
+/// models while the indexed store serves them within bounded memory.
+#[test]
+fn eager_vs_indexed_store_boundary() {
+    let heap = 4u64 << 30; // a 4 GiB "JVM heap"
+    // Set3 (5 689 elements) loads eagerly just fine.
+    let set3 = SyntheticSource::new(5_689);
+    let eager = EagerStore::load(&set3, heap).expect("Set3 fits");
+    assert_eq!(eager.len(), 5_689);
+    // Set5 (568 990 000 elements) overflows, as in the paper.
+    let set5 = SyntheticSource::new(568_990_000);
+    assert!(matches!(
+        EagerStore::load(&set5, heap),
+        Err(FederationError::MemoryOverflow { .. })
+    ));
+    // The indexed store accesses the same model within a few megabytes.
+    let indexed = IndexedStore::new(Arc::new(set5), 4_096, 8);
+    assert!(indexed.resident_bytes() < 32 << 20);
+    let v = indexed.get(568_989_999).expect("last element reachable");
+    assert_eq!(v.get("id").and_then(Value::as_i64), Some(568_989_999));
+}
+
+/// The evaluation workload of Table VI — a full predicate scan — returns
+/// identical results through both stores.
+#[test]
+fn scan_results_agree_across_stores() {
+    let source = SyntheticSource::new(10_000);
+    let eager = EagerStore::load(&source, 1 << 30).expect("fits");
+    let indexed = IndexedStore::new(Arc::new(source.clone()), 512, 4);
+    let pred =
+        |v: &Value| v.get("safety_related") == Some(&Value::Bool(true));
+    let a = scan_count(&eager, pred).expect("eager scan");
+    let b = scan_count(&indexed, pred).expect("indexed scan");
+    assert_eq!(a, b);
+    assert_eq!(a, source.len().div_ceil(7));
+}
+
+/// EQL handles the quantitative queries the assurance layer stores.
+#[test]
+fn spfm_query_over_exported_fmeda() {
+    let fmeda = csv::parse(
+        "Component,FIT,Safety_Related,Failure_Mode,Distribution,Safety_Mechanism,SM_Coverage,Single_Point_Failure_Rate\n\
+         D1,10,Yes,Open,0.3,No SM,0,3\n\
+         D1,10,No,Short,0.7,No SM,0,0\n\
+         L1,15,Yes,Open,0.3,No SM,0,4.5\n\
+         MC1,300,Yes,RAM Failure,1.0,ECC,0.99,3\n",
+    )
+    .expect("fixture parses");
+    let spfm = eql::eval_str(
+        "1.0 - rows.collect(r | r.Single_Point_Failure_Rate).sum() / \
+         rows.select(r | r.Safety_Related = 'Yes').collect(r | [r.Component, r.FIT]).distinct() \
+         .collect(p | p[1]).sum()",
+        &fmeda,
+    )
+    .expect("query runs");
+    assert!((spfm.as_f64().unwrap() - (1.0 - 10.5 / 325.0)).abs() < 1e-12);
+}

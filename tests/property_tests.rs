@@ -1,0 +1,304 @@
+//! Property-based tests over the toolchain's core invariants.
+
+use proptest::prelude::*;
+
+use decisive::circuit::{Circuit, Fault, NodeId};
+use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
+use decisive::core::fmea::{FmeaRow, FmeaTable};
+use decisive::core::mechanism::{search, DeployedMechanism, Deployment, MechanismCatalog, MechanismSpec};
+use decisive::federation::{csv, json, Value};
+use decisive::fta::{build_fault_tree, fmea_from_fault_tree};
+use decisive::ssam::architecture::{Component, ComponentKind, Coverage, FailureNature, Fit};
+use decisive::ssam::model::SsamModel;
+
+// ---------------------------------------------------------------------------
+// Federation invariants
+// ---------------------------------------------------------------------------
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Real),
+        "[ -~]{0,20}".prop_map(Value::from),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|pairs| Value::record(pairs)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// JSON print → parse is the identity on every representable value.
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        let text = json::to_string(&v);
+        let back = json::parse(&text).expect("printed JSON reparses");
+        prop_assert_eq!(back, v);
+    }
+
+    /// CSV roundtrip over flat tables of typed cells.
+    #[test]
+    fn csv_roundtrip(rows in proptest::collection::vec(
+        (any::<i64>(), -1e6f64..1e6, "[ -~&&[^,\"\r\n]]{0,12}"),
+        1..8,
+    )) {
+        let table = Value::List(rows.iter().map(|(i, r, s)| Value::record([
+            ("n", Value::Int(*i)),
+            ("x", Value::Real(*r)),
+            ("s", if s.trim().parse::<f64>().is_ok() || s.trim().is_empty() {
+                // Avoid cells that would re-type on parse.
+                Value::from("cell")
+            } else {
+                Value::from(s.as_str())
+            }),
+        ])).collect());
+        let text = csv::to_string(&table);
+        let back = csv::parse(&text).expect("printed CSV reparses");
+        for (a, b) in table.as_list().unwrap().iter().zip(back.as_list().unwrap()) {
+            prop_assert_eq!(a.get("n"), b.get("n"));
+            let (ax, bx) = (a.get("x").unwrap().as_f64().unwrap(), b.get("x").unwrap().as_f64().unwrap());
+            prop_assert!((ax - bx).abs() <= 1e-9 * ax.abs().max(1.0));
+            prop_assert_eq!(a.get("s"), b.get("s"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// A series resistor chain obeys Ohm's law, and opening any element
+    /// kills the current while shorting one only increases it.
+    #[test]
+    fn series_chain_obeys_ohm(
+        resistances in proptest::collection::vec(1.0f64..10_000.0, 1..6),
+        volts in 1.0f64..48.0,
+        fault_at in 0usize..6,
+    ) {
+        let mut c = Circuit::new("chain");
+        let top = c.node();
+        let mut prev = top;
+        c.add_voltage_source("V", top, NodeId::GROUND, volts).unwrap();
+        let mut elements = Vec::new();
+        for (i, r) in resistances.iter().enumerate() {
+            let next = c.node();
+            elements.push(c.add_resistor(format!("R{i}"), prev, next, *r).unwrap());
+            prev = next;
+        }
+        let cs = c.add_current_sensor("CS", prev, NodeId::GROUND).unwrap();
+        let total: f64 = resistances.iter().sum();
+        let sol = c.dc().unwrap();
+        let i_nominal = c.sensor_reading(&sol, cs).unwrap();
+        prop_assert!((i_nominal - volts / total).abs() < 1e-6 * (volts / total).max(1.0));
+
+        let target = elements[fault_at % elements.len()];
+        let open = c.with_fault(target, Fault::Open).unwrap();
+        let i_open = open.sensor_reading(&open.dc().unwrap(), cs).unwrap();
+        prop_assert!(i_open.abs() < 1e-6, "open element must cut the chain, got {}", i_open);
+
+        let short = c.with_fault(target, Fault::Short).unwrap();
+        let i_short = short.sensor_reading(&short.dc().unwrap(), cs).unwrap();
+        prop_assert!(i_short >= i_nominal - 1e-9, "short cannot reduce current");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FMEA invariants
+// ---------------------------------------------------------------------------
+
+fn arb_table() -> impl Strategy<Value = FmeaTable> {
+    proptest::collection::vec(
+        (
+            0u8..6,            // component index
+            1.0f64..500.0,     // FIT
+            0.01f64..1.0,      // distribution
+            any::<bool>(),     // safety related
+            0.0f64..1.0,       // coverage
+        ),
+        1..12,
+    )
+    .prop_map(|rows| {
+        let mut table = FmeaTable::new("prop");
+        for (i, (comp, fit, dist, sr, cov)) in rows.into_iter().enumerate() {
+            table.push(FmeaRow {
+                component: format!("C{comp}"),
+                type_key: Some("X".to_owned()),
+                fit: Fit::new(fit),
+                failure_mode: format!("FM{i}"),
+                nature: FailureNature::LossOfFunction,
+                distribution: dist,
+                safety_related: sr,
+                impact: None,
+                mechanism: None,
+                coverage: Coverage::new(cov),
+                warning: None,
+            });
+        }
+        table
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// SPFM always lands in [0, 1] — for any table shape. (The FIT
+    /// denominator uses each component's total FIT, which can differ per
+    /// row here; the metric still stays bounded because residuals never
+    /// exceed the per-row mode FIT.)
+    #[test]
+    fn spfm_is_bounded(table in arb_table()) {
+        // Harmonise per-component FIT so the table is self-consistent.
+        let mut table = table;
+        let mut fit_of = std::collections::HashMap::new();
+        for row in &table.rows {
+            fit_of.entry(row.component.clone()).or_insert(row.fit);
+        }
+        let mut share_count = std::collections::HashMap::new();
+        for row in &table.rows {
+            *share_count.entry(row.component.clone()).or_insert(0usize) += 1;
+        }
+        for row in &mut table.rows {
+            row.fit = fit_of[&row.component];
+            row.distribution = 1.0 / share_count[&row.component] as f64;
+        }
+        let spfm = table.spfm();
+        prop_assert!((0.0..=1.0).contains(&spfm), "spfm = {}", spfm);
+    }
+
+    /// Deploying mechanisms can only improve (or preserve) the SPFM.
+    #[test]
+    fn deployment_is_monotone(table in arb_table(), cov in 0.0f64..1.0) {
+        let base = table.with_deployment(&Deployment::new());
+        let mut deployment = Deployment::new();
+        for row in &base.rows {
+            deployment.deploy(row.component.clone(), row.failure_mode.clone(), DeployedMechanism {
+                name: "m".into(),
+                coverage: Coverage::new(cov),
+                cost_hours: 1.0,
+            });
+        }
+        let refined = base.with_deployment(&deployment);
+        prop_assert!(refined.spfm() + 1e-12 >= base.spfm());
+    }
+
+    /// The Pareto front is sorted by cost with strictly increasing SPFM.
+    #[test]
+    fn pareto_front_is_well_formed(table in arb_table(), specs in proptest::collection::vec(
+        (0.1f64..1.0, 0.1f64..10.0), 1..4,
+    )) {
+        let mut catalog = MechanismCatalog::new();
+        for (i, (cov, cost)) in specs.into_iter().enumerate() {
+            for fm in table.rows.iter().map(|r| r.failure_mode.clone()) {
+                catalog.push(MechanismSpec {
+                    component_type: "X".into(),
+                    failure_mode: fm,
+                    name: format!("m{i}"),
+                    coverage: Coverage::new(cov),
+                    cost_hours: cost,
+                });
+            }
+        }
+        let base = table.with_deployment(&Deployment::new());
+        let front = search::pareto_front(&base, &catalog).expect("dp front");
+        prop_assert!(!front.is_empty());
+        prop_assert_eq!(front[0].cost, 0.0);
+        for pair in front.windows(2) {
+            prop_assert!(pair[0].cost <= pair[1].cost);
+            prop_assert!(pair[0].spfm < pair[1].spfm);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph FMEA and FTA agreement on random DAGs
+// ---------------------------------------------------------------------------
+
+/// Builds a random layered DAG model from proptest-chosen edges.
+fn dag_model(n: usize, edges: &[(usize, usize)]) -> (SsamModel, decisive::ssam::id::Idx<Component>) {
+    let mut model = SsamModel::new("dag");
+    let top = model.add_component(Component::new("top", ComponentKind::System));
+    let nodes: Vec<_> = (0..n)
+        .map(|i| {
+            let mut c = Component::new(format!("c{i}"), ComponentKind::Hardware);
+            c.fit = Some(Fit::new(10.0));
+            let c = model.add_child_component(top, c);
+            model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+            c
+        })
+        .collect();
+    model.connect(top, nodes[0]);
+    model.connect(nodes[n - 1], top);
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a < b {
+            model.connect(nodes[a], nodes[b]);
+        }
+    }
+    // Keep the backbone connected so at least one path exists.
+    for w in nodes.windows(2) {
+        model.connect(w[0], w[1]);
+    }
+    (model, top)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// The paper's Algorithm 1 (exhaustive paths) and the optimised
+    /// cut-vertex variant agree on arbitrary DAG topologies — the
+    /// correctness argument for the ablation.
+    #[test]
+    fn graph_algorithms_agree(
+        n in 2usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..12),
+    ) {
+        let (model, top) = dag_model(n, &edges);
+        let exhaustive = graph::run(&model, top, &GraphConfig {
+            algorithm: GraphAlgorithm::ExhaustivePaths,
+            ..GraphConfig::default()
+        }).expect("paths fit the cap");
+        let cut = graph::run(&model, top, &GraphConfig::default()).expect("cut vertex runs");
+        prop_assert_eq!(exhaustive.disagreement(&cut), 0.0);
+    }
+
+    /// The FTA-derived FMEA (HiP-HOPS baseline) agrees with the direct
+    /// graph FMEA on arbitrary DAG topologies.
+    #[test]
+    fn fta_baseline_agrees_on_dags(
+        n in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..8),
+    ) {
+        let (model, top) = dag_model(n, &edges);
+        let direct = graph::run(&model, top, &GraphConfig::default()).expect("direct");
+        let synthesised = build_fault_tree(&model, top, 1_000_000).expect("synthesis");
+        let via_fta = fmea_from_fault_tree(&synthesised, &model, top);
+        prop_assert_eq!(direct.disagreement(&via_fta), 0.0);
+    }
+
+    /// Minimal cut sets are pairwise incomparable (truly minimal).
+    #[test]
+    fn cut_sets_are_minimal(
+        n in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..8),
+    ) {
+        let (model, top) = dag_model(n, &edges);
+        let synthesised = build_fault_tree(&model, top, 1_000_000).expect("synthesis");
+        let mcs = synthesised.tree.minimal_cut_sets();
+        for (i, a) in mcs.iter().enumerate() {
+            for (j, b) in mcs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset(b), "cut set {:?} ⊆ {:?}", a, b);
+                }
+            }
+        }
+    }
+}

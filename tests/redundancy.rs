@@ -1,0 +1,118 @@
+//! Integration test: redundancy handling across the whole stack — the
+//! 1oo2 diode-OR supply is immune to single rail faults in the simulator,
+//! the FMEA classifies accordingly, the fault tree shows only dual-point
+//! cut sets for the rails, and the quantified risk collapses versus the
+//! single-string design.
+
+use decisive::blocks::gallery;
+use decisive::core::fmea::injection::{self, InjectionConfig};
+use decisive::core::reliability::ReliabilityDb;
+use decisive::fta::{FaultTree, Gate};
+use decisive::ssam::architecture::Fit;
+
+#[test]
+fn injection_fmea_sees_through_the_redundancy() {
+    let (diagram, _) = gallery::redundant_power_supply();
+    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+        .expect("fmea runs");
+    // Only the (non-redundant) MCU remains a single point of failure.
+    let sr: Vec<_> = table.safety_related_components().into_iter().collect();
+    assert_eq!(sr, vec!["MC1"]);
+    // Both OR-ing diodes analysed, neither flagged.
+    for diode in ["D_A", "D_B"] {
+        let open = table
+            .rows
+            .iter()
+            .find(|r| r.component == diode && r.failure_mode == "Open")
+            .expect("diode row exists");
+        assert!(!open.safety_related, "{diode} open is masked by the other rail");
+    }
+}
+
+#[test]
+fn redundancy_lowers_the_absolute_single_point_rate() {
+    // NOTE: the *relative* SPFM can legitimately drop under redundancy (the
+    // safety-related denominator shrinks to just the MCU); the absolute
+    // residual single-point rate (the PMHF numerator) is the metric that
+    // must improve.
+    let reliability = ReliabilityDb::paper_table_ii();
+    let (single, _) = gallery::sensor_power_supply();
+    let (redundant, _) = gallery::redundant_power_supply();
+    let config = InjectionConfig::default();
+    let single_pmhf =
+        decisive::core::metrics::pmhf(&injection::run(&single, &reliability, &config).expect("fmea"));
+    let redundant_pmhf =
+        decisive::core::metrics::pmhf(&injection::run(&redundant, &reliability, &config).expect("fmea"));
+    assert!(
+        redundant_pmhf < single_pmhf,
+        "redundancy must lower the residual rate: {redundant_pmhf} vs {single_pmhf}"
+    );
+}
+
+/// The FTA view of the same architecture: rail failures only appear in
+/// dual-point cut sets, and the quantified risk drops by orders of
+/// magnitude against a single-string rail.
+#[test]
+fn fault_tree_quantifies_the_redundancy_win() {
+    let mission = 20_000.0;
+    // Single string: source -> diode in series.
+    let mut single = FaultTree::new("single rail loss");
+    let dc = single.basic("DC:loss", Fit::new(50.0));
+    let d = single.basic("D:Open", Fit::new(3.0));
+    let top = single.event("rail lost", Gate::Or, vec![dc, d]);
+    single.set_top(top);
+
+    // 1oo2: both rails must fail.
+    let mut dual = FaultTree::new("both rails lost");
+    let rail = |ft: &mut FaultTree, tag: &str| {
+        let dc = ft.basic(format!("DC_{tag}:loss"), Fit::new(50.0));
+        let d = ft.basic(format!("D_{tag}:Open"), Fit::new(3.0));
+        ft.event(format!("rail {tag} lost"), Gate::Or, vec![dc, d])
+    };
+    let a = rail(&mut dual, "A");
+    let b = rail(&mut dual, "B");
+    let top = dual.event("supply lost", Gate::And, vec![a, b]);
+    dual.set_top(top);
+
+    let p_single = single.quantify(mission).top_probability;
+    let p_dual = dual.quantify(mission).top_probability;
+    assert!(p_dual < p_single / 100.0, "redundancy wins: {p_dual} vs {p_single}");
+    // All dual cut sets have two events.
+    assert!(dual.minimal_cut_sets().iter().all(|cs| cs.len() == 2));
+    assert!(dual.single_points().is_empty());
+
+    // Monte Carlo cross-validates both analytic figures.
+    let mc_single = single.simulate(mission, 200_000, 1);
+    let mc_dual = dual.simulate(mission, 2_000_000, 2);
+    assert!(mc_single.agrees_with(p_single, 4.0));
+    assert!(
+        mc_dual.agrees_with(p_dual, 4.0),
+        "mc {} ± {} vs analytic {p_dual}",
+        mc_dual.probability,
+        mc_dual.std_error
+    );
+}
+
+/// The 2oo3 tolerance of SSAM functions maps to the voting-gate risk
+/// ordering: 1oo3 < 2oo3 < 1oo1 failure probability.
+#[test]
+fn voting_arrangements_order_by_risk() {
+    let mission = 20_000.0;
+    let p_topology = |k: u8| {
+        let mut ft = FaultTree::new("voting");
+        let channels: Vec<_> = (0..3).map(|i| ft.basic(format!("c{i}"), Fit::new(2_000.0))).collect();
+        let top = ft.event("lost", Gate::Voting { k }, channels);
+        ft.set_top(top);
+        ft.quantify(mission).top_probability
+    };
+    let p_1oo1 = {
+        let mut ft = FaultTree::new("single");
+        let c = ft.basic("c", Fit::new(2_000.0));
+        ft.set_top(c);
+        ft.quantify(mission).top_probability
+    };
+    let p_2oo3 = p_topology(2); // function lost when 2 of 3 fail
+    let p_3oo3 = p_topology(3); // function lost only when all 3 fail (1oo3 success)
+    assert!(p_3oo3 < p_2oo3, "1oo3 beats 2oo3");
+    assert!(p_2oo3 < p_1oo1, "2oo3 beats a single channel");
+}
