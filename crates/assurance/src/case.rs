@@ -104,7 +104,12 @@ impl AssuranceCase {
         AssuranceCase { name: name.into(), nodes: Vec::new(), root: None }
     }
 
-    fn add(&mut self, id: impl Into<String>, kind: GsnKind, statement: impl Into<String>) -> NodeRef {
+    fn add(
+        &mut self,
+        id: impl Into<String>,
+        kind: GsnKind,
+        statement: impl Into<String>,
+    ) -> NodeRef {
         let node = NodeRef(self.nodes.len() as u32);
         self.nodes.push(GsnNode {
             id: id.into(),
@@ -267,10 +272,13 @@ mod tests {
     fn query_on_goal_panics() {
         let mut case = AssuranceCase::new("d");
         let g = case.goal("G1", "x");
-        case.attach_query(g, EvidenceQuery {
-            model_kind: "memory".into(),
-            location: "m".into(),
-            expression: "true".into(),
-        });
+        case.attach_query(
+            g,
+            EvidenceQuery {
+                model_kind: "memory".into(),
+                location: "m".into(),
+                expression: "true".into(),
+            },
+        );
     }
 }

@@ -139,11 +139,14 @@ mod tests {
         let sn1 = case.solution("Sn1", "evidence");
         case.support(g1, sn1);
         case.set_root(g1);
-        case.attach_query(sn1, EvidenceQuery {
-            model_kind: "memory".into(),
-            location: "m".into(),
-            expression: expression.into(),
-        });
+        case.attach_query(
+            sn1,
+            EvidenceQuery {
+                model_kind: "memory".into(),
+                location: "m".into(),
+                expression: expression.into(),
+            },
+        );
         case
     }
 
@@ -191,11 +194,14 @@ mod tests {
         case.in_context(g1, c1);
         case.support(g1, sn);
         case.set_root(g1);
-        case.attach_query(sn, EvidenceQuery {
-            model_kind: "memory".into(),
-            location: "m".into(),
-            expression: "true".into(),
-        });
+        case.attach_query(
+            sn,
+            EvidenceQuery {
+                model_kind: "memory".into(),
+                location: "m".into(),
+                expression: "true".into(),
+            },
+        );
         let registry = registry_with("m", Value::Null);
         let eval = evaluate(&case, &registry);
         assert_eq!(*eval.status(c1), Status::Satisfied);

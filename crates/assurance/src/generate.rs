@@ -92,17 +92,18 @@ pub fn case_from_concept(
             format!("the design meets the {} single point fault metric", concept.target),
         );
         case.support(s_metrics, g_spfm);
-        let sn = case.solution(
-            format!("Sn1.{}.1", i + 1),
-            "generated FMEDA: SPFM meets the target",
-        );
+        let sn =
+            case.solution(format!("Sn1.{}.1", i + 1), "generated FMEDA: SPFM meets the target");
         case.support(g_spfm, sn);
         let target = metrics::spfm_target(concept.target).unwrap_or(0.0);
-        case.attach_query(sn, EvidenceQuery {
-            model_kind: model_kind.to_owned(),
-            location: location.to_owned(),
-            expression: spfm_query(target),
-        });
+        case.attach_query(
+            sn,
+            EvidenceQuery {
+                model_kind: model_kind.to_owned(),
+                location: location.to_owned(),
+                expression: spfm_query(target),
+            },
+        );
 
         // One machine-checkable claim per mechanism allocation.
         for (j, allocation) in concept.allocations.iter().enumerate() {
@@ -209,8 +210,10 @@ mod tests {
         let case = case_from_concept(&concept, "memory", "x");
         // 1 top + 1 strategy + per-goal (goal + strategy + spfm goal + spfm
         // solution) + per-allocation (goal + solution) + 2 contexts.
-        let expected =
-            2 + concept.safety_goals.len() * 4 + concept.safety_goals.len() * concept.allocations.len() * 2 + 2;
+        let expected = 2
+            + concept.safety_goals.len() * 4
+            + concept.safety_goals.len() * concept.allocations.len() * 2
+            + 2;
         assert_eq!(case.len(), expected);
         let text = case.render();
         assert!(text.contains("ECC"));

@@ -29,8 +29,9 @@ fn bench_efficiency(c: &mut Criterion) {
     // The Step 4b search on each subject's real FMEA table.
     let mut group = c.benchmark_group("table5/mechanism_search");
     for subject in &subjects {
-        let table = injection::run(&subject.diagram, &subject.reliability, &InjectionConfig::default())
-            .expect("fmea");
+        let table =
+            injection::run(&subject.diagram, &subject.reliability, &InjectionConfig::default())
+                .expect("fmea");
         group.bench_with_input(BenchmarkId::from_parameter(&subject.name), &table, |b, t| {
             b.iter(|| search::greedy(black_box(t), black_box(&subject.catalog), 0.90))
         });

@@ -12,10 +12,9 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/chain");
     for n in [10usize, 50, 200] {
         let (model, top) = chain_model(n);
-        for (label, algorithm) in [
-            ("paths", GraphAlgorithm::ExhaustivePaths),
-            ("cut", GraphAlgorithm::CutVertex),
-        ] {
+        for (label, algorithm) in
+            [("paths", GraphAlgorithm::ExhaustivePaths), ("cut", GraphAlgorithm::CutVertex)]
+        {
             group.bench_with_input(
                 BenchmarkId::new(label, n),
                 &(&model, top),
@@ -36,14 +35,18 @@ fn bench_algorithms(c: &mut Criterion) {
         let id = format!("{width}x{depth}");
         let paths_feasible = (width as f64).powi(depth as i32) <= 100_000.0;
         if paths_feasible {
-            group.bench_with_input(BenchmarkId::new("paths", &id), &(&model, top), |b, (model, top)| {
-                let config = GraphConfig {
-                    algorithm: GraphAlgorithm::ExhaustivePaths,
-                    max_paths: 10_000_000,
-                    ..GraphConfig::default()
-                };
-                b.iter(|| graph::run(black_box(model), *top, &config).expect("fmea"))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("paths", &id),
+                &(&model, top),
+                |b, (model, top)| {
+                    let config = GraphConfig {
+                        algorithm: GraphAlgorithm::ExhaustivePaths,
+                        max_paths: 10_000_000,
+                        ..GraphConfig::default()
+                    };
+                    b.iter(|| graph::run(black_box(model), *top, &config).expect("fmea"))
+                },
+            );
         }
         group.bench_with_input(BenchmarkId::new("cut", &id), &(&model, top), |b, (model, top)| {
             let config = GraphConfig::default();

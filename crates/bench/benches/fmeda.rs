@@ -16,16 +16,18 @@ fn bench_fmeda(c: &mut Criterion) {
     let config = InjectionConfig::default();
 
     c.bench_function("table4/injection_fmea_case_study", |b| {
-        b.iter(|| injection::run(black_box(&diagram), black_box(&reliability), &config).expect("fmea"))
+        b.iter(|| {
+            injection::run(black_box(&diagram), black_box(&reliability), &config).expect("fmea")
+        })
     });
 
     let table = injection::run(&diagram, &reliability, &config).expect("fmea");
     let mut deployment = Deployment::new();
-    deployment.deploy("MC1", "RAM Failure", DeployedMechanism {
-        name: "ECC".into(),
-        coverage: Coverage::new(0.99),
-        cost_hours: 2.0,
-    });
+    deployment.deploy(
+        "MC1",
+        "RAM Failure",
+        DeployedMechanism { name: "ECC".into(), coverage: Coverage::new(0.99), cost_hours: 2.0 },
+    );
     c.bench_function("table4/apply_deployment_and_spfm", |b| {
         b.iter(|| {
             let fmeda = black_box(&table).with_deployment(black_box(&deployment));

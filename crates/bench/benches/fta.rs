@@ -27,12 +27,16 @@ fn bench_fta(c: &mut Criterion) {
     let mut group = c.benchmark_group("fta/baseline_vs_direct");
     for n in [20usize, 100] {
         let (chain, chain_top) = chain_model(n);
-        group.bench_with_input(BenchmarkId::new("via_fta", n), &(&chain, chain_top), |b, (m, t)| {
-            b.iter(|| {
-                let s = build_fault_tree(black_box(m), *t, 1_000_000).expect("synthesis");
-                fmea_from_fault_tree(&s, m, *t)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("via_fta", n),
+            &(&chain, chain_top),
+            |b, (m, t)| {
+                b.iter(|| {
+                    let s = build_fault_tree(black_box(m), *t, 1_000_000).expect("synthesis");
+                    fmea_from_fault_tree(&s, m, *t)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("direct", n), &(&chain, chain_top), |b, (m, t)| {
             b.iter(|| graph::run(black_box(m), *t, &GraphConfig::default()).expect("fmea"))
         });

@@ -20,7 +20,9 @@ fn bench_search(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("search/case_study");
     group.bench_function("exhaustive", |b| {
-        b.iter(|| search::exhaustive(black_box(&table), black_box(&catalog), 0.90).expect("small space"))
+        b.iter(|| {
+            search::exhaustive(black_box(&table), black_box(&catalog), 0.90).expect("small space")
+        })
     });
     group.bench_function("greedy", |b| {
         b.iter(|| search::greedy(black_box(&table), black_box(&catalog), 0.90))
@@ -33,8 +35,9 @@ fn bench_search(c: &mut Criterion) {
     // System B: combinatorial space — exhaustive is infeasible by design;
     // greedy and the DP front handle it.
     let subject = system_b();
-    let table_b = injection::run(&subject.diagram, &subject.reliability, &InjectionConfig::default())
-        .expect("fmea");
+    let table_b =
+        injection::run(&subject.diagram, &subject.reliability, &InjectionConfig::default())
+            .expect("fmea");
     let mut group = c.benchmark_group("search/system_b");
     for (label, target) in [("greedy@0.90", 0.90), ("greedy@0.97", 0.97)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &target, |b, &t| {
@@ -42,7 +45,9 @@ fn bench_search(c: &mut Criterion) {
         });
     }
     group.bench_function("pareto_dp", |b| {
-        b.iter(|| search::pareto_front(black_box(&table_b), black_box(&subject.catalog)).expect("dp"))
+        b.iter(|| {
+            search::pareto_front(black_box(&table_b), black_box(&subject.catalog)).expect("dp")
+        })
     });
     group.finish();
 }

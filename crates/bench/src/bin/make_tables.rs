@@ -122,14 +122,18 @@ fn table_2() {
                 r.get("Component").and_then(Value::as_str).unwrap_or("").to_owned(),
                 format!("{}", r.get("FIT").and_then(Value::as_f64).unwrap_or(0.0)),
                 r.get("Failure_Mode").and_then(Value::as_str).unwrap_or("").to_owned(),
-                format!("{:.0}%", r.get("Distribution").and_then(Value::as_f64).unwrap_or(0.0) * 100.0),
+                format!(
+                    "{:.0}%",
+                    r.get("Distribution").and_then(Value::as_f64).unwrap_or(0.0) * 100.0
+                ),
             ]
         })
         .collect();
     print!("{}", render_table(&["Component", "FIT", "Failure_Mode", "Distribution"], &rows));
     // Persist the CSV artefact the case study imports (DECISIVE Step 3).
     if std::fs::create_dir_all("data").is_ok() {
-        let _ = std::fs::write("data/reliability.csv", decisive::federation::csv::to_string(&value));
+        let _ =
+            std::fs::write("data/reliability.csv", decisive::federation::csv::to_string(&value));
         println!("(written to data/reliability.csv)");
     }
 }
@@ -153,7 +157,10 @@ fn table_3() {
         .collect();
     print!(
         "{}",
-        render_table(&["Component", "Failure_Mode", "Safety_Mechanism", "Cov.", "Cost(hrs)"], &rows)
+        render_table(
+            &["Component", "Failure_Mode", "Safety_Mechanism", "Cov.", "Cost(hrs)"],
+            &rows
+        )
     );
 }
 
@@ -161,15 +168,16 @@ fn table_3() {
 fn table_4() {
     println!("\n=== Table IV: Generated FMEDA (power-supply case study) ===");
     let (diagram, _) = gallery::sensor_power_supply();
-    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
-        .expect("injection FMEA");
+    let table =
+        injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+            .expect("injection FMEA");
     println!("SPFM before refinement: {:5.2}%  (paper: 5.38%)", table.spfm() * 100.0);
     let mut deployment = Deployment::new();
-    deployment.deploy("MC1", "RAM Failure", DeployedMechanism {
-        name: "ECC".into(),
-        coverage: Coverage::new(0.99),
-        cost_hours: 2.0,
-    });
+    deployment.deploy(
+        "MC1",
+        "RAM Failure",
+        DeployedMechanism { name: "ECC".into(), coverage: Coverage::new(0.99), cost_hours: 2.0 },
+    );
     let fmeda = table.with_deployment(&deployment);
     let rows: Vec<Vec<String>> = fmeda
         .rows
@@ -284,7 +292,8 @@ fn table_6() {
     let start = Instant::now();
     let mut hits = 0u64;
     for i in (0..set5.elements).step_by((set5.elements / 10_000) as usize) {
-        if indexed.get(i).expect("indexed access").get("safety_related") == Some(&Value::Bool(true)) {
+        if indexed.get(i).expect("indexed access").get("safety_related") == Some(&Value::Bool(true))
+        {
             hits += 1;
         }
     }
@@ -340,7 +349,10 @@ fn figure_1() {
     println!("\n=== Figure 1: DECISIVE stages and key artefacts ===");
     let (diagram, _) = gallery::sensor_power_supply();
     let hazard_log = case_study::hazard_log();
-    println!("Step 1  system definition + HARA -> hazard log ({} event(s))", hazard_log.events().len());
+    println!(
+        "Step 1  system definition + HARA -> hazard log ({} event(s))",
+        hazard_log.events().len()
+    );
     println!("Step 2  system architectural design ({} elements)", diagram.element_count());
     let mut process = DecisiveProcess::new(
         SystemDefinition::new("power-supply", "sensor supply"),
@@ -401,7 +413,10 @@ fn figure_10() {
         graphed.rows.len(),
         graphed.spfm() * 100.0
     );
-    println!("row-level disagreement between the paths: {:.1}%", injected.disagreement(&graphed) * 100.0);
+    println!(
+        "row-level disagreement between the paths: {:.1}%",
+        injected.disagreement(&graphed) * 100.0
+    );
     let transformed = to_ssam(&diagram);
     println!(
         "transformation: {} blocks -> {} SSAM components (lossless: {})",

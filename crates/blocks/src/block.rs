@@ -117,7 +117,10 @@ impl BlockKind {
             BlockKind::Mcu { .. } => Some("MC"),
             BlockKind::Software => Some("Software"),
             BlockKind::AnnotatedSubsystem { annotation } => Some(annotation),
-            BlockKind::Ground | BlockKind::SolverConfig | BlockKind::Scope | BlockKind::Workspace => None,
+            BlockKind::Ground
+            | BlockKind::SolverConfig
+            | BlockKind::Scope
+            | BlockKind::Workspace => None,
         }
     }
 
@@ -214,7 +217,9 @@ mod tests {
     #[test]
     fn electrical_classification() {
         assert!(BlockKind::Diode.is_electrical());
-        assert!(BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.0 }.is_electrical());
+        assert!(
+            BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.0 }.is_electrical()
+        );
         assert!(!BlockKind::Software.is_electrical());
         assert!(!BlockKind::Scope.is_electrical());
     }

@@ -71,12 +71,8 @@ pub fn support_of(kind: &BlockKind) -> Support {
 /// assert_eq!(report.analysable, 1);
 /// ```
 pub fn census(diagram: &BlockDiagram) -> CoverageReport {
-    let mut report = CoverageReport {
-        census: BTreeMap::new(),
-        analysable: 0,
-        native: 0,
-        workaround: 0,
-    };
+    let mut report =
+        CoverageReport { census: BTreeMap::new(), analysable: 0, native: 0, workaround: 0 };
     for (_, block) in diagram.blocks() {
         let support = support_of(&block.kind);
         *report.census.entry((block.kind.tag().to_owned(), support)).or_insert(0) += 1;

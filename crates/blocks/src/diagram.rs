@@ -108,12 +108,16 @@ impl BlockDiagram {
     ///
     /// Returns [`DiagramError::UnknownBlock`] / [`DiagramError::UnknownPort`]
     /// for dangling endpoints.
-    pub fn connect(&mut self, from: BlockId, from_port: Port, to: BlockId, to_port: Port) -> Result<()> {
+    pub fn connect(
+        &mut self,
+        from: BlockId,
+        from_port: Port,
+        to: BlockId,
+        to_port: Port,
+    ) -> Result<()> {
         for (id, port) in [(from, from_port), (to, to_port)] {
-            let block = self
-                .blocks
-                .get(id.0 as usize)
-                .ok_or(DiagramError::UnknownBlock { block: id.0 })?;
+            let block =
+                self.blocks.get(id.0 as usize).ok_or(DiagramError::UnknownBlock { block: id.0 })?;
             if port.0 >= block.kind.port_count() {
                 return Err(DiagramError::UnknownPort { block: block.name.clone(), port: port.0 });
             }
@@ -172,10 +176,9 @@ impl BlockDiagram {
                 })
                 .collect()
         };
-        let total: usize =
-            self.blocks.iter().map(|b| b.kind.port_count() as usize).sum();
+        let total: usize = self.blocks.iter().map(|b| b.kind.port_count() as usize).sum();
         let mut parent: Vec<usize> = (0..total).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -221,10 +224,7 @@ mod tests {
         let a = d.add_block("A", BlockKind::Resistor { ohms: 1.0 });
         let g = d.add_block("G", BlockKind::Ground);
         assert!(d.connect(a, Port(1), g, Port(0)).is_ok());
-        assert!(matches!(
-            d.connect(a, Port(2), g, Port(0)),
-            Err(DiagramError::UnknownPort { .. })
-        ));
+        assert!(matches!(d.connect(a, Port(2), g, Port(0)), Err(DiagramError::UnknownPort { .. })));
         assert!(matches!(
             d.connect(BlockId(9), Port(0), g, Port(0)),
             Err(DiagramError::UnknownBlock { .. })

@@ -51,7 +51,8 @@ pub fn sensor_power_supply() -> (BlockDiagram, PowerSupplyBlocks) {
     let c1 = d.add_block("C1", BlockKind::Capacitor { farads: 10e-6 });
     let c2 = d.add_block("C2", BlockKind::Capacitor { farads: 100e-9 });
     let gnd1 = d.add_block("GND1", BlockKind::Ground);
-    let mc1 = d.add_block("MC1", BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 });
+    let mc1 =
+        d.add_block("MC1", BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 });
     let cs1 = d.add_block("CS1", BlockKind::CurrentSensor);
     let s1 = d.add_block("S1", BlockKind::SolverConfig);
     let scope1 = d.add_block("Scope1", BlockKind::Scope);
@@ -126,7 +127,8 @@ pub fn redundant_power_supply() -> (BlockDiagram, RedundantSupplyBlocks) {
     let d_a = d.add_block("D_A", BlockKind::Diode);
     let d_b = d.add_block("D_B", BlockKind::Diode);
     let cs1 = d.add_block("CS1", BlockKind::CurrentSensor);
-    let mc1 = d.add_block("MC1", BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 });
+    let mc1 =
+        d.add_block("MC1", BlockKind::Mcu { on_amps: 0.1, brownout_volts: 3.0, fault_amps: 0.02 });
     // Rail A and rail B OR onto the common node feeding CS1 → MC1 → gnd.
     d.connect(dc_a, Port(0), d_a, Port(0)).expect(ok);
     d.connect(dc_b, Port(0), d_b, Port(0)).expect(ok);
@@ -159,7 +161,9 @@ mod tests {
         let (d, _) = sensor_power_supply();
         assert_eq!(d.block_count(), 11);
         let names: Vec<_> = d.blocks().map(|(_, b)| b.name.as_str()).collect();
-        for expected in ["DC1", "D1", "L1", "C1", "C2", "GND1", "MC1", "CS1", "S1", "Scope1", "Out1"] {
+        for expected in
+            ["DC1", "D1", "L1", "C1", "C2", "GND1", "MC1", "CS1", "S1", "Scope1", "Out1"]
+        {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }
@@ -185,7 +189,8 @@ mod tests {
         // Any single rail-side fault is tolerated…
         for target in [blocks.dc_a, blocks.d_a, blocks.dc_b, blocks.d_b] {
             let element = lowered.element(target).unwrap();
-            let faulted = lowered.circuit.with_fault(element, decisive_circuit::Fault::Open).unwrap();
+            let faulted =
+                lowered.circuit.with_fault(element, decisive_circuit::Fault::Open).unwrap();
             let reading = faulted.sensor_reading(&faulted.dc().unwrap(), cs).unwrap();
             assert!((reading - nominal).abs() / nominal < 0.05, "single fault must be masked");
         }

@@ -38,9 +38,7 @@ pub fn to_text(diagram: &BlockDiagram) -> String {
         }
     }
     for connection in diagram.connections() {
-        let name = |id: BlockId| {
-            diagram.block(id).map(|b| b.name.clone()).unwrap_or_default()
-        };
+        let name = |id: BlockId| diagram.block(id).map(|b| b.name.clone()).unwrap_or_default();
         let _ = writeln!(
             out,
             "connect {}.{} -> {}.{}",
@@ -74,7 +72,8 @@ pub fn from_text(text: &str) -> Result<BlockDiagram> {
         let mut words = line.split_whitespace();
         match words.next() {
             Some("diagram") => {
-                let name = words.next().ok_or_else(|| bad(line_no, "missing diagram name".into()))?;
+                let name =
+                    words.next().ok_or_else(|| bad(line_no, "missing diagram name".into()))?;
                 if diagram.is_some() {
                     return Err(bad(line_no, "duplicate `diagram` line".into()));
                 }
@@ -87,8 +86,9 @@ pub fn from_text(text: &str) -> Result<BlockDiagram> {
                 let name = words.next().ok_or_else(|| bad(line_no, "missing block name".into()))?;
                 let tag = words.next().ok_or_else(|| bad(line_no, "missing block kind".into()))?;
                 let params = words.next().unwrap_or("");
-                let kind = kind_from(tag, params)
-                    .ok_or_else(|| bad(line_no, format!("unknown block kind `{tag}` or bad parameters `{params}`")))?;
+                let kind = kind_from(tag, params).ok_or_else(|| {
+                    bad(line_no, format!("unknown block kind `{tag}` or bad parameters `{params}`"))
+                })?;
                 if by_name.contains_key(name) {
                     return Err(bad(line_no, format!("duplicate block name `{name}`")));
                 }
@@ -99,16 +99,18 @@ pub fn from_text(text: &str) -> Result<BlockDiagram> {
                 let d = diagram
                     .as_mut()
                     .ok_or_else(|| bad(line_no, "`connect` before `diagram`".into()))?;
-                let from = words.next().ok_or_else(|| bad(line_no, "missing source endpoint".into()))?;
+                let from =
+                    words.next().ok_or_else(|| bad(line_no, "missing source endpoint".into()))?;
                 let arrow = words.next();
                 if arrow != Some("->") {
                     return Err(bad(line_no, "expected `->` between endpoints".into()));
                 }
-                let to = words.next().ok_or_else(|| bad(line_no, "missing target endpoint".into()))?;
+                let to =
+                    words.next().ok_or_else(|| bad(line_no, "missing target endpoint".into()))?;
                 let parse_endpoint = |endpoint: &str| -> Result<(BlockId, Port)> {
-                    let (name, port) = endpoint
-                        .rsplit_once('.')
-                        .ok_or_else(|| bad(line_no, format!("endpoint `{endpoint}` must be `block.port`")))?;
+                    let (name, port) = endpoint.rsplit_once('.').ok_or_else(|| {
+                        bad(line_no, format!("endpoint `{endpoint}` must be `block.port`"))
+                    })?;
                     let id = by_name
                         .get(name)
                         .copied()
@@ -183,7 +185,8 @@ mod tests {
         let lowered = crate::to_circuit(&imported).unwrap();
         let cs1 = imported.block_by_name("CS1").unwrap();
         let sensor = lowered.element(cs1).unwrap();
-        let reading = lowered.circuit.sensor_reading(&lowered.circuit.dc().unwrap(), sensor).unwrap();
+        let reading =
+            lowered.circuit.sensor_reading(&lowered.circuit.dc().unwrap(), sensor).unwrap();
         assert!((reading - 0.1).abs() < 1e-4);
         let _ = blocks;
     }

@@ -104,18 +104,19 @@ pub fn from_ssam(model: &SsamModel) -> Result<BlockDiagram> {
     let mut block_of = std::collections::HashMap::new();
     for (i, &child) in children.iter().enumerate() {
         let c = &model.components[child];
-        let params = c
-            .core
-            .external_refs
-            .iter()
-            .find(|r| r.location == INLINE_LOCATION)
-            .ok_or_else(|| DiagramError::NotLowerable {
-                message: format!("component `{}` carries no block parameters", c.core.name),
-            })?;
+        let params =
+            c.core.external_refs.iter().find(|r| r.location == INLINE_LOCATION).ok_or_else(
+                || DiagramError::NotLowerable {
+                    message: format!("component `{}` carries no block parameters", c.core.name),
+                },
+            )?;
         let tag = params.metadata_value("tag").unwrap_or_default();
         let body = params.metadata_value("params").unwrap_or_default();
         let kind = kind_from(tag, body).ok_or_else(|| DiagramError::NotLowerable {
-            message: format!("component `{}` has unparseable block parameters `{tag}: {body}`", c.core.name),
+            message: format!(
+                "component `{}` has unparseable block parameters `{tag}: {body}`",
+                c.core.name
+            ),
         })?;
         let id = diagram.add_block(c.core.name.value(), kind);
         debug_assert_eq!(id.raw() as usize, i);
@@ -203,7 +204,9 @@ pub(crate) fn kind_from(tag: &str, params: &str) -> Option<BlockKind> {
         "solver-config" => BlockKind::SolverConfig,
         "scope" => BlockKind::Scope,
         "workspace" => BlockKind::Workspace,
-        "annotated-subsystem" => BlockKind::AnnotatedSubsystem { annotation: field("annotation")?.to_owned() },
+        "annotated-subsystem" => {
+            BlockKind::AnnotatedSubsystem { annotation: field("annotation")?.to_owned() }
+        }
         _ => return None,
     })
 }

@@ -44,7 +44,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::SingularMatrix { row } => {
-                write!(f, "singular nodal matrix at pivot row {row} (floating node or source loop?)")
+                write!(
+                    f,
+                    "singular nodal matrix at pivot row {row} (floating node or source loop?)"
+                )
             }
             CircuitError::NoConvergence { iterations, residual } => {
                 write!(f, "newton iteration did not converge after {iterations} iterations (residual {residual:.3e})")

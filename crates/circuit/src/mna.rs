@@ -93,7 +93,13 @@ fn diode_iv(p: &DiodeParams, v: f64) -> (f64, f64) {
     (i, g)
 }
 
-fn load_iv(on_amps: f64, brownout_volts: f64, fault_amps: f64, faulted: bool, v: f64) -> (f64, f64) {
+fn load_iv(
+    on_amps: f64,
+    brownout_volts: f64,
+    fault_amps: f64,
+    faulted: bool,
+    v: f64,
+) -> (f64, f64) {
     let amps = if faulted { fault_amps } else { on_amps };
     let s = 1.0 / (1.0 + exp_lim(-(v - brownout_volts) / LOAD_SMOOTH));
     let i = amps * s;
@@ -416,9 +422,7 @@ impl Circuit {
     ///
     /// Propagates errors from [`Circuit::sensor_reading`].
     pub fn all_sensor_readings(&self, sol: &DcSolution) -> Result<Vec<(ElementId, f64)>> {
-        self.sensors()
-            .map(|(id, _)| self.sensor_reading(sol, id).map(|r| (id, r)))
-            .collect()
+        self.sensors().map(|(id, _)| self.sensor_reading(sol, id).map(|r| (id, r))).collect()
     }
 }
 
@@ -448,7 +452,10 @@ mod tests {
         c.add_resistor("R", top, NodeId::GROUND, 1_000.0).unwrap();
         let sol = c.dc().unwrap();
         let i = c.element_current(&sol, v).unwrap();
-        assert!((i + 0.01).abs() < 1e-6, "SPICE convention: delivering source has negative current, got {i}");
+        assert!(
+            (i + 0.01).abs() < 1e-6,
+            "SPICE convention: delivering source has negative current, got {i}"
+        );
     }
 
     #[test]
@@ -486,7 +493,11 @@ mod tests {
         c.add_diode("D1", out, top).unwrap(); // reversed
         c.add_resistor("R", out, NodeId::GROUND, 100.0).unwrap();
         let sol = c.dc().unwrap();
-        assert!(sol.voltage(out).abs() < 1e-3, "reverse diode should block, out = {}", sol.voltage(out));
+        assert!(
+            sol.voltage(out).abs() < 1e-3,
+            "reverse diode should block, out = {}",
+            sol.voltage(out)
+        );
     }
 
     #[test]

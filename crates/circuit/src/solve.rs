@@ -60,8 +60,8 @@ impl Dense {
         let mut x = vec![0.0; n];
         for r in (0..n).rev() {
             let mut sum = b[r];
-            for c in (r + 1)..n {
-                sum -= self.a[r * n + c] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(n).skip(r + 1) {
+                sum -= self.a[r * n + c] * xc;
             }
             x[r] = sum / self.a[r * n + r];
         }

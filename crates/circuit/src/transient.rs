@@ -67,7 +67,9 @@ impl Circuit {
     pub fn transient(&self, t_stop: f64, h: f64) -> Result<TransientSolution> {
         if !(h > 0.0 && t_stop > 0.0 && h.is_finite() && t_stop.is_finite()) {
             return Err(CircuitError::InvalidParameter {
-                message: format!("transient requires positive finite t_stop and h, got t_stop={t_stop}, h={h}"),
+                message: format!(
+                    "transient requires positive finite t_stop and h, got t_stop={t_stop}, h={h}"
+                ),
             });
         }
         // Initial condition: the DC operating point.
@@ -179,7 +181,7 @@ mod tests {
         c.add_voltage_source("V1", top, NodeId::GROUND, 5.0).unwrap();
         c.add_resistor("R1", top, mid, 1.0).unwrap();
         c.add_capacitor("C1", mid, NodeId::GROUND, 1.0).unwrap(); // tau = 1 s
-        // Step far larger than tau: BE must not oscillate.
+                                                                  // Step far larger than tau: BE must not oscillate.
         let tr = c.transient(100.0, 10.0).unwrap();
         for i in 0..tr.len() {
             let v = tr.state(i).voltage(mid);

@@ -164,10 +164,9 @@ pub fn pll_model() -> (SsamModel, Idx<Component>) {
 
     let add_mode = |model: &mut SsamModel, name: &str, nature, dist: f64, impact| {
         let fm = model.add_failure_mode(pll, name, nature, dist);
-        let effect = model.failure_effects.alloc(FailureEffect {
-            core: ElementCore::named(format!("{name} effect")),
-            impact,
-        });
+        let effect = model
+            .failure_effects
+            .alloc(FailureEffect { core: ElementCore::named(format!("{name} effect")), impact });
         model.failure_modes[fm].effects.push(effect);
         fm
     };

@@ -115,11 +115,7 @@ impl FmeaTable {
     /// The names of all safety-related components (those with at least one
     /// safety-related failure mode), sorted.
     pub fn safety_related_components(&self) -> BTreeSet<String> {
-        self.rows
-            .iter()
-            .filter(|r| r.safety_related)
-            .map(|r| r.component.clone())
-            .collect()
+        self.rows.iter().filter(|r| r.safety_related).map(|r| r.component.clone()).collect()
     }
 
     /// The Single Point Fault Metric of the analysed design (paper Eq. 1):
@@ -186,10 +182,7 @@ impl FmeaTable {
         if all.is_empty() {
             return 0.0;
         }
-        let disagreements = all
-            .iter()
-            .filter(|k| mine.get(*k) != theirs.get(*k))
-            .count();
+        let disagreements = all.iter().filter(|k| mine.get(*k) != theirs.get(*k)).count();
         disagreements as f64 / all.len() as f64
     }
 
@@ -241,7 +234,10 @@ impl FmeaTable {
                     Value::record([
                         ("Component", Value::from(r.component.as_str())),
                         ("FIT", Value::Real(r.fit.value())),
-                        ("Safety_Related", Value::from(if r.safety_related { "Yes" } else { "No" })),
+                        (
+                            "Safety_Related",
+                            Value::from(if r.safety_related { "Yes" } else { "No" }),
+                        ),
                         ("Failure_Mode", Value::from(r.failure_mode.as_str())),
                         (
                             "Impact",
@@ -309,11 +305,15 @@ mod tests {
     fn spfm_matches_paper_after_ecc() {
         let t = paper_rows();
         let mut d = Deployment::new();
-        d.deploy("MC1", "RAM Failure", DeployedMechanism {
-            name: "ECC".into(),
-            coverage: Coverage::new(0.99),
-            cost_hours: 2.0,
-        });
+        d.deploy(
+            "MC1",
+            "RAM Failure",
+            DeployedMechanism {
+                name: "ECC".into(),
+                coverage: Coverage::new(0.99),
+                cost_hours: 2.0,
+            },
+        );
         let refined = t.with_deployment(&d);
         // 1 - (3 + 4.5 + 3)/325 = 0.96769...
         assert!((refined.spfm() - (1.0 - 10.5 / 325.0)).abs() < 1e-12);

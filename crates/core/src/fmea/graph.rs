@@ -96,71 +96,121 @@ fn analyse_container(
     config: &GraphConfig,
     table: &mut FmeaTable,
 ) -> Result<()> {
-    let graph = BoundaryGraph::build(model, container);
-    let critical = critical_components(&graph, config)?;
-    let on_some_path = graph.on_some_path();
+    let facts = container_facts(model, container, config)?;
     for &child in &model.components[container].children {
-        let component = &model.components[child];
-        let on_all_paths = critical.contains(&child);
-        for (_, fm) in model.failure_modes_of(child) {
-            if let AnalysisScope::Hazard(hazard) = config.scope {
-                if !fm.hazards.contains(&hazard) {
-                    continue;
-                }
-            }
-            let mut row = FmeaRow {
-                component: component.core.name.value().to_owned(),
-                type_key: component.type_key.clone(),
-                fit: component.fit.unwrap_or(Fit::ZERO),
-                failure_mode: fm.core.name.value().to_owned(),
-                nature: fm.nature.clone(),
-                distribution: fm.distribution,
-                safety_related: false,
-                impact: None,
-                mechanism: None,
-                coverage: Coverage::NONE,
-                warning: None,
-            };
-            if component.fit.is_none() {
-                row.warning = Some(format!(
-                    "component `{}` has no reliability data (FIT treated as 0)",
-                    component.core.name
-                ));
-            }
-            if fm.nature.breaks_path() {
-                let affected_critical = fm
-                    .affected_components
-                    .iter()
-                    .any(|a| critical.contains(a))
-                    || affected_via_cites(model, fm).iter().any(|a| critical.contains(a));
-                row.safety_related = container_critical && (on_all_paths || affected_critical);
-                // Impact classification (Table I DVF/IVF): modelled effects
-                // win; otherwise derive it from path topology — a
-                // single-point loss directly violates the goal, a redundant
-                // on-path loss violates it only with a second fault.
-                row.impact = effect_impact(model, fm).or(Some(if row.safety_related {
-                    decisive_ssam::architecture::FailureImpact::DirectViolation
-                } else if on_some_path.contains(&child) {
-                    decisive_ssam::architecture::FailureImpact::IndirectViolation
-                } else {
-                    decisive_ssam::architecture::FailureImpact::NoEffect
-                }));
-            } else {
-                row.impact = effect_impact(model, fm);
-                // Algorithm 1 line 11: provide a warning on fm.
-                row.warning = Some(format!(
-                    "failure mode `{}` has nature `{}` — outside the loss-of-function analysis; review manually",
-                    fm.core.name, fm.nature
-                ));
-            }
+        for row in component_rows(model, child, container_critical, &facts, config) {
             table.push(row);
         }
-        if !component.is_atomic() {
+        if !model.components[child].is_atomic() {
             // Algorithm 1 line 14: repeat this algorithm for c.
-            analyse_container(model, child, container_critical && on_all_paths, config, table)?;
+            let child_critical = container_critical && facts.critical.contains(&child);
+            analyse_container(model, child, child_critical, config, table)?;
         }
     }
     Ok(())
+}
+
+/// Path-topology facts about one container's internal wiring, shared by
+/// every per-component row derivation inside that container.
+///
+/// The facts depend only on the container's topology (children and edges)
+/// and the configured algorithm — not on FIT values, failure modes or
+/// mechanisms — which is what makes them independently cacheable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerFacts {
+    /// Children lying on **every** input→output path (the single points).
+    pub critical: HashSet<Idx<Component>>,
+    /// Children lying on **at least one** input→output path.
+    pub on_some_path: HashSet<Idx<Component>>,
+}
+
+/// Computes the path-criticality facts of `container`'s internal wiring.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when path enumeration exceeds
+/// `config.max_paths`.
+pub fn container_facts(
+    model: &SsamModel,
+    container: Idx<Component>,
+    config: &GraphConfig,
+) -> Result<ContainerFacts> {
+    let graph = BoundaryGraph::build(model, container);
+    let critical = critical_components(&graph, config)?;
+    let on_some_path = graph.on_some_path();
+    Ok(ContainerFacts { critical, on_some_path })
+}
+
+/// Derives the FMEA rows of `child`'s own failure modes given its
+/// container's [`ContainerFacts`] — one independently schedulable unit of
+/// Algorithm 1 (the body of its per-component loop, without the recursion
+/// into subcomponents).
+///
+/// `container_critical` is the criticality of the chain above: a nested
+/// failure mode is safety-related only if every enclosing container is
+/// itself path-critical at the level above.
+pub fn component_rows(
+    model: &SsamModel,
+    child: Idx<Component>,
+    container_critical: bool,
+    facts: &ContainerFacts,
+    config: &GraphConfig,
+) -> Vec<FmeaRow> {
+    let component = &model.components[child];
+    let on_all_paths = facts.critical.contains(&child);
+    let mut rows = Vec::new();
+    for (_, fm) in model.failure_modes_of(child) {
+        if let AnalysisScope::Hazard(hazard) = config.scope {
+            if !fm.hazards.contains(&hazard) {
+                continue;
+            }
+        }
+        let mut row = FmeaRow {
+            component: component.core.name.value().to_owned(),
+            type_key: component.type_key.clone(),
+            fit: component.fit.unwrap_or(Fit::ZERO),
+            failure_mode: fm.core.name.value().to_owned(),
+            nature: fm.nature.clone(),
+            distribution: fm.distribution,
+            safety_related: false,
+            impact: None,
+            mechanism: None,
+            coverage: Coverage::NONE,
+            warning: None,
+        };
+        if component.fit.is_none() {
+            row.warning = Some(format!(
+                "component `{}` has no reliability data (FIT treated as 0)",
+                component.core.name
+            ));
+        }
+        if fm.nature.breaks_path() {
+            let affected_critical =
+                fm.affected_components.iter().any(|a| facts.critical.contains(a))
+                    || affected_via_cites(model, fm).iter().any(|a| facts.critical.contains(a));
+            row.safety_related = container_critical && (on_all_paths || affected_critical);
+            // Impact classification (Table I DVF/IVF): modelled effects
+            // win; otherwise derive it from path topology — a
+            // single-point loss directly violates the goal, a redundant
+            // on-path loss violates it only with a second fault.
+            row.impact = effect_impact(model, fm).or(Some(if row.safety_related {
+                decisive_ssam::architecture::FailureImpact::DirectViolation
+            } else if facts.on_some_path.contains(&child) {
+                decisive_ssam::architecture::FailureImpact::IndirectViolation
+            } else {
+                decisive_ssam::architecture::FailureImpact::NoEffect
+            }));
+        } else {
+            row.impact = effect_impact(model, fm);
+            // Algorithm 1 line 11: provide a warning on fm.
+            row.warning = Some(format!(
+                "failure mode `{}` has nature `{}` — outside the loss-of-function analysis; review manually",
+                fm.core.name, fm.nature
+            ));
+        }
+        rows.push(row);
+    }
+    rows
 }
 
 /// The strongest impact among a failure mode's modelled effects, if any.
@@ -168,7 +218,9 @@ fn effect_impact(
     model: &SsamModel,
     fm: &decisive_ssam::architecture::FailureMode,
 ) -> Option<decisive_ssam::architecture::FailureImpact> {
-    use decisive_ssam::architecture::FailureImpact::{DirectViolation, IndirectViolation, NoEffect};
+    use decisive_ssam::architecture::FailureImpact::{
+        DirectViolation, IndirectViolation, NoEffect,
+    };
     let mut strongest = None;
     for &effect in &fm.effects {
         let impact = model.failure_effects[effect].impact;
@@ -373,10 +425,11 @@ mod tests {
     use decisive_ssam::architecture::{ComponentKind, FailureNature};
 
     fn run_both(model: &SsamModel, top: Idx<Component>) -> (FmeaTable, FmeaTable) {
-        let paths = run(model, top, &GraphConfig {
-            algorithm: GraphAlgorithm::ExhaustivePaths,
-            ..GraphConfig::default()
-        })
+        let paths = run(
+            model,
+            top,
+            &GraphConfig { algorithm: GraphAlgorithm::ExhaustivePaths, ..GraphConfig::default() },
+        )
         .unwrap();
         let cuts = run(model, top, &GraphConfig::default()).unwrap();
         (paths, cuts)
@@ -399,11 +452,8 @@ mod tests {
     fn erroneous_modes_get_warnings_not_verdicts() {
         let (model, top) = case_study::ssam_model();
         let table = run(&model, top, &GraphConfig::default()).unwrap();
-        let d1_short = table
-            .rows
-            .iter()
-            .find(|r| r.component == "D1" && r.failure_mode == "Short")
-            .unwrap();
+        let d1_short =
+            table.rows.iter().find(|r| r.component == "D1" && r.failure_mode == "Short").unwrap();
         assert!(!d1_short.safety_related);
         assert!(d1_short.warning.as_deref().unwrap().contains("review manually"));
     }
@@ -412,11 +462,8 @@ mod tests {
     fn shunt_components_are_not_single_points() {
         let (model, top) = case_study::ssam_model();
         let table = run(&model, top, &GraphConfig::default()).unwrap();
-        let c1_open = table
-            .rows
-            .iter()
-            .find(|r| r.component == "C1" && r.failure_mode == "Open")
-            .unwrap();
+        let c1_open =
+            table.rows.iter().find(|r| r.component == "C1" && r.failure_mode == "Open").unwrap();
         assert!(!c1_open.safety_related, "filter caps hang off the stable source");
     }
 
@@ -484,7 +531,8 @@ mod tests {
         let mut model = SsamModel::new("nested");
         let top = model.add_component(Component::new("top", ComponentKind::System));
         let sub = model.add_child_component(top, Component::new("sub", ComponentKind::System));
-        let inner = model.add_child_component(sub, Component::new("inner", ComponentKind::Hardware));
+        let inner =
+            model.add_child_component(sub, Component::new("inner", ComponentKind::Hardware));
         model.components[inner].fit = Some(Fit::new(7.0));
         model.add_failure_mode(inner, "Open", FailureNature::LossOfFunction, 1.0);
         model.connect(top, sub);
@@ -503,10 +551,13 @@ mod tests {
         let sub_a = model.add_child_component(top, Component::new("subA", ComponentKind::System));
         let sub_b = model.add_child_component(top, Component::new("subB", ComponentKind::System));
         for sub in [sub_a, sub_b] {
-            let inner = model.add_child_component(sub, Component::new(
-                format!("inner-{}", model.components[sub].core.name),
-                ComponentKind::Hardware,
-            ));
+            let inner = model.add_child_component(
+                sub,
+                Component::new(
+                    format!("inner-{}", model.components[sub].core.name),
+                    ComponentKind::Hardware,
+                ),
+            );
             model.components[inner].fit = Some(Fit::new(7.0));
             model.add_failure_mode(inner, "Open", FailureNature::LossOfFunction, 1.0);
             model.connect(top, sub);
@@ -527,7 +578,12 @@ mod tests {
         let mut model = SsamModel::new("ladder");
         let top = model.add_component(Component::new("top", ComponentKind::System));
         let mut layer: Vec<_> = (0..2)
-            .map(|i| model.add_child_component(top, Component::new(format!("n0_{i}"), ComponentKind::Hardware)))
+            .map(|i| {
+                model.add_child_component(
+                    top,
+                    Component::new(format!("n0_{i}"), ComponentKind::Hardware),
+                )
+            })
             .collect();
         for (i, &n) in layer.iter().enumerate() {
             let _ = i;
@@ -536,7 +592,10 @@ mod tests {
         for depth in 1..12 {
             let next: Vec<_> = (0..2)
                 .map(|i| {
-                    model.add_child_component(top, Component::new(format!("n{depth}_{i}"), ComponentKind::Hardware))
+                    model.add_child_component(
+                        top,
+                        Component::new(format!("n{depth}_{i}"), ComponentKind::Hardware),
+                    )
                 })
                 .collect();
             for &a in &layer {
@@ -554,10 +613,7 @@ mod tests {
             max_paths: 100,
             ..GraphConfig::default()
         };
-        assert!(matches!(
-            run(&model, top, &config),
-            Err(CoreError::InvalidParameter { .. })
-        ));
+        assert!(matches!(run(&model, top, &config), Err(CoreError::InvalidParameter { .. })));
         // The cut-vertex variant handles it fine.
         assert!(run(&model, top, &GraphConfig::default()).is_ok());
     }
@@ -569,11 +625,7 @@ mod tests {
         let (model, top) = case_study::ssam_model();
         let table = run(&model, top, &GraphConfig::default()).unwrap();
         let row = |component: &str, mode: &str| {
-            table
-                .rows
-                .iter()
-                .find(|r| r.component == component && r.failure_mode == mode)
-                .unwrap()
+            table.rows.iter().find(|r| r.component == component && r.failure_mode == mode).unwrap()
         };
         assert_eq!(row("D1", "Open").impact, Some(FailureImpact::DirectViolation));
         // Off-path losses have no effect on the boundary function.
@@ -609,10 +661,11 @@ mod tests {
     fn hazard_scope_restricts_the_rows() {
         let (model, top) = case_study::ssam_model();
         let h1 = model.hazards.indices().next().expect("H1 exists");
-        let scoped = run(&model, top, &GraphConfig {
-            scope: AnalysisScope::Hazard(h1),
-            ..GraphConfig::default()
-        })
+        let scoped = run(
+            &model,
+            top,
+            &GraphConfig { scope: AnalysisScope::Hazard(h1), ..GraphConfig::default() },
+        )
         .unwrap();
         // Only the H1-associated loss modes appear (D1/L1 opens, MC1 RAM).
         assert_eq!(scoped.rows.len(), 3);
@@ -626,10 +679,11 @@ mod tests {
     fn foreign_hazard_scope_yields_no_rows() {
         let (mut model, top) = case_study::ssam_model();
         let h2 = model.add_hazard(decisive_ssam::hazard::HazardousSituation::new("H2"));
-        let scoped = run(&model, top, &GraphConfig {
-            scope: AnalysisScope::Hazard(h2),
-            ..GraphConfig::default()
-        })
+        let scoped = run(
+            &model,
+            top,
+            &GraphConfig { scope: AnalysisScope::Hazard(h2), ..GraphConfig::default() },
+        )
         .unwrap();
         assert!(scoped.rows.is_empty());
         assert_eq!(scoped.spfm(), 1.0);

@@ -58,7 +58,69 @@ pub fn run(
     let nominal = lowered.circuit.all_sensor_readings(&nominal_solution)?;
 
     // Step 2 — Iterate components and failure modes.
-    let candidates: Vec<Candidate> = diagram
+    let candidates = candidates(diagram, reliability);
+
+    let rows: Vec<FmeaRow> = if config.parallelism > 1 && candidates.len() > 1 {
+        let chunk = candidates.len().div_ceil(config.parallelism);
+        let mut results: Vec<Vec<FmeaRow>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| {
+                    let lowered = &lowered;
+                    let nominal = &nominal;
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|c| analyse_candidate(c, lowered, nominal, config.threshold))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("injection worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results.into_iter().flatten().collect()
+    } else {
+        candidates
+            .iter()
+            .map(|c| analyse_candidate(c, &lowered, &nominal, config.threshold))
+            .collect()
+    };
+
+    // Step 3 — Output the component safety analysis model.
+    let mut table = FmeaTable::new(diagram.name());
+    for row in rows {
+        table.push(row);
+    }
+    Ok(table)
+}
+
+/// One injectable `(block, failure mode)` pair of the sweep — the unit of
+/// work the parallel paths (here and in `decisive-engine`) schedule
+/// independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The block to inject into.
+    pub block: decisive_blocks::BlockId,
+    /// Block instance name.
+    pub name: String,
+    /// Reliability type key.
+    pub type_key: String,
+    /// The block's total FIT.
+    pub fit: decisive_ssam::architecture::Fit,
+    /// Block kind (drives the electrical fault interpretation).
+    pub kind: BlockKind,
+    /// The failure mode to inject.
+    pub mode: FailureModeSpec,
+}
+
+/// Enumerates the injection candidates of `diagram`: every failure mode of
+/// every block whose [`BlockKind::type_key`] has a reliability entry, in
+/// block order.
+pub fn candidates(diagram: &BlockDiagram, reliability: &ReliabilityDb) -> Vec<Candidate> {
+    diagram
         .blocks()
         .filter_map(|(id, block)| {
             let type_key = block.kind.type_key()?;
@@ -73,52 +135,7 @@ pub fn run(
             }))
         })
         .flatten()
-        .collect();
-
-    let rows: Vec<FmeaRow> = if config.parallelism > 1 && candidates.len() > 1 {
-        let chunk = candidates.len().div_ceil(config.parallelism);
-        let mut results: Vec<Vec<FmeaRow>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|part| {
-                    let lowered = &lowered;
-                    let nominal = &nominal;
-                    scope.spawn(move |_| {
-                        part.iter()
-                            .map(|c| analyse(c, lowered, nominal, config.threshold))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("injection worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        results.into_iter().flatten().collect()
-    } else {
-        candidates
-            .iter()
-            .map(|c| analyse(c, &lowered, &nominal, config.threshold))
-            .collect()
-    };
-
-    // Step 3 — Output the component safety analysis model.
-    let mut table = FmeaTable::new(diagram.name());
-    for row in rows {
-        table.push(row);
-    }
-    Ok(table)
-}
-
-struct Candidate {
-    block: decisive_blocks::BlockId,
-    name: String,
-    type_key: String,
-    fit: decisive_ssam::architecture::Fit,
-    kind: BlockKind,
-    mode: FailureModeSpec,
+        .collect()
 }
 
 /// The result of a dual-point injection campaign.
@@ -218,7 +235,11 @@ pub fn run_dual_point(
     Ok(DualPointOutcome { table, latent_pairs })
 }
 
-fn analyse(
+/// Analyses one candidate against the nominal readings: inject, re-solve,
+/// compare — the body of the sweep, callable from an external scheduler.
+/// `lowered` must be the lowering of the candidate's own diagram and
+/// `nominal` its fault-free sensor readings.
+pub fn analyse_candidate(
     candidate: &Candidate,
     lowered: &LoweredCircuit,
     nominal: &[(decisive_circuit::ElementId, f64)],
@@ -257,7 +278,8 @@ fn analyse(
         Ok(c) => c,
         Err(e) => {
             row.safety_related = true;
-            row.warning = Some(format!("fault injection failed ({e}); conservatively safety-related"));
+            row.warning =
+                Some(format!("fault injection failed ({e}); conservatively safety-related"));
             return row;
         }
     };
@@ -280,7 +302,9 @@ fn analyse(
         }
         Err(e) => {
             row.safety_related = true;
-            row.warning = Some(format!("post-injection simulation failed ({e}); conservatively safety-related"));
+            row.warning = Some(format!(
+                "post-injection simulation failed ({e}); conservatively safety-related"
+            ));
         }
     }
     row
@@ -392,10 +416,7 @@ mod tests {
         let (diagram, _) = gallery::sensor_power_supply();
         let db = ReliabilityDb::paper_table_ii();
         let config = InjectionConfig { threshold: 0.0, parallelism: 1 };
-        assert!(matches!(
-            run(&diagram, &db, &config),
-            Err(CoreError::InvalidParameter { .. })
-        ));
+        assert!(matches!(run(&diagram, &db, &config), Err(CoreError::InvalidParameter { .. })));
     }
 
     #[test]
@@ -404,9 +425,7 @@ mod tests {
         let v = diagram.add_block("V1", BlockKind::DcVoltageSource { volts: 5.0 });
         let g = diagram.add_block("G", BlockKind::Ground);
         diagram.add_block("SW1", BlockKind::Software);
-        diagram
-            .connect(v, decisive_blocks::Port(1), g, decisive_blocks::Port(0))
-            .unwrap();
+        diagram.connect(v, decisive_blocks::Port(1), g, decisive_blocks::Port(0)).unwrap();
         let mut db = ReliabilityDb::new();
         db.insert(crate::reliability::ComponentReliability {
             type_key: "Software".into(),
@@ -457,8 +476,8 @@ mod tests {
                 .unwrap();
         // The filter caps are masked by the stiff source even in pairs.
         assert!(outcome.latent_pairs.is_empty(), "got {:?}", outcome.latent_pairs);
-        let single = run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
-            .unwrap();
+        let single =
+            run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default()).unwrap();
         assert_eq!(outcome.table.disagreement(&single), 0.0);
     }
 

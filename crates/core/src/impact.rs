@@ -81,7 +81,9 @@ impl ImpactReport {
         for change in &self.changes {
             let _ = match change {
                 ModelChange::ComponentAdded { name } => writeln!(out, "added component `{name}`"),
-                ModelChange::ComponentRemoved { name } => writeln!(out, "removed component `{name}`"),
+                ModelChange::ComponentRemoved { name } => {
+                    writeln!(out, "removed component `{name}`")
+                }
                 ModelChange::FitChanged { name, from, to } => {
                     writeln!(out, "`{name}` FIT changed: {from:?} -> {to:?}")
                 }
@@ -107,10 +109,10 @@ impl ImpactReport {
 }
 
 type ComponentFingerprint = (
-    Option<String>,                    // type key
-    Option<u64>,                       // FIT bits
-    Vec<(String, String, u64)>,        // failure modes: name, nature, distribution bits
-    Vec<(String, u64, u64)>,           // mechanisms: name, coverage bits, covered-mode hash
+    Option<String>,             // type key
+    Option<u64>,                // FIT bits
+    Vec<(String, String, u64)>, // failure modes: name, nature, distribution bits
+    Vec<(String, u64, u64)>,    // mechanisms: name, coverage bits, covered-mode hash
 );
 
 fn fingerprint(model: &SsamModel) -> BTreeMap<String, ComponentFingerprint> {
@@ -140,7 +142,9 @@ fn fingerprint(model: &SsamModel) -> BTreeMap<String, ComponentFingerprint> {
                     (
                         m.core.name.value().to_owned(),
                         m.coverage.value().to_bits(),
-                        covered.bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
+                        covered
+                            .bytes()
+                            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
                     )
                 })
                 .collect();
@@ -300,9 +304,7 @@ mod tests {
         let ram = new.components[mc1].failure_modes[0];
         new.deploy_safety_mechanism(mc1, "ECC", ram, Coverage::new(0.99), 2.0);
         let report = diff_models(&old, &new);
-        assert!(report
-            .changes
-            .contains(&ModelChange::MechanismsChanged { name: "MC1".into() }));
+        assert!(report.changes.contains(&ModelChange::MechanismsChanged { name: "MC1".into() }));
     }
 
     #[test]
@@ -326,9 +328,7 @@ mod tests {
         let open = new.components[d1].failure_modes[0];
         new.failure_modes[open].distribution = 0.5;
         let report = diff_models(&old, &new);
-        assert!(report
-            .changes
-            .contains(&ModelChange::FailureModesChanged { name: "D1".into() }));
+        assert!(report.changes.contains(&ModelChange::FailureModesChanged { name: "D1".into() }));
     }
 
     #[test]

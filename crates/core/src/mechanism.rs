@@ -97,17 +97,19 @@ impl MechanismCatalog {
     /// Returns [`CoreError::InvalidParameter`] for malformed rows.
     pub fn from_value(rows: &Value) -> Result<MechanismCatalog> {
         let items = rows.as_list().ok_or_else(|| CoreError::InvalidParameter {
-            message: format!("safety mechanism model must be a list of rows, got {}", rows.type_name()),
+            message: format!(
+                "safety mechanism model must be a list of rows, got {}",
+                rows.type_name()
+            ),
         })?;
         let mut catalog = MechanismCatalog::new();
         for (i, row) in items.iter().enumerate() {
             let text = |name: &str| -> Result<String> {
-                row.get(name)
-                    .and_then(Value::as_str)
-                    .map(str::to_owned)
-                    .ok_or_else(|| CoreError::InvalidParameter {
+                row.get(name).and_then(Value::as_str).map(str::to_owned).ok_or_else(|| {
+                    CoreError::InvalidParameter {
                         message: format!("safety mechanism row {i} is missing `{name}`"),
-                    })
+                    }
+                })
             };
             let coverage = row
                 .get("Cov.")
@@ -118,7 +120,9 @@ impl MechanismCatalog {
                 })?;
             if !(0.0..=1.0).contains(&coverage) {
                 return Err(CoreError::InvalidParameter {
-                    message: format!("safety mechanism row {i}: coverage {coverage} outside [0, 1]"),
+                    message: format!(
+                        "safety mechanism row {i}: coverage {coverage} outside [0, 1]"
+                    ),
                 });
             }
             let cost = row
@@ -268,9 +272,8 @@ impl Deployment {
                 .ok_or_else(|| CoreError::UnknownComponent {
                     name: format!("{component}.{failure_mode}"),
                 })?;
-            let already = model
-                .mechanisms_covering(cidx, fm_idx)
-                .any(|m| m.core.name.value() == mech.name);
+            let already =
+                model.mechanisms_covering(cidx, fm_idx).any(|m| m.core.name.value() == mech.name);
             if !already {
                 model.deploy_safety_mechanism(
                     cidx,
@@ -323,16 +326,24 @@ mod tests {
     #[test]
     fn deployment_cost_and_lookup() {
         let mut d = Deployment::new();
-        d.deploy("MC1", "RAM Failure", DeployedMechanism {
-            name: "ECC".into(),
-            coverage: Coverage::new(0.99),
-            cost_hours: 2.0,
-        });
-        d.deploy("D1", "Open", DeployedMechanism {
-            name: "redundant diode".into(),
-            coverage: Coverage::new(0.9),
-            cost_hours: 1.5,
-        });
+        d.deploy(
+            "MC1",
+            "RAM Failure",
+            DeployedMechanism {
+                name: "ECC".into(),
+                coverage: Coverage::new(0.99),
+                cost_hours: 2.0,
+            },
+        );
+        d.deploy(
+            "D1",
+            "Open",
+            DeployedMechanism {
+                name: "redundant diode".into(),
+                coverage: Coverage::new(0.9),
+                cost_hours: 1.5,
+            },
+        );
         assert_eq!(d.len(), 2);
         assert!((d.total_cost() - 3.5).abs() < 1e-12);
         assert_eq!(d.get("MC1", "RAM Failure").unwrap().name, "ECC");
@@ -347,11 +358,15 @@ mod tests {
         model.add_failure_mode(mc1, "RAM Failure", FailureNature::LossOfFunction, 1.0);
 
         let mut d = Deployment::new();
-        d.deploy("MC1", "RAM Failure", DeployedMechanism {
-            name: "ECC".into(),
-            coverage: Coverage::new(0.99),
-            cost_hours: 2.0,
-        });
+        d.deploy(
+            "MC1",
+            "RAM Failure",
+            DeployedMechanism {
+                name: "ECC".into(),
+                coverage: Coverage::new(0.99),
+                cost_hours: 2.0,
+            },
+        );
         d.apply_to_ssam(&mut model).unwrap();
         assert_eq!(model.safety_mechanisms.len(), 1);
         // Idempotent.
@@ -366,11 +381,11 @@ mod tests {
     fn apply_to_unknown_component_errors() {
         let mut model = SsamModel::new("m");
         let mut d = Deployment::new();
-        d.deploy("ghost", "Open", DeployedMechanism {
-            name: "wd".into(),
-            coverage: Coverage::new(0.5),
-            cost_hours: 1.0,
-        });
+        d.deploy(
+            "ghost",
+            "Open",
+            DeployedMechanism { name: "wd".into(), coverage: Coverage::new(0.5), cost_hours: 1.0 },
+        );
         assert!(matches!(d.apply_to_ssam(&mut model), Err(CoreError::UnknownComponent { .. })));
     }
 }

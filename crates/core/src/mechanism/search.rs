@@ -81,10 +81,7 @@ pub fn exhaustive(
     target_spfm: f64,
 ) -> Result<Option<SearchOutcome>> {
     let slots = choices(table, catalog);
-    let combinations: u128 = slots
-        .iter()
-        .map(|(_, opts)| opts.len() as u128 + 1)
-        .product();
+    let combinations: u128 = slots.iter().map(|(_, opts)| opts.len() as u128 + 1).product();
     if combinations > EXHAUSTIVE_LIMIT {
         return Err(CoreError::SearchSpaceTooLarge { combinations, limit: EXHAUSTIVE_LIMIT });
     }
@@ -110,9 +107,7 @@ fn enumerate(
             }
         }
         let candidate = outcome(table, deployment);
-        if candidate.spfm >= target_spfm
-            && best.as_ref().map_or(true, |b| candidate.cost < b.cost)
-        {
+        if candidate.spfm >= target_spfm && best.as_ref().is_none_or(|b| candidate.cost < b.cost) {
             *best = Some(candidate);
         }
         return;
@@ -198,12 +193,17 @@ pub fn pareto_front(table: &FmeaTable, catalog: &MechanismCatalog) -> Result<Vec
         picks: Vec<Option<usize>>,
     }
     let base_residual: f64 = table.rows.iter().map(|r| r.residual_fit().value()).sum();
-    let mut states = vec![State { cost: 0.0, residual: base_residual, picks: vec![None; slots.len()] }];
+    let mut states =
+        vec![State { cost: 0.0, residual: base_residual, picks: vec![None; slots.len()] }];
     for (slot_idx, (row, options)) in slots.iter().enumerate() {
         let row_base = table.rows[*row].mode_fit().value();
         let mut next: Vec<State> = Vec::with_capacity(states.len() * (options.len() + 1));
         for state in &states {
-            next.push(State { cost: state.cost, residual: state.residual, picks: state.picks.clone() });
+            next.push(State {
+                cost: state.cost,
+                residual: state.residual,
+                picks: state.picks.clone(),
+            });
             for (opt_idx, spec) in options.iter().enumerate() {
                 // The undeployed row contributes its full mode FIT (its
                 // coverage is NONE in the base table); deploying replaces
@@ -252,7 +252,7 @@ pub fn pareto_front(table: &FmeaTable, catalog: &MechanismCatalog) -> Result<Vec
     front.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
     let mut out: Vec<SearchOutcome> = Vec::new();
     for candidate in front {
-        if out.last().map_or(true, |best| candidate.spfm > best.spfm + 1e-15) {
+        if out.last().is_none_or(|best| candidate.spfm > best.spfm + 1e-15) {
             out.push(candidate);
         }
     }
@@ -436,14 +436,11 @@ mod tests {
             all.push(outcome(&table, deployment));
         }
         all.sort_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .unwrap()
-                .then(b.spfm.partial_cmp(&a.spfm).unwrap())
+            a.cost.partial_cmp(&b.cost).unwrap().then(b.spfm.partial_cmp(&a.spfm).unwrap())
         });
         let mut reference: Vec<(f64, f64)> = Vec::new();
         for c in all {
-            if reference.last().map_or(true, |(_, s)| c.spfm > *s + 1e-15) {
+            if reference.last().is_none_or(|(_, s)| c.spfm > *s + 1e-15) {
                 reference.push((c.cost, c.spfm));
             }
         }
@@ -451,7 +448,10 @@ mod tests {
             pareto_front(&table, &catalog).unwrap().iter().map(|o| (o.cost, o.spfm)).collect();
         assert_eq!(dp.len(), reference.len());
         for ((dc, ds), (rc, rs)) in dp.iter().zip(&reference) {
-            assert!((dc - rc).abs() < 1e-9 && (ds - rs).abs() < 1e-12, "dp {dp:?} vs ref {reference:?}");
+            assert!(
+                (dc - rc).abs() < 1e-9 && (ds - rs).abs() < 1e-12,
+                "dp {dp:?} vs ref {reference:?}"
+            );
         }
     }
 

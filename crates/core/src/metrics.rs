@@ -116,7 +116,10 @@ pub fn pmhf_target(asil: IntegrityLevel) -> Option<f64> {
 /// indirect-violation (IVF) failure modes that no diagnostic covers as
 /// latent. Requires rows to carry impact classifications via `nature` — the
 /// caller provides the classification map from effects analysis.
-pub fn latent_fault_metric(table: &FmeaTable, impact_of: impl Fn(&crate::fmea::FmeaRow) -> FailureImpact) -> f64 {
+pub fn latent_fault_metric(
+    table: &FmeaTable,
+    impact_of: impl Fn(&crate::fmea::FmeaRow) -> FailureImpact,
+) -> f64 {
     let sr = table.safety_related_components();
     if sr.is_empty() {
         return 1.0;

@@ -108,10 +108,8 @@ impl RuntimeMonitor {
     /// Evaluates one sample; returns the violation if any check trips.
     /// Samples for unmonitored nodes pass silently.
     pub fn observe(&self, component: &str, io_node: &str, value: f64) -> Option<Violation> {
-        let check = self
-            .checks
-            .iter()
-            .find(|c| c.component == component && c.io_node == io_node)?;
+        let check =
+            self.checks.iter().find(|c| c.component == component && c.io_node == io_node)?;
         if let Some(lo) = check.lower {
             if value < lo {
                 return Some(Violation {
@@ -141,10 +139,7 @@ impl RuntimeMonitor {
         &self,
         samples: impl IntoIterator<Item = (&'a str, &'a str, f64)>,
     ) -> Vec<Violation> {
-        samples
-            .into_iter()
-            .filter_map(|(c, n, v)| self.observe(c, n, v))
-            .collect()
+        samples.into_iter().filter_map(|(c, n, v)| self.observe(c, n, v)).collect()
     }
 }
 

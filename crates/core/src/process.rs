@@ -51,6 +51,10 @@ impl SystemDefinition {
 /// The system design under analysis — either of SAME's two paths
 /// (Fig. 10): a block-diagram ("Simulink") model analysed by fault
 /// injection, or an SSAM model analysed by the graph algorithm.
+// The diagram variant is by far the larger, but `DesignModel` values are
+// created once per process run, never stored in bulk — boxing would only
+// add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum DesignModel {
     /// A block-diagram design (analysed via fault injection).
@@ -296,7 +300,10 @@ impl DecisiveProcess {
                 coverage: mech.coverage.value(),
             })
             .collect();
-        allocations.sort_by(|a, b| (a.component.clone(), a.failure_mode.clone()).cmp(&(b.component.clone(), b.failure_mode.clone())));
+        allocations.sort_by(|a, b| {
+            (a.component.clone(), a.failure_mode.clone())
+                .cmp(&(b.component.clone(), b.failure_mode.clone()))
+        });
         SafetyConcept {
             system: self.definition.name.clone(),
             target: self.target,

@@ -138,17 +138,17 @@ impl ReliabilityDb {
                 })?;
             if !(0.0..=1.0).contains(&distribution) {
                 return Err(CoreError::InvalidParameter {
-                    message: format!("reliability row {i}: distribution {distribution} outside [0, 1]"),
+                    message: format!(
+                        "reliability row {i}: distribution {distribution} outside [0, 1]"
+                    ),
                 });
             }
             let nature = match row.get("Nature").and_then(Value::as_str) {
                 Some(n) => nature_from_str(n),
                 None => infer_nature(&mode_name),
             };
-            let entry = db.entries.entry(type_key.clone()).or_insert_with(|| ComponentReliability {
-                type_key,
-                fit: Fit::new(fit_value),
-                modes: Vec::new(),
+            let entry = db.entries.entry(type_key.clone()).or_insert_with(|| {
+                ComponentReliability { type_key, fit: Fit::new(fit_value), modes: Vec::new() }
             });
             entry.modes.push(FailureModeSpec { name: mode_name, nature, distribution });
         }
@@ -220,7 +220,12 @@ impl ReliabilityDb {
             model.components[idx].fit = Some(entry.fit);
             if model.components[idx].failure_modes.is_empty() {
                 for mode in &entry.modes {
-                    let fm = model.add_failure_mode(idx, mode.name.clone(), mode.nature.clone(), mode.distribution);
+                    let fm = model.add_failure_mode(
+                        idx,
+                        mode.name.clone(),
+                        mode.nature.clone(),
+                        mode.distribution,
+                    );
                     let _ = fm;
                 }
             }
@@ -274,7 +279,11 @@ mod tests {
         assert_eq!(diode.modes[0].nature, FailureNature::LossOfFunction);
         assert_eq!(diode.modes[1].nature, FailureNature::Erroneous);
         let mc = db.get("MC").unwrap();
-        assert_eq!(mc.modes[0].nature, FailureNature::LossOfFunction, "RAM Failure is a loss of function");
+        assert_eq!(
+            mc.modes[0].nature,
+            FailureNature::LossOfFunction,
+            "RAM Failure is a loss of function"
+        );
     }
 
     #[test]

@@ -44,15 +44,14 @@ pub fn traceability_report(model: &SsamModel) -> Vec<TraceEntry> {
         let requirements: Vec<String> = model
             .requirements
             .iter()
-            .filter(|(_, r)| r.core.cites.iter().any(|c| matches!(c, CiteRef::Component(i) if *i == cidx)))
+            .filter(|(_, r)| {
+                r.core.cites.iter().any(|c| matches!(c, CiteRef::Component(i) if *i == cidx))
+            })
             .map(|(_, r)| r.core.name.value().to_owned())
             .collect();
         for (fm_idx, fm) in model.failure_modes_of(cidx) {
-            let hazards = fm
-                .hazards
-                .iter()
-                .map(|&h| model.hazards[h].core.name.value().to_owned())
-                .collect();
+            let hazards =
+                fm.hazards.iter().map(|&h| model.hazards[h].core.name.value().to_owned()).collect();
             let mechanisms = model
                 .mechanisms_covering(cidx, fm_idx)
                 .map(|m| m.core.name.value().to_owned())

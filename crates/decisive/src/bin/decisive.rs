@@ -5,17 +5,43 @@
 //! decisive demo model.json                 # write the case-study model
 //! decisive validate model.json             # SSAM well-formedness report
 //! decisive fmea model.json [--csv out.csv] # automated FMEA (Algorithm 1)
+//! decisive analyze model.json --cache .dc  # incremental FMEA via the engine
+//! decisive rerun old.json new.json --cache .dc  # diff-driven re-analysis
 //! decisive spfm table.json                 # metrics of a saved FMEA table
 //! decisive render model.json [--dot]       # ASCII tree or Graphviz DOT
 //! decisive monitor model.json              # generated runtime checks
 //! ```
+//!
+//! Exit codes: `0` success, `1` analysis or I/O failure, `2` bad usage
+//! (unknown command, unknown flag, missing argument).
 
 use std::process::ExitCode;
 
 use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
 use decisive::core::monitor::RuntimeMonitor;
 use decisive::core::{case_study, metrics, persist};
+use decisive::engine::{Engine, EngineConfig};
 use decisive::ssam::model::SsamModel;
+
+/// CLI failures, split by who got it wrong: `Usage` is the caller's
+/// mistake (exit code 2), `Failure` is the analysis' or filesystem's
+/// (exit code 1).
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError::Usage(message.into())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Failure(message)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,22 +50,32 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("fmea") => cmd_fmea(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("rerun") => cmd_rerun(&args[1..]),
         Some("spfm") => cmd_spfm(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
         Some("impact") => cmd_impact(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("--version" | "-V") => {
+            println!("decisive {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         Some("--help" | "-h") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+        Some(other) => Err(CliError::usage(format!("unknown command `{other}` (try --help)"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Failure(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("usage error: {message}");
+            ExitCode::from(2)
         }
     }
 }
@@ -49,33 +85,95 @@ fn print_usage() {
         "decisive — iterative automated safety analysis\n\n\
          usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
+         decisive analyze <model.json> [--cache <dir>] [--jobs <n>] [--csv <out.csv>] [--json <out.json>]\n  \
+         decisive rerun <old.json> <new.json> [--cache <dir>] [--jobs <n>]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
-         decisive trace <model.json>"
+         decisive trace <model.json>\n  decisive --version"
     );
 }
 
-fn required_path(args: &[String]) -> Result<&str, String> {
-    args.first().map(String::as_str).ok_or_else(|| "missing <path> argument".to_owned())
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: [&str; 5] = ["--algorithm", "--csv", "--json", "--cache", "--jobs"];
+
+/// Rejects any `--flag` the command does not understand (naming the
+/// flag), and any trailing value-flag left without its value.
+fn check_flags(command: &str, args: &[String], allowed: &[&str]) -> Result<(), CliError> {
+    let mut wants_value: Option<&str> = None;
+    for arg in args {
+        if wants_value.take().is_some() {
+            continue;
+        }
+        if arg.starts_with("--") {
+            if !allowed.contains(&arg.as_str()) {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{arg}` for `decisive {command}` (allowed: {})",
+                    if allowed.is_empty() { "none".to_owned() } else { allowed.join(", ") }
+                )));
+            }
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                wants_value = Some(arg);
+            }
+        }
+    }
+    match wants_value {
+        Some(flag) => Err(CliError::usage(format!("flag `{flag}` wants a value"))),
+        None => Ok(()),
+    }
 }
 
-fn load(path: &str) -> Result<SsamModel, String> {
-    persist::load_model(path).map_err(|e| e.to_string())
+/// The positional arguments: everything that is neither a flag nor the
+/// value consumed by a value-taking flag.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip_value = VALUE_FLAGS.contains(&arg.as_str());
+        } else {
+            out.push(arg.as_str());
+        }
+    }
+    out
 }
 
-fn top_of(model: &SsamModel) -> Result<decisive::ssam::id::Idx<decisive::ssam::architecture::Component>, String> {
+fn one_path<'a>(command: &str, args: &'a [String]) -> Result<&'a str, CliError> {
+    match positionals(args)[..] {
+        [path] => Ok(path),
+        [] => Err(CliError::usage(format!("`decisive {command}` needs a <path> argument"))),
+        _ => Err(CliError::usage(format!("`decisive {command}` takes exactly one path"))),
+    }
+}
+
+fn two_paths<'a>(command: &str, args: &'a [String]) -> Result<(&'a str, &'a str), CliError> {
+    match positionals(args)[..] {
+        [a, b] => Ok((a, b)),
+        _ => Err(CliError::usage(format!("`decisive {command}` takes exactly two paths"))),
+    }
+}
+
+fn load(path: &str) -> Result<SsamModel, CliError> {
+    persist::load_model(path).map_err(|e| CliError::Failure(e.to_string()))
+}
+
+fn top_of(
+    model: &SsamModel,
+) -> Result<decisive::ssam::id::Idx<decisive::ssam::architecture::Component>, CliError> {
     model
         .components
         .iter()
         .find(|(_, c)| c.parent.is_none())
         .map(|(i, _)| i)
-        .ok_or_else(|| "model has no top-level component".to_owned())
+        .ok_or_else(|| CliError::Failure("model has no top-level component".to_owned()))
 }
 
-fn cmd_import(args: &[String]) -> Result<(), String> {
-    let [input, output] = args else {
-        return Err("usage: decisive import <design.bd> <model.json>".to_owned());
-    };
+fn cmd_import(args: &[String]) -> Result<(), CliError> {
+    check_flags("import", args, &[])?;
+    let (input, output) = two_paths("import", args)?;
     let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
     let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
     let model = decisive::blocks::to_ssam(&diagram);
@@ -89,16 +187,18 @@ fn cmd_import(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_demo(args: &[String]) -> Result<(), CliError> {
+    check_flags("demo", args, &[])?;
+    let path = one_path("demo", args)?;
     let (model, _) = case_study::ssam_model();
     persist::save_model(&model, path).map_err(|e| e.to_string())?;
     println!("wrote the power-supply case study ({} elements) to {path}", model.element_count());
     Ok(())
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
+    check_flags("validate", args, &[])?;
+    let path = one_path("validate", args)?;
     let model = load(path)?;
     let issues = decisive::ssam::validate::validate(&model);
     if issues.is_empty() {
@@ -108,23 +208,77 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         for issue in &issues {
             println!("{issue}");
         }
-        Err(format!("{} issue(s) found", issues.len()))
+        Err(CliError::Failure(format!("{} issue(s) found", issues.len())))
     }
 }
 
-fn cmd_fmea(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_fmea(args: &[String]) -> Result<(), CliError> {
+    check_flags("fmea", args, &["--algorithm", "--csv", "--json"])?;
+    let path = one_path("fmea", args)?;
     let model = load(path)?;
     let top = top_of(&model)?;
     let algorithm = match flag_value(args, "--algorithm").unwrap_or("cut") {
         "paths" => GraphAlgorithm::ExhaustivePaths,
         "cut" => GraphAlgorithm::CutVertex,
-        other => return Err(format!("unknown algorithm `{other}` (paths|cut)")),
+        other => return Err(CliError::usage(format!("unknown algorithm `{other}` (paths|cut)"))),
     };
     let table = graph::run(&model, top, &GraphConfig { algorithm, ..GraphConfig::default() })
         .map_err(|e| e.to_string())?;
+    print_table(&table, args)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    check_flags("analyze", args, &["--cache", "--jobs", "--csv", "--json"])?;
+    let path = one_path("analyze", args)?;
+    let model = load(path)?;
+    let top = top_of(&model)?;
+    let mut engine = engine_from_flags(args)?;
+    let table = engine.analyze_graph(&model, top).map_err(|e| e.to_string())?;
+    if let Some(dir) = flag_value(args, "--cache") {
+        engine.save_cache(dir).map_err(|e| e.to_string())?;
+    }
+    print_table(&table, args)?;
+    print!("{}", engine.stats().render());
+    Ok(())
+}
+
+fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
+    check_flags("rerun", args, &["--cache", "--jobs", "--csv", "--json"])?;
+    let (old_path, new_path) = two_paths("rerun", args)?;
+    let old_model = load(old_path)?;
+    let new_model = load(new_path)?;
+    let top = top_of(&new_model)?;
+    let mut engine = engine_from_flags(args)?;
+    let (table, report) = engine.rerun(&old_model, &new_model, top).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if let Some(dir) = flag_value(args, "--cache") {
+        engine.save_cache(dir).map_err(|e| e.to_string())?;
+    }
+    print_table(&table, args)?;
+    print!("{}", engine.stats().render());
+    Ok(())
+}
+
+/// Builds an [`Engine`] from `--jobs` and pre-loads `--cache` when given.
+fn engine_from_flags(args: &[String]) -> Result<Engine, CliError> {
+    let config = match flag_value(args, "--jobs") {
+        Some(n) => EngineConfig::with_jobs(n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
+            || CliError::usage(format!("--jobs wants a positive integer, got `{n}`")),
+        )?),
+        None => EngineConfig::default(),
+    };
+    let mut engine = Engine::new(config);
+    if let Some(dir) = flag_value(args, "--cache") {
+        engine.load_cache(dir).map_err(|e| e.to_string())?;
+    }
+    Ok(engine)
+}
+
+/// Prints a table as CSV with its SPFM summary line, honouring the
+/// `--csv`/`--json` output flags.
+fn print_table(table: &decisive::core::fmea::FmeaTable, args: &[String]) -> Result<(), CliError> {
     print!("{}", table.to_csv_string());
-    let m = metrics::compute(&table);
+    let m = metrics::compute(table);
     println!(
         "# SPFM {:.2}% ({}) over {} FIT of safety-related hardware",
         m.spfm * 100.0,
@@ -136,14 +290,15 @@ fn cmd_fmea(args: &[String]) -> Result<(), String> {
         println!("# written to {out}");
     }
     if let Some(out) = flag_value(args, "--json") {
-        persist::save_table(&table, out).map_err(|e| e.to_string())?;
+        persist::save_table(table, out).map_err(|e| e.to_string())?;
         println!("# written to {out}");
     }
     Ok(())
 }
 
-fn cmd_spfm(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_spfm(args: &[String]) -> Result<(), CliError> {
+    check_flags("spfm", args, &[])?;
+    let path = one_path("spfm", args)?;
     let table = persist::load_table(path).map_err(|e| e.to_string())?;
     let m = metrics::compute(&table);
     println!("system:            {}", table.system);
@@ -156,8 +311,9 @@ fn cmd_spfm(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_render(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_render(args: &[String]) -> Result<(), CliError> {
+    check_flags("render", args, &["--dot"])?;
+    let path = one_path("render", args)?;
     let model = load(path)?;
     if args.iter().any(|a| a == "--dot") {
         let top = top_of(&model)?;
@@ -168,8 +324,9 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_monitor(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
+    check_flags("monitor", args, &[])?;
+    let path = one_path("monitor", args)?;
     let model = load(path)?;
     let monitor = RuntimeMonitor::generate(&model);
     if monitor.checks().is_empty() {
@@ -187,23 +344,23 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_impact(args: &[String]) -> Result<(), String> {
-    let [old_path, new_path] = args else {
-        return Err("usage: decisive impact <old.json> <new.json>".to_owned());
-    };
+fn cmd_impact(args: &[String]) -> Result<(), CliError> {
+    check_flags("impact", args, &[])?;
+    let (old_path, new_path) = two_paths("impact", args)?;
     let old_model = load(old_path)?;
     let new_model = load(new_path)?;
     let report = decisive::core::impact::diff_models(&old_model, &new_model);
     print!("{}", report.render());
     if report.requires_reanalysis() {
-        Err("re-analysis required".to_owned())
+        Err(CliError::Failure("re-analysis required".to_owned()))
     } else {
         Ok(())
     }
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let path = required_path(args)?;
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    check_flags("trace", args, &[])?;
+    let path = one_path("trace", args)?;
     let model = load(path)?;
     let report = decisive::core::trace::traceability_report(&model);
     print!("{}", decisive::core::trace::render_report(&report));

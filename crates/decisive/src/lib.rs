@@ -12,6 +12,7 @@
 //! | [`federation`] | `decisive-federation` | heterogeneous model drivers, EQL, scalable stores |
 //! | [`hara`] | `decisive-hara` | hazard analysis & risk assessment (ISO 26262 risk graph) |
 //! | [`core`] | `decisive-core` | automated FME(D)A, SPFM, mechanism search, the process driver |
+//! | [`engine`] | `decisive-engine` | incremental analysis: content-addressed cache + parallel scheduler |
 //! | [`fta`] | `decisive-fta` | fault tree analysis (HiP-HOPS-style baseline + future work) |
 //! | [`assurance`] | `decisive-assurance` | GSN assurance cases with automated evaluation |
 //! | [`workload`] | `decisive-workload` | evaluation subjects and the simulated analyst |
@@ -47,6 +48,7 @@ pub use decisive_assurance as assurance;
 pub use decisive_blocks as blocks;
 pub use decisive_circuit as circuit;
 pub use decisive_core as core;
+pub use decisive_engine as engine;
 pub use decisive_federation as federation;
 pub use decisive_fta as fta;
 pub use decisive_hara as hara;

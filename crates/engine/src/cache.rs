@@ -1,0 +1,297 @@
+//! The content-addressed artefact cache.
+//!
+//! Every derived analysis artefact (per-component FMEA rows, container
+//! path facts, per-candidate injection rows, FTA subtree quantifications,
+//! monitor sets) is stored under `(kind, fingerprint-of-its-inputs)`.
+//! Content addressing makes invalidation automatic — an edited input hashes
+//! to a new key and simply misses — so the explicit
+//! [`CacheStore::invalidate_owner`] pass exists to *garbage-collect* stale
+//! entries and to report how many keys a change dirtied.
+//!
+//! The store persists through the federation layer (`serde_bridge` +
+//! `json`) as a single `cache.json` in the cache directory, so warm caches
+//! survive CLI invocations.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use decisive_federation::{json, serde_bridge, Value};
+
+use crate::error::{EngineError, Result};
+use crate::fingerprint::Fingerprint;
+
+/// Which analysis produced a cached artefact. Kinds namespace the key
+/// space: the same input digest keys different artefacts per analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Path-criticality facts of one container (`graph::container_facts`).
+    GraphFacts,
+    /// FMEA rows of one component on the SSAM graph path (Algorithm 1).
+    GraphRow,
+    /// FMEA row of one fault-injection candidate (the simulation path).
+    InjectionRow,
+    /// Quantified fault subtree of one container.
+    FtaSubtree,
+    /// Generated runtime monitor checks of one model.
+    MonitorSet,
+}
+
+impl ArtifactKind {
+    /// All kinds, for iteration.
+    pub const ALL: [ArtifactKind; 5] = [
+        ArtifactKind::GraphFacts,
+        ArtifactKind::GraphRow,
+        ArtifactKind::InjectionRow,
+        ArtifactKind::FtaSubtree,
+        ArtifactKind::MonitorSet,
+    ];
+
+    fn tag(self) -> &'static str {
+        match self {
+            ArtifactKind::GraphFacts => "graph-facts",
+            ArtifactKind::GraphRow => "graph-row",
+            ArtifactKind::InjectionRow => "injection-row",
+            ArtifactKind::FtaSubtree => "fta-subtree",
+            ArtifactKind::MonitorSet => "monitor-set",
+        }
+    }
+
+    fn parse(tag: &str) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+/// One cached artefact: its serialized value plus the name of the model
+/// element it was derived *for* (the invalidation handle).
+#[derive(Debug, Clone, PartialEq)]
+struct CacheEntry {
+    owner: String,
+    value: Value,
+}
+
+/// An in-memory artefact store keyed by `(kind, fingerprint)`, optionally
+/// persisted to a cache directory.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStore {
+    entries: HashMap<(ArtifactKind, Fingerprint), CacheEntry>,
+}
+
+/// File name of the persisted store inside a cache directory.
+pub const CACHE_FILE: &str = "cache.json";
+
+/// Version stamp of the persisted format; mismatches load as empty.
+const FORMAT_VERSION: i64 = 1;
+
+impl CacheStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CacheStore::default()
+    }
+
+    /// Number of cached artefacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fetches and deserialises a cached artefact.
+    ///
+    /// Returns `None` both on a missing key and on a shape mismatch (a
+    /// corrupt entry is treated as a miss and recomputed).
+    pub fn get<T: serde::DeserializeOwned>(
+        &self,
+        kind: ArtifactKind,
+        key: Fingerprint,
+    ) -> Option<T> {
+        let entry = self.entries.get(&(kind, key))?;
+        serde_bridge::from_value(&entry.value).ok()
+    }
+
+    /// Stores an artefact under `(kind, key)`, owned by the named model
+    /// element (used by [`CacheStore::invalidate_owner`]).
+    pub fn put<T: serde::Serialize>(
+        &mut self,
+        kind: ArtifactKind,
+        key: Fingerprint,
+        owner: &str,
+        artefact: &T,
+    ) -> Result<()> {
+        let value = serde_bridge::to_value(artefact)
+            .map_err(|e| EngineError::Cache(format!("unserialisable artefact: {e}")))?;
+        self.entries.insert((kind, key), CacheEntry { owner: owner.to_owned(), value });
+        Ok(())
+    }
+
+    /// Drops every entry owned by `owner`; returns how many were dropped.
+    pub fn invalidate_owner(&mut self, owner: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.owner != owner);
+        before - self.entries.len()
+    }
+
+    /// Drops every entry of one kind; returns how many were dropped.
+    pub fn invalidate_kind(&mut self, kind: ArtifactKind) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(k, _), _| *k != kind);
+        before - self.entries.len()
+    }
+
+    /// Serialises the whole store as a federation [`Value`].
+    pub fn to_value(&self) -> Value {
+        // Deterministic entry order, so persisted caches diff cleanly.
+        let mut keys: Vec<&(ArtifactKind, Fingerprint)> = self.entries.keys().collect();
+        keys.sort_by_key(|(kind, fp)| (kind.tag(), *fp));
+        Value::record([
+            ("version", Value::Int(FORMAT_VERSION)),
+            (
+                "entries",
+                Value::List(
+                    keys.into_iter()
+                        .map(|k| {
+                            let entry = &self.entries[k];
+                            Value::record([
+                                ("kind", Value::from(k.0.tag())),
+                                ("key", Value::from(k.1.to_string().as_str())),
+                                ("owner", Value::from(entry.owner.as_str())),
+                                ("value", entry.value.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a store from [`CacheStore::to_value`] output. Entries with
+    /// unknown kinds or malformed keys are skipped, and a version mismatch
+    /// yields an empty store — a cache may always be cold, never wrong.
+    pub fn from_value(value: &Value) -> CacheStore {
+        let mut store = CacheStore::new();
+        if value.get("version").and_then(Value::as_i64) != Some(FORMAT_VERSION) {
+            return store;
+        }
+        let Some(Value::List(entries)) = value.get("entries") else {
+            return store;
+        };
+        for entry in entries {
+            let kind = entry.get("kind").and_then(Value::as_str).and_then(ArtifactKind::parse);
+            let key = entry.get("key").and_then(Value::as_str).and_then(Fingerprint::parse);
+            let owner = entry.get("owner").and_then(Value::as_str);
+            if let (Some(kind), Some(key), Some(owner), Some(value)) =
+                (kind, key, owner, entry.get("value"))
+            {
+                store.entries.insert(
+                    (kind, key),
+                    CacheEntry { owner: owner.to_owned(), value: value.clone() },
+                );
+            }
+        }
+        store
+    }
+
+    fn file_of(dir: &Path) -> PathBuf {
+        dir.join(CACHE_FILE)
+    }
+
+    /// Loads the store persisted in `dir`, or an empty store when no cache
+    /// file exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] when the file exists but cannot be
+    /// read or parsed.
+    pub fn load(dir: impl AsRef<Path>) -> Result<CacheStore> {
+        let file = Self::file_of(dir.as_ref());
+        if !file.exists() {
+            return Ok(CacheStore::new());
+        }
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
+        let value = json::parse(&text)
+            .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
+        Ok(CacheStore::from_value(&value))
+    }
+
+    /// Persists the store into `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] on I/O failure.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| EngineError::Cache(format!("{}: {e}", dir.display())))?;
+        let file = Self::file_of(dir);
+        std::fs::write(&file, json::to_string(&self.to_value()))
+            .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Hasher;
+
+    fn fp(text: &str) -> Fingerprint {
+        Hasher::new().write_str(text).finish()
+    }
+
+    #[test]
+    fn roundtrips_through_value_and_disk() {
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphRow, fp("a"), "D1", &vec![1.5f64, 2.5]).unwrap();
+        store.put(ArtifactKind::GraphFacts, fp("b"), "top", &"facts".to_owned()).unwrap();
+        let back = CacheStore::from_value(&store.to_value());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get::<Vec<f64>>(ArtifactKind::GraphRow, fp("a")), Some(vec![1.5, 2.5]));
+        assert_eq!(back.get::<String>(ArtifactKind::GraphFacts, fp("b")), Some("facts".into()));
+
+        let dir = std::env::temp_dir().join(format!("decisive_cache_{}", std::process::id()));
+        store.save(&dir).unwrap();
+        let loaded = CacheStore::load(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_loads_empty() {
+        let store = CacheStore::load("/definitely/not/here").unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn owner_invalidation_is_selective() {
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphRow, fp("a"), "D1", &1i64).unwrap();
+        store.put(ArtifactKind::GraphRow, fp("b"), "L1", &2i64).unwrap();
+        store.put(ArtifactKind::GraphFacts, fp("c"), "D1", &3i64).unwrap();
+        assert_eq!(store.invalidate_owner("D1"), 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get::<i64>(ArtifactKind::GraphRow, fp("b")), Some(2));
+    }
+
+    #[test]
+    fn kind_namespaces_the_key_space() {
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphRow, fp("k"), "x", &1i64).unwrap();
+        store.put(ArtifactKind::InjectionRow, fp("k"), "x", &2i64).unwrap();
+        assert_eq!(store.get::<i64>(ArtifactKind::GraphRow, fp("k")), Some(1));
+        assert_eq!(store.get::<i64>(ArtifactKind::InjectionRow, fp("k")), Some(2));
+        assert_eq!(store.invalidate_kind(ArtifactKind::InjectionRow), 1);
+    }
+
+    #[test]
+    fn version_mismatch_loads_empty() {
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::MonitorSet, fp("m"), "model", &0i64).unwrap();
+        let mut value = store.to_value();
+        if let Value::Record(fields) = &mut value {
+            fields[0].1 = Value::Int(999);
+        }
+        assert!(CacheStore::from_value(&value).is_empty());
+    }
+}

@@ -1,0 +1,709 @@
+//! The incremental analysis engine: ties the content-addressed cache, the
+//! model fingerprints and the parallel scheduler together and re-derives
+//! the repository's analysis artefacts — graph FMEA tables, injection FMEA
+//! tables, FTA subtree quantifications and runtime monitor sets — touching
+//! only the work whose inputs changed.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use decisive_blocks::{to_circuit, BlockDiagram};
+use decisive_core::fmea::graph::{self, ContainerFacts, GraphConfig};
+use decisive_core::fmea::injection::{self, InjectionConfig};
+use decisive_core::fmea::{FmeaRow, FmeaTable};
+use decisive_core::impact::{self, ImpactReport, ModelChange};
+use decisive_core::monitor::RuntimeMonitor;
+use decisive_core::reliability::ReliabilityDb;
+use decisive_core::CoreError;
+use decisive_ssam::architecture::Component;
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+use crate::cache::{ArtifactKind, CacheStore};
+use crate::error::{EngineError, Result};
+use crate::fingerprint::{Fingerprint, Hasher};
+use crate::model_fp;
+use crate::scheduler::{BatchError, Scheduler};
+use crate::stats::{EngineStats, PhaseStats};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads for job batches; `1` runs inline.
+    pub jobs: usize,
+    /// Graph FMEA configuration (algorithm, path cap, scope).
+    pub graph: GraphConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            graph: GraphConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with an explicit worker count.
+    pub fn with_jobs(jobs: usize) -> Self {
+        EngineConfig { jobs: jobs.max(1), ..EngineConfig::default() }
+    }
+}
+
+/// Persistable form of [`ContainerFacts`]: component identity by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FactsArtifact {
+    critical: Vec<String>,
+    on_some_path: Vec<String>,
+}
+
+impl FactsArtifact {
+    fn from_facts(model: &SsamModel, facts: &ContainerFacts) -> FactsArtifact {
+        let names = |set: &HashSet<Idx<Component>>| {
+            let mut v: Vec<String> =
+                set.iter().map(|&c| model.components[c].core.name.value().to_owned()).collect();
+            v.sort_unstable();
+            v
+        };
+        FactsArtifact { critical: names(&facts.critical), on_some_path: names(&facts.on_some_path) }
+    }
+
+    fn to_facts(&self, model: &SsamModel, container: Idx<Component>) -> ContainerFacts {
+        let critical: HashSet<&str> = self.critical.iter().map(String::as_str).collect();
+        let on_some: HashSet<&str> = self.on_some_path.iter().map(String::as_str).collect();
+        let mut facts = ContainerFacts { critical: HashSet::new(), on_some_path: HashSet::new() };
+        for &child in &model.components[container].children {
+            let name = model.components[child].core.name.value();
+            if critical.contains(name) {
+                facts.critical.insert(child);
+            }
+            if on_some.contains(name) {
+                facts.on_some_path.insert(child);
+            }
+        }
+        facts
+    }
+}
+
+/// Quantified fault subtree of one container (see `Engine::analyze_fta`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FtaSubtreeSummary {
+    /// Container component name.
+    pub container: String,
+    /// `false` when the container had no input→output paths to analyse
+    /// (or exceeded the path cap); the numeric fields are then zeroed.
+    pub analysable: bool,
+    /// Top-event probability over the mission time.
+    pub top_probability: f64,
+    /// Basic events forming singleton minimal cut sets.
+    pub single_points: Vec<String>,
+    /// Minimal cut sets, by basic event name.
+    pub minimal_cut_sets: Vec<Vec<String>>,
+}
+
+/// The incremental analysis engine.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::case_study;
+/// use decisive_engine::{Engine, EngineConfig};
+///
+/// let (model, top) = case_study::ssam_model();
+/// let mut engine = Engine::new(EngineConfig::with_jobs(2));
+/// let cold = engine.analyze_graph(&model, top).unwrap();
+/// let warm = engine.analyze_graph(&model, top).unwrap();
+/// assert_eq!(cold, warm);
+/// let rows = engine.stats().phase("graph-rows").unwrap();
+/// assert_eq!(rows.cache_misses, 0, "second run is fully cached");
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: CacheStore,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine with an empty cache.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config, cache: CacheStore::new(), stats: EngineStats::default() }
+    }
+
+    /// An engine starting from a previously persisted (or hand-built)
+    /// cache.
+    pub fn with_cache(config: EngineConfig, cache: CacheStore) -> Self {
+        Engine { config, cache, stats: EngineStats::default() }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The artefact cache.
+    pub fn cache(&self) -> &CacheStore {
+        &self.cache
+    }
+
+    /// Observability counters accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Clears the counters (the cache keeps its contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Loads the cache persisted in `dir` (empty when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] on unreadable or unparsable files.
+    pub fn load_cache(&mut self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        self.cache = CacheStore::load(dir)?;
+        Ok(())
+    }
+
+    /// Persists the cache into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] on I/O failure.
+    pub fn save_cache(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        self.cache.save(dir)
+    }
+
+    // ------------------------------------------------------------------
+    // Graph path (S8)
+    // ------------------------------------------------------------------
+
+    /// Runs the graph FMEA of Algorithm 1 incrementally: container path
+    /// facts and per-component rows are fetched from the cache when their
+    /// input fingerprints match and recomputed in parallel otherwise. The
+    /// merged table is identical — rows, order and all — to
+    /// [`graph::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors and scheduler failures.
+    pub fn analyze_graph(&mut self, model: &SsamModel, top: Idx<Component>) -> Result<FmeaTable> {
+        let graph_config = self.config.graph.clone();
+        let config_fp = model_fp::graph_config_fingerprint(model, &graph_config);
+        let scheduler = Scheduler::new(self.config.jobs);
+
+        // ---- Phase 1: container path facts -----------------------------
+        let start = Instant::now();
+        let mut phase = PhaseStats::new("graph-facts");
+        let containers = collect_containers(model, top);
+        phase.jobs_total = containers.len();
+        let mut topo_fp: HashMap<Idx<Component>, Fingerprint> = HashMap::new();
+        let mut facts: HashMap<Idx<Component>, ContainerFacts> = HashMap::new();
+        let mut misses: Vec<(Idx<Component>, Fingerprint)> = Vec::new();
+        for &container in &containers {
+            let topo = model_fp::topology_fingerprint(model, container);
+            topo_fp.insert(container, topo);
+            let key = Hasher::new()
+                .write_str("graph-facts")
+                .write_fingerprint(topo)
+                .write_fingerprint(config_fp)
+                .finish();
+            match self.cache.get::<FactsArtifact>(ArtifactKind::GraphFacts, key) {
+                Some(artifact) => {
+                    phase.cache_hits += 1;
+                    facts.insert(container, artifact.to_facts(model, container));
+                }
+                None => {
+                    phase.cache_misses += 1;
+                    misses.push((container, key));
+                }
+            }
+        }
+        phase.jobs_executed = misses.len();
+        if !misses.is_empty() {
+            let jobs: Vec<_> = misses
+                .iter()
+                .map(|&(container, _)| {
+                    let graph_config = &graph_config;
+                    move || graph::container_facts(model, container, graph_config)
+                })
+                .collect();
+            let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-facts"))?;
+            phase.retries = out.retries;
+            for ((container, key), result) in misses.iter().zip(out.results) {
+                let fresh = result?;
+                self.cache.put(
+                    ArtifactKind::GraphFacts,
+                    *key,
+                    model.components[*container].core.name.value(),
+                    &FactsArtifact::from_facts(model, &fresh),
+                )?;
+                facts.insert(*container, fresh);
+            }
+        }
+        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.stats.record(phase);
+
+        // Criticality chain: a container is critical iff every enclosing
+        // container is critical and it sits on all paths one level up.
+        let mut critical_flag: HashMap<Idx<Component>, bool> = HashMap::new();
+        critical_flag.insert(top, true);
+        for &container in &containers {
+            let flag = critical_flag[&container];
+            for &child in &model.components[container].children {
+                if !model.components[child].is_atomic() {
+                    critical_flag
+                        .insert(child, flag && facts[&container].critical.contains(&child));
+                }
+            }
+        }
+
+        // ---- Phase 2: per-component rows -------------------------------
+        let start = Instant::now();
+        let mut phase = PhaseStats::new("graph-rows");
+        let mut work: Vec<(Idx<Component>, Idx<Component>)> = Vec::new();
+        flatten_work(model, top, &mut work);
+        phase.jobs_total = work.len();
+        let mut merged: Vec<Option<Vec<FmeaRow>>> = vec![None; work.len()];
+        let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
+        for (i, &(container, child)) in work.iter().enumerate() {
+            let key = Hasher::new()
+                .write_str("graph-row")
+                .write_fingerprint(model_fp::component_fingerprint(model, child))
+                .write_fingerprint(topo_fp[&container])
+                .write_bool(critical_flag[&container])
+                .write_fingerprint(config_fp)
+                .finish();
+            match self.cache.get::<Vec<FmeaRow>>(ArtifactKind::GraphRow, key) {
+                Some(rows) => {
+                    phase.cache_hits += 1;
+                    merged[i] = Some(rows);
+                }
+                None => {
+                    phase.cache_misses += 1;
+                    misses.push((i, key));
+                }
+            }
+        }
+        phase.jobs_executed = misses.len();
+        if !misses.is_empty() {
+            let jobs: Vec<_> = misses
+                .iter()
+                .map(|&(i, _)| {
+                    let (container, child) = work[i];
+                    let facts = &facts;
+                    let graph_config = &graph_config;
+                    let flag = critical_flag[&container];
+                    move || {
+                        graph::component_rows(model, child, flag, &facts[&container], graph_config)
+                    }
+                })
+                .collect();
+            let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-rows"))?;
+            phase.retries = out.retries;
+            for (&(i, key), rows) in misses.iter().zip(&out.results) {
+                let (_, child) = work[i];
+                self.cache.put(
+                    ArtifactKind::GraphRow,
+                    key,
+                    model.components[child].core.name.value(),
+                    rows,
+                )?;
+                merged[i] = Some(rows.clone());
+            }
+        }
+        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.stats.record(phase);
+
+        // ---- Deterministic merge ---------------------------------------
+        let mut table = FmeaTable::new(model.components[top].core.name.value());
+        for rows in merged {
+            for row in rows.expect("every work item resolved") {
+                table.push(row);
+            }
+        }
+        Ok(table)
+    }
+
+    /// Re-analyses after a model revision: diffs `old` against `new`,
+    /// garbage-collects the cache keys owned by impacted components (the
+    /// counted "invalidated keys"), then runs [`Engine::analyze_graph`] on
+    /// the new revision — unchanged components hit the cache, impacted
+    /// ones recompute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    pub fn rerun(
+        &mut self,
+        old: &SsamModel,
+        new: &SsamModel,
+        new_top: Idx<Component>,
+    ) -> Result<(FmeaTable, ImpactReport)> {
+        let report = impact::diff_models(old, new);
+        let mut invalidated = 0;
+        for name in &report.impacted_components {
+            invalidated += self.cache.invalidate_owner(name);
+        }
+        if report.changes.iter().any(|c| matches!(c, ModelChange::HazardsChanged)) {
+            // Hazard-set changes can re-scope every row under per-hazard
+            // analysis; drop the row artefacts wholesale.
+            invalidated += self.cache.invalidate_kind(ArtifactKind::GraphRow);
+        }
+        self.stats.invalidated_keys += invalidated;
+        let table = self.analyze_graph(new, new_top)?;
+        Ok((table, report))
+    }
+
+    /// The escape hatch: runs the incremental analysis *and* the
+    /// from-scratch [`graph::run`], failing loudly if they differ in any
+    /// row. Use it to validate a cache of unknown provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Verification`] on divergence, otherwise as
+    /// [`Engine::analyze_graph`].
+    pub fn verify_against_full(
+        &mut self,
+        model: &SsamModel,
+        top: Idx<Component>,
+    ) -> Result<FmeaTable> {
+        let incremental = self.analyze_graph(model, top)?;
+        let full = graph::run(model, top, &self.config.graph)?;
+        if incremental != full {
+            return Err(EngineError::Verification(format!(
+                "{} incremental vs {} full rows, verdict disagreement {:.4}",
+                incremental.rows.len(),
+                full.rows.len(),
+                incremental.disagreement(&full),
+            )));
+        }
+        Ok(incremental)
+    }
+
+    // ------------------------------------------------------------------
+    // Injection path (S7)
+    // ------------------------------------------------------------------
+
+    /// Runs the fault-injection FMEA incrementally. Rows are keyed by the
+    /// whole-circuit digest plus the candidate's own content — any circuit
+    /// edit invalidates every row (a fault's effect depends on the entire
+    /// network), while re-analyses of an unchanged circuit are pure cache
+    /// hits and skip simulation entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`injection::run`], plus scheduler failures.
+    pub fn analyze_injection(
+        &mut self,
+        diagram: &BlockDiagram,
+        reliability: &ReliabilityDb,
+        config: &InjectionConfig,
+    ) -> Result<FmeaTable> {
+        if !(config.threshold > 0.0 && config.threshold.is_finite()) {
+            return Err(EngineError::Core(CoreError::InvalidParameter {
+                message: format!("threshold must be positive and finite, got {}", config.threshold),
+            }));
+        }
+        let start = Instant::now();
+        let mut phase = PhaseStats::new("injection-rows");
+        let circuit_fp = model_fp::serialized_fingerprint(diagram, "block-diagram");
+        let candidates = injection::candidates(diagram, reliability);
+        phase.jobs_total = candidates.len();
+        let mut merged: Vec<Option<FmeaRow>> = vec![None; candidates.len()];
+        let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
+        for (i, candidate) in candidates.iter().enumerate() {
+            let key = Hasher::new()
+                .write_str("injection-row")
+                .write_fingerprint(circuit_fp)
+                .write_fingerprint(model_fp::candidate_fingerprint(candidate))
+                .write_f64(config.threshold)
+                .finish();
+            match self.cache.get::<FmeaRow>(ArtifactKind::InjectionRow, key) {
+                Some(row) => {
+                    phase.cache_hits += 1;
+                    merged[i] = Some(row);
+                }
+                None => {
+                    phase.cache_misses += 1;
+                    misses.push((i, key));
+                }
+            }
+        }
+        phase.jobs_executed = misses.len();
+        if !misses.is_empty() {
+            // Lower and solve the nominal circuit once, only when at least
+            // one candidate actually needs simulating.
+            let lowered = to_circuit(diagram).map_err(CoreError::from)?;
+            let nominal_solution = lowered.circuit.dc().map_err(CoreError::from)?;
+            let nominal =
+                lowered.circuit.all_sensor_readings(&nominal_solution).map_err(CoreError::from)?;
+            let jobs: Vec<_> = misses
+                .iter()
+                .map(|&(i, _)| {
+                    let candidate = &candidates[i];
+                    let lowered = &lowered;
+                    let nominal = &nominal;
+                    move || {
+                        injection::analyse_candidate(candidate, lowered, nominal, config.threshold)
+                    }
+                })
+                .collect();
+            let out = Scheduler::new(self.config.jobs)
+                .run_batch(&jobs)
+                .map_err(|e| batch_error(e, "injection-rows"))?;
+            phase.retries = out.retries;
+            for (&(i, key), row) in misses.iter().zip(&out.results) {
+                self.cache.put(ArtifactKind::InjectionRow, key, &candidates[i].name, row)?;
+                merged[i] = Some(row.clone());
+            }
+        }
+        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.stats.record(phase);
+
+        let mut table = FmeaTable::new(diagram.name());
+        for row in merged {
+            table.push(row.expect("every candidate resolved"));
+        }
+        Ok(table)
+    }
+
+    // ------------------------------------------------------------------
+    // FTA subtrees (S14) and monitor sets (S15)
+    // ------------------------------------------------------------------
+
+    /// Quantifies the fault subtree of every container, cached per
+    /// container: the key covers the container's topology, its children's
+    /// content and the mission time, so a FIT edit re-quantifies one
+    /// subtree. Containers without input→output paths (or beyond the path
+    /// cap) come back with `analysable: false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and cache failures.
+    pub fn analyze_fta(
+        &mut self,
+        model: &SsamModel,
+        top: Idx<Component>,
+        mission_hours: f64,
+    ) -> Result<Vec<FtaSubtreeSummary>> {
+        let start = Instant::now();
+        let mut phase = PhaseStats::new("fta-subtrees");
+        let containers = collect_containers(model, top);
+        phase.jobs_total = containers.len();
+        let mut merged: Vec<Option<FtaSubtreeSummary>> = vec![None; containers.len()];
+        let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
+        for (i, &container) in containers.iter().enumerate() {
+            let mut h = Hasher::new();
+            h.write_str("fta-subtree");
+            h.write_fingerprint(model_fp::topology_fingerprint(model, container));
+            for &child in &model.components[container].children {
+                h.write_fingerprint(model_fp::component_fingerprint(model, child));
+            }
+            h.write_f64(mission_hours);
+            h.write_u64(self.config.graph.max_paths as u64);
+            let key = h.finish();
+            match self.cache.get::<FtaSubtreeSummary>(ArtifactKind::FtaSubtree, key) {
+                Some(summary) => {
+                    phase.cache_hits += 1;
+                    merged[i] = Some(summary);
+                }
+                None => {
+                    phase.cache_misses += 1;
+                    misses.push((i, key));
+                }
+            }
+        }
+        phase.jobs_executed = misses.len();
+        if !misses.is_empty() {
+            let max_paths = self.config.graph.max_paths;
+            let jobs: Vec<_> = misses
+                .iter()
+                .map(|&(i, _)| {
+                    let container = containers[i];
+                    move || quantify_subtree(model, container, mission_hours, max_paths)
+                })
+                .collect();
+            let out = Scheduler::new(self.config.jobs)
+                .run_batch(&jobs)
+                .map_err(|e| batch_error(e, "fta-subtrees"))?;
+            phase.retries = out.retries;
+            for (&(i, key), summary) in misses.iter().zip(&out.results) {
+                self.cache.put(ArtifactKind::FtaSubtree, key, &summary.container, summary)?;
+                merged[i] = Some(summary.clone());
+            }
+        }
+        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.stats.record(phase);
+        Ok(merged.into_iter().map(|s| s.expect("every container resolved")).collect())
+    }
+
+    /// Generates (or fetches) the runtime monitor of `model`, keyed by the
+    /// monitor-relevant model slice (limited IO nodes and their dynamic
+    /// context).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache serialisation failures.
+    pub fn monitors(&mut self, model: &SsamModel) -> Result<RuntimeMonitor> {
+        let start = Instant::now();
+        let mut phase = PhaseStats::new("monitor-set");
+        phase.jobs_total = 1;
+        let key = model_fp::monitor_fingerprint(model);
+        let monitor = match self.cache.get::<RuntimeMonitor>(ArtifactKind::MonitorSet, key) {
+            Some(monitor) => {
+                phase.cache_hits += 1;
+                monitor
+            }
+            None => {
+                phase.cache_misses += 1;
+                phase.jobs_executed = 1;
+                let monitor = RuntimeMonitor::generate(model);
+                self.cache.put(ArtifactKind::MonitorSet, key, model.name.value(), &monitor)?;
+                monitor
+            }
+        };
+        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.stats.record(phase);
+        Ok(monitor)
+    }
+}
+
+fn batch_error(e: BatchError, phase: &str) -> EngineError {
+    match e {
+        BatchError::JobFailed { index } => {
+            EngineError::JobFailed { index, phase: phase.to_owned() }
+        }
+        BatchError::Cancelled => EngineError::Cancelled,
+    }
+}
+
+/// Pre-order list of analysed containers: `top` and every non-atomic
+/// descendant, in the recursion order of Algorithm 1.
+fn collect_containers(model: &SsamModel, top: Idx<Component>) -> Vec<Idx<Component>> {
+    let mut out = Vec::new();
+    fn walk(model: &SsamModel, container: Idx<Component>, out: &mut Vec<Idx<Component>>) {
+        out.push(container);
+        for &child in &model.components[container].children {
+            if !model.components[child].is_atomic() {
+                walk(model, child, out);
+            }
+        }
+    }
+    walk(model, top, &mut out);
+    out
+}
+
+/// The `(container, child)` work list in table order: each child's own
+/// rows, immediately followed by its subtree's (Algorithm 1 line 14).
+fn flatten_work(
+    model: &SsamModel,
+    container: Idx<Component>,
+    out: &mut Vec<(Idx<Component>, Idx<Component>)>,
+) {
+    for &child in &model.components[container].children {
+        out.push((container, child));
+        if !model.components[child].is_atomic() {
+            flatten_work(model, child, out);
+        }
+    }
+}
+
+fn quantify_subtree(
+    model: &SsamModel,
+    container: Idx<Component>,
+    mission_hours: f64,
+    max_paths: usize,
+) -> FtaSubtreeSummary {
+    let name = model.components[container].core.name.value().to_owned();
+    match decisive_fta::build_fault_tree(model, container, max_paths) {
+        Ok(synthesised) => {
+            let quant = synthesised.tree.quantify(mission_hours);
+            let single_points = synthesised
+                .tree
+                .single_points()
+                .into_iter()
+                .map(|id| synthesised.tree.node(id).name().to_owned())
+                .collect();
+            FtaSubtreeSummary {
+                container: name,
+                analysable: true,
+                top_probability: quant.top_probability,
+                single_points,
+                minimal_cut_sets: synthesised.tree.cut_sets_by_name(),
+            }
+        }
+        Err(_) => FtaSubtreeSummary {
+            container: name,
+            analysable: false,
+            top_probability: 0.0,
+            single_points: Vec::new(),
+            minimal_cut_sets: Vec::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_core::case_study;
+    use decisive_ssam::architecture::Fit;
+
+    #[test]
+    fn incremental_equals_full_on_the_case_study() {
+        let (model, top) = case_study::ssam_model();
+        let mut engine = Engine::new(EngineConfig::with_jobs(1));
+        let table = engine.verify_against_full(&model, top).unwrap();
+        assert!((table.spfm() - 0.0538).abs() < 5e-4);
+    }
+
+    #[test]
+    fn fit_edit_reruns_exactly_one_row_job() {
+        let (old, old_top) = case_study::ssam_model();
+        let (mut new, new_top) = case_study::ssam_model();
+        let mut engine = Engine::new(EngineConfig::with_jobs(2));
+        engine.analyze_graph(&old, old_top).unwrap();
+
+        let d1 = new.component_by_name("D1").unwrap();
+        new.components[d1].fit = Some(Fit::new(20.0));
+        engine.reset_stats();
+        let (table, report) = engine.rerun(&old, &new, new_top).unwrap();
+        assert!(report.requires_reanalysis());
+        assert_eq!(engine.stats().invalidated_keys, 1, "only D1's row artefact");
+        let rows = engine.stats().phase("graph-rows").unwrap();
+        assert_eq!(rows.jobs_executed, 1, "only D1 recomputes");
+        let facts = engine.stats().phase("graph-facts").unwrap();
+        assert_eq!(facts.jobs_executed, 0, "topology unchanged");
+        assert_eq!(table, graph::run(&new, new_top, &GraphConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn monitor_set_round_trips_through_the_cache() {
+        let (model, _) = case_study::ssam_model();
+        let mut engine = Engine::new(EngineConfig::with_jobs(1));
+        let cold = engine.monitors(&model).unwrap();
+        assert!(!cold.checks().is_empty());
+        let warm = engine.monitors(&model).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(engine.stats().phase("monitor-set").unwrap().cache_hits, 1);
+    }
+
+    #[test]
+    fn fta_subtrees_cache_by_content() {
+        let (model, top) = case_study::ssam_model();
+        let mut engine = Engine::new(EngineConfig::with_jobs(2));
+        let cold = engine.analyze_fta(&model, top, 10_000.0).unwrap();
+        assert!(cold.iter().any(|s| s.analysable));
+        let warm = engine.analyze_fta(&model, top, 10_000.0).unwrap();
+        assert_eq!(cold, warm);
+        let phase = engine.stats().phase("fta-subtrees").unwrap();
+        assert_eq!(phase.cache_misses, 0, "warm pass is pure hits");
+        // A different mission time is a different artefact.
+        engine.analyze_fta(&model, top, 20_000.0).unwrap();
+        assert!(engine.stats().phase("fta-subtrees").unwrap().cache_misses > 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Engine error types.
+
+use decisive_core::CoreError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Everything that can go wrong inside the incremental engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An underlying analysis failed.
+    Core(CoreError),
+    /// A scheduled job panicked twice (once plus the retry).
+    JobFailed {
+        /// Index of the failing job within its batch.
+        index: usize,
+        /// Which phase scheduled it.
+        phase: String,
+    },
+    /// The run was cancelled through its [`crate::scheduler::CancelToken`].
+    Cancelled,
+    /// Cache persistence failed (I/O, parse, or serialisation).
+    Cache(String),
+    /// `verify_against_full` found a divergence between the incremental
+    /// and the from-scratch result — a cache-soundness bug.
+    Verification(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::JobFailed { index, phase } => {
+                write!(f, "job {index} of phase `{phase}` panicked twice; giving up")
+            }
+            EngineError::Cancelled => write!(f, "analysis cancelled"),
+            EngineError::Cache(message) => write!(f, "cache: {message}"),
+            EngineError::Verification(message) => {
+                write!(f, "incremental result diverged from full recomputation: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}

@@ -1,0 +1,34 @@
+//! decisive-engine: incremental analysis with content-addressed caching and
+//! a parallel job scheduler.
+//!
+//! The DECISIVE flow is iterative by design — analyse, refine the
+//! architecture, analyse again. This crate makes the "again" cheap: every
+//! derived artefact is cached under a fingerprint of exactly the inputs it
+//! depends on, so a re-run after an edit recomputes only the artefacts
+//! whose inputs actually changed, and independent recomputations run on a
+//! bounded worker pool.
+//!
+//! Layering:
+//!
+//! - [`fingerprint`] — the stable 64-bit content hasher;
+//! - [`model_fp`] — what gets hashed for each artefact kind;
+//! - [`cache`] — the content-addressed store plus JSON persistence;
+//! - [`scheduler`] — the deterministic parallel job runner;
+//! - [`stats`] — per-phase observability counters;
+//! - [`engine`] — the [`Engine`] gluing it all together, with
+//!   [`Engine::verify_against_full`] as the soundness escape hatch.
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod fingerprint;
+pub mod model_fp;
+pub mod scheduler;
+pub mod stats;
+
+pub use cache::{ArtifactKind, CacheStore};
+pub use engine::{Engine, EngineConfig, FtaSubtreeSummary};
+pub use error::{EngineError, Result};
+pub use fingerprint::Fingerprint;
+pub use scheduler::{CancelToken, Scheduler};
+pub use stats::{EngineStats, PhaseStats};

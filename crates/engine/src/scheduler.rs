@@ -1,0 +1,230 @@
+//! The parallel job scheduler: a bounded worker pool over `crossbeam`
+//! scoped threads, with per-job retry-once and cooperative cancellation.
+//!
+//! Determinism: workers pull job *indexes* from a shared atomic counter and
+//! write results back *by index*, so the output order equals the submission
+//! order regardless of which worker ran what — the merged analysis tables
+//! are byte-identical to a sequential run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cooperative cancellation handle: cheap to clone, checked between jobs.
+/// Cancelling never interrupts a running job; it stops further jobs from
+/// starting.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Outcome of one batch run.
+#[derive(Debug)]
+pub struct BatchOutput<T> {
+    /// One result per job, in submission order.
+    pub results: Vec<T>,
+    /// How many jobs panicked once and succeeded on retry.
+    pub retries: usize,
+}
+
+/// What went wrong running a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// A job panicked twice (the initial run plus the retry).
+    JobFailed {
+        /// Index of the failed job.
+        index: usize,
+    },
+    /// The batch was cancelled before every job ran.
+    Cancelled,
+}
+
+/// A bounded worker pool configuration.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    workers: usize,
+    cancel: CancelToken,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` threads (clamped to at least one). The
+    /// pool is bounded per batch: at most `min(workers, jobs)` threads run.
+    pub fn new(workers: usize) -> Self {
+        Scheduler { workers: workers.max(1), cancel: CancelToken::new() }
+    }
+
+    /// A scheduler sized to the machine.
+    pub fn with_available_parallelism() -> Self {
+        Scheduler::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The pool's cancellation token (clone it into whatever should be
+    /// able to stop the run).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs every job, in parallel when the pool has more than one worker.
+    ///
+    /// Each job that panics is retried once (a poisoned job might have
+    /// tripped on transient state); a second panic fails the batch and
+    /// cancels the remaining jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::JobFailed`] when a job panicked twice,
+    /// [`BatchError::Cancelled`] when the token fired before completion.
+    pub fn run_batch<T, F>(&self, jobs: &[F]) -> Result<BatchOutput<T>, BatchError>
+    where
+        T: Send,
+        F: Fn() -> T + Sync,
+    {
+        let retries = AtomicUsize::new(0);
+        let run_one = |index: usize| -> Result<T, BatchError> {
+            match catch_unwind(AssertUnwindSafe(&jobs[index])) {
+                Ok(result) => Ok(result),
+                Err(_) => {
+                    retries.fetch_add(1, Ordering::SeqCst);
+                    catch_unwind(AssertUnwindSafe(&jobs[index]))
+                        .map_err(|_| BatchError::JobFailed { index })
+                }
+            }
+        };
+
+        let workers = self.workers.min(jobs.len()).max(1);
+        let mut slots: Vec<Option<Result<T, BatchError>>> = Vec::new();
+        if workers == 1 {
+            for index in 0..jobs.len() {
+                if self.cancel.is_cancelled() {
+                    return Err(BatchError::Cancelled);
+                }
+                slots.push(Some(run_one(index)));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<Result<T, BatchError>>>> =
+                (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+            crossbeam::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        if self.cancel.is_cancelled() {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::SeqCst);
+                        if index >= jobs.len() {
+                            break;
+                        }
+                        let outcome = run_one(index);
+                        let failed = outcome.is_err();
+                        *results[index].lock().expect("result slot") = Some(outcome);
+                        if failed {
+                            // Stop scheduling further jobs; finished work
+                            // stays valid for the error report.
+                            self.cancel.cancel();
+                            break;
+                        }
+                    });
+                }
+            })
+            .expect("scheduler workers never propagate panics");
+            slots =
+                results.into_iter().map(|slot| slot.into_inner().expect("result slot")).collect();
+        }
+
+        // First hard failure wins; any unfilled slot means cancellation.
+        let mut out = Vec::with_capacity(jobs.len());
+        for slot in slots {
+            match slot {
+                Some(Ok(result)) => out.push(result),
+                Some(Err(e)) => return Err(e),
+                None => return Err(BatchError::Cancelled),
+            }
+        }
+        if out.len() < jobs.len() {
+            return Err(BatchError::Cancelled);
+        }
+        Ok(BatchOutput { results: out, retries: retries.load(Ordering::SeqCst) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i * 2
+                }
+            })
+            .collect();
+        for workers in [1, 4] {
+            let out = Scheduler::new(workers).run_batch(&jobs).unwrap();
+            assert_eq!(out.results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(out.retries, 0);
+        }
+    }
+
+    #[test]
+    fn flaky_job_succeeds_on_retry() {
+        let attempts = AtomicU32::new(0);
+        let jobs = vec![|| {
+            if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            42
+        }];
+        let out = Scheduler::new(2).run_batch(&jobs).unwrap();
+        assert_eq!(out.results, vec![42]);
+        assert_eq!(out.retries, 1);
+    }
+
+    #[test]
+    fn persistent_panic_fails_the_batch_with_its_index() {
+        let jobs: Vec<Box<dyn Fn() -> u32 + Sync>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("poisoned")), Box::new(|| 3)];
+        let err = Scheduler::new(2).run_batch(&jobs).unwrap_err();
+        assert_eq!(err, BatchError::JobFailed { index: 1 });
+    }
+
+    #[test]
+    fn cancellation_stops_the_batch() {
+        let scheduler = Scheduler::new(2);
+        scheduler.cancel_token().cancel();
+        let jobs: Vec<_> = (0..8).map(|i| move || i).collect();
+        assert_eq!(scheduler.run_batch(&jobs).unwrap_err(), BatchError::Cancelled);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let jobs: Vec<fn() -> u8> = Vec::new();
+        let out = Scheduler::new(4).run_batch(&jobs).unwrap();
+        assert!(out.results.is_empty());
+    }
+}

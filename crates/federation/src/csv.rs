@@ -43,7 +43,11 @@ pub fn parse(input: &str) -> Result<Value> {
                 format: "csv",
                 line: row_idx + 2,
                 column: 1,
-                message: format!("row has {} cells but the header has {}", cells.len(), header.len()),
+                message: format!(
+                    "row has {} cells but the header has {}",
+                    cells.len(),
+                    header.len()
+                ),
             });
         }
         let mut pairs = Vec::with_capacity(header.len());
@@ -237,14 +241,16 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let text = "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,0.3\nDiode,10,Short,0.7\n";
+        let text =
+            "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,0.3\nDiode,10,Short,0.7\n";
         let v = parse(text).unwrap();
         assert_eq!(to_string(&v), text);
     }
 
     #[test]
     fn to_string_escapes() {
-        let rows = Value::list([Value::record([("a", Value::from("x,y")), ("b", Value::from("q\"q"))])]);
+        let rows =
+            Value::list([Value::record([("a", Value::from("x,y")), ("b", Value::from("q\"q"))])]);
         let text = to_string(&rows);
         assert_eq!(text, "a,b\n\"x,y\",\"q\"\"q\"\n");
     }

@@ -231,10 +231,7 @@ mod tests {
     #[test]
     fn unknown_driver_is_reported() {
         let r = DriverRegistry::with_defaults();
-        assert!(matches!(
-            r.load("simulink", "x.slx"),
-            Err(FederationError::UnknownDriver { .. })
-        ));
+        assert!(matches!(r.load("simulink", "x.slx"), Err(FederationError::UnknownDriver { .. })));
     }
 
     #[test]
@@ -267,11 +264,9 @@ mod tests {
     #[test]
     fn extract_runs_query_over_loaded_model() {
         let r = DriverRegistry::with_defaults();
-        r.memory().register(
-            "rel",
-            crate::csv::parse("Component,FIT\nDiode,10\nMC,300\n").unwrap(),
-        );
-        let fit = r.extract("memory", "rel", "rows.select(r | r.Component = 'MC').first().FIT").unwrap();
+        r.memory().register("rel", crate::csv::parse("Component,FIT\nDiode,10\nMC,300\n").unwrap());
+        let fit =
+            r.extract("memory", "rel", "rows.select(r | r.Component = 'MC').first().FIT").unwrap();
         assert_eq!(fit, Value::Int(300));
     }
 

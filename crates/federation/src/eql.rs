@@ -53,8 +53,8 @@ enum Tok {
     Minus,
     Star,
     Slash,
-    Eq,   // = or ==
-    Ne,   // <> or !=
+    Eq, // = or ==
+    Ne, // <> or !=
     Lt,
     Le,
     Gt,
@@ -251,7 +251,9 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                     i += 1;
                 }
                 let mut is_real = false;
-                if bytes.get(i) == Some(&b'.') && matches!(bytes.get(i + 1), Some(c) if c.is_ascii_digit()) {
+                if bytes.get(i) == Some(&b'.')
+                    && matches!(bytes.get(i + 1), Some(c) if c.is_ascii_digit())
+                {
                     is_real = true;
                     i += 1;
                     while matches!(bytes.get(i), Some(c) if c.is_ascii_digit()) {
@@ -270,9 +272,15 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                 }
                 let text = &src[start..i];
                 let tok = if is_real {
-                    Tok::Real(text.parse().map_err(|e: std::num::ParseFloatError| err(start, e.to_string()))?)
+                    Tok::Real(
+                        text.parse()
+                            .map_err(|e: std::num::ParseFloatError| err(start, e.to_string()))?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|e: std::num::ParseIntError| err(start, e.to_string()))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|e: std::num::ParseIntError| err(start, e.to_string()))?,
+                    )
                 };
                 toks.push((tok, start));
             }
@@ -383,7 +391,8 @@ impl Parser {
         if self.eat(&tok) {
             Ok(())
         } else {
-            let found = self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".to_owned());
+            let found =
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".to_owned());
             Err(self.err(format!("expected {tok}, found {found}")))
         }
     }
@@ -473,7 +482,9 @@ impl Parser {
                     other => {
                         return Err(self.err(format!(
                             "expected member name after `.`, found {}",
-                            other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".to_owned())
+                            other
+                                .map(|t| t.to_string())
+                                .unwrap_or_else(|| "end of input".to_owned())
                         )))
                     }
                 };
@@ -614,7 +625,9 @@ fn eval(expr: &Expr, scope: &mut Scope) -> Result<Value> {
             match v {
                 Value::Int(i) => Ok(Value::Int(-i)),
                 Value::Real(r) => Ok(Value::Real(-r)),
-                other => Err(FederationError::eval(format!("cannot negate a {}", other.type_name()))),
+                other => {
+                    Err(FederationError::eval(format!("cannot negate a {}", other.type_name())))
+                }
             }
         }
         Expr::Binary(op, lhs, rhs) => eval_binary(*op, lhs, rhs, scope),
@@ -828,10 +841,7 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
                 }
                 keyed.sort_by(|(a, _), (b, _)| match (a.as_f64(), b.as_f64()) {
                     (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-                    _ => a
-                        .as_str()
-                        .unwrap_or_default()
-                        .cmp(b.as_str().unwrap_or_default()),
+                    _ => a.as_str().unwrap_or_default().cmp(b.as_str().unwrap_or_default()),
                 });
                 return Ok(Value::List(keyed.into_iter().map(|(_, v)| v).collect()));
             }
@@ -856,7 +866,10 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
                 let mut total = 0.0;
                 for item in items {
                     total += item.as_f64().ok_or_else(|| {
-                        FederationError::eval(format!("`sum` over non-numeric {}", item.type_name()))
+                        FederationError::eval(format!(
+                            "`sum` over non-numeric {}",
+                            item.type_name()
+                        ))
                     })?;
                 }
                 return Ok(Value::Real(total));
@@ -866,7 +879,10 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
                 let mut best: Option<f64> = None;
                 for item in items {
                     let v = item.as_f64().ok_or_else(|| {
-                        FederationError::eval(format!("`{method}` over non-numeric {}", item.type_name()))
+                        FederationError::eval(format!(
+                            "`{method}` over non-numeric {}",
+                            item.type_name()
+                        ))
                     })?;
                     best = Some(match best {
                         None => v,
@@ -930,17 +946,21 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
         match method {
             "get" => {
                 let key = one_expr_arg(args, method, scope)?;
-                let k = key.as_str().ok_or_else(|| FederationError::eval("`get` expects a string"))?;
+                let k =
+                    key.as_str().ok_or_else(|| FederationError::eval("`get` expects a string"))?;
                 return Ok(recv.get(k).cloned().unwrap_or(Value::Null));
             }
             "has" => {
                 let key = one_expr_arg(args, method, scope)?;
-                let k = key.as_str().ok_or_else(|| FederationError::eval("`has` expects a string"))?;
+                let k =
+                    key.as_str().ok_or_else(|| FederationError::eval("`has` expects a string"))?;
                 return Ok(Value::Bool(recv.get(k).is_some()));
             }
             "keys" => {
                 no_args(args, method)?;
-                return Ok(Value::List(pairs.iter().map(|(k, _)| Value::from(k.as_str())).collect()));
+                return Ok(Value::List(
+                    pairs.iter().map(|(k, _)| Value::from(k.as_str())).collect(),
+                ));
             }
             "values" => {
                 no_args(args, method)?;
@@ -977,12 +997,16 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
             }
             "contains" => {
                 let needle = one_expr_arg(args, method, scope)?;
-                let n = needle.as_str().ok_or_else(|| FederationError::eval("`contains` expects a string"))?;
+                let n = needle
+                    .as_str()
+                    .ok_or_else(|| FederationError::eval("`contains` expects a string"))?;
                 return Ok(Value::Bool(s.contains(n)));
             }
             "startsWith" => {
                 let needle = one_expr_arg(args, method, scope)?;
-                let n = needle.as_str().ok_or_else(|| FederationError::eval("`startsWith` expects a string"))?;
+                let n = needle
+                    .as_str()
+                    .ok_or_else(|| FederationError::eval("`startsWith` expects a string"))?;
                 return Ok(Value::Bool(s.starts_with(n)));
             }
             _ => {}
@@ -1024,10 +1048,7 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
                 other => crate::json::to_string(other),
             }))
         }
-        _ => Err(FederationError::eval(format!(
-            "no method `{method}` on a {}",
-            recv.type_name()
-        ))),
+        _ => Err(FederationError::eval(format!("no method `{method}` on a {}", recv.type_name()))),
     }
 }
 
@@ -1088,9 +1109,8 @@ impl Query {
         &self,
         bindings: impl IntoIterator<Item = (&'a str, Value)>,
     ) -> Result<Value> {
-        let mut scope = Scope {
-            vars: bindings.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
-        };
+        let mut scope =
+            Scope { vars: bindings.into_iter().map(|(k, v)| (k.to_owned(), v)).collect() };
         eval(&self.ast, &mut scope)
     }
 }
@@ -1156,7 +1176,9 @@ mod tests {
 
     #[test]
     fn select_collect_sum_over_csv() {
-        let total = eval_str("rows.select(r | r.Component = 'Diode').collect(r | r.FIT).sum()", &rows()).unwrap();
+        let total =
+            eval_str("rows.select(r | r.Component = 'Diode').collect(r | r.FIT).sum()", &rows())
+                .unwrap();
         assert_eq!(total, Value::Real(20.0));
     }
 
@@ -1178,7 +1200,10 @@ mod tests {
         assert_eq!(eval_str("rows.first().Component", &r).unwrap(), Value::from("Diode"));
         assert_eq!(eval_str("rows.last().FIT", &r).unwrap(), Value::Int(300));
         assert_eq!(eval_str("rows.at(2).Component", &r).unwrap(), Value::from("Capacitor"));
-        assert_eq!(eval_str("rows.collect(r | r.FIT).includes(300)", &r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("rows.collect(r | r.FIT).includes(300)", &r).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("rows.isEmpty()", &r).unwrap(), Value::Bool(false));
     }
 
@@ -1188,7 +1213,10 @@ mod tests {
         assert_eq!(eval_str("rows.exists(r | r.FIT > 100)", &r).unwrap(), Value::Bool(true));
         assert_eq!(eval_str("rows.forAll(r | r.FIT > 0)", &r).unwrap(), Value::Bool(true));
         assert_eq!(eval_str("rows.count(r | r.Failure_Mode = 'Open')", &r).unwrap(), Value::Int(3));
-        assert_eq!(eval_str("rows.collect(r | r.Component).distinct().size()", &r).unwrap(), Value::Int(4));
+        assert_eq!(
+            eval_str("rows.collect(r | r.Component).distinct().size()", &r).unwrap(),
+            Value::Int(4)
+        );
     }
 
     #[test]
@@ -1212,7 +1240,10 @@ mod tests {
         assert_eq!(eval_str("rows.first().keys().size()", &r).unwrap(), Value::Int(4));
         assert_eq!(eval_str("'30%'.toNumber()", &Value::Null).unwrap(), Value::Real(0.3));
         assert_eq!(eval_str("'Open'.toLower()", &Value::Null).unwrap(), Value::from("open"));
-        assert_eq!(eval_str("'RAM Failure'.contains('RAM')", &Value::Null).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("'RAM Failure'.contains('RAM')", &Value::Null).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("' x '.trim().length()", &Value::Null).unwrap(), Value::Int(1));
     }
 
@@ -1227,7 +1258,11 @@ mod tests {
 
     #[test]
     fn nested_lambdas_and_shadowing() {
-        let v = eval_str("[[1,2],[3,4]].collect(x | x.collect(x | x * 10)).flatten().sum()", &Value::Null).unwrap();
+        let v = eval_str(
+            "[[1,2],[3,4]].collect(x | x.collect(x | x * 10)).flatten().sum()",
+            &Value::Null,
+        )
+        .unwrap();
         assert_eq!(v, Value::Real(100.0));
     }
 
@@ -1259,10 +1294,16 @@ mod tests {
 
     #[test]
     fn conditionals_select_branches_lazily() {
-        assert_eq!(eval_str("if 1 < 2 then 'yes' else 'no' endif", &Value::Null).unwrap(), Value::from("yes"));
+        assert_eq!(
+            eval_str("if 1 < 2 then 'yes' else 'no' endif", &Value::Null).unwrap(),
+            Value::from("yes")
+        );
         assert_eq!(eval_str("if false then 1 else 2 endif", &Value::Null).unwrap(), Value::Int(2));
         // The untaken branch is never evaluated.
-        assert_eq!(eval_str("if true then 7 else (1 / 0) endif", &Value::Null).unwrap(), Value::Int(7));
+        assert_eq!(
+            eval_str("if true then 7 else (1 / 0) endif", &Value::Null).unwrap(),
+            Value::Int(7)
+        );
         // Nesting and use inside lambdas.
         let graded = eval_str(
             "[0.05, 0.92, 0.98].collect(s | if s >= 0.97 then 'ASIL-C' else if s >= 0.9 then 'ASIL-B' else 'below' endif endif)",

@@ -92,7 +92,12 @@ mod tests {
 
     #[test]
     fn display_is_specific() {
-        let e = FederationError::Parse { format: "json", line: 2, column: 7, message: "expected `:`".into() };
+        let e = FederationError::Parse {
+            format: "json",
+            line: 2,
+            column: 7,
+            message: "expected `:`".into(),
+        };
         assert_eq!(e.to_string(), "json parse error at 2:7: expected `:`");
         let e = FederationError::MemoryOverflow { required_bytes: 100, budget_bytes: 10 };
         assert!(e.to_string().contains("100"));

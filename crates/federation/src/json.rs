@@ -359,7 +359,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_structure() {
-        let original = parse(r#"{"n": 1, "r": 2.5, "s": "x\"y", "l": [true, null], "e": {}}"#).unwrap();
+        let original =
+            parse(r#"{"n": 1, "r": 2.5, "s": "x\"y", "l": [true, null], "e": {}}"#).unwrap();
         let reparsed = parse(&to_string(&original)).unwrap();
         assert_eq!(original, reparsed);
     }

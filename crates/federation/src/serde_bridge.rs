@@ -212,7 +212,11 @@ impl ser::Serializer for ValueSerializer {
         variant: &'static str,
         len: usize,
     ) -> Result<MapCollector> {
-        Ok(MapCollector { pairs: Vec::with_capacity(len), pending_key: None, variant: Some(variant) })
+        Ok(MapCollector {
+            pairs: Vec::with_capacity(len),
+            pending_key: None,
+            variant: Some(variant),
+        })
     }
 }
 
@@ -293,7 +297,11 @@ impl ser::SerializeMap for MapCollector {
 impl ser::SerializeStruct for MapCollector {
     type Ok = Value;
     type Error = FederationError;
-    fn serialize_field<T: ?Sized + Serialize>(&mut self, key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         self.pairs.push((key.to_owned(), value.serialize(ValueSerializer)?));
         Ok(())
     }
@@ -305,7 +313,11 @@ impl ser::SerializeStruct for MapCollector {
 impl ser::SerializeStructVariant for MapCollector {
     type Ok = Value;
     type Error = FederationError;
-    fn serialize_field<T: ?Sized + Serialize>(&mut self, key: &'static str, value: &T) -> Result<()> {
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
         ser::SerializeStruct::serialize_field(self, key, value)
     }
     fn end(self) -> Result<Value> {
@@ -413,7 +425,10 @@ struct SeqAccess<'de> {
 
 impl<'de> de::SeqAccess<'de> for SeqAccess<'de> {
     type Error = FederationError;
-    fn next_element_seed<T: de::DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>> {
         match self.items.get(self.at) {
             None => Ok(None),
             Some(value) => {
@@ -465,7 +480,10 @@ struct EnumAccess<'de> {
 impl<'de> de::EnumAccess<'de> for EnumAccess<'de> {
     type Error = FederationError;
     type Variant = VariantAccess<'de>;
-    fn variant_seed<V: de::DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, VariantAccess<'de>)> {
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, VariantAccess<'de>)> {
         let variant = seed.deserialize(self.variant.into_deserializer())?;
         Ok((variant, VariantAccess { value: self.value }))
     }

@@ -76,7 +76,7 @@ impl ElementSource for SyntheticSource {
             ("kind", Value::from(kind)),
             ("name", Value::from(format!("e{index}"))),
             ("fit", Value::Real((index % 400) as f64)),
-            ("safety_related", Value::Bool(index % 7 == 0)),
+            ("safety_related", Value::Bool(index.is_multiple_of(7))),
         ]))
     }
 
@@ -336,7 +336,8 @@ mod tests {
     fn scan_count_matches_fixture_density() {
         let s = SyntheticSource::new(700);
         let store = EagerStore::load(&s, 10_000_000).unwrap();
-        let n = scan_count(&store, |v| v.get("safety_related") == Some(&Value::Bool(true))).unwrap();
+        let n =
+            scan_count(&store, |v| v.get("safety_related") == Some(&Value::Bool(true))).unwrap();
         assert_eq!(n, 100, "every 7th element is safety related");
     }
 

@@ -18,9 +18,10 @@ use std::fmt;
 /// let row = Value::record([("Component", Value::from("Diode")), ("FIT", Value::from(10.0))]);
 /// assert_eq!(row.get("FIT").and_then(Value::as_f64), Some(10.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Value {
     /// Absent / null.
+    #[default]
     Null,
     /// Boolean.
     Bool(bool),
@@ -169,12 +170,6 @@ impl Value {
             Value::List(items) => !items.is_empty(),
             Value::Record(pairs) => !pairs.is_empty(),
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

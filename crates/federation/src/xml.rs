@@ -200,10 +200,7 @@ impl<'a> Parser<'a> {
     }
 
     fn take_until(&mut self, end: &str) -> Result<()> {
-        match self.bytes[self.pos..]
-            .windows(end.len())
-            .position(|w| w == end.as_bytes())
-        {
+        match self.bytes[self.pos..].windows(end.len()).position(|w| w == end.as_bytes()) {
             Some(offset) => {
                 self.pos += offset + end.len();
                 Ok(())
@@ -286,7 +283,9 @@ impl<'a> Parser<'a> {
                 self.pos += 2;
                 let closing = self.name()?;
                 if closing != tag {
-                    return Err(self.err(format!("mismatched closing tag `{closing}` (expected `{tag}`)")));
+                    return Err(
+                        self.err(format!("mismatched closing tag `{closing}` (expected `{tag}`)"))
+                    );
                 }
                 self.skip_ws();
                 if self.peek() != Some(b'>') {
@@ -367,7 +366,9 @@ fn unescape(raw: &str) -> String {
                     .strip_prefix("&#x")
                     .or_else(|| entity.strip_prefix("&#X"))
                     .and_then(|h| u32::from_str_radix(&h[..h.len() - 1], 16).ok())
-                    .or_else(|| entity.strip_prefix("&#").and_then(|d| d[..d.len() - 1].parse().ok()))
+                    .or_else(|| {
+                        entity.strip_prefix("&#").and_then(|d| d[..d.len() - 1].parse().ok())
+                    })
                 {
                     out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                 } else {
@@ -421,15 +422,13 @@ mod tests {
         let v = parse("<a><b/><c><d x='1'/></c></a>").unwrap();
         let a = v.get("a").unwrap();
         assert_eq!(a.get("b"), Some(&Value::Record(vec![])));
-        assert_eq!(
-            a.get("c").unwrap().get("d").unwrap().get("@x"),
-            Some(&Value::Int(1))
-        );
+        assert_eq!(a.get("c").unwrap().get("d").unwrap().get("@x"), Some(&Value::Int(1)));
     }
 
     #[test]
     fn entities_and_cdata() {
-        let v = parse("<t a=\"&lt;x&gt;\">&amp;joined <![CDATA[<raw & text>]]> &#65;&#x42;</t>").unwrap();
+        let v = parse("<t a=\"&lt;x&gt;\">&amp;joined <![CDATA[<raw & text>]]> &#65;&#x42;</t>")
+            .unwrap();
         let t = v.get("t").unwrap();
         assert_eq!(t.get("@a"), Some(&Value::from("<x>")));
         let text = t.get("#text").unwrap().as_str().unwrap();
@@ -448,10 +447,7 @@ mod tests {
             ("plain text", "expected `<`"),
         ] {
             let err = parse(doc).unwrap_err();
-            assert!(
-                err.to_string().contains(needle),
-                "`{doc}` gave `{err}`, wanted `{needle}`"
-            );
+            assert!(err.to_string().contains(needle), "`{doc}` gave `{err}`, wanted `{needle}`");
         }
     }
 

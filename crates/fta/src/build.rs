@@ -97,11 +97,7 @@ pub fn build_fault_tree(
         }
         path_nodes.push(tree.event(format!("path {} broken", i + 1), Gate::Or, loss_events));
     }
-    let top = tree.event(
-        format!("loss of function at `{container_name}`"),
-        Gate::And,
-        path_nodes,
-    );
+    let top = tree.event(format!("loss of function at `{container_name}`"), Gate::And, path_nodes);
     tree.set_top(top);
     Ok(SynthesisedTree { tree, event_of })
 }
@@ -189,7 +185,8 @@ pub fn fmea_from_fault_tree(
             let impact = if safety_related {
                 Some(decisive_ssam::architecture::FailureImpact::DirectViolation)
             } else if let Some(e) = event {
-                let in_some_cut = synthesised.tree.minimal_cut_sets().iter().any(|cs| cs.contains(e));
+                let in_some_cut =
+                    synthesised.tree.minimal_cut_sets().iter().any(|cs| cs.contains(e));
                 Some(if in_some_cut {
                     decisive_ssam::architecture::FailureImpact::IndirectViolation
                 } else {
@@ -274,10 +271,7 @@ mod tests {
             "top",
             decisive_ssam::architecture::ComponentKind::System,
         ));
-        assert!(matches!(
-            build_fault_tree(&model, top, 100),
-            Err(FtaError::NoPaths { .. })
-        ));
+        assert!(matches!(build_fault_tree(&model, top, 100), Err(FtaError::NoPaths { .. })));
     }
 
     #[test]
@@ -287,7 +281,8 @@ mod tests {
         let top = model.add_component(Component::new("top", ComponentKind::System));
         // Three parallel single-hop paths; cap at 2.
         for i in 0..3 {
-            let c = model.add_child_component(top, Component::new(format!("c{i}"), ComponentKind::Hardware));
+            let c = model
+                .add_child_component(top, Component::new(format!("c{i}"), ComponentKind::Hardware));
             model.connect(top, c);
             model.connect(c, top);
         }

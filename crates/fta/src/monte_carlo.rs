@@ -126,7 +126,8 @@ mod tests {
     #[test]
     fn voting_2oo3_agrees_with_binomial() {
         let mut ft = FaultTree::new("t");
-        let channels: Vec<_> = (0..3).map(|i| ft.basic(format!("c{i}"), Fit::new(30_000.0))).collect();
+        let channels: Vec<_> =
+            (0..3).map(|i| ft.basic(format!("c{i}"), Fit::new(30_000.0))).collect();
         let top = ft.event("top", Gate::Voting { k: 2 }, channels);
         ft.set_top(top);
         let t = 10_000.0;

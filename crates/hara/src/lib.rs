@@ -24,4 +24,6 @@ mod log;
 mod risk;
 
 pub use log::{HazardLog, HazardousEvent};
-pub use risk::{decompositions, determine_asil, Controllability, Decomposition, Exposure, Severity};
+pub use risk::{
+    decompositions, determine_asil, Controllability, Decomposition, Exposure, Severity,
+};

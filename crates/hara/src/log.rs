@@ -97,10 +97,12 @@ impl HazardLog {
         let mut package = HazardPackage::new(self.title.clone());
         let mut indices = Vec::with_capacity(self.events.len());
         for event in &self.events {
-            let mut situation = HazardousSituation::new(event.id.clone())
-                .with_severity(event.severity);
-            situation.core.description =
-                Some(format!("{} — {} — goal: {}", event.description, event.situation, event.safety_goal));
+            let mut situation =
+                HazardousSituation::new(event.id.clone()).with_severity(event.severity);
+            situation.core.description = Some(format!(
+                "{} — {} — goal: {}",
+                event.description, event.situation, event.safety_goal
+            ));
             let idx = model.add_hazard(situation);
             package.situations.push(idx);
             indices.push(idx);

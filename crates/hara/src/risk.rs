@@ -122,33 +122,71 @@ mod tests {
 
     #[test]
     fn risk_graph_extremes() {
-        assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C3), IntegrityLevel::AsilD);
-        assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C2), IntegrityLevel::AsilC);
-        assert_eq!(determine_asil(Severity::S2, Exposure::E4, Controllability::C2), IntegrityLevel::AsilB);
-        assert_eq!(determine_asil(Severity::S1, Exposure::E4, Controllability::C2), IntegrityLevel::AsilA);
-        assert_eq!(determine_asil(Severity::S1, Exposure::E2, Controllability::C2), IntegrityLevel::Qm);
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E4, Controllability::C3),
+            IntegrityLevel::AsilD
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E4, Controllability::C2),
+            IntegrityLevel::AsilC
+        );
+        assert_eq!(
+            determine_asil(Severity::S2, Exposure::E4, Controllability::C2),
+            IntegrityLevel::AsilB
+        );
+        assert_eq!(
+            determine_asil(Severity::S1, Exposure::E4, Controllability::C2),
+            IntegrityLevel::AsilA
+        );
+        assert_eq!(
+            determine_asil(Severity::S1, Exposure::E2, Controllability::C2),
+            IntegrityLevel::Qm
+        );
     }
 
     #[test]
     fn zero_classes_always_qm() {
-        assert_eq!(determine_asil(Severity::S0, Exposure::E4, Controllability::C3), IntegrityLevel::Qm);
-        assert_eq!(determine_asil(Severity::S3, Exposure::E0, Controllability::C3), IntegrityLevel::Qm);
-        assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C0), IntegrityLevel::Qm);
+        assert_eq!(
+            determine_asil(Severity::S0, Exposure::E4, Controllability::C3),
+            IntegrityLevel::Qm
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E0, Controllability::C3),
+            IntegrityLevel::Qm
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E4, Controllability::C0),
+            IntegrityLevel::Qm
+        );
     }
 
     #[test]
     fn risk_graph_is_monotone_in_each_parameter() {
         let asil = |s, e, c| determine_asil(s, e, c);
-        assert!(asil(Severity::S3, Exposure::E3, Controllability::C3) <= asil(Severity::S3, Exposure::E4, Controllability::C3));
-        assert!(asil(Severity::S2, Exposure::E4, Controllability::C3) <= asil(Severity::S3, Exposure::E4, Controllability::C3));
-        assert!(asil(Severity::S3, Exposure::E4, Controllability::C2) <= asil(Severity::S3, Exposure::E4, Controllability::C3));
+        assert!(
+            asil(Severity::S3, Exposure::E3, Controllability::C3)
+                <= asil(Severity::S3, Exposure::E4, Controllability::C3)
+        );
+        assert!(
+            asil(Severity::S2, Exposure::E4, Controllability::C3)
+                <= asil(Severity::S3, Exposure::E4, Controllability::C3)
+        );
+        assert!(
+            asil(Severity::S3, Exposure::E4, Controllability::C2)
+                <= asil(Severity::S3, Exposure::E4, Controllability::C3)
+        );
     }
 
     #[test]
     fn decomposition_tables() {
         let d = decompositions(IntegrityLevel::AsilD);
-        assert!(d.contains(&Decomposition { first: IntegrityLevel::AsilB, second: IntegrityLevel::AsilB }));
-        assert!(d.contains(&Decomposition { first: IntegrityLevel::AsilD, second: IntegrityLevel::Qm }));
+        assert!(d.contains(&Decomposition {
+            first: IntegrityLevel::AsilB,
+            second: IntegrityLevel::AsilB
+        }));
+        assert!(
+            d.contains(&Decomposition { first: IntegrityLevel::AsilD, second: IntegrityLevel::Qm })
+        );
         assert!(decompositions(IntegrityLevel::Qm).is_empty());
         assert_eq!(decompositions(IntegrityLevel::AsilA).len(), 1);
     }

@@ -43,7 +43,10 @@ impl Fit {
     ///
     /// Panics if `value` is negative or not finite.
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "FIT must be a finite non-negative number, got {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "FIT must be a finite non-negative number, got {value}"
+        );
         Fit(value)
     }
 

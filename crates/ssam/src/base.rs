@@ -277,7 +277,11 @@ impl std::str::FromStr for IntegrityLevel {
     type Err = ParseIntegrityLevelError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let norm: String = s.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_ascii_uppercase();
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_uppercase();
         Ok(match norm.as_str() {
             "QM" => IntegrityLevel::Qm,
             "ASILA" | "A" => IntegrityLevel::AsilA,

@@ -181,9 +181,7 @@ mod tests {
 
     #[test]
     fn hazardous_situation_builder() {
-        let h = HazardousSituation::new("H1")
-            .with_severity(Severity::S2)
-            .with_probability(0.01);
+        let h = HazardousSituation::new("H1").with_severity(Severity::S2).with_probability(0.01);
         assert_eq!(h.severity, Some(Severity::S2));
         assert_eq!(h.probability, Some(0.01));
     }

@@ -52,9 +52,9 @@ pub mod validate;
 /// Convenient glob-import of the types needed to build models.
 pub mod prelude {
     pub use crate::architecture::{
-        Component, ComponentKind, ComponentPackage, ComponentRelationship, Coverage,
-        FailureEffect, FailureImpact, FailureMode, FailureNature, Fit, Function, IoDirection,
-        IoNode, SafetyMechanism, ToleranceType,
+        Component, ComponentKind, ComponentPackage, ComponentRelationship, Coverage, FailureEffect,
+        FailureImpact, FailureMode, FailureNature, Fit, Function, IoDirection, IoNode,
+        SafetyMechanism, ToleranceType,
     };
     pub use crate::base::{
         CiteRef, ElementCore, ExternalModelKind, ExternalReference, ImplementationConstraint,

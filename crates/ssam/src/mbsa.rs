@@ -72,12 +72,7 @@ impl Artifact {
         kind: ArtifactKind,
         location: impl Into<String>,
     ) -> Self {
-        Artifact {
-            core: ElementCore::named(name),
-            kind,
-            location: location.into(),
-            query: None,
-        }
+        Artifact { core: ElementCore::named(name), kind, location: location.into(), query: None }
     }
 
     /// Attaches an evidence query (builder style).
@@ -111,11 +106,7 @@ pub struct MbsaPackage {
 impl MbsaPackage {
     /// Creates an empty MBSA package.
     pub fn new(name: impl Into<crate::base::LangString>) -> Self {
-        MbsaPackage {
-            core: ElementCore::named(name),
-            artifacts: Vec::new(),
-            evidence: Vec::new(),
-        }
+        MbsaPackage { core: ElementCore::named(name), artifacts: Vec::new(), evidence: Vec::new() }
     }
 }
 

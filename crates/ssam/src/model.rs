@@ -9,8 +9,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::architecture::{
-    Component, ComponentPackage, ComponentRelationship, Coverage, FailureMode,
-    FailureNature, Function, IoDirection, IoNode, SafetyMechanism, ToleranceType,
+    Component, ComponentPackage, ComponentRelationship, Coverage, FailureMode, FailureNature,
+    Function, IoDirection, IoNode, SafetyMechanism, ToleranceType,
 };
 use crate::base::{ElementCore, LangString};
 use crate::hazard::{ControlMeasure, HazardPackage, HazardousSituation};
@@ -84,7 +84,11 @@ impl SsamModel {
     }
 
     /// Adds `child` nested inside `parent`, maintaining both links.
-    pub fn add_child_component(&mut self, parent: Idx<Component>, mut child: Component) -> Idx<Component> {
+    pub fn add_child_component(
+        &mut self,
+        parent: Idx<Component>,
+        mut child: Component,
+    ) -> Idx<Component> {
         child.parent = Some(parent);
         let idx = self.components.alloc(child);
         self.components[parent].children.push(idx);
@@ -113,7 +117,11 @@ impl SsamModel {
 
     /// Connects `from → to` without pinning ports and returns the
     /// relationship index.
-    pub fn connect(&mut self, from: Idx<Component>, to: Idx<Component>) -> Idx<ComponentRelationship> {
+    pub fn connect(
+        &mut self,
+        from: Idx<Component>,
+        to: Idx<Component>,
+    ) -> Idx<ComponentRelationship> {
         self.relationships.alloc(ComponentRelationship::new(from, to))
     }
 
@@ -251,7 +259,9 @@ impl SsamModel {
         let is_member = move |m: &Self, c: Idx<Component>| {
             c == container || m.components[c].parent == Some(container)
         };
-        self.relationships.iter().filter(move |(_, r)| is_member(self, r.from) && is_member(self, r.to))
+        self.relationships
+            .iter()
+            .filter(move |(_, r)| is_member(self, r.from) && is_member(self, r.to))
     }
 
     /// Failure modes of `component`.
@@ -259,10 +269,7 @@ impl SsamModel {
         &self,
         component: Idx<Component>,
     ) -> impl Iterator<Item = (Idx<FailureMode>, &FailureMode)> {
-        self.components[component]
-            .failure_modes
-            .iter()
-            .map(move |&i| (i, &self.failure_modes[i]))
+        self.components[component].failure_modes.iter().map(move |&i| (i, &self.failure_modes[i]))
     }
 
     /// Safety mechanisms deployed on `component` that cover `fm`.

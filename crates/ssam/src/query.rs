@@ -43,16 +43,11 @@ impl SsamModel {
         &self,
         component: Idx<Component>,
     ) -> BTreeSet<Idx<HazardousSituation>> {
-        self.failure_modes_of(component)
-            .flat_map(|(_, fm)| fm.hazards.iter().copied())
-            .collect()
+        self.failure_modes_of(component).flat_map(|(_, fm)| fm.hazards.iter().copied()).collect()
     }
 
     /// Control measures that mitigate `hazard`.
-    pub fn measures_mitigating(
-        &self,
-        hazard: Idx<HazardousSituation>,
-    ) -> Vec<Idx<ControlMeasure>> {
+    pub fn measures_mitigating(&self, hazard: Idx<HazardousSituation>) -> Vec<Idx<ControlMeasure>> {
         self.control_measures
             .iter()
             .filter(|(_, m)| m.mitigates.contains(&hazard))
@@ -65,10 +60,7 @@ impl SsamModel {
         self.requirements
             .iter()
             .filter(|(_, r)| {
-                r.core
-                    .cites
-                    .iter()
-                    .any(|c| matches!(c, CiteRef::Component(i) if *i == component))
+                r.core.cites.iter().any(|c| matches!(c, CiteRef::Component(i) if *i == component))
             })
             .map(|(i, _)| i)
             .collect()

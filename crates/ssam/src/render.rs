@@ -29,12 +29,8 @@ use crate::model::SsamModel;
 pub fn ascii_tree(model: &SsamModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "model `{}`", model.name);
-    let roots: Vec<Idx<Component>> = model
-        .components
-        .iter()
-        .filter(|(_, c)| c.parent.is_none())
-        .map(|(i, _)| i)
-        .collect();
+    let roots: Vec<Idx<Component>> =
+        model.components.iter().filter(|(_, c)| c.parent.is_none()).map(|(i, _)| i).collect();
     for root in roots {
         render_node(model, root, 0, &mut out);
     }
@@ -75,8 +71,10 @@ pub fn dot_graph(model: &SsamModel, container: Idx<Component>) -> String {
         let _ = writeln!(out, "  n{} [label=\"{}\", shape={shape}];", child.raw(), c.core.name);
     }
     for (_, rel) in model.relationships_within(container) {
-        let from_label = if rel.from == container { "in".to_owned() } else { format!("n{}", rel.from.raw()) };
-        let to_label = if rel.to == container { "out".to_owned() } else { format!("n{}", rel.to.raw()) };
+        let from_label =
+            if rel.from == container { "in".to_owned() } else { format!("n{}", rel.from.raw()) };
+        let to_label =
+            if rel.to == container { "out".to_owned() } else { format!("n{}", rel.to.raw()) };
         if rel.from == container {
             let _ = writeln!(out, "  in [shape=point];");
         }

@@ -151,10 +151,8 @@ mod tests {
         let mut pkg = RequirementPackage::new("reqs");
         let idx = Idx::from_raw(0);
         assert!(!pkg.exports(idx));
-        pkg.interfaces.push(RequirementPackageInterface {
-            name: "public".into(),
-            exported: vec![idx],
-        });
+        pkg.interfaces
+            .push(RequirementPackageInterface { name: "public".into(), exported: vec![idx] });
         assert!(pkg.exports(idx));
     }
 }

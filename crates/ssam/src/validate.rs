@@ -123,7 +123,8 @@ fn check_distributions(model: &SsamModel, issues: &mut Vec<ValidationIssue>) {
         if c.failure_modes.is_empty() {
             continue;
         }
-        let total: f64 = c.failure_modes.iter().map(|&fm| model.failure_modes[fm].distribution).sum();
+        let total: f64 =
+            c.failure_modes.iter().map(|&fm| model.failure_modes[fm].distribution).sum();
         if (total - 1.0).abs() > 1e-6 {
             issues.push(ValidationIssue {
                 severity: IssueSeverity::Warning,

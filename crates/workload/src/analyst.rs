@@ -110,10 +110,7 @@ pub fn manual_fmea(profile: &AnalystProfile, reference: &FmeaTable) -> FmeaTable
     let sr_components = reference.safety_related_components();
     let mut table = reference.clone();
     let sr_rows_per_component = |t: &FmeaTable, component: &str| {
-        t.rows
-            .iter()
-            .filter(|r| r.component == component && r.safety_related)
-            .count()
+        t.rows.iter().filter(|r| r.component == component && r.safety_related).count()
     };
     // Rows whose verdict an analyst could plausibly misjudge without
     // changing the safety-related component set.
@@ -171,7 +168,7 @@ pub fn manual_design_run(
         .unwrap_or_else(|| search::greedy_best_effort(&table, &subject.catalog));
     // Manual work is iterative and error-prone: the paper observed 2–6
     // iterations depending on system complexity.
-    let iterations = rng.gen_range(3..=4) + (elements as usize / 200);
+    let iterations = rng.gen_range(3..=4usize) + (elements as usize / 200);
     let minutes_per_iteration = elements * profile.minutes_per_element
         + failure_modes * profile.minutes_per_failure_mode
         + profile.minutes_per_sm_pass

@@ -120,7 +120,11 @@ mod tests {
         // 21 components + 21 relationships + 20 failure modes.
         assert_eq!(model.element_count(), 62);
         let table = graph::run(&model, top, &GraphConfig::default()).unwrap();
-        assert_eq!(table.safety_related_components().len(), 20, "every chain link is a single point");
+        assert_eq!(
+            table.safety_related_components().len(),
+            20,
+            "every chain link is a single point"
+        );
     }
 
     #[test]

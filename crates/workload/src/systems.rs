@@ -184,7 +184,8 @@ pub fn system_b() -> EvaluationSubject {
         d.connect(driver, Port(1), gnd, Port(0)).expect(ok);
     }
     // Sonar front-end.
-    let sonar = d.add_block("SONAR", BlockKind::AnnotatedSubsystem { annotation: "Sonar".to_owned() });
+    let sonar =
+        d.add_block("SONAR", BlockKind::AnnotatedSubsystem { annotation: "Sonar".to_owned() });
     d.connect(main_mc, Port(0), sonar, Port(0)).expect(ok);
     d.connect(sonar, Port(1), gnd, Port(0)).expect(ok);
     // Software stack.
@@ -238,7 +239,8 @@ mod tests {
     #[test]
     fn system_a_is_analysable_end_to_end() {
         let a = system_a();
-        let table = injection::run(&a.diagram, &a.reliability, &InjectionConfig::default()).unwrap();
+        let table =
+            injection::run(&a.diagram, &a.reliability, &InjectionConfig::default()).unwrap();
         assert!(!table.rows.is_empty());
         assert!(
             !table.safety_related_components().is_empty(),
@@ -250,11 +252,14 @@ mod tests {
     #[test]
     fn system_b_is_analysable_and_mixes_hw_sw() {
         let b = system_b();
-        let sw = b.diagram.blocks().filter(|(_, blk)| matches!(blk.kind, BlockKind::Software)).count();
+        let sw =
+            b.diagram.blocks().filter(|(_, blk)| matches!(blk.kind, BlockKind::Software)).count();
         assert_eq!(sw, 6);
-        let table = injection::run(&b.diagram, &b.reliability, &InjectionConfig::default()).unwrap();
+        let table =
+            injection::run(&b.diagram, &b.reliability, &InjectionConfig::default()).unwrap();
         // Software rows exist but carry not-simulatable warnings.
-        let sw_rows: Vec<_> = table.rows.iter().filter(|r| r.type_key.as_deref() == Some("Software")).collect();
+        let sw_rows: Vec<_> =
+            table.rows.iter().filter(|r| r.type_key.as_deref() == Some("Software")).collect();
         assert_eq!(sw_rows.len(), 12);
         assert!(sw_rows.iter().all(|r| r.warning.is_some()));
     }

@@ -6,9 +6,9 @@
 //! Run with: `cargo run --example assurance_case`
 
 use decisive::assurance::{evaluate, AssuranceCase, EvidenceQuery};
+use decisive::core::case_study;
 use decisive::core::fmea::graph::{self, GraphConfig};
 use decisive::core::mechanism::{search, MechanismCatalog};
-use decisive::core::case_study;
 use decisive::federation::DriverRegistry;
 
 /// The SPFM-from-FMEDA query the paper stores in the assurance case model:
@@ -30,11 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     case.support(s1, g2);
     case.support(g2, sn1);
     case.set_root(g1);
-    case.attach_query(sn1, EvidenceQuery {
-        model_kind: "memory".into(),
-        location: "artefacts/fmeda".into(),
-        expression: SPFM_MEETS_ASIL_B.into(),
-    });
+    case.attach_query(
+        sn1,
+        EvidenceQuery {
+            model_kind: "memory".into(),
+            location: "artefacts/fmeda".into(),
+            expression: SPFM_MEETS_ASIL_B.into(),
+        },
+    );
     println!("{}", case.render());
 
     // Produce the FMEDA artefact from the unrefined design and publish it.
@@ -43,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = graph::run(&model, top, &GraphConfig::default())?;
     registry.memory().register("artefacts/fmeda", table.to_value());
     let evaluation = evaluate(&case, &registry);
-    println!("before refinement (SPFM {:.2}%): case {:?}", table.spfm() * 100.0, evaluation.overall());
+    println!(
+        "before refinement (SPFM {:.2}%): case {:?}",
+        table.spfm() * 100.0,
+        evaluation.overall()
+    );
     for (node, status) in evaluation.open_items() {
         println!("  open: {} — {:?}", case.node(node).id, status);
     }

@@ -31,17 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mc1 = revision.component_by_name("MC1").expect("MC1 exists");
     revision.components[mc1].fit = Some(Fit::new(450.0));
     let dc1 = revision.component_by_name("DC1").expect("DC1 exists");
-    let bleed = revision.add_child_component(
-        top,
-        {
-            let mut c = decisive::ssam::architecture::Component::new(
-                "R_BLEED",
-                decisive::ssam::architecture::ComponentKind::Hardware,
-            );
-            c.type_key = Some("Resistor".to_owned());
-            c
-        },
-    );
+    let bleed = revision.add_child_component(top, {
+        let mut c = decisive::ssam::architecture::Component::new(
+            "R_BLEED",
+            decisive::ssam::architecture::ComponentKind::Hardware,
+        );
+        c.type_key = Some("Resistor".to_owned());
+        c
+    });
     revision.connect(dc1, bleed);
 
     let report = impact::diff_models(&baseline, &revision);

@@ -73,9 +73,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {{{}}}", cut_set.join(", "));
     }
     let quantification = synthesised.tree.quantify(10_000.0);
-    println!(
-        "top event probability over 10,000 h: {:.3e}",
-        quantification.top_probability
-    );
+    println!("top event probability over 10,000 h: {:.3e}", quantification.top_probability);
     Ok(())
 }

@@ -26,11 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lowered = to_circuit(&diagram)?;
     let cs1 = lowered.element(blocks.cs1).expect("CS1 is electrical");
     let nominal = lowered.circuit.sensor_reading(&lowered.circuit.dc()?, cs1)?;
-    println!("\nhealthy reading {:.1} mA: {:?}", nominal * 1000.0, monitor.observe("CS1", "reading", nominal));
+    println!(
+        "\nhealthy reading {:.1} mA: {:?}",
+        nominal * 1000.0,
+        monitor.observe("CS1", "reading", nominal)
+    );
 
     // Fault at runtime: D1 goes open; the supply collapses over a short
     // transient and the monitor trips.
-    let faulted = lowered.circuit.with_fault(lowered.element(blocks.d1).expect("D1"), Fault::Open)?;
+    let faulted =
+        lowered.circuit.with_fault(lowered.element(blocks.d1).expect("D1"), Fault::Open)?;
     let transient = faulted.transient(2e-3, 1e-4)?;
     let samples = transient.sample(&faulted, cs1)?;
     let mut first_violation = None;

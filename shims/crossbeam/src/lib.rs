@@ -1,0 +1,168 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! `crossbeam::scope` maps onto `std::thread::scope` (available since Rust
+//! 1.63), keeping crossbeam's `Result`-returning signature: a panic escaping
+//! the scope closure or a spawned thread surfaces as `Err(payload)` instead
+//! of unwinding into the caller. Spawn closures take no scope argument —
+//! call `scope.spawn(move || …)` rather than crossbeam's `|_|` form.
+//!
+//! `crossbeam::channel` provides multi-producer multi-consumer channels on
+//! top of `std::sync::mpsc`, with cloneable receivers.
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Creates a scope in which borrowed-data threads can be spawned.
+    ///
+    /// All spawned threads are joined before this returns. Panics from the
+    /// closure or any spawned thread are captured and returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(f)))
+    }
+}
+
+pub use thread::scope;
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                Tx::Unbounded(tx) => tx.send(value),
+                Tx::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel; cloneable, unlike `mpsc`.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.lock().expect("channel receiver lock").recv()
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.lock().expect("channel receiver lock").try_recv()
+        }
+
+        /// Drains messages until all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: Tx::Unbounded(tx) }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: Tx::Bounded(tx) }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move || chunk.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<i32>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scope_captures_panics() {
+        let result = super::scope(|s| {
+            s.spawn(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn channels_fan_out() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let done: Vec<usize> = super::scope(|s| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || rx.iter().sum::<usize>())
+                })
+                .collect();
+            for i in 0..30 {
+                tx.send(i).expect("send");
+            }
+            drop(tx);
+            workers.into_iter().map(|h| h.join().expect("join")).collect()
+        })
+        .expect("scope");
+        assert_eq!(done.iter().sum::<usize>(), (0..30).sum::<usize>());
+    }
+}

@@ -1,0 +1,151 @@
+//! String strategies from character-class patterns.
+//!
+//! Supports the pattern shape the workspace uses: `[class]{min,max}` (or
+//! `{n}`), where `class` is a list of chars and `a-z` ranges, optionally
+//! followed by `&&[^…]` subtractions, e.g. `"[ -~&&[^,\"\r\n]]{0,12}"`.
+//! Characters arrive already unescaped (Rust string-literal escapes are
+//! resolved by the compiler), so no escape handling is needed here.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let compiled = CharClassPattern::parse(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        compiled.generate(rng)
+    }
+}
+
+struct CharClassPattern {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl CharClassPattern {
+    fn parse(pattern: &str) -> Option<Self> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        if chars.get(i) != Some(&'[') {
+            return None;
+        }
+        i += 1;
+        let mut include = Vec::new();
+        let mut exclude = Vec::new();
+        parse_class_items(&chars, &mut i, &mut include)?;
+        // Zero or more `&&[^…]` subtractions before the closing bracket.
+        while chars.get(i) == Some(&'&') && chars.get(i + 1) == Some(&'&') {
+            i += 2;
+            if chars.get(i) != Some(&'[') || chars.get(i + 1) != Some(&'^') {
+                return None;
+            }
+            i += 2;
+            parse_class_items(&chars, &mut i, &mut exclude)?;
+            if chars.get(i) != Some(&']') {
+                return None;
+            }
+            i += 1;
+        }
+        if chars.get(i) != Some(&']') {
+            return None;
+        }
+        i += 1;
+
+        let (min_len, max_len) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let min = parse_number(&chars, &mut i)?;
+            let max = if chars.get(i) == Some(&',') {
+                i += 1;
+                parse_number(&chars, &mut i)?
+            } else {
+                min
+            };
+            if chars.get(i) != Some(&'}') {
+                return None;
+            }
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        if i != chars.len() || max_len < min_len {
+            return None;
+        }
+
+        let alphabet: Vec<char> = include.into_iter().filter(|c| !exclude.contains(c)).collect();
+        if alphabet.is_empty() && max_len > 0 {
+            return None;
+        }
+        Some(CharClassPattern { alphabet, min_len, max_len })
+    }
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let span = (self.max_len - self.min_len + 1) as u64;
+        let len = self.min_len + rng.below(span) as usize;
+        (0..len).map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize]).collect()
+    }
+}
+
+/// Reads chars and `a-z` ranges until a terminator (`]` or `&&`).
+fn parse_class_items(chars: &[char], i: &mut usize, out: &mut Vec<char>) -> Option<()> {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == ']' {
+            return Some(());
+        }
+        if c == '&' && chars.get(*i + 1) == Some(&'&') {
+            return Some(());
+        }
+        if chars.get(*i + 1) == Some(&'-') && chars.get(*i + 2).is_some_and(|&e| e != ']') {
+            let end = chars[*i + 2];
+            if end < c {
+                return None;
+            }
+            for code in (c as u32)..=(end as u32) {
+                out.push(char::from_u32(code)?);
+            }
+            *i += 3;
+        } else {
+            out.push(c);
+            *i += 1;
+        }
+    }
+    None
+}
+
+fn parse_number(chars: &[char], i: &mut usize) -> Option<usize> {
+    let start = *i;
+    while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        *i += 1;
+    }
+    if *i == start {
+        return None;
+    }
+    chars[start..*i].iter().collect::<String>().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_generate_within_class() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = Strategy::generate(&"[ -~]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = Strategy::generate(&"[ -~&&[^,\"\r\n]]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && !",\"\r\n".contains(c)));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! exact subset of serde's data model the workspace relies on: the
+//! `Serialize`/`Deserialize` traits, the serializer/deserializer trait
+//! families (as implemented by `decisive-federation`'s value bridge), the
+//! `forward_to_deserialize_any!` helper and the derive macros (re-exported
+//! from the sibling `serde_derive` proc-macro crate).
+//!
+//! It is intentionally not a full serde: borrowed deserialization, i128
+//! visitors, human-readability hints and the `serde(rename…)` attribute
+//! family are out of scope. What is here matches upstream signatures, so
+//! swapping the real crates back in requires only a Cargo.toml change.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A `Deserialize` bound free of the `'de` lifetime, for owned data.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Forwards the named `Deserializer` methods to `deserialize_any`.
+///
+/// Mirrors upstream serde's helper: invoke inside an
+/// `impl<'de> Deserializer<'de> for …` block with the list of methods to
+/// forward.
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    () => {};
+    (bool $($rest:tt)*) => {
+        fn deserialize_bool<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (i8 $($rest:tt)*) => {
+        fn deserialize_i8<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (i16 $($rest:tt)*) => {
+        fn deserialize_i16<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (i32 $($rest:tt)*) => {
+        fn deserialize_i32<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (i64 $($rest:tt)*) => {
+        fn deserialize_i64<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (i128 $($rest:tt)*) => {
+        fn deserialize_i128<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (u8 $($rest:tt)*) => {
+        fn deserialize_u8<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (u16 $($rest:tt)*) => {
+        fn deserialize_u16<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (u32 $($rest:tt)*) => {
+        fn deserialize_u32<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (u64 $($rest:tt)*) => {
+        fn deserialize_u64<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (u128 $($rest:tt)*) => {
+        fn deserialize_u128<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (f32 $($rest:tt)*) => {
+        fn deserialize_f32<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (f64 $($rest:tt)*) => {
+        fn deserialize_f64<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (char $($rest:tt)*) => {
+        fn deserialize_char<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (str $($rest:tt)*) => {
+        fn deserialize_str<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (string $($rest:tt)*) => {
+        fn deserialize_string<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (bytes $($rest:tt)*) => {
+        fn deserialize_bytes<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (byte_buf $($rest:tt)*) => {
+        fn deserialize_byte_buf<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (option $($rest:tt)*) => {
+        fn deserialize_option<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (unit $($rest:tt)*) => {
+        fn deserialize_unit<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (unit_struct $($rest:tt)*) => {
+        fn deserialize_unit_struct<V: $crate::de::Visitor<'de>>(self, _name: &'static str, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (newtype_struct $($rest:tt)*) => {
+        fn deserialize_newtype_struct<V: $crate::de::Visitor<'de>>(self, _name: &'static str, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (seq $($rest:tt)*) => {
+        fn deserialize_seq<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (tuple $($rest:tt)*) => {
+        fn deserialize_tuple<V: $crate::de::Visitor<'de>>(self, _len: usize, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (tuple_struct $($rest:tt)*) => {
+        fn deserialize_tuple_struct<V: $crate::de::Visitor<'de>>(self, _name: &'static str, _len: usize, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (map $($rest:tt)*) => {
+        fn deserialize_map<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (struct $($rest:tt)*) => {
+        fn deserialize_struct<V: $crate::de::Visitor<'de>>(self, _name: &'static str, _fields: &'static [&'static str], visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (enum $($rest:tt)*) => {
+        fn deserialize_enum<V: $crate::de::Visitor<'de>>(self, _name: &'static str, _variants: &'static [&'static str], visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (identifier $($rest:tt)*) => {
+        fn deserialize_identifier<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+    (ignored_any $($rest:tt)*) => {
+        fn deserialize_ignored_any<V: $crate::de::Visitor<'de>>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error> { self.deserialize_any(visitor) }
+        $crate::forward_to_deserialize_any!{$($rest)*}
+    };
+}

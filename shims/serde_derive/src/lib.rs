@@ -1,0 +1,743 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no registry access, so this proc-macro crate is
+//! written against the built-in `proc_macro` API alone: the input item is
+//! parsed by a small hand-written token walker and the generated impls are
+//! assembled as source text and re-parsed.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! - structs with named fields, tuple structs (incl. newtypes), unit structs
+//! - enums with unit / newtype / tuple / struct variants
+//! - plain type parameters (`Arena<T>`), bounded with `Serialize` /
+//!   `Deserialize<'de>` as appropriate
+//! - the `#[serde(transparent)]` container attribute
+//!
+//! Field-level serde attributes, renames, lifetimes and const generics are
+//! out of scope and will fail to parse loudly rather than silently misbehave.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_serialize(&item).parse().expect("serde shim derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_deserialize(&item).parse().expect("serde shim derive emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type parameter identifiers, in declaration order.
+    generics: Vec<String>,
+    transparent: bool,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, word: &str) -> bool {
+    matches!(tok, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Skips `#[...]` attributes starting at `i`; notes `#[serde(transparent)]`.
+fn skip_attributes(toks: &[TokenTree], mut i: usize, transparent: &mut bool) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(attr) = &toks[i + 1] {
+            if attr.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                if inner.first().is_some_and(|t| is_ident(t, "serde")) {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for tok in args.stream() {
+                            if is_ident(&tok, "transparent") {
+                                *transparent = true;
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = skip_attributes(&toks, 0, &mut transparent);
+    i = skip_visibility(&toks, i);
+
+    let is_enum = match &toks[i] {
+        TokenTree::Ident(kw) if kw.to_string() == "struct" => false,
+        TokenTree::Ident(kw) if kw.to_string() == "enum" => true,
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    panic!("serde shim derive: lifetime parameters are not supported")
+                }
+                TokenTree::Ident(ident) if expect_param => {
+                    generics.push(ident.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let data = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(body) if body.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(body.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, found {other}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(body.stream()))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(body.stream()))
+            }
+            Some(tok) if is_punct(tok, ';') => Data::UnitStruct,
+            None => Data::UnitStruct,
+            Some(other) => panic!("serde shim derive: expected struct body, found {other}"),
+        }
+    };
+
+    Item { name, generics, transparent, data }
+}
+
+/// Parses `name: Type, ...` pairs, returning field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    let mut ignored = false;
+    while i < toks.len() {
+        i = skip_attributes(&toks, i, &mut ignored);
+        i = skip_visibility(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(ident) => names.push(ident.to_string()),
+            other => panic!("serde shim derive: expected field name, found {other}"),
+        }
+        i += 1;
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "serde shim derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts top-level fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut pending = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    count += 1;
+                }
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    let mut ignored = false;
+    while i < toks.len() {
+        i = skip_attributes(&toks, i, &mut ignored);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("serde shim derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(body.stream()))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(body.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        if toks.get(i).is_some_and(|t| is_punct(t, '=')) {
+            while i < toks.len() && !is_punct(&toks[i], ',') {
+                i += 1;
+            }
+        }
+        if toks.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `<T0, T1>` or the empty string.
+    fn ty_generics(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+
+    /// Impl-block generics with the given per-parameter bound.
+    fn impl_generics(&self, lifetime: Option<&str>, bound: &str) -> String {
+        let mut params: Vec<String> = Vec::new();
+        if let Some(lt) = lifetime {
+            params.push(lt.to_string());
+        }
+        for g in &self.generics {
+            params.push(format!("{g}: {bound}"));
+        }
+        if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(", "))
+        }
+    }
+
+    /// Declaration + constructor expression for a (possibly generic) visitor.
+    fn visitor_parts(&self, vis_name: &str) -> (String, String, String) {
+        if self.generics.is_empty() {
+            (format!("struct {vis_name};"), vis_name.to_string(), String::new())
+        } else {
+            let tg = self.ty_generics();
+            (
+                format!(
+                    "struct {vis_name}{tg}(::core::marker::PhantomData<({0},)>);",
+                    self.generics.join(", ")
+                ),
+                format!("{vis_name}(::core::marker::PhantomData)"),
+                tg,
+            )
+        }
+    }
+}
+
+/// The body of a `visit_map` that fills `fields` and builds `ctor { ... }`.
+fn visit_map_body(ctor: &str, fields: &[String]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "let mut __field_{f}: ::core::option::Option<_> = ::core::option::Option::None;"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "while let ::core::option::Option::Some(__key) = \
+         ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {{\n\
+         match __key.as_str() {{"
+    );
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "\"{f}\" => {{\n\
+             if __field_{f}.is_some() {{\n\
+             return ::core::result::Result::Err(\
+             <__A::Error as ::serde::de::Error>::duplicate_field(\"{f}\"));\n\
+             }}\n\
+             __field_{f} = ::core::option::Option::Some(\
+             ::serde::de::MapAccess::next_value(&mut __map)?);\n\
+             }}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "_ => {{\n\
+         let _ = ::serde::de::MapAccess::next_value::<::serde::de::IgnoredAny>(&mut __map)?;\n\
+         }}\n}}\n}}"
+    );
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "let __value_{f} = match __field_{f} {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => ::serde::de::Deserialize::deserialize(\
+             ::serde::de::MissingFieldDeserializer::<__A::Error>::new(\"{f}\"))?,\n\
+             }};"
+        );
+    }
+    let inits: Vec<String> = fields.iter().map(|f| format!("{f}: __value_{f}")).collect();
+    let _ = writeln!(out, "::core::result::Result::Ok({ctor} {{ {} }})", inits.join(", "));
+    out
+}
+
+/// The body of a `visit_seq` that reads `len` elements and builds `ctor(...)`.
+fn visit_seq_body(ctor: &str, len: usize, expected: &str) -> String {
+    let mut out = String::new();
+    for idx in 0..len {
+        let _ = writeln!(
+            out,
+            "let __elem_{idx} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             <__A::Error as ::serde::de::Error>::invalid_length({idx}, &\"{expected}\")),\n\
+             }};"
+        );
+    }
+    let elems: Vec<String> = (0..len).map(|idx| format!("__elem_{idx}")).collect();
+    let _ = writeln!(out, "::core::result::Result::Ok({ctor}({}))", elems.join(", "));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn expand_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let ig = item.impl_generics(None, "::serde::ser::Serialize");
+    let tg = item.ty_generics();
+
+    let body = match &item.data {
+        Data::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::ser::Serialize::serialize(&self.{}, __serializer)", fields[0])
+        }
+        Data::TupleStruct(1) if item.transparent => {
+            "::serde::ser::Serialize::serialize(&self.0, __serializer)".to_string()
+        }
+        Data::NamedStruct(fields) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, \"{f}\", &self.{f})?;"
+                );
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+        Data::TupleStruct(0) | Data::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Data::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Data::TupleStruct(len) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {len})?;\n"
+            );
+            for idx in 0..*len {
+                let _ = writeln!(
+                    out,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;"
+                );
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+            out
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{v}\"),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v}(ref __field_0) => \
+                             ::serde::ser::Serializer::serialize_newtype_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{v}\", __field_0),"
+                        );
+                    }
+                    VariantKind::Tuple(len) => {
+                        let binders: Vec<String> =
+                            (0..*len).map(|n| format!("ref __field_{n}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({}) => {{\n\
+                             let mut __state = ::serde::ser::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{v}\", {len})?;\n",
+                            binders.join(", ")
+                        );
+                        for n in 0..*len {
+                            let _ = writeln!(
+                                arm,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __state, __field_{n})?;"
+                            );
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| format!("ref {f}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {} }} => {{\n\
+                             let mut __state = ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{v}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                arm,
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, \"{f}\", {f})?;"
+                            );
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match *self {{\n{arms}\n}}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::ser::Serialize for {name}{tg} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn expand_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let ig = item.impl_generics(Some("'de"), "::serde::de::Deserialize<'de>");
+    let tg = item.ty_generics();
+    let (vis_decl, vis_ctor, vis_tg) = item.visitor_parts("__Visitor");
+    let vis_ig = item.impl_generics(Some("'de"), "::serde::de::Deserialize<'de>");
+
+    let body = match &item.data {
+        Data::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "::serde::de::Deserialize::deserialize(__deserializer)\
+                 .map(|__v| {name} {{ {}: __v }})",
+                fields[0]
+            )
+        }
+        Data::TupleStruct(1) if item.transparent => {
+            format!("::serde::de::Deserialize::deserialize(__deserializer).map({name})")
+        }
+        Data::NamedStruct(fields) => {
+            let field_names: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            let map_body = visit_map_body(name, fields);
+            format!(
+                "{vis_decl}\n\
+                 impl{vis_ig} ::serde::de::Visitor<'de> for __Visitor{vis_tg} {{\n\
+                 type Value = {name}{tg};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"struct {name}\")\n\
+                 }}\n\
+                 fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {map_body}\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", &[{}], {vis_ctor})",
+                field_names.join(", ")
+            )
+        }
+        Data::TupleStruct(0) | Data::UnitStruct => {
+            format!(
+                "{vis_decl}\n\
+                 impl{vis_ig} ::serde::de::Visitor<'de> for __Visitor{vis_tg} {{\n\
+                 type Value = {name}{tg};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) \
+                 -> ::core::result::Result<Self::Value, __E> {{\n\
+                 ::core::result::Result::Ok({unit_ctor})\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_unit_struct(\
+                 __deserializer, \"{name}\", {vis_ctor})",
+                unit_ctor = match item.data {
+                    Data::TupleStruct(0) => format!("{name}()"),
+                    _ => name.clone(),
+                },
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!(
+                "{vis_decl}\n\
+                 impl{vis_ig} ::serde::de::Visitor<'de> for __Visitor{vis_tg} {{\n\
+                 type Value = {name}{tg};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D: ::serde::de::Deserializer<'de>>(self, __d: __D) \
+                 -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                 ::serde::de::Deserialize::deserialize(__d).map({name})\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_newtype_struct(\
+                 __deserializer, \"{name}\", {vis_ctor})"
+            )
+        }
+        Data::TupleStruct(len) => {
+            let seq_body = visit_seq_body(name, *len, &format!("tuple struct {name}"));
+            format!(
+                "{vis_decl}\n\
+                 impl{vis_ig} ::serde::de::Visitor<'de> for __Visitor{vis_tg} {{\n\
+                 type Value = {name}{tg};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"tuple struct {name}\")\n\
+                 }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {seq_body}\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {len}, {vis_ctor})"
+            )
+        }
+        Data::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "\"{v}\" => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__access)?;\n\
+                             ::core::result::Result::Ok({name}::{v})\n\
+                             }}"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "\"{v}\" => \
+                             ::serde::de::VariantAccess::newtype_variant(__access)\
+                             .map({name}::{v}),"
+                        );
+                    }
+                    VariantKind::Tuple(len) => {
+                        let inner = format!("__TupleVisitor_{v}");
+                        let (inner_decl, inner_ctor, inner_tg) = item.visitor_parts(&inner);
+                        let seq_body = visit_seq_body(
+                            &format!("{name}::{v}"),
+                            *len,
+                            &format!("tuple variant {name}::{v}"),
+                        );
+                        let _ = writeln!(
+                            arms,
+                            "\"{v}\" => {{\n\
+                             {inner_decl}\n\
+                             impl{vis_ig} ::serde::de::Visitor<'de> for {inner}{inner_tg} {{\n\
+                             type Value = {name}{tg};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                             -> ::core::fmt::Result {{\n\
+                             __f.write_str(\"tuple variant {name}::{v}\")\n\
+                             }}\n\
+                             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                             {seq_body}\n\
+                             }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::tuple_variant(__access, {len}, {inner_ctor})\n\
+                             }}"
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inner = format!("__StructVisitor_{v}");
+                        let (inner_decl, inner_ctor, inner_tg) = item.visitor_parts(&inner);
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        let map_body = visit_map_body(&format!("{name}::{v}"), fields);
+                        let _ = writeln!(
+                            arms,
+                            "\"{v}\" => {{\n\
+                             {inner_decl}\n\
+                             impl{vis_ig} ::serde::de::Visitor<'de> for {inner}{inner_tg} {{\n\
+                             type Value = {name}{tg};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                             -> ::core::fmt::Result {{\n\
+                             __f.write_str(\"struct variant {name}::{v}\")\n\
+                             }}\n\
+                             fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                             {map_body}\n\
+                             }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __access, &[{}], {inner_ctor})\n\
+                             }}",
+                            field_names.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "const __VARIANTS: &[&str] = &[{variant_list}];\n\
+                 {vis_decl}\n\
+                 impl{vis_ig} ::serde::de::Visitor<'de> for __Visitor{vis_tg} {{\n\
+                 type Value = {name}{tg};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__variant, __access) = \
+                 ::serde::de::EnumAccess::variant::<::std::string::String>(__data)?;\n\
+                 match __variant.as_str() {{\n\
+                 {arms}\n\
+                 _ => ::core::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::unknown_variant(\
+                 __variant.as_str(), __VARIANTS)),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", __VARIANTS, {vis_ctor})",
+                variant_list = variant_names.join(", "),
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::de::Deserialize<'de> for {name}{tg} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -24,8 +24,9 @@ fn ecc_deployment() -> Deployment {
 #[test]
 fn matlab_path_reproduces_spfm_figures() {
     let (diagram, _) = gallery::sensor_power_supply();
-    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
-        .expect("injection FMEA runs");
+    let table =
+        injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+            .expect("injection FMEA runs");
     // "the calculated SPFM is 5.38%"
     assert!((table.spfm() - 0.0538).abs() < 5e-4, "spfm = {}", table.spfm());
     assert_eq!(metrics::achieved_asil(table.spfm()), IntegrityLevel::AsilA);
@@ -42,9 +43,10 @@ fn matlab_path_reproduces_spfm_figures() {
 #[test]
 fn generated_fmeda_matches_table_iv() {
     let (diagram, _) = gallery::sensor_power_supply();
-    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
-        .expect("injection FMEA runs")
-        .with_deployment(&ecc_deployment());
+    let table =
+        injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+            .expect("injection FMEA runs")
+            .with_deployment(&ecc_deployment());
     let row = |component: &str, mode: &str| {
         table
             .rows
@@ -102,8 +104,9 @@ fn automated_search_finds_ecc() {
 #[test]
 fn both_paths_have_zero_disagreement() {
     let (diagram, _) = gallery::sensor_power_supply();
-    let injected = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
-        .expect("injection FMEA runs");
+    let injected =
+        injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+            .expect("injection FMEA runs");
     let (model, top) = case_study::ssam_model();
     let graphed = graph::run(&model, top, &GraphConfig::default()).expect("graph FMEA runs");
     assert_eq!(injected.disagreement(&graphed), 0.0);

@@ -33,9 +33,8 @@ fn external_reference_resolution() {
     let script = reference.extraction.as_ref().expect("script attached");
     // (The fixture is registered in-memory; a real deployment would pick the
     // driver from `reference.kind`.)
-    let result = registry
-        .extract("memory", &reference.location, &script.body)
-        .expect("extraction resolves");
+    let result =
+        registry.extract("memory", &reference.location, &script.body).expect("extraction resolves");
     assert_eq!(result, Value::Int(10));
     assert_eq!(reference.metadata_value("schema"), Some("component-db/v1"));
 }
@@ -44,7 +43,8 @@ fn external_reference_resolution() {
 /// or as JSON.
 #[test]
 fn csv_and_json_views_agree() {
-    let from_csv = csv::parse("Component,FIT\nDiode,10\nInductor,15\nMC,300\n").expect("csv parses");
+    let from_csv =
+        csv::parse("Component,FIT\nDiode,10\nInductor,15\nMC,300\n").expect("csv parses");
     let from_json = json::parse(
         r#"[{"Component":"Diode","FIT":10},{"Component":"Inductor","FIT":15},{"Component":"MC","FIT":300}]"#,
     )
@@ -59,7 +59,8 @@ fn csv_and_json_views_agree() {
 /// CSV → Value → JSON → Value → CSV survives with identical content.
 #[test]
 fn cross_format_roundtrip() {
-    let original = "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,0.3\nDiode,10,Short,0.7\n";
+    let original =
+        "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,0.3\nDiode,10,Short,0.7\n";
     let as_value = csv::parse(original).expect("csv parses");
     let as_json = json::to_string(&as_value);
     let back = json::parse(&as_json).expect("json reparses");
@@ -72,16 +73,13 @@ fn cross_format_roundtrip() {
 #[test]
 fn eager_vs_indexed_store_boundary() {
     let heap = 4u64 << 30; // a 4 GiB "JVM heap"
-    // Set3 (5 689 elements) loads eagerly just fine.
+                           // Set3 (5 689 elements) loads eagerly just fine.
     let set3 = SyntheticSource::new(5_689);
     let eager = EagerStore::load(&set3, heap).expect("Set3 fits");
     assert_eq!(eager.len(), 5_689);
     // Set5 (568 990 000 elements) overflows, as in the paper.
     let set5 = SyntheticSource::new(568_990_000);
-    assert!(matches!(
-        EagerStore::load(&set5, heap),
-        Err(FederationError::MemoryOverflow { .. })
-    ));
+    assert!(matches!(EagerStore::load(&set5, heap), Err(FederationError::MemoryOverflow { .. })));
     // The indexed store accesses the same model within a few megabytes.
     let indexed = IndexedStore::new(Arc::new(set5), 4_096, 8);
     assert!(indexed.resident_bytes() < 32 << 20);
@@ -96,8 +94,7 @@ fn scan_results_agree_across_stores() {
     let source = SyntheticSource::new(10_000);
     let eager = EagerStore::load(&source, 1 << 30).expect("fits");
     let indexed = IndexedStore::new(Arc::new(source.clone()), 512, 4);
-    let pred =
-        |v: &Value| v.get("safety_related") == Some(&Value::Bool(true));
+    let pred = |v: &Value| v.get("safety_related") == Some(&Value::Bool(true));
     let a = scan_count(&eager, pred).expect("eager scan");
     let b = scan_count(&indexed, pred).expect("indexed scan");
     assert_eq!(a, b);

@@ -1,0 +1,132 @@
+//! End-to-end tests of the incremental analysis engine (`decisive-engine`):
+//! cache persistence across engine instances, the incremental ≡ full
+//! guarantee, the <10 % re-run bound on single-component edits at Set3
+//! scale, and parallel/sequential result identity.
+
+use decisive::core::fmea::graph::{self, GraphConfig};
+use decisive::core::fmea::injection::{self, InjectionConfig};
+use decisive::core::reliability::ReliabilityDb;
+use decisive::core::{case_study, metrics};
+use decisive::engine::{Engine, EngineConfig};
+use decisive::ssam::architecture::Fit;
+use decisive::workload::sets::{chain_model, ladder_model};
+
+/// A scratch cache directory, unique per test, removed on drop.
+struct TempCacheDir(std::path::PathBuf);
+
+impl TempCacheDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("decisive_engine_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        TempCacheDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempCacheDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A persisted cache warms a brand-new engine instance, and the warmed
+/// result passes `verify_against_full` — the cache survives "CLI
+/// invocations" (here: engine lifetimes) without going stale or wrong.
+#[test]
+fn cache_persists_across_engine_instances() {
+    let dir = TempCacheDir::new("persist");
+    let (model, top) = case_study::ssam_model();
+
+    let mut first = Engine::new(EngineConfig::with_jobs(2));
+    let cold = first.analyze_graph(&model, top).expect("cold analysis");
+    assert!(first.stats().cache_hits() == 0, "first run starts cold");
+    first.save_cache(dir.path()).expect("save");
+
+    let mut second = Engine::new(EngineConfig::with_jobs(2));
+    second.load_cache(dir.path()).expect("load");
+    let warm = second.verify_against_full(&model, top).expect("verified warm analysis");
+    assert_eq!(warm, cold);
+    let rows = second.stats().phase("graph-rows").expect("rows phase");
+    assert_eq!(rows.cache_misses, 0, "fully served from the persisted cache");
+    assert_eq!(rows.jobs_executed, 0);
+}
+
+/// The headline incremental bound: a single-component FIT edit on the
+/// Set3-scale chain (5689 model elements) re-runs fewer than 10 % of the
+/// per-component jobs, and still produces exactly the full result.
+#[test]
+fn set3_single_edit_reruns_under_ten_percent_of_jobs() {
+    let (old_model, old_top) = chain_model(1896);
+    let (mut new_model, new_top) = chain_model(1896);
+    let edited = new_model.component_by_name("c948").expect("mid-chain component");
+    new_model.components[edited].fit = Some(Fit::new(99.0));
+
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.analyze_graph(&old_model, old_top).expect("baseline analysis");
+    engine.reset_stats();
+
+    let (table, report) = engine.rerun(&old_model, &new_model, new_top).expect("rerun");
+    assert!(report.requires_reanalysis());
+    let rows = engine.stats().phase("graph-rows").expect("rows phase");
+    assert!(
+        rows.jobs_executed * 10 < rows.jobs_total,
+        "{} of {} row jobs re-ran — not incremental",
+        rows.jobs_executed,
+        rows.jobs_total
+    );
+    assert_eq!(table, graph::run(&new_model, new_top, &GraphConfig::default()).expect("full run"),);
+}
+
+/// The parallel scheduler must not change results: 1-worker and 4-worker
+/// engines and the plain sequential `graph::run` agree row-for-row (order
+/// included) on a branchy redundancy ladder.
+#[test]
+fn parallel_and_sequential_schedules_agree() {
+    let (model, top) = ladder_model(3, 4);
+    let reference = graph::run(&model, top, &GraphConfig::default()).expect("reference");
+    for jobs in [1, 4] {
+        let mut engine = Engine::new(EngineConfig::with_jobs(jobs));
+        let table = engine.analyze_graph(&model, top).expect("engine analysis");
+        assert_eq!(table, reference, "{jobs}-worker schedule diverged");
+    }
+}
+
+/// The injection path: the engine's cached fault-injection FMEA equals
+/// `injection::run`, and a warm re-analysis of the unchanged circuit skips
+/// every simulation.
+#[test]
+fn injection_rows_cache_and_match_direct_run() {
+    let (diagram, _) = decisive::blocks::gallery::sensor_power_supply();
+    let db = ReliabilityDb::paper_table_ii();
+    let config = InjectionConfig::default();
+    let direct = injection::run(&diagram, &db, &config).expect("direct run");
+
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    let cold = engine.analyze_injection(&diagram, &db, &config).expect("cold");
+    assert_eq!(cold, direct);
+    let warm = engine.analyze_injection(&diagram, &db, &config).expect("warm");
+    assert_eq!(warm, direct);
+    let phase = engine.stats().phase("injection-rows").expect("phase");
+    assert_eq!(phase.cache_misses, 0, "warm pass simulates nothing");
+    assert_eq!(phase.jobs_executed, 0);
+
+    // Metrics ride along unchanged.
+    let (md, mw) = (metrics::compute(&direct), metrics::compute(&warm));
+    assert_eq!(md.achieved_asil, mw.achieved_asil);
+    assert!((md.spfm - mw.spfm).abs() < 1e-12);
+}
+
+/// A poisoned persisted cache (corrupt JSON) fails loudly on load rather
+/// than silently analysing with garbage.
+#[test]
+fn corrupt_cache_file_is_reported() {
+    let dir = TempCacheDir::new("corrupt");
+    std::fs::create_dir_all(dir.path()).expect("mkdir");
+    std::fs::write(dir.path().join("cache.json"), "{not json").expect("write");
+    let mut engine = Engine::new(EngineConfig::with_jobs(1));
+    assert!(engine.load_cache(dir.path()).is_err());
+}

@@ -5,7 +5,11 @@ use proptest::prelude::*;
 use decisive::circuit::{Circuit, Fault, NodeId};
 use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
 use decisive::core::fmea::{FmeaRow, FmeaTable};
-use decisive::core::mechanism::{search, DeployedMechanism, Deployment, MechanismCatalog, MechanismSpec};
+use decisive::core::mechanism::{
+    search, DeployedMechanism, Deployment, MechanismCatalog, MechanismSpec,
+};
+use decisive::core::metrics;
+use decisive::engine::{Engine, EngineConfig};
 use decisive::federation::{csv, json, Value};
 use decisive::fta::{build_fault_tree, fmea_from_fault_tree};
 use decisive::ssam::architecture::{Component, ComponentKind, Coverage, FailureNature, Fit};
@@ -29,8 +33,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     arb_scalar().prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
-                .prop_map(|pairs| Value::record(pairs)),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Value::record),
         ]
     })
 }
@@ -120,11 +123,11 @@ proptest! {
 fn arb_table() -> impl Strategy<Value = FmeaTable> {
     proptest::collection::vec(
         (
-            0u8..6,            // component index
-            1.0f64..500.0,     // FIT
-            0.01f64..1.0,      // distribution
-            any::<bool>(),     // safety related
-            0.0f64..1.0,       // coverage
+            0u8..6,        // component index
+            1.0f64..500.0, // FIT
+            0.01f64..1.0,  // distribution
+            any::<bool>(), // safety related
+            0.0f64..1.0,   // coverage
         ),
         1..12,
     )
@@ -224,7 +227,10 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 /// Builds a random layered DAG model from proptest-chosen edges.
-fn dag_model(n: usize, edges: &[(usize, usize)]) -> (SsamModel, decisive::ssam::id::Idx<Component>) {
+fn dag_model(
+    n: usize,
+    edges: &[(usize, usize)],
+) -> (SsamModel, decisive::ssam::id::Idx<Component>) {
     let mut model = SsamModel::new("dag");
     let top = model.add_component(Component::new("top", ComponentKind::System));
     let nodes: Vec<_> = (0..n)
@@ -300,5 +306,122 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine: random edit scripts never diverge from full re-analysis
+// ---------------------------------------------------------------------------
+
+/// One component of the editable chain. The `id` is stable across edits, so
+/// removing a component does not rename the survivors — edits stay local.
+#[derive(Debug, Clone)]
+struct CompSpec {
+    id: usize,
+    fit: f64,
+    mechanism: bool,
+}
+
+/// A random model edit, in the vocabulary of the paper's iterative loop.
+#[derive(Debug, Clone)]
+enum EditOp {
+    AddComponent { fit: f64 },
+    RemoveComponent { at: usize },
+    FitDrift { at: usize, fit: f64 },
+    DeployMechanism { at: usize },
+}
+
+fn arb_edit_op() -> impl Strategy<Value = EditOp> {
+    prop_oneof![
+        (1.0f64..200.0).prop_map(|fit| EditOp::AddComponent { fit }),
+        (0usize..64).prop_map(|at| EditOp::RemoveComponent { at }),
+        (0usize..64, 1.0f64..200.0).prop_map(|(at, fit)| EditOp::FitDrift { at, fit }),
+        (0usize..64).prop_map(|at| EditOp::DeployMechanism { at }),
+    ]
+}
+
+fn apply_edit(specs: &mut Vec<CompSpec>, next_id: &mut usize, op: &EditOp) {
+    match op {
+        EditOp::AddComponent { fit } => {
+            specs.push(CompSpec { id: *next_id, fit: *fit, mechanism: false });
+            *next_id += 1;
+        }
+        EditOp::RemoveComponent { at } => {
+            // Keep a non-degenerate chain so the analysis stays meaningful.
+            if specs.len() > 2 {
+                let i = at % specs.len();
+                specs.remove(i);
+            }
+        }
+        EditOp::FitDrift { at, fit } => {
+            let i = at % specs.len();
+            specs[i].fit = *fit;
+        }
+        EditOp::DeployMechanism { at } => {
+            let i = at % specs.len();
+            specs[i].mechanism = true;
+        }
+    }
+}
+
+/// Builds the chain model described by `specs` (same shape as
+/// `workload::sets::chain_model`, plus optional deployed mechanisms).
+fn materialize_chain(specs: &[CompSpec]) -> (SsamModel, decisive::ssam::id::Idx<Component>) {
+    let mut model = SsamModel::new("edit-chain");
+    let top = model.add_component(Component::new("top", ComponentKind::System));
+    let mut prev = None;
+    for spec in specs {
+        let mut c = Component::new(format!("c{}", spec.id), ComponentKind::Hardware);
+        c.fit = Some(Fit::new(spec.fit));
+        let c = model.add_child_component(top, c);
+        let fm = model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+        if spec.mechanism {
+            model.deploy_safety_mechanism(c, "SM", fm, Coverage::new(0.9), 1.0);
+        }
+        match prev {
+            None => model.connect(top, c),
+            Some(p) => model.connect(p, c),
+        };
+        prev = Some(c);
+    }
+    if let Some(last) = prev {
+        model.connect(last, top);
+    }
+    (model, top)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Applying an arbitrary edit script and re-analysing through the
+    /// incremental engine's warm cache produces exactly the from-scratch
+    /// result — rows, SPFM and achieved ASIL.
+    #[test]
+    fn incremental_rerun_matches_full_recomputation(
+        base_n in 3usize..8,
+        ops in proptest::collection::vec(arb_edit_op(), 1..10),
+    ) {
+        let mut specs: Vec<CompSpec> =
+            (0..base_n).map(|id| CompSpec { id, fit: 10.0, mechanism: false }).collect();
+        let mut next_id = base_n;
+        let (old_model, old_top) = materialize_chain(&specs);
+        for op in &ops {
+            apply_edit(&mut specs, &mut next_id, op);
+        }
+        let (new_model, new_top) = materialize_chain(&specs);
+
+        let mut engine = Engine::new(EngineConfig::with_jobs(2));
+        engine.analyze_graph(&old_model, old_top).expect("baseline analysis");
+        let (incremental, _report) =
+            engine.rerun(&old_model, &new_model, new_top).expect("incremental rerun");
+        let full = graph::run(&new_model, new_top, &GraphConfig::default()).expect("full run");
+        prop_assert_eq!(&incremental, &full);
+
+        let (mi, mf) = (metrics::compute(&incremental), metrics::compute(&full));
+        prop_assert_eq!(mi.achieved_asil, mf.achieved_asil);
+        prop_assert!((incremental.spfm() - full.spfm()).abs() < 1e-12);
+
+        // And the built-in escape hatch agrees on the warm cache.
+        let verified = engine.verify_against_full(&new_model, new_top).expect("verification");
+        prop_assert_eq!(verified, full);
     }
 }

@@ -13,8 +13,9 @@ use decisive::ssam::architecture::Fit;
 #[test]
 fn injection_fmea_sees_through_the_redundancy() {
     let (diagram, _) = gallery::redundant_power_supply();
-    let table = injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
-        .expect("fmea runs");
+    let table =
+        injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+            .expect("fmea runs");
     // Only the (non-redundant) MCU remains a single point of failure.
     let sr: Vec<_> = table.safety_related_components().into_iter().collect();
     assert_eq!(sr, vec!["MC1"]);
@@ -39,10 +40,12 @@ fn redundancy_lowers_the_absolute_single_point_rate() {
     let (single, _) = gallery::sensor_power_supply();
     let (redundant, _) = gallery::redundant_power_supply();
     let config = InjectionConfig::default();
-    let single_pmhf =
-        decisive::core::metrics::pmhf(&injection::run(&single, &reliability, &config).expect("fmea"));
-    let redundant_pmhf =
-        decisive::core::metrics::pmhf(&injection::run(&redundant, &reliability, &config).expect("fmea"));
+    let single_pmhf = decisive::core::metrics::pmhf(
+        &injection::run(&single, &reliability, &config).expect("fmea"),
+    );
+    let redundant_pmhf = decisive::core::metrics::pmhf(
+        &injection::run(&redundant, &reliability, &config).expect("fmea"),
+    );
     assert!(
         redundant_pmhf < single_pmhf,
         "redundancy must lower the residual rate: {redundant_pmhf} vs {single_pmhf}"
@@ -100,7 +103,8 @@ fn voting_arrangements_order_by_risk() {
     let mission = 20_000.0;
     let p_topology = |k: u8| {
         let mut ft = FaultTree::new("voting");
-        let channels: Vec<_> = (0..3).map(|i| ft.basic(format!("c{i}"), Fit::new(2_000.0))).collect();
+        let channels: Vec<_> =
+            (0..3).map(|i| ft.basic(format!("c{i}"), Fit::new(2_000.0))).collect();
         let top = ft.event("lost", Gate::Voting { k }, channels);
         ft.set_top(top);
         ft.quantify(mission).top_probability

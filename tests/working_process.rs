@@ -71,9 +71,7 @@ fn reliability_import_through_federation() {
         .expect("fixture parses"),
     );
     // The extraction script an ExternalReference would carry (Fig. 8).
-    let rows = registry
-        .load("memory", "reliability.xlsx")
-        .expect("external model resolves");
+    let rows = registry.load("memory", "reliability.xlsx").expect("external model resolves");
     let db = ReliabilityDb::from_value(&rows).expect("reliability rows validate");
     assert_eq!(db.get("Diode").unwrap().fit.value(), 10.0);
     assert_eq!(db.get("MC").unwrap().modes[0].name, "RAM Failure");
@@ -98,11 +96,9 @@ fn fmea_export_round_trips_through_csv() {
     let exported = table.to_csv_string();
     let reparsed = csv::parse(&exported).expect("exported CSV parses");
     assert_eq!(reparsed.len(), Some(table.rows.len()));
-    let sr_count = decisive::federation::eql::eval_str(
-        "rows.count(r | r.Safety_Related = 'Yes')",
-        &reparsed,
-    )
-    .expect("query runs");
+    let sr_count =
+        decisive::federation::eql::eval_str("rows.count(r | r.Safety_Related = 'Yes')", &reparsed)
+            .expect("query runs");
     assert_eq!(sr_count.as_i64(), Some(3));
 }
 
