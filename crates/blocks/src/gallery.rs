@@ -141,6 +141,60 @@ pub fn redundant_power_supply() -> (BlockDiagram, RedundantSupplyBlocks) {
     (d, RedundantSupplyBlocks { dc_a, dc_b, d_a, d_b, cs1, mc1 })
 }
 
+/// Handles to the named blocks of the [`brownout_threshold_supply`]
+/// diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutSupplyBlocks {
+    /// 5 V DC source.
+    pub dc1: BlockId,
+    /// Series resistor (0.5 Ω nominal).
+    pub r1: BlockId,
+    /// Load current sensor.
+    pub cs1: BlockId,
+    /// High-current load biased near its brown-out knee.
+    pub mc1: BlockId,
+}
+
+/// A supply whose load sits close to its brown-out threshold: a 5 V source
+/// feeds a 3 A load (brown-out knee at 2.75 V) through a 0.5 Ω series
+/// resistor. Nominally the load node rests at 3.5 V — comfortably above
+/// the knee — but a *drifted* series resistor (2× its nominal value) moves
+/// the operating point onto the knee itself, where the undamped
+/// step-limited Newton iteration locks into a limit cycle and only the
+/// recovery ladder finds the genuine operating point (~2.8 V, ~2.2 A).
+///
+/// This is the checked-in pathological circuit for the
+/// convergence-recovery regression suite; `data/brownout_threshold.bd`
+/// holds its text form.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_blocks::{gallery, to_circuit};
+///
+/// let (d, blocks) = gallery::brownout_threshold_supply();
+/// let lowered = to_circuit(&d).unwrap();
+/// let cs = lowered.element(blocks.cs1).expect("CS1");
+/// let nominal = lowered.circuit.sensor_reading(&lowered.circuit.dc().unwrap(), cs).unwrap();
+/// assert!((nominal - 3.0).abs() < 1e-3);
+/// ```
+pub fn brownout_threshold_supply() -> (BlockDiagram, BrownoutSupplyBlocks) {
+    let ok = "gallery wiring is static";
+    let mut d = BlockDiagram::new("brownout-threshold-supply");
+    let dc1 = d.add_block("DC1", BlockKind::DcVoltageSource { volts: 5.0 });
+    let r1 = d.add_block("R1", BlockKind::Resistor { ohms: 0.5 });
+    let cs1 = d.add_block("CS1", BlockKind::CurrentSensor);
+    let mc1 =
+        d.add_block("MC1", BlockKind::Mcu { on_amps: 3.0, brownout_volts: 2.75, fault_amps: 0.1 });
+    let gnd1 = d.add_block("GND1", BlockKind::Ground);
+    d.connect(dc1, Port(0), r1, Port(0)).expect(ok);
+    d.connect(r1, Port(1), cs1, Port(0)).expect(ok);
+    d.connect(cs1, Port(1), mc1, Port(0)).expect(ok);
+    d.connect(mc1, Port(1), gnd1, Port(0)).expect(ok);
+    d.connect(dc1, Port(1), gnd1, Port(0)).expect(ok);
+    (d, BrownoutSupplyBlocks { dc1, r1, cs1, mc1 })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,7 @@ mod error;
 mod fault;
 mod mna;
 mod netlist;
+mod recovery;
 mod solve;
 mod transient;
 
@@ -57,4 +58,5 @@ pub use error::{CircuitError, Result};
 pub use fault::{Fault, OPEN_OHMS, SHORT_OHMS};
 pub use mna::DcSolution;
 pub use netlist::Circuit;
+pub use recovery::{SolveDiagnostics, SolveStrategy, SolverOptions};
 pub use transient::TransientSolution;

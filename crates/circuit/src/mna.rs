@@ -25,8 +25,47 @@ pub(crate) const G_OPEN: f64 = 1e-12;
 /// Smoothing width of the behavioural load's brown-out transition, in volts.
 const LOAD_SMOOTH: f64 = 0.05;
 
-const MAX_NEWTON: usize = 400;
-const V_TOL: f64 = 1e-9;
+pub(crate) const MAX_NEWTON: usize = 400;
+pub(crate) const V_TOL: f64 = 1e-9;
+
+/// Tunable knobs of a single Newton run.
+///
+/// The recovery ladder in [`crate::recovery`] differs from the plain solver
+/// only through these settings: a relaxed `gmin`, a scaled-down source
+/// vector, or a damped junction update. With [`NewtonSettings::plain`] the
+/// iteration is bitwise identical to the historical solver.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonSettings {
+    /// Iteration budget for this run.
+    pub(crate) max_iterations: usize,
+    /// Conductance stamped from every node to ground.
+    pub(crate) gmin: f64,
+    /// Scale factor applied to every independent source (source stepping).
+    pub(crate) source_scale: f64,
+    /// Junction-update relaxation in `(0, 1]`; `1.0` applies the full
+    /// limited step.
+    pub(crate) damping: f64,
+}
+
+impl NewtonSettings {
+    /// The historical solver configuration: nominal gmin, full sources,
+    /// undamped updates.
+    pub(crate) fn plain(max_iterations: usize) -> NewtonSettings {
+        NewtonSettings { max_iterations, gmin: GMIN, source_scale: 1.0, damping: 1.0 }
+    }
+}
+
+/// Result of one Newton run under a given [`NewtonSettings`].
+pub(crate) enum NewtonOutcome {
+    /// Converged to the unknown vector `x`.
+    Converged { x: Vec<f64>, iterations: usize, residual: f64 },
+    /// Spent the whole iteration budget without converging; `junctions`
+    /// retains the final linearization state for warm-started retries.
+    Exhausted { iterations: usize, residual: f64 },
+    /// The linear solve failed hard (e.g. a singular matrix). Retrying with
+    /// different settings cannot help — this is a structural modelling bug.
+    Failed(CircuitError),
+}
 
 /// Which analysis the layout is built for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,30 +227,33 @@ impl Stamper {
 
 /// Junction linearization points for the nonlinear elements, indexed by
 /// element id.
-type Junctions = HashMap<ElementId, f64>;
+pub(crate) type Junctions = HashMap<ElementId, f64>;
 
 fn assemble(
     circuit: &Circuit,
     layout: &Layout,
     junctions: &Junctions,
     companions: Option<&Companions<'_>>,
+    settings: &NewtonSettings,
 ) -> (Dense, Vec<f64>) {
     let mut st = Stamper::new(layout.dim);
     // gmin on every non-ground node.
     for n in 0..layout.n_nodes {
-        st.a.add(n, n, GMIN);
+        st.a.add(n, n, settings.gmin);
     }
     for (id, e) in circuit.elements() {
         match &e.kind {
             ElementKind::VoltageSource { volts } => {
                 let br = layout.branch_of(id).expect("vsource has a branch var");
-                st.voltage_source(e.plus, e.minus, br, *volts);
+                st.voltage_source(e.plus, e.minus, br, volts * settings.source_scale);
             }
             ElementKind::CurrentSensor => {
                 let br = layout.branch_of(id).expect("sensor has a branch var");
                 st.voltage_source(e.plus, e.minus, br, 0.0);
             }
-            ElementKind::CurrentSource { amps } => st.current(e.plus, e.minus, *amps),
+            ElementKind::CurrentSource { amps } => {
+                st.current(e.plus, e.minus, amps * settings.source_scale);
+            }
             ElementKind::Resistor { ohms } => st.conductance(e.plus, e.minus, 1.0 / ohms),
             ElementKind::Switch { closed } => {
                 st.conductance(e.plus, e.minus, if *closed { G_SHORT } else { G_OPEN });
@@ -260,14 +302,8 @@ fn node_v(full_v: &[f64], node: NodeId) -> f64 {
     full_v[node.raw() as usize]
 }
 
-/// Runs the Newton loop for one operating point (DC or one transient step).
-///
-/// Returns the converged unknown vector.
-pub(crate) fn newton_solve(
-    circuit: &Circuit,
-    layout: &Layout,
-    companions: Option<&Companions<'_>>,
-) -> Result<Vec<f64>> {
+/// Cold-start junction linearization points for a fresh Newton run.
+pub(crate) fn initial_junctions(circuit: &Circuit) -> Junctions {
     let mut junctions: Junctions = HashMap::new();
     // Warm-start diodes near their conduction knee.
     for (id, e) in circuit.elements() {
@@ -281,10 +317,38 @@ pub(crate) fn newton_solve(
             _ => {}
         }
     }
+    junctions
+}
+
+/// Relaxes a limited junction update: full step when `damping >= 1.0`
+/// (bitwise identical to the undamped solver), partial step otherwise.
+#[inline]
+fn damp(vold: f64, vlim: f64, damping: f64) -> f64 {
+    if damping >= 1.0 {
+        vlim
+    } else {
+        vold + damping * (vlim - vold)
+    }
+}
+
+/// Runs one Newton loop for one operating point (DC or one transient step)
+/// under the given settings, mutating `junctions` in place so callers can
+/// warm-start follow-up runs.
+pub(crate) fn newton_iterate(
+    circuit: &Circuit,
+    layout: &Layout,
+    companions: Option<&Companions<'_>>,
+    settings: &NewtonSettings,
+    junctions: &mut Junctions,
+) -> NewtonOutcome {
     let mut last_x: Option<Vec<f64>> = None;
-    for iteration in 0..MAX_NEWTON {
-        let (a, b) = assemble(circuit, layout, &junctions, companions);
-        let x = a.solve(b)?;
+    let mut residual = f64::INFINITY;
+    for iteration in 0..settings.max_iterations {
+        let (a, b) = assemble(circuit, layout, junctions, companions, settings);
+        let x = match a.solve(b) {
+            Ok(x) => x,
+            Err(e) => return NewtonOutcome::Failed(e),
+        };
         let mut max_delta: f64 = 0.0;
         for (id, e) in circuit.elements() {
             let vd = x_node(&x, e.plus) - x_node(&x, e.minus);
@@ -292,8 +356,9 @@ pub(crate) fn newton_solve(
                 ElementKind::Diode(p) => {
                     let vold = junctions[&id];
                     let vlim = pnjlim(vd, vold, p.emission * VT, vcrit(p));
-                    max_delta = max_delta.max((vlim - vold).abs());
-                    junctions.insert(id, vlim);
+                    let vnew = damp(vold, vlim, settings.damping);
+                    max_delta = max_delta.max((vnew - vold).abs());
+                    junctions.insert(id, vnew);
                 }
                 ElementKind::Load { .. } => {
                     // Limit the linearization step: the brown-out sigmoid is
@@ -301,8 +366,9 @@ pub(crate) fn newton_solve(
                     // Newton step oscillates between the on and off plateaus.
                     let vold = junctions[&id];
                     let vlim = vold + (vd - vold).clamp(-0.5, 0.5);
-                    max_delta = max_delta.max((vlim - vold).abs());
-                    junctions.insert(id, vlim);
+                    let vnew = damp(vold, vlim, settings.damping);
+                    max_delta = max_delta.max((vnew - vold).abs());
+                    junctions.insert(id, vnew);
                 }
                 _ => {}
             }
@@ -312,14 +378,20 @@ pub(crate) fn newton_solve(
                 max_delta = max_delta.max((a - b).abs());
             }
         }
+        // The residual reported to diagnostics is the last update magnitude:
+        // how far the iteration still was from its fixed point.
+        residual = max_delta;
         let converged = last_x.is_some() && max_delta < V_TOL;
         last_x = Some(x);
         if converged {
-            return Ok(last_x.expect("just set"));
+            return NewtonOutcome::Converged {
+                x: last_x.expect("just set"),
+                iterations: iteration + 1,
+                residual,
+            };
         }
-        let _ = iteration;
     }
-    Err(CircuitError::NoConvergence { iterations: MAX_NEWTON, residual: f64::NAN })
+    NewtonOutcome::Exhausted { iterations: settings.max_iterations, residual }
 }
 
 fn x_node(x: &[f64], node: NodeId) -> f64 {
@@ -364,15 +436,17 @@ impl DcSolution {
 impl Circuit {
     /// Computes the DC operating point (capacitors open, inductors short).
     ///
+    /// Plain Newton is tried first; if it fails to converge, the full
+    /// recovery ladder of [`Circuit::dc_with_options`] is walked with the
+    /// default [`crate::SolverOptions`] before giving up.
+    ///
     /// # Errors
     ///
     /// Returns [`CircuitError::SingularMatrix`] for ill-posed circuits and
-    /// [`CircuitError::NoConvergence`] if the Newton iteration on nonlinear
-    /// elements fails.
+    /// [`CircuitError::NoConvergence`] if every rung of the recovery ladder
+    /// fails.
     pub fn dc(&self) -> Result<DcSolution> {
-        let layout = Layout::build(self, Mode::Dc);
-        let x = newton_solve(self, &layout, None)?;
-        Ok(DcSolution::new(&layout, x))
+        self.dc_with_diagnostics().map(|(sol, _)| sol)
     }
 
     /// Current through element `id` at the given operating point, measured

@@ -1,0 +1,318 @@
+//! Convergence-recovery ladder for the Newton solver.
+//!
+//! Plain Newton on the MNA system fails on pathological but physically
+//! meaningful circuits — a brown-out load biased exactly at its threshold,
+//! a stiff diode stack — and production SPICE engines treat that failure as
+//! a recoverable event, not a verdict. This module escalates through the
+//! classic recovery strategies, each under an explicit work budget:
+//!
+//! 1. **Plain Newton** — bitwise identical to the historical solver, so
+//!    circuits that converged before the ladder existed still produce the
+//!    exact same solution.
+//! 2. **Damped Newton** — junction updates relaxed by a fixed factor,
+//!    trading speed for a contraction that survives limit-cycle
+//!    oscillations between linearization plateaus.
+//! 3. **gmin stepping** — start with a large node-to-ground conductance and
+//!    relax it geometrically to the nominal [`GMIN`], warm-starting every
+//!    rung from the previous one; the final rung runs at nominal gmin so
+//!    the accepted solution is exact.
+//! 4. **Source stepping** — ramp every independent source from a fraction
+//!    of its value to nominal, warm-starting each step. Only attempted for
+//!    DC operating points (companion models embed history terms that must
+//!    not be scaled).
+//!
+//! Escalation happens only on [`CircuitError::NoConvergence`]; a singular
+//! matrix is a structural modelling bug that no amount of stepping fixes
+//! and propagates immediately.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{CircuitError, Result};
+use crate::mna::{
+    initial_junctions, newton_iterate, Companions, DcSolution, Layout, Mode, NewtonOutcome,
+    NewtonSettings, GMIN, MAX_NEWTON,
+};
+use crate::netlist::Circuit;
+
+/// Relaxation factor of the damped-Newton rung.
+const DAMPING: f64 = 0.3;
+/// Iteration budget of the damped-Newton rung.
+const DAMPED_ITERATIONS: usize = 1_200;
+/// First (largest) gmin of the gmin-stepping ladder.
+const GMIN_START: f64 = 1e-2;
+/// Geometric relaxation factor between gmin rungs.
+const GMIN_FACTOR: f64 = 10.0;
+/// Number of source-stepping ramp points (the last is the nominal source).
+const SOURCE_STEPS: usize = 8;
+/// Iteration budget of each gmin / source rung.
+const STEP_ITERATIONS: usize = 300;
+/// Junction damping inside gmin / source rungs: the intermediate systems
+/// can be just as oscillation-prone as the original, so the continuation
+/// rungs always run relaxed.
+const STEP_DAMPING: f64 = 0.5;
+
+/// The strategy that produced a converged operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolveStrategy {
+    /// Plain undamped Newton — the historical fast path.
+    Newton,
+    /// Damped Newton with relaxed junction updates.
+    DampedNewton,
+    /// Geometric gmin relaxation with warm starts.
+    GminStepping,
+    /// Source ramping from a fraction of nominal with warm starts.
+    SourceStepping,
+}
+
+impl fmt::Display for SolveStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SolveStrategy::Newton => "newton",
+            SolveStrategy::DampedNewton => "damped-newton",
+            SolveStrategy::GminStepping => "gmin-stepping",
+            SolveStrategy::SourceStepping => "source-stepping",
+        })
+    }
+}
+
+/// How a solve went: which rung of the ladder succeeded and what it cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveDiagnostics {
+    /// The strategy that converged.
+    pub strategy: SolveStrategy,
+    /// Ladder rungs attempted after plain Newton (0 for a first-try
+    /// convergence).
+    pub rungs: usize,
+    /// Total Newton iterations spent across all rungs.
+    pub iterations: usize,
+    /// Final max |Δ| of the converged run.
+    pub residual: f64,
+}
+
+impl SolveDiagnostics {
+    /// `true` when plain Newton failed and a recovery strategy produced the
+    /// solution.
+    pub fn recovered(&self) -> bool {
+        self.strategy != SolveStrategy::Newton
+    }
+}
+
+/// Which rungs of the recovery ladder are available and how much total work
+/// they may spend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Enable the damped-Newton rung.
+    pub damped: bool,
+    /// Enable the gmin-stepping rungs.
+    pub gmin_stepping: bool,
+    /// Enable the source-stepping rungs (DC only).
+    pub source_stepping: bool,
+    /// Total Newton-iteration budget across the entire ladder, including
+    /// the initial plain attempt.
+    pub budget: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { damped: true, gmin_stepping: true, source_stepping: true, budget: 12_000 }
+    }
+}
+
+impl SolverOptions {
+    /// The pre-ladder behaviour: plain Newton only, historical budget.
+    pub fn plain_newton_only() -> SolverOptions {
+        SolverOptions {
+            damped: false,
+            gmin_stepping: false,
+            source_stepping: false,
+            budget: MAX_NEWTON,
+        }
+    }
+}
+
+/// Walks the recovery ladder for one operating point.
+pub(crate) fn solve_operating_point(
+    circuit: &Circuit,
+    layout: &Layout,
+    companions: Option<&Companions<'_>>,
+    options: &SolverOptions,
+) -> Result<(Vec<f64>, SolveDiagnostics)> {
+    let mut spent = 0usize;
+    let mut rungs = 0usize;
+    let mut last_residual;
+
+    // Rung 0 — plain Newton, bitwise identical to the pre-ladder solver.
+    {
+        let mut junctions = initial_junctions(circuit);
+        let settings = NewtonSettings::plain(MAX_NEWTON.min(options.budget));
+        match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+            NewtonOutcome::Converged { x, iterations, residual } => {
+                let diagnostics = SolveDiagnostics {
+                    strategy: SolveStrategy::Newton,
+                    rungs: 0,
+                    iterations,
+                    residual,
+                };
+                return Ok((x, diagnostics));
+            }
+            NewtonOutcome::Failed(e) => return Err(e),
+            NewtonOutcome::Exhausted { iterations, residual } => {
+                spent += iterations;
+                last_residual = residual;
+            }
+        }
+    }
+
+    // Rung 1 — damped Newton from a cold start.
+    if options.damped && spent < options.budget {
+        rungs += 1;
+        let mut junctions = initial_junctions(circuit);
+        let settings = NewtonSettings {
+            max_iterations: DAMPED_ITERATIONS.min(options.budget - spent),
+            gmin: GMIN,
+            source_scale: 1.0,
+            damping: DAMPING,
+        };
+        match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+            NewtonOutcome::Converged { x, iterations, residual } => {
+                let diagnostics = SolveDiagnostics {
+                    strategy: SolveStrategy::DampedNewton,
+                    rungs,
+                    iterations: spent + iterations,
+                    residual,
+                };
+                return Ok((x, diagnostics));
+            }
+            NewtonOutcome::Failed(e) => return Err(e),
+            NewtonOutcome::Exhausted { iterations, residual } => {
+                spent += iterations;
+                last_residual = residual;
+            }
+        }
+    }
+
+    // Rungs 2..k — gmin stepping: relax a large gmin geometrically to the
+    // nominal value, carrying the junction state from rung to rung.
+    if options.gmin_stepping && spent < options.budget {
+        let mut junctions = initial_junctions(circuit);
+        let mut gmin = GMIN_START;
+        loop {
+            if spent >= options.budget {
+                break;
+            }
+            // The last rung runs at the nominal gmin so its solution is the
+            // true operating point, not a relaxed approximation.
+            let nominal_rung = gmin <= GMIN;
+            rungs += 1;
+            let settings = NewtonSettings {
+                max_iterations: STEP_ITERATIONS.min(options.budget - spent),
+                gmin: if nominal_rung { GMIN } else { gmin },
+                source_scale: 1.0,
+                damping: STEP_DAMPING,
+            };
+            match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+                NewtonOutcome::Converged { x, iterations, residual } => {
+                    spent += iterations;
+                    last_residual = residual;
+                    if nominal_rung {
+                        let diagnostics = SolveDiagnostics {
+                            strategy: SolveStrategy::GminStepping,
+                            rungs,
+                            iterations: spent,
+                            residual,
+                        };
+                        return Ok((x, diagnostics));
+                    }
+                }
+                NewtonOutcome::Failed(e) => return Err(e),
+                NewtonOutcome::Exhausted { iterations, residual } => {
+                    spent += iterations;
+                    last_residual = residual;
+                    if nominal_rung {
+                        break;
+                    }
+                    // An unconverged intermediate rung still leaves useful
+                    // junction state behind; keep relaxing.
+                }
+            }
+            if nominal_rung {
+                break;
+            }
+            gmin /= GMIN_FACTOR;
+        }
+    }
+
+    // Rungs k+1.. — source stepping (DC only): ramp sources up from a
+    // fraction of nominal, warm-starting each step.
+    if options.source_stepping && companions.is_none() && spent < options.budget {
+        let mut junctions = initial_junctions(circuit);
+        for step in 1..=SOURCE_STEPS {
+            if spent >= options.budget {
+                break;
+            }
+            rungs += 1;
+            let nominal_rung = step == SOURCE_STEPS;
+            let settings = NewtonSettings {
+                max_iterations: STEP_ITERATIONS.min(options.budget - spent),
+                gmin: GMIN,
+                source_scale: step as f64 / SOURCE_STEPS as f64,
+                damping: STEP_DAMPING,
+            };
+            match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+                NewtonOutcome::Converged { x, iterations, residual } => {
+                    spent += iterations;
+                    last_residual = residual;
+                    if nominal_rung {
+                        let diagnostics = SolveDiagnostics {
+                            strategy: SolveStrategy::SourceStepping,
+                            rungs,
+                            iterations: spent,
+                            residual,
+                        };
+                        return Ok((x, diagnostics));
+                    }
+                }
+                NewtonOutcome::Failed(e) => return Err(e),
+                NewtonOutcome::Exhausted { iterations, residual } => {
+                    spent += iterations;
+                    last_residual = residual;
+                    // Carry the junction state into the next ramp point.
+                }
+            }
+        }
+    }
+
+    Err(CircuitError::NoConvergence { iterations: spent, residual: last_residual })
+}
+
+impl Circuit {
+    /// Computes the DC operating point with the full recovery ladder and
+    /// default [`SolverOptions`], returning [`SolveDiagnostics`] alongside
+    /// the solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] for ill-posed circuits and
+    /// [`CircuitError::NoConvergence`] once every enabled rung is
+    /// exhausted.
+    pub fn dc_with_diagnostics(&self) -> Result<(DcSolution, SolveDiagnostics)> {
+        self.dc_with_options(&SolverOptions::default())
+    }
+
+    /// Computes the DC operating point under explicit [`SolverOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] for ill-posed circuits and
+    /// [`CircuitError::NoConvergence`] once every enabled rung is
+    /// exhausted.
+    pub fn dc_with_options(
+        &self,
+        options: &SolverOptions,
+    ) -> Result<(DcSolution, SolveDiagnostics)> {
+        let layout = Layout::build(self, Mode::Dc);
+        let (x, diagnostics) = solve_operating_point(self, &layout, None, options)?;
+        Ok((DcSolution::new(&layout, x), diagnostics))
+    }
+}

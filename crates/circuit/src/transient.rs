@@ -9,14 +9,16 @@ use std::collections::HashMap;
 
 use crate::element::{ElementId, ElementKind};
 use crate::error::{CircuitError, Result};
-use crate::mna::{newton_solve, Companions, DcSolution, Layout, Mode};
+use crate::mna::{Companions, DcSolution, Layout, Mode};
 use crate::netlist::Circuit;
+use crate::recovery::{solve_operating_point, SolverOptions};
 
 /// The result of a transient run: one operating point per time step.
 #[derive(Debug, Clone)]
 pub struct TransientSolution {
     times: Vec<f64>,
     states: Vec<DcSolution>,
+    recovered_steps: usize,
 }
 
 impl TransientSolution {
@@ -43,6 +45,12 @@ impl TransientSolution {
     /// `true` if the run holds no points (never the case for successful runs).
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
+    }
+
+    /// Number of time steps whose Newton solve needed the recovery ladder
+    /// (plain Newton failed but a fallback strategy converged).
+    pub fn recovered_steps(&self) -> usize {
+        self.recovered_steps
     }
 
     /// Samples a sensor over the whole run.
@@ -84,10 +92,19 @@ impl Circuit {
         let mut times = vec![0.0];
         let mut states = vec![dc];
         let mut prev_v = states[0].node_voltages();
+        let mut recovered_steps = 0usize;
+        // Source stepping is meaningless on a companion system (it would
+        // scale the sources against unscaled history terms); the rest of
+        // the recovery ladder applies per step.
+        let options = SolverOptions { source_stepping: false, ..SolverOptions::default() };
         let steps = (t_stop / h).ceil() as usize;
         for k in 1..=steps {
             let companions = Companions { h, prev_v: &prev_v, inductor_i: &inductor_i };
-            let x = newton_solve(self, &layout, Some(&companions))?;
+            let (x, diagnostics) =
+                solve_operating_point(self, &layout, Some(&companions), &options)?;
+            if diagnostics.recovered() {
+                recovered_steps += 1;
+            }
             let state = DcSolution::new(&layout, x);
             let new_v = state.node_voltages();
             // Advance inductor companion currents: i = i_prev + (h/L) * v.
@@ -102,7 +119,7 @@ impl Circuit {
             times.push(k as f64 * h);
             states.push(state);
         }
-        Ok(TransientSolution { times, states })
+        Ok(TransientSolution { times, states, recovered_steps })
     }
 }
 

@@ -1,0 +1,325 @@
+//! Campaign supervision for fault-injection sweeps.
+//!
+//! A fault-injection FMEA is a *campaign* of independent simulations, and a
+//! single pathological case must not poison the whole run: a panic or an
+//! exhausted solver ladder affects only its own row, while the outcome of
+//! every case is classified and aggregated into a [`CampaignHealth`] report
+//! the CLI prints and the engine persists. A campaign-level circuit
+//! breaker aborts when too large a fraction of cases is unsolvable — at
+//! that point the *model* is broken, not the physics, and a conservative
+//! table would be quietly wrong.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use decisive_circuit::SolverOptions;
+
+use crate::error::{CoreError, Result};
+
+/// How one injection case ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CaseOutcome {
+    /// Plain Newton converged first try.
+    Converged,
+    /// Plain Newton failed but a recovery strategy produced a genuine
+    /// solution.
+    Recovered {
+        /// The ladder strategy that converged (e.g. `damped-newton`).
+        strategy: String,
+    },
+    /// Every enabled rung of the recovery ladder was exhausted (or the
+    /// injection itself failed); the row is conservatively safety-related.
+    Unsolvable {
+        /// The terminal solver error.
+        reason: String,
+    },
+    /// The analysis code panicked; the row is conservatively
+    /// safety-related.
+    Panicked,
+    /// The case was not simulated (non-electrical block or a failure mode
+    /// with no electrical interpretation).
+    Skipped,
+}
+
+/// Per-case record produced by the supervisor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseReport {
+    /// `component/failure-mode` label of the case.
+    pub case: String,
+    /// Outcome classification.
+    pub outcome: CaseOutcome,
+    /// Newton iterations spent on the case (all ladder rungs included).
+    pub iterations: usize,
+    /// Wall-clock milliseconds spent on the case.
+    pub wall_ms: f64,
+}
+
+/// Campaign-level policy: per-case solver budget and the unsolvable-rate
+/// circuit breaker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Abort the campaign when more than this fraction of cases is
+    /// unsolvable or panicked (and at least [`min_cases`] ran). `1.0`
+    /// disables the breaker.
+    ///
+    /// [`min_cases`]: CampaignConfig::min_cases
+    pub max_unsolvable_fraction: f64,
+    /// The breaker only trips on campaigns with at least this many cases —
+    /// a one-case campaign failing is not a failure *rate*.
+    pub min_cases: usize,
+    /// Per-case solver options: which recovery rungs to walk and the total
+    /// Newton-iteration budget per case.
+    pub solver: SolverOptions,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            max_unsolvable_fraction: 0.5,
+            min_cases: 4,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the breaker fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the fraction is not in
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.max_unsolvable_fraction) {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "max_unsolvable_fraction must be in [0, 1], got {}",
+                    self.max_unsolvable_fraction
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated health of one injection campaign.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CampaignHealth {
+    /// Total cases supervised.
+    pub total: usize,
+    /// Cases solved by plain Newton.
+    pub converged: usize,
+    /// Cases solved by a recovery strategy.
+    pub recovered: usize,
+    /// Cases no strategy could solve.
+    pub unsolvable: usize,
+    /// Cases whose analysis panicked.
+    pub panicked: usize,
+    /// Cases that were not simulated at all.
+    pub skipped: usize,
+    /// Recovery-strategy histogram: strategy name → number of cases it
+    /// rescued.
+    pub strategy_histogram: BTreeMap<String, usize>,
+    /// Labels of the unsolvable / panicked cases, in sweep order.
+    pub failed_cases: Vec<String>,
+    /// The slowest cases as `(label, wall_ms)`, most expensive first.
+    pub slowest: Vec<(String, f64)>,
+}
+
+/// How many slowest cases the health report keeps.
+const SLOWEST_KEPT: usize = 5;
+
+impl CampaignHealth {
+    /// Aggregates per-case reports into a health record.
+    pub fn from_reports(reports: &[CaseReport]) -> CampaignHealth {
+        let mut health = CampaignHealth { total: reports.len(), ..CampaignHealth::default() };
+        for report in reports {
+            match &report.outcome {
+                CaseOutcome::Converged => health.converged += 1,
+                CaseOutcome::Recovered { strategy } => {
+                    health.recovered += 1;
+                    *health.strategy_histogram.entry(strategy.clone()).or_insert(0) += 1;
+                }
+                CaseOutcome::Unsolvable { .. } => {
+                    health.unsolvable += 1;
+                    health.failed_cases.push(report.case.clone());
+                }
+                CaseOutcome::Panicked => {
+                    health.panicked += 1;
+                    health.failed_cases.push(report.case.clone());
+                }
+                CaseOutcome::Skipped => health.skipped += 1,
+            }
+        }
+        let mut by_cost: Vec<(String, f64)> =
+            reports.iter().map(|r| (r.case.clone(), r.wall_ms)).collect();
+        by_cost.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        by_cost.truncate(SLOWEST_KEPT);
+        health.slowest = by_cost;
+        health
+    }
+
+    /// Fraction of cases that are unsolvable or panicked (0 for an empty
+    /// campaign).
+    pub fn failure_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.unsolvable + self.panicked) as f64 / self.total as f64
+        }
+    }
+
+    /// `true` when the campaign tripped the circuit breaker under `config`.
+    pub fn breaches(&self, config: &CampaignConfig) -> bool {
+        self.total >= config.min_cases && self.failure_fraction() > config.max_unsolvable_fraction
+    }
+
+    /// Checks the circuit breaker, turning a breach into the campaign-abort
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CampaignAborted`] when the failure rate exceeds
+    /// the configured limit.
+    pub fn enforce(&self, config: &CampaignConfig) -> Result<()> {
+        if self.breaches(config) {
+            return Err(CoreError::CampaignAborted {
+                failed: self.unsolvable + self.panicked,
+                total: self.total,
+                limit: config.max_unsolvable_fraction,
+            });
+        }
+        Ok(())
+    }
+
+    /// Merges another health record into this one (used to combine the
+    /// single-fault sweep with joint-injection cases).
+    pub fn merge(&mut self, other: &CampaignHealth) {
+        self.total += other.total;
+        self.converged += other.converged;
+        self.recovered += other.recovered;
+        self.unsolvable += other.unsolvable;
+        self.panicked += other.panicked;
+        self.skipped += other.skipped;
+        for (strategy, count) in &other.strategy_histogram {
+            *self.strategy_histogram.entry(strategy.clone()).or_insert(0) += count;
+        }
+        self.failed_cases.extend(other.failed_cases.iter().cloned());
+        let mut slowest: Vec<(String, f64)> =
+            self.slowest.iter().chain(other.slowest.iter()).cloned().collect();
+        slowest.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        slowest.truncate(SLOWEST_KEPT);
+        self.slowest = slowest;
+    }
+
+    /// Renders the health report as the CLI prints it: one `#`-prefixed
+    /// line per aspect, omitting empty sections.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# campaign health: {} cases — {} converged, {} recovered, {} unsolvable, {} panicked, {} skipped",
+            self.total, self.converged, self.recovered, self.unsolvable, self.panicked, self.skipped
+        );
+        if !self.strategy_histogram.is_empty() {
+            let parts: Vec<String> = self
+                .strategy_histogram
+                .iter()
+                .map(|(strategy, count)| format!("{strategy} x{count}"))
+                .collect();
+            let _ = writeln!(out, "# recovery strategies: {}", parts.join(", "));
+        }
+        if !self.failed_cases.is_empty() {
+            let _ = writeln!(out, "# failed cases: {}", self.failed_cases.join(", "));
+        }
+        if self.slowest.iter().any(|(_, ms)| *ms > 0.0) {
+            let parts: Vec<String> =
+                self.slowest.iter().map(|(case, ms)| format!("{case} {ms:.2} ms")).collect();
+            let _ = writeln!(out, "# slowest cases: {}", parts.join(", "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(case: &str, outcome: CaseOutcome, wall_ms: f64) -> CaseReport {
+        CaseReport { case: case.into(), outcome, iterations: 10, wall_ms }
+    }
+
+    #[test]
+    fn aggregates_outcomes_and_histogram() {
+        let reports = vec![
+            report("A/Open", CaseOutcome::Converged, 1.0),
+            report("B/Open", CaseOutcome::Recovered { strategy: "damped-newton".into() }, 9.0),
+            report("C/Open", CaseOutcome::Recovered { strategy: "damped-newton".into() }, 2.0),
+            report("D/Open", CaseOutcome::Unsolvable { reason: "no convergence".into() }, 5.0),
+            report("E/Open", CaseOutcome::Panicked, 0.0),
+            report("F/Open", CaseOutcome::Skipped, 0.0),
+        ];
+        let health = CampaignHealth::from_reports(&reports);
+        assert_eq!(health.total, 6);
+        assert_eq!(health.converged, 1);
+        assert_eq!(health.recovered, 2);
+        assert_eq!(health.unsolvable, 1);
+        assert_eq!(health.panicked, 1);
+        assert_eq!(health.skipped, 1);
+        assert_eq!(health.strategy_histogram.get("damped-newton"), Some(&2));
+        assert_eq!(health.failed_cases, vec!["D/Open".to_string(), "E/Open".to_string()]);
+        assert_eq!(health.slowest[0].0, "B/Open");
+        let rendered = health.render();
+        assert!(rendered.contains("damped-newton x2"));
+        assert!(rendered.contains("6 cases"));
+    }
+
+    #[test]
+    fn breaker_trips_only_above_limit_and_min_cases() {
+        let bad = report("X/Open", CaseOutcome::Unsolvable { reason: "r".into() }, 0.0);
+        let good = report("Y/Open", CaseOutcome::Converged, 0.0);
+        let config = CampaignConfig {
+            max_unsolvable_fraction: 0.4,
+            min_cases: 3,
+            ..CampaignConfig::default()
+        };
+        // 2 of 4 failed (50 % > 40 %): trips.
+        let health =
+            CampaignHealth::from_reports(&[bad.clone(), bad.clone(), good.clone(), good.clone()]);
+        assert!(health.breaches(&config));
+        assert!(matches!(
+            health.enforce(&config),
+            Err(CoreError::CampaignAborted { failed: 2, total: 4, .. })
+        ));
+        // 1 of 4 failed (25 %): holds.
+        let health = CampaignHealth::from_reports(&[bad.clone(), good.clone(), good.clone(), good]);
+        assert!(!health.breaches(&config));
+        // 2 of 2 failed but below min_cases: holds.
+        let health = CampaignHealth::from_reports(&[bad.clone(), bad]);
+        assert!(!health.breaches(&config));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_slowest() {
+        let mut a = CampaignHealth::from_reports(&[report("A", CaseOutcome::Converged, 3.0)]);
+        let b = CampaignHealth::from_reports(&[report(
+            "B",
+            CaseOutcome::Recovered { strategy: "gmin-stepping".into() },
+            7.0,
+        )]);
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.recovered, 1);
+        assert_eq!(a.strategy_histogram.get("gmin-stepping"), Some(&1));
+        assert_eq!(a.slowest[0].0, "B");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fraction() {
+        let config = CampaignConfig { max_unsolvable_fraction: 1.5, ..CampaignConfig::default() };
+        assert!(config.validate().is_err());
+        assert!(CampaignConfig::default().validate().is_ok());
+    }
+}

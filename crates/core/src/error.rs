@@ -43,6 +43,17 @@ pub enum CoreError {
         /// Description of the violation.
         message: String,
     },
+    /// The fault-injection campaign tripped its failure-rate circuit
+    /// breaker: too many cases were unsolvable for the table to be
+    /// trustworthy.
+    CampaignAborted {
+        /// Unsolvable or panicked cases.
+        failed: usize,
+        /// Total cases supervised.
+        total: usize,
+        /// The configured maximum unsolvable fraction.
+        limit: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -64,6 +75,11 @@ impl fmt::Display for CoreError {
                 "target SPFM {target_spfm:.4} not reached after {iterations} iterations (best {best_spfm:.4})"
             ),
             CoreError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            CoreError::CampaignAborted { failed, total, limit } => write!(
+                f,
+                "fault campaign aborted: {failed}/{total} cases unsolvable (limit {:.0}%) — this signals a modelling bug, not physics",
+                limit * 100.0
+            ),
         }
     }
 }

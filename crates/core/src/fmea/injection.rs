@@ -3,10 +3,14 @@
 //! components × failure modes* (inject, re-simulate, compare against a
 //! threshold), *output* the component safety analysis model.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
 use decisive_blocks::{to_circuit, BlockDiagram, BlockKind, LoweredCircuit};
-use decisive_circuit::Fault;
+use decisive_circuit::{Fault, SolverOptions};
 use decisive_ssam::architecture::{Coverage, FailureNature};
 
+use crate::campaign::{CampaignConfig, CampaignHealth, CaseOutcome, CaseReport};
 use crate::error::{CoreError, Result};
 use crate::fmea::{FmeaRow, FmeaTable};
 use crate::reliability::{FailureModeSpec, ReliabilityDb};
@@ -20,11 +24,14 @@ pub struct InjectionConfig {
     pub threshold: f64,
     /// Worker threads for the injection sweep; `1` runs inline.
     pub parallelism: usize,
+    /// Campaign supervision: per-case solver budget and the
+    /// unsolvable-rate circuit breaker.
+    pub campaign: CampaignConfig,
 }
 
 impl Default for InjectionConfig {
     fn default() -> Self {
-        InjectionConfig { threshold: 0.2, parallelism: 1 }
+        InjectionConfig { threshold: 0.2, parallelism: 1, campaign: CampaignConfig::default() }
     }
 }
 
@@ -41,17 +48,55 @@ impl Default for InjectionConfig {
 /// [`CoreError::Simulation`] when the *nominal* simulation fails, and
 /// [`CoreError::InvalidParameter`] for a non-positive threshold. A failing
 /// *post-injection* simulation is not an error: the mode is conservatively
-/// classified safety-related with a warning.
+/// classified safety-related with a warning — unless so many cases fail
+/// that the campaign breaker trips ([`CoreError::CampaignAborted`]).
 pub fn run(
     diagram: &BlockDiagram,
     reliability: &ReliabilityDb,
     config: &InjectionConfig,
 ) -> Result<FmeaTable> {
+    run_supervised(diagram, reliability, config).map(|(table, _)| table)
+}
+
+/// Like [`run`], additionally returning the [`CampaignHealth`] report of
+/// the supervised sweep.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn run_supervised(
+    diagram: &BlockDiagram,
+    reliability: &ReliabilityDb,
+    config: &InjectionConfig,
+) -> Result<(FmeaTable, CampaignHealth)> {
+    let (results, _, _) = sweep(diagram, reliability, config)?;
+    let (rows, reports): (Vec<FmeaRow>, Vec<CaseReport>) = results.into_iter().unzip();
+    let health = CampaignHealth::from_reports(&reports);
+    health.enforce(&config.campaign)?;
+
+    // Step 3 — Output the component safety analysis model.
+    let mut table = FmeaTable::new(diagram.name());
+    for row in rows {
+        table.push(row);
+    }
+    Ok((table, health))
+}
+
+/// Steps 1–2 of the sweep: lower, record nominal readings, analyse every
+/// candidate under supervision. Also returns the lowering and the nominal
+/// readings so dual-point campaigns can reuse them.
+#[allow(clippy::type_complexity)]
+fn sweep(
+    diagram: &BlockDiagram,
+    reliability: &ReliabilityDb,
+    config: &InjectionConfig,
+) -> Result<(Vec<(FmeaRow, CaseReport)>, LoweredCircuit, Vec<(decisive_circuit::ElementId, f64)>)> {
     if !(config.threshold > 0.0 && config.threshold.is_finite()) {
         return Err(CoreError::InvalidParameter {
             message: format!("threshold must be positive and finite, got {}", config.threshold),
         });
     }
+    config.campaign.validate()?;
     let lowered = to_circuit(diagram)?;
     // Step 1 — Initialise: record the nominal readings.
     let nominal_solution = lowered.circuit.dc()?;
@@ -60,9 +105,9 @@ pub fn run(
     // Step 2 — Iterate components and failure modes.
     let candidates = candidates(diagram, reliability);
 
-    let rows: Vec<FmeaRow> = if config.parallelism > 1 && candidates.len() > 1 {
+    let results: Vec<(FmeaRow, CaseReport)> = if config.parallelism > 1 && candidates.len() > 1 {
         let chunk = candidates.len().div_ceil(config.parallelism);
-        let mut results: Vec<Vec<FmeaRow>> = Vec::new();
+        let mut results: Vec<Vec<(FmeaRow, CaseReport)>> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
@@ -71,7 +116,7 @@ pub fn run(
                     let nominal = &nominal;
                     scope.spawn(move || {
                         part.iter()
-                            .map(|c| analyse_candidate(c, lowered, nominal, config.threshold))
+                            .map(|c| analyse_candidate_supervised(c, lowered, nominal, config))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -85,16 +130,10 @@ pub fn run(
     } else {
         candidates
             .iter()
-            .map(|c| analyse_candidate(c, &lowered, &nominal, config.threshold))
+            .map(|c| analyse_candidate_supervised(c, &lowered, &nominal, config))
             .collect()
     };
-
-    // Step 3 — Output the component safety analysis model.
-    let mut table = FmeaTable::new(diagram.name());
-    for row in rows {
-        table.push(row);
-    }
-    Ok(table)
+    Ok((results, lowered, nominal))
 }
 
 /// One injectable `(block, failure mode)` pair of the sweep — the unit of
@@ -147,6 +186,13 @@ pub struct DualPointOutcome {
     /// The `(component, failure mode)` pairs whose *joint* injection
     /// deviated although neither did alone.
     pub latent_pairs: Vec<((String, String), (String, String))>,
+    /// One warning per joint injection that could not be simulated — those
+    /// pairs are counted as deviating, and this trail makes the latent
+    /// count auditable.
+    pub pair_warnings: Vec<String>,
+    /// Health of the whole campaign: single-fault cases plus every joint
+    /// injection.
+    pub health: CampaignHealth,
 }
 
 /// Runs the dual-point fault-injection campaign: after the single-fault
@@ -166,10 +212,12 @@ pub fn run_dual_point(
     reliability: &ReliabilityDb,
     config: &InjectionConfig,
 ) -> Result<DualPointOutcome> {
-    let mut table = run(diagram, reliability, config)?;
-    let lowered = to_circuit(diagram)?;
-    let nominal_solution = lowered.circuit.dc()?;
-    let nominal = lowered.circuit.all_sensor_readings(&nominal_solution)?;
+    let (results, lowered, nominal) = sweep(diagram, reliability, config)?;
+    let (rows, mut reports): (Vec<FmeaRow>, Vec<CaseReport>) = results.into_iter().unzip();
+    let mut table = FmeaTable::new(diagram.name());
+    for row in rows {
+        table.push(row);
+    }
 
     // The injectable candidates whose single fault was masked.
     let mut masked: Vec<(usize, decisive_circuit::ElementId, Fault)> = Vec::new();
@@ -198,12 +246,20 @@ pub fn run_dual_point(
     }
 
     let mut latent_pairs = Vec::new();
+    let mut pair_warnings = Vec::new();
     let mut latent_rows = std::collections::BTreeSet::new();
     for (i, &(row_a, element_a, fault_a)) in masked.iter().enumerate() {
         for &(row_b, element_b, fault_b) in &masked[i + 1..] {
             if element_a == element_b {
                 continue; // the same physical element cannot fail twice
             }
+            let key =
+                |r: usize| (table.rows[r].component.clone(), table.rows[r].failure_mode.clone());
+            let label = {
+                let (ca, ma) = key(row_a);
+                let (cb, mb) = key(row_b);
+                format!("{ca}/{ma}+{cb}/{mb}")
+            };
             let Ok(joint) = lowered
                 .circuit
                 .with_fault(element_a, fault_a)
@@ -211,19 +267,40 @@ pub fn run_dual_point(
             else {
                 continue;
             };
-            let deviates = match joint.dc() {
-                Ok(solution) => nominal.iter().any(|&(sensor, before)| {
-                    let after = joint.sensor_reading(&solution, sensor).unwrap_or(f64::NAN);
-                    relative_deviation(before, after) > config.threshold
-                }),
-                Err(_) => true,
+            let start = Instant::now();
+            let (deviates, outcome, iterations) = match joint
+                .dc_with_options(&config.campaign.solver)
+            {
+                Ok((solution, diagnostics)) => {
+                    let deviates = nominal.iter().any(|&(sensor, before)| {
+                        let after = joint.sensor_reading(&solution, sensor).unwrap_or(f64::NAN);
+                        relative_deviation(before, after) > config.threshold
+                    });
+                    let outcome = if diagnostics.recovered() {
+                        CaseOutcome::Recovered { strategy: diagnostics.strategy.to_string() }
+                    } else {
+                        CaseOutcome::Converged
+                    };
+                    (deviates, outcome, diagnostics.iterations)
+                }
+                Err(e) => {
+                    // An unsolvable joint circuit is conservatively
+                    // counted as deviating, with an auditable trace.
+                    pair_warnings.push(format!(
+                            "joint injection {label} failed to solve ({e}); conservatively counted as deviating"
+                        ));
+                    (true, CaseOutcome::Unsolvable { reason: e.to_string() }, 0)
+                }
             };
+            reports.push(CaseReport {
+                case: label,
+                outcome,
+                iterations,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            });
             if deviates {
                 latent_rows.insert(row_a);
                 latent_rows.insert(row_b);
-                let key = |r: usize| {
-                    (table.rows[r].component.clone(), table.rows[r].failure_mode.clone())
-                };
                 latent_pairs.push((key(row_a), key(row_b)));
             }
         }
@@ -232,20 +309,64 @@ pub fn run_dual_point(
         table.rows[row].impact =
             Some(decisive_ssam::architecture::FailureImpact::IndirectViolation);
     }
-    Ok(DualPointOutcome { table, latent_pairs })
+    let health = CampaignHealth::from_reports(&reports);
+    health.enforce(&config.campaign)?;
+    Ok(DualPointOutcome { table, latent_pairs, pair_warnings, health })
+}
+
+/// Analyses one candidate under full supervision: the analysis body runs
+/// inside `catch_unwind` so a panic poisons only this row, the solve runs
+/// the configured recovery ladder, and the returned [`CaseReport`]
+/// classifies how the case ended (with wall-clock and iteration cost).
+pub fn analyse_candidate_supervised(
+    candidate: &Candidate,
+    lowered: &LoweredCircuit,
+    nominal: &[(decisive_circuit::ElementId, f64)],
+    config: &InjectionConfig,
+) -> (FmeaRow, CaseReport) {
+    let start = Instant::now();
+    let case = format!("{}/{}", candidate.name, candidate.mode.name);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        analyse_candidate_inner(
+            candidate,
+            lowered,
+            nominal,
+            config.threshold,
+            &config.campaign.solver,
+        )
+    }));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    match result {
+        Ok((row, outcome, iterations)) => (row, CaseReport { case, outcome, iterations, wall_ms }),
+        Err(_) => {
+            let mut row = blank_row(candidate);
+            row.safety_related = true;
+            row.warning =
+                Some("candidate analysis panicked; conservatively safety-related".to_owned());
+            (row, CaseReport { case, outcome: CaseOutcome::Panicked, iterations: 0, wall_ms })
+        }
+    }
 }
 
 /// Analyses one candidate against the nominal readings: inject, re-solve,
 /// compare — the body of the sweep, callable from an external scheduler.
 /// `lowered` must be the lowering of the candidate's own diagram and
 /// `nominal` its fault-free sensor readings.
+///
+/// Uses the default recovery ladder without panic isolation; the
+/// supervised sweep goes through [`analyse_candidate_supervised`].
 pub fn analyse_candidate(
     candidate: &Candidate,
     lowered: &LoweredCircuit,
     nominal: &[(decisive_circuit::ElementId, f64)],
     threshold: f64,
 ) -> FmeaRow {
-    let mut row = FmeaRow {
+    analyse_candidate_inner(candidate, lowered, nominal, threshold, &SolverOptions::default()).0
+}
+
+/// A row shell carrying the candidate's identity before any verdict.
+fn blank_row(candidate: &Candidate) -> FmeaRow {
+    FmeaRow {
         component: candidate.name.clone(),
         type_key: Some(candidate.type_key.clone()),
         fit: candidate.fit,
@@ -257,14 +378,26 @@ pub fn analyse_candidate(
         mechanism: None,
         coverage: Coverage::NONE,
         warning: None,
-    };
+    }
+}
+
+/// The analysis body: returns the row plus the outcome classification and
+/// Newton-iteration cost for the campaign supervisor.
+fn analyse_candidate_inner(
+    candidate: &Candidate,
+    lowered: &LoweredCircuit,
+    nominal: &[(decisive_circuit::ElementId, f64)],
+    threshold: f64,
+    solver: &SolverOptions,
+) -> (FmeaRow, CaseOutcome, usize) {
+    let mut row = blank_row(candidate);
     let Some(element) = lowered.element(candidate.block) else {
         row.warning = Some(format!(
             "block `{}` ({}) is not simulatable; failure mode not injected",
             candidate.name,
             candidate.kind.tag()
         ));
-        return row;
+        return (row, CaseOutcome::Skipped, 0);
     };
     let Some(fault) = fault_for(&candidate.kind, &candidate.mode) else {
         row.warning = Some(format!(
@@ -272,7 +405,7 @@ pub fn analyse_candidate(
             candidate.mode.name,
             candidate.kind.tag()
         ));
-        return row;
+        return (row, CaseOutcome::Skipped, 0);
     };
     let faulted = match lowered.circuit.with_fault(element, fault) {
         Ok(c) => c,
@@ -280,11 +413,11 @@ pub fn analyse_candidate(
             row.safety_related = true;
             row.warning =
                 Some(format!("fault injection failed ({e}); conservatively safety-related"));
-            return row;
+            return (row, CaseOutcome::Unsolvable { reason: e.to_string() }, 0);
         }
     };
-    match faulted.dc() {
-        Ok(solution) => {
+    match faulted.dc_with_options(solver) {
+        Ok((solution, diagnostics)) => {
             let deviates = nominal.iter().any(|&(sensor, before)| {
                 let after = faulted.sensor_reading(&solution, sensor).unwrap_or(f64::NAN);
                 relative_deviation(before, after) > threshold
@@ -299,15 +432,25 @@ pub fn analyse_candidate(
             } else {
                 decisive_ssam::architecture::FailureImpact::NoEffect
             });
+            let outcome = if diagnostics.recovered() {
+                row.warning = Some(format!(
+                    "solver recovered via {} ({} rungs, {} iterations)",
+                    diagnostics.strategy, diagnostics.rungs, diagnostics.iterations
+                ));
+                CaseOutcome::Recovered { strategy: diagnostics.strategy.to_string() }
+            } else {
+                CaseOutcome::Converged
+            };
+            (row, outcome, diagnostics.iterations)
         }
         Err(e) => {
             row.safety_related = true;
             row.warning = Some(format!(
                 "post-injection simulation failed ({e}); conservatively safety-related"
             ));
+            (row, CaseOutcome::Unsolvable { reason: e.to_string() }, 0)
         }
     }
-    row
 }
 
 /// Symmetric relative deviation between two readings.
@@ -415,7 +558,7 @@ mod tests {
     fn bad_threshold_is_rejected() {
         let (diagram, _) = gallery::sensor_power_supply();
         let db = ReliabilityDb::paper_table_ii();
-        let config = InjectionConfig { threshold: 0.0, parallelism: 1 };
+        let config = InjectionConfig { threshold: 0.0, ..InjectionConfig::default() };
         assert!(matches!(run(&diagram, &db, &config), Err(CoreError::InvalidParameter { .. })));
     }
 

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod case_study;
 mod error;
 pub mod fmea;

@@ -6,6 +6,7 @@
 //! decisive validate model.json             # SSAM well-formedness report
 //! decisive fmea model.json [--csv out.csv] # automated FMEA (Algorithm 1)
 //! decisive analyze model.json --cache .dc  # incremental FMEA via the engine
+//! decisive analyze design.bd --strict      # fault-injection campaign (.bd)
 //! decisive rerun old.json new.json --cache .dc  # diff-driven re-analysis
 //! decisive spfm table.json                 # metrics of a saved FMEA table
 //! decisive render model.json [--dot]       # ASCII tree or Graphviz DOT
@@ -18,7 +19,9 @@
 use std::process::ExitCode;
 
 use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
+use decisive::core::fmea::injection::InjectionConfig;
 use decisive::core::monitor::RuntimeMonitor;
+use decisive::core::reliability::ReliabilityDb;
 use decisive::core::{case_study, metrics, persist};
 use decisive::engine::{Engine, EngineConfig};
 use decisive::ssam::model::SsamModel;
@@ -85,8 +88,8 @@ fn print_usage() {
         "decisive — iterative automated safety analysis\n\n\
          usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
-         decisive analyze <model.json> [--cache <dir>] [--jobs <n>] [--csv <out.csv>] [--json <out.json>]\n  \
-         decisive rerun <old.json> <new.json> [--cache <dir>] [--jobs <n>]\n  \
+         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
+         decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--reliability <csv>] [--strict]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
          decisive trace <model.json>\n  decisive --version"
@@ -94,7 +97,8 @@ fn print_usage() {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 5] = ["--algorithm", "--csv", "--json", "--cache", "--jobs"];
+const VALUE_FLAGS: [&str; 6] =
+    ["--algorithm", "--csv", "--json", "--cache", "--jobs", "--reliability"];
 
 /// Rejects any `--flag` the command does not understand (naming the
 /// flag), and any trailing value-flag left without its value.
@@ -228,8 +232,15 @@ fn cmd_fmea(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
-    check_flags("analyze", args, &["--cache", "--jobs", "--csv", "--json"])?;
+    check_flags(
+        "analyze",
+        args,
+        &["--cache", "--jobs", "--csv", "--json", "--reliability", "--strict"],
+    )?;
     let path = one_path("analyze", args)?;
+    if path.ends_with(".bd") {
+        return analyze_diagram(path, args);
+    }
     let model = load(path)?;
     let top = top_of(&model)?;
     let mut engine = engine_from_flags(args)?;
@@ -239,12 +250,26 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     }
     print_table(&table, args)?;
     print!("{}", engine.stats().render());
-    Ok(())
+    enforce_strict(args, &engine)
 }
 
 fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
-    check_flags("rerun", args, &["--cache", "--jobs", "--csv", "--json"])?;
+    check_flags(
+        "rerun",
+        args,
+        &["--cache", "--jobs", "--csv", "--json", "--reliability", "--strict"],
+    )?;
     let (old_path, new_path) = two_paths("rerun", args)?;
+    if new_path.ends_with(".bd") || old_path.ends_with(".bd") {
+        if !(new_path.ends_with(".bd") && old_path.ends_with(".bd")) {
+            return Err(CliError::usage(
+                "`decisive rerun` needs both paths to be .bd files (or both SSAM .json)",
+            ));
+        }
+        // The injection cache is content-addressed by the whole circuit:
+        // rows of an unchanged diagram are pure hits, any edit misses.
+        return analyze_diagram(new_path, args);
+    }
     let old_model = load(old_path)?;
     let new_model = load(new_path)?;
     let top = top_of(&new_model)?;
@@ -256,6 +281,61 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
     }
     print_table(&table, args)?;
     print!("{}", engine.stats().render());
+    enforce_strict(args, &engine)
+}
+
+/// The block-diagram arm of `analyze`/`rerun`: a supervised fault-injection
+/// campaign through the incremental engine, with the campaign-health report
+/// printed after the table — even when the campaign breaker aborts the run,
+/// since that is exactly when the failed-case list matters.
+fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+    let reliability = match flag_value(args, "--reliability") {
+        Some(csv) => {
+            let text = std::fs::read_to_string(csv).map_err(|e| format!("{csv}: {e}"))?;
+            ReliabilityDb::from_csv_str(&text).map_err(|e| e.to_string())?
+        }
+        None => ReliabilityDb::paper_table_ii(),
+    };
+    let mut engine = engine_from_flags(args)?;
+    let table = match engine.analyze_injection(&diagram, &reliability, &InjectionConfig::default())
+    {
+        Ok(table) => table,
+        Err(e) => {
+            if let Some(health) = engine.campaign_health() {
+                print!("{}", health.render());
+            }
+            return Err(CliError::Failure(e.to_string()));
+        }
+    };
+    if let Some(dir) = flag_value(args, "--cache") {
+        engine.save_cache(dir).map_err(|e| e.to_string())?;
+    }
+    print_table(&table, args)?;
+    if let Some(health) = engine.campaign_health() {
+        print!("{}", health.render());
+    }
+    print!("{}", engine.stats().render());
+    enforce_strict(args, &engine)
+}
+
+/// Applies `--strict`: any unsolvable or panicked campaign case fails the
+/// invocation even though its row was conservatively classified. A run
+/// without campaign health (the SSAM graph path) passes vacuously.
+fn enforce_strict(args: &[String], engine: &Engine) -> Result<(), CliError> {
+    if !args.iter().any(|a| a == "--strict") {
+        return Ok(());
+    }
+    if let Some(health) = engine.campaign_health() {
+        let failed = health.unsolvable + health.panicked;
+        if failed > 0 {
+            return Err(CliError::Failure(format!(
+                "--strict: {failed} campaign case(s) unsolvable or panicked: {}",
+                health.failed_cases.join(", ")
+            )));
+        }
+    }
     Ok(())
 }
 

@@ -80,7 +80,9 @@ pub struct CacheStore {
 pub const CACHE_FILE: &str = "cache.json";
 
 /// Version stamp of the persisted format; mismatches load as empty.
-const FORMAT_VERSION: i64 = 1;
+/// Version 2: injection rows carry their campaign outcome
+/// (`InjectionArtifact`) instead of a bare `FmeaRow`.
+const FORMAT_VERSION: i64 = 2;
 
 impl CacheStore {
     /// An empty store.

@@ -10,6 +10,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use decisive_blocks::{to_circuit, BlockDiagram};
+use decisive_core::campaign::{CampaignHealth, CaseOutcome, CaseReport};
 use decisive_core::fmea::graph::{self, ContainerFacts, GraphConfig};
 use decisive_core::fmea::injection::{self, InjectionConfig};
 use decisive_core::fmea::{FmeaRow, FmeaTable};
@@ -88,6 +89,20 @@ impl FactsArtifact {
     }
 }
 
+/// Persisted form of one injection row: the FMEA verdict *plus* how the
+/// campaign supervisor classified the case, so a warm cache reproduces the
+/// full [`CampaignHealth`] report without re-simulating anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct InjectionArtifact {
+    row: FmeaRow,
+    outcome: CaseOutcome,
+    iterations: usize,
+}
+
+/// File name of the persisted campaign-health report inside a cache
+/// directory, written next to [`crate::cache::CACHE_FILE`].
+pub const CAMPAIGN_FILE: &str = "campaign.json";
+
 /// Quantified fault subtree of one container (see `Engine::analyze_fta`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FtaSubtreeSummary {
@@ -125,18 +140,19 @@ pub struct Engine {
     config: EngineConfig,
     cache: CacheStore,
     stats: EngineStats,
+    last_campaign: Option<CampaignHealth>,
 }
 
 impl Engine {
     /// An engine with an empty cache.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config, cache: CacheStore::new(), stats: EngineStats::default() }
+        Engine::with_cache(config, CacheStore::new())
     }
 
     /// An engine starting from a previously persisted (or hand-built)
     /// cache.
     pub fn with_cache(config: EngineConfig, cache: CacheStore) -> Self {
-        Engine { config, cache, stats: EngineStats::default() }
+        Engine { config, cache, stats: EngineStats::default(), last_campaign: None }
     }
 
     /// The engine's configuration.
@@ -159,23 +175,52 @@ impl Engine {
         self.stats = EngineStats::default();
     }
 
-    /// Loads the cache persisted in `dir` (empty when absent).
+    /// The health report of the most recent supervised injection campaign
+    /// ([`Engine::analyze_injection`]), whether it ran cold, warm, or was
+    /// restored by [`Engine::load_cache`]. `None` before any campaign.
+    pub fn campaign_health(&self) -> Option<&CampaignHealth> {
+        self.last_campaign.as_ref()
+    }
+
+    /// Loads the cache persisted in `dir` (empty when absent), restoring
+    /// the campaign-health report persisted next to it when present.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Cache`] on unreadable or unparsable files.
     pub fn load_cache(&mut self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        let dir = dir.as_ref();
         self.cache = CacheStore::load(dir)?;
+        let file = dir.join(CAMPAIGN_FILE);
+        if file.exists() {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
+            let value = decisive_federation::json::parse(&text)
+                .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
+            // A malformed report is dropped, not fatal: like the cache
+            // itself, campaign history may be cold but never wrong.
+            self.last_campaign = decisive_federation::serde_bridge::from_value(&value).ok();
+        }
         Ok(())
     }
 
-    /// Persists the cache into `dir`.
+    /// Persists the cache into `dir`, along with the latest campaign-health
+    /// report (as [`CAMPAIGN_FILE`]) when an injection campaign has run.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Cache`] on I/O failure.
     pub fn save_cache(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
-        self.cache.save(dir)
+        let dir = dir.as_ref();
+        self.cache.save(dir)?;
+        if let Some(health) = &self.last_campaign {
+            let value = decisive_federation::serde_bridge::to_value(health)
+                .map_err(|e| EngineError::Cache(format!("unserialisable campaign report: {e}")))?;
+            let file = dir.join(CAMPAIGN_FILE);
+            std::fs::write(&file, decisive_federation::json::to_string(&value))
+                .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -234,6 +279,7 @@ impl Engine {
                 .collect();
             let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-facts"))?;
             phase.retries = out.retries;
+            phase.max_job_ms = out.max_job_ms;
             for ((container, key), result) in misses.iter().zip(out.results) {
                 let fresh = result?;
                 self.cache.put(
@@ -305,6 +351,7 @@ impl Engine {
                 .collect();
             let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-rows"))?;
             phase.retries = out.retries;
+            phase.max_job_ms = out.max_job_ms;
             for (&(i, key), rows) in misses.iter().zip(&out.results) {
                 let (_, child) = work[i];
                 self.cache.put(
@@ -389,15 +436,23 @@ impl Engine {
     // Injection path (S7)
     // ------------------------------------------------------------------
 
-    /// Runs the fault-injection FMEA incrementally. Rows are keyed by the
-    /// whole-circuit digest plus the candidate's own content — any circuit
-    /// edit invalidates every row (a fault's effect depends on the entire
-    /// network), while re-analyses of an unchanged circuit are pure cache
-    /// hits and skip simulation entirely.
+    /// Runs the fault-injection FMEA incrementally under full campaign
+    /// supervision. Rows are keyed by the whole-circuit digest plus the
+    /// candidate's own content and the solver ladder configuration — any
+    /// circuit edit invalidates every row (a fault's effect depends on the
+    /// entire network), while re-analyses of an unchanged circuit are pure
+    /// cache hits and skip simulation entirely.
+    ///
+    /// Each cached artefact carries its supervisor classification, so the
+    /// [`CampaignHealth`] report (see [`Engine::campaign_health`]) covers
+    /// hits and misses alike, and the campaign circuit breaker is enforced
+    /// on every run — a warm cache full of unsolvable rows still aborts.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`injection::run`], plus scheduler failures.
+    /// Same conditions as [`injection::run_supervised`] — including
+    /// [`CoreError::CampaignAborted`] when the breaker trips — plus
+    /// scheduler failures.
     pub fn analyze_injection(
         &mut self,
         diagram: &BlockDiagram,
@@ -409,12 +464,15 @@ impl Engine {
                 message: format!("threshold must be positive and finite, got {}", config.threshold),
             }));
         }
+        config.campaign.validate().map_err(EngineError::Core)?;
         let start = Instant::now();
         let mut phase = PhaseStats::new("injection-rows");
         let circuit_fp = model_fp::serialized_fingerprint(diagram, "block-diagram");
+        let solver = &config.campaign.solver;
         let candidates = injection::candidates(diagram, reliability);
         phase.jobs_total = candidates.len();
         let mut merged: Vec<Option<FmeaRow>> = vec![None; candidates.len()];
+        let mut reports: Vec<Option<CaseReport>> = vec![None; candidates.len()];
         let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
         for (i, candidate) in candidates.iter().enumerate() {
             let key = Hasher::new()
@@ -422,11 +480,21 @@ impl Engine {
                 .write_fingerprint(circuit_fp)
                 .write_fingerprint(model_fp::candidate_fingerprint(candidate))
                 .write_f64(config.threshold)
+                .write_bool(solver.damped)
+                .write_bool(solver.gmin_stepping)
+                .write_bool(solver.source_stepping)
+                .write_u64(solver.budget as u64)
                 .finish();
-            match self.cache.get::<FmeaRow>(ArtifactKind::InjectionRow, key) {
-                Some(row) => {
+            match self.cache.get::<InjectionArtifact>(ArtifactKind::InjectionRow, key) {
+                Some(artifact) => {
                     phase.cache_hits += 1;
-                    merged[i] = Some(row);
+                    reports[i] = Some(CaseReport {
+                        case: format!("{}/{}", candidate.name, candidate.mode.name),
+                        outcome: artifact.outcome,
+                        iterations: artifact.iterations,
+                        wall_ms: 0.0, // served from the cache, not re-solved
+                    });
+                    merged[i] = Some(artifact.row);
                 }
                 None => {
                     phase.cache_misses += 1;
@@ -449,7 +517,7 @@ impl Engine {
                     let lowered = &lowered;
                     let nominal = &nominal;
                     move || {
-                        injection::analyse_candidate(candidate, lowered, nominal, config.threshold)
+                        injection::analyse_candidate_supervised(candidate, lowered, nominal, config)
                     }
                 })
                 .collect();
@@ -457,13 +525,32 @@ impl Engine {
                 .run_batch(&jobs)
                 .map_err(|e| batch_error(e, "injection-rows"))?;
             phase.retries = out.retries;
-            for (&(i, key), row) in misses.iter().zip(&out.results) {
-                self.cache.put(ArtifactKind::InjectionRow, key, &candidates[i].name, row)?;
-                merged[i] = Some(row.clone());
+            phase.max_job_ms = out.max_job_ms;
+            for (&(i, key), (row, report)) in misses.iter().zip(out.results) {
+                self.cache.put(
+                    ArtifactKind::InjectionRow,
+                    key,
+                    &candidates[i].name,
+                    &InjectionArtifact {
+                        row: row.clone(),
+                        outcome: report.outcome.clone(),
+                        iterations: report.iterations,
+                    },
+                )?;
+                merged[i] = Some(row);
+                reports[i] = Some(report);
             }
         }
         phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         self.stats.record(phase);
+
+        let reports: Vec<CaseReport> =
+            reports.into_iter().map(|r| r.expect("every candidate classified")).collect();
+        let health = CampaignHealth::from_reports(&reports);
+        // Keep the report visible even when the breaker aborts the run —
+        // it is exactly then that the operator needs the failed-case list.
+        self.last_campaign = Some(health.clone());
+        health.enforce(&config.campaign).map_err(EngineError::Core)?;
 
         let mut table = FmeaTable::new(diagram.name());
         for row in merged {
@@ -532,6 +619,7 @@ impl Engine {
                 .run_batch(&jobs)
                 .map_err(|e| batch_error(e, "fta-subtrees"))?;
             phase.retries = out.retries;
+            phase.max_job_ms = out.max_job_ms;
             for (&(i, key), summary) in misses.iter().zip(&out.results) {
                 self.cache.put(ArtifactKind::FtaSubtree, key, &summary.container, summary)?;
                 merged[i] = Some(summary.clone());

@@ -27,7 +27,7 @@ pub mod scheduler;
 pub mod stats;
 
 pub use cache::{ArtifactKind, CacheStore};
-pub use engine::{Engine, EngineConfig, FtaSubtreeSummary};
+pub use engine::{Engine, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
 pub use error::{EngineError, Result};
 pub use fingerprint::Fingerprint;
 pub use scheduler::{CancelToken, Scheduler};

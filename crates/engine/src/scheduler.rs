@@ -9,6 +9,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Cooperative cancellation handle: cheap to clone, checked between jobs.
 /// Cancelling never interrupts a running job; it stops further jobs from
@@ -40,6 +41,9 @@ pub struct BatchOutput<T> {
     pub results: Vec<T>,
     /// How many jobs panicked once and succeeded on retry.
     pub retries: usize,
+    /// Wall-clock milliseconds of the single slowest job (retry included);
+    /// `0` for an empty batch. The straggler detector for campaign health.
+    pub max_job_ms: f64,
 }
 
 /// What went wrong running a batch.
@@ -100,15 +104,23 @@ impl Scheduler {
         F: Fn() -> T + Sync,
     {
         let retries = AtomicUsize::new(0);
+        let max_job_ms = Mutex::new(0.0f64);
         let run_one = |index: usize| -> Result<T, BatchError> {
-            match catch_unwind(AssertUnwindSafe(&jobs[index])) {
+            let started = Instant::now();
+            let outcome = match catch_unwind(AssertUnwindSafe(&jobs[index])) {
                 Ok(result) => Ok(result),
                 Err(_) => {
                     retries.fetch_add(1, Ordering::SeqCst);
                     catch_unwind(AssertUnwindSafe(&jobs[index]))
                         .map_err(|_| BatchError::JobFailed { index })
                 }
+            };
+            let elapsed = started.elapsed().as_secs_f64() * 1e3;
+            let mut max = max_job_ms.lock().expect("max-job slot");
+            if elapsed > *max {
+                *max = elapsed;
             }
+            outcome
         };
 
         let workers = self.workers.min(jobs.len()).max(1);
@@ -163,7 +175,11 @@ impl Scheduler {
         if out.len() < jobs.len() {
             return Err(BatchError::Cancelled);
         }
-        Ok(BatchOutput { results: out, retries: retries.load(Ordering::SeqCst) })
+        Ok(BatchOutput {
+            results: out,
+            retries: retries.load(Ordering::SeqCst),
+            max_job_ms: max_job_ms.into_inner().expect("max-job slot"),
+        })
     }
 }
 
@@ -226,5 +242,19 @@ mod tests {
         let jobs: Vec<fn() -> u8> = Vec::new();
         let out = Scheduler::new(4).run_batch(&jobs).unwrap();
         assert!(out.results.is_empty());
+        assert_eq!(out.max_job_ms, 0.0);
+    }
+
+    #[test]
+    fn slowest_job_sets_max_job_ms() {
+        let jobs: Vec<Box<dyn Fn() -> u8 + Sync>> = vec![
+            Box::new(|| 1),
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                2
+            }),
+        ];
+        let out = Scheduler::new(2).run_batch(&jobs).unwrap();
+        assert!(out.max_job_ms >= 5.0, "got {}", out.max_job_ms);
     }
 }

@@ -20,6 +20,9 @@ pub struct PhaseStats {
     pub cache_misses: usize,
     /// Jobs that panicked once and were retried successfully.
     pub retries: usize,
+    /// Wall-clock milliseconds of the slowest executed job; `0` when the
+    /// phase was served entirely from the cache.
+    pub max_job_ms: f64,
 }
 
 impl PhaseStats {
@@ -96,6 +99,7 @@ impl EngineStats {
                                 ("cache_hits", Value::Int(p.cache_hits as i64)),
                                 ("cache_misses", Value::Int(p.cache_misses as i64)),
                                 ("retries", Value::Int(p.retries as i64)),
+                                ("max_job_ms", Value::Real(p.max_job_ms)),
                             ])
                         })
                         .collect(),
@@ -115,7 +119,7 @@ impl EngineStats {
         for p in &self.phases {
             let _ = writeln!(
                 out,
-                "# phase {:<14} {:>7.2} ms  jobs {}/{}  hits {}  misses {}{}",
+                "# phase {:<14} {:>7.2} ms  jobs {}/{}  hits {}  misses {}{}{}",
                 p.name,
                 p.wall_ms,
                 p.jobs_executed,
@@ -123,6 +127,11 @@ impl EngineStats {
                 p.cache_hits,
                 p.cache_misses,
                 if p.retries > 0 { format!("  retries {}", p.retries) } else { String::new() },
+                if p.max_job_ms > 0.0 {
+                    format!("  max-job {:.2} ms", p.max_job_ms)
+                } else {
+                    String::new()
+                },
             );
         }
         let _ = writeln!(

@@ -120,6 +120,68 @@ fn injection_rows_cache_and_match_direct_run() {
     assert!((md.spfm - mw.spfm).abs() < 1e-12);
 }
 
+/// Campaign health covers cache hits and misses alike: a warm engine that
+/// simulates nothing still reports the full outcome classification, and
+/// the report itself is persisted next to the cache and restored on load.
+#[test]
+fn campaign_health_survives_cache_round_trips() {
+    let dir = TempCacheDir::new("campaign");
+    let (diagram, _) = decisive::blocks::gallery::sensor_power_supply();
+    let db = ReliabilityDb::paper_table_ii();
+    let config = InjectionConfig::default();
+
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    engine.analyze_injection(&diagram, &db, &config).expect("cold");
+    let cold_health = engine.campaign_health().expect("cold health").clone();
+    assert_eq!(cold_health.total, 9);
+    assert_eq!(cold_health.unsolvable + cold_health.panicked, 0, "healthy design");
+    engine.save_cache(dir.path()).expect("save");
+    assert!(dir.path().join(decisive::engine::CAMPAIGN_FILE).exists());
+
+    let mut warm = Engine::new(EngineConfig::with_jobs(2));
+    warm.load_cache(dir.path()).expect("load");
+    assert_eq!(warm.campaign_health(), Some(&cold_health), "health restored from disk");
+    warm.analyze_injection(&diagram, &db, &config).expect("warm");
+    let phase = warm.stats().phase("injection-rows").expect("phase");
+    assert_eq!(phase.cache_misses, 0, "warm pass simulates nothing");
+    let warm_health = warm.campaign_health().expect("warm health");
+    assert_eq!(warm_health.total, cold_health.total);
+    assert_eq!(warm_health.converged, cold_health.converged);
+    assert_eq!(warm_health.strategy_histogram, cold_health.strategy_histogram);
+}
+
+/// The campaign circuit breaker trips through the engine path too: a
+/// starved per-case budget makes the sweep mostly unsolvable, the run
+/// aborts with `CampaignAborted`, and the health report survives the
+/// abort for post-mortem inspection.
+#[test]
+fn engine_campaign_breaker_trips_on_starved_budget() {
+    use decisive::circuit::SolverOptions;
+    use decisive::core::campaign::CampaignConfig;
+    use decisive::core::CoreError;
+    use decisive::engine::EngineError;
+
+    let (diagram, _) = decisive::blocks::gallery::sensor_power_supply();
+    let db = ReliabilityDb::paper_table_ii();
+    let config = InjectionConfig {
+        campaign: CampaignConfig {
+            max_unsolvable_fraction: 0.25,
+            solver: SolverOptions { budget: 1, ..SolverOptions::default() },
+            ..CampaignConfig::default()
+        },
+        ..InjectionConfig::default()
+    };
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    let err = engine.analyze_injection(&diagram, &db, &config).expect_err("breaker");
+    assert!(
+        matches!(err, EngineError::Core(CoreError::CampaignAborted { total: 9, .. })),
+        "got {err}"
+    );
+    let health = engine.campaign_health().expect("health survives the abort");
+    assert!(health.failure_fraction() > 0.25);
+    assert!(!health.failed_cases.is_empty());
+}
+
 /// A poisoned persisted cache (corrupt JSON) fails loudly on load rather
 /// than silently analysing with garbage.
 #[test]
