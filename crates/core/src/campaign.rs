@@ -126,6 +126,11 @@ pub struct CampaignHealth {
     pub failed_cases: Vec<String>,
     /// The slowest cases as `(label, wall_ms)`, most expensive first.
     pub slowest: Vec<(String, f64)>,
+    /// How degraded the run that produced this campaign was (quarantined
+    /// cache entries, substituted FITs, unresolved references, timed-out
+    /// jobs). `None` for pristine runs and for reports persisted before
+    /// degraded-mode tracking existed.
+    pub degraded: Option<crate::degraded::DegradedModeReport>,
 }
 
 /// How many slowest cases the health report keeps.
@@ -212,6 +217,30 @@ impl CampaignHealth {
         slowest.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         slowest.truncate(SLOWEST_KEPT);
         self.slowest = slowest;
+        if let Some(theirs) = &other.degraded {
+            match &mut self.degraded {
+                Some(mine) => mine.merge(theirs),
+                None => self.degraded = Some(theirs.clone()),
+            }
+        }
+    }
+
+    /// Attaches (or merges in) a degraded-mode report. An empty report is
+    /// ignored, keeping pristine campaigns at `degraded: None`.
+    pub fn absorb_degradation(&mut self, report: &crate::degraded::DegradedModeReport) {
+        if !report.is_degraded() {
+            return;
+        }
+        match &mut self.degraded {
+            Some(mine) => mine.merge(report),
+            None => self.degraded = Some(report.clone()),
+        }
+    }
+
+    /// `true` when the producing run degraded in any way (see
+    /// [`DegradedModeReport::is_degraded`](crate::degraded::DegradedModeReport::is_degraded)).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.as_ref().is_some_and(|d| d.is_degraded())
     }
 
     /// Renders the health report as the CLI prints it: one `#`-prefixed
@@ -238,6 +267,9 @@ impl CampaignHealth {
             let parts: Vec<String> =
                 self.slowest.iter().map(|(case, ms)| format!("{case} {ms:.2} ms")).collect();
             let _ = writeln!(out, "# slowest cases: {}", parts.join(", "));
+        }
+        if let Some(degraded) = &self.degraded {
+            out.push_str(&degraded.render());
         }
         out
     }
@@ -314,6 +346,32 @@ mod tests {
         assert_eq!(a.recovered, 1);
         assert_eq!(a.strategy_histogram.get("gmin-stepping"), Some(&1));
         assert_eq!(a.slowest[0].0, "B");
+    }
+
+    #[test]
+    fn degradation_is_absorbed_merged_and_rendered() {
+        use crate::degraded::DegradedModeReport;
+        let mut health = CampaignHealth::from_reports(&[report("A", CaseOutcome::Converged, 1.0)]);
+        assert!(!health.is_degraded());
+        health.absorb_degradation(&DegradedModeReport::default());
+        assert_eq!(health.degraded, None, "empty reports leave the campaign pristine");
+
+        health.absorb_degradation(&DegradedModeReport {
+            quarantined_cache_entries: 2,
+            ..DegradedModeReport::default()
+        });
+        assert!(health.is_degraded());
+        assert!(health.render().contains("degraded mode: 2 quarantined"));
+
+        let mut other = CampaignHealth::from_reports(&[report("B", CaseOutcome::Converged, 1.0)]);
+        other.absorb_degradation(&DegradedModeReport {
+            substituted_fits: vec!["row 2".into()],
+            ..DegradedModeReport::default()
+        });
+        health.merge(&other);
+        let degraded = health.degraded.as_ref().expect("merged report");
+        assert_eq!(degraded.quarantined_cache_entries, 2);
+        assert_eq!(degraded.substituted_fits, vec!["row 2".to_string()]);
     }
 
     #[test]

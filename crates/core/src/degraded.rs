@@ -1,0 +1,160 @@
+//! Degraded-mode reporting: what the toolchain substituted, dropped or
+//! abandoned to still produce an analysis.
+//!
+//! The DECISIVE loop only works if every design iteration yields *some*
+//! safety analysis — an aborted FMEA is indistinguishable from "no
+//! hazards". So instead of aborting on dirty inputs (a corrupted cache
+//! from a killed run, a reliability row with a malformed FIT, an external
+//! reference that no longer resolves, a simulation that blew its
+//! deadline), the engine degrades: it quarantines, substitutes
+//! conservative defaults, and records every such step here. The report is
+//! merged into [`CampaignHealth`](crate::campaign::CampaignHealth),
+//! printed by `decisive analyze`, and promoted to a hard failure under
+//! `--strict`.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Everything an analysis run did *instead of* failing. An empty report
+/// means the run was pristine; anything else means the results are valid
+/// but built on substituted or recomputed ground, and `--strict` callers
+/// treat that as failure.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DegradedModeReport {
+    /// Persisted cache entries that failed checksum or shape validation,
+    /// were quarantined, and recomputed.
+    pub quarantined_cache_entries: usize,
+    /// Provenance warnings for reliability records whose FIT (or other
+    /// field) was malformed and replaced by a MIL-HDBK-338B default, one
+    /// per substitution.
+    pub substituted_fits: Vec<String>,
+    /// External references (federated model locations, reliability
+    /// files) that could not be resolved and degraded to defaults.
+    pub unresolved_references: Vec<String>,
+    /// Labels of jobs that exceeded the per-job deadline; their results
+    /// were kept but flagged.
+    pub timed_out_jobs: Vec<String>,
+    /// Anything else worth knowing (stale cache format, quarantined
+    /// campaign report, …).
+    pub notes: Vec<String>,
+}
+
+impl DegradedModeReport {
+    /// A clean, empty report.
+    pub fn new() -> Self {
+        DegradedModeReport::default()
+    }
+
+    /// `true` when the run had to degrade in any way.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined_cache_entries > 0
+            || !self.substituted_fits.is_empty()
+            || !self.unresolved_references.is_empty()
+            || !self.timed_out_jobs.is_empty()
+            || !self.notes.is_empty()
+    }
+
+    /// Total number of individual degradations, for summaries and exit
+    /// codes.
+    pub fn degradation_count(&self) -> usize {
+        self.quarantined_cache_entries
+            + self.substituted_fits.len()
+            + self.unresolved_references.len()
+            + self.timed_out_jobs.len()
+            + self.notes.len()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &DegradedModeReport) {
+        self.quarantined_cache_entries += other.quarantined_cache_entries;
+        self.substituted_fits.extend(other.substituted_fits.iter().cloned());
+        self.unresolved_references.extend(other.unresolved_references.iter().cloned());
+        self.timed_out_jobs.extend(other.timed_out_jobs.iter().cloned());
+        self.notes.extend(other.notes.iter().cloned());
+    }
+
+    /// Renders the report as the CLI prints it: a `#`-prefixed summary
+    /// line plus one line per non-empty category. Returns an empty
+    /// string for a clean report.
+    pub fn render(&self) -> String {
+        if !self.is_degraded() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# degraded mode: {} quarantined cache entries, {} substituted FITs, \
+             {} unresolved references, {} timed-out jobs",
+            self.quarantined_cache_entries,
+            self.substituted_fits.len(),
+            self.unresolved_references.len(),
+            self.timed_out_jobs.len(),
+        );
+        for warning in &self.substituted_fits {
+            let _ = writeln!(out, "#   substituted: {warning}");
+        }
+        for reference in &self.unresolved_references {
+            let _ = writeln!(out, "#   unresolved: {reference}");
+        }
+        for job in &self.timed_out_jobs {
+            let _ = writeln!(out, "#   timed out: {job}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "#   note: {note}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_renders_empty() {
+        let report = DegradedModeReport::new();
+        assert!(!report.is_degraded());
+        assert_eq!(report.degradation_count(), 0);
+        assert_eq!(report.render(), "");
+    }
+
+    #[test]
+    fn merge_accumulates_all_categories() {
+        let mut a = DegradedModeReport {
+            quarantined_cache_entries: 2,
+            substituted_fits: vec!["row 3 (Diode)".into()],
+            ..DegradedModeReport::default()
+        };
+        let b = DegradedModeReport {
+            quarantined_cache_entries: 1,
+            unresolved_references: vec!["missing.csv".into()],
+            timed_out_jobs: vec!["injection-rows/D1".into()],
+            notes: vec!["stale cache format".into()],
+            ..DegradedModeReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.quarantined_cache_entries, 3);
+        assert_eq!(a.degradation_count(), 7);
+        assert!(a.is_degraded());
+        let rendered = a.render();
+        assert!(rendered.contains("degraded mode: 3 quarantined"));
+        assert!(rendered.contains("substituted: row 3 (Diode)"));
+        assert!(rendered.contains("unresolved: missing.csv"));
+        assert!(rendered.contains("timed out: injection-rows/D1"));
+        assert!(rendered.contains("note: stale cache format"));
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let report = DegradedModeReport {
+            quarantined_cache_entries: 1,
+            substituted_fits: vec!["x".into()],
+            ..DegradedModeReport::default()
+        };
+        let value = crate::persist::artefact_to_value(&report).expect("serialize");
+        let back: DegradedModeReport =
+            crate::persist::artefact_from_value(&value).expect("deserialize");
+        assert_eq!(back, report);
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod campaign;
 pub mod case_study;
+pub mod degraded;
 mod error;
 pub mod fmea;
 pub mod impact;

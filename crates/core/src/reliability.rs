@@ -11,11 +11,66 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use decisive_federation::Value;
+use decisive_federation::{FederationDiagnostic, Value};
 use decisive_ssam::architecture::{FailureNature, Fit};
 use decisive_ssam::model::SsamModel;
 
 use crate::error::{CoreError, Result};
+
+/// Outcome of a lenient reliability load: the database built from every
+/// usable row, provenance warnings for each substituted field, and
+/// diagnostics for rows (or document-level defects) that had to be
+/// dropped entirely.
+#[derive(Debug, Clone, Default)]
+pub struct LenientReliabilityLoad {
+    /// The database built from the usable rows.
+    pub db: ReliabilityDb,
+    /// One provenance warning per substituted field, e.g. `` row 3
+    /// (Diode): FIT missing or non-numeric — substituted MIL-HDBK-338B
+    /// default 10 FIT ``. These feed
+    /// [`DegradedModeReport::substituted_fits`](crate::degraded::DegradedModeReport).
+    pub substitutions: Vec<String>,
+    /// One diagnostic per unusable row (no identifiable `Component`) or
+    /// document-level defect.
+    pub diagnostics: Vec<FederationDiagnostic>,
+}
+
+impl LenientReliabilityLoad {
+    /// `true` when every row loaded verbatim.
+    pub fn is_clean(&self) -> bool {
+        self.substitutions.is_empty() && self.diagnostics.is_empty()
+    }
+}
+
+/// A generic-part base failure rate in FIT for a component type, in the
+/// spirit of MIL-HDBK-338B's generic part tables — the conservative
+/// fallback when a reliability source has no usable FIT for a type.
+/// Matching is by substring on the lowercased type key; unknown types get
+/// a deliberately pessimistic 50 FIT.
+pub fn mil_hdbk_338b_default_fit(type_key: &str) -> f64 {
+    let key = type_key.to_ascii_lowercase();
+    if key.contains("diode") {
+        10.0
+    } else if key.contains("capacitor") {
+        2.0
+    } else if key.contains("inductor") || key.contains("coil") || key.contains("transformer") {
+        15.0
+    } else if key.contains("resistor") {
+        1.0
+    } else if key.contains("transistor") || key.contains("mosfet") || key.contains("igbt") {
+        20.0
+    } else if key == "mc"
+        || key.contains("micro")
+        || key.contains("controller")
+        || key.contains("processor")
+    {
+        300.0
+    } else if key.contains("ic") || key.contains("integrated") {
+        100.0
+    } else {
+        50.0
+    }
+}
 
 /// One failure mode of a component type with its probability share.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,6 +219,115 @@ impl ReliabilityDb {
     pub fn from_csv_str(text: &str) -> Result<ReliabilityDb> {
         let rows = decisive_federation::csv::parse(text)?;
         ReliabilityDb::from_value(&rows)
+    }
+
+    /// Builds a database from a Table II-shaped value without aborting on
+    /// bad rows — the degraded-mode counterpart of
+    /// [`ReliabilityDb::from_value`].
+    ///
+    /// Rows whose `Component` is missing or not a string cannot be keyed
+    /// and are dropped with one diagnostic each. For rows with a usable
+    /// key, malformed fields are substituted conservatively, with one
+    /// provenance warning per substitution:
+    ///
+    /// * a missing, non-numeric or out-of-range `FIT` becomes the
+    ///   [`mil_hdbk_338b_default_fit`] for the type;
+    /// * a missing `Failure_Mode` becomes `"Unspecified"` (loss of
+    ///   function);
+    /// * a missing or non-numeric `Distribution` becomes `1.0`, and a
+    ///   finite out-of-range one is clamped into `[0, 1]`.
+    ///
+    /// `source` labels the diagnostics (a file path or driver location).
+    pub fn from_value_lenient(rows: &Value, source: &str) -> LenientReliabilityLoad {
+        let mut out = LenientReliabilityLoad::default();
+        let Some(items) = rows.as_list() else {
+            out.diagnostics.push(FederationDiagnostic::malformed(
+                source,
+                0,
+                format!("reliability model must be a list of rows, got {}", rows.type_name()),
+            ));
+            return out;
+        };
+        for (i, row) in items.iter().enumerate() {
+            // Header + 1-based data rows, matching CSV line numbering.
+            let line = i + 2;
+            let Some(type_key) = row.get("Component").and_then(Value::as_str) else {
+                out.diagnostics.push(FederationDiagnostic::malformed(
+                    source,
+                    line,
+                    format!(
+                        "reliability row {i}: `Component` missing or not a string; row dropped"
+                    ),
+                ));
+                continue;
+            };
+            let type_key = type_key.to_owned();
+            let fit_value = match row.get("FIT").and_then(Value::as_f64) {
+                Some(v) if v.is_finite() && v >= 0.0 => v,
+                got => {
+                    let default = mil_hdbk_338b_default_fit(&type_key);
+                    let defect = match got {
+                        Some(v) => format!("FIT {v} out of range"),
+                        None => "FIT missing or non-numeric".to_owned(),
+                    };
+                    out.substitutions.push(format!(
+                        "row {i} ({type_key}): {defect} — substituted MIL-HDBK-338B default {default} FIT"
+                    ));
+                    default
+                }
+            };
+            let mode_name = match row.get("Failure_Mode").and_then(Value::as_str) {
+                Some(m) => m.to_owned(),
+                None => {
+                    out.substitutions.push(format!(
+                        "row {i} ({type_key}): `Failure_Mode` missing — substituted `Unspecified` (loss of function)"
+                    ));
+                    "Unspecified".to_owned()
+                }
+            };
+            let distribution = match row.get("Distribution").and_then(Value::as_f64) {
+                Some(d) if (0.0..=1.0).contains(&d) => d,
+                Some(d) if d.is_finite() => {
+                    let clamped = d.clamp(0.0, 1.0);
+                    out.substitutions.push(format!(
+                        "row {i} ({type_key}): distribution {d} outside [0, 1] — clamped to {clamped}"
+                    ));
+                    clamped
+                }
+                _ => {
+                    out.substitutions.push(format!(
+                        "row {i} ({type_key}): `Distribution` missing or non-numeric — substituted 1.0"
+                    ));
+                    1.0
+                }
+            };
+            let nature = match row.get("Nature").and_then(Value::as_str) {
+                Some(n) => nature_from_str(n),
+                None if mode_name == "Unspecified" => FailureNature::LossOfFunction,
+                None => infer_nature(&mode_name),
+            };
+            let entry = out.db.entries.entry(type_key.clone()).or_insert_with(|| {
+                ComponentReliability { type_key, fit: Fit::new(fit_value), modes: Vec::new() }
+            });
+            entry.modes.push(FailureModeSpec { name: mode_name, nature, distribution });
+        }
+        out
+    }
+
+    /// Parses a Table II-shaped CSV document leniently: structurally
+    /// broken CSV rows are skipped with a diagnostic, and row-level
+    /// defects degrade per [`ReliabilityDb::from_value_lenient`]. Never
+    /// fails — worst case is an empty database with diagnostics
+    /// explaining why.
+    pub fn from_csv_str_lenient(text: &str, source: &str) -> LenientReliabilityLoad {
+        let (rows, csv_diags) = decisive_federation::csv::parse_lenient(text, source);
+        let mut out = ReliabilityDb::from_value_lenient(&rows, source);
+        // CSV-level diagnostics first: they explain rows that never
+        // reached the row validator.
+        let mut diagnostics = csv_diags;
+        diagnostics.append(&mut out.diagnostics);
+        out.diagnostics = diagnostics;
+        out
     }
 
     /// Serialises the database back into a Table II-shaped value.
@@ -316,6 +480,77 @@ mod tests {
         )
         .is_err());
         assert!(ReliabilityDb::from_value(&Value::from("nope")).is_err());
+    }
+
+    #[test]
+    fn lenient_load_keeps_good_rows_and_diagnoses_bad_ones() {
+        // Mixed file: two good rows, one with a malformed FIT (substituted),
+        // one with an out-of-range distribution (clamped), one with no
+        // usable Component (dropped).
+        let text = "Component,FIT,Failure_Mode,Distribution\n\
+                    Diode,10,Open,0.3\n\
+                    Diode,10,Short,0.7\n\
+                    Capacitor,banana,Open,1.0\n\
+                    Inductor,15,Open,1.5\n\
+                    ,12,Open,1.0\n";
+        let load = ReliabilityDb::from_csv_str_lenient(text, "mixed.csv");
+        assert!(!load.is_clean());
+        // Good rows survive verbatim.
+        assert_eq!(load.db.get("Diode").unwrap().fit, Fit::new(10.0));
+        assert_eq!(load.db.get("Diode").unwrap().modes.len(), 2);
+        // Malformed FIT gets the MIL-HDBK-338B default for capacitors.
+        assert_eq!(load.db.get("Capacitor").unwrap().fit, Fit::new(2.0));
+        // Out-of-range distribution is clamped.
+        assert_eq!(load.db.get("Inductor").unwrap().modes[0].distribution, 1.0);
+        // One provenance warning per substitution, one diagnostic per
+        // dropped row.
+        assert_eq!(load.substitutions.len(), 2, "{:?}", load.substitutions);
+        assert!(load.substitutions[0].contains("MIL-HDBK-338B default 2 FIT"));
+        assert!(load.substitutions[1].contains("outside [0, 1]"));
+        assert_eq!(load.diagnostics.len(), 1, "{:?}", load.diagnostics);
+        assert!(load.diagnostics[0].reason.contains("`Component` missing"));
+        // Strict mode refuses the same file at the first bad row.
+        let err = ReliabilityDb::from_csv_str(text).unwrap_err();
+        assert!(err.to_string().contains("`FIT` must be numeric"), "{err}");
+    }
+
+    #[test]
+    fn lenient_load_of_clean_file_matches_strict() {
+        let text = "Component,FIT,Failure_Mode,Distribution\n\
+                    Diode,10,Open,0.3\n\
+                    Diode,10,Short,0.7\n";
+        let load = ReliabilityDb::from_csv_str_lenient(text, "clean.csv");
+        assert!(load.is_clean());
+        assert_eq!(load.db, ReliabilityDb::from_csv_str(text).unwrap());
+    }
+
+    #[test]
+    fn lenient_load_substitutes_missing_mode_and_distribution() {
+        let rows = Value::List(vec![Value::record([("Component", Value::from("Widget"))])]);
+        let load = ReliabilityDb::from_value_lenient(&rows, "inline");
+        assert_eq!(load.substitutions.len(), 3, "{:?}", load.substitutions);
+        let widget = load.db.get("Widget").unwrap();
+        assert_eq!(widget.fit, Fit::new(50.0), "unknown type gets the generic default");
+        assert_eq!(widget.modes[0].name, "Unspecified");
+        assert_eq!(widget.modes[0].nature, FailureNature::LossOfFunction);
+        assert_eq!(widget.modes[0].distribution, 1.0);
+    }
+
+    #[test]
+    fn lenient_load_of_non_list_yields_empty_db_with_diagnostic() {
+        let load = ReliabilityDb::from_value_lenient(&Value::from("nope"), "inline");
+        assert!(load.db.is_empty());
+        assert_eq!(load.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn default_fit_table_covers_common_parts() {
+        assert_eq!(mil_hdbk_338b_default_fit("Diode"), 10.0);
+        assert_eq!(mil_hdbk_338b_default_fit("MC"), 300.0);
+        assert_eq!(mil_hdbk_338b_default_fit("Microcontroller"), 300.0);
+        assert_eq!(mil_hdbk_338b_default_fit("Resistor"), 1.0);
+        assert_eq!(mil_hdbk_338b_default_fit("Flux Capacitor"), 2.0);
+        assert_eq!(mil_hdbk_338b_default_fit("Widget"), 50.0);
     }
 
     #[test]

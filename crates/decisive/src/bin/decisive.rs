@@ -88,8 +88,8 @@ fn print_usage() {
         "decisive — iterative automated safety analysis\n\n\
          usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
-         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
-         decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--reliability <csv>] [--strict]\n  \
+         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
+         decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
          decisive trace <model.json>\n  decisive --version"
@@ -97,8 +97,8 @@ fn print_usage() {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 6] =
-    ["--algorithm", "--csv", "--json", "--cache", "--jobs", "--reliability"];
+const VALUE_FLAGS: [&str; 7] =
+    ["--algorithm", "--csv", "--json", "--cache", "--jobs", "--reliability", "--deadline-ms"];
 
 /// Rejects any `--flag` the command does not understand (naming the
 /// flag), and any trailing value-flag left without its value.
@@ -235,7 +235,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "analyze",
         args,
-        &["--cache", "--jobs", "--csv", "--json", "--reliability", "--strict"],
+        &["--cache", "--jobs", "--deadline-ms", "--csv", "--json", "--reliability", "--strict"],
     )?;
     let path = one_path("analyze", args)?;
     if path.ends_with(".bd") {
@@ -250,6 +250,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     }
     print_table(&table, args)?;
     print!("{}", engine.stats().render());
+    print!("{}", engine.degraded_report().render());
     enforce_strict(args, &engine)
 }
 
@@ -257,7 +258,7 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "rerun",
         args,
-        &["--cache", "--jobs", "--csv", "--json", "--reliability", "--strict"],
+        &["--cache", "--jobs", "--deadline-ms", "--csv", "--json", "--reliability", "--strict"],
     )?;
     let (old_path, new_path) = two_paths("rerun", args)?;
     if new_path.ends_with(".bd") || old_path.ends_with(".bd") {
@@ -281,6 +282,7 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
     }
     print_table(&table, args)?;
     print!("{}", engine.stats().render());
+    print!("{}", engine.degraded_report().render());
     enforce_strict(args, &engine)
 }
 
@@ -291,14 +293,8 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
 fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-    let reliability = match flag_value(args, "--reliability") {
-        Some(csv) => {
-            let text = std::fs::read_to_string(csv).map_err(|e| format!("{csv}: {e}"))?;
-            ReliabilityDb::from_csv_str(&text).map_err(|e| e.to_string())?
-        }
-        None => ReliabilityDb::paper_table_ii(),
-    };
     let mut engine = engine_from_flags(args)?;
+    let reliability = load_reliability(args, &mut engine)?;
     let table = match engine.analyze_injection(&diagram, &reliability, &InjectionConfig::default())
     {
         Ok(table) => table,
@@ -313,15 +309,52 @@ fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
         engine.save_cache(dir).map_err(|e| e.to_string())?;
     }
     print_table(&table, args)?;
+    // The campaign-health render includes the absorbed degraded-mode
+    // report, so it is not printed separately here.
     if let Some(health) = engine.campaign_health() {
         print!("{}", health.render());
+    } else {
+        print!("{}", engine.degraded_report().render());
     }
     print!("{}", engine.stats().render());
     enforce_strict(args, &engine)
 }
 
+/// Resolves `--reliability`. Without `--strict` the file is loaded
+/// leniently: malformed rows degrade per the MIL-HDBK-338B defaults (one
+/// provenance warning each), and a missing file falls back to the paper's
+/// Table II with an unresolved-reference entry — all recorded in the
+/// engine's degraded-mode report. Under `--strict` any defect is an
+/// immediate failure.
+fn load_reliability(args: &[String], engine: &mut Engine) -> Result<ReliabilityDb, CliError> {
+    let strict = args.iter().any(|a| a == "--strict");
+    let Some(csv) = flag_value(args, "--reliability") else {
+        return Ok(ReliabilityDb::paper_table_ii());
+    };
+    match std::fs::read_to_string(csv) {
+        Ok(text) if strict => ReliabilityDb::from_csv_str(&text).map_err(|e| e.to_string().into()),
+        Ok(text) => {
+            let load = ReliabilityDb::from_csv_str_lenient(&text, csv);
+            let degraded = engine.degraded_report_mut();
+            degraded.substituted_fits.extend(load.substitutions);
+            degraded.notes.extend(load.diagnostics.iter().map(ToString::to_string));
+            Ok(load.db)
+        }
+        Err(e) if strict => Err(CliError::Failure(format!("{csv}: {e}"))),
+        Err(e) => {
+            engine
+                .degraded_report_mut()
+                .unresolved_references
+                .push(format!("{csv}: {e}; used paper Table II defaults"));
+            Ok(ReliabilityDb::paper_table_ii())
+        }
+    }
+}
+
 /// Applies `--strict`: any unsolvable or panicked campaign case fails the
-/// invocation even though its row was conservatively classified. A run
+/// invocation even though its row was conservatively classified, and any
+/// degradation (quarantined cache entries, substituted FITs, unresolved
+/// references, timed-out jobs) is promoted to a failure. A pristine run
 /// without campaign health (the SSAM graph path) passes vacuously.
 fn enforce_strict(args: &[String], engine: &Engine) -> Result<(), CliError> {
     if !args.iter().any(|a| a == "--strict") {
@@ -336,17 +369,32 @@ fn enforce_strict(args: &[String], engine: &Engine) -> Result<(), CliError> {
             )));
         }
     }
+    let degraded = engine.degraded_report();
+    if degraded.is_degraded() {
+        return Err(CliError::Failure(format!(
+            "--strict: run degraded in {} way(s) (see degraded-mode report above)",
+            degraded.degradation_count()
+        )));
+    }
     Ok(())
 }
 
-/// Builds an [`Engine`] from `--jobs` and pre-loads `--cache` when given.
+/// Builds an [`Engine`] from `--jobs`/`--deadline-ms` and pre-loads
+/// `--cache` when given.
 fn engine_from_flags(args: &[String]) -> Result<Engine, CliError> {
-    let config = match flag_value(args, "--jobs") {
+    let mut config = match flag_value(args, "--jobs") {
         Some(n) => EngineConfig::with_jobs(n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
             || CliError::usage(format!("--jobs wants a positive integer, got `{n}`")),
         )?),
         None => EngineConfig::default(),
     };
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        let ms =
+            ms.parse::<f64>().ok().filter(|&ms| ms > 0.0 && ms.is_finite()).ok_or_else(|| {
+                CliError::usage(format!("--deadline-ms wants a positive number, got `{ms}`"))
+            })?;
+        config = config.with_deadline_ms(ms);
+    }
     let mut engine = Engine::new(config);
     if let Some(dir) = flag_value(args, "--cache") {
         engine.load_cache(dir).map_err(|e| e.to_string())?;

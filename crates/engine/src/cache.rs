@@ -11,6 +11,21 @@
 //! The store persists through the federation layer (`serde_bridge` +
 //! `json`) as a single `cache.json` in the cache directory, so warm caches
 //! survive CLI invocations.
+//!
+//! ## Crash safety (format v3)
+//!
+//! A killed run must never poison the next one, so persistence is built
+//! around two mechanisms:
+//!
+//! * **Atomic writes** — the store is written to a temp file, fsynced,
+//!   and renamed over `cache.json`, so readers only ever see the old or
+//!   the new file, never a torn one.
+//! * **Checksummed quarantine loads** — every persisted entry carries a
+//!   fingerprint checksum and the header a whole-file checksum. On load,
+//!   entries failing checksum or shape validation are moved to
+//!   [`QUARANTINE_FILE`] and simply recomputed (a cache may always be
+//!   cold, never wrong); an unparsable file is quarantined wholesale.
+//!   [`CacheStore::load_with_report`] surfaces what was dropped.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -18,7 +33,7 @@ use std::path::{Path, PathBuf};
 use decisive_federation::{json, serde_bridge, Value};
 
 use crate::error::{EngineError, Result};
-use crate::fingerprint::Fingerprint;
+use crate::fingerprint::{Fingerprint, Hasher};
 
 /// Which analysis produced a cached artefact. Kinds namespace the key
 /// space: the same input digest keys different artefacts per analysis.
@@ -79,10 +94,83 @@ pub struct CacheStore {
 /// File name of the persisted store inside a cache directory.
 pub const CACHE_FILE: &str = "cache.json";
 
+/// File name corrupt cache content is moved to inside a cache directory,
+/// for post-mortem inspection. Overwritten by the next quarantine.
+pub const QUARANTINE_FILE: &str = "cache.quarantine.json";
+
 /// Version stamp of the persisted format; mismatches load as empty.
 /// Version 2: injection rows carry their campaign outcome
 /// (`InjectionArtifact`) instead of a bare `FmeaRow`.
-const FORMAT_VERSION: i64 = 2;
+/// Version 3: per-entry `sum` and whole-file `checksum` fields, verified
+/// on load with a quarantine path for entries that fail.
+const FORMAT_VERSION: i64 = 3;
+
+/// What a [`CacheStore::load_with_report`] had to drop to produce a
+/// usable store. A clean load has zero quarantined items and no notes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheLoadReport {
+    /// Entries (or, for an unparsable file, the whole file counted as
+    /// one item) moved to [`QUARANTINE_FILE`] and scheduled for
+    /// recomputation.
+    pub quarantined: usize,
+    /// One human-readable reason per dropped or suspicious item.
+    pub reasons: Vec<String>,
+}
+
+impl CacheLoadReport {
+    /// `true` when nothing was dropped and nothing looked suspicious.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0 && self.reasons.is_empty()
+    }
+}
+
+/// Checksum of one persisted entry, covering everything that round-trips:
+/// kind tag, key, owner, and the serialized artefact value.
+fn entry_sum(kind: ArtifactKind, key: Fingerprint, owner: &str, value: &Value) -> Fingerprint {
+    Hasher::new()
+        .write_str(kind.tag())
+        .write_fingerprint(key)
+        .write_str(owner)
+        .write_str(&json::to_string(value))
+        .finish()
+}
+
+/// Whole-file checksum: a fingerprint over the per-entry checksums in
+/// serialized order, detecting spliced or truncated entry lists that
+/// still parse as JSON.
+fn file_sum(sums: &[Fingerprint]) -> Fingerprint {
+    let mut h = Hasher::new();
+    for s in sums {
+        h.write_fingerprint(*s);
+    }
+    h.finish()
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, fsync, rename over the target, then fsync the directory so
+/// the rename itself is durable. Readers see the old file or the new
+/// one — never a torn mix.
+pub(crate) fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Some(parent) = path.parent() {
+        // Best-effort: directory fsync is not supported everywhere.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+    Ok(())
+}
 
 impl CacheStore {
     /// An empty store.
@@ -142,57 +230,108 @@ impl CacheStore {
         before - self.entries.len()
     }
 
-    /// Serialises the whole store as a federation [`Value`].
+    /// Serialises the whole store as a federation [`Value`] in format v3:
+    /// a versioned header with a whole-file checksum, and one `sum`
+    /// checksum per entry.
     pub fn to_value(&self) -> Value {
         // Deterministic entry order, so persisted caches diff cleanly.
         let mut keys: Vec<&(ArtifactKind, Fingerprint)> = self.entries.keys().collect();
         keys.sort_by_key(|(kind, fp)| (kind.tag(), *fp));
+        let mut sums = Vec::with_capacity(keys.len());
+        let entries: Vec<Value> = keys
+            .into_iter()
+            .map(|k| {
+                let entry = &self.entries[k];
+                let sum = entry_sum(k.0, k.1, &entry.owner, &entry.value);
+                sums.push(sum);
+                Value::record([
+                    ("kind", Value::from(k.0.tag())),
+                    ("key", Value::from(k.1.to_string().as_str())),
+                    ("owner", Value::from(entry.owner.as_str())),
+                    ("sum", Value::from(sum.to_string().as_str())),
+                    ("value", entry.value.clone()),
+                ])
+            })
+            .collect();
         Value::record([
             ("version", Value::Int(FORMAT_VERSION)),
-            (
-                "entries",
-                Value::List(
-                    keys.into_iter()
-                        .map(|k| {
-                            let entry = &self.entries[k];
-                            Value::record([
-                                ("kind", Value::from(k.0.tag())),
-                                ("key", Value::from(k.1.to_string().as_str())),
-                                ("owner", Value::from(entry.owner.as_str())),
-                                ("value", entry.value.clone()),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("checksum", Value::from(file_sum(&sums).to_string().as_str())),
+            ("entries", Value::List(entries)),
         ])
     }
 
-    /// Rebuilds a store from [`CacheStore::to_value`] output. Entries with
-    /// unknown kinds or malformed keys are skipped, and a version mismatch
-    /// yields an empty store — a cache may always be cold, never wrong.
+    /// Rebuilds a store from [`CacheStore::to_value`] output, dropping
+    /// anything that fails validation — a cache may always be cold, never
+    /// wrong. See [`CacheStore::from_value_audited`] for what exactly is
+    /// checked.
     pub fn from_value(value: &Value) -> CacheStore {
+        Self::from_value_audited(value).0
+    }
+
+    /// Rebuilds a store, returning the load report and the raw rejected
+    /// entries alongside it.
+    ///
+    /// Validation per entry: known kind tag, parsable key, string owner,
+    /// present value, and a `sum` matching the recomputed entry checksum.
+    /// Rejected entries land in the returned list (for quarantining) with
+    /// one reason each in the report. A version mismatch yields an empty
+    /// store with a note but quarantines nothing (an old format is stale,
+    /// not corrupt); a whole-file checksum mismatch over individually
+    /// valid entries is noted but keeps the entries.
+    pub fn from_value_audited(value: &Value) -> (CacheStore, CacheLoadReport, Vec<Value>) {
         let mut store = CacheStore::new();
-        if value.get("version").and_then(Value::as_i64) != Some(FORMAT_VERSION) {
-            return store;
+        let mut report = CacheLoadReport::default();
+        let mut rejected = Vec::new();
+        let version = value.get("version").and_then(Value::as_i64);
+        if version != Some(FORMAT_VERSION) {
+            report.reasons.push(format!(
+                "cache format version {} does not match expected {FORMAT_VERSION}; starting cold",
+                version.map(|v| v.to_string()).unwrap_or_else(|| "<missing>".to_owned())
+            ));
+            return (store, report, rejected);
         }
         let Some(Value::List(entries)) = value.get("entries") else {
-            return store;
+            report.quarantined = 1;
+            report.reasons.push("cache header has no `entries` list".to_owned());
+            return (store, report, rejected);
         };
-        for entry in entries {
+        let mut sums = Vec::with_capacity(entries.len());
+        for (idx, entry) in entries.iter().enumerate() {
             let kind = entry.get("kind").and_then(Value::as_str).and_then(ArtifactKind::parse);
             let key = entry.get("key").and_then(Value::as_str).and_then(Fingerprint::parse);
             let owner = entry.get("owner").and_then(Value::as_str);
-            if let (Some(kind), Some(key), Some(owner), Some(value)) =
-                (kind, key, owner, entry.get("value"))
-            {
-                store.entries.insert(
-                    (kind, key),
-                    CacheEntry { owner: owner.to_owned(), value: value.clone() },
-                );
+            let stored_sum = entry.get("sum").and_then(Value::as_str).and_then(Fingerprint::parse);
+            let (Some(kind), Some(key), Some(owner), Some(sum), Some(value)) =
+                (kind, key, owner, stored_sum, entry.get("value"))
+            else {
+                report.quarantined += 1;
+                report.reasons.push(format!("entry {idx}: malformed shape"));
+                rejected.push(entry.clone());
+                continue;
+            };
+            let expected = entry_sum(kind, key, owner, value);
+            if expected != sum {
+                report.quarantined += 1;
+                report.reasons.push(format!(
+                    "entry {idx} ({} {key}, owner `{owner}`): checksum mismatch",
+                    kind.tag()
+                ));
+                rejected.push(entry.clone());
+                continue;
             }
+            sums.push(sum);
+            store
+                .entries
+                .insert((kind, key), CacheEntry { owner: owner.to_owned(), value: value.clone() });
         }
-        store
+        let stored_file_sum = value.get("checksum").and_then(Value::as_str);
+        if report.quarantined == 0 && stored_file_sum != Some(file_sum(&sums).to_string().as_str())
+        {
+            report.reasons.push(
+                "whole-file checksum mismatch; kept the individually verified entries".to_owned(),
+            );
+        }
+        (store, report, rejected)
     }
 
     fn file_of(dir: &Path) -> PathBuf {
@@ -200,25 +339,84 @@ impl CacheStore {
     }
 
     /// Loads the store persisted in `dir`, or an empty store when no cache
-    /// file exists yet.
+    /// file exists yet, quarantining corrupt content. Convenience wrapper
+    /// over [`CacheStore::load_with_report`] that drops the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] only when the file cannot be *read*
+    /// (an environment problem). Corrupt content never errors: it is
+    /// moved to [`QUARANTINE_FILE`] and the affected entries recompute.
+    pub fn load(dir: impl AsRef<Path>) -> Result<CacheStore> {
+        Self::load_with_report(dir).map(|(store, _)| store)
+    }
+
+    /// Loads the store persisted in `dir`, reporting everything that had
+    /// to be quarantined to produce it.
+    ///
+    /// An unparsable `cache.json` is renamed wholesale to
+    /// [`QUARANTINE_FILE`] (counting as one quarantined item); a parsable
+    /// file with invalid entries has just those entries written there.
+    /// Either way the returned store contains only verified entries and
+    /// the run proceeds, recomputing what was dropped.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Cache`] when the file exists but cannot be
-    /// read or parsed.
-    pub fn load(dir: impl AsRef<Path>) -> Result<CacheStore> {
-        let file = Self::file_of(dir.as_ref());
+    /// read.
+    pub fn load_with_report(dir: impl AsRef<Path>) -> Result<(CacheStore, CacheLoadReport)> {
+        let dir = dir.as_ref();
+        let file = Self::file_of(dir);
         if !file.exists() {
-            return Ok(CacheStore::new());
+            return Ok((CacheStore::new(), CacheLoadReport::default()));
         }
-        let text = std::fs::read_to_string(&file)
+        let bytes = std::fs::read(&file)
             .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
-        let value = json::parse(&text)
-            .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
-        Ok(CacheStore::from_value(&value))
+        // Invalid UTF-8 is corruption (a torn write or flipped bit), not
+        // an environmental failure — quarantine, like unparsable JSON.
+        let parsed = String::from_utf8(bytes)
+            .map_err(|e| e.to_string())
+            .and_then(|text| json::parse(&text).map_err(|e| e.to_string()));
+        let value = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                // The file is not even JSON: preserve the bytes for
+                // post-mortem and start cold.
+                let quarantine = dir.join(QUARANTINE_FILE);
+                if std::fs::rename(&file, &quarantine).is_err() {
+                    if let Ok(bytes) = std::fs::read(&file) {
+                        std::fs::write(&quarantine, bytes).ok();
+                    }
+                    std::fs::remove_file(&file).ok();
+                }
+                let report = CacheLoadReport {
+                    quarantined: 1,
+                    reasons: vec![format!(
+                        "{}: {e}; whole file moved to {QUARANTINE_FILE}",
+                        file.display()
+                    )],
+                };
+                return Ok((CacheStore::new(), report));
+            }
+        };
+        let (store, report, rejected) = Self::from_value_audited(&value);
+        if !rejected.is_empty() {
+            let quarantine = Value::record([
+                ("version", Value::Int(FORMAT_VERSION)),
+                (
+                    "reasons",
+                    Value::List(report.reasons.iter().map(|r| Value::from(r.as_str())).collect()),
+                ),
+                ("entries", Value::List(rejected)),
+            ]);
+            atomic_write(&dir.join(QUARANTINE_FILE), &json::to_string(&quarantine)).ok();
+        }
+        Ok((store, report))
     }
 
-    /// Persists the store into `dir` (created if missing).
+    /// Persists the store into `dir` (created if missing) with an atomic
+    /// temp-file + fsync + rename write: a crash mid-save leaves the
+    /// previous cache intact.
     ///
     /// # Errors
     ///
@@ -228,7 +426,7 @@ impl CacheStore {
         std::fs::create_dir_all(dir)
             .map_err(|e| EngineError::Cache(format!("{}: {e}", dir.display())))?;
         let file = Self::file_of(dir);
-        std::fs::write(&file, json::to_string(&self.to_value()))
+        atomic_write(&file, &json::to_string(&self.to_value()))
             .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))
     }
 }
@@ -295,5 +493,102 @@ mod tests {
             fields[0].1 = Value::Int(999);
         }
         assert!(CacheStore::from_value(&value).is_empty());
+        let (_, report, rejected) = CacheStore::from_value_audited(&value);
+        assert_eq!(report.quarantined, 0, "stale format is cold, not corrupt");
+        assert!(!report.is_clean(), "but the report notes it");
+        assert!(rejected.is_empty());
+    }
+
+    #[test]
+    fn clean_roundtrip_report_is_clean() {
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphRow, fp("a"), "D1", &1i64).unwrap();
+        let (back, report, rejected) = CacheStore::from_value_audited(&store.to_value());
+        assert_eq!(back.len(), 1);
+        assert!(report.is_clean(), "{report:?}");
+        assert!(rejected.is_empty());
+    }
+
+    #[test]
+    fn tampered_entry_is_quarantined_not_loaded() {
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphRow, fp("a"), "D1", &1i64).unwrap();
+        store.put(ArtifactKind::GraphRow, fp("b"), "L1", &2i64).unwrap();
+        let mut value = store.to_value();
+        // Flip one entry's payload without updating its checksum.
+        if let Value::Record(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k != "entries" {
+                    continue;
+                }
+                if let Value::List(entries) = v {
+                    if let Value::Record(efields) = &mut entries[0] {
+                        for (ek, ev) in efields.iter_mut() {
+                            if ek == "value" {
+                                *ev = Value::Int(999);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (back, report, rejected) = CacheStore::from_value_audited(&value);
+        assert_eq!(back.len(), 1, "the intact entry survives");
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(rejected.len(), 1);
+        assert!(report.reasons[0].contains("checksum mismatch"), "{:?}", report.reasons);
+    }
+
+    #[test]
+    fn unparsable_file_quarantines_wholesale_and_loads_cold() {
+        let dir = std::env::temp_dir().join(format!("decisive_cache_q_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), "{definitely not json").unwrap();
+        let (store, report) = CacheStore::load_with_report(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report.quarantined, 1);
+        assert!(dir.join(QUARANTINE_FILE).exists(), "bytes preserved for post-mortem");
+        assert!(!dir.join(CACHE_FILE).exists(), "corrupt original moved away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_quarantines_and_next_save_recovers() {
+        let dir = std::env::temp_dir().join(format!("decisive_cache_t_{}", std::process::id()));
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphRow, fp("a"), "D1", &vec![1.0f64]).unwrap();
+        store.save(&dir).unwrap();
+        let full = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), &full[..full.len() / 2]).unwrap();
+
+        let (cold, report) = CacheStore::load_with_report(&dir).unwrap();
+        assert!(cold.is_empty());
+        assert!(!report.is_clean());
+
+        // A fresh save over the quarantined state loads cleanly again.
+        store.save(&dir).unwrap();
+        let (warm, report) = CacheStore::load_with_report(&dir).unwrap();
+        assert_eq!(warm.len(), 1);
+        assert!(report.is_clean(), "{report:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let dir = std::env::temp_dir().join(format!("decisive_cache_a_{}", std::process::id()));
+        let mut store = CacheStore::new();
+        store.put(ArtifactKind::GraphFacts, fp("x"), "top", &"facts".to_owned()).unwrap();
+        store.save(&dir).unwrap();
+        assert!(dir.join(CACHE_FILE).exists());
+        assert!(!dir.join(format!("{CACHE_FILE}.tmp")).exists());
+        // A stale temp file from a killed run does not disturb loads and
+        // is replaced by the next save.
+        std::fs::write(dir.join(format!("{CACHE_FILE}.tmp")), "torn half-write").unwrap();
+        let (loaded, report) = CacheStore::load_with_report(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(report.is_clean());
+        store.save(&dir).unwrap();
+        assert!(!dir.join(format!("{CACHE_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use decisive_blocks::{to_circuit, BlockDiagram};
 use decisive_core::campaign::{CampaignHealth, CaseOutcome, CaseReport};
+use decisive_core::degraded::DegradedModeReport;
 use decisive_core::fmea::graph::{self, ContainerFacts, GraphConfig};
 use decisive_core::fmea::injection::{self, InjectionConfig};
 use decisive_core::fmea::{FmeaRow, FmeaTable};
@@ -36,6 +37,10 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Graph FMEA configuration (algorithm, path cap, scope).
     pub graph: GraphConfig,
+    /// Per-job wall-clock deadline in milliseconds. Jobs that exceed it
+    /// keep their results but are classified as timed-out in the phase
+    /// stats and the degraded-mode report. `None` disables the deadline.
+    pub deadline_ms: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +48,7 @@ impl Default for EngineConfig {
         EngineConfig {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             graph: GraphConfig::default(),
+            deadline_ms: None,
         }
     }
 }
@@ -51,6 +57,12 @@ impl EngineConfig {
     /// A configuration with an explicit worker count.
     pub fn with_jobs(jobs: usize) -> Self {
         EngineConfig { jobs: jobs.max(1), ..EngineConfig::default() }
+    }
+
+    /// Sets the per-job deadline (see [`EngineConfig::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, ms: f64) -> Self {
+        self.deadline_ms = Some(ms.max(0.0));
+        self
     }
 }
 
@@ -103,6 +115,10 @@ struct InjectionArtifact {
 /// directory, written next to [`crate::cache::CACHE_FILE`].
 pub const CAMPAIGN_FILE: &str = "campaign.json";
 
+/// Quarantine destination of a malformed [`CAMPAIGN_FILE`]: the bytes are
+/// preserved for post-mortem and the report restarts cold.
+pub const CAMPAIGN_QUARANTINE_FILE: &str = "campaign.quarantine.json";
+
 /// Quantified fault subtree of one container (see `Engine::analyze_fta`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FtaSubtreeSummary {
@@ -141,6 +157,7 @@ pub struct Engine {
     cache: CacheStore,
     stats: EngineStats,
     last_campaign: Option<CampaignHealth>,
+    degraded: DegradedModeReport,
 }
 
 impl Engine {
@@ -152,7 +169,13 @@ impl Engine {
     /// An engine starting from a previously persisted (or hand-built)
     /// cache.
     pub fn with_cache(config: EngineConfig, cache: CacheStore) -> Self {
-        Engine { config, cache, stats: EngineStats::default(), last_campaign: None }
+        Engine {
+            config,
+            cache,
+            stats: EngineStats::default(),
+            last_campaign: None,
+            degraded: DegradedModeReport::new(),
+        }
     }
 
     /// The engine's configuration.
@@ -182,30 +205,81 @@ impl Engine {
         self.last_campaign.as_ref()
     }
 
+    /// Everything this engine substituted, quarantined or abandoned so
+    /// far instead of failing. Empty for pristine runs.
+    pub fn degraded_report(&self) -> &DegradedModeReport {
+        &self.degraded
+    }
+
+    /// Mutable access to the degraded-mode report, for callers (like the
+    /// CLI) that degrade on the engine's behalf — e.g. a reliability file
+    /// loaded leniently.
+    pub fn degraded_report_mut(&mut self) -> &mut DegradedModeReport {
+        &mut self.degraded
+    }
+
+    /// A scheduler honouring the configured worker count and deadline.
+    fn scheduler(&self) -> Scheduler {
+        let scheduler = Scheduler::new(self.config.jobs);
+        match self.config.deadline_ms {
+            Some(ms) => scheduler.with_deadline_ms(ms),
+            None => scheduler,
+        }
+    }
+
     /// Loads the cache persisted in `dir` (empty when absent), restoring
     /// the campaign-health report persisted next to it when present.
     ///
+    /// Corruption is not fatal: cache entries failing validation are
+    /// quarantined and recomputed ([`CacheStore::load_with_report`]), and
+    /// a malformed campaign report is moved to
+    /// [`CAMPAIGN_QUARANTINE_FILE`]. Both are recorded in
+    /// [`Engine::degraded_report`] and the engine stats.
+    ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Cache`] on unreadable or unparsable files.
+    /// Returns [`EngineError::Cache`] only on unreadable files (I/O
+    /// failures, not corruption).
     pub fn load_cache(&mut self, dir: impl AsRef<std::path::Path>) -> Result<()> {
         let dir = dir.as_ref();
-        self.cache = CacheStore::load(dir)?;
+        let (cache, report) = CacheStore::load_with_report(dir)?;
+        self.cache = cache;
+        self.stats.quarantined_entries += report.quarantined;
+        self.degraded.quarantined_cache_entries += report.quarantined;
+        self.degraded.notes.extend(report.reasons);
         let file = dir.join(CAMPAIGN_FILE);
         if file.exists() {
-            let text = std::fs::read_to_string(&file)
+            let bytes = std::fs::read(&file)
                 .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
-            let value = decisive_federation::json::parse(&text)
-                .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
-            // A malformed report is dropped, not fatal: like the cache
-            // itself, campaign history may be cold but never wrong.
-            self.last_campaign = decisive_federation::serde_bridge::from_value(&value).ok();
+            // A malformed report (invalid UTF-8, bad JSON, wrong shape) is
+            // quarantined, not fatal: like the cache itself, campaign
+            // history may be cold but never wrong.
+            let restored: Option<CampaignHealth> = String::from_utf8(bytes.clone())
+                .ok()
+                .and_then(|text| decisive_federation::json::parse(&text).ok())
+                .and_then(|value| decisive_federation::serde_bridge::from_value(&value).ok());
+            match restored {
+                Some(health) => self.last_campaign = Some(health),
+                None => {
+                    let quarantine = dir.join(CAMPAIGN_QUARANTINE_FILE);
+                    if std::fs::rename(&file, &quarantine).is_err() {
+                        let _ = std::fs::write(&quarantine, &bytes);
+                        let _ = std::fs::remove_file(&file);
+                    }
+                    self.degraded.notes.push(format!(
+                        "campaign report `{}` was malformed; moved to `{CAMPAIGN_QUARANTINE_FILE}`",
+                        file.display()
+                    ));
+                }
+            }
         }
         Ok(())
     }
 
     /// Persists the cache into `dir`, along with the latest campaign-health
     /// report (as [`CAMPAIGN_FILE`]) when an injection campaign has run.
+    /// Both files are written atomically (temp file + fsync + rename), so
+    /// a crash mid-save leaves the previous files intact.
     ///
     /// # Errors
     ///
@@ -217,7 +291,7 @@ impl Engine {
             let value = decisive_federation::serde_bridge::to_value(health)
                 .map_err(|e| EngineError::Cache(format!("unserialisable campaign report: {e}")))?;
             let file = dir.join(CAMPAIGN_FILE);
-            std::fs::write(&file, decisive_federation::json::to_string(&value))
+            crate::cache::atomic_write(&file, &decisive_federation::json::to_string(&value))
                 .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
         }
         Ok(())
@@ -239,7 +313,7 @@ impl Engine {
     pub fn analyze_graph(&mut self, model: &SsamModel, top: Idx<Component>) -> Result<FmeaTable> {
         let graph_config = self.config.graph.clone();
         let config_fp = model_fp::graph_config_fingerprint(model, &graph_config);
-        let scheduler = Scheduler::new(self.config.jobs);
+        let scheduler = self.scheduler();
 
         // ---- Phase 1: container path facts -----------------------------
         let start = Instant::now();
@@ -280,6 +354,13 @@ impl Engine {
             let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-facts"))?;
             phase.retries = out.retries;
             phase.max_job_ms = out.max_job_ms;
+            phase.timed_out = out.timed_out.len();
+            for &slow in &out.timed_out {
+                let (container, _) = misses[slow];
+                self.degraded
+                    .timed_out_jobs
+                    .push(format!("graph-facts/{}", model.components[container].core.name.value()));
+            }
             for ((container, key), result) in misses.iter().zip(out.results) {
                 let fresh = result?;
                 self.cache.put(
@@ -352,6 +433,13 @@ impl Engine {
             let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-rows"))?;
             phase.retries = out.retries;
             phase.max_job_ms = out.max_job_ms;
+            phase.timed_out = out.timed_out.len();
+            for &slow in &out.timed_out {
+                let (_, child) = work[misses[slow].0];
+                self.degraded
+                    .timed_out_jobs
+                    .push(format!("graph-rows/{}", model.components[child].core.name.value()));
+            }
             for (&(i, key), rows) in misses.iter().zip(&out.results) {
                 let (_, child) = work[i];
                 self.cache.put(
@@ -521,11 +609,17 @@ impl Engine {
                     }
                 })
                 .collect();
-            let out = Scheduler::new(self.config.jobs)
-                .run_batch(&jobs)
-                .map_err(|e| batch_error(e, "injection-rows"))?;
+            let out =
+                self.scheduler().run_batch(&jobs).map_err(|e| batch_error(e, "injection-rows"))?;
             phase.retries = out.retries;
             phase.max_job_ms = out.max_job_ms;
+            phase.timed_out = out.timed_out.len();
+            for &slow in &out.timed_out {
+                let candidate = &candidates[misses[slow].0];
+                self.degraded
+                    .timed_out_jobs
+                    .push(format!("injection-rows/{}/{}", candidate.name, candidate.mode.name));
+            }
             for (&(i, key), (row, report)) in misses.iter().zip(out.results) {
                 self.cache.put(
                     ArtifactKind::InjectionRow,
@@ -546,7 +640,8 @@ impl Engine {
 
         let reports: Vec<CaseReport> =
             reports.into_iter().map(|r| r.expect("every candidate classified")).collect();
-        let health = CampaignHealth::from_reports(&reports);
+        let mut health = CampaignHealth::from_reports(&reports);
+        health.absorb_degradation(&self.degraded);
         // Keep the report visible even when the breaker aborts the run —
         // it is exactly then that the operator needs the failed-case list.
         self.last_campaign = Some(health.clone());
@@ -615,11 +710,15 @@ impl Engine {
                     move || quantify_subtree(model, container, mission_hours, max_paths)
                 })
                 .collect();
-            let out = Scheduler::new(self.config.jobs)
-                .run_batch(&jobs)
-                .map_err(|e| batch_error(e, "fta-subtrees"))?;
+            let out =
+                self.scheduler().run_batch(&jobs).map_err(|e| batch_error(e, "fta-subtrees"))?;
             phase.retries = out.retries;
             phase.max_job_ms = out.max_job_ms;
+            phase.timed_out = out.timed_out.len();
+            for &slow in &out.timed_out {
+                let name = model.components[containers[misses[slow].0]].core.name.value();
+                self.degraded.timed_out_jobs.push(format!("fta-subtrees/{name}"));
+            }
             for (&(i, key), summary) in misses.iter().zip(&out.results) {
                 self.cache.put(ArtifactKind::FtaSubtree, key, &summary.container, summary)?;
                 merged[i] = Some(summary.clone());

@@ -44,6 +44,12 @@ pub struct BatchOutput<T> {
     /// Wall-clock milliseconds of the single slowest job (retry included);
     /// `0` for an empty batch. The straggler detector for campaign health.
     pub max_job_ms: f64,
+    /// Indexes (submission order) of jobs whose elapsed time exceeded the
+    /// scheduler's deadline — see [`Scheduler::with_deadline_ms`]. Their
+    /// results are still valid; the classification lets the engine report
+    /// them as degraded instead of trusting a wedged-then-finished job's
+    /// latency silently.
+    pub timed_out: Vec<usize>,
 }
 
 /// What went wrong running a batch.
@@ -63,13 +69,32 @@ pub enum BatchError {
 pub struct Scheduler {
     workers: usize,
     cancel: CancelToken,
+    deadline_ms: Option<f64>,
 }
 
 impl Scheduler {
     /// A scheduler with `workers` threads (clamped to at least one). The
     /// pool is bounded per batch: at most `min(workers, jobs)` threads run.
     pub fn new(workers: usize) -> Self {
-        Scheduler { workers: workers.max(1), cancel: CancelToken::new() }
+        Scheduler { workers: workers.max(1), cancel: CancelToken::new(), deadline_ms: None }
+    }
+
+    /// Sets a per-job deadline in milliseconds (building on the
+    /// `max_job_ms` straggler detector): any job whose wall time exceeds
+    /// it is classified in [`BatchOutput::timed_out`].
+    ///
+    /// The check is cooperative — jobs are plain closures, so a wedged
+    /// one cannot be pre-empted mid-flight — but classification means a
+    /// hung-then-recovered job degrades the run's health report instead
+    /// of passing silently.
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms.max(0.0));
+        self
+    }
+
+    /// The configured per-job deadline, if any.
+    pub fn deadline_ms(&self) -> Option<f64> {
+        self.deadline_ms
     }
 
     /// A scheduler sized to the machine.
@@ -105,6 +130,7 @@ impl Scheduler {
     {
         let retries = AtomicUsize::new(0);
         let max_job_ms = Mutex::new(0.0f64);
+        let timed_out = Mutex::new(Vec::new());
         let run_one = |index: usize| -> Result<T, BatchError> {
             let started = Instant::now();
             let outcome = match catch_unwind(AssertUnwindSafe(&jobs[index])) {
@@ -119,6 +145,10 @@ impl Scheduler {
             let mut max = max_job_ms.lock().expect("max-job slot");
             if elapsed > *max {
                 *max = elapsed;
+            }
+            drop(max);
+            if self.deadline_ms.is_some_and(|d| elapsed > d) {
+                timed_out.lock().expect("timed-out slot").push(index);
             }
             outcome
         };
@@ -175,10 +205,13 @@ impl Scheduler {
         if out.len() < jobs.len() {
             return Err(BatchError::Cancelled);
         }
+        let mut timed_out = timed_out.into_inner().expect("timed-out slot");
+        timed_out.sort_unstable();
         Ok(BatchOutput {
             results: out,
             retries: retries.load(Ordering::SeqCst),
             max_job_ms: max_job_ms.into_inner().expect("max-job slot"),
+            timed_out,
         })
     }
 }
@@ -243,6 +276,29 @@ mod tests {
         let out = Scheduler::new(4).run_batch(&jobs).unwrap();
         assert!(out.results.is_empty());
         assert_eq!(out.max_job_ms, 0.0);
+    }
+
+    #[test]
+    fn deadline_classifies_slow_jobs_without_dropping_results() {
+        let jobs: Vec<Box<dyn Fn() -> u8 + Sync>> = vec![
+            Box::new(|| 1),
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                2
+            }),
+            Box::new(|| 3),
+        ];
+        let out = Scheduler::new(2).with_deadline_ms(5.0).run_batch(&jobs).unwrap();
+        assert_eq!(out.results, vec![1, 2, 3], "timed-out jobs still return results");
+        assert!(out.timed_out.contains(&1), "slow job classified: {:?}", out.timed_out);
+        assert!(!out.timed_out.contains(&0));
+    }
+
+    #[test]
+    fn no_deadline_never_times_out() {
+        let jobs: Vec<_> = (0..4).map(|i| move || i).collect();
+        let out = Scheduler::new(2).run_batch(&jobs).unwrap();
+        assert!(out.timed_out.is_empty());
     }
 
     #[test]

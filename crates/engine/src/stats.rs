@@ -23,6 +23,9 @@ pub struct PhaseStats {
     /// Wall-clock milliseconds of the slowest executed job; `0` when the
     /// phase was served entirely from the cache.
     pub max_job_ms: f64,
+    /// Jobs that exceeded the configured per-job deadline (their results
+    /// were kept, but the run counts as degraded).
+    pub timed_out: usize,
 }
 
 impl PhaseStats {
@@ -39,6 +42,9 @@ pub struct EngineStats {
     pub phases: Vec<PhaseStats>,
     /// Keys dropped by change-driven invalidation (`rerun`).
     pub invalidated_keys: usize,
+    /// Persisted cache entries that failed checksum or shape validation
+    /// on load and were quarantined (then recomputed).
+    pub quarantined_entries: usize,
 }
 
 impl EngineStats {
@@ -100,12 +106,14 @@ impl EngineStats {
                                 ("cache_misses", Value::Int(p.cache_misses as i64)),
                                 ("retries", Value::Int(p.retries as i64)),
                                 ("max_job_ms", Value::Real(p.max_job_ms)),
+                                ("timed_out", Value::Int(p.timed_out as i64)),
                             ])
                         })
                         .collect(),
                 ),
             ),
             ("invalidated_keys", Value::Int(self.invalidated_keys as i64)),
+            ("quarantined_entries", Value::Int(self.quarantined_entries as i64)),
             ("cache_hits", Value::Int(self.cache_hits() as i64)),
             ("cache_misses", Value::Int(self.cache_misses() as i64)),
             ("hit_rate", Value::Real(self.hit_rate())),
@@ -127,20 +135,28 @@ impl EngineStats {
                 p.cache_hits,
                 p.cache_misses,
                 if p.retries > 0 { format!("  retries {}", p.retries) } else { String::new() },
-                if p.max_job_ms > 0.0 {
-                    format!("  max-job {:.2} ms", p.max_job_ms)
-                } else {
-                    String::new()
+                match (p.max_job_ms > 0.0, p.timed_out > 0) {
+                    (true, true) => {
+                        format!("  max-job {:.2} ms  timed-out {}", p.max_job_ms, p.timed_out)
+                    }
+                    (true, false) => format!("  max-job {:.2} ms", p.max_job_ms),
+                    (false, true) => format!("  timed-out {}", p.timed_out),
+                    (false, false) => String::new(),
                 },
             );
         }
         let _ = writeln!(
             out,
-            "# cache hit rate {:.1}% ({} hits / {} lookups), {} key(s) invalidated",
+            "# cache hit rate {:.1}% ({} hits / {} lookups), {} key(s) invalidated{}",
             self.hit_rate() * 100.0,
             self.cache_hits(),
             self.cache_hits() + self.cache_misses(),
             self.invalidated_keys,
+            if self.quarantined_entries > 0 {
+                format!(", {} entr(ies) quarantined", self.quarantined_entries)
+            } else {
+                String::new()
+            },
         );
         out
     }

@@ -1,7 +1,7 @@
 //! CSV parsing and printing over [`Value`] — the stand-in for the paper's
 //! Excel reliability and safety-mechanism spreadsheets (Tables II & III).
 
-use crate::error::{FederationError, Result};
+use crate::error::{FederationDiagnostic, FederationError, ResolvePolicy, Result};
 use crate::value::Value;
 
 /// Parses a CSV document with a header row into a list of records.
@@ -30,24 +30,70 @@ use crate::value::Value;
 /// # }
 /// ```
 pub fn parse(input: &str) -> Result<Value> {
-    let raw = parse_raw(input)?;
+    parse_policy(input, "csv", ResolvePolicy::Strict).map(|(rows, _)| rows)
+}
+
+/// Parses CSV like [`parse`], but never fails: malformed rows are skipped
+/// and reported as [`FederationDiagnostic`]s instead. `source` labels the
+/// diagnostics (typically the file path).
+///
+/// Two recoverable defects are handled: a data row with more cells than
+/// the header (that row is dropped, one diagnostic) and an unterminated
+/// quoted field (the complete rows before it are kept, one truncation
+/// diagnostic for the tail).
+pub fn parse_lenient(input: &str, source: &str) -> (Value, Vec<FederationDiagnostic>) {
+    match parse_policy(input, source, ResolvePolicy::Lenient) {
+        Ok(out) => out,
+        // Lenient parses report defects as diagnostics, never as errors.
+        Err(_) => unreachable!("lenient csv parse is infallible"),
+    }
+}
+
+/// Policy-aware CSV parse: [`ResolvePolicy::Strict`] reproduces [`parse`]
+/// exactly (diagnostics always empty), [`ResolvePolicy::Lenient`] is
+/// infallible and reports skipped rows through the diagnostics list.
+pub fn parse_policy(
+    input: &str,
+    source: &str,
+    policy: ResolvePolicy,
+) -> Result<(Value, Vec<FederationDiagnostic>)> {
+    let mut diags = Vec::new();
+    let (raw, unterminated_at) = parse_raw_inner(input);
+    if let Some(line) = unterminated_at {
+        if policy.is_lenient() {
+            diags.push(FederationDiagnostic::truncated(
+                source,
+                line,
+                "unterminated quoted field; dropped the trailing partial row",
+            ));
+        } else {
+            return Err(FederationError::Parse {
+                format: "csv",
+                line,
+                column: 1,
+                message: "unterminated quoted field".to_owned(),
+            });
+        }
+    }
     let mut rows = raw.into_iter();
     let header = match rows.next() {
         Some(h) => h,
-        None => return Ok(Value::List(Vec::new())),
+        None => return Ok((Value::List(Vec::new()), diags)),
     };
     let mut records = Vec::new();
     for (row_idx, cells) in rows.enumerate() {
         if cells.len() > header.len() {
+            let message =
+                format!("row has {} cells but the header has {}", cells.len(), header.len());
+            if policy.is_lenient() {
+                diags.push(FederationDiagnostic::malformed(source, row_idx + 2, message));
+                continue;
+            }
             return Err(FederationError::Parse {
                 format: "csv",
                 line: row_idx + 2,
                 column: 1,
-                message: format!(
-                    "row has {} cells but the header has {}",
-                    cells.len(),
-                    header.len()
-                ),
+                message,
             });
         }
         let mut pairs = Vec::with_capacity(header.len());
@@ -57,7 +103,7 @@ pub fn parse(input: &str) -> Result<Value> {
         }
         records.push(Value::Record(pairs));
     }
-    Ok(Value::List(records))
+    Ok((Value::List(records), diags))
 }
 
 /// Prints a list of records as CSV, using the first record's field order as
@@ -132,7 +178,10 @@ fn type_cell(cell: &str) -> Value {
     }
 }
 
-fn parse_raw(input: &str) -> Result<Vec<Vec<String>>> {
+/// Splits raw CSV text into rows of cells. Returns the complete rows plus
+/// the line of an unterminated quoted field, if the input ends inside one
+/// (the partial trailing row is not included in the rows).
+fn parse_raw_inner(input: &str) -> (Vec<Vec<String>>, Option<usize>) {
     let mut rows = Vec::new();
     let mut row: Vec<String> = Vec::new();
     let mut cell = String::new();
@@ -179,18 +228,13 @@ fn parse_raw(input: &str) -> Result<Vec<Vec<String>>> {
         }
     }
     if in_quotes {
-        return Err(FederationError::Parse {
-            format: "csv",
-            line,
-            column: 1,
-            message: "unterminated quoted field".to_owned(),
-        });
+        return (rows, Some(line));
     }
     if saw_any && (!cell.is_empty() || !row.is_empty()) {
         row.push(cell);
         rows.push(row);
     }
-    Ok(rows)
+    (rows, None)
 }
 
 #[cfg(test)]
@@ -259,5 +303,32 @@ mod tests {
     fn crlf_input() {
         let v = parse("a,b\r\n1,2\r\n").unwrap();
         assert_eq!(v.at(0).unwrap().get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn lenient_skips_long_rows_with_diagnostics() {
+        let (v, diags) = parse_lenient("a,b\n1,2\n1,2,3\n4,5\n", "test.csv");
+        assert_eq!(v.len(), Some(2));
+        assert_eq!(v.at(1).unwrap().get("a"), Some(&Value::Int(4)));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, crate::error::DiagnosticKind::MalformedRecord);
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].source, "test.csv");
+    }
+
+    #[test]
+    fn lenient_keeps_rows_before_unterminated_quote() {
+        let (v, diags) = parse_lenient("a,b\n1,2\n\"oops,3\n", "t.csv");
+        assert_eq!(v.len(), Some(1));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, crate::error::DiagnosticKind::Truncated);
+    }
+
+    #[test]
+    fn strict_policy_matches_parse() {
+        let (v, diags) = parse_policy("a,b\n1,2\n", "x", ResolvePolicy::Strict).unwrap();
+        assert_eq!(Some(v), parse("a,b\n1,2\n").ok());
+        assert!(diags.is_empty());
+        assert!(parse_policy("a\n1,2\n", "x", ResolvePolicy::Strict).is_err());
     }
 }

@@ -744,6 +744,57 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, scope: &mut Scope) -> Result<V
     }
 }
 
+/// The total order over `sortBy` keys, making every sort deterministic
+/// regardless of key mix:
+///
+/// 1. numeric keys first ([`Value::Int`], [`Value::Real`], and strings
+///    that parse as numbers), ordered by value via `f64::total_cmp`;
+/// 2. then non-numeric strings (lexicographic by code point), nulls,
+///    booleans (`false` < `true`), lists, and records (the latter two
+///    ordered by their compact JSON rendering — a stable tiebreak);
+/// 3. NaN keys sort last, after every other key, and compare equal to
+///    each other.
+///
+/// The sort itself is stable, so items with equal keys keep their input
+/// order.
+fn sort_key_order(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v.as_f64() {
+            Some(x) if x.is_nan() => 6,
+            Some(_) => 0,
+            None => match v {
+                Value::Str(_) => 1,
+                Value::Null => 2,
+                Value::Bool(_) => 3,
+                Value::List(_) => 4,
+                Value::Record(_) => 5,
+                // Int and Real always convert through `as_f64`.
+                Value::Int(_) | Value::Real(_) => unreachable!("numeric values convert to f64"),
+            },
+        }
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    match ra.cmp(&rb) {
+        Ordering::Equal => {}
+        unequal => return unequal,
+    }
+    match ra {
+        0 => {
+            let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+            x.total_cmp(&y)
+        }
+        1 => a.as_str().unwrap_or_default().cmp(b.as_str().unwrap_or_default()),
+        3 => match (a, b) {
+            (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+            _ => Ordering::Equal,
+        },
+        4 | 5 => crate::json::to_string(a).cmp(&crate::json::to_string(b)),
+        // Nulls (rank 2) and NaNs (rank 6) compare equal among themselves.
+        _ => Ordering::Equal,
+    }
+}
+
 fn lambda_arg<'e>(args: &'e [Arg], method: &str) -> Result<(&'e str, &'e Expr)> {
     match args {
         [Arg::Lambda { param, body }] => Ok((param, body)),
@@ -839,10 +890,7 @@ fn eval_call(recv: &Value, method: &str, args: &[Arg], scope: &mut Scope) -> Res
                     let key = apply_lambda(param, body, item.clone(), scope)?;
                     keyed.push((key, item.clone()));
                 }
-                keyed.sort_by(|(a, _), (b, _)| match (a.as_f64(), b.as_f64()) {
-                    (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-                    _ => a.as_str().unwrap_or_default().cmp(b.as_str().unwrap_or_default()),
-                });
+                keyed.sort_by(|(a, _), (b, _)| sort_key_order(a, b));
                 return Ok(Value::List(keyed.into_iter().map(|(_, v)| v).collect()));
             }
             "first" => {
@@ -1230,6 +1278,46 @@ mod tests {
         assert_eq!(eval_str("rows.collect(r | r.FIT).min()", &r).unwrap(), Value::Real(2.0));
         let avg = eval_str("rows.collect(r | r.Distribution).avg()", &r).unwrap();
         assert!((avg.as_f64().unwrap() - (0.3 * 3.0 + 0.7 * 3.0 + 1.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_by_nan_keys_sort_last_deterministically() {
+        let rows = Value::list([
+            Value::record([("k", Value::Real(f64::NAN)), ("id", Value::Int(1))]),
+            Value::record([("k", Value::Real(3.0)), ("id", Value::Int(2))]),
+            Value::record([("k", Value::Real(f64::NAN)), ("id", Value::Int(3))]),
+            Value::record([("k", Value::Real(1.0)), ("id", Value::Int(4))]),
+        ]);
+        let sorted = eval_str("rows.sortBy(r | r.k).collect(r | r.id)", &rows).unwrap();
+        // Numeric keys first by value; NaN keys last, in stable input order.
+        assert_eq!(
+            sorted,
+            Value::list([Value::Int(4), Value::Int(2), Value::Int(1), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn sort_by_mixed_keys_use_documented_total_order() {
+        let rows = Value::list([
+            Value::record([("k", Value::from("beta")), ("id", Value::Int(1))]),
+            Value::record([("k", Value::Real(f64::NAN)), ("id", Value::Int(2))]),
+            Value::record([("k", Value::Int(7)), ("id", Value::Int(3))]),
+            Value::record([("k", Value::Null), ("id", Value::Int(4))]),
+            Value::record([("k", Value::from("42")), ("id", Value::Int(5))]),
+        ]);
+        let sorted = eval_str("rows.sortBy(r | r.k).collect(r | r.id)", &rows).unwrap();
+        // Numeric keys by value (7, then the numeric string "42"), then
+        // non-numeric strings, then null, then NaN last.
+        assert_eq!(
+            sorted,
+            Value::list([
+                Value::Int(3),
+                Value::Int(5),
+                Value::Int(1),
+                Value::Int(4),
+                Value::Int(2)
+            ])
+        );
     }
 
     #[test]

@@ -86,6 +86,111 @@ impl std::error::Error for FederationError {}
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, FederationError>;
 
+/// How a loader reacts to records it cannot make sense of.
+///
+/// `Strict` preserves the historical behaviour: the first malformed record
+/// fails the whole load with a [`FederationError`]. `Lenient` keeps every
+/// record that parses, drops the ones that do not, and reports each drop as
+/// a [`FederationDiagnostic`] so the caller can surface how degraded the
+/// resulting model is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolvePolicy {
+    /// Fail the whole load on the first malformed record.
+    #[default]
+    Strict,
+    /// Skip malformed records, collecting one diagnostic per skip.
+    Lenient,
+}
+
+impl ResolvePolicy {
+    /// True when malformed records should be skipped rather than fatal.
+    pub fn is_lenient(self) -> bool {
+        matches!(self, ResolvePolicy::Lenient)
+    }
+}
+
+/// What kind of degradation a lenient load observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// A record was dropped because it failed to parse or validate.
+    MalformedRecord,
+    /// An external location could not be resolved; the load substituted
+    /// an empty model.
+    UnresolvedReference,
+    /// The document ended early; the records before the truncation point
+    /// were kept.
+    Truncated,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            DiagnosticKind::MalformedRecord => "malformed record",
+            DiagnosticKind::UnresolvedReference => "unresolved reference",
+            DiagnosticKind::Truncated => "truncated input",
+        };
+        f.write_str(label)
+    }
+}
+
+/// One recoverable problem observed during a [`ResolvePolicy::Lenient`]
+/// load: which source it came from, where in that source, and why the
+/// record was dropped or substituted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationDiagnostic {
+    /// The degradation category.
+    pub kind: DiagnosticKind,
+    /// The source being loaded (a file path, driver location, or format
+    /// label such as `"csv"`).
+    pub source: String,
+    /// 1-based line in the source, when known (0 = whole document).
+    pub line: usize,
+    /// Human-readable reason the record could not be used.
+    pub reason: String,
+}
+
+impl FederationDiagnostic {
+    /// Builds a malformed-record diagnostic.
+    pub fn malformed(source: impl Into<String>, line: usize, reason: impl Into<String>) -> Self {
+        FederationDiagnostic {
+            kind: DiagnosticKind::MalformedRecord,
+            source: source.into(),
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds an unresolved-reference diagnostic for a whole location.
+    pub fn unresolved(source: impl Into<String>, reason: impl Into<String>) -> Self {
+        FederationDiagnostic {
+            kind: DiagnosticKind::UnresolvedReference,
+            source: source.into(),
+            line: 0,
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a truncated-input diagnostic.
+    pub fn truncated(source: impl Into<String>, line: usize, reason: impl Into<String>) -> Self {
+        FederationDiagnostic {
+            kind: DiagnosticKind::Truncated,
+            source: source.into(),
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FederationDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {} ({})", self.source, self.reason, self.kind)
+        } else {
+            write!(f, "{}:{}: {} ({})", self.source, self.line, self.reason, self.kind)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,5 +54,5 @@ mod value;
 pub mod xml;
 
 pub use driver::{CsvDriver, DriverRegistry, JsonDriver, MemoryDriver, ModelDriver, XmlDriver};
-pub use error::{FederationError, Result};
+pub use error::{DiagnosticKind, FederationDiagnostic, FederationError, ResolvePolicy, Result};
 pub use value::Value;

@@ -182,13 +182,25 @@ fn engine_campaign_breaker_trips_on_starved_budget() {
     assert!(!health.failed_cases.is_empty());
 }
 
-/// A poisoned persisted cache (corrupt JSON) fails loudly on load rather
-/// than silently analysing with garbage.
+/// A poisoned persisted cache (corrupt JSON) is quarantined and the run
+/// proceeds cold — the corruption is reported through the degraded-mode
+/// channel instead of aborting the analysis.
 #[test]
-fn corrupt_cache_file_is_reported() {
+fn corrupt_cache_file_is_quarantined_and_run_proceeds() {
     let dir = TempCacheDir::new("corrupt");
     std::fs::create_dir_all(dir.path()).expect("mkdir");
     std::fs::write(dir.path().join("cache.json"), "{not json").expect("write");
     let mut engine = Engine::new(EngineConfig::with_jobs(1));
-    assert!(engine.load_cache(dir.path()).is_err());
+    engine.load_cache(dir.path()).expect("corruption is not fatal");
+    assert!(engine.cache().is_empty(), "corrupt cache loads cold");
+    assert_eq!(engine.degraded_report().quarantined_cache_entries, 1);
+    assert!(engine.degraded_report().is_degraded());
+    assert!(
+        dir.path().join("cache.quarantine.json").exists(),
+        "corrupt bytes are preserved for post-mortem"
+    );
+    // The analysis itself still runs and verifies against a from-scratch
+    // pass.
+    let (model, top) = case_study::ssam_model();
+    engine.verify_against_full(&model, top).expect("cold run verifies");
 }
