@@ -54,6 +54,32 @@ pub struct EvidenceQuery {
     pub expression: String,
 }
 
+/// Structural errors raised by the fallible case-editing methods
+/// ([`AssuranceCase::try_support`] and friends), so pipeline passes can
+/// degrade instead of panicking on a malformed case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// A node handle does not belong to this case.
+    UnknownNode {
+        /// Which reference was dangling (`"parent"`, `"child"`,
+        /// `"context"`, `"node"`).
+        role: &'static str,
+    },
+    /// An evidence query was attached to a non-solution node.
+    QueryOnNonSolution,
+}
+
+impl fmt::Display for CaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseError::UnknownNode { role } => write!(f, "unknown {role} node"),
+            CaseError::QueryOnNonSolution => f.write_str("queries attach to solutions"),
+        }
+    }
+}
+
+impl std::error::Error for CaseError {}
+
 /// One GSN node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GsnNode {
@@ -146,37 +172,87 @@ impl AssuranceCase {
     ///
     /// # Panics
     ///
-    /// Panics if either handle is foreign to this case.
+    /// Panics if either handle is foreign to this case. Fallible callers
+    /// should use [`AssuranceCase::try_support`].
     pub fn support(&mut self, parent: NodeRef, child: NodeRef) {
-        assert!((child.0 as usize) < self.nodes.len(), "unknown child node");
-        let p = &mut self.nodes[parent.0 as usize];
+        self.try_support(parent, child).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Records `parent ⟶ supported-by ⟶ child`, rejecting foreign handles
+    /// as a typed [`CaseError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::UnknownNode`] when either handle is out of range.
+    pub fn try_support(&mut self, parent: NodeRef, child: NodeRef) -> Result<(), CaseError> {
+        if (child.0 as usize) >= self.nodes.len() {
+            return Err(CaseError::UnknownNode { role: "child" });
+        }
+        let p = self
+            .nodes
+            .get_mut(parent.0 as usize)
+            .ok_or(CaseError::UnknownNode { role: "parent" })?;
         if !p.supported_by.contains(&child) {
             p.supported_by.push(child);
         }
+        Ok(())
     }
 
     /// Records `node ⟶ in-context-of ⟶ context`.
     ///
     /// # Panics
     ///
-    /// Panics if either handle is foreign to this case.
+    /// Panics if either handle is foreign to this case. Fallible callers
+    /// should use [`AssuranceCase::try_in_context`].
     pub fn in_context(&mut self, node: NodeRef, context: NodeRef) {
-        assert!((context.0 as usize) < self.nodes.len(), "unknown context node");
-        let n = &mut self.nodes[node.0 as usize];
+        self.try_in_context(node, context).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Records `node ⟶ in-context-of ⟶ context` with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::UnknownNode`] when either handle is out of range.
+    pub fn try_in_context(&mut self, node: NodeRef, context: NodeRef) -> Result<(), CaseError> {
+        if (context.0 as usize) >= self.nodes.len() {
+            return Err(CaseError::UnknownNode { role: "context" });
+        }
+        let n =
+            self.nodes.get_mut(node.0 as usize).ok_or(CaseError::UnknownNode { role: "node" })?;
         if !n.in_context_of.contains(&context) {
             n.in_context_of.push(context);
         }
+        Ok(())
     }
 
     /// Attaches a machine-checkable evidence query to a solution.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is not a [`GsnKind::Solution`].
+    /// Panics if `node` is not a [`GsnKind::Solution`]. Fallible callers
+    /// should use [`AssuranceCase::try_attach_query`].
     pub fn attach_query(&mut self, node: NodeRef, query: EvidenceQuery) {
-        let n = &mut self.nodes[node.0 as usize];
-        assert_eq!(n.kind, GsnKind::Solution, "queries attach to solutions");
+        self.try_attach_query(node, query).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Attaches a machine-checkable evidence query with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CaseError::UnknownNode`] for a foreign handle,
+    /// [`CaseError::QueryOnNonSolution`] when `node` is not a solution.
+    pub fn try_attach_query(
+        &mut self,
+        node: NodeRef,
+        query: EvidenceQuery,
+    ) -> Result<(), CaseError> {
+        let n =
+            self.nodes.get_mut(node.0 as usize).ok_or(CaseError::UnknownNode { role: "node" })?;
+        if n.kind != GsnKind::Solution {
+            return Err(CaseError::QueryOnNonSolution);
+        }
         n.query = Some(query);
+        Ok(())
     }
 
     /// Designates the root goal.

@@ -36,8 +36,19 @@ pub struct Evaluation {
 
 impl Evaluation {
     /// The status of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the evaluated case; use
+    /// [`Evaluation::try_status`] for handles of unknown provenance.
     pub fn status(&self, node: NodeRef) -> &Status {
-        &self.statuses[&node]
+        self.try_status(node).unwrap_or_else(|| panic!("node {node} was not evaluated"))
+    }
+
+    /// The status of one node, or `None` for a handle foreign to the
+    /// evaluated case.
+    pub fn try_status(&self, node: NodeRef) -> Option<&Status> {
+        self.statuses.get(&node)
     }
 
     /// The root goal's status ([`Status::Undeveloped`] when no root is set).

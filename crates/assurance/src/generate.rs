@@ -13,7 +13,7 @@ use decisive_core::process::SafetyConcept;
 use crate::case::{AssuranceCase, EvidenceQuery};
 
 /// The Eq. 1 SPFM query over an exported FMEDA artefact, against `target`.
-fn spfm_query(target: f64) -> String {
+pub(crate) fn spfm_query(target: f64) -> String {
     format!(
         "1.0 - rows.collect(r | r.Single_Point_Failure_Rate).sum() / \
          rows.select(r | r.Safety_Related = 'Yes').collect(r | [r.Component, r.FIT]).distinct() \

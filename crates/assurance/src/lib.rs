@@ -37,6 +37,8 @@
 mod case;
 mod eval;
 pub mod generate;
+pub mod report;
 
-pub use case::{AssuranceCase, EvidenceQuery, GsnKind, GsnNode, NodeRef};
+pub use case::{AssuranceCase, CaseError, EvidenceQuery, GsnKind, GsnNode, NodeRef};
 pub use eval::{evaluate, Evaluation, Status};
+pub use report::{pipeline_case, pipeline_report, report_for, AssuranceReport, PipelineEvidence};

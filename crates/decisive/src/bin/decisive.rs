@@ -7,6 +7,8 @@
 //! decisive fmea model.json [--csv out.csv] # automated FMEA (Algorithm 1)
 //! decisive analyze model.json --cache .dc  # incremental FMEA via the engine
 //! decisive analyze design.bd --strict      # fault-injection campaign (.bd)
+//! decisive pipeline design.bd --cache .dc  # full pass pipeline (FMEA → FTA → HARA → assurance)
+//! decisive passes design.bd --cache .dc    # pass DAG with per-pass cache status
 //! decisive rerun old.json new.json --cache .dc  # diff-driven re-analysis
 //! decisive spfm table.json                 # metrics of a saved FMEA table
 //! decisive render model.json [--dot]       # ASCII tree or Graphviz DOT
@@ -54,6 +56,8 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("fmea") => cmd_fmea(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("pipeline") => cmd_pipeline(&args[1..]),
+        Some("passes") => cmd_passes(&args[1..]),
         Some("rerun") => cmd_rerun(&args[1..]),
         Some("spfm") => cmd_spfm(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
@@ -89,6 +93,8 @@ fn print_usage() {
          usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
          decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
+         decisive pipeline <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--mission-hours <h>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
+         decisive passes [<model.json|design.bd>] [--cache <dir>] [--jobs <n>]\n  \
          decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
@@ -97,8 +103,16 @@ fn print_usage() {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 7] =
-    ["--algorithm", "--csv", "--json", "--cache", "--jobs", "--reliability", "--deadline-ms"];
+const VALUE_FLAGS: [&str; 8] = [
+    "--algorithm",
+    "--csv",
+    "--json",
+    "--cache",
+    "--jobs",
+    "--reliability",
+    "--deadline-ms",
+    "--mission-hours",
+];
 
 /// Rejects any `--flag` the command does not understand (naming the
 /// flag), and any trailing value-flag left without its value.
@@ -252,6 +266,146 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     print!("{}", engine.stats().render());
     print!("{}", engine.degraded_report().render());
     enforce_strict(args, &engine)
+}
+
+/// `decisive pipeline`: one full DECISIVE iteration through the pass
+/// manager — FMEA (graph, plus the injection campaign for `.bd` designs),
+/// FTA subtrees, runtime monitors, the HARA risk log and the evaluated
+/// assurance case — executed as a DAG with cross-pass parallelism and one
+/// shared artefact cache.
+fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "pipeline",
+        args,
+        &[
+            "--cache",
+            "--jobs",
+            "--deadline-ms",
+            "--mission-hours",
+            "--csv",
+            "--json",
+            "--reliability",
+            "--strict",
+        ],
+    )?;
+    let path = one_path("pipeline", args)?;
+    let mission_hours = match flag_value(args, "--mission-hours") {
+        Some(h) => {
+            h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(|| {
+                CliError::usage(format!("--mission-hours wants a positive number, got `{h}`"))
+            })?
+        }
+        None => 10_000.0,
+    };
+    let mut engine = engine_from_flags(args)?;
+
+    // Both arms keep the loaded data alive for the borrow-carrying input.
+    let diagram;
+    let reliability;
+    let model;
+    let (pipeline, input) = if path.ends_with(".bd") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+        reliability = load_reliability(args, &mut engine)?;
+        let mut ssam = decisive::blocks::to_ssam(&diagram);
+        reliability.aggregate_into(&mut ssam);
+        model = ssam;
+        let top = top_of(&model)?;
+        let input = decisive::engine::PipelineInput::for_model(&model, top)
+            .with_diagram(&diagram, &reliability)
+            .with_mission_hours(mission_hours);
+        (decisive::engine::Pipeline::standard(true), input)
+    } else {
+        model = load(path)?;
+        let top = top_of(&model)?;
+        let input = decisive::engine::PipelineInput::for_model(&model, top)
+            .with_mission_hours(mission_hours);
+        (decisive::engine::Pipeline::standard(false), input)
+    };
+
+    let run = match engine.run_pipeline(&pipeline, &input) {
+        Ok(run) => run,
+        Err(e) => {
+            // The campaign breaker (and any other pass failure) still
+            // leaves health, stats and degradation behind — print them,
+            // the operator needs the failed-case list most on failure.
+            if let Some(health) = engine.campaign_health() {
+                print!("{}", health.render());
+            }
+            print!("{}", engine.degraded_report().render());
+            return Err(CliError::Failure(e.to_string()));
+        }
+    };
+    if let Some(dir) = flag_value(args, "--cache") {
+        engine.save_cache(dir).map_err(|e| e.to_string())?;
+    }
+    if let Some(table) = run.fmea() {
+        print_table(table, args)?;
+    }
+    if let Some(subtrees) = run.fta() {
+        for summary in subtrees {
+            if summary.analysable {
+                println!(
+                    "# fta {}: top probability {:.3e}, {} single point(s), {} cut set(s)",
+                    summary.container,
+                    summary.top_probability,
+                    summary.single_points.len(),
+                    summary.minimal_cut_sets.len(),
+                );
+            }
+        }
+    }
+    if let Some(monitor) = run.monitor() {
+        println!("# monitors: {} runtime check(s)", monitor.checks().len());
+    }
+    if let Some(risk) = run.risk_log() {
+        print!("{}", risk.render());
+    }
+    if let Some(assurance) = run.assurance() {
+        print!("{}", assurance.render());
+    }
+    // The campaign-health render includes the absorbed degraded-mode
+    // report, so it is not printed separately here.
+    if let Some(health) = engine.campaign_health() {
+        print!("{}", health.render());
+    } else {
+        print!("{}", engine.degraded_report().render());
+    }
+    print!("{}", engine.stats().render());
+    enforce_strict(args, &engine)
+}
+
+/// `decisive passes`: the pass DAG in topological order, with each pass's
+/// dependencies, cache namespaces and how many cache entries those
+/// namespaces currently hold (pass `--cache` to inspect a persisted one).
+/// The optional path only selects the pipeline shape: `.bd` designs
+/// include the injection pass.
+fn cmd_passes(args: &[String]) -> Result<(), CliError> {
+    check_flags("passes", args, &["--cache", "--jobs"])?;
+    let with_injection = match positionals(args)[..] {
+        [] => false,
+        [path] => path.ends_with(".bd"),
+        _ => return Err(CliError::usage("`decisive passes` takes at most one path")),
+    };
+    let engine = engine_from_flags(args)?;
+    let pipeline = decisive::engine::Pipeline::standard(with_injection);
+    let statuses = engine.pipeline_status(&pipeline).map_err(|e| e.to_string())?;
+    println!("# pass pipeline ({} pass(es), topological order)", statuses.len());
+    for status in statuses {
+        let deps = if status.depends_on.is_empty() {
+            "-".to_owned()
+        } else {
+            status.depends_on.join(", ")
+        };
+        let kinds: Vec<&str> = status.kinds.iter().map(|k| k.tag()).collect();
+        println!(
+            "{:<16} needs [{deps}]  artefacts [{}]  cached {}",
+            status.id,
+            kinds.join(", "),
+            status.cached_entries,
+        );
+    }
+    Ok(())
 }
 
 fn cmd_rerun(args: &[String]) -> Result<(), CliError> {

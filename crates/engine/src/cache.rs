@@ -49,25 +49,35 @@ pub enum ArtifactKind {
     FtaSubtree,
     /// Generated runtime monitor checks of one model.
     MonitorSet,
+    /// Assessed risk log of one FMEA table (the HARA pass).
+    RiskLog,
+    /// Evaluated assurance-case report (the assurance pass).
+    AssuranceCase,
 }
 
 impl ArtifactKind {
     /// All kinds, for iteration.
-    pub const ALL: [ArtifactKind; 5] = [
+    pub const ALL: [ArtifactKind; 7] = [
         ArtifactKind::GraphFacts,
         ArtifactKind::GraphRow,
         ArtifactKind::InjectionRow,
         ArtifactKind::FtaSubtree,
         ArtifactKind::MonitorSet,
+        ArtifactKind::RiskLog,
+        ArtifactKind::AssuranceCase,
     ];
 
-    fn tag(self) -> &'static str {
+    /// The stable persistence tag (also the display name in `decisive
+    /// passes`).
+    pub fn tag(self) -> &'static str {
         match self {
             ArtifactKind::GraphFacts => "graph-facts",
             ArtifactKind::GraphRow => "graph-row",
             ArtifactKind::InjectionRow => "injection-row",
             ArtifactKind::FtaSubtree => "fta-subtree",
             ArtifactKind::MonitorSet => "monitor-set",
+            ArtifactKind::RiskLog => "risk-log",
+            ArtifactKind::AssuranceCase => "assurance-case",
         }
     }
 
@@ -186,6 +196,12 @@ impl CacheStore {
     /// `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Live entries of one kind — the per-pass cache status shown by
+    /// `decisive passes`.
+    pub fn count_kind(&self, kind: ArtifactKind) -> usize {
+        self.entries.keys().filter(|(k, _)| *k == kind).count()
     }
 
     /// Fetches and deserialises a cached artefact.

@@ -3,32 +3,34 @@
 //! the repository's analysis artefacts — graph FMEA tables, injection FMEA
 //! tables, FTA subtree quantifications and runtime monitor sets — touching
 //! only the work whose inputs changed.
-
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+//!
+//! Each analysis is an [`crate::pass::AnalysisPass`]; the `analyze_*`
+//! methods below are thin wrappers that run one pass on its own, while
+//! [`Engine::run_pipeline`] (in [`crate::pipeline`]) executes the whole
+//! DAG with cross-pass parallelism.
 
 use serde::{Deserialize, Serialize};
 
-use decisive_blocks::{to_circuit, BlockDiagram};
-use decisive_core::campaign::{CampaignHealth, CaseOutcome, CaseReport};
+use decisive_blocks::BlockDiagram;
+use decisive_core::campaign::CampaignHealth;
 use decisive_core::degraded::DegradedModeReport;
-use decisive_core::fmea::graph::{self, ContainerFacts, GraphConfig};
-use decisive_core::fmea::injection::{self, InjectionConfig};
-use decisive_core::fmea::{FmeaRow, FmeaTable};
+use decisive_core::fmea::graph::{self, GraphConfig};
+use decisive_core::fmea::injection::InjectionConfig;
+use decisive_core::fmea::FmeaTable;
 use decisive_core::impact::{self, ImpactReport, ModelChange};
 use decisive_core::monitor::RuntimeMonitor;
 use decisive_core::reliability::ReliabilityDb;
-use decisive_core::CoreError;
 use decisive_ssam::architecture::Component;
 use decisive_ssam::id::Idx;
 use decisive_ssam::model::SsamModel;
 
 use crate::cache::{ArtifactKind, CacheStore};
 use crate::error::{EngineError, Result};
-use crate::fingerprint::{Fingerprint, Hasher};
-use crate::model_fp;
-use crate::scheduler::{BatchError, Scheduler};
-use crate::stats::{EngineStats, PhaseStats};
+use crate::pass::{
+    AnalysisPass, FtaPass, GraphFmeaPass, InjectionFmeaPass, MonitorPass, PassArtifact,
+    PipelineInput,
+};
+use crate::stats::EngineStats;
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,51 +66,6 @@ impl EngineConfig {
         self.deadline_ms = Some(ms.max(0.0));
         self
     }
-}
-
-/// Persistable form of [`ContainerFacts`]: component identity by name.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct FactsArtifact {
-    critical: Vec<String>,
-    on_some_path: Vec<String>,
-}
-
-impl FactsArtifact {
-    fn from_facts(model: &SsamModel, facts: &ContainerFacts) -> FactsArtifact {
-        let names = |set: &HashSet<Idx<Component>>| {
-            let mut v: Vec<String> =
-                set.iter().map(|&c| model.components[c].core.name.value().to_owned()).collect();
-            v.sort_unstable();
-            v
-        };
-        FactsArtifact { critical: names(&facts.critical), on_some_path: names(&facts.on_some_path) }
-    }
-
-    fn to_facts(&self, model: &SsamModel, container: Idx<Component>) -> ContainerFacts {
-        let critical: HashSet<&str> = self.critical.iter().map(String::as_str).collect();
-        let on_some: HashSet<&str> = self.on_some_path.iter().map(String::as_str).collect();
-        let mut facts = ContainerFacts { critical: HashSet::new(), on_some_path: HashSet::new() };
-        for &child in &model.components[container].children {
-            let name = model.components[child].core.name.value();
-            if critical.contains(name) {
-                facts.critical.insert(child);
-            }
-            if on_some.contains(name) {
-                facts.on_some_path.insert(child);
-            }
-        }
-        facts
-    }
-}
-
-/// Persisted form of one injection row: the FMEA verdict *plus* how the
-/// campaign supervisor classified the case, so a warm cache reproduces the
-/// full [`CampaignHealth`] report without re-simulating anything.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct InjectionArtifact {
-    row: FmeaRow,
-    outcome: CaseOutcome,
-    iterations: usize,
 }
 
 /// File name of the persisted campaign-health report inside a cache
@@ -153,11 +110,11 @@ pub struct FtaSubtreeSummary {
 /// ```
 #[derive(Debug, Default)]
 pub struct Engine {
-    config: EngineConfig,
-    cache: CacheStore,
-    stats: EngineStats,
-    last_campaign: Option<CampaignHealth>,
-    degraded: DegradedModeReport,
+    pub(crate) config: EngineConfig,
+    pub(crate) cache: CacheStore,
+    pub(crate) stats: EngineStats,
+    pub(crate) last_campaign: Option<CampaignHealth>,
+    pub(crate) degraded: DegradedModeReport,
 }
 
 impl Engine {
@@ -216,15 +173,6 @@ impl Engine {
     /// loaded leniently.
     pub fn degraded_report_mut(&mut self) -> &mut DegradedModeReport {
         &mut self.degraded
-    }
-
-    /// A scheduler honouring the configured worker count and deadline.
-    fn scheduler(&self) -> Scheduler {
-        let scheduler = Scheduler::new(self.config.jobs);
-        match self.config.deadline_ms {
-            Some(ms) => scheduler.with_deadline_ms(ms),
-            None => scheduler,
-        }
     }
 
     /// Loads the cache persisted in `dir` (empty when absent), restoring
@@ -297,6 +245,23 @@ impl Engine {
         Ok(())
     }
 
+    /// Runs `pass` and unwraps its artefact through `extract`, failing
+    /// with a typed error when the pass produced an unexpected type.
+    fn run_extracting<T>(
+        &mut self,
+        pass: &dyn AnalysisPass,
+        input: &PipelineInput<'_>,
+        extract: impl FnOnce(PassArtifact) -> std::result::Result<T, Box<PassArtifact>>,
+    ) -> Result<T> {
+        let id = pass.id();
+        extract(self.run_single(pass, input)?).map_err(|other| {
+            EngineError::Pipeline(format!(
+                "pass `{id}` produced a {} artefact instead of the expected type",
+                other.kind_name()
+            ))
+        })
+    }
+
     // ------------------------------------------------------------------
     // Graph path (S8)
     // ------------------------------------------------------------------
@@ -305,163 +270,17 @@ impl Engine {
     /// facts and per-component rows are fetched from the cache when their
     /// input fingerprints match and recomputed in parallel otherwise. The
     /// merged table is identical — rows, order and all — to
-    /// [`graph::run`].
+    /// [`graph::run`]. (Thin wrapper over [`crate::pass::GraphFmeaPass`].)
     ///
     /// # Errors
     ///
     /// Propagates analysis errors and scheduler failures.
     pub fn analyze_graph(&mut self, model: &SsamModel, top: Idx<Component>) -> Result<FmeaTable> {
-        let graph_config = self.config.graph.clone();
-        let config_fp = model_fp::graph_config_fingerprint(model, &graph_config);
-        let scheduler = self.scheduler();
-
-        // ---- Phase 1: container path facts -----------------------------
-        let start = Instant::now();
-        let mut phase = PhaseStats::new("graph-facts");
-        let containers = collect_containers(model, top);
-        phase.jobs_total = containers.len();
-        let mut topo_fp: HashMap<Idx<Component>, Fingerprint> = HashMap::new();
-        let mut facts: HashMap<Idx<Component>, ContainerFacts> = HashMap::new();
-        let mut misses: Vec<(Idx<Component>, Fingerprint)> = Vec::new();
-        for &container in &containers {
-            let topo = model_fp::topology_fingerprint(model, container);
-            topo_fp.insert(container, topo);
-            let key = Hasher::new()
-                .write_str("graph-facts")
-                .write_fingerprint(topo)
-                .write_fingerprint(config_fp)
-                .finish();
-            match self.cache.get::<FactsArtifact>(ArtifactKind::GraphFacts, key) {
-                Some(artifact) => {
-                    phase.cache_hits += 1;
-                    facts.insert(container, artifact.to_facts(model, container));
-                }
-                None => {
-                    phase.cache_misses += 1;
-                    misses.push((container, key));
-                }
-            }
-        }
-        phase.jobs_executed = misses.len();
-        if !misses.is_empty() {
-            let jobs: Vec<_> = misses
-                .iter()
-                .map(|&(container, _)| {
-                    let graph_config = &graph_config;
-                    move || graph::container_facts(model, container, graph_config)
-                })
-                .collect();
-            let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-facts"))?;
-            phase.retries = out.retries;
-            phase.max_job_ms = out.max_job_ms;
-            phase.timed_out = out.timed_out.len();
-            for &slow in &out.timed_out {
-                let (container, _) = misses[slow];
-                self.degraded
-                    .timed_out_jobs
-                    .push(format!("graph-facts/{}", model.components[container].core.name.value()));
-            }
-            for ((container, key), result) in misses.iter().zip(out.results) {
-                let fresh = result?;
-                self.cache.put(
-                    ArtifactKind::GraphFacts,
-                    *key,
-                    model.components[*container].core.name.value(),
-                    &FactsArtifact::from_facts(model, &fresh),
-                )?;
-                facts.insert(*container, fresh);
-            }
-        }
-        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        self.stats.record(phase);
-
-        // Criticality chain: a container is critical iff every enclosing
-        // container is critical and it sits on all paths one level up.
-        let mut critical_flag: HashMap<Idx<Component>, bool> = HashMap::new();
-        critical_flag.insert(top, true);
-        for &container in &containers {
-            let flag = critical_flag[&container];
-            for &child in &model.components[container].children {
-                if !model.components[child].is_atomic() {
-                    critical_flag
-                        .insert(child, flag && facts[&container].critical.contains(&child));
-                }
-            }
-        }
-
-        // ---- Phase 2: per-component rows -------------------------------
-        let start = Instant::now();
-        let mut phase = PhaseStats::new("graph-rows");
-        let mut work: Vec<(Idx<Component>, Idx<Component>)> = Vec::new();
-        flatten_work(model, top, &mut work);
-        phase.jobs_total = work.len();
-        let mut merged: Vec<Option<Vec<FmeaRow>>> = vec![None; work.len()];
-        let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
-        for (i, &(container, child)) in work.iter().enumerate() {
-            let key = Hasher::new()
-                .write_str("graph-row")
-                .write_fingerprint(model_fp::component_fingerprint(model, child))
-                .write_fingerprint(topo_fp[&container])
-                .write_bool(critical_flag[&container])
-                .write_fingerprint(config_fp)
-                .finish();
-            match self.cache.get::<Vec<FmeaRow>>(ArtifactKind::GraphRow, key) {
-                Some(rows) => {
-                    phase.cache_hits += 1;
-                    merged[i] = Some(rows);
-                }
-                None => {
-                    phase.cache_misses += 1;
-                    misses.push((i, key));
-                }
-            }
-        }
-        phase.jobs_executed = misses.len();
-        if !misses.is_empty() {
-            let jobs: Vec<_> = misses
-                .iter()
-                .map(|&(i, _)| {
-                    let (container, child) = work[i];
-                    let facts = &facts;
-                    let graph_config = &graph_config;
-                    let flag = critical_flag[&container];
-                    move || {
-                        graph::component_rows(model, child, flag, &facts[&container], graph_config)
-                    }
-                })
-                .collect();
-            let out = scheduler.run_batch(&jobs).map_err(|e| batch_error(e, "graph-rows"))?;
-            phase.retries = out.retries;
-            phase.max_job_ms = out.max_job_ms;
-            phase.timed_out = out.timed_out.len();
-            for &slow in &out.timed_out {
-                let (_, child) = work[misses[slow].0];
-                self.degraded
-                    .timed_out_jobs
-                    .push(format!("graph-rows/{}", model.components[child].core.name.value()));
-            }
-            for (&(i, key), rows) in misses.iter().zip(&out.results) {
-                let (_, child) = work[i];
-                self.cache.put(
-                    ArtifactKind::GraphRow,
-                    key,
-                    model.components[child].core.name.value(),
-                    rows,
-                )?;
-                merged[i] = Some(rows.clone());
-            }
-        }
-        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        self.stats.record(phase);
-
-        // ---- Deterministic merge ---------------------------------------
-        let mut table = FmeaTable::new(model.components[top].core.name.value());
-        for rows in merged {
-            for row in rows.expect("every work item resolved") {
-                table.push(row);
-            }
-        }
-        Ok(table)
+        let input = PipelineInput::for_model(model, top);
+        self.run_extracting(&GraphFmeaPass, &input, |artifact| match artifact {
+            PassArtifact::Fmea(table) => Ok(table),
+            other => Err(Box::new(other)),
+        })
     }
 
     /// Re-analyses after a model revision: diffs `old` against `new`,
@@ -496,7 +315,9 @@ impl Engine {
 
     /// The escape hatch: runs the incremental analysis *and* the
     /// from-scratch [`graph::run`], failing loudly if they differ in any
-    /// row. Use it to validate a cache of unknown provenance.
+    /// row. Use it to validate a cache of unknown provenance. (For the
+    /// whole-pipeline variant see
+    /// [`Engine::verify_pipeline_against_full`].)
     ///
     /// # Errors
     ///
@@ -535,123 +356,25 @@ impl Engine {
     /// [`CampaignHealth`] report (see [`Engine::campaign_health`]) covers
     /// hits and misses alike, and the campaign circuit breaker is enforced
     /// on every run — a warm cache full of unsolvable rows still aborts.
+    /// (Thin wrapper over [`crate::pass::InjectionFmeaPass`].)
     ///
     /// # Errors
     ///
-    /// Same conditions as [`injection::run_supervised`] — including
-    /// [`CoreError::CampaignAborted`] when the breaker trips — plus
-    /// scheduler failures.
+    /// Same conditions as `injection::run_supervised` — including
+    /// [`decisive_core::CoreError::CampaignAborted`] when the breaker
+    /// trips — plus scheduler failures.
     pub fn analyze_injection(
         &mut self,
         diagram: &BlockDiagram,
         reliability: &ReliabilityDb,
         config: &InjectionConfig,
     ) -> Result<FmeaTable> {
-        if !(config.threshold > 0.0 && config.threshold.is_finite()) {
-            return Err(EngineError::Core(CoreError::InvalidParameter {
-                message: format!("threshold must be positive and finite, got {}", config.threshold),
-            }));
-        }
-        config.campaign.validate().map_err(EngineError::Core)?;
-        let start = Instant::now();
-        let mut phase = PhaseStats::new("injection-rows");
-        let circuit_fp = model_fp::serialized_fingerprint(diagram, "block-diagram");
-        let solver = &config.campaign.solver;
-        let candidates = injection::candidates(diagram, reliability);
-        phase.jobs_total = candidates.len();
-        let mut merged: Vec<Option<FmeaRow>> = vec![None; candidates.len()];
-        let mut reports: Vec<Option<CaseReport>> = vec![None; candidates.len()];
-        let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
-        for (i, candidate) in candidates.iter().enumerate() {
-            let key = Hasher::new()
-                .write_str("injection-row")
-                .write_fingerprint(circuit_fp)
-                .write_fingerprint(model_fp::candidate_fingerprint(candidate))
-                .write_f64(config.threshold)
-                .write_bool(solver.damped)
-                .write_bool(solver.gmin_stepping)
-                .write_bool(solver.source_stepping)
-                .write_u64(solver.budget as u64)
-                .finish();
-            match self.cache.get::<InjectionArtifact>(ArtifactKind::InjectionRow, key) {
-                Some(artifact) => {
-                    phase.cache_hits += 1;
-                    reports[i] = Some(CaseReport {
-                        case: format!("{}/{}", candidate.name, candidate.mode.name),
-                        outcome: artifact.outcome,
-                        iterations: artifact.iterations,
-                        wall_ms: 0.0, // served from the cache, not re-solved
-                    });
-                    merged[i] = Some(artifact.row);
-                }
-                None => {
-                    phase.cache_misses += 1;
-                    misses.push((i, key));
-                }
-            }
-        }
-        phase.jobs_executed = misses.len();
-        if !misses.is_empty() {
-            // Lower and solve the nominal circuit once, only when at least
-            // one candidate actually needs simulating.
-            let lowered = to_circuit(diagram).map_err(CoreError::from)?;
-            let nominal_solution = lowered.circuit.dc().map_err(CoreError::from)?;
-            let nominal =
-                lowered.circuit.all_sensor_readings(&nominal_solution).map_err(CoreError::from)?;
-            let jobs: Vec<_> = misses
-                .iter()
-                .map(|&(i, _)| {
-                    let candidate = &candidates[i];
-                    let lowered = &lowered;
-                    let nominal = &nominal;
-                    move || {
-                        injection::analyse_candidate_supervised(candidate, lowered, nominal, config)
-                    }
-                })
-                .collect();
-            let out =
-                self.scheduler().run_batch(&jobs).map_err(|e| batch_error(e, "injection-rows"))?;
-            phase.retries = out.retries;
-            phase.max_job_ms = out.max_job_ms;
-            phase.timed_out = out.timed_out.len();
-            for &slow in &out.timed_out {
-                let candidate = &candidates[misses[slow].0];
-                self.degraded
-                    .timed_out_jobs
-                    .push(format!("injection-rows/{}/{}", candidate.name, candidate.mode.name));
-            }
-            for (&(i, key), (row, report)) in misses.iter().zip(out.results) {
-                self.cache.put(
-                    ArtifactKind::InjectionRow,
-                    key,
-                    &candidates[i].name,
-                    &InjectionArtifact {
-                        row: row.clone(),
-                        outcome: report.outcome.clone(),
-                        iterations: report.iterations,
-                    },
-                )?;
-                merged[i] = Some(row);
-                reports[i] = Some(report);
-            }
-        }
-        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        self.stats.record(phase);
-
-        let reports: Vec<CaseReport> =
-            reports.into_iter().map(|r| r.expect("every candidate classified")).collect();
-        let mut health = CampaignHealth::from_reports(&reports);
-        health.absorb_degradation(&self.degraded);
-        // Keep the report visible even when the breaker aborts the run —
-        // it is exactly then that the operator needs the failed-case list.
-        self.last_campaign = Some(health.clone());
-        health.enforce(&config.campaign).map_err(EngineError::Core)?;
-
-        let mut table = FmeaTable::new(diagram.name());
-        for row in merged {
-            table.push(row.expect("every candidate resolved"));
-        }
-        Ok(table)
+        let input =
+            PipelineInput::for_diagram(diagram, reliability).with_injection_config(config.clone());
+        self.run_extracting(&InjectionFmeaPass, &input, |artifact| match artifact {
+            PassArtifact::Injection { table, .. } => Ok(table),
+            other => Err(Box::new(other)),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -662,7 +385,8 @@ impl Engine {
     /// container: the key covers the container's topology, its children's
     /// content and the mission time, so a FIT edit re-quantifies one
     /// subtree. Containers without input→output paths (or beyond the path
-    /// cap) come back with `analysable: false`.
+    /// cap) come back with `analysable: false`. (Thin wrapper over
+    /// [`crate::pass::FtaPass`].)
     ///
     /// # Errors
     ///
@@ -673,164 +397,26 @@ impl Engine {
         top: Idx<Component>,
         mission_hours: f64,
     ) -> Result<Vec<FtaSubtreeSummary>> {
-        let start = Instant::now();
-        let mut phase = PhaseStats::new("fta-subtrees");
-        let containers = collect_containers(model, top);
-        phase.jobs_total = containers.len();
-        let mut merged: Vec<Option<FtaSubtreeSummary>> = vec![None; containers.len()];
-        let mut misses: Vec<(usize, Fingerprint)> = Vec::new();
-        for (i, &container) in containers.iter().enumerate() {
-            let mut h = Hasher::new();
-            h.write_str("fta-subtree");
-            h.write_fingerprint(model_fp::topology_fingerprint(model, container));
-            for &child in &model.components[container].children {
-                h.write_fingerprint(model_fp::component_fingerprint(model, child));
-            }
-            h.write_f64(mission_hours);
-            h.write_u64(self.config.graph.max_paths as u64);
-            let key = h.finish();
-            match self.cache.get::<FtaSubtreeSummary>(ArtifactKind::FtaSubtree, key) {
-                Some(summary) => {
-                    phase.cache_hits += 1;
-                    merged[i] = Some(summary);
-                }
-                None => {
-                    phase.cache_misses += 1;
-                    misses.push((i, key));
-                }
-            }
-        }
-        phase.jobs_executed = misses.len();
-        if !misses.is_empty() {
-            let max_paths = self.config.graph.max_paths;
-            let jobs: Vec<_> = misses
-                .iter()
-                .map(|&(i, _)| {
-                    let container = containers[i];
-                    move || quantify_subtree(model, container, mission_hours, max_paths)
-                })
-                .collect();
-            let out =
-                self.scheduler().run_batch(&jobs).map_err(|e| batch_error(e, "fta-subtrees"))?;
-            phase.retries = out.retries;
-            phase.max_job_ms = out.max_job_ms;
-            phase.timed_out = out.timed_out.len();
-            for &slow in &out.timed_out {
-                let name = model.components[containers[misses[slow].0]].core.name.value();
-                self.degraded.timed_out_jobs.push(format!("fta-subtrees/{name}"));
-            }
-            for (&(i, key), summary) in misses.iter().zip(&out.results) {
-                self.cache.put(ArtifactKind::FtaSubtree, key, &summary.container, summary)?;
-                merged[i] = Some(summary.clone());
-            }
-        }
-        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        self.stats.record(phase);
-        Ok(merged.into_iter().map(|s| s.expect("every container resolved")).collect())
+        let input = PipelineInput::for_model(model, top).with_mission_hours(mission_hours);
+        self.run_extracting(&FtaPass, &input, |artifact| match artifact {
+            PassArtifact::FtaSummaries(summaries) => Ok(summaries),
+            other => Err(Box::new(other)),
+        })
     }
 
     /// Generates (or fetches) the runtime monitor of `model`, keyed by the
     /// monitor-relevant model slice (limited IO nodes and their dynamic
-    /// context).
+    /// context). (Thin wrapper over [`crate::pass::MonitorPass`].)
     ///
     /// # Errors
     ///
     /// Propagates cache serialisation failures.
     pub fn monitors(&mut self, model: &SsamModel) -> Result<RuntimeMonitor> {
-        let start = Instant::now();
-        let mut phase = PhaseStats::new("monitor-set");
-        phase.jobs_total = 1;
-        let key = model_fp::monitor_fingerprint(model);
-        let monitor = match self.cache.get::<RuntimeMonitor>(ArtifactKind::MonitorSet, key) {
-            Some(monitor) => {
-                phase.cache_hits += 1;
-                monitor
-            }
-            None => {
-                phase.cache_misses += 1;
-                phase.jobs_executed = 1;
-                let monitor = RuntimeMonitor::generate(model);
-                self.cache.put(ArtifactKind::MonitorSet, key, model.name.value(), &monitor)?;
-                monitor
-            }
-        };
-        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        self.stats.record(phase);
-        Ok(monitor)
-    }
-}
-
-fn batch_error(e: BatchError, phase: &str) -> EngineError {
-    match e {
-        BatchError::JobFailed { index } => {
-            EngineError::JobFailed { index, phase: phase.to_owned() }
-        }
-        BatchError::Cancelled => EngineError::Cancelled,
-    }
-}
-
-/// Pre-order list of analysed containers: `top` and every non-atomic
-/// descendant, in the recursion order of Algorithm 1.
-fn collect_containers(model: &SsamModel, top: Idx<Component>) -> Vec<Idx<Component>> {
-    let mut out = Vec::new();
-    fn walk(model: &SsamModel, container: Idx<Component>, out: &mut Vec<Idx<Component>>) {
-        out.push(container);
-        for &child in &model.components[container].children {
-            if !model.components[child].is_atomic() {
-                walk(model, child, out);
-            }
-        }
-    }
-    walk(model, top, &mut out);
-    out
-}
-
-/// The `(container, child)` work list in table order: each child's own
-/// rows, immediately followed by its subtree's (Algorithm 1 line 14).
-fn flatten_work(
-    model: &SsamModel,
-    container: Idx<Component>,
-    out: &mut Vec<(Idx<Component>, Idx<Component>)>,
-) {
-    for &child in &model.components[container].children {
-        out.push((container, child));
-        if !model.components[child].is_atomic() {
-            flatten_work(model, child, out);
-        }
-    }
-}
-
-fn quantify_subtree(
-    model: &SsamModel,
-    container: Idx<Component>,
-    mission_hours: f64,
-    max_paths: usize,
-) -> FtaSubtreeSummary {
-    let name = model.components[container].core.name.value().to_owned();
-    match decisive_fta::build_fault_tree(model, container, max_paths) {
-        Ok(synthesised) => {
-            let quant = synthesised.tree.quantify(mission_hours);
-            let single_points = synthesised
-                .tree
-                .single_points()
-                .into_iter()
-                .map(|id| synthesised.tree.node(id).name().to_owned())
-                .collect();
-            FtaSubtreeSummary {
-                container: name,
-                analysable: true,
-                top_probability: quant.top_probability,
-                single_points,
-                minimal_cut_sets: synthesised.tree.cut_sets_by_name(),
-            }
-        }
-        Err(_) => FtaSubtreeSummary {
-            container: name,
-            analysable: false,
-            top_probability: 0.0,
-            single_points: Vec::new(),
-            minimal_cut_sets: Vec::new(),
-        },
+        let input = PipelineInput::new().with_model(model);
+        self.run_extracting(&MonitorPass, &input, |artifact| match artifact {
+            PassArtifact::Monitor(monitor) => Ok(monitor),
+            other => Err(Box::new(other)),
+        })
     }
 }
 

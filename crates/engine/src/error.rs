@@ -24,6 +24,10 @@ pub enum EngineError {
     /// `verify_against_full` found a divergence between the incremental
     /// and the from-scratch result — a cache-soundness bug.
     Verification(String),
+    /// The pass pipeline was misconfigured (duplicate ids, unknown
+    /// dependencies, a dependency cycle) or a pass produced an artefact of
+    /// an unexpected type.
+    Pipeline(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -38,6 +42,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Verification(message) => {
                 write!(f, "incremental result diverged from full recomputation: {message}")
             }
+            EngineError::Pipeline(message) => write!(f, "pipeline: {message}"),
         }
     }
 }

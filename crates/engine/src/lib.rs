@@ -15,14 +15,23 @@
 //! - [`cache`] — the content-addressed store plus JSON persistence;
 //! - [`scheduler`] — the deterministic parallel job runner;
 //! - [`stats`] — per-phase observability counters;
+//! - [`pass`] — the typed [`AnalysisPass`] abstraction: each analysis
+//!   (graph FMEA, injection, FTA, monitors, HARA, assurance) as one
+//!   composable pass sharing a single cache/deadline/degradation path;
+//! - [`pipeline`] — the validated pass DAG executed with cross-pass
+//!   parallelism ([`Engine::run_pipeline`]);
 //! - [`engine`] — the [`Engine`] gluing it all together, with
-//!   [`Engine::verify_against_full`] as the soundness escape hatch.
+//!   [`Engine::verify_against_full`] and
+//!   [`Engine::verify_pipeline_against_full`] as the soundness escape
+//!   hatches.
 
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod fingerprint;
 pub mod model_fp;
+pub mod pass;
+pub mod pipeline;
 pub mod scheduler;
 pub mod stats;
 
@@ -30,5 +39,10 @@ pub use cache::{ArtifactKind, CacheStore};
 pub use engine::{Engine, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
 pub use error::{EngineError, Result};
 pub use fingerprint::Fingerprint;
+pub use pass::{
+    AnalysisPass, ArtifactId, AssurancePass, FtaPass, GraphFmeaPass, HaraPass, InjectionFmeaPass,
+    MonitorPass, PassArtifact, PassContext, PipelineInput, WorkItem,
+};
+pub use pipeline::{PassStatus, Pipeline, PipelineRun};
 pub use scheduler::{CancelToken, Scheduler};
 pub use stats::{EngineStats, PhaseStats};

@@ -1,0 +1,1198 @@
+//! The typed pass layer: every analysis the engine knows how to run —
+//! graph FMEA, injection FMEA, FTA subtrees, monitor synthesis, HARA risk
+//! logging, assurance-case evaluation — is an [`AnalysisPass`] producing a
+//! [`PassArtifact`] from content-addressed inputs. The incremental cache,
+//! per-job deadlines, campaign health and degraded-mode reporting live in
+//! **one** code path ([`PassContext::run_keyed`]) instead of one copy per
+//! analysis.
+//!
+//! Passes declare their dependencies by id ([`AnalysisPass::depends_on`]);
+//! the [`crate::pipeline::Pipeline`] runner schedules them as a DAG with
+//! cross-pass parallelism on the shared worker budget.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::{DeserializeOwned, Serialize};
+
+use decisive_assurance::report::{CAMPAIGN_LOCATION, FMEA_LOCATION, FTA_LOCATION};
+use decisive_assurance::{pipeline_report, AssuranceReport, PipelineEvidence, Status};
+use decisive_blocks::{to_circuit, BlockDiagram};
+use decisive_core::campaign::{CampaignHealth, CaseOutcome, CaseReport};
+use decisive_core::degraded::DegradedModeReport;
+use decisive_core::fmea::graph::{self, ContainerFacts};
+use decisive_core::fmea::injection::{self, InjectionConfig};
+use decisive_core::fmea::{FmeaRow, FmeaTable};
+use decisive_core::monitor::RuntimeMonitor;
+use decisive_core::reliability::ReliabilityDb;
+use decisive_core::CoreError;
+use decisive_federation::{DriverRegistry, Value};
+use decisive_hara::{HazardLog, RiskAssessmentPolicy, RiskLog};
+use decisive_ssam::architecture::Component;
+use decisive_ssam::base::IntegrityLevel;
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+use crate::cache::{ArtifactKind, CacheStore};
+use crate::engine::{EngineConfig, FtaSubtreeSummary};
+use crate::error::{EngineError, Result};
+use crate::fingerprint::{Fingerprint, Hasher};
+use crate::model_fp;
+use crate::scheduler::{BatchError, Scheduler};
+use crate::stats::PhaseStats;
+
+/// The stable ids of the standard passes, for wiring dependencies.
+pub mod ids {
+    /// Graph FMEA over the architecture model (Algorithm 1).
+    pub const GRAPH: &str = "graph-fmea";
+    /// Fault-injection FMEA over the block diagram (supervised campaign).
+    pub const INJECTION: &str = "injection-fmea";
+    /// Per-container fault-subtree quantification.
+    pub const FTA: &str = "fta";
+    /// Runtime monitor synthesis.
+    pub const MONITORS: &str = "monitors";
+    /// HARA risk log derived from FMEA rows.
+    pub const HARA: &str = "hara";
+    /// Assurance-case generation and evaluation.
+    pub const ASSURANCE: &str = "assurance";
+}
+
+/// Content-addressed identity of one cached artefact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactId {
+    /// The artefact namespace.
+    pub kind: ArtifactKind,
+    /// The input fingerprint serving as cache key.
+    pub key: Fingerprint,
+}
+
+/// One keyed unit of work inside a pass phase.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// The artefact this item produces.
+    pub id: ArtifactId,
+    /// Cache-entry owner (a component or candidate name), used by
+    /// impact-driven invalidation.
+    pub owner: String,
+    /// Human-readable label for deadline / degraded-mode reporting.
+    pub label: String,
+}
+
+/// The typed output of one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassArtifact {
+    /// A graph FMEA table.
+    Fmea(FmeaTable),
+    /// An injection FMEA table plus the campaign-health verdict.
+    Injection {
+        /// The merged FMEA table.
+        table: FmeaTable,
+        /// Supervisor classification of the whole sweep.
+        health: CampaignHealth,
+    },
+    /// Quantified FTA subtrees, one per container.
+    FtaSummaries(Vec<FtaSubtreeSummary>),
+    /// A synthesised runtime monitor set.
+    Monitor(RuntimeMonitor),
+    /// A HARA risk log.
+    RiskLog(RiskLog),
+    /// An evaluated assurance case.
+    Assurance(AssuranceReport),
+    /// Free-form artefact for custom passes.
+    Opaque(Value),
+}
+
+impl PassArtifact {
+    /// Short artefact-type name for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PassArtifact::Fmea(_) => "fmea-table",
+            PassArtifact::Injection { .. } => "injection-table",
+            PassArtifact::FtaSummaries(_) => "fta-summaries",
+            PassArtifact::Monitor(_) => "monitor-set",
+            PassArtifact::RiskLog(_) => "risk-log",
+            PassArtifact::Assurance(_) => "assurance-report",
+            PassArtifact::Opaque(_) => "opaque",
+        }
+    }
+
+    /// The FMEA table carried by this artefact, if any.
+    pub fn fmea_table(&self) -> Option<&FmeaTable> {
+        match self {
+            PassArtifact::Fmea(table) | PassArtifact::Injection { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+
+    /// The campaign health carried by this artefact, if any.
+    pub fn campaign_health(&self) -> Option<&CampaignHealth> {
+        match self {
+            PassArtifact::Injection { health, .. } => Some(health),
+            _ => None,
+        }
+    }
+
+    /// The FTA subtree summaries, if this is an FTA artefact.
+    pub fn fta_summaries(&self) -> Option<&[FtaSubtreeSummary]> {
+        match self {
+            PassArtifact::FtaSummaries(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The monitor set, if this is a monitor artefact.
+    pub fn monitor(&self) -> Option<&RuntimeMonitor> {
+        match self {
+            PassArtifact::Monitor(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The risk log, if this is a HARA artefact.
+    pub fn risk_log(&self) -> Option<&RiskLog> {
+        match self {
+            PassArtifact::RiskLog(log) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// The assurance report, if this is an assurance artefact.
+    pub fn assurance(&self) -> Option<&AssuranceReport> {
+        match self {
+            PassArtifact::Assurance(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Semantic equality, ignoring wall-clock noise: campaign timing
+    /// (slowest cases, per-case wall time) legitimately differs between a
+    /// warm and a cold run of the *same* inputs, so pipeline verification
+    /// compares everything but the clocks.
+    pub fn equivalent(&self, other: &PassArtifact) -> bool {
+        match (self, other) {
+            (
+                PassArtifact::Injection { table: a, health: ha },
+                PassArtifact::Injection { table: b, health: hb },
+            ) => a == b && campaign_equivalent(ha, hb),
+            _ => self == other,
+        }
+    }
+}
+
+/// Campaign equality over the semantic fields only (counters, strategy
+/// histogram, failed cases) — `slowest` and the embedded degradation
+/// snapshot carry timing noise.
+fn campaign_equivalent(a: &CampaignHealth, b: &CampaignHealth) -> bool {
+    a.total == b.total
+        && a.converged == b.converged
+        && a.recovered == b.recovered
+        && a.unsolvable == b.unsolvable
+        && a.panicked == b.panicked
+        && a.skipped == b.skipped
+        && a.strategy_histogram == b.strategy_histogram
+        && a.failed_cases == b.failed_cases
+}
+
+/// Everything a pipeline iteration can analyse. Passes pull what they need
+/// and fail with a typed [`EngineError::Pipeline`] when an input they
+/// require is absent.
+#[derive(Debug, Clone)]
+pub struct PipelineInput<'a> {
+    /// The architecture model (graph FMEA, FTA, monitors).
+    pub model: Option<&'a SsamModel>,
+    /// The analysis root within `model`.
+    pub top: Option<Idx<Component>>,
+    /// The block diagram (injection FMEA).
+    pub diagram: Option<&'a BlockDiagram>,
+    /// Reliability data resolving the diagram's components.
+    pub reliability: Option<&'a ReliabilityDb>,
+    /// Injection sweep configuration.
+    pub injection: InjectionConfig,
+    /// FTA mission time in hours.
+    pub mission_hours: f64,
+    /// Hazard log grounding the HARA assessment, when one exists.
+    pub hazards: Option<&'a HazardLog>,
+    /// Fallback s/e/c assumptions for the HARA assessment.
+    pub policy: RiskAssessmentPolicy,
+}
+
+impl Default for PipelineInput<'_> {
+    fn default() -> Self {
+        PipelineInput {
+            model: None,
+            top: None,
+            diagram: None,
+            reliability: None,
+            injection: InjectionConfig::default(),
+            mission_hours: 10_000.0,
+            hazards: None,
+            policy: RiskAssessmentPolicy::default(),
+        }
+    }
+}
+
+impl<'a> PipelineInput<'a> {
+    /// An empty input (every pass needing data will fail until the
+    /// builders below provide it).
+    pub fn new() -> Self {
+        PipelineInput::default()
+    }
+
+    /// Input for model-side passes (graph FMEA, FTA, monitors, HARA).
+    pub fn for_model(model: &'a SsamModel, top: Idx<Component>) -> Self {
+        PipelineInput::new().with_model(model).with_top(top)
+    }
+
+    /// Input for the injection path.
+    pub fn for_diagram(diagram: &'a BlockDiagram, reliability: &'a ReliabilityDb) -> Self {
+        PipelineInput::new().with_diagram(diagram, reliability)
+    }
+
+    /// Sets the architecture model.
+    pub fn with_model(mut self, model: &'a SsamModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the analysis root.
+    pub fn with_top(mut self, top: Idx<Component>) -> Self {
+        self.top = Some(top);
+        self
+    }
+
+    /// Sets the block diagram and its reliability data.
+    pub fn with_diagram(
+        mut self,
+        diagram: &'a BlockDiagram,
+        reliability: &'a ReliabilityDb,
+    ) -> Self {
+        self.diagram = Some(diagram);
+        self.reliability = Some(reliability);
+        self
+    }
+
+    /// Sets the injection configuration.
+    pub fn with_injection_config(mut self, config: InjectionConfig) -> Self {
+        self.injection = config;
+        self
+    }
+
+    /// Sets the FTA mission time.
+    pub fn with_mission_hours(mut self, hours: f64) -> Self {
+        self.mission_hours = hours;
+        self
+    }
+
+    /// Sets the hazard log backing the HARA assessment.
+    pub fn with_hazards(mut self, hazards: &'a HazardLog) -> Self {
+        self.hazards = Some(hazards);
+        self
+    }
+
+    /// Sets the HARA fallback policy.
+    pub fn with_policy(mut self, policy: RiskAssessmentPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The execution context handed to [`AnalysisPass::run`]: configuration,
+/// the shared cache, the pipeline input, resolved dependency artefacts,
+/// and the per-pass observability sinks the runner merges back into the
+/// engine afterwards.
+pub struct PassContext<'a> {
+    pub(crate) config: &'a EngineConfig,
+    pub(crate) workers: usize,
+    pub(crate) cache: &'a Mutex<CacheStore>,
+    pub(crate) input: &'a PipelineInput<'a>,
+    pub(crate) deps: HashMap<&'static str, Arc<PassArtifact>>,
+    /// The engine's degraded-mode report as of pipeline start; campaign
+    /// health absorbs `baseline + this pass's own degradation`.
+    pub(crate) baseline_degraded: DegradedModeReport,
+    pub(crate) phases: Vec<PhaseStats>,
+    pub(crate) degraded: DegradedModeReport,
+    pub(crate) campaign: Option<CampaignHealth>,
+}
+
+impl<'a> PassContext<'a> {
+    /// The pipeline input.
+    pub fn input(&self) -> &PipelineInput<'a> {
+        self.input
+    }
+
+    /// The artefact of an upstream pass this pass depends on.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Pipeline`] when `id` was not declared in
+    /// [`AnalysisPass::depends_on`] (or its pass did not run).
+    pub fn dep(&self, id: &str) -> Result<&PassArtifact> {
+        self.deps.get(id).map(Arc::as_ref).ok_or_else(|| {
+            EngineError::Pipeline(format!("dependency artefact `{id}` is not available"))
+        })
+    }
+
+    /// Like [`PassContext::dep`], but hands out the shared handle so the
+    /// artefact can outlive a later mutable borrow of the context (e.g.
+    /// across a [`PassContext::run_keyed`] call).
+    pub fn dep_arc(&self, id: &str) -> Result<Arc<PassArtifact>> {
+        self.deps.get(id).cloned().ok_or_else(|| {
+            EngineError::Pipeline(format!("dependency artefact `{id}` is not available"))
+        })
+    }
+
+    fn lock_cache(&self) -> MutexGuard<'a, CacheStore> {
+        // A poisoned cache mutex means another pass panicked mid-update;
+        // the store itself is append-only per key and stays usable.
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn scheduler(&self) -> Scheduler {
+        let scheduler = Scheduler::new(self.workers);
+        match self.config.deadline_ms {
+            Some(ms) => scheduler.with_deadline_ms(ms),
+            None => scheduler,
+        }
+    }
+
+    /// THE unified incremental phase: looks every [`WorkItem`] up in the
+    /// cache, recomputes the misses as one scheduled batch (honouring the
+    /// worker budget and per-job deadline), persists fresh results under
+    /// their keys, classifies timed-out jobs into the degraded-mode
+    /// report, and records a [`PhaseStats`] entry — the single code path
+    /// that previously existed as four copies in `engine.rs`.
+    ///
+    /// `decode` maps a cached artefact to the in-memory result, `encode`
+    /// the reverse; `prepare` builds batch-shared state and runs only when
+    /// at least one item missed (e.g. lowering the nominal circuit).
+    pub(crate) fn run_keyed<T, A, P>(
+        &mut self,
+        phase_name: &str,
+        items: &[WorkItem],
+        decode: impl Fn(usize, A) -> T,
+        prepare: impl FnOnce(&[usize]) -> Result<P>,
+        compute: impl Fn(&P, usize) -> decisive_core::Result<T> + Sync,
+        encode: impl Fn(usize, &T) -> A,
+    ) -> Result<Vec<T>>
+    where
+        T: Send,
+        A: Serialize + DeserializeOwned,
+        P: Sync,
+    {
+        let start = Instant::now();
+        let mut phase = PhaseStats::new(phase_name);
+        phase.jobs_total = items.len();
+        let mut merged: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match self.lock_cache().get::<A>(item.id.kind, item.id.key) {
+                Some(artifact) => {
+                    phase.cache_hits += 1;
+                    merged[i] = Some(decode(i, artifact));
+                }
+                None => {
+                    phase.cache_misses += 1;
+                    misses.push(i);
+                }
+            }
+        }
+        phase.jobs_executed = misses.len();
+        if !misses.is_empty() {
+            let prep = prepare(&misses)?;
+            let jobs: Vec<_> = misses
+                .iter()
+                .map(|&i| {
+                    let prep = &prep;
+                    let compute = &compute;
+                    move || compute(prep, i)
+                })
+                .collect();
+            let out = self.scheduler().run_batch(&jobs).map_err(|e| batch_error(e, phase_name))?;
+            phase.retries = out.retries;
+            phase.max_job_ms = out.max_job_ms;
+            phase.timed_out = out.timed_out.len();
+            for &slow in &out.timed_out {
+                self.degraded
+                    .timed_out_jobs
+                    .push(format!("{phase_name}/{}", items[misses[slow]].label));
+            }
+            for (&i, result) in misses.iter().zip(out.results) {
+                let fresh = result?;
+                let item = &items[i];
+                self.lock_cache().put(
+                    item.id.kind,
+                    item.id.key,
+                    &item.owner,
+                    &encode(i, &fresh),
+                )?;
+                merged[i] = Some(fresh);
+            }
+        }
+        phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.phases.push(phase);
+        Ok(merged.into_iter().map(|t| t.expect("every work item resolved")).collect())
+    }
+}
+
+/// One composable analysis step: a typed transformation from
+/// content-addressed inputs (and upstream artefacts) to a
+/// [`PassArtifact`], with declared dependencies so the
+/// [`crate::pipeline::Pipeline`] can schedule it.
+pub trait AnalysisPass: Send + Sync {
+    /// Stable pass id (also the artefact name in [`crate::pipeline::PipelineRun`]).
+    fn id(&self) -> &'static str;
+
+    /// Ids of the passes whose artefacts this pass consumes.
+    fn depends_on(&self) -> &[&'static str] {
+        &[]
+    }
+
+    /// The cache namespaces this pass reads and writes (for
+    /// `decisive passes` cache-status reporting).
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[]
+    }
+
+    /// Executes the pass.
+    ///
+    /// # Errors
+    ///
+    /// Passes return typed [`EngineError`]s; the pipeline runner marks
+    /// dependents of a failed pass as skipped instead of cascading panics.
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact>;
+}
+
+fn batch_error(e: BatchError, phase: &str) -> EngineError {
+    match e {
+        BatchError::JobFailed { index } => {
+            EngineError::JobFailed { index, phase: phase.to_owned() }
+        }
+        BatchError::Cancelled => EngineError::Cancelled,
+    }
+}
+
+fn missing_input(pass: &str, what: &str) -> EngineError {
+    EngineError::Pipeline(format!("pass `{pass}` requires {what}, which the input does not carry"))
+}
+
+// ----------------------------------------------------------------------
+// Shared artefact codecs and helpers (moved here from `engine.rs`)
+// ----------------------------------------------------------------------
+
+/// Persistable form of [`ContainerFacts`]: component identity by name.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub(crate) struct FactsArtifact {
+    critical: Vec<String>,
+    on_some_path: Vec<String>,
+}
+
+impl FactsArtifact {
+    fn from_facts(model: &SsamModel, facts: &ContainerFacts) -> FactsArtifact {
+        let names = |set: &std::collections::HashSet<Idx<Component>>| {
+            let mut v: Vec<String> =
+                set.iter().map(|&c| model.components[c].core.name.value().to_owned()).collect();
+            v.sort_unstable();
+            v
+        };
+        FactsArtifact { critical: names(&facts.critical), on_some_path: names(&facts.on_some_path) }
+    }
+
+    fn to_facts(&self, model: &SsamModel, container: Idx<Component>) -> ContainerFacts {
+        let critical: std::collections::HashSet<&str> =
+            self.critical.iter().map(String::as_str).collect();
+        let on_some: std::collections::HashSet<&str> =
+            self.on_some_path.iter().map(String::as_str).collect();
+        let mut facts = ContainerFacts {
+            critical: std::collections::HashSet::new(),
+            on_some_path: std::collections::HashSet::new(),
+        };
+        for &child in &model.components[container].children {
+            let name = model.components[child].core.name.value();
+            if critical.contains(name) {
+                facts.critical.insert(child);
+            }
+            if on_some.contains(name) {
+                facts.on_some_path.insert(child);
+            }
+        }
+        facts
+    }
+}
+
+/// Persisted form of one injection row: the FMEA verdict *plus* how the
+/// campaign supervisor classified the case, so a warm cache reproduces the
+/// full [`CampaignHealth`] report without re-simulating anything.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub(crate) struct InjectionArtifact {
+    row: FmeaRow,
+    outcome: CaseOutcome,
+    iterations: usize,
+}
+
+/// Pre-order list of analysed containers: `top` and every non-atomic
+/// descendant, in the recursion order of Algorithm 1.
+pub(crate) fn collect_containers(model: &SsamModel, top: Idx<Component>) -> Vec<Idx<Component>> {
+    let mut out = Vec::new();
+    fn walk(model: &SsamModel, container: Idx<Component>, out: &mut Vec<Idx<Component>>) {
+        out.push(container);
+        for &child in &model.components[container].children {
+            if !model.components[child].is_atomic() {
+                walk(model, child, out);
+            }
+        }
+    }
+    walk(model, top, &mut out);
+    out
+}
+
+/// The `(container, child)` work list in table order: each child's own
+/// rows, immediately followed by its subtree's (Algorithm 1 line 14).
+pub(crate) fn flatten_work(
+    model: &SsamModel,
+    container: Idx<Component>,
+    out: &mut Vec<(Idx<Component>, Idx<Component>)>,
+) {
+    for &child in &model.components[container].children {
+        out.push((container, child));
+        if !model.components[child].is_atomic() {
+            flatten_work(model, child, out);
+        }
+    }
+}
+
+/// Quantifies one container's fault subtree. Synthesis failures (no
+/// input→output paths, path-cap overflow) stay a silent
+/// `analysable: false` — expected for leaf containers — while
+/// quantification errors on a *built* tree surface as a degraded-mode
+/// note via the second tuple element.
+fn quantify_subtree(
+    model: &SsamModel,
+    container: Idx<Component>,
+    mission_hours: f64,
+    max_paths: usize,
+) -> (FtaSubtreeSummary, Option<String>) {
+    let name = model.components[container].core.name.value().to_owned();
+    match decisive_fta::build_fault_tree(model, container, max_paths) {
+        Ok(synthesised) => match synthesised.tree.try_quantify(mission_hours) {
+            Ok(quant) => {
+                let single_points = synthesised
+                    .tree
+                    .single_points()
+                    .into_iter()
+                    .map(|id| synthesised.tree.node(id).name().to_owned())
+                    .collect();
+                (
+                    FtaSubtreeSummary {
+                        container: name,
+                        analysable: true,
+                        top_probability: quant.top_probability,
+                        single_points,
+                        minimal_cut_sets: synthesised.tree.cut_sets_by_name(),
+                    },
+                    None,
+                )
+            }
+            Err(e) => {
+                let note = format!("fta subtree `{name}` could not be quantified: {e}");
+                (unanalysable_summary(name), Some(note))
+            }
+        },
+        Err(_) => (unanalysable_summary(name), None),
+    }
+}
+
+/// The zeroed summary of a container whose subtree could not be analysed.
+fn unanalysable_summary(container: String) -> FtaSubtreeSummary {
+    FtaSubtreeSummary {
+        container,
+        analysable: false,
+        top_probability: 0.0,
+        single_points: Vec::new(),
+        minimal_cut_sets: Vec::new(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Standard passes
+// ----------------------------------------------------------------------
+
+/// Algorithm 1 as a pass: container path facts, the criticality chain and
+/// per-component rows, merged into one FMEA table.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GraphFmeaPass;
+
+impl AnalysisPass for GraphFmeaPass {
+    fn id(&self) -> &'static str {
+        ids::GRAPH
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::GraphFacts, ArtifactKind::GraphRow]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let model = ctx.input.model.ok_or_else(|| missing_input(self.id(), "a model"))?;
+        let top = ctx.input.top.ok_or_else(|| missing_input(self.id(), "an analysis root"))?;
+        let graph_config = ctx.config.graph.clone();
+        let config_fp = model_fp::graph_config_fingerprint(model, &graph_config);
+
+        // Phase 1: container path facts.
+        let containers = collect_containers(model, top);
+        let mut topo_fp: HashMap<Idx<Component>, Fingerprint> = HashMap::new();
+        for &container in &containers {
+            topo_fp.insert(container, model_fp::topology_fingerprint(model, container));
+        }
+        let items: Vec<WorkItem> = containers
+            .iter()
+            .map(|&container| {
+                let key = Hasher::new()
+                    .write_str("graph-facts")
+                    .write_fingerprint(topo_fp[&container])
+                    .write_fingerprint(config_fp)
+                    .finish();
+                let name = model.components[container].core.name.value().to_owned();
+                WorkItem {
+                    id: ArtifactId { kind: ArtifactKind::GraphFacts, key },
+                    owner: name.clone(),
+                    label: name,
+                }
+            })
+            .collect();
+        let facts_list = ctx.run_keyed(
+            "graph-facts",
+            &items,
+            |i, artifact: FactsArtifact| artifact.to_facts(model, containers[i]),
+            |_| Ok(()),
+            |_: &(), i| graph::container_facts(model, containers[i], &graph_config),
+            |_, facts| FactsArtifact::from_facts(model, facts),
+        )?;
+        let facts: HashMap<Idx<Component>, ContainerFacts> =
+            containers.iter().copied().zip(facts_list).collect();
+
+        // Criticality chain: a container is critical iff every enclosing
+        // container is critical and it sits on all paths one level up.
+        let mut critical_flag: HashMap<Idx<Component>, bool> = HashMap::new();
+        critical_flag.insert(top, true);
+        for &container in &containers {
+            let flag = critical_flag[&container];
+            for &child in &model.components[container].children {
+                if !model.components[child].is_atomic() {
+                    critical_flag
+                        .insert(child, flag && facts[&container].critical.contains(&child));
+                }
+            }
+        }
+
+        // Phase 2: per-component rows.
+        let mut work: Vec<(Idx<Component>, Idx<Component>)> = Vec::new();
+        flatten_work(model, top, &mut work);
+        let items: Vec<WorkItem> = work
+            .iter()
+            .map(|&(container, child)| {
+                let key = Hasher::new()
+                    .write_str("graph-row")
+                    .write_fingerprint(model_fp::component_fingerprint(model, child))
+                    .write_fingerprint(topo_fp[&container])
+                    .write_bool(critical_flag[&container])
+                    .write_fingerprint(config_fp)
+                    .finish();
+                let name = model.components[child].core.name.value().to_owned();
+                WorkItem {
+                    id: ArtifactId { kind: ArtifactKind::GraphRow, key },
+                    owner: name.clone(),
+                    label: name,
+                }
+            })
+            .collect();
+        let row_groups = ctx.run_keyed(
+            "graph-rows",
+            &items,
+            |_, rows: Vec<FmeaRow>| rows,
+            |_| Ok(()),
+            |_: &(), i| {
+                let (container, child) = work[i];
+                Ok(graph::component_rows(
+                    model,
+                    child,
+                    critical_flag[&container],
+                    &facts[&container],
+                    &graph_config,
+                ))
+            },
+            |_, rows| rows.clone(),
+        )?;
+
+        // Deterministic merge.
+        let mut table = FmeaTable::new(model.components[top].core.name.value());
+        for rows in row_groups {
+            for row in rows {
+                table.push(row);
+            }
+        }
+        Ok(PassArtifact::Fmea(table))
+    }
+}
+
+/// The supervised fault-injection sweep as a pass: rows are keyed by the
+/// whole-circuit digest plus candidate content and solver ladder, the
+/// campaign circuit breaker is enforced on every run (warm or cold), and
+/// the health report is published for downstream passes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InjectionFmeaPass;
+
+impl AnalysisPass for InjectionFmeaPass {
+    fn id(&self) -> &'static str {
+        ids::INJECTION
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::InjectionRow]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let diagram =
+            ctx.input.diagram.ok_or_else(|| missing_input(self.id(), "a block diagram"))?;
+        let reliability =
+            ctx.input.reliability.ok_or_else(|| missing_input(self.id(), "reliability data"))?;
+        let config = ctx.input.injection.clone();
+        if !(config.threshold > 0.0 && config.threshold.is_finite()) {
+            return Err(EngineError::Core(CoreError::InvalidParameter {
+                message: format!("threshold must be positive and finite, got {}", config.threshold),
+            }));
+        }
+        config.campaign.validate().map_err(EngineError::Core)?;
+        let circuit_fp = model_fp::serialized_fingerprint(diagram, "block-diagram");
+        let solver = &config.campaign.solver;
+        let candidates = injection::candidates(diagram, reliability);
+        let items: Vec<WorkItem> = candidates
+            .iter()
+            .map(|candidate| {
+                let key = Hasher::new()
+                    .write_str("injection-row")
+                    .write_fingerprint(circuit_fp)
+                    .write_fingerprint(model_fp::candidate_fingerprint(candidate))
+                    .write_f64(config.threshold)
+                    .write_bool(solver.damped)
+                    .write_bool(solver.gmin_stepping)
+                    .write_bool(solver.source_stepping)
+                    .write_u64(solver.budget as u64)
+                    .finish();
+                WorkItem {
+                    id: ArtifactId { kind: ArtifactKind::InjectionRow, key },
+                    owner: candidate.name.clone(),
+                    label: format!("{}/{}", candidate.name, candidate.mode.name),
+                }
+            })
+            .collect();
+        let results = ctx.run_keyed(
+            "injection-rows",
+            &items,
+            |i, artifact: InjectionArtifact| {
+                let candidate = &candidates[i];
+                let report = CaseReport {
+                    case: format!("{}/{}", candidate.name, candidate.mode.name),
+                    outcome: artifact.outcome,
+                    iterations: artifact.iterations,
+                    wall_ms: 0.0, // served from the cache, not re-solved
+                };
+                (artifact.row, report)
+            },
+            |_| {
+                // Lower and solve the nominal circuit once, only when at
+                // least one candidate actually needs simulating.
+                let lowered = to_circuit(diagram).map_err(CoreError::from)?;
+                let nominal_solution = lowered.circuit.dc().map_err(CoreError::from)?;
+                let nominal = lowered
+                    .circuit
+                    .all_sensor_readings(&nominal_solution)
+                    .map_err(CoreError::from)?;
+                Ok((lowered, nominal))
+            },
+            |(lowered, nominal), i| {
+                Ok(injection::analyse_candidate_supervised(
+                    &candidates[i],
+                    lowered,
+                    nominal,
+                    &config,
+                ))
+            },
+            |_, (row, report)| InjectionArtifact {
+                row: row.clone(),
+                outcome: report.outcome.clone(),
+                iterations: report.iterations,
+            },
+        )?;
+
+        let (rows, reports): (Vec<FmeaRow>, Vec<CaseReport>) = results.into_iter().unzip();
+        let mut health = CampaignHealth::from_reports(&reports);
+        let mut degradation = ctx.baseline_degraded.clone();
+        degradation.merge(&ctx.degraded);
+        health.absorb_degradation(&degradation);
+        // Keep the report visible even when the breaker aborts the run —
+        // it is exactly then that the operator needs the failed-case list.
+        ctx.campaign = Some(health.clone());
+        health.enforce(&config.campaign).map_err(EngineError::Core)?;
+
+        let mut table = FmeaTable::new(diagram.name());
+        for row in rows {
+            table.push(row);
+        }
+        Ok(PassArtifact::Injection { table, health })
+    }
+}
+
+/// Per-container fault-subtree quantification as a pass, cached per
+/// container content and mission time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FtaPass;
+
+impl AnalysisPass for FtaPass {
+    fn id(&self) -> &'static str {
+        ids::FTA
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::FtaSubtree]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let model = ctx.input.model.ok_or_else(|| missing_input(self.id(), "a model"))?;
+        let top = ctx.input.top.ok_or_else(|| missing_input(self.id(), "an analysis root"))?;
+        let mission_hours = ctx.input.mission_hours;
+        if !(mission_hours > 0.0 && mission_hours.is_finite()) {
+            return Err(EngineError::Core(CoreError::InvalidParameter {
+                message: format!("mission time must be positive and finite, got {mission_hours}"),
+            }));
+        }
+        let max_paths = ctx.config.graph.max_paths;
+        let containers = collect_containers(model, top);
+        let items: Vec<WorkItem> = containers
+            .iter()
+            .map(|&container| {
+                let mut h = Hasher::new();
+                h.write_str("fta-subtree");
+                h.write_fingerprint(model_fp::topology_fingerprint(model, container));
+                for &child in &model.components[container].children {
+                    h.write_fingerprint(model_fp::component_fingerprint(model, child));
+                }
+                h.write_f64(mission_hours);
+                h.write_u64(max_paths as u64);
+                let name = model.components[container].core.name.value().to_owned();
+                WorkItem {
+                    id: ArtifactId { kind: ArtifactKind::FtaSubtree, key: h.finish() },
+                    owner: name.clone(),
+                    label: name,
+                }
+            })
+            .collect();
+        let results = ctx.run_keyed(
+            "fta-subtrees",
+            &items,
+            |_, summary: FtaSubtreeSummary| (summary, None),
+            |_| Ok(()),
+            |_: &(), i| Ok(quantify_subtree(model, containers[i], mission_hours, max_paths)),
+            |_, (summary, _)| summary.clone(),
+        )?;
+        let mut summaries = Vec::with_capacity(results.len());
+        for (summary, note) in results {
+            if let Some(note) = note {
+                ctx.degraded.notes.push(note);
+            }
+            summaries.push(summary);
+        }
+        Ok(PassArtifact::FtaSummaries(summaries))
+    }
+}
+
+/// Runtime monitor synthesis as a pass, keyed by the monitor-relevant
+/// model slice.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonitorPass;
+
+impl AnalysisPass for MonitorPass {
+    fn id(&self) -> &'static str {
+        ids::MONITORS
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::MonitorSet]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let model = ctx.input.model.ok_or_else(|| missing_input(self.id(), "a model"))?;
+        let name = model.name.value().to_owned();
+        let items = [WorkItem {
+            id: ArtifactId {
+                kind: ArtifactKind::MonitorSet,
+                key: model_fp::monitor_fingerprint(model),
+            },
+            owner: name.clone(),
+            label: name,
+        }];
+        let mut monitors = ctx.run_keyed(
+            "monitor-set",
+            &items,
+            |_, monitor: RuntimeMonitor| monitor,
+            |_| Ok(()),
+            |_: &(), _| Ok(RuntimeMonitor::generate(model)),
+            |_, monitor| monitor.clone(),
+        )?;
+        Ok(PassArtifact::Monitor(monitors.pop().expect("one monitor item")))
+    }
+}
+
+/// HARA risk-log pass: assesses every FMEA failure mode of an upstream
+/// FMEA-producing pass against the hazard log (or the fallback policy)
+/// and derives the per-mode ASIL.
+#[derive(Debug, Clone)]
+pub struct HaraPass {
+    deps: [&'static str; 1],
+}
+
+impl HaraPass {
+    /// A HARA pass consuming the FMEA table of the pass named `source`.
+    pub fn new(source: &'static str) -> Self {
+        HaraPass { deps: [source] }
+    }
+}
+
+impl Default for HaraPass {
+    fn default() -> Self {
+        HaraPass::new(ids::GRAPH)
+    }
+}
+
+impl AnalysisPass for HaraPass {
+    fn id(&self) -> &'static str {
+        ids::HARA
+    }
+
+    fn depends_on(&self) -> &[&'static str] {
+        &self.deps
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::RiskLog]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let source = ctx.dep_arc(self.deps[0])?;
+        let table = source.fmea_table().ok_or_else(|| {
+            EngineError::Pipeline(format!(
+                "pass `{}` expects an FMEA table from `{}`, got {}",
+                self.id(),
+                self.deps[0],
+                source.kind_name()
+            ))
+        })?;
+        let hazards = ctx.input.hazards;
+        let policy = ctx.input.policy;
+        let mut h = Hasher::new();
+        h.write_str("risk-log");
+        h.write_fingerprint(model_fp::serialized_fingerprint(table, "fmea-table"));
+        match hazards {
+            Some(log) => {
+                h.write_bool(true);
+                h.write_fingerprint(model_fp::serialized_fingerprint(log, "hazard-log"));
+            }
+            None => {
+                h.write_bool(false);
+            }
+        }
+        h.write_u64(policy.severity as u64);
+        h.write_u64(policy.exposure as u64);
+        h.write_u64(policy.controllability as u64);
+        let items = [WorkItem {
+            id: ArtifactId { kind: ArtifactKind::RiskLog, key: h.finish() },
+            owner: table.system.clone(),
+            label: table.system.clone(),
+        }];
+        let title = format!("{} risk log", table.system);
+        let mut logs = ctx.run_keyed(
+            "risk-log",
+            &items,
+            |_, log: RiskLog| log,
+            |_| Ok(()),
+            |_: &(), _| {
+                Ok(RiskLog::assess(
+                    title.clone(),
+                    table
+                        .rows
+                        .iter()
+                        .map(|r| (r.component.as_str(), r.failure_mode.as_str(), r.safety_related)),
+                    hazards,
+                    &policy,
+                ))
+            },
+            |_, log| log.clone(),
+        )?;
+        Ok(PassArtifact::RiskLog(logs.pop().expect("one risk-log item")))
+    }
+}
+
+/// Assurance-case pass: generates the standard pipeline GSN case from the
+/// FMEA, FTA and HARA artefacts (plus campaign health when the source is
+/// the injection pass), registers the artefacts with the federation layer
+/// and evaluates every evidence query.
+#[derive(Debug, Clone)]
+pub struct AssurancePass {
+    deps: [&'static str; 3],
+}
+
+impl AssurancePass {
+    /// An assurance pass arguing over the FMEA table of `source` (plus
+    /// the FTA and HARA artefacts).
+    pub fn new(source: &'static str) -> Self {
+        AssurancePass { deps: [source, ids::FTA, ids::HARA] }
+    }
+}
+
+impl Default for AssurancePass {
+    fn default() -> Self {
+        AssurancePass::new(ids::GRAPH)
+    }
+}
+
+impl AnalysisPass for AssurancePass {
+    fn id(&self) -> &'static str {
+        ids::ASSURANCE
+    }
+
+    fn depends_on(&self) -> &[&'static str] {
+        &self.deps
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::AssuranceCase]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let source = ctx.dep_arc(self.deps[0])?;
+        let table = source.fmea_table().ok_or_else(|| {
+            EngineError::Pipeline(format!(
+                "pass `{}` expects an FMEA table from `{}`, got {}",
+                self.id(),
+                self.deps[0],
+                source.kind_name()
+            ))
+        })?;
+        let campaign = source.campaign_health();
+        let fta = ctx.dep_arc(ids::FTA)?;
+        let subtree_summaries = fta.fta_summaries().ok_or_else(|| {
+            EngineError::Pipeline(format!(
+                "pass `{}` expects FTA summaries from `{}`, got {}",
+                self.id(),
+                ids::FTA,
+                fta.kind_name()
+            ))
+        })?;
+        let hara = ctx.dep_arc(ids::HARA)?;
+        let risk = hara.risk_log().ok_or_else(|| {
+            EngineError::Pipeline(format!(
+                "pass `{}` expects a risk log from `{}`, got {}",
+                self.id(),
+                ids::HARA,
+                hara.kind_name()
+            ))
+        })?;
+        let target = risk.highest_asil().unwrap_or(IntegrityLevel::Qm);
+
+        let mut h = Hasher::new();
+        h.write_str("assurance-case");
+        h.write_fingerprint(model_fp::serialized_fingerprint(table, "fmea-table"));
+        h.write_fingerprint(model_fp::serialized_fingerprint(
+            &subtree_summaries.to_vec(),
+            "fta-summaries",
+        ));
+        h.write_fingerprint(model_fp::serialized_fingerprint(risk, "risk-log"));
+        // Only the semantic campaign fields: wall-clock noise (slowest
+        // cases, degradation snapshots) must not break warm cache hits.
+        match campaign {
+            Some(health) => {
+                h.write_bool(true);
+                h.write_u64(health.total as u64);
+                h.write_u64(health.converged as u64);
+                h.write_u64(health.recovered as u64);
+                h.write_u64(health.unsolvable as u64);
+                h.write_u64(health.panicked as u64);
+                h.write_u64(health.skipped as u64);
+                for (strategy, count) in &health.strategy_histogram {
+                    h.write_str(strategy);
+                    h.write_u64(*count as u64);
+                }
+                for case in &health.failed_cases {
+                    h.write_str(case);
+                }
+            }
+            None => {
+                h.write_bool(false);
+            }
+        }
+        let items = [WorkItem {
+            id: ArtifactId { kind: ArtifactKind::AssuranceCase, key: h.finish() },
+            owner: table.system.clone(),
+            label: table.system.clone(),
+        }];
+
+        let subtrees: Vec<(String, bool, Vec<String>)> = subtree_summaries
+            .iter()
+            .map(|s| (s.container.clone(), s.analysable, s.single_points.clone()))
+            .collect();
+        let mut reports = ctx.run_keyed(
+            "assurance-case",
+            &items,
+            |_, report: AssuranceReport| report,
+            |_| Ok(()),
+            |_: &(), _| {
+                let registry = DriverRegistry::with_defaults();
+                registry.memory().register(FMEA_LOCATION, table.to_value());
+                registry.memory().register(
+                    FTA_LOCATION,
+                    Value::List(
+                        subtree_summaries
+                            .iter()
+                            .map(|s| {
+                                Value::record([
+                                    ("Container", Value::from(s.container.as_str())),
+                                    (
+                                        "Analysable",
+                                        Value::from(if s.analysable { "Yes" } else { "No" }),
+                                    ),
+                                    ("Top_Probability", Value::Real(s.top_probability)),
+                                    ("Single_Points", Value::Int(s.single_points.len() as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+                if let Some(health) = campaign {
+                    registry.memory().register(
+                        CAMPAIGN_LOCATION,
+                        Value::list([Value::record([
+                            ("Total", Value::Int(health.total as i64)),
+                            ("Converged", Value::Int(health.converged as i64)),
+                            ("Recovered", Value::Int(health.recovered as i64)),
+                            ("Unsolvable", Value::Int(health.unsolvable as i64)),
+                            ("Panicked", Value::Int(health.panicked as i64)),
+                            ("Skipped", Value::Int(health.skipped as i64)),
+                        ])]),
+                    );
+                }
+                let evidence = PipelineEvidence {
+                    system: &table.system,
+                    target,
+                    subtrees: &subtrees,
+                    campaign,
+                };
+                Ok(pipeline_report(&evidence, &registry))
+            },
+            |_, report| report.clone(),
+        )?;
+        let report = reports.pop().expect("one assurance item");
+        if let Status::Error(e) = &report.overall {
+            ctx.degraded.notes.push(format!("assurance case evaluation errored: {e}"));
+        }
+        Ok(PassArtifact::Assurance(report))
+    }
+}

@@ -5,6 +5,11 @@
 //! write results back *by index*, so the output order equals the submission
 //! order regardless of which worker ran what — the merged analysis tables
 //! are byte-identical to a sequential run.
+//!
+//! Under [`crate::pipeline`] the worker budget is split: the DAG runner
+//! executes independent passes on its own pool and hands each pass a
+//! fresh `Scheduler` with the remaining per-pass share, so cross-pass and
+//! intra-pass parallelism never oversubscribe `EngineConfig::jobs`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

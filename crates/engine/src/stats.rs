@@ -1,5 +1,9 @@
 //! Engine observability: per-phase job and cache counters, serialisable as
 //! a federation [`Value`] report and renderable as a CLI summary.
+//!
+//! Each [`crate::pass::AnalysisPass`] records its phases into a private
+//! ledger while running; the pipeline runner merges them here in pass
+//! registration order, so a DAG run reads like a sequential one.
 
 use decisive_federation::Value;
 

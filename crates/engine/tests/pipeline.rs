@@ -1,0 +1,185 @@
+//! Pass-manager pipeline properties (ISSUE 4: pass-manager refactor).
+//!
+//! Two families of guarantees:
+//!
+//! - **Refactor equivalence** — the `analyze_*` wrappers, now thin shims
+//!   over [`decisive_engine::AnalysisPass`] implementations, still produce
+//!   bitwise-identical artefacts to the from-scratch algorithms, cold and
+//!   warm-after-edit alike.
+//! - **DAG execution** — [`decisive_engine::Pipeline`] respects declared
+//!   dependencies under every worker count, skips dependents of failed
+//!   passes, and the whole-pipeline verifier catches nothing on a sound
+//!   cache (warm == cold, artefact by artefact).
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use decisive_core::case_study;
+use decisive_core::fmea::graph::{self, GraphConfig};
+use decisive_engine::{
+    AnalysisPass, Engine, EngineConfig, PassArtifact, PassContext, Pipeline, PipelineInput,
+};
+use decisive_federation::Value;
+use decisive_ssam::architecture::Fit;
+use decisive_ssam::base::IntegrityLevel;
+use decisive_workload::sets::chain_model;
+
+// ----------------------------------------------------------------------
+// Refactor equivalence (proptest)
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pass-based `analyze_graph` wrapper equals `graph::run` bit for
+    /// bit on arbitrary chain models, both on the cold run and on the
+    /// warm run after a random FIT edit — the refactor changed plumbing,
+    /// not results.
+    #[test]
+    fn graph_wrapper_equals_direct_run_cold_and_warm(
+        n in 2usize..8,
+        edited in 0usize..8,
+        fit in 1.0f64..500.0,
+        jobs in 1usize..5,
+    ) {
+        let (model, top) = chain_model(n);
+        let mut engine = Engine::new(EngineConfig::with_jobs(jobs));
+        let cold = engine.analyze_graph(&model, top).expect("cold wrapper run");
+        prop_assert_eq!(&cold, &graph::run(&model, top, &GraphConfig::default()).unwrap());
+
+        let (mut new, new_top) = chain_model(n);
+        let name = format!("c{}", edited % n);
+        let idx = new.component_by_name(&name).expect("chain component");
+        new.components[idx].fit = Some(Fit::new(fit));
+        let warm = engine.analyze_graph(&new, new_top).expect("warm wrapper run");
+        prop_assert_eq!(&warm, &graph::run(&new, new_top, &GraphConfig::default()).unwrap());
+    }
+}
+
+// ----------------------------------------------------------------------
+// DAG ordering under 1..=8 workers
+// ----------------------------------------------------------------------
+
+/// A pass that does no analysis: it records when it ran and returns an
+/// opaque artefact, so dependency ordering is observable from outside.
+#[derive(Debug)]
+struct ProbePass {
+    id: &'static str,
+    deps: Vec<&'static str>,
+    log: Arc<Mutex<Vec<&'static str>>>,
+}
+
+impl AnalysisPass for ProbePass {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn depends_on(&self) -> &[&'static str] {
+        &self.deps
+    }
+
+    fn run(&self, _ctx: &mut PassContext<'_>) -> decisive_engine::Result<PassArtifact> {
+        self.log.lock().unwrap().push(self.id);
+        Ok(PassArtifact::Opaque(Value::Str(self.id.to_owned())))
+    }
+}
+
+/// A diamond — `a` feeds `b` and `c`, which both feed `d` — executed at
+/// every worker count from 1 to 8. Whatever the interleaving of `b` and
+/// `c`, every declared edge must be respected and every pass must run
+/// exactly once.
+#[test]
+fn diamond_dag_respects_dependencies_under_any_worker_count() {
+    for jobs in 1..=8usize {
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let probe = |id: &'static str, deps: Vec<&'static str>| ProbePass {
+            id,
+            deps,
+            log: Arc::clone(&log),
+        };
+        let pipeline = Pipeline::new()
+            .with(probe("d", vec!["b", "c"]))
+            .with(probe("b", vec!["a"]))
+            .with(probe("a", vec![]))
+            .with(probe("c", vec!["a"]));
+        let mut engine = Engine::new(EngineConfig::with_jobs(jobs));
+        let run = engine.run_pipeline(&pipeline, &PipelineInput::new()).expect("diamond runs");
+
+        let order = log.lock().unwrap().clone();
+        assert_eq!(order.len(), 4, "every pass ran exactly once with {jobs} worker(s)");
+        let pos = |id| order.iter().position(|&p| p == id).unwrap();
+        assert!(pos("a") < pos("b"), "a before b with {jobs} worker(s)");
+        assert!(pos("a") < pos("c"), "a before c with {jobs} worker(s)");
+        assert!(pos("b") < pos("d"), "b before d with {jobs} worker(s)");
+        assert!(pos("c") < pos("d"), "c before d with {jobs} worker(s)");
+        assert_eq!(
+            run.artifact("d"),
+            Some(&PassArtifact::Opaque(Value::Str("d".to_owned()))),
+            "the sink's artefact is retrievable"
+        );
+    }
+}
+
+/// A pass whose declared dependency is missing from the pipeline is
+/// rejected at validation, before anything executes.
+#[test]
+fn unknown_dependency_is_rejected_before_execution() {
+    let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let pipeline = Pipeline::new().with(ProbePass {
+        id: "lonely",
+        deps: vec!["ghost"],
+        log: Arc::clone(&log),
+    });
+    let mut engine = Engine::new(EngineConfig::with_jobs(1));
+    let err = engine.run_pipeline(&pipeline, &PipelineInput::new()).unwrap_err();
+    assert!(err.to_string().contains("ghost"), "error names the missing dependency: {err}");
+    assert!(log.lock().unwrap().is_empty(), "nothing ran");
+}
+
+// ----------------------------------------------------------------------
+// End-to-end on the case study
+// ----------------------------------------------------------------------
+
+/// The standard model-side pipeline on the S32K/SSAM case study produces
+/// every artefact — FMEA, FTA, monitors, risk log, assurance case — and
+/// the risk log reaches the case study's documented ASIL-B target.
+#[test]
+fn standard_pipeline_covers_the_case_study() {
+    let (model, top) = case_study::ssam_model();
+    let hazards = case_study::hazard_log();
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    let input = PipelineInput::for_model(&model, top).with_hazards(&hazards);
+    let run = engine.run_pipeline(&Pipeline::standard(false), &input).expect("pipeline");
+
+    let table = run.fmea().expect("fmea artefact");
+    assert!((table.spfm() - 0.0538).abs() < 5e-4, "same verdict as the pre-refactor engine");
+    assert!(run.fta().is_some(), "fta artefact present");
+    assert!(run.monitor().is_some(), "monitor artefact present");
+    let risk = run.risk_log().expect("risk log artefact");
+    assert_eq!(risk.highest_asil(), Some(IntegrityLevel::AsilB), "case-study ASIL target");
+    let assurance = run.assurance().expect("assurance artefact");
+    assert_eq!(assurance.total, assurance.satisfied + assurance.open.len());
+}
+
+/// Whole-pipeline verification after an edit: the warm artefacts (served
+/// partly from cache) are equivalent to a cold engine's from-scratch run,
+/// artefact by artefact — and the warm run really did hit the cache.
+#[test]
+fn warm_pipeline_after_edit_verifies_against_cold() {
+    let (model, top) = case_study::ssam_model();
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    let pipeline = Pipeline::standard(false);
+    engine.run_pipeline(&pipeline, &PipelineInput::for_model(&model, top)).expect("priming run");
+
+    let (mut edited, edited_top) = case_study::ssam_model();
+    let d1 = edited.component_by_name("D1").expect("case-study diode");
+    edited.components[d1].fit = Some(Fit::new(20.0));
+    engine.reset_stats();
+    engine
+        .verify_pipeline_against_full(&pipeline, &PipelineInput::for_model(&edited, edited_top))
+        .expect("warm-after-edit run equals the cold recomputation");
+    let rows = engine.stats().phase("graph-rows").expect("graph-rows phase ran");
+    assert!(rows.cache_hits > 0, "the edit invalidated some rows, not all of them");
+    assert_eq!(rows.jobs_executed, 1, "only the edited component's row recomputes");
+}

@@ -31,6 +31,18 @@ pub enum FtaError {
         /// The configured cap.
         max_paths: usize,
     },
+    /// The requested mission time cannot parameterise a failure
+    /// probability.
+    InvalidMissionTime {
+        /// The offending value.
+        mission_hours: f64,
+    },
+    /// A structural invariant of the tree was violated (dangling child or
+    /// top reference, or a gate leaking into a cut set).
+    MalformedTree {
+        /// Human-readable description of the violation.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FtaError {
@@ -42,6 +54,10 @@ impl std::fmt::Display for FtaError {
             FtaError::TooManyPaths { max_paths } => {
                 write!(f, "path enumeration exceeded {max_paths} paths")
             }
+            FtaError::InvalidMissionTime { mission_hours } => {
+                write!(f, "mission time must be positive and finite, got {mission_hours}")
+            }
+            FtaError::MalformedTree { message } => write!(f, "malformed fault tree: {message}"),
         }
     }
 }
@@ -95,10 +111,11 @@ pub fn build_fault_tree(
                 }
             }
         }
-        path_nodes.push(tree.event(format!("path {} broken", i + 1), Gate::Or, loss_events));
+        path_nodes.push(tree.try_event(format!("path {} broken", i + 1), Gate::Or, loss_events)?);
     }
-    let top = tree.event(format!("loss of function at `{container_name}`"), Gate::And, path_nodes);
-    tree.set_top(top);
+    let top =
+        tree.try_event(format!("loss of function at `{container_name}`"), Gate::And, path_nodes)?;
+    tree.try_set_top(top)?;
     Ok(SynthesisedTree { tree, event_of })
 }
 

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::build::FtaError;
 use crate::cutset::CutSet;
 use crate::tree::{FaultTree, Node, NodeId};
 
@@ -29,21 +30,41 @@ impl FaultTree {
     ///
     /// # Panics
     ///
-    /// Panics if `mission_hours` is not positive and finite.
+    /// Panics if `mission_hours` is not positive and finite. Fallible
+    /// callers (e.g. pipeline passes) should use
+    /// [`FaultTree::try_quantify`].
     pub fn quantify(&self, mission_hours: f64) -> Quantification {
-        assert!(
-            mission_hours > 0.0 && mission_hours.is_finite(),
-            "mission time must be positive and finite, got {mission_hours}"
-        );
+        self.try_quantify(mission_hours).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Quantifies the tree, reporting bad inputs and structural violations
+    /// as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::InvalidMissionTime`] when `mission_hours` is not
+    /// positive and finite; [`FtaError::MalformedTree`] when a cut set
+    /// references a gate node (impossible for trees built through the safe
+    /// constructors, but reachable from hand-deserialized trees).
+    pub fn try_quantify(&self, mission_hours: f64) -> Result<Quantification, FtaError> {
+        if !(mission_hours > 0.0 && mission_hours.is_finite()) {
+            return Err(FtaError::InvalidMissionTime { mission_hours });
+        }
         let mcs = self.minimal_cut_sets();
-        let p_of = |id: NodeId| -> f64 {
+        let p_of = |id: NodeId| -> Result<f64, FtaError> {
             match self.node(id) {
-                Node::Basic { fit, .. } => fit.failure_probability(mission_hours),
-                Node::Event { .. } => unreachable!("cut sets contain only basic events"),
+                Node::Basic { fit, .. } => Ok(fit.failure_probability(mission_hours)),
+                Node::Event { name, .. } => Err(FtaError::MalformedTree {
+                    message: format!(
+                        "cut set references gate `{name}`; cut sets contain only basic events"
+                    ),
+                }),
             }
         };
-        let cut_set_probabilities: Vec<f64> =
-            mcs.iter().map(|cs| cs.iter().map(|&e| p_of(e)).product()).collect();
+        let cut_set_probabilities: Vec<f64> = mcs
+            .iter()
+            .map(|cs| cs.iter().map(|&e| p_of(e)).product::<Result<f64, FtaError>>())
+            .collect::<Result<_, _>>()?;
         let top_probability: f64 = cut_set_probabilities.iter().sum::<f64>().min(1.0);
 
         let mut fussell_vesely = BTreeMap::new();
@@ -59,28 +80,30 @@ impl FaultTree {
             fussell_vesely.insert(id, fv.min(1.0));
             // Birnbaum: ∂P(top)/∂p_i ≈ Σ over cut sets containing i of the
             // product of the *other* events' probabilities.
-            let b: f64 = mcs
-                .iter()
-                .filter(|cs| cs.contains(&id))
-                .map(|cs| cs.iter().filter(|&&e| e != id).map(|&e| p_of(e)).product::<f64>())
-                .sum();
+            let mut b = 0.0;
+            for cs in mcs.iter().filter(|cs| cs.contains(&id)) {
+                let mut product = 1.0;
+                for &e in cs.iter().filter(|&&e| e != id) {
+                    product *= p_of(e)?;
+                }
+                b += product;
+            }
             birnbaum.insert(id, b.min(1.0));
         }
-        Quantification {
+        Ok(Quantification {
             mission_hours,
             top_probability,
             cut_set_probabilities,
             fussell_vesely,
             birnbaum,
-        }
+        })
     }
 
     /// Single-point basic events: those forming a singleton minimal cut set.
     pub fn single_points(&self) -> Vec<NodeId> {
         self.minimal_cut_sets()
             .into_iter()
-            .filter(|cs| cs.len() == 1)
-            .map(|cs| *cs.iter().next().expect("singleton"))
+            .filter_map(|cs| if cs.len() == 1 { cs.iter().next().copied() } else { None })
             .collect()
     }
 
@@ -158,6 +181,18 @@ mod tests {
         let names = ft.cut_sets_by_name();
         assert_eq!(names[0], vec!["a"]);
         assert_eq!(names[1], vec!["b", "c"]);
+    }
+
+    #[test]
+    fn try_quantify_reports_bad_mission_time_as_typed_error() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic("a", Fit::new(1.0));
+        ft.set_top(a);
+        match ft.try_quantify(f64::NAN) {
+            Err(FtaError::InvalidMissionTime { mission_hours }) => assert!(mission_hours.is_nan()),
+            other => panic!("expected InvalidMissionTime, got {other:?}"),
+        }
+        assert!(ft.try_quantify(10_000.0).is_ok());
     }
 
     #[test]

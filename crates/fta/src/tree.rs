@@ -5,6 +5,8 @@ use std::fmt;
 
 use decisive_ssam::architecture::Fit;
 
+use crate::build::FtaError;
+
 /// Handle to a node of a [`FaultTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) u32);
@@ -118,23 +120,61 @@ impl FaultTree {
     /// # Panics
     ///
     /// Panics if any child id is out of range (children must be created
-    /// first — fault trees are acyclic by construction).
+    /// first — fault trees are acyclic by construction). Fallible callers
+    /// (e.g. pipeline passes) should use [`FaultTree::try_event`].
     pub fn event(&mut self, name: impl Into<String>, gate: Gate, children: Vec<NodeId>) -> NodeId {
+        self.try_event(name, gate, children).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds an intermediate event, rejecting dangling children as a typed
+    /// [`FtaError::MalformedTree`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::MalformedTree`] when any child id is out of range.
+    pub fn try_event(
+        &mut self,
+        name: impl Into<String>,
+        gate: Gate,
+        children: Vec<NodeId>,
+    ) -> Result<NodeId, FtaError> {
         let id = NodeId(self.nodes.len() as u32);
         for &c in &children {
-            assert!(
-                (c.0 as usize) < self.nodes.len(),
-                "child {c} does not exist yet; create children before parents"
-            );
+            if (c.0 as usize) >= self.nodes.len() {
+                return Err(FtaError::MalformedTree {
+                    message: format!(
+                        "child {c} does not exist yet; create children before parents"
+                    ),
+                });
+            }
         }
         self.nodes.push(Node::Event { name: name.into(), gate, children });
-        id
+        Ok(id)
     }
 
     /// Designates the top event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top` does not exist. Fallible callers should use
+    /// [`FaultTree::try_set_top`].
     pub fn set_top(&mut self, top: NodeId) {
-        assert!((top.0 as usize) < self.nodes.len(), "top node must exist");
+        self.try_set_top(top).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Designates the top event, rejecting a dangling id as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::MalformedTree`] when `top` is out of range.
+    pub fn try_set_top(&mut self, top: NodeId) -> Result<(), FtaError> {
+        if (top.0 as usize) >= self.nodes.len() {
+            return Err(FtaError::MalformedTree {
+                message: format!("top node {top} must exist before designation"),
+            });
+        }
         self.top = Some(top);
+        Ok(())
     }
 
     /// The top event, if set.
@@ -215,6 +255,20 @@ mod tests {
     fn forward_references_panic() {
         let mut ft = FaultTree::new("t");
         let _ = ft.event("bad", Gate::Or, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn try_constructors_report_dangling_references_as_typed_errors() {
+        let mut ft = FaultTree::new("t");
+        assert!(matches!(
+            ft.try_event("bad", Gate::Or, vec![NodeId(5)]),
+            Err(FtaError::MalformedTree { .. })
+        ));
+        assert!(matches!(ft.try_set_top(NodeId(9)), Err(FtaError::MalformedTree { .. })));
+        let a = ft.basic("a", Fit::new(1.0));
+        let top = ft.try_event("top", Gate::Or, vec![a]).unwrap();
+        ft.try_set_top(top).unwrap();
+        assert_eq!(ft.top(), Some(top));
     }
 
     #[test]

@@ -22,8 +22,10 @@
 
 mod log;
 mod risk;
+mod risklog;
 
 pub use log::{HazardLog, HazardousEvent};
 pub use risk::{
     decompositions, determine_asil, Controllability, Decomposition, Exposure, Severity,
 };
+pub use risklog::{RiskAssessmentPolicy, RiskLog, RiskLogEntry};

@@ -1,0 +1,217 @@
+//! The risk log: per-failure-mode ASIL assessment derived from FMEA rows.
+//!
+//! The DECISIVE loop (paper Fig. 1) closes HARA back over the automated
+//! FME(D)A: every failure mode the FMEA surfaced is assessed on the ISO
+//! 26262-3 risk graph, taking its S/E/C parameters from the hazard log
+//! entry it maps onto (when one is available) or from a design-wide
+//! [`RiskAssessmentPolicy`] otherwise. The result is a [`RiskLog`] whose
+//! highest ASIL drives downstream targets (e.g. the SPFM goal of the
+//! generated assurance case).
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::base::IntegrityLevel;
+
+use crate::log::HazardLog;
+use crate::risk::{determine_asil, Controllability, Exposure, Severity};
+
+/// Design-wide default risk parameters applied to safety-related failure
+/// modes that no recorded hazardous event covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RiskAssessmentPolicy {
+    /// Assumed severity of an uncovered safety-related failure.
+    pub severity: Severity,
+    /// Assumed exposure to the triggering situation.
+    pub exposure: Exposure,
+    /// Assumed controllability by the operator.
+    pub controllability: Controllability,
+}
+
+impl Default for RiskAssessmentPolicy {
+    /// The case study's H1 parameters (S2/E4/C2 → ASIL-B): a loss of the
+    /// sensor supply in normal driving, normally controllable.
+    fn default() -> Self {
+        RiskAssessmentPolicy {
+            severity: Severity::S2,
+            exposure: Exposure::E4,
+            controllability: Controllability::C2,
+        }
+    }
+}
+
+/// One assessed failure mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskLogEntry {
+    /// Component the failure mode belongs to.
+    pub component: String,
+    /// The failure mode assessed.
+    pub failure_mode: String,
+    /// Whether the FMEA classified the mode as safety-related.
+    pub safety_related: bool,
+    /// Severity used on the risk graph.
+    pub severity: Severity,
+    /// Exposure used on the risk graph.
+    pub exposure: Exposure,
+    /// Controllability used on the risk graph.
+    pub controllability: Controllability,
+    /// The determined integrity level.
+    pub asil: IntegrityLevel,
+    /// Id of the hazardous event the parameters came from, when the
+    /// assessment was grounded in a [`HazardLog`] rather than the policy.
+    pub hazard: Option<String>,
+}
+
+/// The assessed risk log of one design iteration.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RiskLog {
+    /// Log title (normally derived from the analysed system's name).
+    pub title: String,
+    /// One entry per assessed failure mode, in FMEA table order.
+    pub entries: Vec<RiskLogEntry>,
+}
+
+impl RiskLog {
+    /// Assesses every `(component, failure mode, safety-related)` triple on
+    /// the risk graph. Safety-related modes inherit the S/E/C parameters of
+    /// the worst recorded hazardous event (by ASIL) when a hazard log is
+    /// given, and fall back to `policy` otherwise; modes the FMEA cleared
+    /// as not safety-related are logged at [`Severity::S0`] (no injuries),
+    /// which the risk graph maps to QM.
+    pub fn assess<'a>(
+        title: impl Into<String>,
+        modes: impl IntoIterator<Item = (&'a str, &'a str, bool)>,
+        hazards: Option<&HazardLog>,
+        policy: &RiskAssessmentPolicy,
+    ) -> RiskLog {
+        let worst = hazards.and_then(|log| log.events().iter().max_by_key(|e| e.asil()));
+        let entries = modes
+            .into_iter()
+            .map(|(component, failure_mode, safety_related)| {
+                let (severity, exposure, controllability, hazard) = if !safety_related {
+                    (Severity::S0, policy.exposure, policy.controllability, None)
+                } else {
+                    match worst {
+                        Some(event) => (
+                            event.severity,
+                            event.exposure,
+                            event.controllability,
+                            Some(event.id.clone()),
+                        ),
+                        None => (policy.severity, policy.exposure, policy.controllability, None),
+                    }
+                };
+                RiskLogEntry {
+                    component: component.to_owned(),
+                    failure_mode: failure_mode.to_owned(),
+                    safety_related,
+                    severity,
+                    exposure,
+                    controllability,
+                    asil: determine_asil(severity, exposure, controllability),
+                    hazard,
+                }
+            })
+            .collect();
+        RiskLog { title: title.into(), entries }
+    }
+
+    /// The highest ASIL across all entries; `None` for an empty log.
+    pub fn highest_asil(&self) -> Option<IntegrityLevel> {
+        self.entries.iter().map(|e| e.asil).max()
+    }
+
+    /// Entries assessed above QM (the ones that carry safety obligations).
+    pub fn safety_relevant(&self) -> impl Iterator<Item = &RiskLogEntry> {
+        self.entries.iter().filter(|e| e.asil > IntegrityLevel::Qm)
+    }
+
+    /// A compact human-readable summary for the CLI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let highest =
+            self.highest_asil().map_or_else(|| "none".to_owned(), |asil| asil.to_string());
+        let _ = writeln!(
+            out,
+            "# risk log `{}`: {} failure mode(s) assessed, highest {}",
+            self.title,
+            self.entries.len(),
+            highest,
+        );
+        for entry in self.safety_relevant() {
+            let _ = writeln!(
+                out,
+                "#   {} / {}: {:?}/{}/{} -> {}{}",
+                entry.component,
+                entry.failure_mode,
+                entry.severity,
+                entry.exposure,
+                entry.controllability,
+                entry.asil,
+                match &entry.hazard {
+                    Some(id) => format!(" (per {id})"),
+                    None => " (policy)".to_owned(),
+                },
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::HazardousEvent;
+
+    fn h1() -> HazardousEvent {
+        HazardousEvent {
+            id: "H1".into(),
+            description: "sensor supply fails unexpectedly".into(),
+            situation: "normal driving".into(),
+            severity: Severity::S2,
+            exposure: Exposure::E4,
+            controllability: Controllability::C2,
+            safety_goal: "SG1: maintain sensor supply".into(),
+        }
+    }
+
+    #[test]
+    fn policy_default_matches_the_case_study_h1() {
+        let policy = RiskAssessmentPolicy::default();
+        assert_eq!(
+            determine_asil(policy.severity, policy.exposure, policy.controllability),
+            IntegrityLevel::AsilB
+        );
+    }
+
+    #[test]
+    fn safety_related_modes_inherit_the_worst_hazard() {
+        let mut log = HazardLog::new("hazards");
+        log.record(h1());
+        let risk = RiskLog::assess(
+            "demo",
+            [("U1", "short", true), ("R1", "open", false)],
+            Some(&log),
+            &RiskAssessmentPolicy::default(),
+        );
+        assert_eq!(risk.entries.len(), 2);
+        assert_eq!(risk.entries[0].asil, IntegrityLevel::AsilB);
+        assert_eq!(risk.entries[0].hazard.as_deref(), Some("H1"));
+        assert_eq!(risk.entries[1].asil, IntegrityLevel::Qm, "non-SR modes are QM");
+        assert_eq!(risk.highest_asil(), Some(IntegrityLevel::AsilB));
+        assert_eq!(risk.safety_relevant().count(), 1);
+    }
+
+    #[test]
+    fn policy_grounds_assessment_without_a_hazard_log() {
+        let risk = RiskLog::assess(
+            "demo",
+            [("U1", "short", true)],
+            None,
+            &RiskAssessmentPolicy::default(),
+        );
+        assert_eq!(risk.entries[0].hazard, None);
+        assert_eq!(risk.entries[0].asil, IntegrityLevel::AsilB);
+        assert!(risk.render().contains("highest ASIL-B"));
+    }
+}
