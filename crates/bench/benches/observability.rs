@@ -1,0 +1,66 @@
+//! Bench: telemetry overhead on the warm incremental path (ISSUE 5).
+//!
+//! The observability layer promises to be effectively free when nobody is
+//! listening: with the default noop sink the only instrumentation cost is
+//! one `enabled()` check per hook. This harness measures warm
+//! `analyze_graph` runs on a paper-scale chain twice — noop sink versus a
+//! live recording sink drained between runs — and prints one
+//! `BENCH_obs {...}` JSON line with the relative overhead and an
+//! `overhead_ok` verdict (recording must stay within 5% of noop), which
+//! CI greps.
+//!
+//! Plain `fn main` (`harness = false`): minima over repeated runs are
+//! stable enough for a pass/fail gate without Criterion's machinery.
+
+use std::time::Instant;
+
+use decisive::engine::Engine;
+use decisive::federation::{json, Value};
+use decisive::obs::Telemetry;
+use decisive::ssam::architecture::Component;
+use decisive::ssam::id::Idx;
+use decisive::ssam::model::SsamModel;
+use decisive::workload::sets::chain_model;
+
+/// Set2 of the paper's scalability study, the smallest paper-scale set.
+const CHAIN: usize = 456;
+/// Warm repetitions; the minimum filters scheduler and allocator noise.
+const ITERS: usize = 30;
+
+/// Primes the cache once, then returns the fastest warm wall time in ms.
+fn min_warm_ms(engine: &mut Engine, model: &SsamModel, top: Idx<Component>) -> f64 {
+    engine.analyze_graph(model, top).expect("prime run");
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        engine.analyze_graph(model, top).expect("warm run");
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let (model, top) = chain_model(CHAIN);
+
+    let mut noop_engine = Engine::builder().jobs(4).build().expect("noop engine");
+    let noop_ms = min_warm_ms(&mut noop_engine, &model, top);
+
+    let (telemetry, sink) = Telemetry::recording();
+    let mut recording_engine =
+        Engine::builder().jobs(4).telemetry(telemetry).build().expect("recording engine");
+    let recording_ms = min_warm_ms(&mut recording_engine, &model, top);
+    let report = sink.drain();
+
+    let overhead_pct = (recording_ms - noop_ms) / noop_ms * 100.0;
+    let summary = Value::record([
+        ("set", Value::from("chain456")),
+        ("elements", Value::Int(model.element_count() as i64)),
+        ("warm_noop_ms", Value::Real(noop_ms)),
+        ("warm_recording_ms", Value::Real(recording_ms)),
+        ("recorded_spans", Value::Int(report.spans.len() as i64)),
+        ("recorded_counters", Value::Int(report.counters.len() as i64)),
+        ("overhead_pct", Value::Real(overhead_pct)),
+        ("overhead_ok", Value::Bool(overhead_pct < 5.0)),
+    ]);
+    println!("BENCH_obs {}", json::to_string(&summary));
+}

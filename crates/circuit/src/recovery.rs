@@ -27,6 +27,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Instant;
 
 use crate::error::{CircuitError, Result};
 use crate::mna::{
@@ -131,8 +132,48 @@ impl SolverOptions {
     }
 }
 
-/// Walks the recovery ladder for one operating point.
+/// Walks the recovery ladder for one operating point, reporting solver
+/// iterations, escalations and per-strategy wall time to the
+/// thread-current telemetry handle (free when none is installed).
 pub(crate) fn solve_operating_point(
+    circuit: &Circuit,
+    layout: &Layout,
+    companions: Option<&Companions<'_>>,
+    options: &SolverOptions,
+) -> Result<(Vec<f64>, SolveDiagnostics)> {
+    // Only pay for the clock when a live telemetry handle will consume it.
+    let started = decisive_obs::with_current(|_| Instant::now());
+    let result = walk_ladder(circuit, layout, companions, options);
+    if let Some(started) = started {
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        decisive_obs::with_current(|telemetry| {
+            telemetry.count("solver.solves", 1);
+            match &result {
+                Ok((_, diagnostics)) => {
+                    telemetry.count("solver.iterations", diagnostics.iterations as u64);
+                    if diagnostics.recovered() {
+                        telemetry.count("solver.recovered", 1);
+                    }
+                    let strategy = diagnostics.strategy.to_string();
+                    telemetry.count(&format!("solver.strategy.{strategy}"), 1);
+                    telemetry.duration_ms(&format!("solver.strategy.{strategy}.ms"), wall_ms);
+                }
+                Err(CircuitError::NoConvergence { iterations, .. }) => {
+                    telemetry.count("solver.iterations", *iterations as u64);
+                    telemetry.count("solver.unsolvable", 1);
+                    telemetry.duration_ms("solver.strategy.unsolvable.ms", wall_ms);
+                }
+                Err(_) => {
+                    telemetry.count("solver.singular", 1);
+                }
+            }
+        });
+    }
+    result
+}
+
+/// The uninstrumented ladder body.
+fn walk_ladder(
     circuit: &Circuit,
     layout: &Layout,
     companions: Option<&Companions<'_>>,

@@ -137,7 +137,8 @@ pub struct CampaignHealth {
 const SLOWEST_KEPT: usize = 5;
 
 impl CampaignHealth {
-    /// Aggregates per-case reports into a health record.
+    /// Aggregates per-case reports into a health record, mirroring the
+    /// outcome counts onto the thread-current telemetry handle.
     pub fn from_reports(reports: &[CaseReport]) -> CampaignHealth {
         let mut health = CampaignHealth { total: reports.len(), ..CampaignHealth::default() };
         for report in reports {
@@ -163,6 +164,14 @@ impl CampaignHealth {
         by_cost.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         by_cost.truncate(SLOWEST_KEPT);
         health.slowest = by_cost;
+        decisive_obs::with_current(|telemetry| {
+            telemetry.count("campaign.cases", health.total as u64);
+            telemetry.count("campaign.converged", health.converged as u64);
+            telemetry.count("campaign.recovered", health.recovered as u64);
+            telemetry.count("campaign.unsolvable", health.unsolvable as u64);
+            telemetry.count("campaign.panicked", health.panicked as u64);
+            telemetry.count("campaign.skipped", health.skipped as u64);
+        });
         health
     }
 

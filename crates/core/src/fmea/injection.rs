@@ -107,6 +107,9 @@ fn sweep(
 
     let results: Vec<(FmeaRow, CaseReport)> = if config.parallelism > 1 && candidates.len() > 1 {
         let chunk = candidates.len().div_ceil(config.parallelism);
+        // Spawned workers get fresh thread-locals, so the sweep hands its
+        // telemetry handle to each one explicitly.
+        let telemetry = decisive_obs::current();
         let mut results: Vec<Vec<(FmeaRow, CaseReport)>> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = candidates
@@ -114,7 +117,9 @@ fn sweep(
                 .map(|part| {
                     let lowered = &lowered;
                     let nominal = &nominal;
+                    let telemetry = telemetry.clone();
                     scope.spawn(move || {
+                        let _telemetry = decisive_obs::set_current(telemetry);
                         part.iter()
                             .map(|c| analyse_candidate_supervised(c, lowered, nominal, config))
                             .collect::<Vec<_>>()

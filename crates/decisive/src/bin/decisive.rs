@@ -15,17 +15,26 @@
 //! decisive monitor model.json              # generated runtime checks
 //! ```
 //!
+//! Observability: `analyze`, `pipeline` and `rerun` accept
+//! `--trace-out <path>` (chrome://tracing JSON, load it in Perfetto) and
+//! `--metrics` (one `OBS_metrics {...}` summary line); `analyze`,
+//! `pipeline` and `passes` accept `--format {text,json}` for a single
+//! machine-readable document instead of the text rendering.
+//!
 //! Exit codes: `0` success, `1` analysis or I/O failure, `2` bad usage
 //! (unknown command, unknown flag, missing argument).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
 use decisive::core::fmea::injection::InjectionConfig;
 use decisive::core::monitor::RuntimeMonitor;
 use decisive::core::reliability::ReliabilityDb;
 use decisive::core::{case_study, metrics, persist};
-use decisive::engine::{Engine, EngineConfig};
+use decisive::engine::Engine;
+use decisive::obs::{RecordingSink, Telemetry};
+use decisive::output::{self, AnalyzeOutput, PassesOutput, PipelineOutput};
 use decisive::ssam::model::SsamModel;
 
 /// CLI failures, split by who got it wrong: `Usage` is the caller's
@@ -92,10 +101,10 @@ fn print_usage() {
         "decisive — iterative automated safety analysis\n\n\
          usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
-         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
-         decisive pipeline <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--mission-hours <h>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict]\n  \
-         decisive passes [<model.json|design.bd>] [--cache <dir>] [--jobs <n>]\n  \
-         decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict]\n  \
+         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive pipeline <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--mission-hours <h>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive passes [<model.json|design.bd>] [--cache <dir>] [--jobs <n>] [--format text|json]\n  \
+         decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict] [--trace-out <trace.json>] [--metrics]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
          decisive trace <model.json>\n  decisive --version"
@@ -103,7 +112,7 @@ fn print_usage() {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 8] = [
+const VALUE_FLAGS: [&str; 10] = [
     "--algorithm",
     "--csv",
     "--json",
@@ -112,7 +121,26 @@ const VALUE_FLAGS: [&str; 8] = [
     "--reliability",
     "--deadline-ms",
     "--mission-hours",
+    "--trace-out",
+    "--format",
 ];
+
+/// How a verb renders its result: the historical text rendering (the
+/// default, byte-stable for scripts that scrape it) or one JSON document
+/// per invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+fn output_format(args: &[String]) -> Result<OutputFormat, CliError> {
+    match flag_value(args, "--format") {
+        None | Some("text") => Ok(OutputFormat::Text),
+        Some("json") => Ok(OutputFormat::Json),
+        Some(other) => Err(CliError::usage(format!("unknown format `{other}` (text|json)"))),
+    }
+}
 
 /// Rejects any `--flag` the command does not understand (naming the
 /// flag), and any trailing value-flag left without its value.
@@ -249,23 +277,53 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "analyze",
         args,
-        &["--cache", "--jobs", "--deadline-ms", "--csv", "--json", "--reliability", "--strict"],
+        &[
+            "--cache",
+            "--jobs",
+            "--deadline-ms",
+            "--csv",
+            "--json",
+            "--reliability",
+            "--strict",
+            "--format",
+            "--trace-out",
+            "--metrics",
+        ],
     )?;
+    let format = output_format(args)?;
     let path = one_path("analyze", args)?;
     if path.ends_with(".bd") {
         return analyze_diagram(path, args);
     }
     let model = load(path)?;
     let top = top_of(&model)?;
-    let mut engine = engine_from_flags(args)?;
-    let table = engine.analyze_graph(&model, top).map_err(|e| e.to_string())?;
-    if let Some(dir) = flag_value(args, "--cache") {
-        engine.save_cache(dir).map_err(|e| e.to_string())?;
-    }
-    print_table(&table, args)?;
-    print!("{}", engine.stats().render());
-    print!("{}", engine.degraded_report().render());
-    enforce_strict(args, &engine)
+    let (mut engine, sink) = engine_from_flags(args)?;
+    // The trace is flushed even when the analysis fails — that is when
+    // the spans are most interesting.
+    let result = (|| {
+        let table = engine.analyze_graph(&model, top).map_err(|e| e.to_string())?;
+        if let Some(dir) = flag_value(args, "--cache") {
+            engine.save_cache(dir).map_err(|e| e.to_string())?;
+        }
+        match format {
+            OutputFormat::Text => {
+                print_table(&table, args)?;
+                print!("{}", engine.stats().render());
+                print!("{}", engine.degraded_report().render());
+            }
+            OutputFormat::Json => {
+                write_table_files(&table, args, true)?;
+                println!(
+                    "{}",
+                    output::to_json_string(&AnalyzeOutput::new(table, &engine))
+                        .map_err(CliError::Failure)?
+                );
+            }
+        }
+        enforce_strict(args, &engine)
+    })();
+    finish_observability(args, sink)?;
+    result
 }
 
 /// `decisive pipeline`: one full DECISIVE iteration through the pass
@@ -286,8 +344,12 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
             "--json",
             "--reliability",
             "--strict",
+            "--format",
+            "--trace-out",
+            "--metrics",
         ],
     )?;
+    let format = output_format(args)?;
     let path = one_path("pipeline", args)?;
     let mission_hours = match flag_value(args, "--mission-hours") {
         Some(h) => {
@@ -297,8 +359,21 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
         }
         None => 10_000.0,
     };
-    let mut engine = engine_from_flags(args)?;
+    let (mut engine, sink) = engine_from_flags(args)?;
+    let result = run_pipeline_verb(path, args, format, mission_hours, &mut engine);
+    finish_observability(args, sink)?;
+    result
+}
 
+/// The `pipeline` body proper, split out so `cmd_pipeline` can flush the
+/// trace regardless of how the run ends.
+fn run_pipeline_verb(
+    path: &str,
+    args: &[String],
+    format: OutputFormat,
+    mission_hours: f64,
+    engine: &mut Engine,
+) -> Result<(), CliError> {
     // Both arms keep the loaded data alive for the borrow-carrying input.
     let diagram;
     let reliability;
@@ -306,7 +381,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
     let (pipeline, input) = if path.ends_with(".bd") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-        reliability = load_reliability(args, &mut engine)?;
+        reliability = load_reliability(args, engine)?;
         let mut ssam = decisive::blocks::to_ssam(&diagram);
         reliability.aggregate_into(&mut ssam);
         model = ssam;
@@ -338,6 +413,17 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
     };
     if let Some(dir) = flag_value(args, "--cache") {
         engine.save_cache(dir).map_err(|e| e.to_string())?;
+    }
+    if format == OutputFormat::Json {
+        if let Some(table) = run.fmea() {
+            write_table_files(table, args, true)?;
+        }
+        println!(
+            "{}",
+            output::to_json_string(&PipelineOutput::new(&run, engine))
+                .map_err(CliError::Failure)?
+        );
+        return enforce_strict(args, engine);
     }
     if let Some(table) = run.fmea() {
         print_table(table, args)?;
@@ -372,7 +458,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
         print!("{}", engine.degraded_report().render());
     }
     print!("{}", engine.stats().render());
-    enforce_strict(args, &engine)
+    enforce_strict(args, engine)
 }
 
 /// `decisive passes`: the pass DAG in topological order, with each pass's
@@ -381,15 +467,23 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
 /// The optional path only selects the pipeline shape: `.bd` designs
 /// include the injection pass.
 fn cmd_passes(args: &[String]) -> Result<(), CliError> {
-    check_flags("passes", args, &["--cache", "--jobs"])?;
+    check_flags("passes", args, &["--cache", "--jobs", "--format"])?;
+    let format = output_format(args)?;
     let with_injection = match positionals(args)[..] {
         [] => false,
         [path] => path.ends_with(".bd"),
         _ => return Err(CliError::usage("`decisive passes` takes at most one path")),
     };
-    let engine = engine_from_flags(args)?;
+    let (engine, _) = engine_from_flags(args)?;
     let pipeline = decisive::engine::Pipeline::standard(with_injection);
     let statuses = engine.pipeline_status(&pipeline).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        println!(
+            "{}",
+            output::to_json_string(&PassesOutput::new(&statuses)).map_err(CliError::Failure)?
+        );
+        return Ok(());
+    }
     println!("# pass pipeline ({} pass(es), topological order)", statuses.len());
     for status in statuses {
         let deps = if status.depends_on.is_empty() {
@@ -412,7 +506,17 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "rerun",
         args,
-        &["--cache", "--jobs", "--deadline-ms", "--csv", "--json", "--reliability", "--strict"],
+        &[
+            "--cache",
+            "--jobs",
+            "--deadline-ms",
+            "--csv",
+            "--json",
+            "--reliability",
+            "--strict",
+            "--trace-out",
+            "--metrics",
+        ],
     )?;
     let (old_path, new_path) = two_paths("rerun", args)?;
     if new_path.ends_with(".bd") || old_path.ends_with(".bd") {
@@ -428,16 +532,21 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
     let old_model = load(old_path)?;
     let new_model = load(new_path)?;
     let top = top_of(&new_model)?;
-    let mut engine = engine_from_flags(args)?;
-    let (table, report) = engine.rerun(&old_model, &new_model, top).map_err(|e| e.to_string())?;
-    print!("{}", report.render());
-    if let Some(dir) = flag_value(args, "--cache") {
-        engine.save_cache(dir).map_err(|e| e.to_string())?;
-    }
-    print_table(&table, args)?;
-    print!("{}", engine.stats().render());
-    print!("{}", engine.degraded_report().render());
-    enforce_strict(args, &engine)
+    let (mut engine, sink) = engine_from_flags(args)?;
+    let result = (|| {
+        let (table, report) =
+            engine.rerun(&old_model, &new_model, top).map_err(|e| e.to_string())?;
+        print!("{}", report.render());
+        if let Some(dir) = flag_value(args, "--cache") {
+            engine.save_cache(dir).map_err(|e| e.to_string())?;
+        }
+        print_table(&table, args)?;
+        print!("{}", engine.stats().render());
+        print!("{}", engine.degraded_report().render());
+        enforce_strict(args, &engine)
+    })();
+    finish_observability(args, sink)?;
+    result
 }
 
 /// The block-diagram arm of `analyze`/`rerun`: a supervised fault-injection
@@ -445,33 +554,47 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
 /// printed after the table — even when the campaign breaker aborts the run,
 /// since that is exactly when the failed-case list matters.
 fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-    let mut engine = engine_from_flags(args)?;
-    let reliability = load_reliability(args, &mut engine)?;
-    let table = match engine.analyze_injection(&diagram, &reliability, &InjectionConfig::default())
-    {
-        Ok(table) => table,
-        Err(e) => {
-            if let Some(health) = engine.campaign_health() {
-                print!("{}", health.render());
-            }
-            return Err(CliError::Failure(e.to_string()));
+    let format = output_format(args)?;
+    let (mut engine, sink) = engine_from_flags(args)?;
+    let result = (|| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+        let reliability = load_reliability(args, &mut engine)?;
+        let table =
+            match engine.analyze_injection(&diagram, &reliability, &InjectionConfig::default()) {
+                Ok(table) => table,
+                Err(e) => {
+                    if let Some(health) = engine.campaign_health() {
+                        print!("{}", health.render());
+                    }
+                    return Err(CliError::Failure(e.to_string()));
+                }
+            };
+        if let Some(dir) = flag_value(args, "--cache") {
+            engine.save_cache(dir).map_err(|e| e.to_string())?;
         }
-    };
-    if let Some(dir) = flag_value(args, "--cache") {
-        engine.save_cache(dir).map_err(|e| e.to_string())?;
-    }
-    print_table(&table, args)?;
-    // The campaign-health render includes the absorbed degraded-mode
-    // report, so it is not printed separately here.
-    if let Some(health) = engine.campaign_health() {
-        print!("{}", health.render());
-    } else {
-        print!("{}", engine.degraded_report().render());
-    }
-    print!("{}", engine.stats().render());
-    enforce_strict(args, &engine)
+        if format == OutputFormat::Json {
+            write_table_files(&table, args, true)?;
+            println!(
+                "{}",
+                output::to_json_string(&AnalyzeOutput::new(table, &engine))
+                    .map_err(CliError::Failure)?
+            );
+            return enforce_strict(args, &engine);
+        }
+        print_table(&table, args)?;
+        // The campaign-health render includes the absorbed degraded-mode
+        // report, so it is not printed separately here.
+        if let Some(health) = engine.campaign_health() {
+            print!("{}", health.render());
+        } else {
+            print!("{}", engine.degraded_report().render());
+        }
+        print!("{}", engine.stats().render());
+        enforce_strict(args, &engine)
+    })();
+    finish_observability(args, sink)?;
+    result
 }
 
 /// Resolves `--reliability`. Without `--strict` the file is loaded
@@ -533,27 +656,56 @@ fn enforce_strict(args: &[String], engine: &Engine) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Builds an [`Engine`] from `--jobs`/`--deadline-ms` and pre-loads
-/// `--cache` when given.
-fn engine_from_flags(args: &[String]) -> Result<Engine, CliError> {
-    let mut config = match flag_value(args, "--jobs") {
-        Some(n) => EngineConfig::with_jobs(n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
-            || CliError::usage(format!("--jobs wants a positive integer, got `{n}`")),
-        )?),
-        None => EngineConfig::default(),
-    };
+/// Builds an [`Engine`] through [`Engine::builder`] from
+/// `--jobs`/`--deadline-ms`/`--cache`, attaching a recording telemetry
+/// sink when `--trace-out` or `--metrics` asks for one. The returned sink
+/// (when present) is drained by [`finish_observability`] after the verb's
+/// body, succeed or fail.
+fn engine_from_flags(args: &[String]) -> Result<(Engine, Option<Arc<RecordingSink>>), CliError> {
+    let mut builder = Engine::builder();
+    if let Some(n) = flag_value(args, "--jobs") {
+        builder = builder.jobs(n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            CliError::usage(format!("--jobs wants a positive integer, got `{n}`"))
+        })?);
+    }
     if let Some(ms) = flag_value(args, "--deadline-ms") {
         let ms =
             ms.parse::<f64>().ok().filter(|&ms| ms > 0.0 && ms.is_finite()).ok_or_else(|| {
                 CliError::usage(format!("--deadline-ms wants a positive number, got `{ms}`"))
             })?;
-        config = config.with_deadline_ms(ms);
+        builder = builder.deadline_ms(ms);
     }
-    let mut engine = Engine::new(config);
     if let Some(dir) = flag_value(args, "--cache") {
-        engine.load_cache(dir).map_err(|e| e.to_string())?;
+        builder = builder.cache_dir(dir);
     }
-    Ok(engine)
+    let sink = if flag_value(args, "--trace-out").is_some() || args.iter().any(|a| a == "--metrics")
+    {
+        let (telemetry, sink) = Telemetry::recording();
+        builder = builder.telemetry(telemetry);
+        Some(sink)
+    } else {
+        None
+    };
+    let engine = builder.build().map_err(|e| e.to_string())?;
+    Ok((engine, sink))
+}
+
+/// Drains the recording sink (when one was attached): writes the
+/// chrome://tracing JSON to `--trace-out` and prints the one-line
+/// `OBS_metrics` summary for `--metrics`. The trace-file note goes to
+/// stderr so `--format json` stdout stays a single parseable document.
+fn finish_observability(args: &[String], sink: Option<Arc<RecordingSink>>) -> Result<(), CliError> {
+    let Some(sink) = sink else { return Ok(()) };
+    let report = sink.drain();
+    if let Some(out) = flag_value(args, "--trace-out") {
+        std::fs::write(out, report.to_chrome_json())
+            .map_err(|e| CliError::Failure(format!("{out}: {e}")))?;
+        eprintln!("# trace: {} span(s) written to {out}", report.spans.len());
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        println!("OBS_metrics {}", report.metrics_json());
+    }
+    Ok(())
 }
 
 /// Prints a table as CSV with its SPFM summary line, honouring the
@@ -567,13 +719,30 @@ fn print_table(table: &decisive::core::fmea::FmeaTable, args: &[String]) -> Resu
         m.achieved_asil,
         m.total_sr_fit.value()
     );
+    write_table_files(table, args, false)
+}
+
+/// Honours the `--csv`/`--json` file-output flags; in JSON output mode
+/// the `# written to` notes move to stderr to keep stdout machine-clean.
+fn write_table_files(
+    table: &decisive::core::fmea::FmeaTable,
+    args: &[String],
+    notes_to_stderr: bool,
+) -> Result<(), CliError> {
+    let note = |line: String| {
+        if notes_to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     if let Some(out) = flag_value(args, "--csv") {
         std::fs::write(out, table.to_csv_string()).map_err(|e| e.to_string())?;
-        println!("# written to {out}");
+        note(format!("# written to {out}"));
     }
     if let Some(out) = flag_value(args, "--json") {
         persist::save_table(table, out).map_err(|e| e.to_string())?;
-        println!("# written to {out}");
+        note(format!("# written to {out}"));
     }
     Ok(())
 }

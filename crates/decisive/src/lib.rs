@@ -16,6 +16,7 @@
 //! | [`fta`] | `decisive-fta` | fault tree analysis (HiP-HOPS-style baseline + future work) |
 //! | [`assurance`] | `decisive-assurance` | GSN assurance cases with automated evaluation |
 //! | [`workload`] | `decisive-workload` | evaluation subjects and the simulated analyst |
+//! | [`obs`] | `decisive-obs` | structured tracing + metrics (spans, counters, chrome://tracing export) |
 //!
 //! See the repository's `examples/` for runnable walk-throughs, starting
 //! with `quickstart.rs` (the paper's case study end to end), and
@@ -44,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+pub mod output;
+
 pub use decisive_assurance as assurance;
 pub use decisive_blocks as blocks;
 pub use decisive_circuit as circuit;
@@ -52,5 +55,6 @@ pub use decisive_engine as engine;
 pub use decisive_federation as federation;
 pub use decisive_fta as fta;
 pub use decisive_hara as hara;
+pub use decisive_obs as obs;
 pub use decisive_ssam as ssam;
 pub use decisive_workload as workload;

@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use decisive_obs::Telemetry;
+
 use decisive_blocks::BlockDiagram;
 use decisive_core::campaign::CampaignHealth;
 use decisive_core::degraded::DegradedModeReport;
@@ -115,16 +117,119 @@ pub struct Engine {
     pub(crate) stats: EngineStats,
     pub(crate) last_campaign: Option<CampaignHealth>,
     pub(crate) degraded: DegradedModeReport,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// Step-by-step [`Engine`] construction — the documented way to configure
+/// an engine. `Engine::new` / `Engine::with_cache` remain as thin
+/// shortcuts for the no-frills cases.
+///
+/// # Examples
+///
+/// ```
+/// use decisive_core::case_study;
+/// use decisive_engine::Engine;
+/// use decisive_obs::Telemetry;
+///
+/// let (telemetry, sink) = Telemetry::recording();
+/// let mut engine = Engine::builder()
+///     .jobs(2)
+///     .deadline_ms(30_000.0)
+///     .telemetry(telemetry)
+///     .build()
+///     .unwrap();
+/// let (model, top) = case_study::ssam_model();
+/// engine.analyze_graph(&model, top).unwrap();
+/// assert!(sink.drain().counters["cache.graph-row.misses"] > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+    cache: Option<CacheStore>,
+    cache_dir: Option<std::path::PathBuf>,
+    telemetry: Telemetry,
+}
+
+impl EngineBuilder {
+    /// Sets the worker-thread budget (clamped to at least one).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the per-job wall-clock deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.config.deadline_ms = Some(ms.max(0.0));
+        self
+    }
+
+    /// Sets the graph FMEA configuration.
+    pub fn graph(mut self, graph: GraphConfig) -> Self {
+        self.config.graph = graph;
+        self
+    }
+
+    /// Replaces the whole configuration (for callers that already hold an
+    /// [`EngineConfig`]). Field-level setters called afterwards still
+    /// apply.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Starts from a hand-built cache instead of an empty one.
+    pub fn cache(mut self, cache: CacheStore) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Loads the persisted cache (and campaign report) from `dir` at
+    /// [`EngineBuilder::build`] time — the builder equivalent of
+    /// [`Engine::load_cache`]. Overrides [`EngineBuilder::cache`].
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the telemetry sink every analysis reports spans, counters and
+    /// histograms to. Defaults to the free no-op handle.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Builds the engine, loading the persisted cache when
+    /// [`EngineBuilder::cache_dir`] was set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] when the cache directory exists but
+    /// cannot be read (corruption is quarantined, not fatal — see
+    /// [`Engine::load_cache`]).
+    pub fn build(self) -> Result<Engine> {
+        let mut engine = Engine::with_cache(self.config, self.cache.unwrap_or_default());
+        engine.telemetry = self.telemetry;
+        if let Some(dir) = self.cache_dir {
+            engine.load_cache(dir)?;
+        }
+        Ok(engine)
+    }
 }
 
 impl Engine {
-    /// An engine with an empty cache.
+    /// The builder — the single documented construction path; see
+    /// [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with an empty cache (shortcut over [`Engine::builder`]).
     pub fn new(config: EngineConfig) -> Self {
         Engine::with_cache(config, CacheStore::new())
     }
 
     /// An engine starting from a previously persisted (or hand-built)
-    /// cache.
+    /// cache (shortcut over [`Engine::builder`]).
     pub fn with_cache(config: EngineConfig, cache: CacheStore) -> Self {
         Engine {
             config,
@@ -132,12 +237,18 @@ impl Engine {
             stats: EngineStats::default(),
             last_campaign: None,
             degraded: DegradedModeReport::new(),
+            telemetry: Telemetry::noop(),
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The telemetry handle analyses report through (no-op by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The artefact cache.
@@ -277,10 +388,7 @@ impl Engine {
     /// Propagates analysis errors and scheduler failures.
     pub fn analyze_graph(&mut self, model: &SsamModel, top: Idx<Component>) -> Result<FmeaTable> {
         let input = PipelineInput::for_model(model, top);
-        self.run_extracting(&GraphFmeaPass, &input, |artifact| match artifact {
-            PassArtifact::Fmea(table) => Ok(table),
-            other => Err(Box::new(other)),
-        })
+        self.run_extracting(&GraphFmeaPass, &input, PassArtifact::into_fmea)
     }
 
     /// Re-analyses after a model revision: diffs `old` against `new`,
@@ -371,10 +479,7 @@ impl Engine {
     ) -> Result<FmeaTable> {
         let input =
             PipelineInput::for_diagram(diagram, reliability).with_injection_config(config.clone());
-        self.run_extracting(&InjectionFmeaPass, &input, |artifact| match artifact {
-            PassArtifact::Injection { table, .. } => Ok(table),
-            other => Err(Box::new(other)),
-        })
+        self.run_extracting(&InjectionFmeaPass, &input, PassArtifact::into_injection_table)
     }
 
     // ------------------------------------------------------------------
@@ -398,10 +503,7 @@ impl Engine {
         mission_hours: f64,
     ) -> Result<Vec<FtaSubtreeSummary>> {
         let input = PipelineInput::for_model(model, top).with_mission_hours(mission_hours);
-        self.run_extracting(&FtaPass, &input, |artifact| match artifact {
-            PassArtifact::FtaSummaries(summaries) => Ok(summaries),
-            other => Err(Box::new(other)),
-        })
+        self.run_extracting(&FtaPass, &input, PassArtifact::into_fta_summaries)
     }
 
     /// Generates (or fetches) the runtime monitor of `model`, keyed by the
@@ -413,10 +515,7 @@ impl Engine {
     /// Propagates cache serialisation failures.
     pub fn monitors(&mut self, model: &SsamModel) -> Result<RuntimeMonitor> {
         let input = PipelineInput::new().with_model(model);
-        self.run_extracting(&MonitorPass, &input, |artifact| match artifact {
-            PassArtifact::Monitor(monitor) => Ok(monitor),
-            other => Err(Box::new(other)),
-        })
+        self.run_extracting(&MonitorPass, &input, PassArtifact::into_monitor)
     }
 }
 

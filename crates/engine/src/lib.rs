@@ -36,7 +36,11 @@ pub mod scheduler;
 pub mod stats;
 
 pub use cache::{ArtifactKind, CacheStore};
-pub use engine::{Engine, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
+pub use engine::{Engine, EngineBuilder, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
+
+/// The telemetry substrate, re-exported so engine users configure
+/// [`EngineBuilder::telemetry`] without a separate dependency.
+pub use decisive_obs as obs;
 pub use error::{EngineError, Result};
 pub use fingerprint::Fingerprint;
 pub use pass::{

@@ -165,6 +165,61 @@ impl PassArtifact {
         }
     }
 
+    /// Consumes a graph-FMEA artefact into its table; any other variant
+    /// comes back unchanged for a typed mismatch error.
+    ///
+    /// # Errors
+    ///
+    /// The artefact itself, boxed, when it is not [`PassArtifact::Fmea`].
+    pub fn into_fmea(self) -> std::result::Result<FmeaTable, Box<PassArtifact>> {
+        match self {
+            PassArtifact::Fmea(table) => Ok(table),
+            other => Err(Box::new(other)),
+        }
+    }
+
+    /// Consumes an injection artefact into its table (dropping the
+    /// campaign health, which the engine has already published).
+    ///
+    /// # Errors
+    ///
+    /// The artefact itself, boxed, when it is not
+    /// [`PassArtifact::Injection`].
+    pub fn into_injection_table(self) -> std::result::Result<FmeaTable, Box<PassArtifact>> {
+        match self {
+            PassArtifact::Injection { table, .. } => Ok(table),
+            other => Err(Box::new(other)),
+        }
+    }
+
+    /// Consumes an FTA artefact into its subtree summaries.
+    ///
+    /// # Errors
+    ///
+    /// The artefact itself, boxed, when it is not
+    /// [`PassArtifact::FtaSummaries`].
+    pub fn into_fta_summaries(
+        self,
+    ) -> std::result::Result<Vec<FtaSubtreeSummary>, Box<PassArtifact>> {
+        match self {
+            PassArtifact::FtaSummaries(summaries) => Ok(summaries),
+            other => Err(Box::new(other)),
+        }
+    }
+
+    /// Consumes a monitor artefact into its monitor set.
+    ///
+    /// # Errors
+    ///
+    /// The artefact itself, boxed, when it is not
+    /// [`PassArtifact::Monitor`].
+    pub fn into_monitor(self) -> std::result::Result<RuntimeMonitor, Box<PassArtifact>> {
+        match self {
+            PassArtifact::Monitor(monitor) => Ok(monitor),
+            other => Err(Box::new(other)),
+        }
+    }
+
     /// Semantic equality, ignoring wall-clock noise: campaign timing
     /// (slowest cases, per-case wall time) legitimately differs between a
     /// warm and a cold run of the *same* inputs, so pipeline verification
@@ -313,6 +368,7 @@ pub struct PassContext<'a> {
     pub(crate) phases: Vec<PhaseStats>,
     pub(crate) degraded: DegradedModeReport,
     pub(crate) campaign: Option<CampaignHealth>,
+    pub(crate) telemetry: decisive_obs::Telemetry,
 }
 
 impl<'a> PassContext<'a> {
@@ -348,8 +404,8 @@ impl<'a> PassContext<'a> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn scheduler(&self) -> Scheduler {
-        let scheduler = Scheduler::new(self.workers);
+    fn scheduler(&self, label: &str) -> Scheduler {
+        let scheduler = Scheduler::new(self.workers).with_telemetry(self.telemetry.clone(), label);
         match self.config.deadline_ms {
             Some(ms) => scheduler.with_deadline_ms(ms),
             None => scheduler,
@@ -381,24 +437,49 @@ impl<'a> PassContext<'a> {
         P: Sync,
     {
         let start = Instant::now();
+        let instrumented = self.telemetry.enabled();
+        let _phase_span =
+            instrumented.then(|| self.telemetry.span(format!("phase:{phase_name}"), "phase"));
         let mut phase = PhaseStats::new(phase_name);
         phase.jobs_total = items.len();
         let mut merged: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
         let mut misses: Vec<usize> = Vec::new();
+        // Counters are accumulated per artefact kind and flushed once —
+        // the lookup loop is the warm-path hot loop, so it must not pay a
+        // sink update (or a name allocation) per item.
+        let mut hit_tags: HashMap<&'static str, u64> = HashMap::new();
+        let mut miss_tags: HashMap<&'static str, u64> = HashMap::new();
         for (i, item) in items.iter().enumerate() {
             match self.lock_cache().get::<A>(item.id.kind, item.id.key) {
                 Some(artifact) => {
                     phase.cache_hits += 1;
+                    if instrumented {
+                        *hit_tags.entry(item.id.kind.tag()).or_insert(0) += 1;
+                    }
                     merged[i] = Some(decode(i, artifact));
                 }
                 None => {
                     phase.cache_misses += 1;
+                    if instrumented {
+                        *miss_tags.entry(item.id.kind.tag()).or_insert(0) += 1;
+                    }
                     misses.push(i);
                 }
             }
         }
+        for (tag, n) in &hit_tags {
+            self.telemetry.count(&format!("cache.{tag}.hits"), *n);
+        }
+        for (tag, n) in &miss_tags {
+            self.telemetry.count(&format!("cache.{tag}.misses"), *n);
+        }
         phase.jobs_executed = misses.len();
         if !misses.is_empty() {
+            // `recomputed` = misses that reach the batch; it diverges
+            // from `misses` only when `prepare` fails first.
+            for (tag, n) in &miss_tags {
+                self.telemetry.count(&format!("cache.{tag}.recomputed"), *n);
+            }
             let prep = prepare(&misses)?;
             let jobs: Vec<_> = misses
                 .iter()
@@ -408,7 +489,10 @@ impl<'a> PassContext<'a> {
                     move || compute(prep, i)
                 })
                 .collect();
-            let out = self.scheduler().run_batch(&jobs).map_err(|e| batch_error(e, phase_name))?;
+            let out = self
+                .scheduler(phase_name)
+                .run_batch(&jobs)
+                .map_err(|e| batch_error(e, phase_name))?;
             phase.retries = out.retries;
             phase.max_job_ms = out.max_job_ms;
             phase.timed_out = out.timed_out.len();

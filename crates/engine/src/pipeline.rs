@@ -252,6 +252,7 @@ impl Engine {
         }
         let config = self.config.clone();
         let baseline_degraded = self.degraded.clone();
+        let telemetry = self.telemetry.clone();
         let cache = Mutex::new(std::mem::take(&mut self.cache));
         // Split the budget: up to `pass_workers` passes in flight, each
         // with `intra` workers for its own batches.
@@ -284,105 +285,117 @@ impl Engine {
 
         crossbeam::scope(|scope| {
             for _ in 0..pass_workers {
-                scope.spawn(|| loop {
-                    let idx = {
-                        let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
-                        loop {
-                            if let Some(idx) = guard.ready.pop() {
-                                break idx;
-                            }
-                            if guard.completed == n {
-                                return;
-                            }
-                            guard = turnstile.wait(guard).unwrap_or_else(|e| e.into_inner());
-                        }
-                    };
-                    let pass = &passes[idx];
-                    // Collect upstream artefacts; a failed or skipped
-                    // dependency skips this pass too.
-                    let mut deps: HashMap<&'static str, Arc<PassArtifact>> = HashMap::new();
-                    let mut skipped = None;
-                    {
-                        let guard = state.lock().unwrap_or_else(|e| e.into_inner());
-                        for dep in pass.depends_on() {
-                            let outcome = guard.done[index_of[*dep]]
-                                .as_ref()
-                                .expect("dependency completed before dependent");
-                            match &outcome.artifact {
-                                Some(artifact) => {
-                                    deps.insert(*dep, Arc::clone(artifact));
+                scope.spawn(|| {
+                    // DAG workers are fresh threads: install the engine's
+                    // telemetry handle so passes (and the solver code
+                    // under them) record onto the shared timeline.
+                    let _telemetry = decisive_obs::set_current(telemetry.clone());
+                    loop {
+                        let idx = {
+                            let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+                            loop {
+                                if let Some(idx) = guard.ready.pop() {
+                                    break idx;
                                 }
-                                None => {
-                                    skipped = Some(format!(
-                                        "pass `{}` skipped: upstream pass `{dep}` {}",
-                                        pass.id(),
-                                        if outcome.skipped.is_some() {
-                                            "was skipped"
-                                        } else {
-                                            "failed"
-                                        }
-                                    ));
+                                if guard.completed == n {
+                                    return;
+                                }
+                                guard = turnstile.wait(guard).unwrap_or_else(|e| e.into_inner());
+                            }
+                        };
+                        let pass = &passes[idx];
+                        // Collect upstream artefacts; a failed or skipped
+                        // dependency skips this pass too.
+                        let mut deps: HashMap<&'static str, Arc<PassArtifact>> = HashMap::new();
+                        let mut skipped = None;
+                        {
+                            let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+                            for dep in pass.depends_on() {
+                                let outcome = guard.done[index_of[*dep]]
+                                    .as_ref()
+                                    .expect("dependency completed before dependent");
+                                match &outcome.artifact {
+                                    Some(artifact) => {
+                                        deps.insert(*dep, Arc::clone(artifact));
+                                    }
+                                    None => {
+                                        skipped = Some(format!(
+                                            "pass `{}` skipped: upstream pass `{dep}` {}",
+                                            pass.id(),
+                                            if outcome.skipped.is_some() {
+                                                "was skipped"
+                                            } else {
+                                                "failed"
+                                            }
+                                        ));
+                                    }
                                 }
                             }
                         }
-                    }
-                    let outcome = match skipped {
-                        Some(reason) => PassOutcome {
-                            artifact: None,
-                            error: None,
-                            skipped: Some(reason),
-                            phases: Vec::new(),
-                            degraded: DegradedModeReport::new(),
-                            campaign: None,
-                        },
-                        None => {
-                            let mut ctx = PassContext {
-                                config: &config,
-                                workers: intra,
-                                cache: &cache,
-                                input,
-                                deps,
-                                baseline_degraded: baseline_degraded.clone(),
+                        let outcome = match skipped {
+                            Some(reason) => PassOutcome {
+                                artifact: None,
+                                error: None,
+                                skipped: Some(reason),
                                 phases: Vec::new(),
                                 degraded: DegradedModeReport::new(),
                                 campaign: None,
-                            };
-                            let result = pass.run(&mut ctx);
-                            let PassContext { phases, degraded, campaign, .. } = ctx;
-                            match result {
-                                Ok(artifact) => PassOutcome {
-                                    artifact: Some(Arc::new(artifact)),
-                                    error: None,
-                                    skipped: None,
-                                    phases,
-                                    degraded,
-                                    campaign,
-                                },
-                                Err(e) => PassOutcome {
-                                    artifact: None,
-                                    error: Some(e),
-                                    skipped: None,
-                                    phases,
-                                    degraded,
-                                    campaign,
-                                },
+                            },
+                            None => {
+                                let mut ctx = PassContext {
+                                    config: &config,
+                                    workers: intra,
+                                    cache: &cache,
+                                    input,
+                                    deps,
+                                    baseline_degraded: baseline_degraded.clone(),
+                                    phases: Vec::new(),
+                                    degraded: DegradedModeReport::new(),
+                                    campaign: None,
+                                    telemetry: telemetry.clone(),
+                                };
+                                let result = {
+                                    let _span = telemetry.enabled().then(|| {
+                                        telemetry.span(format!("pass:{}", pass.id()), "pass")
+                                    });
+                                    pass.run(&mut ctx)
+                                };
+                                let PassContext { phases, degraded, campaign, .. } = ctx;
+                                match result {
+                                    Ok(artifact) => PassOutcome {
+                                        artifact: Some(Arc::new(artifact)),
+                                        error: None,
+                                        skipped: None,
+                                        phases,
+                                        degraded,
+                                        campaign,
+                                    },
+                                    Err(e) => PassOutcome {
+                                        artifact: None,
+                                        error: Some(e),
+                                        skipped: None,
+                                        phases,
+                                        degraded,
+                                        campaign,
+                                    },
+                                }
+                            }
+                        };
+                        let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.done[idx] = Some(outcome);
+                        guard.completed += 1;
+                        for &dependent in &dependents[idx] {
+                            guard.indegree[dependent] -= 1;
+                            if guard.indegree[dependent] == 0 {
+                                guard.ready.push(dependent);
                             }
                         }
-                    };
-                    let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
-                    guard.done[idx] = Some(outcome);
-                    guard.completed += 1;
-                    for &dependent in &dependents[idx] {
-                        guard.indegree[dependent] -= 1;
-                        if guard.indegree[dependent] == 0 {
-                            guard.ready.push(dependent);
-                        }
+                        // Keep the ready queue in registration order so
+                        // single-worker execution is deterministic.
+                        guard.ready.sort_unstable_by(|a, b| b.cmp(a));
+                        drop(guard);
+                        turnstile.notify_all();
                     }
-                    // Keep the ready queue in registration order so
-                    // single-worker execution is deterministic.
-                    guard.ready.sort_unstable_by(|a, b| b.cmp(a));
-                    drop(guard);
-                    turnstile.notify_all();
                 });
             }
         })
@@ -436,6 +449,7 @@ impl Engine {
     ) -> Result<PassArtifact> {
         let config = self.config.clone();
         let baseline_degraded = self.degraded.clone();
+        let telemetry = self.telemetry.clone();
         let cache = Mutex::new(std::mem::take(&mut self.cache));
         let mut ctx = PassContext {
             config: &config,
@@ -447,8 +461,18 @@ impl Engine {
             phases: Vec::new(),
             degraded: DegradedModeReport::new(),
             campaign: None,
+            telemetry: telemetry.clone(),
         };
-        let result = pass.run(&mut ctx);
+        let result = {
+            // Single-pass runs execute on the caller's thread; install the
+            // handle so leaf code records, and scope the pass span to the
+            // actual execution.
+            let _telemetry =
+                telemetry.enabled().then(|| decisive_obs::set_current(telemetry.clone()));
+            let _span =
+                telemetry.enabled().then(|| telemetry.span(format!("pass:{}", pass.id()), "pass"));
+            pass.run(&mut ctx)
+        };
         let PassContext { phases, degraded, campaign, .. } = ctx;
         self.cache = cache.into_inner().unwrap_or_else(|e| e.into_inner());
         for phase in phases {

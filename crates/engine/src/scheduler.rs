@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use decisive_obs::Telemetry;
+
 /// Cooperative cancellation handle: cheap to clone, checked between jobs.
 /// Cancelling never interrupts a running job; it stops further jobs from
 /// starting.
@@ -75,13 +77,32 @@ pub struct Scheduler {
     workers: usize,
     cancel: CancelToken,
     deadline_ms: Option<f64>,
+    telemetry: Telemetry,
+    label: String,
 }
 
 impl Scheduler {
     /// A scheduler with `workers` threads (clamped to at least one). The
     /// pool is bounded per batch: at most `min(workers, jobs)` threads run.
     pub fn new(workers: usize) -> Self {
-        Scheduler { workers: workers.max(1), cancel: CancelToken::new(), deadline_ms: None }
+        Scheduler {
+            workers: workers.max(1),
+            cancel: CancelToken::new(),
+            deadline_ms: None,
+            telemetry: Telemetry::noop(),
+            label: "batch".to_owned(),
+        }
+    }
+
+    /// Attaches a telemetry handle (and a batch label naming the job
+    /// spans): each executed job records a `job:{label}` span and a
+    /// queue-wait observation, each batch its retry/timeout counters, and
+    /// the handle is installed as the thread-current one inside every
+    /// worker so leaf code (e.g. the circuit solver) reports too.
+    pub fn with_telemetry(mut self, telemetry: Telemetry, label: &str) -> Self {
+        self.telemetry = telemetry;
+        self.label = label.to_owned();
+        self
     }
 
     /// Sets a per-job deadline in milliseconds (building on the
@@ -136,8 +157,19 @@ impl Scheduler {
         let retries = AtomicUsize::new(0);
         let max_job_ms = Mutex::new(0.0f64);
         let timed_out = Mutex::new(Vec::new());
+        let instrumented = self.telemetry.enabled();
+        let batch_epoch = Instant::now();
         let run_one = |index: usize| -> Result<T, BatchError> {
             let started = Instant::now();
+            let _job_span = instrumented.then(|| {
+                self.telemetry.duration_ms(
+                    &format!("scheduler.{}.queue_wait_ms", self.label),
+                    batch_epoch.elapsed().as_secs_f64() * 1e3,
+                );
+                let mut span = self.telemetry.span(format!("job:{}", self.label), "scheduler");
+                span.arg("index", index.to_string());
+                span
+            });
             let outcome = match catch_unwind(AssertUnwindSafe(&jobs[index])) {
                 Ok(result) => Ok(result),
                 Err(_) => {
@@ -161,6 +193,11 @@ impl Scheduler {
         let workers = self.workers.min(jobs.len()).max(1);
         let mut slots: Vec<Option<Result<T, BatchError>>> = Vec::new();
         if workers == 1 {
+            // Install on the caller thread only when this scheduler has a
+            // live handle — a no-op one must not mask whatever handle the
+            // caller already installed.
+            let _telemetry =
+                instrumented.then(|| decisive_obs::set_current(self.telemetry.clone()));
             for index in 0..jobs.len() {
                 if self.cancel.is_cancelled() {
                     return Err(BatchError::Cancelled);
@@ -173,22 +210,28 @@ impl Scheduler {
                 (0..jobs.len()).map(|_| Mutex::new(None)).collect();
             crossbeam::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        if self.cancel.is_cancelled() {
-                            break;
-                        }
-                        let index = next.fetch_add(1, Ordering::SeqCst);
-                        if index >= jobs.len() {
-                            break;
-                        }
-                        let outcome = run_one(index);
-                        let failed = outcome.is_err();
-                        *results[index].lock().expect("result slot") = Some(outcome);
-                        if failed {
-                            // Stop scheduling further jobs; finished work
-                            // stays valid for the error report.
-                            self.cancel.cancel();
-                            break;
+                    scope.spawn(|| {
+                        // Fresh threads have no thread-current telemetry;
+                        // install this batch's handle so jobs and the leaf
+                        // code under them can record.
+                        let _telemetry = decisive_obs::set_current(self.telemetry.clone());
+                        loop {
+                            if self.cancel.is_cancelled() {
+                                break;
+                            }
+                            let index = next.fetch_add(1, Ordering::SeqCst);
+                            if index >= jobs.len() {
+                                break;
+                            }
+                            let outcome = run_one(index);
+                            let failed = outcome.is_err();
+                            *results[index].lock().expect("result slot") = Some(outcome);
+                            if failed {
+                                // Stop scheduling further jobs; finished
+                                // work stays valid for the error report.
+                                self.cancel.cancel();
+                                break;
+                            }
                         }
                     });
                 }
@@ -212,9 +255,19 @@ impl Scheduler {
         }
         let mut timed_out = timed_out.into_inner().expect("timed-out slot");
         timed_out.sort_unstable();
+        let retries = retries.load(Ordering::SeqCst);
+        if instrumented {
+            self.telemetry.count("scheduler.jobs", jobs.len() as u64);
+            if retries > 0 {
+                self.telemetry.count("scheduler.retries", retries as u64);
+            }
+            if !timed_out.is_empty() {
+                self.telemetry.count("scheduler.timeouts", timed_out.len() as u64);
+            }
+        }
         Ok(BatchOutput {
             results: out,
-            retries: retries.load(Ordering::SeqCst),
+            retries,
             max_job_ms: max_job_ms.into_inner().expect("max-job slot"),
             timed_out,
         })

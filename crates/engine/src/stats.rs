@@ -6,9 +6,10 @@
 //! registration order, so a DAG run reads like a sequential one.
 
 use decisive_federation::Value;
+use serde::{Deserialize, Serialize};
 
 /// Counters of one engine phase (e.g. `graph-facts`, `graph-rows`).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PhaseStats {
     /// Phase name.
     pub name: String,
@@ -40,7 +41,7 @@ impl PhaseStats {
 }
 
 /// Cumulative engine statistics across one or more analyses.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Per-phase counters, in execution order.
     pub phases: Vec<PhaseStats>,

@@ -1,0 +1,205 @@
+//! chrome://tracing export: serialises a [`TraceReport`] into the Trace
+//! Event Format JSON that Perfetto and `chrome://tracing` load directly.
+//!
+//! Spans become complete (`"ph":"X"`) events with microsecond timestamps;
+//! counters become counter (`"ph":"C"`) events stamped at the end of the
+//! trace, so the final value is visible on the timeline; histograms land
+//! under the top-level `otherData` key (ignored by viewers, kept for
+//! machine consumers). The JSON is hand-rolled — this crate has no
+//! dependencies — against the stable subset of the format.
+
+use std::fmt::Write as _;
+
+use crate::metrics::DurationHistogram;
+use crate::sink::TraceReport;
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A quoted, escaped JSON string.
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// A JSON number: finite values print as-is, anything else degrades to 0
+/// (JSON has no NaN/Infinity).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn histogram_json(h: &DurationHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum_ms\":{},\"min_ms\":{},\"max_ms\":{},\"mean_ms\":{},\"p99_ms\":{}}}",
+        h.count,
+        number(h.sum_ms),
+        number(if h.count == 0 { 0.0 } else { h.min_ms }),
+        number(h.max_ms),
+        number(h.mean_ms()),
+        number(h.quantile_ms(0.99)),
+    )
+}
+
+impl TraceReport {
+    /// The full chrome://tracing JSON document. Load the written file in
+    /// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 128);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut end_us = 0.0f64;
+        for span in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            end_us = end_us.max(span.end_us());
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                quoted(&span.name),
+                quoted(span.category),
+                number(span.start_us),
+                number(span.duration_us),
+                span.thread,
+            );
+            out.push_str(",\"args\":{");
+            let _ = write!(out, "\"span_id\":{}", span.id);
+            if let Some(parent) = span.parent {
+                let _ = write!(out, ",\"parent_id\":{parent}");
+            }
+            for (key, value) in &span.args {
+                let _ = write!(out, ",{}:{}", quoted(key), quoted(value));
+            }
+            out.push_str("}}");
+        }
+        // Counters as "C" events at the end of the timeline: one sample
+        // carrying the final value.
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{value}}}}}",
+                quoted(name),
+                number(end_us),
+            );
+        }
+        out.push_str("],\"otherData\":{\"histograms\":{");
+        let mut first = true;
+        for (name, histogram) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", quoted(name), histogram_json(histogram));
+        }
+        out.push_str("}}}");
+        out
+    }
+
+    /// One-line machine-readable metrics summary (the `BENCH_*` JSON
+    /// style): span count, every counter, and per-histogram aggregates.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"spans\":{},\"counters\":{{", self.spans.len());
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{value}", quoted(name));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, histogram) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", quoted(name), histogram_json(histogram));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_report() -> TraceReport {
+        let (telemetry, sink) = Telemetry::recording();
+        {
+            let mut span = telemetry.span("pass:graph-fmea", "pass");
+            span.arg("jobs", "4");
+            let _inner = telemetry.span("phase:graph-rows", "phase");
+            telemetry.count("solver.iterations", 17);
+            telemetry.duration_ms("solver.strategy.newton", 0.5);
+        }
+        sink.drain()
+    }
+
+    #[test]
+    fn chrome_json_has_events_counters_and_histograms() {
+        let json = sample_report().to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"pass:graph-fmea\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"solver.iterations\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"solver.strategy.newton\""));
+        assert!(json.contains("\"parent_id\""));
+    }
+
+    #[test]
+    fn metrics_json_is_one_line() {
+        let line = sample_report().metrics_json();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"solver.iterations\":17"));
+        assert!(line.contains("\"spans\":2"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = TraceReport::default().to_chrome_json();
+        assert!(json.contains("\"traceEvents\":[]"));
+        assert_eq!(
+            TraceReport::default().metrics_json(),
+            "{\"spans\":0,\"counters\":{},\"histograms\":{}}"
+        );
+    }
+}

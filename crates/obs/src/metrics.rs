@@ -1,0 +1,150 @@
+//! Duration histograms: fixed-size log₂ buckets over microseconds, cheap
+//! enough to update on every solver call and lossless about count, sum and
+//! extrema.
+
+/// Number of log₂ buckets: bucket `i` holds observations in
+/// `[2^i, 2^(i+1))` microseconds, so 40 buckets span sub-microsecond to
+/// ~12.7 days.
+pub const BUCKETS: usize = 40;
+
+/// A monotonic duration histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationHistogram {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of all observations, milliseconds.
+    pub sum_ms: f64,
+    /// Smallest observation, milliseconds (`INFINITY` when empty).
+    pub min_ms: f64,
+    /// Largest observation, milliseconds.
+    pub max_ms: f64,
+    /// Log₂ bucket counts over microseconds.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            count: 0,
+            sum_ms: 0.0,
+            min_ms: f64::INFINITY,
+            max_ms: 0.0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DurationHistogram::default()
+    }
+
+    /// Records one observation. Negative or non-finite values are clamped
+    /// to zero — timing noise must never poison the aggregate.
+    pub fn record_ms(&mut self, ms: f64) {
+        let ms = if ms.is_finite() && ms > 0.0 { ms } else { 0.0 };
+        self.count += 1;
+        self.sum_ms += ms;
+        if ms < self.min_ms {
+            self.min_ms = ms;
+        }
+        if ms > self.max_ms {
+            self.max_ms = ms;
+        }
+        let us = (ms * 1e3) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation in milliseconds; `0` when empty.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, in milliseconds) of the smallest bucket
+    /// prefix covering at least `q` (in `[0, 1]`) of the observations —
+    /// a bucket-resolution quantile estimate. `0` when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return (1u64 << (i + 1)) as f64 / 1e3;
+            }
+        }
+        self.max_ms
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.min_ms = self.min_ms.min(other.min_ms);
+        self.max_ms = self.max_ms.max(other.max_ms);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_track_count_sum_and_extrema() {
+        let mut h = DurationHistogram::new();
+        h.record_ms(1.0);
+        h.record_ms(4.0);
+        h.record_ms(0.25);
+        assert_eq!(h.count, 3);
+        assert!((h.sum_ms - 5.25).abs() < 1e-12);
+        assert_eq!(h.min_ms, 0.25);
+        assert_eq!(h.max_ms, 4.0);
+        assert!((h.mean_ms() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_observations_are_clamped() {
+        let mut h = DurationHistogram::new();
+        h.record_ms(f64::NAN);
+        h.record_ms(-5.0);
+        h.record_ms(f64::INFINITY);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min_ms, 0.0);
+        assert_eq!(h.max_ms, 0.0);
+    }
+
+    #[test]
+    fn quantile_is_a_bucket_upper_bound() {
+        let mut h = DurationHistogram::new();
+        for _ in 0..99 {
+            h.record_ms(0.001); // 1 us → bucket 0
+        }
+        h.record_ms(1000.0); // 1 s
+        let p50 = h.quantile_ms(0.5);
+        assert!(p50 <= 0.01, "p50 stays in the small buckets, got {p50}");
+        assert!(h.quantile_ms(1.0) >= 1000.0 || h.quantile_ms(1.0) >= h.max_ms);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = DurationHistogram::new();
+        a.record_ms(1.0);
+        let mut b = DurationHistogram::new();
+        b.record_ms(3.0);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.max_ms, 3.0);
+        assert_eq!(a.min_ms, 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Telemetry sinks: where spans, counters and histograms go.
+//!
+//! The default [`NoopSink`] reports itself disabled, so instrumentation
+//! sites skip all formatting work and a span guard is a single branch.
+//! The [`RecordingSink`] keeps spans in per-thread buffers (sharded by the
+//! dense thread id, so concurrent workers almost never contend on one
+//! lock) and merges them into a single time-sorted [`TraceReport`] at
+//! drain time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::metrics::DurationHistogram;
+use crate::span::SpanRecord;
+
+/// A telemetry backend.
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// `false` lets instrumentation sites skip all work; the other methods
+    /// are then never called by [`crate::Telemetry`].
+    fn enabled(&self) -> bool;
+
+    /// Accepts one finished span.
+    fn span(&self, record: SpanRecord);
+
+    /// Adds `delta` to the counter `name`.
+    fn count(&self, name: &str, delta: u64);
+
+    /// Records one observation into the duration histogram `name`.
+    fn duration_ms(&self, name: &str, ms: f64);
+}
+
+/// The free sink: always disabled, records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span(&self, _record: SpanRecord) {}
+
+    fn count(&self, _name: &str, _delta: u64) {}
+
+    fn duration_ms(&self, _name: &str, _ms: f64) {}
+}
+
+/// Span-buffer shards: each thread writes to `shards[thread_id % SHARDS]`,
+/// so up to this many workers record concurrently without contending.
+const SHARDS: usize = 16;
+
+/// An in-memory sink for tests and the CLI's `--trace-out` path.
+pub struct RecordingSink {
+    shards: [Mutex<Vec<SpanRecord>>; SHARDS],
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, DurationHistogram>>,
+}
+
+impl fmt::Debug for RecordingSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecordingSink").finish_non_exhaustive()
+    }
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        RecordingSink::new()
+    }
+}
+
+impl RecordingSink {
+    /// An empty recording sink.
+    pub fn new() -> Self {
+        RecordingSink {
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Moves everything recorded so far into a [`TraceReport`], with the
+    /// per-thread span buffers merged and sorted by `(start, id)`. The
+    /// sink keeps recording afterwards (a second drain returns only what
+    /// arrived in between).
+    pub fn drain(&self) -> TraceReport {
+        let mut spans = Vec::new();
+        for shard in &self.shards {
+            spans.append(&mut shard.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then_with(|| a.id.cmp(&b.id)));
+        let counters =
+            std::mem::take(&mut *self.counters.lock().unwrap_or_else(|e| e.into_inner()));
+        let histograms =
+            std::mem::take(&mut *self.histograms.lock().unwrap_or_else(|e| e.into_inner()));
+        TraceReport { spans, counters, histograms }
+    }
+}
+
+impl Sink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&self, record: SpanRecord) {
+        let shard = record.thread as usize % SHARDS;
+        self.shards[shard].lock().unwrap_or_else(|e| e.into_inner()).push(record);
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        match counters.get_mut(name) {
+            Some(value) => *value += delta,
+            None => {
+                counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    fn duration_ms(&self, name: &str, ms: f64) {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        match histograms.get_mut(name) {
+            Some(histogram) => histogram.record_ms(ms),
+            None => {
+                let mut histogram = DurationHistogram::new();
+                histogram.record_ms(ms);
+                histograms.insert(name.to_owned(), histogram);
+            }
+        }
+    }
+}
+
+/// Everything one [`RecordingSink::drain`] produced: time-sorted spans,
+/// counters and duration histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// All finished spans, sorted by `(start_us, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Duration histograms by name.
+    pub histograms: BTreeMap<String, DurationHistogram>,
+}
+
+impl TraceReport {
+    /// Number of spans whose name equals `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Checks structural well-formedness: every span has a non-negative
+    /// duration, ids are unique, and every parent reference points to an
+    /// enclosing span on the same thread. Returns the first violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed span.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let mut by_id: BTreeMap<u64, &SpanRecord> = BTreeMap::new();
+        for span in &self.spans {
+            if span.duration_us < 0.0 || span.duration_us.is_nan() {
+                return Err(format!("span `{}` has negative duration", span.name));
+            }
+            if by_id.insert(span.id, span).is_some() {
+                return Err(format!("duplicate span id {}", span.id));
+            }
+        }
+        for span in &self.spans {
+            let Some(parent_id) = span.parent else { continue };
+            let Some(parent) = by_id.get(&parent_id) else {
+                return Err(format!("span `{}` references missing parent {parent_id}", span.name));
+            };
+            if parent.thread != span.thread {
+                return Err(format!(
+                    "span `{}` (thread {}) has cross-thread parent `{}` (thread {})",
+                    span.name, span.thread, parent.name, parent.thread
+                ));
+            }
+            if span.start_us < parent.start_us || span.end_us() > parent.end_us() + 1.0 {
+                // +1 us of slack: the child's interval is measured with its
+                // own `Instant`, so the conversion to shared-epoch floats
+                // can disagree with the parent's by sub-microsecond noise.
+                return Err(format!(
+                    "span `{}` [{:.1}, {:.1}] escapes parent `{}` [{:.1}, {:.1}]",
+                    span.name,
+                    span.start_us,
+                    span.end_us(),
+                    parent.name,
+                    parent.start_us,
+                    parent.end_us()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn drain_merges_thread_buffers_sorted() {
+        let (telemetry, sink) = Telemetry::recording();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let telemetry = telemetry.clone();
+                scope.spawn(move || {
+                    let _span = telemetry.span(format!("w{i}"), "test");
+                    telemetry.count("work", 1);
+                });
+            }
+        });
+        let report = sink.drain();
+        assert_eq!(report.spans.len(), 4);
+        assert!(report.spans.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+        assert_eq!(report.counters["work"], 4);
+        report.check_well_formed().expect("well-formed");
+        // A second drain starts empty.
+        assert!(sink.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn well_formedness_catches_cross_thread_parents() {
+        let mut report = TraceReport::default();
+        let base = SpanRecord {
+            id: 1,
+            parent: None,
+            name: "a".into(),
+            category: "test",
+            thread: 1,
+            start_us: 0.0,
+            duration_us: 100.0,
+            args: Vec::new(),
+        };
+        let mut child = base.clone();
+        child.id = 2;
+        child.parent = Some(1);
+        child.thread = 2;
+        child.duration_us = 10.0;
+        report.spans = vec![base, child];
+        assert!(report.check_well_formed().unwrap_err().contains("cross-thread"));
+    }
+
+    #[test]
+    fn histograms_accumulate_by_name() {
+        let (telemetry, sink) = Telemetry::recording();
+        telemetry.duration_ms("solve", 1.0);
+        telemetry.duration_ms("solve", 3.0);
+        let report = sink.drain();
+        assert_eq!(report.histograms["solve"].count, 2);
+        assert_eq!(report.histograms["solve"].max_ms, 3.0);
+    }
+}
