@@ -13,6 +13,9 @@
 //! decisive spfm table.json                 # metrics of a saved FMEA table
 //! decisive render model.json [--dot]       # ASCII tree or Graphviz DOT
 //! decisive monitor model.json              # generated runtime checks
+//! decisive serve --cache .dc               # daemon: line-JSON requests on stdin/stdout
+//! decisive serve --socket /tmp/d.sock      # daemon on a unix socket (concurrent sessions)
+//! decisive serve --watch design.bd         # re-run the pipeline on every file change
 //! ```
 //!
 //! Observability: `analyze`, `pipeline` and `rerun` accept
@@ -73,6 +76,7 @@ fn main() -> ExitCode {
         Some("monitor") => cmd_monitor(&args[1..]),
         Some("impact") => cmd_impact(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--version" | "-V") => {
             println!("decisive {}", env!("CARGO_PKG_VERSION"));
             Ok(())
@@ -107,12 +111,14 @@ fn print_usage() {
          decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict] [--trace-out <trace.json>] [--metrics]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
-         decisive trace <model.json>\n  decisive --version"
+         decisive trace <model.json>\n  \
+         decisive serve [--socket <path>|--watch <model>] [--poll-ms <ms>] [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--mission-hours <h>] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive --version"
     );
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 10] = [
+const VALUE_FLAGS: [&str; 13] = [
     "--algorithm",
     "--csv",
     "--json",
@@ -123,6 +129,9 @@ const VALUE_FLAGS: [&str; 10] = [
     "--mission-hours",
     "--trace-out",
     "--format",
+    "--socket",
+    "--watch",
+    "--poll-ms",
 ];
 
 /// How a verb renders its result: the historical text rendering (the
@@ -298,6 +307,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let model = load(path)?;
     let top = top_of(&model)?;
     let (mut engine, sink) = engine_from_flags(args)?;
+    install_interrupt_flush(args, sink.as_ref());
     // The trace is flushed even when the analysis fails — that is when
     // the spans are most interesting.
     let result = (|| {
@@ -360,6 +370,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
         None => 10_000.0,
     };
     let (mut engine, sink) = engine_from_flags(args)?;
+    install_interrupt_flush(args, sink.as_ref());
     let result = run_pipeline_verb(path, args, format, mission_hours, &mut engine);
     finish_observability(args, sink)?;
     result
@@ -533,6 +544,7 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
     let new_model = load(new_path)?;
     let top = top_of(&new_model)?;
     let (mut engine, sink) = engine_from_flags(args)?;
+    install_interrupt_flush(args, sink.as_ref());
     let result = (|| {
         let (table, report) =
             engine.rerun(&old_model, &new_model, top).map_err(|e| e.to_string())?;
@@ -556,6 +568,7 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
 fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
     let format = output_format(args)?;
     let (mut engine, sink) = engine_from_flags(args)?;
+    install_interrupt_flush(args, sink.as_ref());
     let result = (|| {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
@@ -696,16 +709,49 @@ fn engine_from_flags(args: &[String]) -> Result<(Engine, Option<Arc<RecordingSin
 /// stderr so `--format json` stdout stays a single parseable document.
 fn finish_observability(args: &[String], sink: Option<Arc<RecordingSink>>) -> Result<(), CliError> {
     let Some(sink) = sink else { return Ok(()) };
+    flush_observability(
+        flag_value(args, "--trace-out"),
+        args.iter().any(|a| a == "--metrics"),
+        &sink,
+    )
+}
+
+/// The flush itself, shared by the normal end-of-run path and the
+/// interrupt watchdog.
+fn flush_observability(
+    trace_out: Option<&str>,
+    metrics: bool,
+    sink: &RecordingSink,
+) -> Result<(), CliError> {
     let report = sink.drain();
-    if let Some(out) = flag_value(args, "--trace-out") {
+    if let Some(out) = trace_out {
         std::fs::write(out, report.to_chrome_json())
             .map_err(|e| CliError::Failure(format!("{out}: {e}")))?;
         eprintln!("# trace: {} span(s) written to {out}", report.spans.len());
     }
-    if args.iter().any(|a| a == "--metrics") {
+    if metrics {
         println!("OBS_metrics {}", report.metrics_json());
     }
     Ok(())
+}
+
+/// Arms the SIGINT/SIGTERM watchdog for a one-shot verb: on interrupt the
+/// recording sink is drained and flushed — a valid (partial) trace beats
+/// a missing or truncated one — before the process exits with 130. A
+/// no-op when no observability was requested.
+fn install_interrupt_flush(args: &[String], sink: Option<&Arc<RecordingSink>>) {
+    let Some(sink) = sink else { return };
+    let sink = sink.clone();
+    let trace_out = flag_value(args, "--trace-out").map(str::to_owned);
+    let metrics = args.iter().any(|a| a == "--metrics");
+    decisive::serve::interrupt::install();
+    decisive::serve::interrupt::watchdog(move || {
+        if let Err(CliError::Failure(message) | CliError::Usage(message)) =
+            flush_observability(trace_out.as_deref(), metrics, &sink)
+        {
+            eprintln!("error: {message}");
+        }
+    });
 }
 
 /// Prints a table as CSV with its SPFM summary line, honouring the
@@ -818,6 +864,128 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
     let gaps = report.iter().filter(|e| e.is_unassociated()).count();
     println!("# {} failure mode(s), {} without a hazard association", report.len(), gaps);
     Ok(())
+}
+
+/// `decisive serve`: the persistent analysis daemon. Default transport is
+/// line-JSON on stdin/stdout; `--socket <path>` listens on a unix socket
+/// (many concurrent connections, each multiplexing any number of
+/// sessions); `--watch <model>` re-runs the pipeline on every mtime
+/// change of the model file and streams the results. The engine flags
+/// (`--cache`, `--jobs`, `--deadline-ms`, `--reliability`,
+/// `--mission-hours`) set daemon-wide defaults; requests can override
+/// reliability and mission time per call.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "serve",
+        args,
+        &[
+            "--socket",
+            "--watch",
+            "--poll-ms",
+            "--cache",
+            "--jobs",
+            "--deadline-ms",
+            "--reliability",
+            "--mission-hours",
+            "--trace-out",
+            "--metrics",
+        ],
+    )?;
+    if !positionals(args).is_empty() {
+        return Err(CliError::usage(
+            "`decisive serve` takes no positional arguments (requests carry their model paths)",
+        ));
+    }
+    let socket = flag_value(args, "--socket");
+    let watch_path = flag_value(args, "--watch");
+    if socket.is_some() && watch_path.is_some() {
+        return Err(CliError::usage("--socket and --watch are mutually exclusive"));
+    }
+    if flag_value(args, "--poll-ms").is_some() && watch_path.is_none() {
+        return Err(CliError::usage("--poll-ms only applies to --watch mode"));
+    }
+    let poll_ms = match flag_value(args, "--poll-ms") {
+        Some(ms) => ms.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+            CliError::usage(format!("--poll-ms wants a positive integer, got `{ms}`"))
+        })?,
+        None => 250,
+    };
+    let jobs = match flag_value(args, "--jobs") {
+        Some(n) => Some(n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            CliError::usage(format!("--jobs wants a positive integer, got `{n}`"))
+        })?),
+        None => None,
+    };
+    let deadline_ms = match flag_value(args, "--deadline-ms") {
+        Some(ms) => {
+            Some(ms.parse::<f64>().ok().filter(|&ms| ms > 0.0 && ms.is_finite()).ok_or_else(
+                || CliError::usage(format!("--deadline-ms wants a positive number, got `{ms}`")),
+            )?)
+        }
+        None => None,
+    };
+    let mission_hours = match flag_value(args, "--mission-hours") {
+        Some(h) => {
+            Some(h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(|| {
+                CliError::usage(format!("--mission-hours wants a positive number, got `{h}`"))
+            })?)
+        }
+        None => None,
+    };
+    let sink = if flag_value(args, "--trace-out").is_some() || args.iter().any(|a| a == "--metrics")
+    {
+        Some(Telemetry::recording())
+    } else {
+        None
+    };
+    let (telemetry, sink) = match sink {
+        Some((telemetry, sink)) => (telemetry, Some(sink)),
+        None => (Telemetry::noop(), None),
+    };
+    let options = decisive::serve::ServeOptions {
+        jobs,
+        deadline_ms,
+        cache_dir: flag_value(args, "--cache").map(std::path::PathBuf::from),
+        reliability: flag_value(args, "--reliability").map(str::to_owned),
+        mission_hours,
+    };
+    let daemon = decisive::serve::Daemon::new(options, telemetry).map_err(CliError::Failure)?;
+    // The serve loops poll the interrupt flag and exit through their
+    // normal path (persisting the shared store), so no watchdog here —
+    // the flush below runs on interrupt too.
+    decisive::serve::interrupt::install();
+    let served = if let Some(path) = watch_path {
+        let watch_options = decisive::serve::WatchOptions { poll_ms, max_results: None };
+        decisive::serve::watch::watch(
+            &daemon,
+            std::path::Path::new(path),
+            "watch",
+            &watch_options,
+            &mut std::io::stdout(),
+        )
+        .map(|_| ())
+        .and_then(|()| daemon.persist().map_err(std::io::Error::other))
+        .map_err(|e| CliError::Failure(e.to_string()))
+    } else if let Some(path) = socket {
+        serve_on_socket(daemon, path)
+    } else {
+        decisive::serve::daemon::run_stdio(&daemon, std::io::stdin(), std::io::stdout())
+            .map_err(|e| CliError::Failure(e.to_string()))
+    };
+    finish_observability(args, sink)?;
+    served
+}
+
+#[cfg(unix)]
+fn serve_on_socket(daemon: decisive::serve::Daemon, path: &str) -> Result<(), CliError> {
+    eprintln!("# serve: listening on {path}");
+    decisive::serve::daemon::run_socket(&Arc::new(daemon), std::path::Path::new(path))
+        .map_err(|e| CliError::Failure(e.to_string()))
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(_daemon: decisive::serve::Daemon, _path: &str) -> Result<(), CliError> {
+    Err(CliError::Failure("--socket needs a unix platform (use stdio mode)".to_owned()))
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {

@@ -17,6 +17,7 @@
 //! | [`assurance`] | `decisive-assurance` | GSN assurance cases with automated evaluation |
 //! | [`workload`] | `decisive-workload` | evaluation subjects and the simulated analyst |
 //! | [`obs`] | `decisive-obs` | structured tracing + metrics (spans, counters, chrome://tracing export) |
+//! | [`serve`] | `decisive-serve` | persistent analysis daemon: line-JSON protocol, concurrent sessions, watch mode |
 //!
 //! See the repository's `examples/` for runnable walk-throughs, starting
 //! with `quickstart.rs` (the paper's case study end to end), and
@@ -45,7 +46,11 @@
 
 #![warn(missing_docs)]
 
-pub mod output;
+/// The typed output documents (`AnalyzeOutput`, `PipelineOutput`, …)
+/// behind `--format json` and the daemon wire protocol. Hosted by
+/// `decisive-serve`; re-exported here so existing `decisive::output`
+/// users are unaffected.
+pub use decisive_serve::output;
 
 pub use decisive_assurance as assurance;
 pub use decisive_blocks as blocks;
@@ -56,5 +61,6 @@ pub use decisive_federation as federation;
 pub use decisive_fta as fta;
 pub use decisive_hara as hara;
 pub use decisive_obs as obs;
+pub use decisive_serve as serve;
 pub use decisive_ssam as ssam;
 pub use decisive_workload as workload;

@@ -29,6 +29,8 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use decisive_federation::{json, serde_bridge, Value};
 
@@ -96,9 +98,88 @@ struct CacheEntry {
 
 /// An in-memory artefact store keyed by `(kind, fingerprint)`, optionally
 /// persisted to a cache directory.
+///
+/// A store may be layered over a [`SharedStore`]: its own entries then act
+/// as a private *overlay* — lookups fall back to the shared layer on a
+/// local miss, and stores write through to it — so many stores (one per
+/// daemon session) deduplicate artefacts across sessions while keeping
+/// invalidation and persistence local. See [`CacheStore::attach_shared`].
 #[derive(Debug, Clone, Default)]
 pub struct CacheStore {
     entries: HashMap<(ArtifactKind, Fingerprint), CacheEntry>,
+    shared: Option<SharedStore>,
+}
+
+/// A thread-safe artefact store shared by many [`CacheStore`] overlays —
+/// the cross-session dedup layer of the analysis daemon.
+///
+/// Content addressing is what makes sharing sound: a `(kind, fingerprint)`
+/// key commits to *all* inputs of its artefact, so an entry computed by one
+/// session is, by construction, the entry every other session would compute
+/// for that key. The shared layer therefore only ever grows during a run
+/// (overlays garbage-collect their private entries; the shared layer is
+/// rebuilt from a persisted snapshot on daemon start).
+///
+/// Clones are handles onto the same underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    entries: Arc<Mutex<HashMap<(ArtifactKind, Fingerprint), CacheEntry>>>,
+    hits: Arc<AtomicU64>,
+}
+
+impl SharedStore {
+    /// An empty shared layer.
+    pub fn new() -> Self {
+        SharedStore::default()
+    }
+
+    /// Number of shared artefacts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("shared store poisoned").len()
+    }
+
+    /// `true` when nothing is shared yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many lookups were served by this layer after missing the
+    /// requesting overlay — the cross-session dedup win.
+    pub fn shared_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Bulk-imports every entry of `store` (an overlay or a persisted
+    /// snapshot) into the shared layer; returns how many were added.
+    pub fn absorb(&self, store: &CacheStore) -> usize {
+        let mut entries = self.entries.lock().expect("shared store poisoned");
+        let before = entries.len();
+        for (key, entry) in &store.entries {
+            entries.entry(*key).or_insert_with(|| entry.clone());
+        }
+        entries.len() - before
+    }
+
+    /// A plain [`CacheStore`] copy of the shared contents (shared layer
+    /// detached), for persistence via [`CacheStore::save`].
+    pub fn snapshot(&self) -> CacheStore {
+        CacheStore {
+            entries: self.entries.lock().expect("shared store poisoned").clone(),
+            shared: None,
+        }
+    }
+
+    fn get_entry(&self, kind: ArtifactKind, key: Fingerprint) -> Option<CacheEntry> {
+        let entry = self.entries.lock().expect("shared store poisoned").get(&(kind, key)).cloned();
+        if entry.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        entry
+    }
+
+    fn put_entry(&self, kind: ArtifactKind, key: Fingerprint, entry: CacheEntry) {
+        self.entries.lock().expect("shared store poisoned").insert((kind, key), entry);
+    }
 }
 
 /// File name of the persisted store inside a cache directory.
@@ -204,7 +285,22 @@ impl CacheStore {
         self.entries.keys().filter(|(k, _)| *k == kind).count()
     }
 
-    /// Fetches and deserialises a cached artefact.
+    /// Layers this store over `shared`: lookups missing the local entries
+    /// fall back to the shared layer (counted by
+    /// [`SharedStore::shared_hits`]) and stores write through to it.
+    /// Persistence ([`CacheStore::to_value`], [`CacheStore::save`]) and
+    /// invalidation stay strictly local.
+    pub fn attach_shared(&mut self, shared: SharedStore) {
+        self.shared = Some(shared);
+    }
+
+    /// The shared layer this store is an overlay of, if any.
+    pub fn shared(&self) -> Option<&SharedStore> {
+        self.shared.as_ref()
+    }
+
+    /// Fetches and deserialises a cached artefact, falling back to the
+    /// attached shared layer on a local miss.
     ///
     /// Returns `None` both on a missing key and on a shape mismatch (a
     /// corrupt entry is treated as a miss and recomputed).
@@ -213,12 +309,17 @@ impl CacheStore {
         kind: ArtifactKind,
         key: Fingerprint,
     ) -> Option<T> {
-        let entry = self.entries.get(&(kind, key))?;
+        if let Some(entry) = self.entries.get(&(kind, key)) {
+            return serde_bridge::from_value(&entry.value).ok();
+        }
+        let entry = self.shared.as_ref()?.get_entry(kind, key)?;
         serde_bridge::from_value(&entry.value).ok()
     }
 
     /// Stores an artefact under `(kind, key)`, owned by the named model
-    /// element (used by [`CacheStore::invalidate_owner`]).
+    /// element (used by [`CacheStore::invalidate_owner`]). With a shared
+    /// layer attached the artefact is also published there, so sibling
+    /// overlays see it.
     pub fn put<T: serde::Serialize>(
         &mut self,
         kind: ArtifactKind,
@@ -228,7 +329,11 @@ impl CacheStore {
     ) -> Result<()> {
         let value = serde_bridge::to_value(artefact)
             .map_err(|e| EngineError::Cache(format!("unserialisable artefact: {e}")))?;
-        self.entries.insert((kind, key), CacheEntry { owner: owner.to_owned(), value });
+        let entry = CacheEntry { owner: owner.to_owned(), value };
+        if let Some(shared) = &self.shared {
+            shared.put_entry(kind, key, entry.clone());
+        }
+        self.entries.insert((kind, key), entry);
         Ok(())
     }
 
@@ -587,6 +692,64 @@ mod tests {
         assert_eq!(warm.len(), 1);
         assert!(report.is_clean(), "{report:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_layer_serves_sibling_overlays() {
+        let shared = SharedStore::new();
+        let mut a = CacheStore::new();
+        a.attach_shared(shared.clone());
+        let mut b = CacheStore::new();
+        b.attach_shared(shared.clone());
+
+        a.put(ArtifactKind::GraphRow, fp("k"), "D1", &41i64).unwrap();
+        assert_eq!(shared.len(), 1, "writes publish to the shared layer");
+        // A's own lookup is a local hit: no shared traffic.
+        assert_eq!(a.get::<i64>(ArtifactKind::GraphRow, fp("k")), Some(41));
+        assert_eq!(shared.shared_hits(), 0);
+        // B misses locally and is served by the shared layer.
+        assert_eq!(b.get::<i64>(ArtifactKind::GraphRow, fp("k")), Some(41));
+        assert_eq!(shared.shared_hits(), 1);
+        // A detached store sees nothing.
+        assert_eq!(CacheStore::new().get::<i64>(ArtifactKind::GraphRow, fp("k")), None);
+    }
+
+    #[test]
+    fn overlay_invalidation_and_persistence_stay_local() {
+        let shared = SharedStore::new();
+        let mut overlay = CacheStore::new();
+        overlay.attach_shared(shared.clone());
+        overlay.put(ArtifactKind::GraphRow, fp("a"), "D1", &1i64).unwrap();
+        overlay.put(ArtifactKind::GraphFacts, fp("b"), "top", &2i64).unwrap();
+
+        assert_eq!(overlay.invalidate_owner("D1"), 1);
+        assert_eq!(shared.len(), 2, "GC of the overlay never touches the shared layer");
+        // The shared copy still serves the invalidated key (content
+        // addressing: same key, same artefact).
+        assert_eq!(overlay.get::<i64>(ArtifactKind::GraphRow, fp("a")), Some(1));
+
+        // to_value persists only the overlay's own entries.
+        let persisted = CacheStore::from_value(&overlay.to_value());
+        assert_eq!(persisted.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_absorb_round_trip_the_shared_layer() {
+        let shared = SharedStore::new();
+        let mut overlay = CacheStore::new();
+        overlay.attach_shared(shared.clone());
+        overlay.put(ArtifactKind::MonitorSet, fp("m"), "model", &7i64).unwrap();
+
+        let snapshot = shared.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert!(snapshot.shared().is_none(), "snapshots are detached");
+
+        let rebuilt = SharedStore::new();
+        assert_eq!(rebuilt.absorb(&snapshot), 1);
+        assert_eq!(rebuilt.absorb(&snapshot), 0, "absorb is idempotent");
+        let mut fresh = CacheStore::new();
+        fresh.attach_shared(rebuilt);
+        assert_eq!(fresh.get::<i64>(ArtifactKind::MonitorSet, fp("m")), Some(7));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use decisive_ssam::architecture::Component;
 use decisive_ssam::id::Idx;
 use decisive_ssam::model::SsamModel;
 
-use crate::cache::{ArtifactKind, CacheStore};
+use crate::cache::{ArtifactKind, CacheStore, SharedStore};
 use crate::error::{EngineError, Result};
 use crate::pass::{
     AnalysisPass, FtaPass, GraphFmeaPass, InjectionFmeaPass, MonitorPass, PassArtifact,
@@ -147,6 +147,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     cache: Option<CacheStore>,
     cache_dir: Option<std::path::PathBuf>,
+    shared: Option<SharedStore>,
     telemetry: Telemetry,
 }
 
@@ -191,6 +192,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Layers the engine's cache over a cross-session [`SharedStore`]:
+    /// the engine's own cache becomes a private overlay, falling back to
+    /// (and publishing into) the shared layer, so sibling engines built
+    /// over the same store deduplicate artefacts by fingerprint. This is
+    /// how the analysis daemon multiplexes sessions.
+    pub fn shared_store(mut self, shared: SharedStore) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
     /// Sets the telemetry sink every analysis reports spans, counters and
     /// histograms to. Defaults to the free no-op handle.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
@@ -211,6 +222,11 @@ impl EngineBuilder {
         engine.telemetry = self.telemetry;
         if let Some(dir) = self.cache_dir {
             engine.load_cache(dir)?;
+        }
+        if let Some(shared) = self.shared {
+            // Attached last: `load_cache` replaces the store wholesale, so
+            // a cache-dir load would otherwise detach the shared layer.
+            engine.cache.attach_shared(shared);
         }
         Ok(engine)
     }
@@ -264,6 +280,22 @@ impl Engine {
     /// Clears the counters (the cache keeps its contents).
     pub fn reset_stats(&mut self) {
         self.stats = EngineStats::default();
+    }
+
+    /// Clears all per-run state — stats, the degraded-mode report and the
+    /// last campaign-health report — while keeping the cache warm. The
+    /// analysis daemon calls this between requests so each response
+    /// reports exactly its own run, as a fresh CLI invocation would.
+    pub fn reset_run_state(&mut self) {
+        self.stats = EngineStats::default();
+        self.degraded = DegradedModeReport::new();
+        self.last_campaign = None;
+    }
+
+    /// The cross-session shared store this engine's cache is layered
+    /// over, if one was attached via [`EngineBuilder::shared_store`].
+    pub fn shared_store(&self) -> Option<&SharedStore> {
+        self.cache.shared()
     }
 
     /// The health report of the most recent supervised injection campaign
@@ -551,6 +583,34 @@ mod tests {
         let facts = engine.stats().phase("graph-facts").unwrap();
         assert_eq!(facts.jobs_executed, 0, "topology unchanged");
         assert_eq!(table, graph::run(&new, new_top, &GraphConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn shared_store_serves_a_second_engine_without_recomputing() {
+        let (model, top) = case_study::ssam_model();
+        let shared = SharedStore::new();
+        let mut first = Engine::builder().jobs(1).shared_store(shared.clone()).build().unwrap();
+        let cold = first.analyze_graph(&model, top).unwrap();
+        assert!(first.stats().jobs_executed() > 0, "first engine does the work");
+
+        let mut second = Engine::builder().jobs(1).shared_store(shared.clone()).build().unwrap();
+        let warm = second.analyze_graph(&model, top).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(second.stats().jobs_executed(), 0, "second engine is pure shared hits");
+        assert_eq!(second.stats().cache_misses(), 0);
+        assert!(shared.shared_hits() > 0);
+    }
+
+    #[test]
+    fn reset_run_state_keeps_the_cache_warm() {
+        let (model, top) = case_study::ssam_model();
+        let mut engine = Engine::new(EngineConfig::with_jobs(1));
+        engine.analyze_graph(&model, top).unwrap();
+        engine.reset_run_state();
+        assert!(engine.stats().phases.is_empty());
+        assert!(engine.campaign_health().is_none());
+        engine.analyze_graph(&model, top).unwrap();
+        assert_eq!(engine.stats().jobs_executed(), 0, "cache survived the reset");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod pipeline;
 pub mod scheduler;
 pub mod stats;
 
-pub use cache::{ArtifactKind, CacheStore};
+pub use cache::{ArtifactKind, CacheStore, SharedStore};
 pub use engine::{Engine, EngineBuilder, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
 
 /// The telemetry substrate, re-exported so engine users configure

@@ -1,0 +1,615 @@
+//! The request loop: parse one line, dispatch it panic-isolated into the
+//! addressed session, answer with exactly one response line.
+//!
+//! [`Daemon`] is transport-agnostic — [`Daemon::handle_line`] maps an
+//! input line to an optional output line and is driven by the stdio loop
+//! ([`run_stdio`]), the unix-socket accept loop ([`run_socket`]) and the
+//! file watcher ([`crate::watch`]). Every failure mode of a request —
+//! junk bytes, a missing model file, an analysis error, a panic — yields
+//! one typed `error` response; nothing a client sends can terminate the
+//! daemon (only `shutdown`, SIGINT or SIGTERM do).
+
+use std::io::{BufRead, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use decisive_core::fmea::injection::InjectionConfig;
+use decisive_core::persist;
+use decisive_core::reliability::ReliabilityDb;
+use decisive_engine::{CacheStore, Engine, Pipeline, PipelineInput, SharedStore};
+use decisive_federation::{serde_bridge, Value};
+use decisive_obs::Telemetry;
+use decisive_ssam::architecture::Component;
+use decisive_ssam::id::Idx;
+use decisive_ssam::model::SsamModel;
+
+use crate::interrupt;
+use crate::output::{AnalyzeOutput, PipelineOutput};
+use crate::protocol::{self, Request, RequestMeta, PROTOCOL_VERSION};
+use crate::session::{Session, SessionRegistry};
+
+/// Daemon configuration, mirroring the engine-relevant CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads per session engine (`None` = engine default).
+    pub jobs: Option<usize>,
+    /// Per-job deadline in milliseconds, forwarded to every session
+    /// engine — this is what keeps one unsolvable request from stalling
+    /// the daemon-wide design loop.
+    pub deadline_ms: Option<f64>,
+    /// Directory the shared store is loaded from on start and persisted
+    /// to on shutdown. `None` keeps the store purely in memory.
+    pub cache_dir: Option<PathBuf>,
+    /// Default reliability CSV for `.bd` analyses; requests may override
+    /// it per call.
+    pub reliability: Option<String>,
+    /// Default FTA mission time in hours (10 000 when unset).
+    pub mission_hours: Option<f64>,
+}
+
+/// The analysis daemon: a session registry over one shared store, plus
+/// the request counters.
+#[derive(Debug)]
+pub struct Daemon {
+    options: ServeOptions,
+    registry: SessionRegistry,
+    telemetry: Telemetry,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+fn lock_session(session: &Arc<Mutex<Session>>) -> std::sync::MutexGuard<'_, Session> {
+    // A panic inside a request poisons the session mutex; the state it
+    // guards is rebuilt per request (stats reset, cache restored by the
+    // pipeline runner), so recover the guard — the session stays usable.
+    match session.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = panic.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = panic.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+fn top_of(model: &SsamModel) -> Result<Idx<Component>, String> {
+    model
+        .components
+        .iter()
+        .find(|(_, c)| c.parent.is_none())
+        .map(|(i, _)| i)
+        .ok_or_else(|| "model has no top-level component".to_owned())
+}
+
+fn to_result<T: serde::Serialize>(document: &T) -> Result<Value, String> {
+    serde_bridge::to_value(document).map_err(|e| e.to_string())
+}
+
+impl Daemon {
+    /// Builds a daemon, loading the persisted shared store from
+    /// `options.cache_dir` when set (corrupt entries are quarantined by
+    /// the engine's audited load, never fatal).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the cache directory exists but
+    /// cannot be read.
+    pub fn new(options: ServeOptions, telemetry: Telemetry) -> Result<Daemon, String> {
+        let shared = SharedStore::new();
+        if let Some(dir) = &options.cache_dir {
+            let snapshot = CacheStore::load(dir).map_err(|e| e.to_string())?;
+            shared.absorb(&snapshot);
+        }
+        let registry =
+            SessionRegistry::new(shared, options.jobs, options.deadline_ms, telemetry.clone());
+        Ok(Daemon {
+            options,
+            registry,
+            telemetry,
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The session registry (for status inspection and tests).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// The cross-session shared artefact store.
+    pub fn shared(&self) -> &SharedStore {
+        self.registry.shared()
+    }
+
+    /// Lines handled so far (requests plus malformed lines).
+    pub fn requests_handled(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// `true` once a `shutdown` request was accepted; the transport loops
+    /// poll this and exit.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Persists the shared store into the configured cache directory (a
+    /// no-op without one). Idempotent; called by `shutdown` and by every
+    /// transport loop on its way out.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on I/O failure.
+    pub fn persist(&self) -> Result<(), String> {
+        let Some(dir) = &self.options.cache_dir else { return Ok(()) };
+        self.shared().snapshot().save(dir).map_err(|e| e.to_string())
+    }
+
+    /// Handles one wire line: `None` for blank input, otherwise exactly
+    /// one response line. Panics inside the request are caught and
+    /// reported as `error` responses — the daemon (and the session)
+    /// survive any input.
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count("serve.requests", 1);
+        let shared_hits_before = self.shared().shared_hits();
+        let started = Instant::now();
+        let response = match protocol::parse_request(line) {
+            Err(e) => protocol::error_response(e.id, e.session.as_deref(), &e.message),
+            Ok(request) => {
+                let meta = request.meta().clone();
+                let op = request.op();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut span = self.telemetry.span(format!("request:{op}"), "serve");
+                    span.arg("session", meta.session.as_str());
+                    self.dispatch(&request)
+                }));
+                match outcome {
+                    Ok(Ok(result)) => {
+                        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                        protocol::ok_response(&meta, op, wall_ms, result)
+                    }
+                    Ok(Err(message)) => {
+                        protocol::error_response(meta.id, Some(&meta.session), &message)
+                    }
+                    Err(panic) => protocol::error_response(
+                        meta.id,
+                        Some(&meta.session),
+                        &format!("request panicked: {}", panic_message(panic.as_ref())),
+                    ),
+                }
+            }
+        };
+        let shared_delta = self.shared().shared_hits().saturating_sub(shared_hits_before);
+        if shared_delta > 0 {
+            self.telemetry.count("serve.cache_shared_hits", shared_delta);
+        }
+        self.telemetry.duration_ms("serve.request_ms", started.elapsed().as_secs_f64() * 1e3);
+        Some(response)
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Value, String> {
+        match request {
+            Request::Analyze { meta, path, reliability } => {
+                self.run_analyze(meta, path, reliability.as_deref())
+            }
+            Request::Pipeline { meta, path, reliability, mission_hours } => {
+                self.run_pipeline(meta, path, reliability.as_deref(), *mission_hours)
+            }
+            Request::Status { .. } => Ok(self.status_value()),
+            Request::Shutdown { .. } => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.persist()?;
+                Ok(Value::record([("stopping", Value::Bool(true))]))
+            }
+        }
+    }
+
+    /// Resolves the effective reliability database: the request override,
+    /// else the daemon default, else the paper's Table II. Files load
+    /// leniently — defects degrade into the session's report, exactly as
+    /// the non-`--strict` CLI does.
+    fn load_reliability(&self, override_csv: Option<&str>, engine: &mut Engine) -> ReliabilityDb {
+        let Some(csv) = override_csv.or(self.options.reliability.as_deref()) else {
+            return ReliabilityDb::paper_table_ii();
+        };
+        match std::fs::read_to_string(csv) {
+            Ok(text) => {
+                let load = ReliabilityDb::from_csv_str_lenient(&text, csv);
+                let degraded = engine.degraded_report_mut();
+                degraded.substituted_fits.extend(load.substitutions);
+                degraded.notes.extend(load.diagnostics.iter().map(ToString::to_string));
+                load.db
+            }
+            Err(e) => {
+                engine
+                    .degraded_report_mut()
+                    .unresolved_references
+                    .push(format!("{csv}: {e}; used paper Table II defaults"));
+                ReliabilityDb::paper_table_ii()
+            }
+        }
+    }
+
+    fn run_analyze(
+        &self,
+        meta: &RequestMeta,
+        path: &str,
+        reliability: Option<&str>,
+    ) -> Result<Value, String> {
+        let session = self.registry.get_or_create(&meta.session)?;
+        let mut session = lock_session(&session);
+        session.requests += 1;
+        let engine = &mut session.engine;
+        // Each response reports exactly its own run, as a fresh CLI
+        // invocation would; the cache overlay stays warm.
+        engine.reset_run_state();
+        let table = if path.ends_with(".bd") {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let diagram = decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+            let reliability = self.load_reliability(reliability, engine);
+            engine
+                .analyze_injection(&diagram, &reliability, &InjectionConfig::default())
+                .map_err(|e| e.to_string())?
+        } else {
+            let model = persist::load_model(path).map_err(|e| e.to_string())?;
+            let top = top_of(&model)?;
+            engine.analyze_graph(&model, top).map_err(|e| e.to_string())?
+        };
+        to_result(&AnalyzeOutput::new(table, engine))
+    }
+
+    fn run_pipeline(
+        &self,
+        meta: &RequestMeta,
+        path: &str,
+        reliability: Option<&str>,
+        mission_hours: Option<f64>,
+    ) -> Result<Value, String> {
+        let session = self.registry.get_or_create(&meta.session)?;
+        let mut session = lock_session(&session);
+        session.requests += 1;
+        let engine = &mut session.engine;
+        engine.reset_run_state();
+        let mission_hours = mission_hours.or(self.options.mission_hours).unwrap_or(10_000.0);
+        // Both arms keep the loaded data alive for the borrow-carrying
+        // input, the same shape as the CLI's pipeline verb.
+        let diagram;
+        let reliability_db;
+        let model;
+        let (pipeline, input) = if path.ends_with(".bd") {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            diagram = decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+            reliability_db = self.load_reliability(reliability, engine);
+            let mut ssam = decisive_blocks::to_ssam(&diagram);
+            reliability_db.aggregate_into(&mut ssam);
+            model = ssam;
+            let top = top_of(&model)?;
+            let input = PipelineInput::for_model(&model, top)
+                .with_diagram(&diagram, &reliability_db)
+                .with_mission_hours(mission_hours);
+            (Pipeline::standard(true), input)
+        } else {
+            model = persist::load_model(path).map_err(|e| e.to_string())?;
+            let top = top_of(&model)?;
+            let input = PipelineInput::for_model(&model, top).with_mission_hours(mission_hours);
+            (Pipeline::standard(false), input)
+        };
+        let run = engine.run_pipeline(&pipeline, &input).map_err(|e| e.to_string())?;
+        to_result(&PipelineOutput::new(&run, engine))
+    }
+
+    fn status_value(&self) -> Value {
+        let sessions: Vec<Value> = self
+            .registry
+            .sessions()
+            .iter()
+            .map(|session| {
+                let session = lock_session(session);
+                Value::record([
+                    ("name", Value::from(session.name.as_str())),
+                    ("requests", Value::Int(session.requests as i64)),
+                    ("overlay_entries", Value::Int(session.engine.cache().len() as i64)),
+                ])
+            })
+            .collect();
+        Value::record([
+            ("protocol", Value::Int(PROTOCOL_VERSION)),
+            ("requests_handled", Value::Int(self.requests_handled() as i64)),
+            ("sessions", Value::List(sessions)),
+            ("shared_entries", Value::Int(self.shared().len() as i64)),
+            ("shared_hits", Value::Int(self.shared().shared_hits() as i64)),
+        ])
+    }
+}
+
+/// Drives a daemon from a line-oriented reader to a writer — the
+/// stdin/stdout transport. Returns after a `shutdown` request, on EOF, or
+/// when [`interrupt::interrupted`] trips (the reader thread is detached;
+/// a blocked read never delays shutdown), persisting the shared store on
+/// every path.
+///
+/// # Errors
+///
+/// I/O failure on the output side, or a failed final persist.
+pub fn run_stdio<R, W>(daemon: &Daemon, input: R, mut output: W) -> std::io::Result<()>
+where
+    R: Read + Send + 'static,
+    W: Write,
+{
+    let (sender, receiver) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let reader = std::io::BufReader::new(input);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if sender.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    loop {
+        if daemon.shutdown_requested() || interrupt::interrupted() {
+            break;
+        }
+        match receiver.recv_timeout(std::time::Duration::from_millis(interrupt::POLL_MS)) {
+            Ok(line) => {
+                if let Some(response) = daemon.handle_line(&line) {
+                    writeln!(output, "{response}")?;
+                    output.flush()?;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    daemon.persist().map_err(std::io::Error::other)
+}
+
+/// Serves a daemon on a unix socket: a non-blocking accept loop, one
+/// thread per connection, every connection multiplexing any number of
+/// sessions. Returns after `shutdown`/interrupt, removing the socket file
+/// and persisting the shared store.
+///
+/// # Errors
+///
+/// Socket setup or accept failure, or a failed final persist.
+#[cfg(unix)]
+pub fn run_socket(daemon: &Arc<Daemon>, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let mut workers = Vec::new();
+    while !daemon.shutdown_requested() && !interrupt::interrupted() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = daemon.clone();
+                workers.push(std::thread::spawn(move || serve_connection(&daemon, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(interrupt::POLL_MS));
+            }
+            Err(e) => {
+                std::fs::remove_file(path).ok();
+                return Err(e);
+            }
+        }
+    }
+    for worker in workers {
+        worker.join().ok();
+    }
+    std::fs::remove_file(path).ok();
+    daemon.persist().map_err(std::io::Error::other)
+}
+
+/// One connection: reads newline-delimited frames with a short read
+/// timeout (so a quiet connection still notices daemon shutdown), writes
+/// one response line per frame.
+#[cfg(unix)]
+fn serve_connection(daemon: &Daemon, mut stream: std::os::unix::net::UnixStream) {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(interrupt::POLL_MS))).ok();
+    let mut pending = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if daemon.shutdown_requested() || interrupt::interrupted() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+                    let frame: Vec<u8> = pending.drain(..=newline).collect();
+                    let line = String::from_utf8_lossy(&frame[..newline]);
+                    if let Some(response) = daemon.handle_line(&line) {
+                        if writeln!(stream, "{response}").is_err() {
+                            return;
+                        }
+                    }
+                    if daemon.shutdown_requested() {
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_federation::json;
+
+    fn daemon() -> Daemon {
+        Daemon::new(ServeOptions { jobs: Some(1), ..ServeOptions::default() }, Telemetry::noop())
+            .unwrap()
+    }
+
+    fn model_file(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("decisive_serve_{}_{name}", std::process::id()));
+        let (model, _) = decisive_core::case_study::ssam_model();
+        persist::save_model(&model, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let daemon = daemon();
+        assert_eq!(daemon.handle_line(""), None);
+        assert_eq!(daemon.handle_line("   \t "), None);
+        assert_eq!(daemon.requests_handled(), 0);
+    }
+
+    #[test]
+    fn junk_yields_one_error_and_the_daemon_survives() {
+        let daemon = daemon();
+        let response = daemon.handle_line("definitely not json").unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        // Still serving after the junk.
+        let response = daemon.handle_line(r#"{"op":"status"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(daemon.requests_handled(), 2);
+    }
+
+    #[test]
+    fn analyze_request_round_trips_and_warms_the_session() {
+        let daemon = daemon();
+        let path = model_file("analyze.json");
+        let request =
+            format!(r#"{{"op":"analyze","id":1,"session":"s1","path":"{}"}}"#, path.display());
+        let response = daemon.handle_line(&request).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true), "{response}");
+        assert_eq!(parsed.get("id").and_then(Value::as_i64), Some(1));
+        assert_eq!(parsed.get("session").and_then(Value::as_str), Some("s1"));
+        let result = parsed.get("result").unwrap();
+        assert!(result.get("metrics").is_some());
+        // Second session, same model: served from the shared store.
+        let request =
+            format!(r#"{{"op":"analyze","id":2,"session":"s2","path":"{}"}}"#, path.display());
+        let response = daemon.handle_line(&request).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        let stats = parsed.get("result").unwrap().get("stats").unwrap();
+        let executed: i64 = stats
+            .get("phases")
+            .and_then(|p| match p {
+                Value::List(items) => Some(
+                    items
+                        .iter()
+                        .filter_map(|i| i.get("jobs_executed").and_then(Value::as_i64))
+                        .sum(),
+                ),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(executed, 0, "zero recomputed artifacts in the second session");
+        assert!(daemon.shared().shared_hits() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error_response_not_a_death() {
+        let daemon = daemon();
+        let response =
+            daemon.handle_line(r#"{"op":"pipeline","id":9,"path":"/no/such/model.json"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(parsed.get("id").and_then(Value::as_i64), Some(9));
+        assert!(parsed.get("error").and_then(Value::as_str).is_some());
+        assert!(!daemon.shutdown_requested());
+    }
+
+    #[test]
+    fn status_reports_sessions_and_shared_state() {
+        let daemon = daemon();
+        let path = model_file("status.json");
+        daemon
+            .handle_line(&format!(
+                r#"{{"op":"analyze","session":"a","path":"{}"}}"#,
+                path.display()
+            ))
+            .unwrap();
+        let response = daemon.handle_line(r#"{"op":"status"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        let result = parsed.get("result").unwrap();
+        assert_eq!(result.get("protocol").and_then(Value::as_i64), Some(PROTOCOL_VERSION));
+        assert!(result.get("shared_entries").and_then(Value::as_i64).unwrap() > 0);
+        let Some(Value::List(sessions)) = result.get("sessions") else { panic!("sessions") };
+        assert!(sessions.iter().any(|s| s.get("name").and_then(Value::as_str) == Some("a")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag_and_persists() {
+        let dir = std::env::temp_dir().join(format!("decisive_serve_shut_{}", std::process::id()));
+        let daemon = Daemon::new(
+            ServeOptions { jobs: Some(1), cache_dir: Some(dir.clone()), ..ServeOptions::default() },
+            Telemetry::noop(),
+        )
+        .unwrap();
+        let path = model_file("shutdown.json");
+        daemon.handle_line(&format!(r#"{{"op":"analyze","path":"{}"}}"#, path.display())).unwrap();
+        let response = daemon.handle_line(r#"{"op":"shutdown","id":"bye"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(daemon.shutdown_requested());
+        // A fresh daemon over the same cache dir starts warm.
+        let revived = Daemon::new(
+            ServeOptions { jobs: Some(1), cache_dir: Some(dir.clone()), ..ServeOptions::default() },
+            Telemetry::noop(),
+        )
+        .unwrap();
+        assert!(!revived.shared().is_empty());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_counters_and_latency_are_recorded() {
+        let (telemetry, sink) = Telemetry::recording();
+        let daemon =
+            Daemon::new(ServeOptions { jobs: Some(1), ..ServeOptions::default() }, telemetry)
+                .unwrap();
+        let path = model_file("counters.json");
+        let line = format!(r#"{{"op":"analyze","session":"x","path":"{}"}}"#, path.display());
+        daemon.handle_line(&line).unwrap();
+        let line = format!(r#"{{"op":"analyze","session":"y","path":"{}"}}"#, path.display());
+        daemon.handle_line(&line).unwrap();
+        let report = sink.drain();
+        assert_eq!(report.counters.get("serve.requests"), Some(&2));
+        assert_eq!(report.counters.get("serve.sessions"), Some(&2));
+        assert!(report.counters.get("serve.cache_shared_hits").copied().unwrap_or(0) > 0);
+        let latency = report.histograms.get("serve.request_ms").expect("latency histogram");
+        assert_eq!(latency.count, 2);
+        assert!(report.spans.iter().any(|s| s.name == "request:analyze"
+            && s.args.iter().any(|(k, v)| k == "session" && v == "y")));
+        std::fs::remove_file(&path).ok();
+    }
+}

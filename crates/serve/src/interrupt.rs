@@ -1,0 +1,98 @@
+//! SIGINT/SIGTERM handling: a process-wide flag set from the signal
+//! handler and polled by every serve loop, so an interrupted daemon (or
+//! one-shot CLI run) still flushes its trace, prints its metrics and
+//! persists the shared store instead of dying with a truncated file.
+//!
+//! The handler does the only async-signal-safe thing possible — it stores
+//! one atomic bool. Everything observable (flushing, persistence, the
+//! exit code) happens on normal threads: serve loops poll
+//! [`interrupted`] between requests and unwind through their regular
+//! shutdown path; one-shot CLI verbs spawn a [`watchdog`] thread that
+//! performs the flush and exits, because their analysis may be blocked in
+//! compute for seconds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// How often pollers should wake to notice an interrupt, in milliseconds.
+pub const POLL_MS: u64 = 25;
+
+#[cfg(unix)]
+extern "C" fn mark_interrupted(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handler (unix only; a no-op elsewhere).
+/// Idempotent — installing twice is harmless.
+pub fn install() {
+    #[cfg(unix)]
+    {
+        // `std` already links libc; declaring `signal` directly avoids a
+        // dependency on the `libc` crate for two constants and one call.
+        // SIGINT = 2, SIGTERM = 15 on every unix this builds for.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(2, mark_interrupted);
+            signal(15, mark_interrupted);
+        }
+    }
+}
+
+/// `true` once SIGINT or SIGTERM has been received (or [`trip`] called).
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Sets the flag programmatically — what the signal handler does, callable
+/// from tests and from in-process embedders that want to stop a serve
+/// loop.
+pub fn trip() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests; a CLI process installs once and never resets).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+/// Spawns a detached thread that waits for an interrupt, runs `flush`,
+/// and exits the process with the conventional `130` (128 + SIGINT).
+///
+/// This is the one-shot CLI path: the main thread may be deep in a solver
+/// for seconds, so the watchdog performs the observability flush the
+/// normal end-of-run path would have done. Long-running serve loops do
+/// NOT use this — they poll [`interrupted`] and shut down cleanly through
+/// their own exit path (persisting the shared store on the way out).
+pub fn watchdog(flush: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(move || {
+        while !interrupted() {
+            std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+        }
+        flush();
+        std::process::exit(130);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_and_reset_toggle_the_flag() {
+        reset();
+        assert!(!interrupted());
+        trip();
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

@@ -1,0 +1,53 @@
+//! decisive-serve: the persistent analysis daemon.
+//!
+//! The paper's core claim is that automated safety analysis is fast enough
+//! to live *inside* the design loop. A one-shot CLI pays cold-start on
+//! every invocation; this crate keeps the engine warm instead: a
+//! long-running daemon accepts analysis requests over a line-delimited
+//! JSON protocol (stdin/stdout or a unix socket), multiplexing many
+//! independent model *sessions* against one cross-session
+//! [`decisive_engine::SharedStore`] — each session analyses through its
+//! own engine whose cache is a private overlay over the shared layer, so
+//! two sessions working on overlapping models deduplicate artefacts by
+//! fingerprint.
+//!
+//! Layering:
+//!
+//! - [`output`] — the typed result documents (`AnalyzeOutput`,
+//!   `PipelineOutput`, …) shared with the CLI's `--format json` mode;
+//!   on the wire they are the `result` field of a response;
+//! - [`protocol`] — request parsing and response framing: one JSON value
+//!   per line, every input line answered by exactly one output line;
+//! - [`session`] — the session registry: named sessions, each a warm
+//!   [`decisive_engine::Engine`] layered over the shared store;
+//! - [`daemon`] — the request loop: panic-isolated dispatch
+//!   ([`daemon::Daemon::handle_line`]), the stdio loop and the unix-socket
+//!   accept loop;
+//! - [`watch`] — `--watch`: re-runs the pipeline on model-file mtime
+//!   change and streams the (incrementally computed) results;
+//! - [`interrupt`] — SIGINT/SIGTERM handling: a process-wide flag the
+//!   loops poll, so interrupted runs still flush traces and persist the
+//!   shared store.
+//!
+//! # Protocol example
+//!
+//! ```text
+//! → {"op":"pipeline","id":1,"session":"alice","path":"design.bd"}
+//! ← {"id":1,"session":"alice","op":"pipeline","ok":true,"wall_ms":12.3,"result":{...}}
+//! → {"op":"nonsense"}
+//! ← {"ok":false,"error":"unknown op `nonsense` (analyze|pipeline|status|shutdown)"}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod interrupt;
+pub mod output;
+pub mod protocol;
+pub mod session;
+pub mod watch;
+
+pub use daemon::{Daemon, ServeOptions};
+pub use protocol::{ProtocolError, Request, RequestMeta, PROTOCOL_VERSION};
+pub use session::{Session, SessionRegistry};
+pub use watch::WatchOptions;

@@ -1,9 +1,10 @@
-//! Shared serde structs behind the CLI's `--format json` output: one
-//! document shape per verb (`analyze`, `pipeline`, `passes`), so scripts
-//! parse a stable schema instead of scraping the text rendering. The CLI
-//! serialises these through the federation JSON layer
-//! ([`to_json_string`]); library users can embed them in their own
-//! reports.
+//! Shared serde structs behind the CLI's `--format json` output *and* the
+//! daemon wire protocol: one document shape per operation (`analyze`,
+//! `pipeline`, `passes`), so scripts parse a stable schema instead of
+//! scraping the text rendering and a daemon response carries exactly what
+//! the equivalent CLI invocation would print. Serialised through the
+//! federation JSON layer ([`to_json_string`]); library users can embed
+//! them in their own reports.
 
 use serde::Serialize;
 

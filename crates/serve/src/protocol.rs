@@ -1,0 +1,293 @@
+//! The wire protocol: line-delimited JSON, one request per input line,
+//! exactly one response line per request.
+//!
+//! Requests are flat records — `op` selects the operation, `id` (any JSON
+//! scalar) and `session` (a string, default `"default"`) are echoed back
+//! so clients can interleave requests from several sessions over one
+//! connection and still correlate responses:
+//!
+//! ```text
+//! {"op":"analyze","id":7,"session":"alice","path":"model.json"}
+//! {"op":"pipeline","path":"design.bd","reliability":"fits.csv","mission_hours":5000}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `ok`; successful ones echo `id`/`session`/`op`
+//! and wrap the operation's document (an [`crate::output::AnalyzeOutput`],
+//! [`crate::output::PipelineOutput`] or status record) under `result`,
+//! failed ones carry a single human-readable `error` string. A malformed
+//! line — junk bytes, a truncated frame, an unknown op — is answered by
+//! exactly one `error` response and never terminates the daemon.
+
+use decisive_federation::{json, Value};
+
+/// Version stamp reported by `status`, bumped on incompatible protocol
+/// changes.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// The session requests land in when they name none.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Fields common to every request: the echoed correlation id and the
+/// session the request operates in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMeta {
+    /// Client-chosen correlation id (any JSON scalar), echoed verbatim.
+    pub id: Option<Value>,
+    /// Session name; sessions are created on first use.
+    pub session: String,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run the FMEA of one model (`.json` SSAM graph path, `.bd`
+    /// fault-injection campaign) — the daemon form of `decisive analyze`.
+    Analyze {
+        /// Correlation id and session.
+        meta: RequestMeta,
+        /// Model path (`.json` or `.bd`).
+        path: String,
+        /// Per-request reliability CSV override.
+        reliability: Option<String>,
+    },
+    /// Run the full pass pipeline — the daemon form of `decisive
+    /// pipeline`.
+    Pipeline {
+        /// Correlation id and session.
+        meta: RequestMeta,
+        /// Model path (`.json` or `.bd`).
+        path: String,
+        /// Per-request reliability CSV override.
+        reliability: Option<String>,
+        /// Mission time for the FTA pass; `None` uses the daemon default.
+        mission_hours: Option<f64>,
+    },
+    /// Report daemon state: sessions, shared-store size, dedup hits.
+    Status {
+        /// Correlation id and session.
+        meta: RequestMeta,
+    },
+    /// Persist the shared store and stop the daemon (after responding).
+    Shutdown {
+        /// Correlation id and session.
+        meta: RequestMeta,
+    },
+}
+
+impl Request {
+    /// The request's common fields.
+    pub fn meta(&self) -> &RequestMeta {
+        match self {
+            Request::Analyze { meta, .. }
+            | Request::Pipeline { meta, .. }
+            | Request::Status { meta }
+            | Request::Shutdown { meta } => meta,
+        }
+    }
+
+    /// The operation name, as it appears in `op`.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Analyze { .. } => "analyze",
+            Request::Pipeline { .. } => "pipeline",
+            Request::Status { .. } => "status",
+            Request::Shutdown { .. } => "shutdown",
+        }
+    }
+}
+
+/// Why a line failed to parse as a request. Carries whatever correlation
+/// context could still be salvaged, so even the error response points back
+/// at the request that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Salvaged correlation id, when the line was at least a JSON record.
+    pub id: Option<Value>,
+    /// Salvaged session name, likewise.
+    pub session: Option<String>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn bare(message: impl Into<String>) -> ProtocolError {
+        ProtocolError { id: None, session: None, message: message.into() }
+    }
+}
+
+/// Salvages `id` (scalars only — echoing a client-supplied list or record
+/// back verbatim would let one junk line bloat the response stream).
+fn salvage_id(value: &Value) -> Option<Value> {
+    match value.get("id") {
+        Some(id @ (Value::Bool(_) | Value::Int(_) | Value::Real(_) | Value::Str(_))) => {
+            Some(id.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Parses one wire line into a [`Request`].
+///
+/// # Errors
+///
+/// [`ProtocolError`] on anything that is not exactly one valid request:
+/// non-JSON bytes, truncated frames, non-record values, unknown `op`s,
+/// missing or ill-typed fields. The error salvages `id`/`session` when the
+/// line parsed far enough to contain them.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = json::parse(line).map_err(|e| ProtocolError::bare(format!("bad request: {e}")))?;
+    if !matches!(value, Value::Record(_)) {
+        return Err(ProtocolError::bare("bad request: expected a JSON object"));
+    }
+    let id = salvage_id(&value);
+    let session = value.get("session").and_then(Value::as_str).map(str::to_owned);
+    let err = |message: String| ProtocolError { id: id.clone(), session: session.clone(), message };
+
+    if value.get("session").is_some() && session.is_none() {
+        return Err(err("bad request: `session` must be a string".to_owned()));
+    }
+    let meta = RequestMeta {
+        id: id.clone(),
+        session: session.clone().unwrap_or_else(|| DEFAULT_SESSION.to_owned()),
+    };
+    let op = match value.get("op") {
+        Some(Value::Str(op)) => op.clone(),
+        Some(_) => return Err(err("bad request: `op` must be a string".to_owned())),
+        None => return Err(err("bad request: missing `op`".to_owned())),
+    };
+    let path = || match value.get("path") {
+        Some(Value::Str(path)) if !path.is_empty() => Ok(path.clone()),
+        Some(_) => Err(err(format!("bad request: `{op}` wants a string `path`"))),
+        None => Err(err(format!("bad request: `{op}` needs a `path`"))),
+    };
+    let reliability = || match value.get("reliability") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(csv)) => Ok(Some(csv.clone())),
+        Some(_) => Err(err("bad request: `reliability` must be a string path".to_owned())),
+    };
+    match op.as_str() {
+        "analyze" => Ok(Request::Analyze { meta, path: path()?, reliability: reliability()? }),
+        "pipeline" => {
+            let mission_hours = match value.get("mission_hours") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    Some(v.as_f64().filter(|h| *h > 0.0 && h.is_finite()).ok_or_else(|| {
+                        err("bad request: `mission_hours` wants a positive number".to_owned())
+                    })?)
+                }
+            };
+            Ok(Request::Pipeline {
+                meta,
+                path: path()?,
+                reliability: reliability()?,
+                mission_hours,
+            })
+        }
+        "status" => Ok(Request::Status { meta }),
+        "shutdown" => Ok(Request::Shutdown { meta }),
+        other => Err(err(format!("unknown op `{other}` (analyze|pipeline|status|shutdown)"))),
+    }
+}
+
+/// Frames a successful response: the echoed correlation fields, the
+/// request wall time and the operation's `result` document, as one JSON
+/// line.
+pub fn ok_response(meta: &RequestMeta, op: &str, wall_ms: f64, result: Value) -> String {
+    json::to_string(&Value::record([
+        ("id", meta.id.clone().unwrap_or(Value::Null)),
+        ("session", Value::from(meta.session.as_str())),
+        ("op", Value::from(op)),
+        ("ok", Value::Bool(true)),
+        ("wall_ms", Value::Real(wall_ms)),
+        ("result", result),
+    ]))
+}
+
+/// Frames an error response — the one-line answer to a malformed or
+/// failed request.
+pub fn error_response(id: Option<Value>, session: Option<&str>, message: &str) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), id.unwrap_or(Value::Null)),
+        ("ok".to_owned(), Value::Bool(false)),
+        ("error".to_owned(), Value::from(message)),
+    ];
+    if let Some(session) = session {
+        fields.insert(1, ("session".to_owned(), Value::from(session)));
+    }
+    json::to_string(&Value::Record(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_pipeline_request() {
+        let req = parse_request(
+            r#"{"op":"pipeline","id":7,"session":"alice","path":"d.bd","reliability":"f.csv","mission_hours":5000}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Pipeline { meta, path, reliability, mission_hours } => {
+                assert_eq!(meta.id, Some(Value::Int(7)));
+                assert_eq!(meta.session, "alice");
+                assert_eq!(path, "d.bd");
+                assert_eq!(reliability.as_deref(), Some("f.csv"));
+                assert_eq!(mission_hours, Some(5000.0));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_filled_in() {
+        let req = parse_request(r#"{"op":"analyze","path":"m.json"}"#).unwrap();
+        assert_eq!(req.meta().session, DEFAULT_SESSION);
+        assert_eq!(req.meta().id, None);
+        assert_eq!(req.op(), "analyze");
+    }
+
+    #[test]
+    fn junk_and_truncated_lines_are_typed_errors() {
+        for line in ["not json", "{\"op\":\"analyze\",\"path\":", "[1,2]", "42", "\"op\""] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.message.contains("bad request"), "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn errors_salvage_correlation_context() {
+        let err = parse_request(r#"{"op":"frobnicate","id":"x","session":"s1"}"#).unwrap_err();
+        assert_eq!(err.id, Some(Value::Str("x".into())));
+        assert_eq!(err.session.as_deref(), Some("s1"));
+        assert!(err.message.contains("unknown op"));
+
+        let err = parse_request(r#"{"op":"analyze","id":3}"#).unwrap_err();
+        assert_eq!(err.id, Some(Value::Int(3)));
+        assert!(err.message.contains("needs a `path`"));
+    }
+
+    #[test]
+    fn structured_ids_are_not_echoed() {
+        let err = parse_request(r#"{"op":"nope","id":{"a":1}}"#).unwrap_err();
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let meta = RequestMeta { id: Some(Value::Int(1)), session: "s".into() };
+        let ok = ok_response(&meta, "status", 0.5, Value::record([("x", Value::Int(1))]));
+        assert!(!ok.contains('\n'));
+        let parsed = json::parse(&ok).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(parsed.get("id").and_then(Value::as_i64), Some(1));
+
+        let err = error_response(None, None, "boom");
+        let parsed = json::parse(&err).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(parsed.get("error").and_then(Value::as_str), Some("boom"));
+        assert!(matches!(parsed.get("id"), Some(Value::Null)));
+    }
+}

@@ -1,0 +1,102 @@
+//! `--watch`: re-run the pipeline whenever the model file's mtime
+//! changes, streaming one response line per revision.
+//!
+//! This automates the paper's iterate-until-safe loop: the designer edits
+//! the model, the watcher notices the mtime tick and re-runs the full
+//! pass pipeline through the session's warm engine — so each iteration
+//! recomputes only the artefacts the edit actually invalidated, and the
+//! streamed result arrives at interactive latency. Polling (no inotify)
+//! keeps the watcher portable and dependency-free; the poll period is
+//! configurable and the loop exits on daemon shutdown or interrupt.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::SystemTime;
+
+use crate::daemon::Daemon;
+use crate::interrupt;
+
+/// Watch-loop configuration.
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Poll period in milliseconds.
+    pub poll_ms: u64,
+    /// Stop after this many emitted results (`None` = run until shutdown
+    /// or interrupt) — the bound tests and scripted loops use.
+    pub max_results: Option<usize>,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions { poll_ms: 250, max_results: None }
+    }
+}
+
+fn mtime_of(path: &Path) -> Option<SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// Runs the pipeline on `path` once immediately, then again on every
+/// mtime change, writing one pipeline-response line per run into `out`.
+/// A temporarily missing file (an editor's atomic save window) is waited
+/// out, never fatal. Returns the number of results emitted.
+///
+/// # Errors
+///
+/// Returns an I/O error when the file does not exist at watch start or
+/// when writing a result fails. Analysis failures are *not* errors here —
+/// they stream as `ok:false` response lines, and the watcher keeps
+/// watching (a syntax error mid-edit is a normal design-loop state).
+pub fn watch(
+    daemon: &Daemon,
+    path: &Path,
+    session: &str,
+    options: &WatchOptions,
+    out: &mut impl Write,
+) -> std::io::Result<usize> {
+    let Some(mut last_seen) = mtime_of(path) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("{}: cannot watch a file that does not exist", path.display()),
+        ));
+    };
+    let request = format!(
+        r#"{{"op":"pipeline","session":{},"path":{}}}"#,
+        decisive_federation::json::to_string(&decisive_federation::Value::from(session)),
+        decisive_federation::json::to_string(&decisive_federation::Value::from(
+            path.display().to_string()
+        )),
+    );
+    let mut emitted = 0usize;
+    let mut rerun_pending = true; // first result streams immediately
+    loop {
+        if daemon.shutdown_requested() || interrupt::interrupted() {
+            return Ok(emitted);
+        }
+        if rerun_pending {
+            rerun_pending = false;
+            if let Some(response) = daemon.handle_line(&request) {
+                writeln!(out, "{response}")?;
+                out.flush()?;
+                emitted += 1;
+                if options.max_results.is_some_and(|max| emitted >= max) {
+                    return Ok(emitted);
+                }
+            }
+        }
+        // Sleep in interrupt-poll slices so shutdown stays responsive
+        // even with a long poll period.
+        let mut remaining = options.poll_ms.max(1);
+        while remaining > 0 && !daemon.shutdown_requested() && !interrupt::interrupted() {
+            let slice = remaining.min(interrupt::POLL_MS);
+            std::thread::sleep(std::time::Duration::from_millis(slice));
+            remaining -= slice;
+        }
+        if let Some(mtime) = mtime_of(path) {
+            if mtime != last_seen {
+                last_seen = mtime;
+                rerun_pending = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Wire-protocol robustness: no input line — junk, truncated frame, or a
+//! hostile interleaving from concurrent clients — may kill the daemon.
+//! Every bad line yields exactly one typed `error` response and the
+//! session stays usable afterwards.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use decisive_federation::{json, Value};
+use decisive_obs::Telemetry;
+use decisive_serve::{Daemon, ServeOptions};
+
+/// A tiny but genuine block diagram the good requests analyse.
+const MODEL: &str = "\
+diagram robustness-probe
+block DC1 dc-voltage-source volts=5
+block R1 resistor ohms=0.5
+block MC1 mcu on_amps=3;brownout_volts=2.75;fault_amps=0.1
+block GND1 ground
+connect DC1.0 -> R1.0
+connect R1.1 -> MC1.0
+connect MC1.1 -> GND1.0
+connect DC1.1 -> GND1.0
+";
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("decisive-serve-robustness-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_model(dir: &std::path::Path) -> String {
+    let path = dir.join("probe.bd");
+    std::fs::write(&path, MODEL).expect("model written");
+    path.display().to_string()
+}
+
+fn daemon() -> Daemon {
+    Daemon::new(ServeOptions::default(), Telemetry::noop()).expect("daemon builds")
+}
+
+fn parsed(response: &str) -> Value {
+    json::parse(response).unwrap_or_else(|e| panic!("response `{response}` reparses: {e}"))
+}
+
+fn is_ok(response: &Value) -> bool {
+    response.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+/// A typed error response: `ok:false` plus a non-empty `error` string.
+fn assert_typed_error(response: &str) {
+    assert!(!response.contains('\n'), "one response line per input line, got `{response}`");
+    let value = parsed(response);
+    assert_eq!(value.get("ok").and_then(Value::as_bool), Some(false), "in `{response}`");
+    let message = value.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(!message.is_empty(), "error responses carry a message, got `{response}`");
+}
+
+fn status_line(daemon: &Daemon) -> Value {
+    let response = daemon.handle_line(r#"{"op":"status"}"#).expect("status answers");
+    let value = parsed(&response);
+    assert!(is_ok(&value), "status stays healthy, got `{response}`");
+    value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary printable junk: at most one response, `ok:false` when
+    /// the line is non-blank, and the daemon still answers `status`.
+    #[test]
+    fn junk_lines_never_kill_the_daemon(line in "[ -~]{0,60}") {
+        let daemon = daemon();
+        match daemon.handle_line(&line) {
+            None => prop_assert!(line.trim().is_empty(), "only blank lines go unanswered"),
+            Some(response) => {
+                prop_assert!(!line.trim().is_empty());
+                assert_typed_error(&response);
+            }
+        }
+        status_line(&daemon);
+    }
+
+    /// Every strict prefix of a valid frame is itself handled: truncated
+    /// JSON yields exactly one typed error, never a dead daemon.
+    #[test]
+    fn truncated_frames_yield_one_error(cut in 1usize..44) {
+        let frame = r#"{"op":"analyze","id":7,"session":"alice","path":"x.bd"}"#;
+        let truncated = &frame[..cut.min(frame.len() - 1)];
+        let daemon = daemon();
+        let response = daemon.handle_line(truncated).expect("non-blank line answered");
+        assert_typed_error(&response);
+        status_line(&daemon);
+    }
+}
+
+proptest! {
+    // Each case runs real analyses; a handful of cases is plenty.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Concurrent clients interleaving junk with genuine requests: every
+    /// junk line is a typed error, every genuine request succeeds, the
+    /// request ledger balances, and every session stays usable.
+    #[test]
+    fn interleaved_concurrent_junk_and_requests(junk in proptest::collection::vec("[!-~]{1,40}", 3..9)) {
+        let dir = scratch_dir("interleave");
+        let model = write_model(&dir);
+        let daemon = Arc::new(daemon());
+        let workers: Vec<_> = junk
+            .chunks(junk.len().div_ceil(3).max(1))
+            .enumerate()
+            .map(|(worker, lines)| {
+                let daemon = Arc::clone(&daemon);
+                let lines: Vec<String> = lines.to_vec();
+                let model = model.clone();
+                std::thread::spawn(move || {
+                    let session = format!("s{worker}");
+                    let mut sent = 0usize;
+                    for line in &lines {
+                        let response = daemon.handle_line(line).expect("junk answered");
+                        assert_typed_error(&response);
+                        sent += 1;
+                        let good = format!(
+                            r#"{{"op":"analyze","id":{sent},"session":"{session}","path":"{model}"}}"#
+                        );
+                        let response = daemon.handle_line(&good).expect("request answered");
+                        let value = parsed(&response);
+                        assert!(is_ok(&value), "interleaved request survives junk: `{response}`");
+                        assert_eq!(value.get("session").and_then(Value::as_str), Some(session.as_str()));
+                        sent += 1;
+                    }
+                    sent
+                })
+            })
+            .collect();
+        let sent: usize = workers.into_iter().map(|w| w.join().expect("worker survives")).sum();
+        let status = status_line(&daemon);
+        let handled = status
+            .get("result")
+            .and_then(|r| r.get("requests_handled"))
+            .and_then(Value::as_i64)
+            .expect("status reports the ledger");
+        // +1 for the status probe itself: every line answered exactly once.
+        prop_assert_eq!(handled, sent as i64 + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// After a barrage of malformed frames, the *same* session (not a fresh
+/// one) still analyses models — per-request isolation never poisons it.
+#[test]
+fn session_survives_malformed_frames() {
+    let dir = scratch_dir("survivor");
+    let model = write_model(&dir);
+    let daemon = daemon();
+    let good = format!(r#"{{"op":"analyze","session":"alice","path":"{model}"}}"#);
+    let first = daemon.handle_line(&good).expect("first analyze answers");
+    assert!(is_ok(&parsed(&first)));
+    for bad in [
+        "{",
+        "}{",
+        r#"{"op":"analyze"}"#,
+        r#"{"op":"analyze","session":"alice","path":""}"#,
+        r#"{"op":"pipeline","session":"alice","path":"no/such/file.bd"}"#,
+        r#"{"op":"pipeline","session":"alice","path":4}"#,
+        r#"{"op":"warp","session":"alice"}"#,
+        "[1,2,3]",
+        "\"alice\"",
+    ] {
+        assert_typed_error(&daemon.handle_line(bad).expect("bad frame answered"));
+    }
+    let second = daemon.handle_line(&good).expect("alice still serves");
+    let value = parsed(&second);
+    assert!(is_ok(&value), "session unusable after junk: `{second}`");
+    assert_eq!(value.get("session").and_then(Value::as_str), Some("alice"));
+    std::fs::remove_dir_all(&dir).ok();
+}
