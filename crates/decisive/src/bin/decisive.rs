@@ -77,6 +77,7 @@ fn main() -> ExitCode {
         Some("impact") => cmd_impact(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("--version" | "-V") => {
             println!("decisive {}", env!("CARGO_PKG_VERSION"));
             Ok(())
@@ -113,6 +114,8 @@ fn print_usage() {
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
          decisive trace <model.json>\n  \
          decisive serve [--socket <path>|--watch <model>] [--poll-ms <ms>] [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--mission-hours <h>] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive store status|compact --cache <dir> [--format text|json]\n  \
+         decisive store export|import <snapshot.json> --cache <dir>\n  \
          decisive --version"
     );
 }
@@ -974,6 +977,145 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     };
     finish_observability(args, sink)?;
     served
+}
+
+/// `decisive store <verb> --cache <dir>` — direct maintenance of the
+/// segmented artifact store backing `--cache`:
+///
+/// - `status`: recovery + health snapshot (segments, live/dead frames,
+///   quarantine counter, last compaction);
+/// - `compact`: force a compaction regardless of the dead-frame
+///   thresholds and report what it reclaimed;
+/// - `export <snapshot.json>`: write the live entries as a portable v3
+///   `cache.json` document (the pre-store wholesale format);
+/// - `import <snapshot.json>`: append a v3 document's entries into the
+///   log (invalid entries are audited and skipped, like the engine's
+///   lenient load).
+///
+/// Opening the store performs the same recovery the engine does: torn
+/// tails truncate, corrupt frames quarantine, a legacy `cache.json` in
+/// the directory migrates into the log once.
+fn cmd_store(args: &[String]) -> Result<(), CliError> {
+    check_flags("store", args, &["--cache", "--format"])?;
+    let format = output_format(args)?;
+    let positionals = positionals(args);
+    let Some((&verb, rest)) = positionals.split_first() else {
+        return Err(CliError::usage("`decisive store` needs a verb: status|compact|export|import"));
+    };
+    let dir = flag_value(args, "--cache")
+        .ok_or_else(|| CliError::usage("`decisive store` needs --cache <dir>"))?;
+    let (shared, recovery) = decisive::engine::SharedStore::open_durable(
+        std::path::Path::new(dir),
+        decisive::engine::StoreOptions::default(),
+        Telemetry::noop(),
+    )
+    .map_err(|e| CliError::Failure(e.to_string()))?;
+    let log = shared.durable().expect("open_durable always attaches a log").clone();
+    let snapshot_path = |what: &str| match rest {
+        [path] => Ok(*path),
+        _ => Err(CliError::usage(format!(
+            "`decisive store {what}` takes exactly one <snapshot.json> path"
+        ))),
+    };
+    use decisive::federation::{json, Value};
+    match verb {
+        "status" => {
+            if !rest.is_empty() {
+                return Err(CliError::usage("`decisive store status` takes no extra arguments"));
+            }
+            let health = log.health();
+            match format {
+                OutputFormat::Json => {
+                    let document = Value::record([
+                        ("recovery", recovery.to_value()),
+                        ("health", health.to_value()),
+                    ]);
+                    println!("{}", json::to_string(&document));
+                }
+                OutputFormat::Text => {
+                    println!(
+                        "# store: {} segment(s), {} live / {} dead frame(s) ({:.1}% live), \
+                         generation {}, {} byte(s)",
+                        health.segments,
+                        health.live_frames,
+                        health.dead_frames,
+                        health.live_ratio() * 100.0,
+                        health.generation,
+                        health.bytes,
+                    );
+                    println!(
+                        "# recovery: {}{}",
+                        if recovery.is_clean() { "clean" } else { "repaired" },
+                        format_args!(
+                            " ({} quarantined frame(s), {} truncated byte(s), \
+                             {} orphan segment(s) removed, {} legacy entr(ies) migrated)",
+                            recovery.quarantined_frames,
+                            recovery.truncated_bytes,
+                            recovery.removed_orphan_segments,
+                            recovery.migrated_entries,
+                        ),
+                    );
+                    for note in &recovery.notes {
+                        println!("#   {note}");
+                    }
+                    if let Some(compaction) = &health.last_compaction {
+                        println!(
+                            "# last compaction: {} live copied, {} dropped, {} byte(s) reclaimed",
+                            compaction.live_frames,
+                            compaction.dropped_frames,
+                            compaction.reclaimed_bytes,
+                        );
+                    }
+                }
+            }
+        }
+        "compact" => {
+            if !rest.is_empty() {
+                return Err(CliError::usage("`decisive store compact` takes no extra arguments"));
+            }
+            let summary = log.compact().map_err(|e| CliError::Failure(e.to_string()))?;
+            match format {
+                OutputFormat::Json => println!("{}", json::to_string(&summary.to_value())),
+                OutputFormat::Text => println!(
+                    "# compacted: {} -> {} segment(s), {} live frame(s) kept, {} dropped, \
+                     {} byte(s) reclaimed in {:.1} ms",
+                    summary.segments_before,
+                    summary.segments_after,
+                    summary.live_frames,
+                    summary.dropped_frames,
+                    summary.reclaimed_bytes,
+                    summary.wall_ms,
+                ),
+            }
+        }
+        "export" => {
+            let out = snapshot_path("export")?;
+            let snapshot = log.export();
+            let entries = snapshot.len();
+            std::fs::write(out, json::to_string(&snapshot.to_value()))
+                .map_err(|e| CliError::Failure(format!("{out}: {e}")))?;
+            println!("# exported {entries} entr(ies) to {out}");
+        }
+        "import" => {
+            let source = snapshot_path("import")?;
+            let text = std::fs::read_to_string(source)
+                .map_err(|e| CliError::Failure(format!("{source}: {e}")))?;
+            let value =
+                json::parse(&text).map_err(|e| CliError::Failure(format!("{source}: {e}")))?;
+            let (snapshot, report, _) = decisive::engine::CacheStore::from_value_audited(&value);
+            let imported = log.import(&snapshot).map_err(|e| CliError::Failure(e.to_string()))?;
+            println!("# imported {imported} entr(ies) from {source}");
+            for reason in &report.reasons {
+                eprintln!("# skipped: {reason}");
+            }
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown store verb `{other}` (status|compact|export|import)"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(unix)]

@@ -10,7 +10,12 @@
 //!
 //! The store persists through the federation layer (`serde_bridge` +
 //! `json`) as a single `cache.json` in the cache directory, so warm caches
-//! survive CLI invocations.
+//! survive CLI invocations — or, preferred since the segmented store
+//! landed, through a durable [`SharedStore`] backed by the append-only
+//! log of [`crate::store`] (see [`SharedStore::open_durable`]), which
+//! makes every completed pass durable immediately and warm starts
+//! O(touched artifacts). The v3 JSON format remains the portable
+//! interchange format (`decisive store import`/`export`).
 //!
 //! ## Crash safety (format v3)
 //!
@@ -27,15 +32,20 @@
 //!   cold, never wrong); an unparsable file is quarantined wholesale.
 //!   [`CacheStore::load_with_report`] surfaces what was dropped.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use decisive_federation::{json, serde_bridge, Value};
+use decisive_obs::Telemetry;
 
 use crate::error::{EngineError, Result};
 use crate::fingerprint::{Fingerprint, Hasher};
+use crate::store::{
+    CompactionSummary, SegmentStore, StoreHealth, StoreOptions, StoreRecovery, MANIFEST_FILE,
+    STORE_DIR,
+};
 
 /// Which analysis produced a cached artefact. Kinds namespace the key
 /// space: the same input digest keys different artefacts per analysis.
@@ -83,7 +93,7 @@ impl ArtifactKind {
         }
     }
 
-    fn parse(tag: &str) -> Option<ArtifactKind> {
+    pub(crate) fn parse(tag: &str) -> Option<ArtifactKind> {
         ArtifactKind::ALL.into_iter().find(|k| k.tag() == tag)
     }
 }
@@ -120,27 +130,132 @@ pub struct CacheStore {
 /// (overlays garbage-collect their private entries; the shared layer is
 /// rebuilt from a persisted snapshot on daemon start).
 ///
-/// Clones are handles onto the same underlying map.
+/// A shared layer is either purely in-memory (the historical behaviour)
+/// or *durable*: backed by the crash-safe segmented log of
+/// [`crate::store`], opened with [`SharedStore::open_durable`]. A durable
+/// layer writes every entry through to the log (committed on
+/// [`SharedStore::sync_durable`]) and serves memory misses from the log's
+/// index, so a restarted process pays O(touched artifacts) to get warm,
+/// not O(history).
+///
+/// Clones are handles onto the same underlying map (and log).
 #[derive(Debug, Clone, Default)]
 pub struct SharedStore {
     entries: Arc<Mutex<HashMap<(ArtifactKind, Fingerprint), CacheEntry>>>,
     hits: Arc<AtomicU64>,
+    log: Option<Arc<SegmentStore>>,
 }
 
 impl SharedStore {
-    /// An empty shared layer.
+    /// An empty, purely in-memory shared layer.
     pub fn new() -> Self {
         SharedStore::default()
     }
 
-    /// Number of shared artefacts.
+    /// Opens a shared layer durably persisted in `dir/store/` as a
+    /// segmented append-only log, running crash recovery. On the *first*
+    /// durable open of a directory still holding a legacy v3 `cache.json`,
+    /// its verified entries are migrated into the log and the file is
+    /// retired as `cache.json.imported` (recoverable any time via
+    /// `decisive store import`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on environment failures. Corrupt content
+    /// never errors — it is quarantined and reported in the returned
+    /// [`StoreRecovery`].
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+        telemetry: Telemetry,
+    ) -> Result<(SharedStore, StoreRecovery)> {
+        let dir = dir.as_ref();
+        let store_dir = dir.join(STORE_DIR);
+        let fresh = !store_dir.join(MANIFEST_FILE).exists();
+        let (log, mut recovery) = SegmentStore::open(&store_dir, options, telemetry)?;
+        let log = Arc::new(log);
+        if fresh && dir.join(CACHE_FILE).exists() {
+            let (legacy, report) = CacheStore::load_with_report(dir)?;
+            recovery.migrated_entries = log.import(&legacy)?;
+            recovery.quarantined_frames += report.quarantined;
+            recovery.notes.extend(report.reasons);
+            std::fs::rename(dir.join(CACHE_FILE), dir.join(format!("{CACHE_FILE}.imported"))).ok();
+        }
+        let shared = SharedStore { log: Some(log), ..SharedStore::default() };
+        Ok((shared, recovery))
+    }
+
+    /// The segmented log backing this layer, when opened durable.
+    pub fn durable(&self) -> Option<&Arc<SegmentStore>> {
+        self.log.as_ref()
+    }
+
+    /// `true` when this layer persists through the segmented log.
+    pub fn is_durable(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Fsyncs appends pending in the backing log — the commit point of
+    /// incremental durability. A no-op for in-memory layers.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on fsync failure.
+    pub fn sync_durable(&self) -> Result<()> {
+        match &self.log {
+            Some(log) => log.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Health snapshot of the backing log, when durable.
+    pub fn durable_health(&self) -> Option<StoreHealth> {
+        self.log.as_ref().map(|log| log.health())
+    }
+
+    /// Compacts the backing log when its dead-frame thresholds are met.
+    /// `Ok(None)` when not durable or below thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on I/O failure during the rewrite.
+    pub fn maybe_compact(&self) -> Result<Option<CompactionSummary>> {
+        match &self.log {
+            Some(log) => log.maybe_compact(),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of shared artefacts (union of the in-memory map and the
+    /// backing log's live index).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("shared store poisoned").len()
+        let mut keys: HashSet<(ArtifactKind, Fingerprint)> =
+            self.entries.lock().expect("shared store poisoned").keys().copied().collect();
+        if let Some(log) = &self.log {
+            keys.extend(log.keys());
+        }
+        keys.len()
     }
 
     /// `true` when nothing is shared yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Keys of one artefact kind across memory and the backing log.
+    pub fn keys_of_kind(&self, kind: ArtifactKind) -> Vec<Fingerprint> {
+        let mut keys: HashSet<Fingerprint> = self
+            .entries
+            .lock()
+            .expect("shared store poisoned")
+            .keys()
+            .filter(|(k, _)| *k == kind)
+            .map(|&(_, f)| f)
+            .collect();
+        if let Some(log) = &self.log {
+            keys.extend(log.keys_of_kind(kind));
+        }
+        keys.into_iter().collect()
     }
 
     /// How many lookups were served by this layer after missing the
@@ -150,35 +265,65 @@ impl SharedStore {
     }
 
     /// Bulk-imports every entry of `store` (an overlay or a persisted
-    /// snapshot) into the shared layer; returns how many were added.
+    /// snapshot) into the shared layer; returns how many were added. On a
+    /// durable layer newly absorbed entries are also appended to the log
+    /// best-effort (bulk imports should prefer `decisive store import`,
+    /// which surfaces append errors).
     pub fn absorb(&self, store: &CacheStore) -> usize {
         let mut entries = self.entries.lock().expect("shared store poisoned");
         let before = entries.len();
         for (key, entry) in &store.entries {
-            entries.entry(*key).or_insert_with(|| entry.clone());
+            if let std::collections::hash_map::Entry::Vacant(vacant) = entries.entry(*key) {
+                if let Some(log) = &self.log {
+                    log.append(key.0, key.1, &entry.owner, &entry.value).ok();
+                }
+                vacant.insert(entry.clone());
+            }
         }
         entries.len() - before
     }
 
     /// A plain [`CacheStore`] copy of the shared contents (shared layer
-    /// detached), for persistence via [`CacheStore::save`].
+    /// detached), for persistence via [`CacheStore::save`]. On a durable
+    /// layer this materialises the full log — the export path, not the
+    /// shutdown path (durable layers persist incrementally).
     pub fn snapshot(&self) -> CacheStore {
-        CacheStore {
-            entries: self.entries.lock().expect("shared store poisoned").clone(),
-            shared: None,
+        let mut snapshot = match &self.log {
+            Some(log) => log.export(),
+            None => CacheStore::new(),
+        };
+        for (key, entry) in self.entries.lock().expect("shared store poisoned").iter() {
+            snapshot.entries.insert(*key, entry.clone());
         }
+        snapshot.shared = None;
+        snapshot
     }
 
     fn get_entry(&self, kind: ArtifactKind, key: Fingerprint) -> Option<CacheEntry> {
-        let entry = self.entries.lock().expect("shared store poisoned").get(&(kind, key)).cloned();
-        if entry.is_some() {
+        if let Some(entry) =
+            self.entries.lock().expect("shared store poisoned").get(&(kind, key)).cloned()
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(entry);
         }
-        entry
+        // Memory miss: read through the durable log's index. The decoded
+        // entry is promoted into memory so the next lookup is cheap —
+        // this is what makes a warm start O(touched artifacts).
+        let (owner, value) = self.log.as_ref()?.get(kind, key)?;
+        let entry = CacheEntry { owner, value };
+        self.entries.lock().expect("shared store poisoned").insert((kind, key), entry.clone());
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
     }
 
-    fn put_entry(&self, kind: ArtifactKind, key: Fingerprint, entry: CacheEntry) {
+    fn put_entry(&self, kind: ArtifactKind, key: Fingerprint, entry: CacheEntry) -> Result<()> {
+        // Log first: if the append fails the memory layer stays in step
+        // with disk and the caller sees the error.
+        if let Some(log) = &self.log {
+            log.append(kind, key, &entry.owner, &entry.value)?;
+        }
         self.entries.lock().expect("shared store poisoned").insert((kind, key), entry);
+        Ok(())
     }
 }
 
@@ -186,8 +331,47 @@ impl SharedStore {
 pub const CACHE_FILE: &str = "cache.json";
 
 /// File name corrupt cache content is moved to inside a cache directory,
-/// for post-mortem inspection. Overwritten by the next quarantine.
+/// for post-mortem inspection. A later corruption event rotates an
+/// existing file aside as `cache.quarantine.json.1`, `.2`, … (capped at
+/// [`QUARANTINE_KEEP`]) instead of clobbering it.
 pub const QUARANTINE_FILE: &str = "cache.quarantine.json";
+
+/// How many rotated quarantine copies are retained per base name before
+/// the oldest are pruned.
+pub const QUARANTINE_KEEP: usize = 5;
+
+/// Shifts an existing quarantine file aside as `<name>.<n>` (n counting
+/// up) so new quarantine content can land at the base name without
+/// destroying earlier evidence, pruning all but the newest
+/// [`QUARANTINE_KEEP`] rotated copies. Best-effort: rotation failure must
+/// never block the load that triggered it.
+pub(crate) fn rotate_quarantine(path: &Path) {
+    if !path.exists() {
+        return;
+    }
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else { return };
+    let Some(parent) = path.parent() else { return };
+    let parent = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+    let Ok(entries) = std::fs::read_dir(parent) else { return };
+    let mut indices: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| {
+            let file = e.file_name();
+            let file = file.to_str()?;
+            file.strip_prefix(name)?.strip_prefix('.')?.parse::<u64>().ok()
+        })
+        .collect();
+    let next = indices.iter().max().map_or(1, |m| m + 1);
+    if std::fs::rename(path, parent.join(format!("{name}.{next}"))).is_err() {
+        return;
+    }
+    indices.push(next);
+    indices.sort_unstable();
+    while indices.len() > QUARANTINE_KEEP {
+        let oldest = indices.remove(0);
+        std::fs::remove_file(parent.join(format!("{name}.{oldest}"))).ok();
+    }
+}
 
 /// Version stamp of the persisted format; mismatches load as empty.
 /// Version 2: injection rows carry their campaign outcome
@@ -280,9 +464,15 @@ impl CacheStore {
     }
 
     /// Live entries of one kind — the per-pass cache status shown by
-    /// `decisive passes`.
+    /// `decisive passes`. With a shared layer attached this is the union
+    /// of overlay, shared memory, and (when durable) the backing log, so
+    /// warm stores report their real coverage.
     pub fn count_kind(&self, kind: ArtifactKind) -> usize {
-        self.entries.keys().filter(|(k, _)| *k == kind).count()
+        let local = self.entries.keys().filter(|(k, _)| *k == kind);
+        let Some(shared) = &self.shared else { return local.count() };
+        let mut keys: HashSet<Fingerprint> = local.map(|&(_, f)| f).collect();
+        keys.extend(shared.keys_of_kind(kind));
+        keys.len()
     }
 
     /// Layers this store over `shared`: lookups missing the local entries
@@ -331,10 +521,42 @@ impl CacheStore {
             .map_err(|e| EngineError::Cache(format!("unserialisable artefact: {e}")))?;
         let entry = CacheEntry { owner: owner.to_owned(), value };
         if let Some(shared) = &self.shared {
-            shared.put_entry(kind, key, entry.clone());
+            shared.put_entry(kind, key, entry.clone())?;
         }
         self.entries.insert((kind, key), entry);
         Ok(())
+    }
+
+    /// Inserts an already-serialised entry (the store export/import and
+    /// legacy-migration path, which must not re-encode values).
+    pub(crate) fn insert_value(
+        &mut self,
+        kind: ArtifactKind,
+        key: Fingerprint,
+        owner: String,
+        value: Value,
+    ) {
+        self.entries.insert((kind, key), CacheEntry { owner, value });
+    }
+
+    /// Iterates the raw local entries (kind, key, owner, value).
+    pub(crate) fn iter_entries(
+        &self,
+    ) -> impl Iterator<Item = (ArtifactKind, Fingerprint, &str, &Value)> {
+        self.entries.iter().map(|(&(kind, key), e)| (kind, key, e.owner.as_str(), &e.value))
+    }
+
+    /// Fsyncs the attached durable shared layer, if any — the per-pass
+    /// commit point of incremental durability. No-op otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on fsync failure.
+    pub fn sync_durable(&self) -> Result<()> {
+        match &self.shared {
+            Some(shared) => shared.sync_durable(),
+            None => Ok(()),
+        }
     }
 
     /// Drops every entry owned by `owner`; returns how many were dropped.
@@ -504,6 +726,7 @@ impl CacheStore {
                 // The file is not even JSON: preserve the bytes for
                 // post-mortem and start cold.
                 let quarantine = dir.join(QUARANTINE_FILE);
+                rotate_quarantine(&quarantine);
                 if std::fs::rename(&file, &quarantine).is_err() {
                     if let Ok(bytes) = std::fs::read(&file) {
                         std::fs::write(&quarantine, bytes).ok();
@@ -530,7 +753,9 @@ impl CacheStore {
                 ),
                 ("entries", Value::List(rejected)),
             ]);
-            atomic_write(&dir.join(QUARANTINE_FILE), &json::to_string(&quarantine)).ok();
+            let target = dir.join(QUARANTINE_FILE);
+            rotate_quarantine(&target);
+            atomic_write(&target, &json::to_string(&quarantine)).ok();
         }
         Ok((store, report))
     }
@@ -750,6 +975,80 @@ mod tests {
         let mut fresh = CacheStore::new();
         fresh.attach_shared(rebuilt);
         assert_eq!(fresh.get::<i64>(ArtifactKind::MonitorSet, fp("m")), Some(7));
+    }
+
+    #[test]
+    fn repeated_quarantines_rotate_and_cap_instead_of_clobbering() {
+        let dir = std::env::temp_dir().join(format!("decisive_cache_rot_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for round in 0..8 {
+            std::fs::write(dir.join(CACHE_FILE), format!("{{corrupt event {round}")).unwrap();
+            let (_, report) = CacheStore::load_with_report(&dir).unwrap();
+            assert_eq!(report.quarantined, 1, "round {round}");
+        }
+        let base = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert!(base.contains("event 7"), "base name holds the newest evidence");
+        let rotated: Vec<u64> =
+            (1..=7).filter(|n| dir.join(format!("{QUARANTINE_FILE}.{n}")).exists()).collect();
+        assert_eq!(rotated, vec![3, 4, 5, 6, 7], "oldest copies pruned, newest kept");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_shared_layer_round_trips_across_opens() {
+        let dir = std::env::temp_dir().join(format!("decisive_cache_dur_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (shared, recovery) =
+            SharedStore::open_durable(&dir, StoreOptions::default(), Telemetry::noop()).unwrap();
+        assert!(recovery.is_clean(), "{recovery:?}");
+        assert!(shared.is_durable());
+        let mut overlay = CacheStore::new();
+        overlay.attach_shared(shared.clone());
+        overlay.put(ArtifactKind::GraphRow, fp("a"), "D1", &41i64).unwrap();
+        overlay.sync_durable().unwrap();
+        drop((overlay, shared));
+
+        let (shared, recovery) =
+            SharedStore::open_durable(&dir, StoreOptions::default(), Telemetry::noop()).unwrap();
+        assert!(recovery.is_clean(), "{recovery:?}");
+        assert_eq!(shared.len(), 1);
+        let mut fresh = CacheStore::new();
+        fresh.attach_shared(shared.clone());
+        assert_eq!(fresh.get::<i64>(ArtifactKind::GraphRow, fp("a")), Some(41));
+        assert_eq!(shared.shared_hits(), 1, "served by the log read-through");
+        assert_eq!(fresh.count_kind(ArtifactKind::GraphRow), 1, "union counting sees the log");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_cache_json_migrates_into_the_log_exactly_once() {
+        let dir = std::env::temp_dir().join(format!("decisive_cache_mig_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut legacy = CacheStore::new();
+        legacy.put(ArtifactKind::MonitorSet, fp("m"), "model", &7i64).unwrap();
+        legacy.save(&dir).unwrap();
+
+        let (shared, recovery) =
+            SharedStore::open_durable(&dir, StoreOptions::default(), Telemetry::noop()).unwrap();
+        assert_eq!(recovery.migrated_entries, 1);
+        assert!(recovery.is_clean(), "clean migration is routine, not degraded: {recovery:?}");
+        assert!(!dir.join(CACHE_FILE).exists(), "legacy file retired");
+        assert!(dir.join(format!("{CACHE_FILE}.imported")).exists());
+        let mut overlay = CacheStore::new();
+        overlay.attach_shared(shared);
+        assert_eq!(overlay.get::<i64>(ArtifactKind::MonitorSet, fp("m")), Some(7));
+
+        // Once the manifest exists, a stray cache.json is never
+        // re-imported — the log is authoritative.
+        let mut stray = CacheStore::new();
+        stray.put(ArtifactKind::MonitorSet, fp("other"), "model", &9i64).unwrap();
+        stray.save(&dir).unwrap();
+        let (shared, recovery) =
+            SharedStore::open_durable(&dir, StoreOptions::default(), Telemetry::noop()).unwrap();
+        assert_eq!(recovery.migrated_entries, 0);
+        assert_eq!(shared.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -220,13 +220,34 @@ impl EngineBuilder {
     pub fn build(self) -> Result<Engine> {
         let mut engine = Engine::with_cache(self.config, self.cache.unwrap_or_default());
         engine.telemetry = self.telemetry;
-        if let Some(dir) = self.cache_dir {
-            engine.load_cache(dir)?;
-        }
-        if let Some(shared) = self.shared {
-            // Attached last: `load_cache` replaces the store wholesale, so
-            // a cache-dir load would otherwise detach the shared layer.
-            engine.cache.attach_shared(shared);
+        match (self.cache_dir, self.shared) {
+            (Some(dir), None) => {
+                // The durable path: persistence lives in the segmented
+                // append-only store under `dir/store/`, recovered by one
+                // index scan (values load lazily on first hit) instead of
+                // a wholesale JSON parse. A legacy `cache.json` migrates
+                // into the log on the first such open.
+                let (shared, recovery) = SharedStore::open_durable(
+                    &dir,
+                    crate::store::StoreOptions::default(),
+                    engine.telemetry.clone(),
+                )?;
+                engine.stats.quarantined_entries += recovery.quarantined_frames;
+                engine.degraded.quarantined_cache_entries += recovery.quarantined_frames;
+                engine.degraded.notes.extend(recovery.notes.iter().cloned());
+                engine.load_campaign(&dir)?;
+                engine.cache.attach_shared(shared);
+            }
+            (Some(dir), Some(shared)) => {
+                // An explicit shared layer supplies its own persistence;
+                // the cache dir then loads the legacy wholesale JSON.
+                // Attached last: `load_cache` replaces the store
+                // wholesale, which would detach the shared layer.
+                engine.load_cache(&dir)?;
+                engine.cache.attach_shared(shared);
+            }
+            (None, Some(shared)) => engine.cache.attach_shared(shared),
+            (None, None) => {}
         }
         Ok(engine)
     }
@@ -338,13 +359,18 @@ impl Engine {
         self.stats.quarantined_entries += report.quarantined;
         self.degraded.quarantined_cache_entries += report.quarantined;
         self.degraded.notes.extend(report.reasons);
+        self.load_campaign(dir)
+    }
+
+    /// Restores the campaign-health report persisted in `dir`, if any. A
+    /// malformed report is quarantined (earlier quarantine evidence is
+    /// rotated aside, never clobbered), not fatal: like the cache itself,
+    /// campaign history may be cold but never wrong.
+    fn load_campaign(&mut self, dir: &std::path::Path) -> Result<()> {
         let file = dir.join(CAMPAIGN_FILE);
         if file.exists() {
             let bytes = std::fs::read(&file)
                 .map_err(|e| EngineError::Cache(format!("{}: {e}", file.display())))?;
-            // A malformed report (invalid UTF-8, bad JSON, wrong shape) is
-            // quarantined, not fatal: like the cache itself, campaign
-            // history may be cold but never wrong.
             let restored: Option<CampaignHealth> = String::from_utf8(bytes.clone())
                 .ok()
                 .and_then(|text| decisive_federation::json::parse(&text).ok())
@@ -353,6 +379,7 @@ impl Engine {
                 Some(health) => self.last_campaign = Some(health),
                 None => {
                     let quarantine = dir.join(CAMPAIGN_QUARANTINE_FILE);
+                    crate::cache::rotate_quarantine(&quarantine);
                     if std::fs::rename(&file, &quarantine).is_err() {
                         let _ = std::fs::write(&quarantine, &bytes);
                         let _ = std::fs::remove_file(&file);
@@ -377,7 +404,15 @@ impl Engine {
     /// Returns [`EngineError::Cache`] on I/O failure.
     pub fn save_cache(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
         let dir = dir.as_ref();
-        self.cache.save(dir)?;
+        if self.cache.shared().is_some_and(SharedStore::is_durable) {
+            // A durable engine persisted every pass incrementally through
+            // the segmented store; "save" is just the commit fsync. The
+            // v3 JSON file is not rewritten (`decisive store export`
+            // produces portable snapshots).
+            self.cache.sync_durable()?;
+        } else {
+            self.cache.save(dir)?;
+        }
         if let Some(health) = &self.last_campaign {
             let value = decisive_federation::serde_bridge::to_value(health)
                 .map_err(|e| EngineError::Cache(format!("unserialisable campaign report: {e}")))?;

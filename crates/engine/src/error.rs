@@ -21,6 +21,9 @@ pub enum EngineError {
     Cancelled,
     /// Cache persistence failed (I/O, parse, or serialisation).
     Cache(String),
+    /// The segmented artifact store failed (I/O on append, fsync, or
+    /// manifest swap). Corruption never raises this — it quarantines.
+    Store(String),
     /// `verify_against_full` found a divergence between the incremental
     /// and the from-scratch result — a cache-soundness bug.
     Verification(String),
@@ -39,6 +42,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Cancelled => write!(f, "analysis cancelled"),
             EngineError::Cache(message) => write!(f, "cache: {message}"),
+            EngineError::Store(message) => write!(f, "artifact store: {message}"),
             EngineError::Verification(message) => {
                 write!(f, "incremental result diverged from full recomputation: {message}")
             }

@@ -13,6 +13,8 @@
 //! - [`fingerprint`] — the stable 64-bit content hasher;
 //! - [`model_fp`] — what gets hashed for each artefact kind;
 //! - [`cache`] — the content-addressed store plus JSON persistence;
+//! - [`store`] — the crash-safe segmented append-only log behind durable
+//!   [`SharedStore`]s (incremental durability, frame-level quarantine);
 //! - [`scheduler`] — the deterministic parallel job runner;
 //! - [`stats`] — per-phase observability counters;
 //! - [`pass`] — the typed [`AnalysisPass`] abstraction: each analysis
@@ -34,6 +36,7 @@ pub mod pass;
 pub mod pipeline;
 pub mod scheduler;
 pub mod stats;
+pub mod store;
 
 pub use cache::{ArtifactKind, CacheStore, SharedStore};
 pub use engine::{Engine, EngineBuilder, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
@@ -50,3 +53,7 @@ pub use pass::{
 pub use pipeline::{PassStatus, Pipeline, PipelineRun};
 pub use scheduler::{CancelToken, Scheduler};
 pub use stats::{EngineStats, PhaseStats};
+pub use store::{
+    CompactionSummary, SegmentStore, StoreHealth, StoreOptions, StoreRecovery, MANIFEST_FILE,
+    STORE_DIR, STORE_QUARANTINE_FILE,
+};

@@ -512,6 +512,11 @@ impl<'a> PassContext<'a> {
                 )?;
                 merged[i] = Some(fresh);
             }
+            // Incremental durability: with a durable shared layer every
+            // artefact this pass just computed is committed (fsynced)
+            // before the pass reports done, so a crash between passes
+            // loses nothing already paid for.
+            self.lock_cache().sync_durable()?;
         }
         phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         self.phases.push(phase);

@@ -1,0 +1,1166 @@
+//! The crash-safe segmented artifact store.
+//!
+//! The v3 `cache.json` format serialises the whole world on every save and
+//! parses the whole world on every load — O(history) at both ends, and a
+//! crash loses everything newer than the last full save. This module
+//! replaces that persistence layer with an append-only segmented log:
+//!
+//! ```text
+//! <cache-dir>/store/
+//! ├── MANIFEST.json          {"version":1,"generation":G,"segments":[1,2,…]}
+//! ├── seg-000001.seg         8-byte magic, then checksummed frames
+//! ├── seg-000002.seg         ← the last listed segment is the append head
+//! └── store.quarantine.json  frames dropped by recovery, for post-mortem
+//! ```
+//!
+//! *Crash safety is structural, not transactional*: every write is an
+//! append (plus fsync at pass boundaries), never a rewrite-in-place, so
+//! the only possible damage is at the tail of the active segment. Recovery
+//! scans each listed segment once: a frame with a plausible length but a
+//! failing checksum is quarantined at frame granularity and skipped; a
+//! torn tail is truncated and quarantined; everything before it is served.
+//! Opening the store costs one sequential scan to build the in-memory
+//! `(kind, key) → (segment, offset)` index — values are parsed lazily on
+//! `get`, so a warm start pays O(touched artifacts), not O(history).
+//!
+//! *Compaction* rewrites the live index into fresh segments and commits by
+//! atomically swapping `MANIFEST.json` (temp file + fsync + rename + dir
+//! fsync). A crash at any point leaves either the old manifest (the new
+//! segments are orphans, removed at next open) or the new one (the old
+//! segments are orphans) — never a mix, because segment files themselves
+//! are immutable once sealed.
+//!
+//! The whole write path runs through the [`StoreFs`] seam so the fault
+//! harness ([`FailpointFs`]) can inject torn writes, bit flips, and a
+//! crash at every fsync boundary; `crates/engine/tests/store_faults.rs`
+//! proves recovery never loses a committed frame and never panics.
+
+pub mod failpoint;
+mod frame;
+
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use decisive_federation::{json, Value};
+use decisive_obs::Telemetry;
+
+use crate::cache::{atomic_write, rotate_quarantine, ArtifactKind, CacheStore};
+use crate::error::{EngineError, Result};
+use crate::fingerprint::Fingerprint;
+
+pub use failpoint::{FailpointFs, RealFs, StoreFs, WriteFault};
+
+/// Subdirectory of the cache directory holding the segmented store.
+pub const STORE_DIR: &str = "store";
+
+/// The manifest naming the live segments, swapped atomically.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Frames dropped by recovery land here (rotated, never clobbered).
+pub const STORE_QUARANTINE_FILE: &str = "store.quarantine.json";
+
+/// First bytes of every segment file.
+const SEGMENT_MAGIC: [u8; 8] = *b"DSEGv01\n";
+
+fn segment_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+/// Tuning knobs of the segmented store.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// `maybe_compact` only fires with at least this many dead frames.
+    pub compact_min_dead: usize,
+    /// … and once dead frames make up at least this fraction of all
+    /// frames on disk.
+    pub compact_dead_ratio: f64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { segment_bytes: 4 << 20, compact_min_dead: 64, compact_dead_ratio: 0.5 }
+    }
+}
+
+/// What opening the store had to repair. A clean open quarantines
+/// nothing, truncates nothing, and has no notes; anything else means the
+/// affected artefacts will transparently recompute.
+#[derive(Debug, Clone, Default)]
+pub struct StoreRecovery {
+    /// Segments listed by the (possibly rebuilt) manifest after recovery.
+    pub segments: usize,
+    /// Frames serving the index after recovery.
+    pub live_frames: usize,
+    /// Frames (or whole unreadable segments, counted once) dropped into
+    /// the quarantine file.
+    pub quarantined_frames: usize,
+    /// Torn tail bytes truncated off segment ends.
+    pub truncated_bytes: u64,
+    /// Leftover segment files of an interrupted rotation or compaction,
+    /// removed. Expected after a crash; not a degradation.
+    pub removed_orphan_segments: usize,
+    /// Legacy `cache.json` entries migrated into the log on first open
+    /// (see `SharedStore::open_durable`).
+    pub migrated_entries: usize,
+    /// One human-readable line per repair — these degrade the run.
+    pub notes: Vec<String>,
+}
+
+impl StoreRecovery {
+    /// `true` when nothing had to be repaired (orphan removal and legacy
+    /// migration are expected operations, not repairs).
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_frames == 0 && self.truncated_bytes == 0 && self.notes.is_empty()
+    }
+
+    /// Serialises for the serve `status` op / `decisive store status`.
+    pub fn to_value(&self) -> Value {
+        Value::record([
+            ("clean", Value::Bool(self.is_clean())),
+            ("segments", Value::Int(self.segments as i64)),
+            ("live_frames", Value::Int(self.live_frames as i64)),
+            ("quarantined_frames", Value::Int(self.quarantined_frames as i64)),
+            ("truncated_bytes", Value::Int(self.truncated_bytes as i64)),
+            ("removed_orphan_segments", Value::Int(self.removed_orphan_segments as i64)),
+            ("migrated_entries", Value::Int(self.migrated_entries as i64)),
+            ("notes", Value::List(self.notes.iter().map(|n| Value::from(n.as_str())).collect())),
+        ])
+    }
+}
+
+/// Result of one compaction run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionSummary {
+    /// Live frames copied into the fresh segments.
+    pub live_frames: usize,
+    /// Dead (superseded or rotted) frames left behind.
+    pub dropped_frames: usize,
+    /// Bytes reclaimed (size before minus size after).
+    pub reclaimed_bytes: i64,
+    /// Segment count before the swap.
+    pub segments_before: usize,
+    /// Segment count after the swap.
+    pub segments_after: usize,
+    /// Wall-clock duration of the rewrite and swap.
+    pub wall_ms: f64,
+}
+
+impl CompactionSummary {
+    /// Serialises for the serve `status` op / `decisive store status`.
+    pub fn to_value(&self) -> Value {
+        Value::record([
+            ("live_frames", Value::Int(self.live_frames as i64)),
+            ("dropped_frames", Value::Int(self.dropped_frames as i64)),
+            ("reclaimed_bytes", Value::Int(self.reclaimed_bytes)),
+            ("segments_before", Value::Int(self.segments_before as i64)),
+            ("segments_after", Value::Int(self.segments_after as i64)),
+            ("wall_ms", Value::Real(self.wall_ms)),
+        ])
+    }
+}
+
+/// A point-in-time health snapshot, exposed by the serve daemon's
+/// `status` op and `decisive store status`.
+#[derive(Debug, Clone)]
+pub struct StoreHealth {
+    /// Live segment files.
+    pub segments: usize,
+    /// Frames the index serves.
+    pub live_frames: usize,
+    /// Superseded or rotted frames awaiting compaction.
+    pub dead_frames: usize,
+    /// Frames quarantined since the store was created (recovery plus
+    /// read-time rot), monotonic within a process.
+    pub quarantined_frames: u64,
+    /// Frames appended by this process.
+    pub appends: u64,
+    /// Total on-disk size of the live segments.
+    pub bytes: u64,
+    /// Manifest generation (bumps on every rotation and compaction).
+    pub generation: u64,
+    /// The most recent compaction in this process, if any.
+    pub last_compaction: Option<CompactionSummary>,
+}
+
+impl StoreHealth {
+    /// Live frames as a fraction of all frames on disk (1.0 when empty).
+    pub fn live_ratio(&self) -> f64 {
+        let total = self.live_frames + self.dead_frames;
+        if total == 0 {
+            1.0
+        } else {
+            self.live_frames as f64 / total as f64
+        }
+    }
+
+    /// Serialises for the serve `status` op / `decisive store status`.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("segments", Value::Int(self.segments as i64)),
+            ("live_frames", Value::Int(self.live_frames as i64)),
+            ("dead_frames", Value::Int(self.dead_frames as i64)),
+            ("live_ratio", Value::Real(self.live_ratio())),
+            ("quarantined_frames", Value::Int(self.quarantined_frames as i64)),
+            ("appends", Value::Int(self.appends as i64)),
+            ("bytes", Value::Int(self.bytes as i64)),
+            ("generation", Value::Int(self.generation as i64)),
+        ];
+        if let Some(compaction) = &self.last_compaction {
+            fields.push(("last_compaction", compaction.to_value()));
+        }
+        Value::record(fields)
+    }
+}
+
+/// Where one live frame sits on disk.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    segment: u64,
+    offset: u64,
+    len: u32,
+}
+
+#[derive(Debug)]
+struct Inner {
+    segments: Vec<u64>,
+    generation: u64,
+    active: File,
+    active_len: u64,
+    index: HashMap<(ArtifactKind, Fingerprint), Slot>,
+    /// Valid frames physically on disk (live + superseded).
+    frames_on_disk: usize,
+    bytes_on_disk: u64,
+    appends: u64,
+    quarantined_frames: u64,
+    pending_sync: bool,
+    last_compaction: Option<CompactionSummary>,
+    /// Set on the first failed write/fsync: the on-disk tail is then
+    /// untrustworthy, so all further mutations are refused until reopen
+    /// (reads keep working — recovery at reopen repairs the tail).
+    wedged: Option<String>,
+}
+
+/// The append-only segmented log. All access is serialised on one mutex,
+/// so same-process readers never observe a partially swapped manifest;
+/// clones of the owning `Arc` are the sharing mechanism.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    fs: Arc<dyn StoreFs>,
+    options: StoreOptions,
+    telemetry: Telemetry,
+    inner: Mutex<Inner>,
+}
+
+fn store_err(path: &Path, e: impl std::fmt::Display) -> EngineError {
+    EngineError::Store(format!("{}: {e}", path.display()))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn quarantine_item(segment: u64, offset: usize, reason: &str, bytes: &[u8]) -> Value {
+    let preview = &bytes[..bytes.len().min(256)];
+    Value::record([
+        ("segment", Value::Int(segment as i64)),
+        ("offset", Value::Int(offset as i64)),
+        ("reason", Value::from(reason)),
+        ("bytes", Value::Int(bytes.len() as i64)),
+        ("hex_preview", Value::Str(hex(preview))),
+    ])
+}
+
+fn manifest_value(generation: u64, segments: &[u64]) -> Value {
+    Value::record([
+        ("version", Value::Int(1)),
+        ("generation", Value::Int(generation as i64)),
+        ("segments", Value::List(segments.iter().map(|&s| Value::Int(s as i64)).collect())),
+    ])
+}
+
+fn parse_manifest(value: &Value) -> Option<(u64, Vec<u64>)> {
+    if value.get("version").and_then(Value::as_i64) != Some(1) {
+        return None;
+    }
+    let generation = value.get("generation").and_then(Value::as_i64)?;
+    let segments = match value.get("segments")? {
+        Value::List(items) => items
+            .iter()
+            .map(|v| v.as_i64().filter(|&i| i > 0).map(|i| i as u64))
+            .collect::<Option<Vec<u64>>>()?,
+        _ => return None,
+    };
+    (generation >= 0).then_some((generation as u64, segments))
+}
+
+/// Atomically installs a manifest listing `segments` (temp file + fsync +
+/// rename + directory fsync), all through the `StoreFs` seam so the fault
+/// harness can crash at every boundary of the swap.
+fn write_manifest(fs: &dyn StoreFs, dir: &Path, generation: u64, segments: &[u64]) -> Result<()> {
+    let text = json::to_string(&manifest_value(generation, segments));
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let target = dir.join(MANIFEST_FILE);
+    let mut file = fs.create(&tmp).map_err(|e| store_err(&tmp, e))?;
+    fs.append(&mut file, text.as_bytes()).map_err(|e| store_err(&tmp, e))?;
+    fs.sync(&file).map_err(|e| store_err(&tmp, e))?;
+    drop(file);
+    fs.rename(&tmp, &target).map_err(|e| store_err(&target, e))?;
+    fs.sync_dir(dir).map_err(|e| store_err(dir, e))?;
+    Ok(())
+}
+
+/// Creates segment file `id` with its magic header, fsynced.
+fn create_segment(fs: &dyn StoreFs, dir: &Path, id: u64) -> Result<File> {
+    let path = dir.join(segment_name(id));
+    let mut file = fs.create(&path).map_err(|e| store_err(&path, e))?;
+    fs.append(&mut file, &SEGMENT_MAGIC).map_err(|e| store_err(&path, e))?;
+    fs.sync(&file).map_err(|e| store_err(&path, e))?;
+    Ok(file)
+}
+
+/// Segment ids present on disk, ascending.
+fn scan_dir_for_segments(dir: &Path) -> Vec<u64> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut ids: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            let id = name.strip_prefix("seg-")?.strip_suffix(".seg")?;
+            id.parse::<u64>().ok().filter(|&i| i > 0)
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+impl SegmentStore {
+    /// Opens (creating if needed) the store in `dir` on the real
+    /// filesystem, running recovery. See [`SegmentStore::open_with_fs`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+        telemetry: Telemetry,
+    ) -> Result<(SegmentStore, StoreRecovery)> {
+        Self::open_with_fs(dir, options, Arc::new(RealFs), telemetry)
+    }
+
+    /// Opens the store through an explicit filesystem seam (the fault
+    /// harness entry point). Recovery is idempotent: it truncates torn
+    /// tails, quarantines corrupt frames, removes orphan segments of an
+    /// interrupted rotation/compaction, and rebuilds a missing or corrupt
+    /// manifest from the segment files on disk (ascending segment id, so
+    /// compacted copies win over stale originals).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] only for environment failures (unreadable
+    /// directory, I/O errors). Corruption never errors — it quarantines.
+    pub fn open_with_fs(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+        fs: Arc<dyn StoreFs>,
+        telemetry: Telemetry,
+    ) -> Result<(SegmentStore, StoreRecovery)> {
+        let started = Instant::now();
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| store_err(&dir, e))?;
+        let mut recovery = StoreRecovery::default();
+        let manifest_path = dir.join(MANIFEST_FILE);
+
+        let mut generation = 0u64;
+        let mut segments: Vec<u64>;
+        let mut manifest_dirty = false;
+        match std::fs::read(&manifest_path) {
+            // Invalid UTF-8 is corruption (a flipped bit), exactly like
+            // unparsable JSON — quarantine and rebuild, never an error.
+            Ok(bytes) => match String::from_utf8(bytes)
+                .ok()
+                .and_then(|text| json::parse(&text).ok())
+                .as_ref()
+                .and_then(parse_manifest)
+            {
+                Some((g, s)) => {
+                    generation = g;
+                    segments = s;
+                }
+                None => {
+                    let quarantined = dir.join(format!("{MANIFEST_FILE}.quarantined"));
+                    rotate_quarantine(&quarantined);
+                    std::fs::rename(&manifest_path, &quarantined).ok();
+                    segments = scan_dir_for_segments(&dir);
+                    recovery.notes.push(format!(
+                        "store manifest unreadable; quarantined it and rebuilt from {} segment file(s)",
+                        segments.len()
+                    ));
+                    manifest_dirty = true;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                segments = scan_dir_for_segments(&dir);
+                if !segments.is_empty() {
+                    recovery.notes.push(format!(
+                        "store manifest missing; rebuilt from {} segment file(s)",
+                        segments.len()
+                    ));
+                    manifest_dirty = true;
+                }
+            }
+            Err(e) => return Err(store_err(&manifest_path, e)),
+        }
+        segments.sort_unstable();
+        segments.dedup();
+        segments.retain(|&id| {
+            let present = dir.join(segment_name(id)).exists();
+            if !present {
+                recovery.notes.push(format!("segment {id} listed in manifest but missing on disk"));
+                manifest_dirty = true;
+            }
+            present
+        });
+
+        // One sequential scan per segment builds the index; values stay
+        // on disk until `get` touches them.
+        let mut index: HashMap<(ArtifactKind, Fingerprint), Slot> = HashMap::new();
+        let mut frames_on_disk = 0usize;
+        let mut quarantine_items: Vec<Value> = Vec::new();
+        let mut kept: Vec<u64> = Vec::with_capacity(segments.len());
+        for &id in &segments {
+            let path = dir.join(segment_name(id));
+            let bytes = std::fs::read(&path).map_err(|e| store_err(&path, e))?;
+            if bytes.len() < SEGMENT_MAGIC.len() || bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+                recovery.quarantined_frames += 1;
+                recovery.notes.push(format!("segment {id}: bad header; quarantined wholesale"));
+                let quarantined = dir.join(format!("{}.quarantined", segment_name(id)));
+                rotate_quarantine(&quarantined);
+                std::fs::rename(&path, &quarantined).ok();
+                manifest_dirty = true;
+                continue;
+            }
+            kept.push(id);
+            let mut at = SEGMENT_MAGIC.len();
+            while at < bytes.len() {
+                match frame::scan_step(&bytes[at..]) {
+                    frame::ScanStep::Frame { body, len } => {
+                        index.insert(
+                            (body.kind, body.key),
+                            Slot { segment: id, offset: at as u64, len: len as u32 },
+                        );
+                        frames_on_disk += 1;
+                        at += len;
+                    }
+                    frame::ScanStep::Corrupt { reason, len } => {
+                        recovery.quarantined_frames += 1;
+                        quarantine_items.push(quarantine_item(
+                            id,
+                            at,
+                            &reason,
+                            &bytes[at..at + len],
+                        ));
+                        recovery.notes.push(format!("segment {id} @{at}: {reason}"));
+                        at += len;
+                    }
+                    frame::ScanStep::Tail { reason } => {
+                        let torn = (bytes.len() - at) as u64;
+                        recovery.quarantined_frames += 1;
+                        recovery.truncated_bytes += torn;
+                        quarantine_items.push(quarantine_item(id, at, &reason, &bytes[at..]));
+                        recovery.notes.push(format!(
+                            "segment {id} @{at}: {reason}; truncated {torn} torn byte(s)"
+                        ));
+                        let file = std::fs::OpenOptions::new()
+                            .write(true)
+                            .open(&path)
+                            .map_err(|e| store_err(&path, e))?;
+                        file.set_len(at as u64).map_err(|e| store_err(&path, e))?;
+                        file.sync_data().map_err(|e| store_err(&path, e))?;
+                        break;
+                    }
+                }
+            }
+        }
+        manifest_dirty |= kept.len() != segments.len();
+        let mut segments = kept;
+
+        // Segment files not in the manifest are leftovers of an
+        // interrupted rotation or compaction swap: their content was
+        // either never committed or is a duplicate of live segments.
+        let listed: HashSet<u64> = segments.iter().copied().collect();
+        for id in scan_dir_for_segments(&dir) {
+            if !listed.contains(&id) {
+                std::fs::remove_file(dir.join(segment_name(id))).ok();
+                recovery.removed_orphan_segments += 1;
+            }
+        }
+        std::fs::remove_file(dir.join(format!("{MANIFEST_FILE}.tmp"))).ok();
+
+        if segments.is_empty() {
+            create_segment(&*fs, &dir, 1)?;
+            segments.push(1);
+            manifest_dirty = true;
+        }
+        if manifest_dirty {
+            generation += 1;
+            write_manifest(&*fs, &dir, generation, &segments)?;
+        }
+
+        if !quarantine_items.is_empty() {
+            let quarantine = dir.join(STORE_QUARANTINE_FILE);
+            rotate_quarantine(&quarantine);
+            let doc = Value::record([
+                ("version", Value::Int(1)),
+                ("frames", Value::List(quarantine_items)),
+            ]);
+            atomic_write(&quarantine, &json::to_string(&doc)).ok();
+        }
+
+        let active_id = *segments.last().expect("at least one segment");
+        let active_path = dir.join(segment_name(active_id));
+        let active = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&active_path)
+            .map_err(|e| store_err(&active_path, e))?;
+        let active_len =
+            std::fs::metadata(&active_path).map_err(|e| store_err(&active_path, e))?.len();
+        let bytes_on_disk = segments
+            .iter()
+            .map(|&id| std::fs::metadata(dir.join(segment_name(id))).map(|m| m.len()).unwrap_or(0))
+            .sum();
+
+        recovery.segments = segments.len();
+        recovery.live_frames = index.len();
+        if recovery.quarantined_frames > 0 {
+            telemetry.count("store.quarantined_frames", recovery.quarantined_frames as u64);
+        }
+        telemetry.duration_ms("store.open_ms", started.elapsed().as_secs_f64() * 1000.0);
+
+        let store = SegmentStore {
+            dir,
+            fs,
+            options,
+            telemetry,
+            inner: Mutex::new(Inner {
+                segments,
+                generation,
+                active,
+                active_len,
+                index,
+                frames_on_disk,
+                bytes_on_disk,
+                appends: 0,
+                quarantined_frames: recovery.quarantined_frames as u64,
+                pending_sync: false,
+                last_compaction: None,
+                wedged: None,
+            }),
+        };
+        Ok((store, recovery))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic mid-operation leaves in-memory bookkeeping suspect but
+        // the on-disk log intact; recover the guard and keep serving.
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Number of live frames.
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// `true` when no live frames exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live frames of one kind.
+    pub fn count_kind(&self, kind: ArtifactKind) -> usize {
+        self.lock().index.keys().filter(|(k, _)| *k == kind).count()
+    }
+
+    /// Keys of all live frames of one kind.
+    pub fn keys_of_kind(&self, kind: ArtifactKind) -> Vec<Fingerprint> {
+        self.lock().index.keys().filter(|(k, _)| *k == kind).map(|&(_, f)| f).collect()
+    }
+
+    /// Keys of all live frames.
+    pub fn keys(&self) -> Vec<(ArtifactKind, Fingerprint)> {
+        self.lock().index.keys().copied().collect()
+    }
+
+    fn check_wedged(inner: &Inner) -> Result<()> {
+        match &inner.wedged {
+            Some(reason) => Err(EngineError::Store(format!(
+                "store is read-only after a write failure (reopen to recover): {reason}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends one artefact frame to the active segment, rotating first
+    /// when the segment is full. The frame is *committed* — guaranteed to
+    /// survive any crash — only once a subsequent [`SegmentStore::sync`]
+    /// returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on I/O failure. A failed append wedges the
+    /// store read-only, because the on-disk tail may be torn.
+    pub fn append(
+        &self,
+        kind: ArtifactKind,
+        key: Fingerprint,
+        owner: &str,
+        value: &Value,
+    ) -> Result<()> {
+        let frame = frame::encode(kind, key, owner, &json::to_string(value));
+        let mut inner = self.lock();
+        Self::check_wedged(&inner)?;
+        if inner.active_len > SEGMENT_MAGIC.len() as u64
+            && inner.active_len + frame.len() as u64 > self.options.segment_bytes
+        {
+            if let Err(e) = self.rotate(&mut inner) {
+                inner.wedged = Some(e.to_string());
+                return Err(e);
+            }
+        }
+        let offset = inner.active_len;
+        if let Err(e) = self.fs.append(&mut inner.active, &frame) {
+            inner.wedged = Some(e.to_string());
+            return Err(EngineError::Store(format!("frame append failed: {e}")));
+        }
+        let segment = *inner.segments.last().expect("at least one segment");
+        inner.active_len += frame.len() as u64;
+        inner.bytes_on_disk += frame.len() as u64;
+        inner.index.insert((kind, key), Slot { segment, offset, len: frame.len() as u32 });
+        inner.frames_on_disk += 1;
+        inner.appends += 1;
+        inner.pending_sync = true;
+        self.telemetry.count("store.appends", 1);
+        Ok(())
+    }
+
+    /// Seals the active segment, creates the next one, and commits the
+    /// extended manifest. Crash-safe: until the manifest lands, the new
+    /// segment is an orphan the next open removes.
+    fn rotate(&self, inner: &mut Inner) -> Result<()> {
+        self.fs
+            .sync(&inner.active)
+            .map_err(|e| EngineError::Store(format!("sealing segment failed: {e}")))?;
+        inner.pending_sync = false;
+        let id = inner.segments.last().expect("at least one segment") + 1;
+        let file = create_segment(&*self.fs, &self.dir, id)?;
+        let mut segments = inner.segments.clone();
+        segments.push(id);
+        write_manifest(&*self.fs, &self.dir, inner.generation + 1, &segments)?;
+        inner.generation += 1;
+        inner.segments = segments;
+        inner.active = file;
+        inner.active_len = SEGMENT_MAGIC.len() as u64;
+        inner.bytes_on_disk += SEGMENT_MAGIC.len() as u64;
+        self.telemetry.count("store.rotations", 1);
+        Ok(())
+    }
+
+    /// Fsyncs pending appends — the commit point for everything appended
+    /// since the last sync. Cheap when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on fsync failure (the store wedges).
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.lock();
+        Self::check_wedged(&inner)?;
+        if inner.pending_sync {
+            if let Err(e) = self.fs.sync(&inner.active) {
+                inner.wedged = Some(e.to_string());
+                return Err(EngineError::Store(format!("fsync failed: {e}")));
+            }
+            inner.pending_sync = false;
+        }
+        Ok(())
+    }
+
+    fn read_slot(&self, slot: &Slot) -> std::result::Result<frame::FrameBody, String> {
+        let path = self.dir.join(segment_name(slot.segment));
+        let mut file = File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        file.seek(SeekFrom::Start(slot.offset)).map_err(|e| e.to_string())?;
+        let mut buf = vec![0u8; slot.len as usize];
+        file.read_exact(&mut buf).map_err(|e| e.to_string())?;
+        frame::decode(&buf)
+    }
+
+    /// Fetches one artefact, re-verifying its frame checksum on the way
+    /// (the lazy-parse point read). A frame that rotted since open is
+    /// quarantined from the index and reads as a miss — the artefact
+    /// recomputes; the store never serves bytes that fail verification.
+    pub fn get(&self, kind: ArtifactKind, key: Fingerprint) -> Option<(String, Value)> {
+        let mut inner = self.lock();
+        let slot = *inner.index.get(&(kind, key))?;
+        let decoded = self.read_slot(&slot).and_then(|body| {
+            json::parse(&body.value_json)
+                .map(|value| (body.owner, value))
+                .map_err(|e| format!("stored value unparsable: {e}"))
+        });
+        match decoded {
+            Ok(hit) => Some(hit),
+            Err(_reason) => {
+                inner.index.remove(&(kind, key));
+                inner.quarantined_frames += 1;
+                self.telemetry.count("store.quarantined_frames", 1);
+                self.telemetry.count("store.read_rot", 1);
+                None
+            }
+        }
+    }
+
+    /// Rewrites all live frames into fresh segments and atomically swaps
+    /// the manifest, reclaiming dead-frame space. Interrupting this at
+    /// *any* point leaves a readable store: segment files are immutable
+    /// once sealed and the manifest rename is the single commit point, so
+    /// recovery sees either the old segment set or the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on I/O failure before the commit point; the
+    /// store stays on the old segment set, fully usable, and the partial
+    /// new segments are orphans the next open removes.
+    pub fn compact(&self) -> Result<CompactionSummary> {
+        let started = Instant::now();
+        let mut inner = self.lock();
+        Self::check_wedged(&inner)?;
+
+        let frames_before = inner.frames_on_disk;
+        let bytes_before = inner.bytes_on_disk;
+        let segments_before = inner.segments.len();
+
+        // Copy in (segment, offset) order: sequential reads, determinism.
+        let mut live: Vec<((ArtifactKind, Fingerprint), Slot)> =
+            inner.index.iter().map(|(k, s)| (*k, *s)).collect();
+        live.sort_by_key(|&(_, s)| (s.segment, s.offset));
+
+        let first_id = inner.segments.last().expect("at least one segment") + 1;
+        let mut new_segments: Vec<u64> = Vec::new();
+        let mut new_index: HashMap<(ArtifactKind, Fingerprint), Slot> = HashMap::new();
+        let mut active: Option<File> = None;
+        let mut active_len = 0u64;
+        let mut new_bytes = 0u64;
+        for (key, slot) in live {
+            // Re-read through the verifying decoder: rot discovered during
+            // compaction is dropped, never copied forward.
+            let Ok(body) = self.read_slot(&slot) else {
+                inner.quarantined_frames += 1;
+                self.telemetry.count("store.quarantined_frames", 1);
+                continue;
+            };
+            let bytes = frame::encode(body.kind, body.key, &body.owner, &body.value_json);
+            if active.is_none()
+                || (active_len > SEGMENT_MAGIC.len() as u64
+                    && active_len + bytes.len() as u64 > self.options.segment_bytes)
+            {
+                if let Some(file) = &active {
+                    self.fs.sync(file).map_err(|e| EngineError::Store(e.to_string()))?;
+                }
+                let id = first_id + new_segments.len() as u64;
+                active = Some(create_segment(&*self.fs, &self.dir, id)?);
+                new_segments.push(id);
+                active_len = SEGMENT_MAGIC.len() as u64;
+                new_bytes += SEGMENT_MAGIC.len() as u64;
+            }
+            let file = active.as_mut().expect("segment just ensured");
+            self.fs
+                .append(file, &bytes)
+                .map_err(|e| EngineError::Store(format!("compaction copy failed: {e}")))?;
+            let segment = *new_segments.last().expect("segment just ensured");
+            new_index.insert(key, Slot { segment, offset: active_len, len: bytes.len() as u32 });
+            active_len += bytes.len() as u64;
+            new_bytes += bytes.len() as u64;
+        }
+        if active.is_none() {
+            let id = first_id;
+            active = Some(create_segment(&*self.fs, &self.dir, id)?);
+            new_segments.push(id);
+            active_len = SEGMENT_MAGIC.len() as u64;
+            new_bytes += SEGMENT_MAGIC.len() as u64;
+        }
+        let file = active.expect("active segment exists");
+        self.fs.sync(&file).map_err(|e| EngineError::Store(e.to_string()))?;
+
+        // The commit point: after this rename, the new segments are the
+        // store. Everything beyond it is best-effort cleanup.
+        write_manifest(&*self.fs, &self.dir, inner.generation + 1, &new_segments)?;
+
+        let old_segments = std::mem::replace(&mut inner.segments, new_segments);
+        inner.generation += 1;
+        inner.frames_on_disk = new_index.len();
+        inner.index = new_index;
+        inner.active = file;
+        inner.active_len = active_len;
+        inner.bytes_on_disk = new_bytes;
+        inner.pending_sync = false;
+        for id in old_segments {
+            self.fs.remove(&self.dir.join(segment_name(id))).ok();
+        }
+
+        let summary = CompactionSummary {
+            live_frames: inner.index.len(),
+            dropped_frames: frames_before - inner.index.len(),
+            reclaimed_bytes: bytes_before as i64 - new_bytes as i64,
+            segments_before,
+            segments_after: inner.segments.len(),
+            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        };
+        inner.last_compaction = Some(summary.clone());
+        self.telemetry.count("store.compactions", 1);
+        self.telemetry.duration_ms("store.compact_ms", summary.wall_ms);
+        Ok(summary)
+    }
+
+    /// Runs [`SegmentStore::compact`] when dead frames pass the configured
+    /// thresholds; the no-op path costs one index-size comparison.
+    pub fn maybe_compact(&self) -> Result<Option<CompactionSummary>> {
+        let (dead, total) = {
+            let inner = self.lock();
+            (inner.frames_on_disk - inner.index.len(), inner.frames_on_disk)
+        };
+        if total > 0
+            && dead >= self.options.compact_min_dead
+            && dead as f64 / total as f64 >= self.options.compact_dead_ratio
+        {
+            return self.compact().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// A point-in-time health snapshot.
+    pub fn health(&self) -> StoreHealth {
+        let inner = self.lock();
+        StoreHealth {
+            segments: inner.segments.len(),
+            live_frames: inner.index.len(),
+            dead_frames: inner.frames_on_disk - inner.index.len(),
+            quarantined_frames: inner.quarantined_frames,
+            appends: inner.appends,
+            bytes: inner.bytes_on_disk,
+            generation: inner.generation,
+            last_compaction: inner.last_compaction.clone(),
+        }
+    }
+
+    /// Materialises every live frame as a plain [`CacheStore`] — the
+    /// `decisive store export` path back to portable v3 JSON.
+    pub fn export(&self) -> CacheStore {
+        let keys: Vec<(ArtifactKind, Fingerprint)> = self.lock().index.keys().copied().collect();
+        let mut out = CacheStore::new();
+        for (kind, key) in keys {
+            if let Some((owner, value)) = self.get(kind, key) {
+                out.insert_value(kind, key, owner, value);
+            }
+        }
+        out
+    }
+
+    /// Appends every entry of a v3 store into the log and syncs — the
+    /// `decisive store import` / legacy-migration path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Store`] on I/O failure.
+    pub fn import(&self, store: &CacheStore) -> Result<usize> {
+        let mut imported = 0usize;
+        for (kind, key, owner, value) in store.iter_entries() {
+            self.append(kind, key, owner, value)?;
+            imported += 1;
+        }
+        self.sync()?;
+        Ok(imported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("decisive_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn open(dir: &Path, options: StoreOptions) -> (SegmentStore, StoreRecovery) {
+        SegmentStore::open(dir, options, Telemetry::noop()).expect("store opens")
+    }
+
+    fn small() -> StoreOptions {
+        StoreOptions { segment_bytes: 256, compact_min_dead: 2, compact_dead_ratio: 0.5 }
+    }
+
+    fn put(store: &SegmentStore, key: u64, text: &str) {
+        store
+            .append(ArtifactKind::GraphRow, Fingerprint(key), "D1", &Value::from(text))
+            .expect("append succeeds");
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let dir = scratch("basic");
+        let (store, recovery) = open(&dir, StoreOptions::default());
+        assert!(recovery.is_clean());
+        put(&store, 1, "one");
+        put(&store, 2, "two");
+        store.sync().unwrap();
+        drop(store);
+
+        let (store, recovery) = open(&dir, StoreOptions::default());
+        assert!(recovery.is_clean(), "{recovery:?}");
+        assert_eq!(recovery.live_frames, 2);
+        let (owner, value) = store.get(ArtifactKind::GraphRow, Fingerprint(1)).unwrap();
+        assert_eq!(owner, "D1");
+        assert_eq!(value, Value::from("one"));
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(9)).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_segments_rotate_and_all_frames_survive() {
+        let dir = scratch("rotate");
+        let (store, _) = open(&dir, small());
+        for i in 0..32 {
+            put(&store, i, &format!("value-{i}"));
+        }
+        store.sync().unwrap();
+        assert!(store.health().segments > 1, "256-byte segments must have rotated");
+        drop(store);
+
+        let (store, recovery) = open(&dir, small());
+        assert!(recovery.is_clean(), "{recovery:?}");
+        for i in 0..32 {
+            let (_, value) = store.get(ArtifactKind::GraphRow, Fingerprint(i)).unwrap();
+            assert_eq!(value, Value::from(format!("value-{i}").as_str()));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_quarantined_at_frame_granularity() {
+        let dir = scratch("torn");
+        let (store, _) = open(&dir, StoreOptions::default());
+        put(&store, 1, "committed");
+        store.sync().unwrap();
+        drop(store);
+
+        // Simulate a torn final append: garbage half-frame at the tail.
+        let seg = dir.join(segment_name(1));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let committed_len = bytes.len();
+        bytes.extend_from_slice(&[0x55, 0x00, 0x10, 0x00, 0xde, 0xad]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (store, recovery) = open(&dir, StoreOptions::default());
+        assert_eq!(recovery.quarantined_frames, 1);
+        assert!(recovery.truncated_bytes > 0);
+        assert!(!recovery.is_clean());
+        assert_eq!(std::fs::metadata(&seg).unwrap().len(), committed_len as u64);
+        assert!(dir.join(STORE_QUARANTINE_FILE).exists(), "torn bytes kept for post-mortem");
+        assert!(
+            store.get(ArtifactKind::GraphRow, Fingerprint(1)).is_some(),
+            "the committed frame before the tear survives"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_bit_quarantines_one_frame_and_keeps_the_rest() {
+        let dir = scratch("flip");
+        let (store, _) = open(&dir, StoreOptions::default());
+        put(&store, 1, "first");
+        put(&store, 2, "second");
+        store.sync().unwrap();
+        drop(store);
+
+        // Flip a byte inside the first frame's body (past magic + length
+        // header), leaving the second frame intact.
+        let seg = dir.join(segment_name(1));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[SEGMENT_MAGIC.len() + 6] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (store, recovery) = open(&dir, StoreOptions::default());
+        assert_eq!(recovery.quarantined_frames, 1);
+        assert_eq!(recovery.live_frames, 1, "scan resynced past the corrupt frame");
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(1)).is_none());
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(2)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_frames_and_survives_reopen() {
+        let dir = scratch("compact");
+        let (store, _) = open(&dir, small());
+        for round in 0..8 {
+            for key in 0..4 {
+                put(&store, key, &format!("round-{round}-key-{key}"));
+            }
+        }
+        store.sync().unwrap();
+        let before = store.health();
+        assert_eq!(before.live_frames, 4);
+        assert_eq!(before.dead_frames, 28);
+
+        let summary = store.compact().unwrap();
+        assert_eq!(summary.live_frames, 4);
+        assert_eq!(summary.dropped_frames, 28);
+        assert!(summary.reclaimed_bytes > 0);
+        let after = store.health();
+        assert_eq!(after.dead_frames, 0);
+        assert!(after.segments < before.segments);
+
+        // The compacted store keeps serving, accepts appends, and reopens.
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(3)).is_some());
+        put(&store, 9, "post-compaction");
+        store.sync().unwrap();
+        drop(store);
+        let (store, recovery) = open(&dir, small());
+        assert!(recovery.is_clean(), "{recovery:?}");
+        assert_eq!(recovery.live_frames, 5);
+        let (_, value) = store.get(ArtifactKind::GraphRow, Fingerprint(0)).unwrap();
+        assert_eq!(value, Value::from("round-7-key-0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maybe_compact_respects_thresholds() {
+        let dir = scratch("maybe");
+        let (store, _) = open(&dir, small());
+        put(&store, 1, "a");
+        assert!(store.maybe_compact().unwrap().is_none(), "no dead frames yet");
+        put(&store, 1, "b");
+        put(&store, 1, "c");
+        put(&store, 2, "d");
+        store.sync().unwrap();
+        // 2 dead of 4 total: min_dead=2 and ratio 0.5 both met.
+        assert!(store.maybe_compact().unwrap().is_some());
+        assert!(store.maybe_compact().unwrap().is_none(), "freshly compacted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_rebuilds_from_segments() {
+        let dir = scratch("manifest");
+        let (store, _) = open(&dir, small());
+        for i in 0..16 {
+            put(&store, i, &format!("v{i}"));
+        }
+        store.sync().unwrap();
+        drop(store);
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+
+        let (store, recovery) = open(&dir, small());
+        assert!(!recovery.is_clean(), "manifest loss is a degradation");
+        assert_eq!(store.len(), 16, "all frames recovered by the directory scan");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphan_segments_are_removed_silently() {
+        let dir = scratch("orphan");
+        let (store, _) = open(&dir, StoreOptions::default());
+        put(&store, 1, "live");
+        store.sync().unwrap();
+        drop(store);
+        // An interrupted swap leaves an unlisted segment behind.
+        let mut orphan = SEGMENT_MAGIC.to_vec();
+        orphan.extend(frame::encode(
+            ArtifactKind::GraphRow,
+            Fingerprint(99),
+            "ghost",
+            "\"never committed\"",
+        ));
+        std::fs::write(dir.join(segment_name(7)), &orphan).unwrap();
+
+        let (store, recovery) = open(&dir, StoreOptions::default());
+        assert!(recovery.is_clean(), "orphan removal is routine: {recovery:?}");
+        assert_eq!(recovery.removed_orphan_segments, 1);
+        assert!(!dir.join(segment_name(7)).exists());
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(99)).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let dir = scratch("exim");
+        let (store, _) = open(&dir, StoreOptions::default());
+        put(&store, 1, "one");
+        put(&store, 2, "two");
+        store.sync().unwrap();
+        let snapshot = store.export();
+        assert_eq!(snapshot.len(), 2);
+
+        let dir2 = scratch("exim2");
+        let (fresh, _) = open(&dir2, StoreOptions::default());
+        assert_eq!(fresh.import(&snapshot).unwrap(), 2);
+        let (_, value) = fresh.get(ArtifactKind::GraphRow, Fingerprint(2)).unwrap();
+        assert_eq!(value, Value::from("two"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn a_failed_append_wedges_writes_but_not_reads() {
+        let dir = scratch("wedge");
+        let fs = Arc::new(FailpointFs::new(u64::MAX, WriteFault::DropWrite));
+        let (store, _) =
+            SegmentStore::open_with_fs(&dir, StoreOptions::default(), fs, Telemetry::noop())
+                .unwrap();
+        put(&store, 1, "before");
+        store.sync().unwrap();
+
+        // Re-open through a crashing fs: the next append fails and wedges.
+        drop(store);
+        let fs = Arc::new(FailpointFs::new(1, WriteFault::Torn { keep: 3 }));
+        let (store, _) =
+            SegmentStore::open_with_fs(&dir, StoreOptions::default(), fs, Telemetry::noop())
+                .unwrap();
+        // op 0 is the append (store already initialised); crash at op 1 =
+        // the sync.
+        put(&store, 2, "unsynced");
+        assert!(store.sync().is_err(), "injected fsync failure");
+        assert!(matches!(
+            store.append(ArtifactKind::GraphRow, Fingerprint(3), "D1", &Value::Null),
+            Err(EngineError::Store(_))
+        ));
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(1)).is_some(), "reads keep working");
+
+        // Reopen repairs: the committed frame survives, the torn one is
+        // at most quarantined.
+        drop(store);
+        let (store, _) = open(&dir, StoreOptions::default());
+        assert!(store.get(ArtifactKind::GraphRow, Fingerprint(1)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_reports_ratio_and_counters() {
+        let dir = scratch("health");
+        let (store, _) = open(&dir, StoreOptions::default());
+        put(&store, 1, "a");
+        put(&store, 1, "b");
+        let health = store.health();
+        assert_eq!(health.live_frames, 1);
+        assert_eq!(health.dead_frames, 1);
+        assert_eq!(health.appends, 2);
+        assert!((health.live_ratio() - 0.5).abs() < 1e-9);
+        let value = health.to_value();
+        assert_eq!(value.get("live_frames").and_then(Value::as_i64), Some(1));
+        assert_eq!(value.get("segments").and_then(Value::as_i64), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

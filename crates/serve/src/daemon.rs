@@ -19,7 +19,7 @@ use std::time::Instant;
 use decisive_core::fmea::injection::InjectionConfig;
 use decisive_core::persist;
 use decisive_core::reliability::ReliabilityDb;
-use decisive_engine::{CacheStore, Engine, Pipeline, PipelineInput, SharedStore};
+use decisive_engine::{Engine, Pipeline, PipelineInput, SharedStore, StoreOptions, StoreRecovery};
 use decisive_federation::{serde_bridge, Value};
 use decisive_obs::Telemetry;
 use decisive_ssam::architecture::Component;
@@ -59,6 +59,9 @@ pub struct Daemon {
     telemetry: Telemetry,
     requests: AtomicU64,
     shutdown: AtomicBool,
+    /// What store recovery found at startup (durable daemons only) —
+    /// surfaced by the `status` op so clients can see repairs.
+    recovery: Option<StoreRecovery>,
 }
 
 fn lock_session(session: &Arc<Mutex<Session>>) -> std::sync::MutexGuard<'_, Session> {
@@ -95,20 +98,27 @@ fn to_result<T: serde::Serialize>(document: &T) -> Result<Value, String> {
 }
 
 impl Daemon {
-    /// Builds a daemon, loading the persisted shared store from
-    /// `options.cache_dir` when set (corrupt entries are quarantined by
-    /// the engine's audited load, never fatal).
+    /// Builds a daemon. With `options.cache_dir` set the shared store is
+    /// backed by the durable segmented log under `<dir>/store/` — warm
+    /// start is one index scan, every completed pass is durable
+    /// immediately, and a legacy `cache.json` migrates into the log on
+    /// the first open. Corrupt frames are quarantined by recovery, never
+    /// fatal.
     ///
     /// # Errors
     ///
     /// A human-readable message when the cache directory exists but
-    /// cannot be read.
+    /// cannot be opened.
     pub fn new(options: ServeOptions, telemetry: Telemetry) -> Result<Daemon, String> {
-        let shared = SharedStore::new();
-        if let Some(dir) = &options.cache_dir {
-            let snapshot = CacheStore::load(dir).map_err(|e| e.to_string())?;
-            shared.absorb(&snapshot);
-        }
+        let (shared, recovery) = match &options.cache_dir {
+            Some(dir) => {
+                let (shared, recovery) =
+                    SharedStore::open_durable(dir, StoreOptions::default(), telemetry.clone())
+                        .map_err(|e| e.to_string())?;
+                (shared, Some(recovery))
+            }
+            None => (SharedStore::new(), None),
+        };
         let registry =
             SessionRegistry::new(shared, options.jobs, options.deadline_ms, telemetry.clone());
         Ok(Daemon {
@@ -117,6 +127,7 @@ impl Daemon {
             telemetry,
             requests: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            recovery,
         })
     }
 
@@ -141,16 +152,20 @@ impl Daemon {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Persists the shared store into the configured cache directory (a
-    /// no-op without one). Idempotent; called by `shutdown` and by every
-    /// transport loop on its way out.
+    /// Commits the shared store (a no-op without a cache directory).
+    /// Durable stores persisted every artefact as it was computed, so
+    /// this is just the final fsync — there is no wholesale rewrite to
+    /// lose. Idempotent; called by `shutdown` and by every transport loop
+    /// on its way out.
     ///
     /// # Errors
     ///
     /// A human-readable message on I/O failure.
     pub fn persist(&self) -> Result<(), String> {
-        let Some(dir) = &self.options.cache_dir else { return Ok(()) };
-        self.shared().snapshot().save(dir).map_err(|e| e.to_string())
+        if self.options.cache_dir.is_none() {
+            return Ok(());
+        }
+        self.shared().sync_durable().map_err(|e| e.to_string())
     }
 
     /// Handles one wire line: `None` for blank input, otherwise exactly
@@ -195,6 +210,18 @@ impl Daemon {
         let shared_delta = self.shared().shared_hits().saturating_sub(shared_hits_before);
         if shared_delta > 0 {
             self.telemetry.count("serve.cache_shared_hits", shared_delta);
+        }
+        if self.shared().is_durable() {
+            // Per-request durability plus opportunistic compaction. Both
+            // are best-effort here: artefact writes already surfaced
+            // their own errors in the response, and a failed compaction
+            // never loses data (the manifest swap is the commit point).
+            if self.shared().sync_durable().is_err() {
+                self.telemetry.count("store.sync_errors", 1);
+            }
+            if self.shared().maybe_compact().is_err() {
+                self.telemetry.count("store.compact_errors", 1);
+            }
         }
         self.telemetry.duration_ms("serve.request_ms", started.elapsed().as_secs_f64() * 1e3);
         Some(response)
@@ -325,13 +352,20 @@ impl Daemon {
                 ])
             })
             .collect();
-        Value::record([
+        let mut fields = vec![
             ("protocol", Value::Int(PROTOCOL_VERSION)),
             ("requests_handled", Value::Int(self.requests_handled() as i64)),
             ("sessions", Value::List(sessions)),
             ("shared_entries", Value::Int(self.shared().len() as i64)),
             ("shared_hits", Value::Int(self.shared().shared_hits() as i64)),
-        ])
+        ];
+        if let Some(health) = self.shared().durable_health() {
+            fields.push(("store", health.to_value()));
+        }
+        if let Some(recovery) = &self.recovery {
+            fields.push(("store_recovery", recovery.to_value()));
+        }
+        Value::record(fields)
     }
 }
 

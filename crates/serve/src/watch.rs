@@ -38,8 +38,12 @@ fn mtime_of(path: &Path) -> Option<SystemTime> {
 
 /// Runs the pipeline on `path` once immediately, then again on every
 /// mtime change, writing one pipeline-response line per run into `out`.
-/// A temporarily missing file (an editor's atomic save window) is waited
-/// out, never fatal. Returns the number of results emitted.
+/// A vanished file (an editor's atomic save window, a `git checkout`)
+/// streams exactly one typed `ok:false` line and is then waited out —
+/// when the file reappears the pipeline re-runs, whatever its new mtime
+/// (a restored backup regresses the mtime; that edit counts too). The
+/// loop itself only ends on shutdown, interrupt or the `max_results`
+/// bound. Returns the number of results emitted.
 ///
 /// # Errors
 ///
@@ -69,6 +73,7 @@ pub fn watch(
     );
     let mut emitted = 0usize;
     let mut rerun_pending = true; // first result streams immediately
+    let mut vanished = false;
     loop {
         if daemon.shutdown_requested() || interrupt::interrupted() {
             return Ok(emitted);
@@ -92,11 +97,33 @@ pub fn watch(
             std::thread::sleep(std::time::Duration::from_millis(slice));
             remaining -= slice;
         }
-        if let Some(mtime) = mtime_of(path) {
-            if mtime != last_seen {
+        match mtime_of(path) {
+            // A reappearance always re-runs: the restored file may carry
+            // an *older* mtime (backup restore, `touch -d`), so inequality
+            // against `last_seen` — not ordering — is the change signal.
+            Some(mtime) if vanished || mtime != last_seen => {
+                vanished = false;
                 last_seen = mtime;
                 rerun_pending = true;
             }
+            Some(_) => {}
+            None if !vanished => {
+                // Exactly one typed error line per disappearance; the
+                // watcher then keeps polling for the file to come back.
+                vanished = true;
+                let line = crate::protocol::error_response(
+                    None,
+                    Some(session),
+                    &format!("{}: model file vanished; still watching", path.display()),
+                );
+                writeln!(out, "{line}")?;
+                out.flush()?;
+                emitted += 1;
+                if options.max_results.is_some_and(|max| emitted >= max) {
+                    return Ok(emitted);
+                }
+            }
+            None => {}
         }
     }
 }

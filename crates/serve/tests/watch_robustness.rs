@@ -1,0 +1,185 @@
+//! Watch-mode robustness: a model file that vanishes mid-watch (editor
+//! atomic-save window, `git checkout`, a build step regenerating it)
+//! streams exactly one typed `ok:false` line and the watcher keeps
+//! watching — when the file reappears, even with a *regressed* mtime,
+//! the pipeline re-runs and results stream again. The loop never dies.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+use decisive_federation::{json, Value};
+use decisive_obs::Telemetry;
+use decisive_serve::watch::{self, WatchOptions};
+use decisive_serve::{Daemon, ServeOptions};
+
+const MODEL: &str = "diagram watch-probe\n\
+                     block DC1 dc-voltage-source volts=5\n\
+                     block R1 resistor ohms=0.2\n\
+                     block MC1 mcu on_amps=3;brownout_volts=4.5;fault_amps=0.1\n\
+                     block GND1 ground\n\
+                     connect DC1.0 -> R1.0\n\
+                     connect R1.1 -> MC1.0\n\
+                     connect MC1.1 -> GND1.0\n\
+                     connect DC1.1 -> GND1.0\n";
+
+/// A `Write` both the watcher thread and the asserting test can see.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn lines(&self) -> Vec<String> {
+        let buffer = self.0.lock().unwrap();
+        String::from_utf8_lossy(&buffer).lines().map(str::to_owned).collect()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn wait_for_lines(buf: &SharedBuf, count: usize) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let lines = buf.lines();
+        if lines.len() >= count {
+            return lines;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {count} line(s): {lines:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn parsed_ok(line: &str) -> bool {
+    json::parse(line)
+        .expect("every streamed line is valid JSON")
+        .get("ok")
+        .and_then(Value::as_bool)
+        .expect("every streamed line carries ok")
+}
+
+#[test]
+fn vanished_model_streams_one_error_and_watching_survives_reappearance() {
+    let dir = std::env::temp_dir().join(format!("decisive-watch-robust-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let model = dir.join("probe.bd");
+    std::fs::write(&model, MODEL).expect("model written");
+
+    let daemon = Arc::new(Daemon::new(ServeOptions::default(), Telemetry::noop()).expect("daemon"));
+    let buf = SharedBuf::default();
+    let watcher = {
+        let daemon = daemon.clone();
+        let model = model.clone();
+        let mut out = buf.clone();
+        std::thread::spawn(move || {
+            let options = WatchOptions { poll_ms: 10, max_results: Some(3) };
+            watch::watch(&daemon, &model, "watch", &options, &mut out)
+        })
+    };
+
+    // 1. The initial run streams an ok:true pipeline result.
+    let lines = wait_for_lines(&buf, 1);
+    assert!(parsed_ok(&lines[0]), "first line is a result: {}", lines[0]);
+
+    // 2. The file vanishes: exactly one typed ok:false line, then quiet —
+    //    the watcher is polling for reappearance, not spamming errors.
+    std::fs::remove_file(&model).expect("vanish");
+    let lines = wait_for_lines(&buf, 2);
+    assert!(!parsed_ok(&lines[1]), "vanish line is typed ok:false: {}", lines[1]);
+    let error = json::parse(&lines[1]).unwrap();
+    assert!(
+        error.get("error").and_then(Value::as_str).unwrap().contains("vanished"),
+        "in `{}`",
+        lines[1]
+    );
+    assert_eq!(error.get("session").and_then(Value::as_str), Some("watch"));
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(buf.lines().len(), 2, "one error per disappearance, not one per poll");
+
+    // 3. The file reappears with a *regressed* mtime (a backup restore):
+    //    the pipeline re-runs anyway and the loop stays alive.
+    std::fs::write(&model, MODEL).expect("reappear");
+    let regressed = SystemTime::now() - Duration::from_secs(3600);
+    let file = std::fs::File::options().write(true).open(&model).expect("reopen");
+    file.set_modified(regressed).expect("regress mtime");
+    drop(file);
+    let lines = wait_for_lines(&buf, 3);
+    assert!(parsed_ok(&lines[2]), "post-reappearance run streams a result: {}", lines[2]);
+
+    let emitted = watcher
+        .join()
+        .expect("watcher thread never panics")
+        .expect("watch exits cleanly at max_results");
+    assert_eq!(emitted, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent serve sessions keep getting correct answers while the
+/// durable store compacts underneath them — the serve-level face of the
+/// manifest-swap atomicity the engine tests prove at the store level.
+#[test]
+fn sessions_survive_compactions_running_underneath() {
+    let dir = std::env::temp_dir().join(format!("decisive-watch-compact-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let model = dir.join("probe.bd");
+    std::fs::write(&model, MODEL).expect("model written");
+
+    let options = ServeOptions {
+        jobs: Some(1),
+        cache_dir: Some(dir.join("cache")),
+        ..ServeOptions::default()
+    };
+    let daemon = Arc::new(Daemon::new(options, Telemetry::noop()).expect("daemon"));
+    let log = daemon.shared().durable().expect("durable daemon store").clone();
+
+    // Warm the store, then hammer: sessions analysing concurrently with
+    // explicit compactions.
+    let warm = format!(r#"{{"op":"pipeline","session":"warm","path":"{}"}}"#, model.display());
+    let response = daemon.handle_line(&warm).expect("warm response");
+    assert!(parsed_ok(&response), "warm run succeeds: {response}");
+
+    let compactor = {
+        let log = log.clone();
+        std::thread::spawn(move || {
+            for _ in 0..25 {
+                log.compact().expect("compaction never fails under readers");
+            }
+        })
+    };
+    let mut workers = Vec::new();
+    for worker in 0..3 {
+        let daemon = daemon.clone();
+        let model = model.clone();
+        workers.push(std::thread::spawn(move || {
+            for round in 0..5 {
+                let request = format!(
+                    r#"{{"op":"pipeline","session":"s{worker}-{round}","path":"{}"}}"#,
+                    model.display()
+                );
+                let response = daemon.handle_line(&request).expect("response");
+                assert!(parsed_ok(&response), "mid-compaction run succeeds: {response}");
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("session thread never panics");
+    }
+    compactor.join().expect("compactor never panics");
+
+    // The status op reports a consistent store afterwards.
+    let status = daemon.handle_line(r#"{"op":"status"}"#).expect("status");
+    let parsed = json::parse(&status).unwrap();
+    let store = parsed.get("result").and_then(|r| r.get("store")).expect("store health in status");
+    assert!(store.get("segments").and_then(Value::as_i64).unwrap() >= 1);
+    assert!(store.get("live_frames").and_then(Value::as_i64).unwrap() > 0);
+    daemon.persist().expect("final persist");
+    std::fs::remove_dir_all(&dir).ok();
+}
