@@ -78,6 +78,12 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
+        // Hidden: the re-exec target of the fleet supervisor. Not part of
+        // the user-facing surface; its protocol lives in `decisive::fleet`.
+        Some("fleet-worker") => {
+            return ExitCode::from(decisive::fleet::run_worker().clamp(0, 255) as u8)
+        }
         Some("--version" | "-V") => {
             println!("decisive {}", env!("CARGO_PKG_VERSION"));
             Ok(())
@@ -113,7 +119,8 @@ fn print_usage() {
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
          decisive trace <model.json>\n  \
-         decisive serve [--socket <path>|--watch <model>] [--poll-ms <ms>] [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--mission-hours <h>] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive serve [--socket <path>|--watch <model>] [--poll-ms <ms>] [--idle-timeout-ms <ms>] [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--mission-hours <h>] [--fleet <journal-dir>] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive fleet [<dir>...] [--workload Set0..Set5|all --scale <k>] [--seed <n>] [--workers <n>] [--deadline-ms <ms>] [--retries <n>] [--backoff-ms <ms>] [--poison-kills <n>] [--journal <dir>] [--resume] [--mission-hours <h>] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
          decisive store status|compact --cache <dir> [--format text|json]\n  \
          decisive store export|import <snapshot.json> --cache <dir>\n  \
          decisive --version"
@@ -121,7 +128,7 @@ fn print_usage() {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 13] = [
+const VALUE_FLAGS: [&str; 23] = [
     "--algorithm",
     "--csv",
     "--json",
@@ -135,6 +142,16 @@ const VALUE_FLAGS: [&str; 13] = [
     "--socket",
     "--watch",
     "--poll-ms",
+    "--idle-timeout-ms",
+    "--workload",
+    "--scale",
+    "--seed",
+    "--workers",
+    "--retries",
+    "--backoff-ms",
+    "--poison-kills",
+    "--journal",
+    "--fleet",
 ];
 
 /// How a verb renders its result: the historical text rendering (the
@@ -885,11 +902,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--socket",
             "--watch",
             "--poll-ms",
+            "--idle-timeout-ms",
             "--cache",
             "--jobs",
             "--deadline-ms",
             "--reliability",
             "--mission-hours",
+            "--fleet",
             "--trace-out",
             "--metrics",
         ],
@@ -945,12 +964,26 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Some((telemetry, sink)) => (telemetry, Some(sink)),
         None => (Telemetry::noop(), None),
     };
+    let idle_timeout_ms = match flag_value(args, "--idle-timeout-ms") {
+        Some(ms) => {
+            if socket.is_none() {
+                return Err(CliError::usage("--idle-timeout-ms only applies to --socket mode"));
+            }
+            Some(ms.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                CliError::usage(format!("--idle-timeout-ms wants a positive integer, got `{ms}`"))
+            })?)
+        }
+        None => None,
+    };
     let options = decisive::serve::ServeOptions {
         jobs,
         deadline_ms,
         cache_dir: flag_value(args, "--cache").map(std::path::PathBuf::from),
         reliability: flag_value(args, "--reliability").map(str::to_owned),
         mission_hours,
+        idle_timeout_ms,
+        fleet_status: flag_value(args, "--fleet")
+            .map(|dir| std::path::Path::new(dir).join(decisive::fleet::STATUS_FILE)),
     };
     let daemon = decisive::serve::Daemon::new(options, telemetry).map_err(CliError::Failure)?;
     // The serve loops poll the interrupt flag and exit through their
@@ -977,6 +1010,111 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     };
     finish_observability(args, sink)?;
     served
+}
+
+/// Parses a positive-integer flag with a default.
+fn uint_flag(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
+    match flag_value(args, flag) {
+        Some(n) => {
+            n.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                CliError::usage(format!("{flag} wants a positive integer, got `{n}`"))
+            })
+        }
+        None => Ok(default),
+    }
+}
+
+/// `decisive fleet`: a fault-tolerant sweep of the full analysis pipeline
+/// over every model under the given directories and/or scaled instances of
+/// the Table VI workload sets, sharded across worker *processes* so a
+/// crash, hang or poison model never takes down the campaign. Terminal
+/// rows are journaled (append + fsync) through the segmented store, so
+/// `--resume` after any interruption re-runs only unfinished models.
+fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "fleet",
+        args,
+        &[
+            "--workload",
+            "--scale",
+            "--seed",
+            "--workers",
+            "--deadline-ms",
+            "--retries",
+            "--backoff-ms",
+            "--poison-kills",
+            "--journal",
+            "--resume",
+            "--mission-hours",
+            "--format",
+            "--trace-out",
+            "--metrics",
+        ],
+    )?;
+    let format = output_format(args)?;
+    let mut tasks = Vec::new();
+    for dir in positionals(args) {
+        tasks.extend(decisive::fleet::discover(std::path::Path::new(dir))?);
+    }
+    if let Some(selector) = flag_value(args, "--workload") {
+        let scale = uint_flag(args, "--scale", 10)?;
+        let seed = match flag_value(args, "--seed") {
+            Some(n) => n.parse::<u64>().map_err(|_| {
+                CliError::usage(format!("--seed wants an unsigned integer, got `{n}`"))
+            })?,
+            None => 42,
+        };
+        tasks.extend(
+            decisive::fleet::workload_tasks(selector, scale, seed).map_err(CliError::usage)?,
+        );
+    } else if flag_value(args, "--scale").is_some() {
+        return Err(CliError::usage("--scale only applies together with --workload"));
+    }
+    if tasks.is_empty() {
+        return Err(CliError::usage(
+            "`decisive fleet` needs models: a <dir> with .bd/.json files and/or --workload <set|all>",
+        ));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let journal = flag_value(args, "--journal").unwrap_or(".decisive-fleet");
+    let mut options = decisive::fleet::FleetOptions::new(journal, exe);
+    options.workers = uint_flag(args, "--workers", 4)? as usize;
+    options.deadline_ms = uint_flag(args, "--deadline-ms", 30_000)?;
+    let retries = uint_flag(args, "--retries", 2)? as usize;
+    let backoff_ms = match flag_value(args, "--backoff-ms") {
+        Some(ms) => {
+            ms.parse::<f64>().ok().filter(|&ms| ms >= 0.0 && ms.is_finite()).ok_or_else(|| {
+                CliError::usage(format!("--backoff-ms wants a non-negative number, got `{ms}`"))
+            })?
+        }
+        None => 10.0,
+    };
+    options.retry = decisive::engine::RetryPolicy::backoff(retries, backoff_ms);
+    options.poison_kills = uint_flag(args, "--poison-kills", 2)? as u32;
+    options.resume = args.iter().any(|a| a == "--resume");
+    if let Some(h) = flag_value(args, "--mission-hours") {
+        options.mission_hours =
+            h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(|| {
+                CliError::usage(format!("--mission-hours wants a positive number, got `{h}`"))
+            })?;
+    }
+    let (telemetry, sink) =
+        if flag_value(args, "--trace-out").is_some() || args.iter().any(|a| a == "--metrics") {
+            let (telemetry, sink) = Telemetry::recording();
+            (telemetry, Some(sink))
+        } else {
+            (Telemetry::noop(), None)
+        };
+    let result = decisive::fleet::run_fleet(tasks, &options, &telemetry).map_err(CliError::Failure);
+    finish_observability(args, sink)?;
+    let report = result?;
+    match format {
+        OutputFormat::Text => print!("{}", report.render()),
+        OutputFormat::Json => {
+            println!("{}", decisive::federation::json::to_string(&report.to_value()));
+        }
+    }
+    Ok(())
 }
 
 /// `decisive store <verb> --cache <dir>` — direct maintenance of the

@@ -18,6 +18,7 @@
 //! | [`workload`] | `decisive-workload` | evaluation subjects and the simulated analyst |
 //! | [`obs`] | `decisive-obs` | structured tracing + metrics (spans, counters, chrome://tracing export) |
 //! | [`serve`] | `decisive-serve` | persistent analysis daemon: line-JSON protocol, concurrent sessions, watch mode |
+//! | [`fleet`] | `decisive-fleet` | fault-tolerant ecosystem-scale sweeps: process-isolated workers, journaled resume |
 //!
 //! See the repository's `examples/` for runnable walk-throughs, starting
 //! with `quickstart.rs` (the paper's case study end to end), and
@@ -58,6 +59,7 @@ pub use decisive_circuit as circuit;
 pub use decisive_core as core;
 pub use decisive_engine as engine;
 pub use decisive_federation as federation;
+pub use decisive_fleet as fleet;
 pub use decisive_fta as fta;
 pub use decisive_hara as hara;
 pub use decisive_obs as obs;

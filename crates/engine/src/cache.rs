@@ -65,11 +65,14 @@ pub enum ArtifactKind {
     RiskLog,
     /// Evaluated assurance-case report (the assurance pass).
     AssuranceCase,
+    /// Completed per-model row of a fleet sweep (the fleet journal: the
+    /// supervisor appends one on completion, `--resume` replays them).
+    FleetRow,
 }
 
 impl ArtifactKind {
     /// All kinds, for iteration.
-    pub const ALL: [ArtifactKind; 7] = [
+    pub const ALL: [ArtifactKind; 8] = [
         ArtifactKind::GraphFacts,
         ArtifactKind::GraphRow,
         ArtifactKind::InjectionRow,
@@ -77,6 +80,7 @@ impl ArtifactKind {
         ArtifactKind::MonitorSet,
         ArtifactKind::RiskLog,
         ArtifactKind::AssuranceCase,
+        ArtifactKind::FleetRow,
     ];
 
     /// The stable persistence tag (also the display name in `decisive
@@ -90,6 +94,7 @@ impl ArtifactKind {
             ArtifactKind::MonitorSet => "monitor-set",
             ArtifactKind::RiskLog => "risk-log",
             ArtifactKind::AssuranceCase => "assurance-case",
+            ArtifactKind::FleetRow => "fleet-row",
         }
     }
 
@@ -425,7 +430,7 @@ fn file_sum(sums: &[Fingerprint]) -> Fingerprint {
 /// directory, fsync, rename over the target, then fsync the directory so
 /// the rename itself is durable. Readers see the old file or the new
 /// one — never a torn mix.
-pub(crate) fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
     let tmp = path.with_file_name(format!("{name}.tmp"));
     {

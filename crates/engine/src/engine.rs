@@ -32,6 +32,7 @@ use crate::pass::{
     AnalysisPass, FtaPass, GraphFmeaPass, InjectionFmeaPass, MonitorPass, PassArtifact,
     PipelineInput,
 };
+use crate::scheduler::RetryPolicy;
 use crate::stats::EngineStats;
 
 /// Engine configuration.
@@ -45,6 +46,10 @@ pub struct EngineConfig {
     /// keep their results but are classified as timed-out in the phase
     /// stats and the degraded-mode report. `None` disables the deadline.
     pub deadline_ms: Option<f64>,
+    /// How panicking jobs are retried (see
+    /// [`crate::scheduler::RetryPolicy`]). The default reproduces the
+    /// historical retry-once-immediately behaviour exactly.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +58,7 @@ impl Default for EngineConfig {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             graph: GraphConfig::default(),
             deadline_ms: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -66,6 +72,12 @@ impl EngineConfig {
     /// Sets the per-job deadline (see [`EngineConfig::deadline_ms`]).
     pub fn with_deadline_ms(mut self, ms: f64) -> Self {
         self.deadline_ms = Some(ms.max(0.0));
+        self
+    }
+
+    /// Sets the retry policy (see [`EngineConfig::retry`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -167,6 +179,12 @@ impl EngineBuilder {
     /// Sets the graph FMEA configuration.
     pub fn graph(mut self, graph: GraphConfig) -> Self {
         self.config.graph = graph;
+        self
+    }
+
+    /// Sets the job retry policy (see [`EngineConfig::retry`]).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
         self
     }
 

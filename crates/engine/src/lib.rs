@@ -38,7 +38,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod store;
 
-pub use cache::{ArtifactKind, CacheStore, SharedStore};
+pub use cache::{atomic_write, ArtifactKind, CacheStore, SharedStore};
 pub use engine::{Engine, EngineBuilder, EngineConfig, FtaSubtreeSummary, CAMPAIGN_FILE};
 
 /// The telemetry substrate, re-exported so engine users configure
@@ -51,7 +51,7 @@ pub use pass::{
     MonitorPass, PassArtifact, PassContext, PipelineInput, WorkItem,
 };
 pub use pipeline::{PassStatus, Pipeline, PipelineRun};
-pub use scheduler::{CancelToken, Scheduler};
+pub use scheduler::{CancelToken, RetryPolicy, Scheduler};
 pub use stats::{EngineStats, PhaseStats};
 pub use store::{
     CompactionSummary, SegmentStore, StoreHealth, StoreOptions, StoreRecovery, MANIFEST_FILE,

@@ -1,5 +1,6 @@
 //! The parallel job scheduler: a bounded worker pool over `crossbeam`
-//! scoped threads, with per-job retry-once and cooperative cancellation.
+//! scoped threads, with a configurable per-job retry policy (exponential
+//! backoff + deterministic jitter) and cooperative cancellation.
 //!
 //! Determinism: workers pull job *indexes* from a shared atomic counter and
 //! write results back *by index*, so the output order equals the submission
@@ -17,6 +18,71 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use decisive_obs::Telemetry;
+
+use crate::fingerprint::Hasher;
+
+/// How failed (panicking) jobs are retried: up to [`RetryPolicy::max_retries`]
+/// extra attempts, each preceded by an exponential backoff delay with
+/// deterministic jitter.
+///
+/// The default policy — one retry, zero backoff — reproduces the
+/// scheduler's historical retry-once behaviour exactly; sleeps only enter
+/// the picture when `base_ms` is raised. Jitter is derived from the
+/// repository's standard content [`Hasher`] over `(salt, attempt)` rather
+/// than a random source, so a given (job, attempt) pair always backs off
+/// by the same amount — campaigns replay deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure. `0` fails fast.
+    pub max_retries: usize,
+    /// Backoff before the first retry, in milliseconds. `0` never sleeps.
+    pub base_ms: f64,
+    /// Multiplier applied per further retry (`base * factor^attempt`).
+    pub factor: f64,
+    /// Upper bound on one backoff delay, in milliseconds.
+    pub max_ms: f64,
+    /// Fraction of each delay subject to jitter, in `[0, 1]`: the delay is
+    /// scaled by a deterministic factor drawn from `[1 - jitter, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 1, base_ms: 0.0, factor: 2.0, max_ms: 30_000.0, jitter: 0.5 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: the first panic fails the batch.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// A policy with `max_retries` attempts backing off exponentially from
+    /// `base_ms` (factor 2, jittered, capped by the default `max_ms`).
+    pub fn backoff(max_retries: usize, base_ms: f64) -> Self {
+        RetryPolicy { max_retries, base_ms: base_ms.max(0.0), ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry `attempt` (0-based) of the job identified
+    /// by `salt`. Deterministic: same `(policy, attempt, salt)` ⇒ same
+    /// delay.
+    pub fn delay_ms(&self, attempt: usize, salt: u64) -> f64 {
+        if self.base_ms <= 0.0 {
+            return 0.0;
+        }
+        let raw = self.base_ms * self.factor.max(1.0).powi(attempt.min(63) as i32);
+        let capped = raw.min(self.max_ms.max(self.base_ms));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter <= 0.0 {
+            return capped;
+        }
+        let digest = Hasher::new().write_u64(salt).write_u64(attempt as u64).finish().0;
+        // Top 53 bits → a uniform unit interval, exactly representable.
+        let unit = (digest >> 11) as f64 / (1u64 << 53) as f64;
+        capped * (1.0 - jitter * unit)
+    }
+}
 
 /// Cooperative cancellation handle: cheap to clone, checked between jobs.
 /// Cancelling never interrupts a running job; it stops further jobs from
@@ -46,7 +112,8 @@ impl CancelToken {
 pub struct BatchOutput<T> {
     /// One result per job, in submission order.
     pub results: Vec<T>,
-    /// How many jobs panicked once and succeeded on retry.
+    /// How many retry attempts were made across the batch (a job that
+    /// panicked twice and succeeded on the third attempt counts two).
     pub retries: usize,
     /// Wall-clock milliseconds of the single slowest job (retry included);
     /// `0` for an empty batch. The straggler detector for campaign health.
@@ -62,7 +129,8 @@ pub struct BatchOutput<T> {
 /// What went wrong running a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchError {
-    /// A job panicked twice (the initial run plus the retry).
+    /// A job exhausted its retry budget (it panicked on the initial run
+    /// and on every retry the [`RetryPolicy`] allowed).
     JobFailed {
         /// Index of the failed job.
         index: usize,
@@ -77,6 +145,7 @@ pub struct Scheduler {
     workers: usize,
     cancel: CancelToken,
     deadline_ms: Option<f64>,
+    retry: RetryPolicy,
     telemetry: Telemetry,
     label: String,
 }
@@ -89,9 +158,21 @@ impl Scheduler {
             workers: workers.max(1),
             cancel: CancelToken::new(),
             deadline_ms: None,
+            retry: RetryPolicy::default(),
             telemetry: Telemetry::noop(),
             label: "batch".to_owned(),
         }
+    }
+
+    /// Replaces the default retry-once policy (see [`RetryPolicy`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The configured retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Attaches a telemetry handle (and a batch label naming the job
@@ -141,13 +222,14 @@ impl Scheduler {
 
     /// Runs every job, in parallel when the pool has more than one worker.
     ///
-    /// Each job that panics is retried once (a poisoned job might have
-    /// tripped on transient state); a second panic fails the batch and
-    /// cancels the remaining jobs.
+    /// Each job that panics is retried under the configured
+    /// [`RetryPolicy`] (a poisoned job might have tripped on transient
+    /// state) — by default once, immediately; exhausting the budget fails
+    /// the batch and cancels the remaining jobs.
     ///
     /// # Errors
     ///
-    /// [`BatchError::JobFailed`] when a job panicked twice,
+    /// [`BatchError::JobFailed`] when a job exhausted its retries,
     /// [`BatchError::Cancelled`] when the token fired before completion.
     pub fn run_batch<T, F>(&self, jobs: &[F]) -> Result<BatchOutput<T>, BatchError>
     where
@@ -170,12 +252,19 @@ impl Scheduler {
                 span.arg("index", index.to_string());
                 span
             });
-            let outcome = match catch_unwind(AssertUnwindSafe(&jobs[index])) {
-                Ok(result) => Ok(result),
-                Err(_) => {
-                    retries.fetch_add(1, Ordering::SeqCst);
-                    catch_unwind(AssertUnwindSafe(&jobs[index]))
-                        .map_err(|_| BatchError::JobFailed { index })
+            let mut attempt = 0usize;
+            let outcome = loop {
+                match catch_unwind(AssertUnwindSafe(&jobs[index])) {
+                    Ok(result) => break Ok(result),
+                    Err(_) if attempt < self.retry.max_retries => {
+                        retries.fetch_add(1, Ordering::SeqCst);
+                        let delay = self.retry.delay_ms(attempt, index as u64);
+                        if delay > 0.0 {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(delay / 1e3));
+                        }
+                        attempt += 1;
+                    }
+                    Err(_) => break Err(BatchError::JobFailed { index }),
                 }
             };
             let elapsed = started.elapsed().as_secs_f64() * 1e3;
@@ -318,6 +407,47 @@ mod tests {
             vec![Box::new(|| 1), Box::new(|| panic!("poisoned")), Box::new(|| 3)];
         let err = Scheduler::new(2).run_batch(&jobs).unwrap_err();
         assert_eq!(err, BatchError::JobFailed { index: 1 });
+    }
+
+    #[test]
+    fn retry_none_fails_on_the_first_panic() {
+        let attempts = AtomicU32::new(0);
+        let jobs: Vec<Box<dyn Fn() -> u32 + Sync>> = vec![Box::new(|| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("always")
+        })];
+        let err = Scheduler::new(1).with_retry(RetryPolicy::none()).run_batch(&jobs).unwrap_err();
+        assert_eq!(err, BatchError::JobFailed { index: 0 });
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "no retry attempted");
+    }
+
+    #[test]
+    fn raised_retry_budget_survives_repeated_panics() {
+        let attempts = AtomicU32::new(0);
+        let jobs = vec![|| {
+            if attempts.fetch_add(1, Ordering::SeqCst) < 3 {
+                panic!("transient");
+            }
+            7u32
+        }];
+        let out =
+            Scheduler::new(1).with_retry(RetryPolicy::backoff(5, 0.0)).run_batch(&jobs).unwrap();
+        assert_eq!(out.results, vec![7]);
+        assert_eq!(out.retries, 3, "three panics, three retries, fourth attempt succeeds");
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_capped_and_growing() {
+        let policy = RetryPolicy { max_retries: 8, base_ms: 10.0, ..RetryPolicy::default() };
+        let first = policy.delay_ms(0, 42);
+        assert_eq!(first, policy.delay_ms(0, 42), "same (attempt, salt) ⇒ same delay");
+        assert!((5.0..=10.0).contains(&first), "jitter stays within [1-j, 1]·base: {first}");
+        assert_ne!(policy.delay_ms(0, 42), policy.delay_ms(0, 43), "salt decorrelates jobs");
+        let late = policy.delay_ms(20, 42);
+        assert!(late <= policy.max_ms, "cap holds: {late}");
+        let no_jitter = RetryPolicy { jitter: 0.0, ..policy.clone() };
+        assert_eq!(no_jitter.delay_ms(2, 9), 40.0, "base·factor² without jitter");
+        assert_eq!(RetryPolicy::default().delay_ms(0, 1), 0.0, "default never sleeps");
     }
 
     #[test]

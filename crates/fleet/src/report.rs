@@ -1,0 +1,396 @@
+//! Per-model rows and the aggregate scalability report.
+//!
+//! A row has two kinds of fields. The *identity subset* — id, status,
+//! SPFM, achieved ASIL, element count, standardized error, content
+//! fingerprint — is fully determined by the model itself, so a resumed
+//! campaign must reproduce it bit-for-bit (the chaos harness asserts
+//! exactly this). Everything else (wall time, shard, attempts, cache
+//! hits) describes *how* the fleet ran and is excluded from identity.
+
+use std::collections::BTreeMap;
+
+use decisive_federation::{json, Value};
+use decisive_obs::metrics::DurationHistogram;
+
+/// Terminal status of one model. Plain `&str` constants rather than an
+/// enum: rows cross a process boundary and the journal, and the string is
+/// the stable wire form.
+pub mod status {
+    /// Analysed successfully.
+    pub const OK: &str = "ok";
+    /// The analysis itself failed (typed error or caught panic) —
+    /// deterministic, never retried.
+    pub const FAILED: &str = "failed";
+    /// The worker process died and the retry budget ran out.
+    pub const CRASHED: &str = "crashed";
+    /// The per-model deadline expired on every attempt.
+    pub const TIMEOUT: &str = "timeout";
+    /// The model killed enough workers to trip the poison quarantine and
+    /// was never rescheduled.
+    pub const QUARANTINED: &str = "quarantined";
+}
+
+/// One model's terminal report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRow {
+    /// Task id (file path or `SetN#instance`).
+    pub id: String,
+    /// Content fingerprint of the analysed model.
+    pub content_fp: u64,
+    /// One of the [`status`] constants.
+    pub status: String,
+    /// Single Point Fault Metric when the pipeline produced a table.
+    pub spfm: Option<f64>,
+    /// Achieved ASIL display string (`"QM"`, `"ASIL-B"`, …).
+    pub asil: Option<String>,
+    /// Model element count.
+    pub elements: u64,
+    /// Standardized error text for non-`ok` rows.
+    pub error: Option<String>,
+    /// Wall-clock of the successful (or final) attempt, milliseconds.
+    pub wall_ms: f64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Shard (supervisor slot) that produced the row.
+    pub shard: u32,
+    /// Artefact-cache hits of the producing run.
+    pub cache_hits: u64,
+    /// Artefact-cache misses of the producing run.
+    pub cache_misses: u64,
+}
+
+impl FleetRow {
+    /// A non-`ok` row carrying only identity-relevant failure facts.
+    pub fn failure(id: &str, content_fp: u64, status: &str, error: String) -> FleetRow {
+        FleetRow {
+            id: id.to_owned(),
+            content_fp,
+            status: status.to_owned(),
+            spfm: None,
+            asil: None,
+            elements: 0,
+            error: Some(error),
+            wall_ms: 0.0,
+            attempts: 0,
+            shard: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// The full wire/journal form.
+    pub fn to_value(&self) -> Value {
+        Value::record([
+            ("id", Value::from(self.id.as_str())),
+            ("content_fp", Value::from(format!("{:016x}", self.content_fp))),
+            ("status", Value::from(self.status.as_str())),
+            ("spfm", self.spfm.map_or(Value::Null, Value::Real)),
+            ("asil", self.asil.as_deref().map_or(Value::Null, Value::from)),
+            ("elements", Value::Int(self.elements as i64)),
+            ("error", self.error.as_deref().map_or(Value::Null, Value::from)),
+            ("wall_ms", Value::Real(self.wall_ms)),
+            ("attempts", Value::Int(i64::from(self.attempts))),
+            ("shard", Value::Int(i64::from(self.shard))),
+            ("cache_hits", Value::Int(self.cache_hits as i64)),
+            ("cache_misses", Value::Int(self.cache_misses as i64)),
+        ])
+    }
+
+    /// Parses a journal or wire row.
+    ///
+    /// # Errors
+    ///
+    /// A message naming what is missing or malformed.
+    pub fn from_value(value: &Value) -> Result<FleetRow, String> {
+        let text = |key: &str| value.get(key).and_then(Value::as_str).map(str::to_owned);
+        let int = |key: &str| value.get(key).and_then(Value::as_i64).unwrap_or(0);
+        let id = text("id").ok_or("row lacks an `id`")?;
+        let status = text("status").ok_or("row lacks a `status`")?;
+        let content_fp = value
+            .get("content_fp")
+            .and_then(Value::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or("row lacks a hex `content_fp`")?;
+        Ok(FleetRow {
+            id,
+            content_fp,
+            status,
+            spfm: value.get("spfm").and_then(Value::as_f64),
+            asil: text("asil"),
+            elements: int("elements").max(0) as u64,
+            error: text("error"),
+            wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
+            attempts: int("attempts").clamp(0, i64::from(u32::MAX)) as u32,
+            shard: int("shard").clamp(0, i64::from(u32::MAX)) as u32,
+            cache_hits: int("cache_hits").max(0) as u64,
+            cache_misses: int("cache_misses").max(0) as u64,
+        })
+    }
+
+    /// The deterministic identity subset (see the module docs).
+    pub fn identity_value(&self) -> Value {
+        Value::record([
+            ("id", Value::from(self.id.as_str())),
+            ("content_fp", Value::from(format!("{:016x}", self.content_fp))),
+            ("status", Value::from(self.status.as_str())),
+            ("spfm", self.spfm.map_or(Value::Null, Value::Real)),
+            ("asil", self.asil.as_deref().map_or(Value::Null, Value::from)),
+            ("elements", Value::Int(self.elements as i64)),
+            ("error", self.error.as_deref().map_or(Value::Null, Value::from)),
+        ])
+    }
+}
+
+/// The aggregate fleet report.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Terminal rows, sorted by id.
+    pub rows: Vec<FleetRow>,
+    /// Supervisor worker slots.
+    pub workers: usize,
+    /// Campaign wall clock, seconds (this run only — resumed rows cost 0).
+    pub wall_s: f64,
+    /// Rows restored from the journal instead of recomputed.
+    pub resumed: usize,
+    /// Per-shard latency histograms of this run's completions.
+    pub shard_latency: Vec<DurationHistogram>,
+}
+
+impl FleetReport {
+    /// Count of rows with `status`.
+    pub fn count(&self, status: &str) -> usize {
+        self.rows.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Models per wall-clock second of this run (resumed rows excluded).
+    pub fn models_per_sec(&self) -> f64 {
+        let fresh = self.rows.len().saturating_sub(self.resumed);
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            fresh as f64 / self.wall_s
+        }
+    }
+
+    /// ASIL histogram over successful rows (BTreeMap: deterministic order).
+    pub fn asil_histogram(&self) -> BTreeMap<String, u64> {
+        let mut histogram = BTreeMap::new();
+        for row in &self.rows {
+            if let Some(asil) = &row.asil {
+                *histogram.entry(asil.clone()).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Failure/quarantine taxonomy: non-`ok` statuses → count.
+    pub fn taxonomy(&self) -> BTreeMap<String, u64> {
+        let mut taxonomy = BTreeMap::new();
+        for row in &self.rows {
+            if row.status != status::OK {
+                *taxonomy.entry(row.status.clone()).or_insert(0) += 1;
+            }
+        }
+        taxonomy
+    }
+
+    /// Total `(cache hits, cache misses)` across rows.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        self.rows.iter().fold((0, 0), |(h, m), r| (h + r.cache_hits, m + r.cache_misses))
+    }
+
+    /// The deterministic identity document: sorted row identity subsets
+    /// plus the ASIL histogram and taxonomy. Two campaigns over the same
+    /// models — interrupted or not — must produce byte-identical JSON of
+    /// this value.
+    pub fn identity_value(&self) -> Value {
+        Value::record([
+            ("rows", Value::list(self.rows.iter().map(FleetRow::identity_value))),
+            (
+                "asil_histogram",
+                Value::record(
+                    self.asil_histogram().into_iter().map(|(k, v)| (k, Value::Int(v as i64))),
+                ),
+            ),
+            (
+                "taxonomy",
+                Value::record(self.taxonomy().into_iter().map(|(k, v)| (k, Value::Int(v as i64)))),
+            ),
+            (
+                "quarantined",
+                Value::list(
+                    self.rows
+                        .iter()
+                        .filter(|r| r.status == status::QUARANTINED)
+                        .map(|r| Value::from(r.id.as_str())),
+                ),
+            ),
+        ])
+    }
+
+    /// A short digest of [`FleetReport::identity_value`], printed by both
+    /// output formats so operators can compare campaigns at a glance.
+    pub fn identity_digest(&self) -> String {
+        let digest = decisive_engine::fingerprint::Hasher::new()
+            .write_str(&json::to_string(&self.identity_value()))
+            .finish();
+        format!("{:016x}", digest.0)
+    }
+
+    /// The full `--format json` document.
+    pub fn to_value(&self) -> Value {
+        let (hits, misses) = self.cache_totals();
+        Value::record([
+            ("models", Value::Int(self.rows.len() as i64)),
+            ("workers", Value::Int(self.workers as i64)),
+            ("resumed", Value::Int(self.resumed as i64)),
+            ("wall_s", Value::Real(self.wall_s)),
+            ("models_per_sec", Value::Real(self.models_per_sec())),
+            ("ok", Value::Int(self.count(status::OK) as i64)),
+            ("failed", Value::Int(self.count(status::FAILED) as i64)),
+            ("crashed", Value::Int(self.count(status::CRASHED) as i64)),
+            ("timeout", Value::Int(self.count(status::TIMEOUT) as i64)),
+            ("quarantined", Value::Int(self.count(status::QUARANTINED) as i64)),
+            ("cache_hits", Value::Int(hits as i64)),
+            ("cache_misses", Value::Int(misses as i64)),
+            (
+                "shards",
+                Value::list(self.shard_latency.iter().enumerate().map(|(i, h)| {
+                    Value::record([
+                        ("shard", Value::Int(i as i64)),
+                        ("completed", Value::Int(h.count as i64)),
+                        ("mean_ms", Value::Real(h.mean_ms())),
+                        ("p50_ms", Value::Real(h.quantile_ms(0.5))),
+                        ("p95_ms", Value::Real(h.quantile_ms(0.95))),
+                        ("max_ms", Value::Real(h.max_ms)),
+                    ])
+                })),
+            ),
+            ("identity", self.identity_value()),
+            ("identity_digest", Value::from(self.identity_digest())),
+            ("rows", Value::list(self.rows.iter().map(FleetRow::to_value))),
+        ])
+    }
+
+    /// The text rendering (aggregates only; per-row detail is JSON's job).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let (hits, misses) = self.cache_totals();
+        let _ = writeln!(
+            out,
+            "# fleet: {} model(s) on {} worker shard(s), {} resumed from journal",
+            self.rows.len(),
+            self.workers,
+            self.resumed,
+        );
+        let _ = writeln!(
+            out,
+            "# ok {}  failed {}  crashed {}  timeout {}  quarantined {}",
+            self.count(status::OK),
+            self.count(status::FAILED),
+            self.count(status::CRASHED),
+            self.count(status::TIMEOUT),
+            self.count(status::QUARANTINED),
+        );
+        let _ = writeln!(
+            out,
+            "# throughput {:.1} models/sec over {:.2} s; cache {hits} hit(s) / {misses} miss(es)",
+            self.models_per_sec(),
+            self.wall_s,
+        );
+        let asil = self.asil_histogram();
+        if !asil.is_empty() {
+            let cells: Vec<String> = asil.iter().map(|(level, n)| format!("{level} {n}")).collect();
+            let _ = writeln!(out, "# ASIL histogram: {}", cells.join("  "));
+        }
+        let taxonomy = self.taxonomy();
+        if !taxonomy.is_empty() {
+            let cells: Vec<String> =
+                taxonomy.iter().map(|(kind, n)| format!("{kind} {n}")).collect();
+            let _ = writeln!(out, "# failure taxonomy: {}", cells.join("  "));
+        }
+        for (i, histogram) in self.shard_latency.iter().enumerate() {
+            if histogram.count > 0 {
+                let _ = writeln!(out, "# shard {i}: {}", histogram.summary_line());
+            }
+        }
+        for row in self.rows.iter().filter(|r| r.status == status::QUARANTINED) {
+            let _ = writeln!(
+                out,
+                "# quarantined {}: {}",
+                row.id,
+                row.error.as_deref().unwrap_or("unknown"),
+            );
+        }
+        let _ = writeln!(out, "# identity {}", self.identity_digest());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_row(id: &str, asil: &str, shard: u32) -> FleetRow {
+        FleetRow {
+            id: id.to_owned(),
+            content_fp: 7,
+            status: status::OK.to_owned(),
+            spfm: Some(0.5),
+            asil: Some(asil.to_owned()),
+            elements: 10,
+            error: None,
+            wall_ms: 3.0,
+            attempts: 1,
+            shard,
+            cache_hits: 2,
+            cache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn row_round_trips_through_value() {
+        let row = ok_row("m.json", "ASIL-B", 3);
+        assert_eq!(FleetRow::from_value(&row.to_value()).unwrap(), row);
+        let failure = FleetRow::failure("x.bd", 9, status::QUARANTINED, "killed 2".into());
+        assert_eq!(FleetRow::from_value(&failure.to_value()).unwrap(), failure);
+    }
+
+    #[test]
+    fn identity_ignores_run_mechanics() {
+        let mut a = ok_row("m.json", "QM", 0);
+        let mut b = ok_row("m.json", "QM", 5);
+        b.wall_ms = 99.0;
+        b.attempts = 3;
+        b.cache_hits = 0;
+        a.shard = 1;
+        assert_eq!(
+            json::to_string(&a.identity_value()),
+            json::to_string(&b.identity_value()),
+            "shard/wall/attempts/cache are not identity",
+        );
+    }
+
+    #[test]
+    fn report_aggregates_deterministically() {
+        let report = FleetReport {
+            rows: vec![
+                ok_row("a", "ASIL-D", 0),
+                ok_row("b", "QM", 1),
+                ok_row("c", "ASIL-D", 0),
+                FleetRow::failure("d", 1, status::QUARANTINED, "killed 2 worker(s)".into()),
+            ],
+            workers: 2,
+            wall_s: 2.0,
+            resumed: 1,
+            shard_latency: vec![DurationHistogram::new(); 2],
+        };
+        assert_eq!(report.models_per_sec(), 1.5, "3 fresh rows over 2 s");
+        assert_eq!(report.asil_histogram().get("ASIL-D"), Some(&2));
+        assert_eq!(report.taxonomy().get(status::QUARANTINED), Some(&1));
+        let digest = report.identity_digest();
+        assert_eq!(digest, report.identity_digest());
+        assert!(report.render().contains("quarantined d"));
+    }
+}

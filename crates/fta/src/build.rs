@@ -31,6 +31,13 @@ pub enum FtaError {
         /// The configured cap.
         max_paths: usize,
     },
+    /// MOCUS expansion exceeded the configured working-set cap — the
+    /// redundancy structure is too entangled for cut-set extraction at
+    /// this budget.
+    TooManyCutSets {
+        /// The configured cap on the intermediate cut-set family.
+        max_sets: usize,
+    },
     /// The requested mission time cannot parameterise a failure
     /// probability.
     InvalidMissionTime {
@@ -53,6 +60,9 @@ impl std::fmt::Display for FtaError {
             }
             FtaError::TooManyPaths { max_paths } => {
                 write!(f, "path enumeration exceeded {max_paths} paths")
+            }
+            FtaError::TooManyCutSets { max_sets } => {
+                write!(f, "cut-set expansion exceeded {max_sets} working sets")
             }
             FtaError::InvalidMissionTime { mission_hours } => {
                 write!(f, "mission time must be positive and finite, got {mission_hours}")

@@ -2,11 +2,19 @@
 
 use std::collections::BTreeSet;
 
+use crate::build::FtaError;
 use crate::tree::{FaultTree, Gate, Node, NodeId};
 
 /// A cut set: a set of basic events whose joint occurrence fails the top
 /// event.
 pub type CutSet = BTreeSet<NodeId>;
+
+/// Default cap on the intermediate cut-set family during MOCUS expansion,
+/// used by [`FaultTree::try_quantify`]. Redundancy structures whose
+/// product exceeds it (deep fully-connected ladders are exponential even
+/// with absorption) surface as [`FtaError::TooManyCutSets`] — a typed
+/// degradation, never a hang.
+pub const MOCUS_BUDGET: usize = 50_000;
 
 impl FaultTree {
     /// Computes the minimal cut sets of the top event using MOCUS-style
@@ -15,62 +23,102 @@ impl FaultTree {
     /// Returns an empty vector when no top event is set. Voting gates
     /// `k/n` expand into OR-of-ANDs over all `k`-subsets of their inputs.
     pub fn minimal_cut_sets(&self) -> Vec<CutSet> {
-        let Some(top) = self.top() else {
-            return Vec::new();
-        };
-        let expanded = self.expand(top);
-        minimise(expanded)
+        self.try_minimal_cut_sets(usize::MAX).expect("unbounded MOCUS cannot overflow")
     }
 
-    /// The cut sets of `node` before minimisation.
-    fn expand(&self, node: NodeId) -> Vec<CutSet> {
+    /// [`FaultTree::minimal_cut_sets`] with a cap on the intermediate
+    /// working family, for callers (the pipeline's FTA pass) that must
+    /// stay responsive on adversarial redundancy structures.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::TooManyCutSets`] when any intermediate family exceeds
+    /// `max_sets`.
+    pub fn try_minimal_cut_sets(&self, max_sets: usize) -> Result<Vec<CutSet>, FtaError> {
+        let Some(top) = self.top() else {
+            return Ok(Vec::new());
+        };
+        let expanded = self.expand(top, max_sets)?;
+        Ok(minimise(expanded))
+    }
+
+    /// The cut sets of `node`, absorbed but not fully minimised.
+    fn expand(&self, node: NodeId, budget: usize) -> Result<Vec<CutSet>, FtaError> {
         match self.node(node) {
-            Node::Basic { .. } => {
-                vec![std::iter::once(node).collect()]
-            }
+            Node::Basic { .. } => Ok(vec![std::iter::once(node).collect()]),
             Node::Event { gate, children, .. } => match gate {
-                Gate::Or => children.iter().flat_map(|&c| self.expand(c)).collect(),
+                Gate::Or => {
+                    let mut out = Vec::new();
+                    for &c in children {
+                        out.extend(self.expand(c, budget)?);
+                        if out.len() > budget {
+                            return Err(FtaError::TooManyCutSets { max_sets: budget });
+                        }
+                    }
+                    out.sort();
+                    out.dedup();
+                    Ok(out)
+                }
                 Gate::And => {
                     let mut acc: Vec<CutSet> = vec![CutSet::new()];
                     for &c in children {
-                        let child_sets = self.expand(c);
-                        let mut next = Vec::with_capacity(acc.len() * child_sets.len());
-                        for a in &acc {
-                            for cs in &child_sets {
-                                let mut merged = a.clone();
-                                merged.extend(cs.iter().copied());
-                                next.push(merged);
-                            }
-                        }
-                        acc = next;
+                        acc = cross(acc, &self.expand(c, budget)?, budget)?;
                     }
-                    acc
+                    Ok(acc)
                 }
                 Gate::Voting { k } => {
                     // k-out-of-n failure: OR over all k-subsets ANDed.
                     let k = *k as usize;
-                    let mut acc = Vec::new();
+                    let mut out = Vec::new();
                     for subset in combinations(children, k) {
                         let mut sets: Vec<CutSet> = vec![CutSet::new()];
                         for c in subset {
-                            let child_sets = self.expand(c);
-                            let mut next = Vec::with_capacity(sets.len() * child_sets.len());
-                            for a in &sets {
-                                for cs in &child_sets {
-                                    let mut merged = a.clone();
-                                    merged.extend(cs.iter().copied());
-                                    next.push(merged);
-                                }
-                            }
-                            sets = next;
+                            sets = cross(sets, &self.expand(c, budget)?, budget)?;
                         }
-                        acc.extend(sets);
+                        out.extend(sets);
+                        if out.len() > budget {
+                            return Err(FtaError::TooManyCutSets { max_sets: budget });
+                        }
                     }
-                    acc
+                    Ok(out)
                 }
             },
         }
     }
+}
+
+/// The absorption-aware AND product of two cut-set families.
+///
+/// An element that stands alone in *both* factors is a cut set of the
+/// product on its own, and every product set containing it is a superset
+/// — dropped here rather than left for the final `minimise`. This is the
+/// classical MOCUS absorption rule, and it is what keeps series/parallel
+/// systems polynomial: the long series chain shared by every path
+/// collapses to singletons on the first product instead of appearing in a
+/// quadratic number of pairs.
+fn cross(acc: Vec<CutSet>, child: &[CutSet], budget: usize) -> Result<Vec<CutSet>, FtaError> {
+    let singles: BTreeSet<NodeId> = acc
+        .iter()
+        .filter(|s| s.len() == 1)
+        .filter_map(|s| s.first().copied())
+        .filter(|x| child.iter().any(|c| c.len() == 1 && c.first() == Some(x)))
+        .collect();
+    let survives = |s: &CutSet| s.iter().all(|e| !singles.contains(e));
+    let child_live: Vec<&CutSet> = child.iter().filter(|s| survives(s)).collect();
+    let mut out: Vec<CutSet> = singles.iter().map(|&x| CutSet::from([x])).collect();
+    for a in acc.iter().filter(|s| survives(s)) {
+        for c in &child_live {
+            let mut merged = a.clone();
+            merged.extend(c.iter().copied());
+            out.push(merged);
+            if out.len() > budget {
+                return Err(FtaError::TooManyCutSets { max_sets: budget });
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
 }
 
 fn combinations(items: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {

@@ -41,7 +41,7 @@ mod quant;
 mod tree;
 
 pub use build::{build_fault_tree, fmea_from_fault_tree, FtaError, SynthesisedTree};
-pub use cutset::{minimise, CutSet};
+pub use cutset::{minimise, CutSet, MOCUS_BUDGET};
 pub use monte_carlo::MonteCarloResult;
 pub use quant::Quantification;
 pub use tree::{FaultTree, Gate, Node, NodeId};

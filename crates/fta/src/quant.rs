@@ -43,14 +43,17 @@ impl FaultTree {
     /// # Errors
     ///
     /// [`FtaError::InvalidMissionTime`] when `mission_hours` is not
-    /// positive and finite; [`FtaError::MalformedTree`] when a cut set
+    /// positive and finite; [`FtaError::TooManyCutSets`] when MOCUS
+    /// expansion exceeds [`crate::cutset::MOCUS_BUDGET`] working sets
+    /// (adversarial redundancy structures degrade with a typed error
+    /// instead of hanging); [`FtaError::MalformedTree`] when a cut set
     /// references a gate node (impossible for trees built through the safe
     /// constructors, but reachable from hand-deserialized trees).
     pub fn try_quantify(&self, mission_hours: f64) -> Result<Quantification, FtaError> {
         if !(mission_hours > 0.0 && mission_hours.is_finite()) {
             return Err(FtaError::InvalidMissionTime { mission_hours });
         }
-        let mcs = self.minimal_cut_sets();
+        let mcs = self.try_minimal_cut_sets(crate::cutset::MOCUS_BUDGET)?;
         let p_of = |id: NodeId| -> Result<f64, FtaError> {
             match self.node(id) {
                 Node::Basic { fit, .. } => Ok(fit.failure_probability(mission_hours)),

@@ -84,6 +84,23 @@ impl DurationHistogram {
         self.max_ms
     }
 
+    /// One human-readable line summarising the distribution — count, mean,
+    /// p50/p95 and max — for report renderers that want a histogram row
+    /// without owning the formatting.
+    pub fn summary_line(&self) -> String {
+        if self.count == 0 {
+            return "no observations".to_owned();
+        }
+        format!(
+            "{} obs, mean {:.2} ms, p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms",
+            self.count,
+            self.mean_ms(),
+            self.quantile_ms(0.5),
+            self.quantile_ms(0.95),
+            self.max_ms,
+        )
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &DurationHistogram) {
         self.count += other.count;
@@ -134,6 +151,17 @@ mod tests {
         let p50 = h.quantile_ms(0.5);
         assert!(p50 <= 0.01, "p50 stays in the small buckets, got {p50}");
         assert!(h.quantile_ms(1.0) >= 1000.0 || h.quantile_ms(1.0) >= h.max_ms);
+    }
+
+    #[test]
+    fn summary_line_reads_like_a_report_row() {
+        let mut h = DurationHistogram::new();
+        assert_eq!(h.summary_line(), "no observations");
+        h.record_ms(2.0);
+        h.record_ms(6.0);
+        let line = h.summary_line();
+        assert!(line.starts_with("2 obs, mean 4.00 ms"), "{line}");
+        assert!(line.ends_with("max 6.00 ms"), "{line}");
     }
 
     #[test]

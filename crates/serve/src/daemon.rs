@@ -20,7 +20,7 @@ use decisive_core::fmea::injection::InjectionConfig;
 use decisive_core::persist;
 use decisive_core::reliability::ReliabilityDb;
 use decisive_engine::{Engine, Pipeline, PipelineInput, SharedStore, StoreOptions, StoreRecovery};
-use decisive_federation::{serde_bridge, Value};
+use decisive_federation::{json, serde_bridge, Value};
 use decisive_obs::Telemetry;
 use decisive_ssam::architecture::Component;
 use decisive_ssam::id::Idx;
@@ -48,6 +48,14 @@ pub struct ServeOptions {
     pub reliability: Option<String>,
     /// Default FTA mission time in hours (10 000 when unset).
     pub mission_hours: Option<f64>,
+    /// Close a socket connection that has been silent this long, after
+    /// sending one typed error response. `None` keeps connections open
+    /// indefinitely (the historical behaviour).
+    pub idle_timeout_ms: Option<u64>,
+    /// Path of a fleet campaign's live `FLEET_STATUS.json`; when set (and
+    /// the file is readable) the `status` op embeds its counts under
+    /// `fleet`, so one daemon doubles as the campaign's observer.
+    pub fleet_status: Option<PathBuf>,
 }
 
 /// The analysis daemon: a session registry over one shared store, plus
@@ -365,6 +373,14 @@ impl Daemon {
         if let Some(recovery) = &self.recovery {
             fields.push(("store_recovery", recovery.to_value()));
         }
+        if let Some(path) = &self.options.fleet_status {
+            // Read + parse best-effort: the campaign may not have started
+            // yet, or may be mid-rewrite — status must never fail over it.
+            let fleet = std::fs::read_to_string(path).ok().and_then(|text| json::parse(&text).ok());
+            if let Some(fleet) = fleet {
+                fields.push(("fleet", fleet));
+            }
+        }
         Value::record(fields)
     }
 }
@@ -457,15 +473,31 @@ pub fn run_socket(daemon: &Arc<Daemon>, path: &std::path::Path) -> std::io::Resu
 #[cfg(unix)]
 fn serve_connection(daemon: &Daemon, mut stream: std::os::unix::net::UnixStream) {
     stream.set_read_timeout(Some(std::time::Duration::from_millis(interrupt::POLL_MS))).ok();
+    let idle_timeout = daemon.options.idle_timeout_ms.map(std::time::Duration::from_millis);
+    let mut last_activity = std::time::Instant::now();
     let mut pending = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
         if daemon.shutdown_requested() || interrupt::interrupted() {
             return;
         }
+        if let Some(limit) = idle_timeout {
+            if last_activity.elapsed() >= limit {
+                // One typed goodbye, then close — a silent client must
+                // not pin a worker thread (and its fd) forever.
+                let response = protocol::error_response(
+                    None,
+                    None,
+                    &format!("idle timeout: no request in {} ms", limit.as_millis()),
+                );
+                let _ = writeln!(&mut stream, "{response}");
+                return;
+            }
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return,
             Ok(n) => {
+                last_activity = std::time::Instant::now();
                 pending.extend_from_slice(&chunk[..n]);
                 while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
                     let frame: Vec<u8> = pending.drain(..=newline).collect();
@@ -645,5 +677,102 @@ mod tests {
         assert!(report.spans.iter().any(|s| s.name == "request:analyze"
             && s.args.iter().any(|(k, v)| k == "session" && v == "y")));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn idle_connection_gets_one_typed_error_then_close() {
+        let daemon = Arc::new(
+            Daemon::new(
+                ServeOptions {
+                    jobs: Some(1),
+                    idle_timeout_ms: Some(100),
+                    ..ServeOptions::default()
+                },
+                Telemetry::noop(),
+            )
+            .unwrap(),
+        );
+        let (client, server) = std::os::unix::net::UnixStream::pair().unwrap();
+        let worker = {
+            let daemon = daemon.clone();
+            std::thread::spawn(move || serve_connection(&daemon, server))
+        };
+        // Send nothing: the daemon must hang up on its own, with one
+        // parseable error line first.
+        let mut response = String::new();
+        let mut reader = std::io::BufReader::new(&client);
+        reader.read_line(&mut response).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(
+            parsed.get("error").and_then(Value::as_str).unwrap().contains("idle timeout"),
+            "{response}"
+        );
+        response.clear();
+        assert_eq!(reader.read_line(&mut response).unwrap(), 0, "connection closed after");
+        worker.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn active_connection_outlives_the_idle_timeout() {
+        let daemon = Arc::new(
+            Daemon::new(
+                ServeOptions {
+                    jobs: Some(1),
+                    idle_timeout_ms: Some(300),
+                    ..ServeOptions::default()
+                },
+                Telemetry::noop(),
+            )
+            .unwrap(),
+        );
+        let (mut client, server) = std::os::unix::net::UnixStream::pair().unwrap();
+        let worker = {
+            let daemon = daemon.clone();
+            std::thread::spawn(move || serve_connection(&daemon, server))
+        };
+        let mut reader_stream = client.try_clone().unwrap();
+        // Keep requesting under the timeout: every response must be ok.
+        for _ in 0..3 {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            writeln!(client, r#"{{"op":"status"}}"#).unwrap();
+            let mut response = String::new();
+            let mut reader = std::io::BufReader::new(&mut reader_stream);
+            reader.read_line(&mut response).unwrap();
+            let parsed = json::parse(&response).unwrap();
+            assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true), "{response}");
+        }
+        drop(client);
+        drop(reader_stream);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn status_embeds_the_fleet_snapshot_when_configured() {
+        let path =
+            std::env::temp_dir().join(format!("decisive_serve_fleet_{}.json", std::process::id()));
+        std::fs::write(&path, r#"{"total":5,"completed":3,"ok":2,"quarantined":1}"#).unwrap();
+        let daemon = Daemon::new(
+            ServeOptions {
+                jobs: Some(1),
+                fleet_status: Some(path.clone()),
+                ..ServeOptions::default()
+            },
+            Telemetry::noop(),
+        )
+        .unwrap();
+        let response = daemon.handle_line(r#"{"op":"status"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        let fleet = parsed.get("result").unwrap().get("fleet").expect("fleet section");
+        assert_eq!(fleet.get("total").and_then(Value::as_i64), Some(5));
+        assert_eq!(fleet.get("quarantined").and_then(Value::as_i64), Some(1));
+        // A missing file must not break status.
+        std::fs::remove_file(&path).unwrap();
+        let response = daemon.handle_line(r#"{"op":"status"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(parsed.get("result").unwrap().get("fleet").is_none());
     }
 }

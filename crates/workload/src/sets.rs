@@ -33,6 +33,98 @@ impl ScalabilitySet {
     }
 }
 
+/// Looks a Table VI set up by name (`"Set3"`, case-insensitive).
+pub fn set_by_name(name: &str) -> Option<ScalabilitySet> {
+    SCALABILITY_SETS.iter().copied().find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// Cap on the elements materialised per generated *instance*: Set4/Set5
+/// describe models of millions of elements, which the fleet reproduces as
+/// many instances of this size rather than one unanalysable monolith.
+pub const MAX_INSTANCE_ELEMENTS: u64 = 2_000;
+
+/// The split-mix step behind the instance generator: a tiny, dependency-
+/// free PRNG whose whole state is one `u64`, so the same `(set, instance,
+/// seed)` triple always unrolls the same model — the determinism the
+/// fleet's resume-identity check rests on.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds instance `instance` of `set` deterministically under `seed`: a
+/// mixed topology with a series chain (single points) feeding a parallel
+/// redundancy bundle (covered), with the chain/bundle split and FIT rates
+/// drawn from the seeded generator. The mix varies SPFM across instances,
+/// so a fleet over many instances exercises the whole ASIL histogram
+/// instead of collapsing onto one verdict.
+///
+/// The element count honours `set.elements` capped at
+/// [`MAX_INSTANCE_ELEMENTS`]; byte-identical output for equal inputs is
+/// guaranteed (and proptested) regardless of caller threading.
+pub fn instance_model(
+    set: &ScalabilitySet,
+    instance: u64,
+    seed: u64,
+) -> (SsamModel, Idx<Component>) {
+    let budget = set.elements.clamp(12, MAX_INSTANCE_ELEMENTS);
+    // One hardware component costs three elements: itself, one failure
+    // mode, roughly one relationship.
+    let slots = (budget / 3).max(4) as usize;
+    let mut state = seed ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for byte in set.name.bytes() {
+        state = state.rotate_left(8) ^ u64::from(byte);
+        splitmix64(&mut state);
+    }
+    // 0–4 quarters of the slots go to the redundant section: one parallel
+    // layer of that width between the chain tail and the sink. A *wide*
+    // bundle keeps the simple-path count linear in width (a deep
+    // fully-connected ladder would be exponential), so the pipeline's FTA
+    // pass stays polynomial, while the covered-FIT share — and with it
+    // SPFM and the ASIL verdict — still sweeps the whole range as the
+    // split varies across instances.
+    let quarters = (splitmix64(&mut state) % 5) as usize;
+    let bundle_slots = slots * quarters / 4;
+    let chain_slots = slots - bundle_slots;
+
+    let mut model =
+        SsamModel::new(format!("{}-i{instance}-s{seed:016x}", set.name.to_ascii_lowercase()));
+    let top = model.add_component(Component::new("top", ComponentKind::System));
+    let fit = |state: &mut u64| Fit::new(1.0 + (splitmix64(state) % 40) as f64);
+
+    // Series section: every link is a single point of failure.
+    let mut prev: Option<Idx<Component>> = None;
+    for i in 0..chain_slots {
+        let mut c = Component::new(format!("c{i}"), ComponentKind::Hardware);
+        c.fit = Some(fit(&mut state));
+        let c = model.add_child_component(top, c);
+        model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+        model.connect(prev.unwrap_or(top), c);
+        prev = Some(c);
+    }
+
+    // Redundant section: `bundle_slots` components in parallel, each fed
+    // by the chain tail (or the top when there is no chain).
+    let feed = prev.unwrap_or(top);
+    let mut layer: Vec<Idx<Component>> = Vec::new();
+    for w in 0..bundle_slots {
+        let mut c = Component::new(format!("r{w}"), ComponentKind::Hardware);
+        c.fit = Some(fit(&mut state));
+        let c = model.add_child_component(top, c);
+        model.add_failure_mode(c, "Open", FailureNature::LossOfFunction, 1.0);
+        model.connect(feed, c);
+        layer.push(c);
+    }
+    let tail = if layer.is_empty() { vec![feed] } else { layer };
+    for &c in &tail {
+        model.connect(c, top);
+    }
+    (model, top)
+}
+
 /// Builds a series-chain SSAM model with `n` components under one top-level
 /// system: `top → c0 → c1 → … → top`, each component carrying one
 /// loss-of-function failure mode. Every component is a single point, so the
@@ -140,6 +232,46 @@ mod tests {
         )
         .unwrap();
         assert_eq!(paths.disagreement(&table), 0.0);
+    }
+
+    #[test]
+    fn set_lookup_is_case_insensitive() {
+        assert_eq!(set_by_name("set3").unwrap().elements, 5_689);
+        assert_eq!(set_by_name("SET0").unwrap().name, "Set0");
+        assert!(set_by_name("Set9").is_none());
+    }
+
+    #[test]
+    fn instance_models_honour_the_cap_and_vary_spfm() {
+        let mut verdict_kinds = std::collections::HashSet::new();
+        for set in &SCALABILITY_SETS {
+            for instance in 0..8 {
+                let (model, top) = instance_model(set, instance, 0xDEC151FE);
+                let elements = model.element_count() as u64;
+                assert!(
+                    elements <= 2 * MAX_INSTANCE_ELEMENTS,
+                    "{}-i{instance}: {elements} elements",
+                    set.name
+                );
+                if set.elements <= MAX_INSTANCE_ELEMENTS {
+                    let table = graph::run(&model, top, &GraphConfig::default()).unwrap();
+                    verdict_kinds.insert((table.spfm() * 4.0) as u32);
+                }
+            }
+        }
+        assert!(verdict_kinds.len() >= 2, "mixed topologies spread SPFM: {verdict_kinds:?}");
+    }
+
+    #[test]
+    fn instance_model_is_deterministic_per_triple() {
+        let set = &SCALABILITY_SETS[1];
+        let (a, _) = instance_model(set, 3, 7);
+        let (b, _) = instance_model(set, 3, 7);
+        assert_eq!(a, b);
+        let (c, _) = instance_model(set, 4, 7);
+        assert_ne!(a, c, "instances differ");
+        let (d, _) = instance_model(set, 3, 8);
+        assert_ne!(a, d, "seeds differ");
     }
 
     #[test]

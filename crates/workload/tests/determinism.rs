@@ -1,0 +1,47 @@
+//! Fleet-precondition proptest: the scaled Set0–Set5 instance generators
+//! must be byte-identical for equal `(set, instance, seed)` no matter how
+//! many threads build them — otherwise `decisive fleet --resume` could
+//! never assert that a resumed campaign equals an uninterrupted one.
+
+use proptest::prelude::*;
+
+use decisive_federation::{json, serde_bridge};
+use decisive_workload::sets::{instance_model, SCALABILITY_SETS};
+
+/// Serialises one generated instance to its canonical JSON bytes.
+fn model_bytes(set_idx: usize, instance: u64, seed: u64) -> Vec<u8> {
+    let (model, top) = instance_model(&SCALABILITY_SETS[set_idx], instance, seed);
+    let value = serde_bridge::to_value(&model).expect("model serialises");
+    let mut bytes = json::to_string(&value).into_bytes();
+    bytes.extend_from_slice(format!("|top={}", top.index()).as_bytes());
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn instances_are_byte_identical_across_1_to_8_threads(
+        set_idx in 0usize..6,
+        instance in 0u64..5,
+        seed in 0u64..1u64 << 48,
+        threads in 1usize..=8,
+    ) {
+        let reference = model_bytes(set_idx, instance, seed);
+        let rebuilt: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| model_bytes(set_idx, instance, seed)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("builder thread")).collect()
+        });
+        for bytes in rebuilt {
+            prop_assert!(
+                bytes == reference,
+                "set {} instance {} seed {}: thread-built model diverged",
+                SCALABILITY_SETS[set_idx].name,
+                instance,
+                seed
+            );
+        }
+    }
+}
