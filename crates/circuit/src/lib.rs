@@ -51,12 +51,15 @@ mod mna;
 mod netlist;
 mod recovery;
 mod solve;
+mod sparse;
 mod transient;
+mod workspace;
 
 pub use element::{DiodeParams, Element, ElementId, ElementKind, NodeId};
 pub use error::{CircuitError, Result};
 pub use fault::{Fault, OPEN_OHMS, SHORT_OHMS};
 pub use mna::DcSolution;
 pub use netlist::Circuit;
-pub use recovery::{SolveDiagnostics, SolveStrategy, SolverOptions};
+pub use recovery::{SolveDiagnostics, SolveStrategy, SolverKernel, SolverOptions};
 pub use transient::TransientSolution;
+pub use workspace::SolverWorkspace;

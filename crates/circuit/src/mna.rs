@@ -170,16 +170,52 @@ fn vcrit(p: &DiodeParams) -> f64 {
     nvt * (nvt / (std::f64::consts::SQRT_2 * p.saturation_current)).ln()
 }
 
-struct Stamper {
-    a: Dense,
-    b: Vec<f64>,
+/// Destination of matrix stamps. The same stamping code serves the dense
+/// oracle ([`Dense`]), symbolic pattern recording ([`PatternRecorder`]),
+/// and slot-indexed sparse assembly ([`SlotSink`]) — which is what makes
+/// the recorded pattern provably consistent with later numeric stamps.
+pub(crate) trait MatSink {
+    fn add(&mut self, r: usize, c: usize, v: f64);
 }
 
-impl Stamper {
-    fn new(dim: usize) -> Self {
-        Stamper { a: Dense::new(dim), b: vec![0.0; dim] }
-    }
+/// Records the `(row, col)` coordinate sequence of an assembly without
+/// touching values: the input to [`crate::sparse::CscPattern::build`].
+struct PatternRecorder {
+    triplets: Vec<(u32, u32)>,
+}
 
+impl MatSink for PatternRecorder {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, _v: f64) {
+        self.triplets.push((r as u32, c as u32));
+    }
+}
+
+/// Accumulates stamps straight into a CSC value vector through the
+/// `slot_of` map, replaying the exact stamp order the pattern was built
+/// from. The cursor is repositioned per element so linear-only and
+/// nonlinear-only passes stay aligned with the recorded sequence.
+struct SlotSink<'a> {
+    values: &'a mut [f64],
+    slot_of: &'a [u32],
+    cursor: usize,
+}
+
+impl MatSink for SlotSink<'_> {
+    #[inline]
+    fn add(&mut self, _r: usize, _c: usize, v: f64) {
+        let slot = self.slot_of[self.cursor];
+        self.cursor += 1;
+        self.values[slot as usize] += v;
+    }
+}
+
+struct Stamper<'a, M: MatSink> {
+    a: &'a mut M,
+    b: &'a mut [f64],
+}
+
+impl<M: MatSink> Stamper<'_, M> {
     fn var(node: NodeId) -> Option<usize> {
         if node.is_ground() {
             None
@@ -229,6 +265,81 @@ impl Stamper {
 /// element id.
 pub(crate) type Junctions = HashMap<ElementId, f64>;
 
+/// Stamps one element. Shared verbatim by the dense assembly, the pattern
+/// recording pass, and the sparse linear/nonlinear passes — the stamp
+/// *sequence* for a given element is a pure function of its kind shape and
+/// node connectivity, never of parameter values, which is what lets one
+/// recorded pattern serve every Newton iteration and same-structure fault
+/// injection.
+fn stamp_element<M: MatSink>(
+    st: &mut Stamper<'_, M>,
+    id: ElementId,
+    e: &crate::element::Element,
+    layout: &Layout,
+    junctions: &Junctions,
+    companions: Option<&Companions<'_>>,
+    settings: &NewtonSettings,
+) {
+    match &e.kind {
+        ElementKind::VoltageSource { volts } => {
+            let br = layout.branch_of(id).expect("vsource has a branch var");
+            st.voltage_source(e.plus, e.minus, br, volts * settings.source_scale);
+        }
+        ElementKind::CurrentSensor => {
+            let br = layout.branch_of(id).expect("sensor has a branch var");
+            st.voltage_source(e.plus, e.minus, br, 0.0);
+        }
+        ElementKind::CurrentSource { amps } => {
+            st.current(e.plus, e.minus, amps * settings.source_scale);
+        }
+        ElementKind::Resistor { ohms } => st.conductance(e.plus, e.minus, 1.0 / ohms),
+        ElementKind::Switch { closed } => {
+            st.conductance(e.plus, e.minus, if *closed { G_SHORT } else { G_OPEN });
+        }
+        ElementKind::VoltageSensor => {} // does not load the circuit
+        ElementKind::Capacitor { farads } => {
+            if let Some(c) = companions {
+                let g = farads / c.h;
+                let v_prev = node_v(c.prev_v, e.plus) - node_v(c.prev_v, e.minus);
+                st.conductance(e.plus, e.minus, g);
+                st.current(e.plus, e.minus, -g * v_prev);
+            }
+            // DC: open circuit — only gmin applies.
+        }
+        ElementKind::Inductor { henries } => {
+            if let Some(c) = companions {
+                let g = c.h / henries;
+                let i_prev = c.inductor_i.get(&id).copied().unwrap_or(0.0);
+                st.conductance(e.plus, e.minus, g);
+                st.current(e.plus, e.minus, i_prev);
+            } else {
+                let br = layout.branch_of(id).expect("dc inductor has a branch var");
+                st.voltage_source(e.plus, e.minus, br, 0.0);
+            }
+        }
+        ElementKind::Diode(p) => {
+            let v0 = junctions.get(&id).copied().unwrap_or(0.0);
+            let (i0, g) = diode_iv(p, v0);
+            let ieq = i0 - g * v0;
+            st.conductance(e.plus, e.minus, g);
+            st.current(e.plus, e.minus, ieq);
+        }
+        ElementKind::Load { on_amps, brownout_volts, fault_amps, faulted } => {
+            let v0 = junctions.get(&id).copied().unwrap_or(0.0);
+            let (i0, g) = load_iv(*on_amps, *brownout_volts, *fault_amps, *faulted, v0);
+            let ieq = i0 - g * v0;
+            st.conductance(e.plus, e.minus, g);
+            st.current(e.plus, e.minus, ieq);
+        }
+    }
+}
+
+/// Whether an element is re-linearized (and therefore re-stamped) every
+/// Newton iteration.
+pub(crate) fn is_nonlinear(kind: &ElementKind) -> bool {
+    matches!(kind, ElementKind::Diode(_) | ElementKind::Load { .. })
+}
+
 fn assemble(
     circuit: &Circuit,
     layout: &Layout,
@@ -236,66 +347,134 @@ fn assemble(
     companions: Option<&Companions<'_>>,
     settings: &NewtonSettings,
 ) -> (Dense, Vec<f64>) {
-    let mut st = Stamper::new(layout.dim);
+    let mut a = Dense::new(layout.dim);
+    let mut b = vec![0.0; layout.dim];
+    let mut st = Stamper { a: &mut a, b: &mut b };
     // gmin on every non-ground node.
     for n in 0..layout.n_nodes {
         st.a.add(n, n, settings.gmin);
     }
     for (id, e) in circuit.elements() {
-        match &e.kind {
-            ElementKind::VoltageSource { volts } => {
-                let br = layout.branch_of(id).expect("vsource has a branch var");
-                st.voltage_source(e.plus, e.minus, br, volts * settings.source_scale);
-            }
-            ElementKind::CurrentSensor => {
-                let br = layout.branch_of(id).expect("sensor has a branch var");
-                st.voltage_source(e.plus, e.minus, br, 0.0);
-            }
-            ElementKind::CurrentSource { amps } => {
-                st.current(e.plus, e.minus, amps * settings.source_scale);
-            }
-            ElementKind::Resistor { ohms } => st.conductance(e.plus, e.minus, 1.0 / ohms),
-            ElementKind::Switch { closed } => {
-                st.conductance(e.plus, e.minus, if *closed { G_SHORT } else { G_OPEN });
-            }
-            ElementKind::VoltageSensor => {} // does not load the circuit
-            ElementKind::Capacitor { farads } => {
-                if let Some(c) = companions {
-                    let g = farads / c.h;
-                    let v_prev = node_v(c.prev_v, e.plus) - node_v(c.prev_v, e.minus);
-                    st.conductance(e.plus, e.minus, g);
-                    st.current(e.plus, e.minus, -g * v_prev);
-                }
-                // DC: open circuit — only gmin applies.
-            }
-            ElementKind::Inductor { henries } => {
-                if let Some(c) = companions {
-                    let g = c.h / henries;
-                    let i_prev = c.inductor_i.get(&id).copied().unwrap_or(0.0);
-                    st.conductance(e.plus, e.minus, g);
-                    st.current(e.plus, e.minus, i_prev);
-                } else {
-                    let br = layout.branch_of(id).expect("dc inductor has a branch var");
-                    st.voltage_source(e.plus, e.minus, br, 0.0);
-                }
-            }
-            ElementKind::Diode(p) => {
-                let v0 = junctions.get(&id).copied().unwrap_or(0.0);
-                let (i0, g) = diode_iv(p, v0);
-                let ieq = i0 - g * v0;
-                st.conductance(e.plus, e.minus, g);
-                st.current(e.plus, e.minus, ieq);
-            }
-            ElementKind::Load { on_amps, brownout_volts, fault_amps, faulted } => {
-                let v0 = junctions.get(&id).copied().unwrap_or(0.0);
-                let (i0, g) = load_iv(*on_amps, *brownout_volts, *fault_amps, *faulted, v0);
-                let ieq = i0 - g * v0;
-                st.conductance(e.plus, e.minus, g);
-                st.current(e.plus, e.minus, ieq);
-            }
+        stamp_element(&mut st, id, e, layout, junctions, companions, settings);
+    }
+    (a, b)
+}
+
+/// The symbolic side of the sparse kernel: the CSC nonzero pattern of a
+/// netlist structure plus the maps needed to refill it — `slot_of` (k-th
+/// stamp in the assembly sequence → CSC value slot) and per-element stamp
+/// ranges. Computed once per structure and shared by every Newton
+/// iteration, ladder rung, and same-shape fault injection.
+#[derive(Debug, Clone)]
+pub(crate) struct MatrixLayout {
+    pub(crate) pattern: crate::sparse::CscPattern,
+    slot_of: Vec<u32>,
+    /// Triplet-index range of each element, by insertion position.
+    elem_ranges: Vec<(u32, u32)>,
+    pub(crate) dim: usize,
+    /// Fill-reducing symmetric permutation (`perm[original] = permuted`):
+    /// the pattern and value slots live in permuted coordinates, so the
+    /// solve boundary permutes the RHS in and the solution back out.
+    pub(crate) perm: Vec<u32>,
+}
+
+/// Records the stamp pattern of `circuit` under `mode`. Values are
+/// irrelevant: the recorder sees the same `add` sequence the numeric
+/// passes will emit.
+pub(crate) fn build_matrix_layout(circuit: &Circuit, layout: &Layout, mode: Mode) -> MatrixLayout {
+    // Dummy companions so the transient stamp sequence is exercised; the
+    // values never reach the pattern.
+    let zeros = vec![0.0; circuit.node_count()];
+    let no_currents = HashMap::new();
+    let dummy = Companions { h: 1.0, prev_v: &zeros, inductor_i: &no_currents };
+    let companions = match mode {
+        Mode::Dc => None,
+        Mode::Transient => Some(&dummy),
+    };
+    let settings = NewtonSettings::plain(1);
+    let junctions = Junctions::new();
+    let mut rec = PatternRecorder { triplets: Vec::new() };
+    let mut b = vec![0.0; layout.dim];
+    {
+        let st = Stamper { a: &mut rec, b: &mut b };
+        for n in 0..layout.n_nodes {
+            st.a.add(n, n, GMIN);
         }
     }
-    (st.a, st.b)
+    let mut elem_ranges = Vec::new();
+    for (id, e) in circuit.elements() {
+        let start = rec.triplets.len() as u32;
+        let mut st = Stamper { a: &mut rec, b: &mut b };
+        stamp_element(&mut st, id, e, layout, &junctions, companions, &settings);
+        elem_ranges.push((start, rec.triplets.len() as u32));
+    }
+    // Remap the stamp coordinates through a fill-reducing ordering before
+    // building the pattern: `slot_of` then scatters straight into permuted
+    // space and the numeric passes never see the permutation.
+    let perm = crate::sparse::rcm_order(layout.dim, &rec.triplets);
+    let permuted: Vec<(u32, u32)> =
+        rec.triplets.iter().map(|&(r, c)| (perm[r as usize], perm[c as usize])).collect();
+    let (pattern, slot_of) = crate::sparse::CscPattern::build(layout.dim, &permuted);
+    MatrixLayout { pattern, slot_of, elem_ranges, dim: layout.dim, perm }
+}
+
+/// Assembles the *linear* part of the system (everything except diodes and
+/// loads) into the CSC value vector + RHS: the per-rung baseline that each
+/// Newton iteration copies and tops up with [`restamp_nonlinear`].
+pub(crate) fn assemble_sparse_linear(
+    circuit: &Circuit,
+    layout: &Layout,
+    ml: &MatrixLayout,
+    companions: Option<&Companions<'_>>,
+    settings: &NewtonSettings,
+    values: &mut [f64],
+    b: &mut [f64],
+) {
+    values.fill(0.0);
+    b.fill(0.0);
+    let junctions = Junctions::new();
+    {
+        let mut sink = SlotSink { values, slot_of: &ml.slot_of, cursor: 0 };
+        let st = Stamper { a: &mut sink, b };
+        for n in 0..layout.n_nodes {
+            st.a.add(n, n, settings.gmin);
+        }
+    }
+    for (idx, (id, e)) in circuit.elements().enumerate() {
+        if is_nonlinear(&e.kind) {
+            continue;
+        }
+        let mut sink =
+            SlotSink { values, slot_of: &ml.slot_of, cursor: ml.elem_ranges[idx].0 as usize };
+        let mut st = Stamper { a: &mut sink, b };
+        stamp_element(&mut st, id, e, layout, &junctions, companions, settings);
+    }
+}
+
+/// Stamps only the nonlinear elements at their current linearization
+/// points on top of a copied linear baseline. Together with the copy this
+/// executes the same per-slot accumulation the full assembly would,
+/// restricted to the stamps that actually change between iterations.
+#[allow(clippy::too_many_arguments)] // Mirrors `assemble_sparse_linear`'s stamping context.
+pub(crate) fn restamp_nonlinear(
+    circuit: &Circuit,
+    layout: &Layout,
+    ml: &MatrixLayout,
+    junctions: &Junctions,
+    companions: Option<&Companions<'_>>,
+    settings: &NewtonSettings,
+    values: &mut [f64],
+    b: &mut [f64],
+) {
+    for (idx, (id, e)) in circuit.elements().enumerate() {
+        if !is_nonlinear(&e.kind) {
+            continue;
+        }
+        let mut sink =
+            SlotSink { values, slot_of: &ml.slot_of, cursor: ml.elem_ranges[idx].0 as usize };
+        let mut st = Stamper { a: &mut sink, b };
+        stamp_element(&mut st, id, e, layout, junctions, companions, settings);
+    }
 }
 
 fn node_v(full_v: &[f64], node: NodeId) -> f64 {
@@ -331,6 +510,38 @@ fn damp(vold: f64, vlim: f64, damping: f64) -> f64 {
     }
 }
 
+/// One linearize-assemble-solve step of the Newton iteration, abstracted
+/// over the kernel: the dense oracle re-stamps and re-factorizes from
+/// scratch each call, the sparse stage (in [`crate::workspace`]) refills a
+/// shared pattern and replays its factorization.
+pub(crate) trait LinearStage {
+    fn assemble_and_solve(
+        &mut self,
+        circuit: &Circuit,
+        layout: &Layout,
+        junctions: &Junctions,
+        companions: Option<&Companions<'_>>,
+        settings: &NewtonSettings,
+    ) -> Result<Vec<f64>>;
+}
+
+/// The historical dense path, kept as the differential-testing oracle.
+pub(crate) struct DenseStage;
+
+impl LinearStage for DenseStage {
+    fn assemble_and_solve(
+        &mut self,
+        circuit: &Circuit,
+        layout: &Layout,
+        junctions: &Junctions,
+        companions: Option<&Companions<'_>>,
+        settings: &NewtonSettings,
+    ) -> Result<Vec<f64>> {
+        let (a, b) = assemble(circuit, layout, junctions, companions, settings);
+        a.solve(b)
+    }
+}
+
 /// Runs one Newton loop for one operating point (DC or one transient step)
 /// under the given settings, mutating `junctions` in place so callers can
 /// warm-start follow-up runs.
@@ -340,12 +551,12 @@ pub(crate) fn newton_iterate(
     companions: Option<&Companions<'_>>,
     settings: &NewtonSettings,
     junctions: &mut Junctions,
+    stage: &mut dyn LinearStage,
 ) -> NewtonOutcome {
     let mut last_x: Option<Vec<f64>> = None;
     let mut residual = f64::INFINITY;
     for iteration in 0..settings.max_iterations {
-        let (a, b) = assemble(circuit, layout, junctions, companions, settings);
-        let x = match a.solve(b) {
+        let x = match stage.assemble_and_solve(circuit, layout, junctions, companions, settings) {
             Ok(x) => x,
             Err(e) => return NewtonOutcome::Failed(e),
         };

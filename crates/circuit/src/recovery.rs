@@ -31,10 +31,11 @@ use std::time::Instant;
 
 use crate::error::{CircuitError, Result};
 use crate::mna::{
-    initial_junctions, newton_iterate, Companions, DcSolution, Layout, Mode, NewtonOutcome,
-    NewtonSettings, GMIN, MAX_NEWTON,
+    initial_junctions, newton_iterate, Companions, DcSolution, DenseStage, Layout, LinearStage,
+    Mode, NewtonOutcome, NewtonSettings, GMIN, MAX_NEWTON,
 };
 use crate::netlist::Circuit;
+use crate::workspace::SolverWorkspace;
 
 /// Relaxation factor of the damped-Newton rung.
 const DAMPING: f64 = 0.3;
@@ -99,6 +100,35 @@ impl SolveDiagnostics {
     }
 }
 
+/// Which linear kernel backs the Newton iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverKernel {
+    /// Sparse CSC LU with symbolic-layout and factorization reuse — the
+    /// default.
+    #[default]
+    Sparse,
+    /// The historical dense Gaussian elimination, re-stamped and
+    /// re-factorized from scratch every iteration. Kept as the
+    /// differential-testing oracle (`solver=dense` escape hatch).
+    Dense,
+}
+
+impl SolverKernel {
+    /// Stable short name, used in cache keys and CLI flags.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SolverKernel::Sparse => "sparse",
+            SolverKernel::Dense => "dense",
+        }
+    }
+}
+
+impl fmt::Display for SolverKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
 /// Which rungs of the recovery ladder are available and how much total work
 /// they may spend.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,11 +142,19 @@ pub struct SolverOptions {
     /// Total Newton-iteration budget across the entire ladder, including
     /// the initial plain attempt.
     pub budget: usize,
+    /// The linear kernel backing every rung.
+    pub kernel: SolverKernel,
 }
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        SolverOptions { damped: true, gmin_stepping: true, source_stepping: true, budget: 12_000 }
+        SolverOptions {
+            damped: true,
+            gmin_stepping: true,
+            source_stepping: true,
+            budget: 12_000,
+            kernel: SolverKernel::Sparse,
+        }
     }
 }
 
@@ -128,6 +166,7 @@ impl SolverOptions {
             gmin_stepping: false,
             source_stepping: false,
             budget: MAX_NEWTON,
+            kernel: SolverKernel::default(),
         }
     }
 }
@@ -140,14 +179,37 @@ pub(crate) fn solve_operating_point(
     layout: &Layout,
     companions: Option<&Companions<'_>>,
     options: &SolverOptions,
+    workspace: &mut SolverWorkspace,
 ) -> Result<(Vec<f64>, SolveDiagnostics)> {
     // Only pay for the clock when a live telemetry handle will consume it.
     let started = decisive_obs::with_current(|_| Instant::now());
-    let result = walk_ladder(circuit, layout, companions, options);
+    let result = match options.kernel {
+        SolverKernel::Dense => walk_ladder(circuit, layout, companions, options, &mut DenseStage),
+        SolverKernel::Sparse => {
+            let mode = if companions.is_some() { Mode::Transient } else { Mode::Dc };
+            let mut stage = workspace.stage(circuit, layout, mode, started.is_some());
+            walk_ladder(circuit, layout, companions, options, &mut stage)
+        }
+    };
+    // Drain the workspace counters every solve: telemetry-off solves must
+    // not leak their tallies into the next recorded one.
+    let solver = workspace.counters.take();
     if let Some(started) = started {
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         decisive_obs::with_current(|telemetry| {
             telemetry.count("solver.solves", 1);
+            if solver.refactorizations > 0 {
+                telemetry.count("solver.refactorizations", solver.refactorizations);
+            }
+            if solver.factor_reuse > 0 {
+                telemetry.count("solver.factor_reuse", solver.factor_reuse);
+            }
+            if solver.stamp_deltas > 0 {
+                telemetry.count("solver.stamp_deltas", solver.stamp_deltas);
+            }
+            if solver.factor_seconds > 0.0 {
+                telemetry.duration_ms("solver.factor_ms", solver.factor_seconds * 1e3);
+            }
             match &result {
                 Ok((_, diagnostics)) => {
                     telemetry.count("solver.iterations", diagnostics.iterations as u64);
@@ -178,6 +240,7 @@ fn walk_ladder(
     layout: &Layout,
     companions: Option<&Companions<'_>>,
     options: &SolverOptions,
+    stage: &mut dyn LinearStage,
 ) -> Result<(Vec<f64>, SolveDiagnostics)> {
     let mut spent = 0usize;
     let mut rungs = 0usize;
@@ -187,7 +250,7 @@ fn walk_ladder(
     {
         let mut junctions = initial_junctions(circuit);
         let settings = NewtonSettings::plain(MAX_NEWTON.min(options.budget));
-        match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+        match newton_iterate(circuit, layout, companions, &settings, &mut junctions, stage) {
             NewtonOutcome::Converged { x, iterations, residual } => {
                 let diagnostics = SolveDiagnostics {
                     strategy: SolveStrategy::Newton,
@@ -215,7 +278,7 @@ fn walk_ladder(
             source_scale: 1.0,
             damping: DAMPING,
         };
-        match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+        match newton_iterate(circuit, layout, companions, &settings, &mut junctions, stage) {
             NewtonOutcome::Converged { x, iterations, residual } => {
                 let diagnostics = SolveDiagnostics {
                     strategy: SolveStrategy::DampedNewton,
@@ -252,7 +315,7 @@ fn walk_ladder(
                 source_scale: 1.0,
                 damping: STEP_DAMPING,
             };
-            match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+            match newton_iterate(circuit, layout, companions, &settings, &mut junctions, stage) {
                 NewtonOutcome::Converged { x, iterations, residual } => {
                     spent += iterations;
                     last_residual = residual;
@@ -300,7 +363,7 @@ fn walk_ladder(
                 source_scale: step as f64 / SOURCE_STEPS as f64,
                 damping: STEP_DAMPING,
             };
-            match newton_iterate(circuit, layout, companions, &settings, &mut junctions) {
+            match newton_iterate(circuit, layout, companions, &settings, &mut junctions, stage) {
                 NewtonOutcome::Converged { x, iterations, residual } => {
                     spent += iterations;
                     last_residual = residual;
@@ -352,8 +415,6 @@ impl Circuit {
         &self,
         options: &SolverOptions,
     ) -> Result<(DcSolution, SolveDiagnostics)> {
-        let layout = Layout::build(self, Mode::Dc);
-        let (x, diagnostics) = solve_operating_point(self, &layout, None, options)?;
-        Ok((DcSolution::new(&layout, x), diagnostics))
+        SolverWorkspace::new().dc(self, options)
     }
 }

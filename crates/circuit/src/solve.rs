@@ -1,6 +1,19 @@
 //! Dense linear algebra for the MNA solver.
+//!
+//! Since the sparse CSC kernel (see [`crate::sparse`]) became the default,
+//! this kernel is kept as the differential-testing oracle behind the
+//! `SolverKernel::Dense` escape hatch: a deliberately simple Gaussian
+//! elimination whose results the sparse path is checked against.
 
 use crate::error::{CircuitError, Result};
+use crate::mna::MatSink;
+
+/// Relative pivot threshold shared by the dense and sparse kernels: a
+/// column is singular when its best pivot is this many orders of
+/// magnitude below the column's largest stamped entry. Relative — not
+/// absolute — so a perfectly conditioned circuit stamped in µS/MΩ units
+/// (every entry ~1e-6) is not misreported as singular.
+pub(crate) const PIVOT_REL_TOL: f64 = 1e-13;
 
 /// A dense square matrix in row-major order.
 #[derive(Debug, Clone)]
@@ -24,6 +37,17 @@ impl Dense {
     pub(crate) fn solve(mut self, mut b: Vec<f64>) -> Result<Vec<f64>> {
         let n = self.n;
         debug_assert_eq!(b.len(), n);
+        // Column norms of the matrix as stamped: the singularity test is
+        // relative to the column's own scale.
+        let mut scale = vec![0.0f64; n];
+        for r in 0..n {
+            for (c, s) in scale.iter_mut().enumerate() {
+                let v = self.a[r * n + c].abs();
+                if v > *s {
+                    *s = v;
+                }
+            }
+        }
         for col in 0..n {
             // Partial pivot.
             let mut pivot_row = col;
@@ -35,7 +59,7 @@ impl Dense {
                     pivot_row = r;
                 }
             }
-            if pivot_val < 1e-13 {
+            if pivot_val == 0.0 || pivot_val < PIVOT_REL_TOL * scale[col] {
                 return Err(CircuitError::SingularMatrix { row: col });
             }
             if pivot_row != col {
@@ -66,6 +90,13 @@ impl Dense {
             x[r] = sum / self.a[r * n + r];
         }
         Ok(x)
+    }
+}
+
+impl MatSink for Dense {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        Dense::add(self, r, c, v);
     }
 }
 
@@ -114,6 +145,32 @@ mod tests {
         m.add(0, 1, 1.0);
         m.add(1, 0, 1.0);
         m.add(1, 1, 1.0);
+        let err = m.solve(vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, CircuitError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn microsiemens_scale_system_is_not_misreported_as_singular() {
+        // A perfectly conditioned system stamped in µS/MΩ units: every
+        // entry sits below the old absolute 1e-13 cutoff, but relative to
+        // the column norm the pivots are fine.
+        let mut m = Dense::new(2);
+        m.add(0, 0, 2e-14);
+        m.add(0, 1, 1e-14);
+        m.add(1, 0, 1e-14);
+        m.add(1, 1, 3e-14);
+        let x = m.solve(vec![5e-14, 10e-14]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_test_still_rejects_singular_tiny_scale() {
+        let mut m = Dense::new(2);
+        m.add(0, 0, 1e-14);
+        m.add(0, 1, 1e-14);
+        m.add(1, 0, 1e-14);
+        m.add(1, 1, 1e-14);
         let err = m.solve(vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, CircuitError::SingularMatrix { .. }));
     }

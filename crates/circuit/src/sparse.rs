@@ -1,0 +1,647 @@
+//! Sparse CSC linear algebra: the default MNA kernel.
+//!
+//! The MNA matrix of a block-diagram circuit is overwhelmingly sparse —
+//! each element touches at most a 2×2 conductance block plus a branch
+//! row/column — so the solver stack stamps into a compressed-sparse-column
+//! pattern computed **once** per netlist structure and factorizes with a
+//! left-looking Gilbert–Peierls LU:
+//!
+//! * [`CscPattern::build`] turns the stamp-ordered triplet sequence into a
+//!   deduplicated CSC pattern and a per-triplet slot map, so every later
+//!   assembly is a flat `values[slot] += v` with no searching.
+//! * [`SparseLu::factor`] performs the symbolic+numeric factorization with
+//!   partial pivoting (diagonal preference) and the same *relative*
+//!   singularity test as the dense oracle.
+//! * [`SparseLu::refactor`] replays a previous factorization's pivot order
+//!   and fill pattern on new values — the Newton-iteration and
+//!   recovery-ladder hot path — and is constructed to execute the exact
+//!   floating-point operation sequence of the factorization it replays, so
+//!   reusing a factorization is bitwise-equal to factoring afresh with the
+//!   same pivot order. A per-column stability check falls back to a full
+//!   re-pivoted factorization when the values have drifted too far.
+//! * [`SparseLu::solve_into`] is non-consuming: one factorization serves
+//!   every right-hand side of a Newton iteration sequence.
+//!
+//! This module is pure linear algebra; the circuit-aware stamping that
+//! produces patterns and values lives in `mna.rs`, and the reuse policy
+//! (what may be shared across solves) in `workspace.rs`.
+
+use crate::solve::PIVOT_REL_TOL;
+
+/// Pivot-preference tolerance: the natural diagonal is kept as the pivot
+/// whenever it is within this factor of the column's best candidate.
+/// Diagonal dominance is the common case for MNA conductance stamps, and a
+/// stable pivot order is what makes cross-iteration refactorization stick.
+const DIAG_PREFERENCE: f64 = 1e-3;
+
+/// Refactorization stability floor: replaying a stored pivot order is
+/// accepted only while each pivot stays within this factor of the largest
+/// eliminated candidate in its column; otherwise the kernel re-pivots.
+const REFACTOR_TOL: f64 = 1e-3;
+
+/// Reverse Cuthill–McKee ordering of the symmetrized pattern graph:
+/// breadth-first from minimum-degree seeds, neighbours visited in degree
+/// order, then reversed. Returns `perm` with `perm[original] = new`.
+///
+/// MNA matrices are badly ordered as stamped — branch-current unknowns
+/// (voltage sources, inductors, sensors) are appended after all node
+/// unknowns, so every branch couples a node column to a column at the far
+/// end of the matrix and Gilbert–Peierls elimination in natural order
+/// fills the whole band between them. A symmetric RCM permutation pulls
+/// each branch next to its nodes and collapses the factor to near the
+/// pattern's own nonzero count. Deterministic, so a cached layout keeps
+/// the bitwise-reproducibility contract of `refactor`.
+pub(crate) fn rcm_order(n: usize, entries: &[(u32, u32)]) -> Vec<u32> {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(r, c) in entries {
+        if r != c {
+            adj[r as usize].push(c);
+            adj[c as usize].push(r);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let degree: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    seeds.sort_unstable_by_key(|&i| (degree[i as usize], i));
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut nbrs: Vec<u32> = Vec::new();
+    for seed in seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            nbrs.clear();
+            nbrs.extend(adj[v as usize].iter().copied().filter(|&w| !visited[w as usize]));
+            nbrs.sort_unstable_by_key(|&w| (degree[w as usize], w));
+            for &w in &nbrs {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order.reverse();
+    let mut perm = vec![0u32; n];
+    for (new, &orig) in order.iter().enumerate() {
+        perm[orig as usize] = new as u32;
+    }
+    perm
+}
+
+/// A compressed-sparse-column nonzero pattern, deduplicated and sorted by
+/// `(column, row)`. Value-independent: one pattern is shared by every
+/// Newton iteration, ladder rung, and same-structure fault injection.
+#[derive(Debug, Clone)]
+pub(crate) struct CscPattern {
+    pub(crate) n: usize,
+    pub(crate) col_ptr: Vec<usize>,
+    pub(crate) row_idx: Vec<usize>,
+}
+
+impl CscPattern {
+    /// Builds the pattern from a stamp-ordered `(row, col)` triplet
+    /// sequence. Returns the pattern plus, for every input triplet, the
+    /// index of the CSC value slot it accumulates into — the `slot_of`
+    /// map that turns later assemblies into flat indexed adds.
+    pub(crate) fn build(n: usize, triplets: &[(u32, u32)]) -> (CscPattern, Vec<u32>) {
+        let mut order: Vec<u32> = (0..triplets.len() as u32).collect();
+        order.sort_unstable_by_key(|&k| {
+            let (r, c) = triplets[k as usize];
+            (u64::from(c) << 32) | u64::from(r)
+        });
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut slot_of = vec![0u32; triplets.len()];
+        let mut last: Option<(u32, u32)> = None;
+        for &k in &order {
+            let (r, c) = triplets[k as usize];
+            if last != Some((r, c)) {
+                row_idx.push(r as usize);
+                col_ptr[c as usize + 1] += 1;
+                last = Some((r, c));
+            }
+            slot_of[k as usize] = (row_idx.len() - 1) as u32;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        (CscPattern { n, col_ptr, row_idx }, slot_of)
+    }
+
+    /// Number of structural nonzeros (= value-vector length).
+    pub(crate) fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+}
+
+/// Reusable scratch for factorization: the dense accumulator column and
+/// the DFS state for symbolic reach computation. Owned by the workspace
+/// so repeated factorizations allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct LuScratch {
+    /// Dense accumulator for the current column (all-zero between columns).
+    x: Vec<f64>,
+    /// Reach of the current column in topological order, filled from the top.
+    xi: Vec<usize>,
+    /// DFS node stack.
+    stack: Vec<usize>,
+    /// DFS per-level resume position into the L column being scanned.
+    pstack: Vec<usize>,
+    /// Visit marker per row; a generation counter avoids clearing it.
+    visited: Vec<u32>,
+    generation: u32,
+}
+
+impl LuScratch {
+    fn reset(&mut self, n: usize) {
+        if self.x.len() < n {
+            self.x.resize(n, 0.0);
+            self.xi.resize(n, 0);
+            self.visited.resize(n, 0);
+        }
+        // `x` is kept all-zero by the column loops; `visited` is epoch-based.
+    }
+}
+
+/// Outcome of a [`SparseLu::refactor`] replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Refactor {
+    /// The stored pivot order absorbed the new values.
+    Done,
+    /// A pivot fell below the stability floor — run a full `factor`.
+    Unstable,
+}
+
+/// An LU factorization (`PA = LU`) that survives the solve. `L` holds unit
+/// lower-triangular multipliers, `U` the upper factor with its diagonal
+/// split out; both are column-compressed in pivoted row coordinates.
+#[derive(Debug, Default)]
+pub(crate) struct SparseLu {
+    n: usize,
+    /// L column pointers / pivoted row indices / multipliers.
+    lp: Vec<usize>,
+    li: Vec<usize>,
+    lx: Vec<f64>,
+    /// U column pointers / pivoted row indices / values, in the exact
+    /// emission (topological) order of the original factorization — the
+    /// property `refactor` relies on for bitwise replay.
+    up: Vec<usize>,
+    ui: Vec<usize>,
+    ux: Vec<f64>,
+    udiag: Vec<f64>,
+    /// Original row -> pivoted position.
+    pinv: Vec<i64>,
+    valid: bool,
+}
+
+impl SparseLu {
+    /// Whether a factorization is loaded (pattern + pivot order usable by
+    /// `refactor`/`solve_into`).
+    pub(crate) fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Drops the stored factorization (e.g. when the layout changes).
+    pub(crate) fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Full symbolic + numeric factorization with partial pivoting.
+    /// Returns the 0-based column index of the first singular column on
+    /// failure, using the same relative test as the dense kernel.
+    pub(crate) fn factor(
+        &mut self,
+        pattern: &CscPattern,
+        values: &[f64],
+        scratch: &mut LuScratch,
+    ) -> Result<(), usize> {
+        let n = pattern.n;
+        debug_assert_eq!(values.len(), pattern.nnz());
+        self.n = n;
+        self.valid = false;
+        self.lp.clear();
+        self.lp.resize(n + 1, 0);
+        self.up.clear();
+        self.up.resize(n + 1, 0);
+        self.li.clear();
+        self.lx.clear();
+        self.ui.clear();
+        self.ux.clear();
+        self.udiag.clear();
+        self.udiag.resize(n, 0.0);
+        self.pinv.clear();
+        self.pinv.resize(n, -1);
+        scratch.reset(n);
+
+        for k in 0..n {
+            // Symbolic: reach of column k through the L columns built so
+            // far, emitted in topological order into xi[top..n].
+            let mut top = n;
+            scratch.generation = scratch.generation.wrapping_add(1);
+            if scratch.generation == 0 {
+                scratch.visited.iter_mut().for_each(|v| *v = 0);
+                scratch.generation = 1;
+            }
+            let generation = scratch.generation;
+            for p in pattern.col_ptr[k]..pattern.col_ptr[k + 1] {
+                let root = pattern.row_idx[p];
+                if scratch.visited[root] == generation {
+                    continue;
+                }
+                scratch.stack.clear();
+                scratch.pstack.clear();
+                scratch.stack.push(root);
+                scratch.pstack.push(0);
+                while let Some(&node) = scratch.stack.last() {
+                    let depth = scratch.stack.len() - 1;
+                    if scratch.visited[node] != generation {
+                        scratch.visited[node] = generation;
+                        scratch.pstack[depth] = if self.pinv[node] >= 0 {
+                            self.lp[self.pinv[node] as usize]
+                        } else {
+                            0
+                        };
+                    }
+                    let end = if self.pinv[node] >= 0 {
+                        self.lp[self.pinv[node] as usize + 1]
+                    } else {
+                        0
+                    };
+                    let mut q = scratch.pstack[depth];
+                    let mut descended = false;
+                    while q < end {
+                        // During factor, li holds original row indices.
+                        let child = self.li[q];
+                        q += 1;
+                        if scratch.visited[child] != generation {
+                            scratch.pstack[depth] = q;
+                            scratch.stack.push(child);
+                            scratch.pstack.push(0);
+                            descended = true;
+                            break;
+                        }
+                    }
+                    if !descended {
+                        scratch.stack.pop();
+                        scratch.pstack.pop();
+                        top -= 1;
+                        scratch.xi[top] = node;
+                    }
+                }
+            }
+
+            // Numeric: scatter A(:,k), then eliminate in topological order.
+            let col = pattern.col_ptr[k]..pattern.col_ptr[k + 1];
+            for (&row, &v) in pattern.row_idx[col.clone()].iter().zip(&values[col]) {
+                scratch.x[row] = v;
+            }
+            for px in top..n {
+                let i = scratch.xi[px];
+                if self.pinv[i] >= 0 {
+                    let pi = self.pinv[i] as usize;
+                    let xv = scratch.x[i];
+                    self.ui.push(pi);
+                    self.ux.push(xv);
+                    for q in self.lp[pi]..self.lp[pi + 1] {
+                        scratch.x[self.li[q]] -= self.lx[q] * xv;
+                    }
+                }
+            }
+
+            // Pivot: best remaining candidate, with diagonal preference.
+            let mut col_max = 0.0f64;
+            let mut best = 0.0f64;
+            let mut pivot_row = None;
+            for px in top..n {
+                let i = scratch.xi[px];
+                let av = scratch.x[i].abs();
+                if av > col_max {
+                    col_max = av;
+                }
+                if self.pinv[i] < 0 && av > best {
+                    best = av;
+                    pivot_row = Some(i);
+                }
+            }
+            if self.pinv[k] < 0 && scratch.visited[k] == generation {
+                let dv = scratch.x[k].abs();
+                if dv > 0.0 && dv >= DIAG_PREFERENCE * best {
+                    pivot_row = Some(k);
+                }
+            }
+            let singular = |s: &mut LuScratch| {
+                for px in top..n {
+                    s.x[s.xi[px]] = 0.0;
+                }
+                Err(k)
+            };
+            let Some(ip) = pivot_row else {
+                return singular(scratch);
+            };
+            let pivot = scratch.x[ip];
+            if pivot == 0.0 || pivot.abs() < PIVOT_REL_TOL * col_max {
+                return singular(scratch);
+            }
+            self.udiag[k] = pivot;
+            self.pinv[ip] = k as i64;
+            for px in top..n {
+                let i = scratch.xi[px];
+                if self.pinv[i] < 0 {
+                    self.li.push(i);
+                    self.lx.push(scratch.x[i] / pivot);
+                }
+                scratch.x[i] = 0.0;
+            }
+            self.lp[k + 1] = self.li.len();
+            self.up[k + 1] = self.ui.len();
+        }
+
+        // Rewrite L's row indices into pivoted coordinates so solve and
+        // refactor never consult pinv in their inner loops.
+        for row in &mut self.li {
+            *row = self.pinv[*row] as usize;
+        }
+        self.valid = true;
+        Ok(())
+    }
+
+    /// Numeric-only refactorization: replays the stored pivot order and
+    /// fill pattern on new values. Executes the identical floating-point
+    /// operation sequence as the `factor` call that produced the pattern,
+    /// so its L/U are bitwise-equal to what that factor would compute for
+    /// these values — as long as every pivot stays stable.
+    pub(crate) fn refactor(
+        &mut self,
+        pattern: &CscPattern,
+        values: &[f64],
+        scratch: &mut LuScratch,
+    ) -> Refactor {
+        debug_assert!(self.valid);
+        debug_assert_eq!(pattern.n, self.n);
+        let n = self.n;
+        scratch.reset(n);
+        for k in 0..n {
+            let col = pattern.col_ptr[k]..pattern.col_ptr[k + 1];
+            for (&row, &v) in pattern.row_idx[col.clone()].iter().zip(&values[col]) {
+                scratch.x[self.pinv[row] as usize] = v;
+            }
+            for q in self.up[k]..self.up[k + 1] {
+                let pi = self.ui[q];
+                let xv = scratch.x[pi];
+                self.ux[q] = xv;
+                for r in self.lp[pi]..self.lp[pi + 1] {
+                    scratch.x[self.li[r]] -= self.lx[r] * xv;
+                }
+            }
+            let pivot = scratch.x[k];
+            let mut candidate_max = pivot.abs();
+            for r in self.lp[k]..self.lp[k + 1] {
+                candidate_max = candidate_max.max(scratch.x[self.li[r]].abs());
+            }
+            if pivot == 0.0 || pivot.abs() < REFACTOR_TOL * candidate_max {
+                // Values drifted off this pivot order: clear the touched
+                // entries and hand control back for a full factor.
+                for q in self.up[k]..self.up[k + 1] {
+                    scratch.x[self.ui[q]] = 0.0;
+                }
+                for r in self.lp[k]..self.lp[k + 1] {
+                    scratch.x[self.li[r]] = 0.0;
+                }
+                scratch.x[k] = 0.0;
+                return Refactor::Unstable;
+            }
+            self.udiag[k] = pivot;
+            for r in self.lp[k]..self.lp[k + 1] {
+                let i = self.li[r];
+                self.lx[r] = scratch.x[i] / pivot;
+                scratch.x[i] = 0.0;
+            }
+            for q in self.up[k]..self.up[k + 1] {
+                scratch.x[self.ui[q]] = 0.0;
+            }
+            scratch.x[k] = 0.0;
+        }
+        Refactor::Done
+    }
+
+    /// Solves `A x = b` with the stored factors, writing into `out`.
+    /// Non-consuming: one factorization serves any number of right-hand
+    /// sides.
+    pub(crate) fn solve_into(&self, b: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(self.valid);
+        let n = self.n;
+        debug_assert_eq!(b.len(), n);
+        out.clear();
+        out.resize(n, 0.0);
+        for (i, &bi) in b.iter().enumerate() {
+            out[self.pinv[i] as usize] = bi;
+        }
+        for k in 0..n {
+            let xk = out[k];
+            for r in self.lp[k]..self.lp[k + 1] {
+                out[self.li[r]] -= self.lx[r] * xk;
+            }
+        }
+        for k in (0..n).rev() {
+            let xk = out[k] / self.udiag[k];
+            out[k] = xk;
+            for q in self.up[k]..self.up[k + 1] {
+                out[self.ui[q]] -= self.ux[q] * xk;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds pattern+values from dense-style triplets with values.
+    fn build(n: usize, entries: &[(u32, u32, f64)]) -> (CscPattern, Vec<f64>) {
+        let triplets: Vec<(u32, u32)> = entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let (pattern, slot_of) = CscPattern::build(n, &triplets);
+        let mut values = vec![0.0; pattern.nnz()];
+        for (k, &(_, _, v)) in entries.iter().enumerate() {
+            values[slot_of[k] as usize] += v;
+        }
+        (pattern, values)
+    }
+
+    fn solve(n: usize, entries: &[(u32, u32, f64)], b: &[f64]) -> Result<Vec<f64>, usize> {
+        let (pattern, values) = build(n, entries);
+        let mut lu = SparseLu::default();
+        let mut scratch = LuScratch::default();
+        lu.factor(&pattern, &values, &mut scratch)?;
+        let mut x = Vec::new();
+        lu.solve_into(b, &mut x);
+        Ok(x)
+    }
+
+    #[test]
+    fn pattern_dedups_and_maps_slots() {
+        let triplets = vec![(0, 0), (1, 1), (0, 0), (1, 0)];
+        let (pattern, slot_of) = CscPattern::build(2, &triplets);
+        assert_eq!(pattern.nnz(), 3);
+        assert_eq!(slot_of[0], slot_of[2], "duplicate coordinates share a slot");
+        assert_eq!(pattern.col_ptr, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] => x = [1; 3]
+        let x =
+            solve(2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)], &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivots_through_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] => x = [3; 2]
+        let x = solve(2, &[(0, 1, 1.0), (1, 0, 1.0)], &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_singular_column() {
+        let err = solve(2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)], &[1.0, 1.0])
+            .unwrap_err();
+        assert_eq!(err, 1);
+    }
+
+    #[test]
+    fn tiny_scale_is_not_singular() {
+        let x = solve(
+            2,
+            &[(0, 0, 2e-14), (0, 1, 1e-14), (1, 0, 1e-14), (1, 1, 3e-14)],
+            &[5e-14, 10e-14],
+        )
+        .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_dense_on_random_filled_systems() {
+        // Deterministic pseudo-random dense systems: sparse and dense
+        // agree to machine precision.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut entries = Vec::new();
+            for r in 0..n {
+                for c in 0..n {
+                    let v = next() + if r == c { 2.0 } else { 0.0 };
+                    entries.push((r as u32, c as u32, v));
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve(n, &entries, &b).unwrap();
+            let mut dense = crate::solve::Dense::new(n);
+            for &(r, c, v) in &entries {
+                dense.add(r as usize, c as usize, v);
+            }
+            let xd = dense.solve(b).unwrap();
+            for (a, d) in x.iter().zip(xd.iter()) {
+                assert!((a - d).abs() < 1e-9, "sparse {a} vs dense {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_is_bitwise_equal_to_fresh_factor() {
+        let entries = [
+            (0u32, 0u32, 3.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 4.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 5.0),
+        ];
+        let (pattern, base) = build(3, &entries);
+        let mut scratch = LuScratch::default();
+
+        // Perturbed values, same structure (a Newton re-linearization).
+        let perturbed: Vec<f64> = base.iter().map(|v| v * 1.25 + 0.01).collect();
+
+        let mut reused = SparseLu::default();
+        reused.factor(&pattern, &base, &mut scratch).unwrap();
+        assert_eq!(reused.refactor(&pattern, &perturbed, &mut scratch), Refactor::Done);
+
+        let mut fresh = SparseLu::default();
+        fresh.factor(&pattern, &perturbed, &mut scratch).unwrap();
+
+        let b = [1.0, 2.0, 3.0];
+        let (mut xr, mut xf) = (Vec::new(), Vec::new());
+        reused.solve_into(&b, &mut xr);
+        fresh.solve_into(&b, &mut xf);
+        for (r, f) in xr.iter().zip(xf.iter()) {
+            assert_eq!(r.to_bits(), f.to_bits(), "refactor must replay factor bitwise");
+        }
+    }
+
+    #[test]
+    fn refactor_detects_pivot_drift() {
+        // Start diagonally dominant, then flip the dominance so the stored
+        // pivot order becomes unstable.
+        let entries = [(0u32, 0u32, 10.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 10.0)];
+        let (pattern, base) = build(2, &entries);
+        let mut scratch = LuScratch::default();
+        let mut lu = SparseLu::default();
+        lu.factor(&pattern, &base, &mut scratch).unwrap();
+        // New values: a[0][0] collapses to ~0, off-diagonals dominate.
+        let drifted = vec![1e-9, 1.0, 1.0, 10.0];
+        assert_eq!(lu.refactor(&pattern, &drifted, &mut scratch), Refactor::Unstable);
+        // Full factor recovers (re-pivots) and scratch was left clean.
+        lu.factor(&pattern, &drifted, &mut scratch).unwrap();
+        let mut x = Vec::new();
+        lu.solve_into(&[1.0, 1.0], &mut x);
+        let mut dense = crate::solve::Dense::new(2);
+        dense.add(0, 0, 1e-9);
+        dense.add(0, 1, 1.0);
+        dense.add(1, 0, 1.0);
+        dense.add(1, 1, 10.0);
+        let xd = dense.solve(vec![1.0, 1.0]).unwrap();
+        for (a, d) in x.iter().zip(xd.iter()) {
+            assert!((a - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fill_in_beyond_original_pattern_is_handled() {
+        // An arrow matrix generates fill-in in the last column/row.
+        let n = 6;
+        let mut entries = Vec::new();
+        for i in 0..n as u32 {
+            entries.push((i, i, 4.0));
+            if i + 1 < n as u32 {
+                entries.push((i, n as u32 - 1, 1.0));
+                entries.push((n as u32 - 1, i, 1.0));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = solve(n, &entries, &b).unwrap();
+        let mut dense = crate::solve::Dense::new(n);
+        for &(r, c, v) in &entries {
+            dense.add(r as usize, c as usize, v);
+        }
+        let xd = dense.solve(b).unwrap();
+        for (a, d) in x.iter().zip(xd.iter()) {
+            assert!((a - d).abs() < 1e-10);
+        }
+    }
+}

@@ -12,6 +12,7 @@ use crate::error::{CircuitError, Result};
 use crate::mna::{Companions, DcSolution, Layout, Mode};
 use crate::netlist::Circuit;
 use crate::recovery::{solve_operating_point, SolverOptions};
+use crate::workspace::SolverWorkspace;
 
 /// The result of a transient run: one operating point per time step.
 #[derive(Debug, Clone)]
@@ -97,11 +98,15 @@ impl Circuit {
         // scale the sources against unscaled history terms); the rest of
         // the recovery ladder applies per step.
         let options = SolverOptions { source_stepping: false, ..SolverOptions::default() };
+        // One workspace for the whole run: the symbolic layout, LU buffers
+        // and scratch are shared by every step (the structure never changes
+        // mid-run), so the per-step cost is numeric work only.
+        let mut workspace = SolverWorkspace::new();
         let steps = (t_stop / h).ceil() as usize;
         for k in 1..=steps {
             let companions = Companions { h, prev_v: &prev_v, inductor_i: &inductor_i };
             let (x, diagnostics) =
-                solve_operating_point(self, &layout, Some(&companions), &options)?;
+                solve_operating_point(self, &layout, Some(&companions), &options, &mut workspace)?;
             if diagnostics.recovered() {
                 recovered_steps += 1;
             }

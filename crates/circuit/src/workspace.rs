@@ -1,0 +1,319 @@
+//! Per-worker solver workspaces: what may be reused across solves.
+//!
+//! A fault-injection campaign solves hundreds of circuits that differ from
+//! the healthy netlist by a handful of stamp values. [`SolverWorkspace`]
+//! exploits that by caching, per netlist *structure*:
+//!
+//! * the symbolic [`MatrixLayout`] (CSC pattern + slot maps) — an open or
+//!   short fault replaces an element by a resistor with the same
+//!   connectivity, so nearly every injected circuit hits this cache;
+//! * every numeric buffer a solve needs (CSC values, linear baseline, RHS,
+//!   LU factors, factorization scratch) — reused allocation-free from case
+//!   to case.
+//!
+//! **What is deliberately NOT reused: numeric state.** The result of a
+//! solve through a workspace is a pure function of `(circuit, options)` —
+//! the first Newton iteration of every operating-point call performs a
+//! full pivoting factorization, and only iterations within the same call
+//! replay that call's pivot order. A warm workspace therefore returns
+//! bit-identical results to a freshly created one, which is what lets the
+//! campaign layer thread one workspace through thousands of injections
+//! without changing a single verdict (property-tested in
+//! `tests/sparse_equivalence.rs`).
+
+use std::time::Instant;
+
+use crate::element::ElementKind;
+use crate::error::{CircuitError, Result};
+use crate::mna::{
+    assemble_sparse_linear, build_matrix_layout, restamp_nonlinear, Companions, DcSolution,
+    Junctions, Layout, LinearStage, MatrixLayout, Mode, NewtonSettings,
+};
+use crate::netlist::Circuit;
+use crate::recovery::{solve_operating_point, SolveDiagnostics, SolverOptions};
+use crate::sparse::{LuScratch, Refactor, SparseLu};
+
+/// Retained layouts per workspace. A campaign works a handful of
+/// structures (healthy + the few fault shapes); fleet workers that sweep
+/// many models keep the most recent ones.
+const LAYOUT_CACHE_CAP: usize = 32;
+
+/// Structural fingerprint of a netlist under a mode: everything that
+/// determines the stamp coordinate sequence (and hence the CSC pattern,
+/// slot maps and branch numbering), nothing that only affects values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LayoutKey {
+    transient: bool,
+    n_nodes: u32,
+    shapes: Vec<(u8, u32, u32)>,
+}
+
+/// Matrix footprint class of an element kind. Two kinds with equal tags
+/// and terminals emit identical stamp coordinate sequences — e.g. a diode
+/// and the resistor its open-fault turns into are both `G`.
+fn shape_tag(kind: &ElementKind, mode: Mode) -> u8 {
+    match kind {
+        ElementKind::VoltageSource { .. } | ElementKind::CurrentSensor => b'V',
+        ElementKind::Inductor { .. } => {
+            if mode == Mode::Dc {
+                b'V'
+            } else {
+                b'G'
+            }
+        }
+        ElementKind::Capacitor { .. } => {
+            if mode == Mode::Dc {
+                b'0'
+            } else {
+                b'G'
+            }
+        }
+        ElementKind::CurrentSource { .. } => b'I',
+        ElementKind::Resistor { .. }
+        | ElementKind::Switch { .. }
+        | ElementKind::Diode(_)
+        | ElementKind::Load { .. } => b'G',
+        ElementKind::VoltageSensor => b'0',
+    }
+}
+
+fn layout_key(circuit: &Circuit, mode: Mode) -> LayoutKey {
+    let shapes = circuit
+        .elements()
+        .map(|(_, e)| (shape_tag(&e.kind, mode), e.plus.raw(), e.minus.raw()))
+        .collect();
+    LayoutKey { transient: mode == Mode::Transient, n_nodes: circuit.node_count() as u32, shapes }
+}
+
+/// Everything cached for one netlist structure.
+struct LayoutEntry {
+    key: LayoutKey,
+    ml: MatrixLayout,
+    lu: SparseLu,
+    scratch: LuScratch,
+    /// CSC values of the current iteration's matrix.
+    values: Vec<f64>,
+    /// Linear-elements-only baseline (values + RHS) of the current rung.
+    baseline_values: Vec<f64>,
+    baseline_b: Vec<f64>,
+    /// RHS of the current iteration (original coordinates).
+    b: Vec<f64>,
+    /// RHS permuted into the layout's fill-reducing ordering.
+    pb: Vec<f64>,
+    /// Solution scratch (permuted coordinates).
+    x: Vec<f64>,
+    /// Linear baseline of the *previous* solve on this layout, kept only
+    /// to measure how few stamps an injection actually changes
+    /// (`solver.stamp_deltas`). Never read by the numerics.
+    prev_linear: Vec<f64>,
+    prev_linear_valid: bool,
+}
+
+/// Observability tallies accumulated by the sparse stage and flushed by
+/// `solve_operating_point` into the thread-current telemetry handle.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SolverCounters {
+    /// Full pivoting factorizations performed.
+    pub(crate) refactorizations: u64,
+    /// Newton iterations that replayed an existing factorization.
+    pub(crate) factor_reuse: u64,
+    /// Linear-baseline slots that changed versus the previous solve on
+    /// the same layout — the stamp-level delta of a fault injection.
+    pub(crate) stamp_deltas: u64,
+    /// Wall-clock spent factoring/refactoring, in seconds (only measured
+    /// while telemetry is live).
+    pub(crate) factor_seconds: f64,
+}
+
+impl SolverCounters {
+    pub(crate) fn take(&mut self) -> SolverCounters {
+        std::mem::take(self)
+    }
+}
+
+/// A reusable solver workspace: symbolic layouts, factorization buffers
+/// and scratch vectors shared across solves (see the module docs for the
+/// reuse contract). Cheap to create; create one per worker thread and
+/// feed it every solve that worker performs.
+#[derive(Default)]
+pub struct SolverWorkspace {
+    /// MRU-ordered cache; boxed so the per-hit `rotate_right` moves
+    /// pointers, not the entries' buffer headers.
+    #[allow(clippy::vec_box)]
+    entries: Vec<Box<LayoutEntry>>,
+    pub(crate) counters: SolverCounters,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> SolverWorkspace {
+        SolverWorkspace::default()
+    }
+
+    /// Computes the DC operating point of `circuit` under `options`,
+    /// reusing this workspace's cached layouts and buffers. Results are
+    /// bit-identical to [`Circuit::dc_with_options`] on a fresh workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] for ill-posed circuits and
+    /// [`CircuitError::NoConvergence`] once every enabled recovery rung is
+    /// exhausted.
+    pub fn dc(
+        &mut self,
+        circuit: &Circuit,
+        options: &SolverOptions,
+    ) -> Result<(DcSolution, SolveDiagnostics)> {
+        let layout = Layout::build(circuit, Mode::Dc);
+        let (x, diagnostics) = solve_operating_point(circuit, &layout, None, options, self)?;
+        Ok((DcSolution::new(&layout, x), diagnostics))
+    }
+
+    /// Number of cached symbolic layouts (test/diagnostic aid).
+    pub fn cached_layouts(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Borrows (building if needed) the layout entry for this circuit
+    /// structure and wraps it in a per-call sparse stage.
+    pub(crate) fn stage(
+        &mut self,
+        circuit: &Circuit,
+        layout: &Layout,
+        mode: Mode,
+        timed: bool,
+    ) -> SparseStage<'_> {
+        let SolverWorkspace { entries, counters } = self;
+        let key = layout_key(circuit, mode);
+        let found = entries.iter().position(|e| e.key == key);
+        match found {
+            Some(i) => entries[..=i].rotate_right(1),
+            None => {
+                let ml = build_matrix_layout(circuit, layout, mode);
+                let nnz = ml.pattern.nnz();
+                let dim = ml.dim;
+                entries.insert(
+                    0,
+                    Box::new(LayoutEntry {
+                        key,
+                        ml,
+                        lu: SparseLu::default(),
+                        scratch: LuScratch::default(),
+                        values: vec![0.0; nnz],
+                        baseline_values: vec![0.0; nnz],
+                        baseline_b: vec![0.0; dim],
+                        b: vec![0.0; dim],
+                        pb: vec![0.0; dim],
+                        x: Vec::new(),
+                        prev_linear: Vec::new(),
+                        prev_linear_valid: false,
+                    }),
+                );
+                entries.truncate(LAYOUT_CACHE_CAP);
+            }
+        }
+        let entry = &mut *entries[0];
+        entry.lu.invalidate();
+        SparseStage { entry, counters, baseline_tag: None, deltas_counted: false, timed }
+    }
+}
+
+/// The sparse [`LinearStage`]: one per `solve_operating_point` call.
+/// Holds the workspace's layout entry for the duration of the ladder walk
+/// and enforces the purity contract — the first iteration always performs
+/// a full pivoting factorization; later iterations (and later rungs of
+/// the same call) replay its pivot order, falling back to a full factor
+/// when a pivot drifts below the stability floor.
+pub(crate) struct SparseStage<'a> {
+    entry: &'a mut LayoutEntry,
+    counters: &'a mut SolverCounters,
+    /// `(gmin, source_scale)` bit patterns the current linear baseline was
+    /// assembled under; `None` until the first assembly of this call.
+    baseline_tag: Option<(u64, u64)>,
+    /// Stamp deltas are measured once per call, against the previous call
+    /// on the same layout.
+    deltas_counted: bool,
+    /// Whether to pay for factorization clocks (telemetry live).
+    timed: bool,
+}
+
+impl LinearStage for SparseStage<'_> {
+    fn assemble_and_solve(
+        &mut self,
+        circuit: &Circuit,
+        layout: &Layout,
+        junctions: &Junctions,
+        companions: Option<&Companions<'_>>,
+        settings: &NewtonSettings,
+    ) -> Result<Vec<f64>> {
+        let e = &mut *self.entry;
+        let tag = (settings.gmin.to_bits(), settings.source_scale.to_bits());
+        if self.baseline_tag != Some(tag) {
+            assemble_sparse_linear(
+                circuit,
+                layout,
+                &e.ml,
+                companions,
+                settings,
+                &mut e.baseline_values,
+                &mut e.baseline_b,
+            );
+            if !self.deltas_counted {
+                if e.prev_linear_valid && e.prev_linear.len() == e.baseline_values.len() {
+                    let changed = e
+                        .baseline_values
+                        .iter()
+                        .zip(e.prev_linear.iter())
+                        .filter(|(a, b)| a.to_bits() != b.to_bits())
+                        .count();
+                    self.counters.stamp_deltas += changed as u64;
+                }
+                e.prev_linear.clear();
+                e.prev_linear.extend_from_slice(&e.baseline_values);
+                e.prev_linear_valid = true;
+                self.deltas_counted = true;
+            }
+            self.baseline_tag = Some(tag);
+        }
+        e.values.copy_from_slice(&e.baseline_values);
+        e.b.copy_from_slice(&e.baseline_b);
+        restamp_nonlinear(
+            circuit,
+            layout,
+            &e.ml,
+            junctions,
+            companions,
+            settings,
+            &mut e.values,
+            &mut e.b,
+        );
+        let started = self.timed.then(Instant::now);
+        let mut needs_full_factor = true;
+        if e.lu.is_valid()
+            && e.lu.refactor(&e.ml.pattern, &e.values, &mut e.scratch) == Refactor::Done
+        {
+            self.counters.factor_reuse += 1;
+            needs_full_factor = false;
+        }
+        if needs_full_factor {
+            e.lu.factor(&e.ml.pattern, &e.values, &mut e.scratch)
+                .map_err(|col| CircuitError::SingularMatrix { row: col })?;
+            self.counters.refactorizations += 1;
+        }
+        if let Some(started) = started {
+            self.counters.factor_seconds += started.elapsed().as_secs_f64();
+        }
+        // The factors live in the layout's fill-reducing ordering: permute
+        // the RHS in, solve, and permute the solution back out.
+        let perm = &e.ml.perm;
+        for (i, &bi) in e.b.iter().enumerate() {
+            e.pb[perm[i] as usize] = bi;
+        }
+        e.lu.solve_into(&e.pb, &mut e.x);
+        let mut out = vec![0.0; e.ml.dim];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = e.x[perm[i] as usize];
+        }
+        Ok(out)
+    }
+}

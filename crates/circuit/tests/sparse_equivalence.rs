@@ -1,0 +1,220 @@
+//! Differential tests for the sparse MNA kernel against the dense oracle.
+//!
+//! The dense kernel (`SolverKernel::Dense`) is kept exactly for this file:
+//! generated netlists — healthy and with injected faults — must produce
+//! the same operating points, the same recovery-ladder strategy and the
+//! same deviation verdicts under both kernels. A second property pins the
+//! workspace-reuse contract: solving through a warm [`SolverWorkspace`]
+//! is *bitwise* identical to solving through a fresh one, which is what
+//! lets the campaign layer thread one workspace through thousands of
+//! injections without changing a single verdict.
+
+use decisive_circuit::{
+    Circuit, ElementId, Fault, NodeId, SolverKernel, SolverOptions, SolverWorkspace,
+};
+use proptest::prelude::*;
+
+/// Shape of one rung of the generated ladder network.
+#[derive(Debug, Clone)]
+struct Rung {
+    series_ohms: f64,
+    shunt_ohms: f64,
+    diode: bool,
+    load: bool,
+}
+
+fn rung_strategy() -> impl Strategy<Value = Rung> {
+    (1.0f64..5_000.0, 10.0f64..50_000.0, any::<bool>(), any::<bool>()).prop_map(
+        |(series_ohms, shunt_ohms, diode, load)| Rung { series_ohms, shunt_ohms, diode, load },
+    )
+}
+
+/// Builds a series/shunt ladder: `V1` feeds `rungs.len()` RC-free stages,
+/// each with a series resistor, a shunt resistor, and optionally a diode
+/// and a behavioural load to ground. A bridge resistor from the first to
+/// the last stage (when the ladder is long enough) closes a loop so LU
+/// fill-in beyond the original pattern is exercised, and a current sensor
+/// in the first series branch provides the campaign-style observable.
+///
+/// Returns the circuit, the sensor, and the fault-injectable elements.
+fn ladder(volts: f64, rungs: &[Rung], bridge: bool) -> (Circuit, ElementId, Vec<ElementId>) {
+    let mut c = Circuit::new("generated-ladder");
+    let top = c.node();
+    c.add_voltage_source("V1", top, NodeId::GROUND, volts).unwrap();
+    let sense = c.node();
+    let cs = c.add_current_sensor("CS1", top, sense).unwrap();
+    let mut injectable = Vec::new();
+    let mut prev = sense;
+    let mut first_mid = None;
+    for (i, r) in rungs.iter().enumerate() {
+        let mid = c.node();
+        injectable.push(c.add_resistor(format!("RS{i}"), prev, mid, r.series_ohms).unwrap());
+        injectable
+            .push(c.add_resistor(format!("RG{i}"), mid, NodeId::GROUND, r.shunt_ohms).unwrap());
+        if r.diode {
+            injectable.push(c.add_diode(format!("D{i}"), mid, NodeId::GROUND).unwrap());
+        }
+        if r.load {
+            // Knee far below the operating range: no pathological cycle.
+            c.add_load(format!("MC{i}"), mid, NodeId::GROUND, 0.01, 0.5, 0.001).unwrap();
+        }
+        first_mid.get_or_insert(mid);
+        prev = mid;
+    }
+    if bridge && rungs.len() >= 3 {
+        let first = first_mid.unwrap();
+        injectable.push(c.add_resistor("RB", first, prev, 4_700.0).unwrap());
+    }
+    (c, cs, injectable)
+}
+
+fn dense_options() -> SolverOptions {
+    SolverOptions { kernel: SolverKernel::Dense, ..SolverOptions::default() }
+}
+
+/// Campaign-style deviation verdict between two sensor readings.
+fn deviates(before: f64, after: f64) -> bool {
+    let denom = before.abs().max(after.abs()).max(1e-12);
+    (after - before).abs() / denom > 0.2
+}
+
+fn assert_close(a: &[f64], b: &[f64]) -> Result<(), String> {
+    prop_assert_eq!(a.len(), b.len());
+    for (va, vb) in a.iter().zip(b.iter()) {
+        let scale = va.abs().max(vb.abs()).max(1.0);
+        prop_assert!(
+            (va - vb).abs() <= 1e-6 * scale,
+            "kernel mismatch: sparse {} vs dense {}",
+            va,
+            vb
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Healthy and faulted generated netlists: the sparse kernel and the
+    /// dense oracle agree on the operating point (within Newton tolerance),
+    /// walk the same recovery rung, and produce the same DVF verdict.
+    #[test]
+    fn sparse_agrees_with_dense_oracle(
+        volts in 1.0f64..24.0,
+        rungs in proptest::collection::vec(rung_strategy(), 1..6),
+        bridge in any::<bool>(),
+        fault_pick in 0usize..64,
+        short in any::<bool>(),
+    ) {
+        let (c, cs, injectable) = ladder(volts, &rungs, bridge);
+        let (sparse_sol, sparse_diag) = c.dc_with_options(&SolverOptions::default()).unwrap();
+        let (dense_sol, dense_diag) = c.dc_with_options(&dense_options()).unwrap();
+        prop_assert_eq!(sparse_diag.strategy, dense_diag.strategy);
+        assert_close(&sparse_sol.node_voltages(), &dense_sol.node_voltages())?;
+        let nominal_sparse = c.sensor_reading(&sparse_sol, cs).unwrap();
+        let nominal_dense = c.sensor_reading(&dense_sol, cs).unwrap();
+
+        let target = injectable[fault_pick % injectable.len()];
+        let fault = if short { Fault::Short } else { Fault::Open };
+        let faulted = c.with_fault(target, fault).unwrap();
+        let sparse = faulted.dc_with_options(&SolverOptions::default());
+        let dense = faulted.dc_with_options(&dense_options());
+        match (sparse, dense) {
+            (Ok((ss, sd)), Ok((ds, dd))) => {
+                prop_assert_eq!(sd.strategy, dd.strategy);
+                assert_close(&ss.node_voltages(), &ds.node_voltages())?;
+                // The verdict the FMEA derives must be kernel-independent.
+                let after_sparse = faulted.sensor_reading(&ss, cs).unwrap();
+                let after_dense = faulted.sensor_reading(&ds, cs).unwrap();
+                prop_assert_eq!(
+                    deviates(nominal_sparse, after_sparse),
+                    deviates(nominal_dense, after_dense)
+                );
+            }
+            // Both kernels must classify a case as unsolvable together —
+            // a fault that only one kernel can solve would silently flip
+            // campaign verdicts between kernels.
+            (s, d) => prop_assert!(
+                s.is_err() && d.is_err(),
+                "kernels disagree on solvability: sparse {:?} dense {:?}",
+                s.map(|_| ()),
+                d.map(|_| ())
+            ),
+        }
+    }
+
+    /// The purity contract of `SolverWorkspace`: after solving an arbitrary
+    /// interleaving of healthy and faulted circuits, a warm workspace
+    /// returns bitwise-identical results to a fresh one (and to the
+    /// workspace-free `dc_with_options` entry point).
+    #[test]
+    fn warm_workspace_is_bitwise_identical_to_fresh(
+        volts in 1.0f64..24.0,
+        rungs in proptest::collection::vec(rung_strategy(), 1..5),
+        fault_pick in 0usize..64,
+        short in any::<bool>(),
+    ) {
+        let (c, _, injectable) = ladder(volts, &rungs, false);
+        let target = injectable[fault_pick % injectable.len()];
+        let fault = if short { Fault::Short } else { Fault::Open };
+        let faulted = c.with_fault(target, fault).unwrap();
+        let options = SolverOptions::default();
+
+        // Warm one workspace with the whole sequence, then re-solve each
+        // circuit through it: history must not leak into the numerics.
+        let mut warm = SolverWorkspace::new();
+        let _ = warm.dc(&c, &options);
+        let _ = warm.dc(&faulted, &options);
+        for circuit in [&c, &faulted] {
+            let warm_result = warm.dc(circuit, &options);
+            let fresh_result = SolverWorkspace::new().dc(circuit, &options);
+            let plain_result = circuit.dc_with_options(&options);
+            match (warm_result, fresh_result, plain_result) {
+                (Ok((w, wd)), Ok((f, fd)), Ok((p, pd))) => {
+                    prop_assert_eq!(wd.strategy, fd.strategy);
+                    prop_assert_eq!(wd.iterations, fd.iterations);
+                    prop_assert_eq!(pd.strategy, fd.strategy);
+                    let (w, f, p) = (w.node_voltages(), f.node_voltages(), p.node_voltages());
+                    for i in 0..w.len() {
+                        prop_assert!(
+                            w[i].to_bits() == f[i].to_bits() && f[i].to_bits() == p[i].to_bits(),
+                            "workspace history leaked into the solution: \
+                             warm {} fresh {} plain {}",
+                            w[i], f[i], p[i]
+                        );
+                    }
+                }
+                (w, f, p) => prop_assert!(
+                    w.is_err() && f.is_err() && p.is_err(),
+                    "solvability depends on workspace history"
+                ),
+            }
+        }
+    }
+}
+
+/// An open or short fault keeps the element's connectivity, so the faulted
+/// circuit reuses the healthy circuit's cached symbolic layout; the cache
+/// holds one entry for the shared structure.
+#[test]
+fn fault_injection_reuses_the_healthy_layout() {
+    let rungs = vec![
+        Rung { series_ohms: 100.0, shunt_ohms: 1_000.0, diode: true, load: false },
+        Rung { series_ohms: 220.0, shunt_ohms: 4_700.0, diode: false, load: true },
+    ];
+    let (c, _, injectable) = ladder(12.0, &rungs, false);
+    let mut ws = SolverWorkspace::new();
+    ws.dc(&c, &SolverOptions::default()).unwrap();
+    assert_eq!(ws.cached_layouts(), 1);
+    for &target in &injectable {
+        for fault in [Fault::Open, Fault::Short] {
+            let faulted = c.with_fault(target, fault).unwrap();
+            ws.dc(&faulted, &SolverOptions::default()).unwrap();
+        }
+    }
+    assert_eq!(
+        ws.cached_layouts(),
+        1,
+        "every open/short injection must hit the healthy circuit's layout"
+    );
+}

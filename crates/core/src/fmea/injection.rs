@@ -3,11 +3,12 @@
 //! components × failure modes* (inject, re-simulate, compare against a
 //! threshold), *output* the component safety analysis model.
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use decisive_blocks::{to_circuit, BlockDiagram, BlockKind, LoweredCircuit};
-use decisive_circuit::{Fault, SolverOptions};
+use decisive_circuit::{Fault, SolverOptions, SolverWorkspace};
 use decisive_ssam::architecture::{Coverage, FailureNature};
 
 use crate::campaign::{CampaignConfig, CampaignHealth, CaseOutcome, CaseReport};
@@ -98,8 +99,13 @@ fn sweep(
     }
     config.campaign.validate()?;
     let lowered = to_circuit(diagram)?;
-    // Step 1 — Initialise: record the nominal readings.
-    let nominal_solution = lowered.circuit.dc()?;
+    // Step 1 — Initialise: record the nominal readings. The nominal solve
+    // uses the configured kernel but the full default recovery ladder — a
+    // healthy circuit that needs a trimmed ladder is a modelling error the
+    // campaign should surface, not paper over.
+    let nominal_options =
+        SolverOptions { kernel: config.campaign.solver.kernel, ..SolverOptions::default() };
+    let (nominal_solution, _) = SolverWorkspace::new().dc(&lowered.circuit, &nominal_options)?;
     let nominal = lowered.circuit.all_sensor_readings(&nominal_solution)?;
 
     // Step 2 — Iterate components and failure modes.
@@ -120,8 +126,15 @@ fn sweep(
                     let telemetry = telemetry.clone();
                     scope.spawn(move || {
                         let _telemetry = decisive_obs::set_current(telemetry);
+                        // One workspace per worker: every case this worker
+                        // solves shares symbolic layouts and LU buffers.
+                        let mut ws = SolverWorkspace::new();
                         part.iter()
-                            .map(|c| analyse_candidate_supervised(c, lowered, nominal, config))
+                            .map(|c| {
+                                analyse_candidate_supervised_in(
+                                    &mut ws, c, lowered, nominal, config,
+                                )
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -133,9 +146,10 @@ fn sweep(
         .expect("crossbeam scope");
         results.into_iter().flatten().collect()
     } else {
+        let mut ws = SolverWorkspace::new();
         candidates
             .iter()
-            .map(|c| analyse_candidate_supervised(c, &lowered, &nominal, config))
+            .map(|c| analyse_candidate_supervised_in(&mut ws, c, &lowered, &nominal, config))
             .collect()
     };
     Ok((results, lowered, nominal))
@@ -253,6 +267,9 @@ pub fn run_dual_point(
     let mut latent_pairs = Vec::new();
     let mut pair_warnings = Vec::new();
     let mut latent_rows = std::collections::BTreeSet::new();
+    // Every joint circuit shares the healthy netlist's structure, so one
+    // workspace serves the whole quadratic pair loop allocation-free.
+    let mut joint_workspace = SolverWorkspace::new();
     for (i, &(row_a, element_a, fault_a)) in masked.iter().enumerate() {
         for &(row_b, element_b, fault_b) in &masked[i + 1..] {
             if element_a == element_b {
@@ -273,8 +290,8 @@ pub fn run_dual_point(
                 continue;
             };
             let start = Instant::now();
-            let (deviates, outcome, iterations) = match joint
-                .dc_with_options(&config.campaign.solver)
+            let (deviates, outcome, iterations) = match joint_workspace
+                .dc(&joint, &config.campaign.solver)
             {
                 Ok((solution, diagnostics)) => {
                     let deviates = nominal.iter().any(|&(sensor, before)| {
@@ -319,11 +336,41 @@ pub fn run_dual_point(
     Ok(DualPointOutcome { table, latent_pairs, pair_warnings, health })
 }
 
+thread_local! {
+    /// Per-thread solver workspace for [`analyse_candidate_supervised`]:
+    /// external schedulers (the engine's `run_keyed` pool) call that entry
+    /// point from long-lived worker threads, so a thread-local gives each
+    /// worker factorization-buffer and layout reuse across every case it
+    /// analyses — without changing the entry point's signature.
+    static WORKER_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
+}
+
 /// Analyses one candidate under full supervision: the analysis body runs
 /// inside `catch_unwind` so a panic poisons only this row, the solve runs
 /// the configured recovery ladder, and the returned [`CaseReport`]
 /// classifies how the case ended (with wall-clock and iteration cost).
+///
+/// Solves through a per-thread [`SolverWorkspace`], so repeated calls from
+/// the same scheduler worker reuse symbolic layouts and factorization
+/// buffers; see [`analyse_candidate_supervised_in`] to manage the
+/// workspace explicitly. Workspace reuse never changes results — solves
+/// are bit-identical to a fresh workspace.
 pub fn analyse_candidate_supervised(
+    candidate: &Candidate,
+    lowered: &LoweredCircuit,
+    nominal: &[(decisive_circuit::ElementId, f64)],
+    config: &InjectionConfig,
+) -> (FmeaRow, CaseReport) {
+    WORKER_WORKSPACE.with(|ws| {
+        analyse_candidate_supervised_in(&mut ws.borrow_mut(), candidate, lowered, nominal, config)
+    })
+}
+
+/// [`analyse_candidate_supervised`] with an explicit workspace — the batch
+/// form used by the sweep, which owns one workspace per worker thread and
+/// feeds it every case of that worker's chunk.
+pub fn analyse_candidate_supervised_in(
+    workspace: &mut SolverWorkspace,
     candidate: &Candidate,
     lowered: &LoweredCircuit,
     nominal: &[(decisive_circuit::ElementId, f64)],
@@ -333,6 +380,7 @@ pub fn analyse_candidate_supervised(
     let case = format!("{}/{}", candidate.name, candidate.mode.name);
     let result = catch_unwind(AssertUnwindSafe(|| {
         analyse_candidate_inner(
+            workspace,
             candidate,
             lowered,
             nominal,
@@ -366,7 +414,15 @@ pub fn analyse_candidate(
     nominal: &[(decisive_circuit::ElementId, f64)],
     threshold: f64,
 ) -> FmeaRow {
-    analyse_candidate_inner(candidate, lowered, nominal, threshold, &SolverOptions::default()).0
+    analyse_candidate_inner(
+        &mut SolverWorkspace::new(),
+        candidate,
+        lowered,
+        nominal,
+        threshold,
+        &SolverOptions::default(),
+    )
+    .0
 }
 
 /// A row shell carrying the candidate's identity before any verdict.
@@ -389,6 +445,7 @@ fn blank_row(candidate: &Candidate) -> FmeaRow {
 /// The analysis body: returns the row plus the outcome classification and
 /// Newton-iteration cost for the campaign supervisor.
 fn analyse_candidate_inner(
+    workspace: &mut SolverWorkspace,
     candidate: &Candidate,
     lowered: &LoweredCircuit,
     nominal: &[(decisive_circuit::ElementId, f64)],
@@ -421,7 +478,7 @@ fn analyse_candidate_inner(
             return (row, CaseOutcome::Unsolvable { reason: e.to_string() }, 0);
         }
     };
-    match faulted.dc_with_options(solver) {
+    match workspace.dc(&faulted, solver) {
         Ok((solution, diagnostics)) => {
             let deviates = nominal.iter().any(|&(sensor, before)| {
                 let after = faulted.sensor_reading(&solution, sensor).unwrap_or(f64::NAN);

@@ -297,3 +297,50 @@ fn skipped_cases_are_classified_not_converged() {
     assert_eq!(health.converged, 0);
     let _ = CaseOutcome::Skipped; // the classification is part of the API
 }
+
+/// The sparse kernel (default) and the dense differential oracle must
+/// produce identical campaign verdicts — same rows, same safety
+/// classifications, same impacts, same ladder outcomes — on every gallery
+/// design, including the pathological brown-out case that exercises the
+/// whole recovery ladder.
+#[test]
+fn dense_and_sparse_kernels_agree_on_every_campaign_verdict() {
+    use decisive_circuit::SolverKernel;
+    let dense_config = InjectionConfig {
+        campaign: CampaignConfig {
+            solver: SolverOptions { kernel: SolverKernel::Dense, ..SolverOptions::default() },
+            ..CampaignConfig::default()
+        },
+        ..InjectionConfig::default()
+    };
+    let cases = [
+        (gallery::sensor_power_supply().0, ReliabilityDb::paper_table_ii()),
+        (gallery::redundant_power_supply().0, ReliabilityDb::paper_table_ii()),
+        (gallery::brownout_threshold_supply().0, brownout_reliability()),
+    ];
+    for (diagram, db) in &cases {
+        let (sparse_table, sparse_health) =
+            injection::run_supervised(diagram, db, &InjectionConfig::default()).unwrap();
+        let (dense_table, dense_health) =
+            injection::run_supervised(diagram, db, &dense_config).unwrap();
+        assert_eq!(
+            sparse_table.disagreement(&dense_table),
+            0.0,
+            "kernels disagree on {}",
+            diagram.name()
+        );
+        for (s, d) in sparse_table.rows.iter().zip(dense_table.rows.iter()) {
+            assert_eq!(
+                s.impact,
+                d.impact,
+                "{}: {}/{}",
+                diagram.name(),
+                s.component,
+                s.failure_mode
+            );
+        }
+        assert_eq!(sparse_health.converged, dense_health.converged, "{}", diagram.name());
+        assert_eq!(sparse_health.recovered, dense_health.recovered, "{}", diagram.name());
+        assert_eq!(sparse_health.unsolvable, dense_health.unsolvable, "{}", diagram.name());
+    }
+}

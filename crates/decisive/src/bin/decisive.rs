@@ -112,8 +112,8 @@ fn print_usage() {
         "decisive — iterative automated safety analysis\n\n\
          usage:\n  decisive demo <model.json>\n  decisive import <design.bd> <model.json>\n  decisive validate <model.json>\n  \
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
-         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
-         decisive pipeline <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--mission-hours <h>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--solver sparse|dense] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive pipeline <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--mission-hours <h>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--solver sparse|dense] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
          decisive passes [<model.json|design.bd>] [--cache <dir>] [--jobs <n>] [--format text|json]\n  \
          decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict] [--trace-out <trace.json>] [--metrics]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
@@ -128,8 +128,9 @@ fn print_usage() {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 23] = [
+const VALUE_FLAGS: [&str; 24] = [
     "--algorithm",
+    "--solver",
     "--csv",
     "--json",
     "--cache",
@@ -313,6 +314,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
             "--csv",
             "--json",
             "--reliability",
+            "--solver",
             "--strict",
             "--format",
             "--trace-out",
@@ -373,6 +375,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
             "--csv",
             "--json",
             "--reliability",
+            "--solver",
             "--strict",
             "--format",
             "--trace-out",
@@ -419,6 +422,7 @@ fn run_pipeline_verb(
         let top = top_of(&model)?;
         let input = decisive::engine::PipelineInput::for_model(&model, top)
             .with_diagram(&diagram, &reliability)
+            .with_injection_config(injection_config(args)?)
             .with_mission_hours(mission_hours);
         (decisive::engine::Pipeline::standard(true), input)
     } else {
@@ -593,16 +597,16 @@ fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
         let reliability = load_reliability(args, &mut engine)?;
-        let table =
-            match engine.analyze_injection(&diagram, &reliability, &InjectionConfig::default()) {
-                Ok(table) => table,
-                Err(e) => {
-                    if let Some(health) = engine.campaign_health() {
-                        print!("{}", health.render());
-                    }
-                    return Err(CliError::Failure(e.to_string()));
+        let table = match engine.analyze_injection(&diagram, &reliability, &injection_config(args)?)
+        {
+            Ok(table) => table,
+            Err(e) => {
+                if let Some(health) = engine.campaign_health() {
+                    print!("{}", health.render());
                 }
-            };
+                return Err(CliError::Failure(e.to_string()));
+            }
+        };
         if let Some(dir) = flag_value(args, "--cache") {
             engine.save_cache(dir).map_err(|e| e.to_string())?;
         }
@@ -1270,4 +1274,20 @@ fn serve_on_socket(_daemon: decisive::serve::Daemon, _path: &str) -> Result<(), 
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str())
+}
+
+/// Builds the injection configuration from `--solver`: `sparse` (default)
+/// runs the CSC kernel with factorization reuse, `dense` the O(n³) oracle
+/// kernel kept for differential testing.
+fn injection_config(args: &[String]) -> Result<InjectionConfig, CliError> {
+    let mut config = InjectionConfig::default();
+    config.campaign.solver.kernel = match flag_value(args, "--solver") {
+        None => decisive::circuit::SolverKernel::default(),
+        Some("sparse") => decisive::circuit::SolverKernel::Sparse,
+        Some("dense") => decisive::circuit::SolverKernel::Dense,
+        Some(other) => {
+            return Err(CliError::usage(format!("--solver wants sparse|dense, got `{other}`")))
+        }
+    };
+    Ok(config)
 }

@@ -826,9 +826,13 @@ impl AnalysisPass for GraphFmeaPass {
 }
 
 /// The supervised fault-injection sweep as a pass: rows are keyed by the
-/// whole-circuit digest plus candidate content and solver ladder, the
-/// campaign circuit breaker is enforced on every run (warm or cold), and
-/// the health report is published for downstream passes.
+/// whole-circuit digest plus candidate content, solver ladder and kernel,
+/// the campaign circuit breaker is enforced on every run (warm or cold),
+/// and the health report is published for downstream passes. Cases are
+/// scheduled through `run_keyed`, whose long-lived worker threads each
+/// carry a thread-local `SolverWorkspace` (inside
+/// `analyse_candidate_supervised`), so every case a worker solves reuses
+/// the same symbolic layouts and factorization buffers.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct InjectionFmeaPass;
 
@@ -868,6 +872,7 @@ impl AnalysisPass for InjectionFmeaPass {
                     .write_bool(solver.gmin_stepping)
                     .write_bool(solver.source_stepping)
                     .write_u64(solver.budget as u64)
+                    .write_str(solver.kernel.tag())
                     .finish();
                 WorkItem {
                     id: ArtifactId { kind: ArtifactKind::InjectionRow, key },
@@ -891,9 +896,16 @@ impl AnalysisPass for InjectionFmeaPass {
             },
             |_| {
                 // Lower and solve the nominal circuit once, only when at
-                // least one candidate actually needs simulating.
+                // least one candidate actually needs simulating. Uses the
+                // configured kernel with the full default recovery ladder.
                 let lowered = to_circuit(diagram).map_err(CoreError::from)?;
-                let nominal_solution = lowered.circuit.dc().map_err(CoreError::from)?;
+                let nominal_options = decisive_circuit::SolverOptions {
+                    kernel: config.campaign.solver.kernel,
+                    ..decisive_circuit::SolverOptions::default()
+                };
+                let (nominal_solution, _) = decisive_circuit::SolverWorkspace::new()
+                    .dc(&lowered.circuit, &nominal_options)
+                    .map_err(CoreError::from)?;
                 let nominal = lowered
                     .circuit
                     .all_sensor_readings(&nominal_solution)

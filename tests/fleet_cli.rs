@@ -269,45 +269,60 @@ fn killing_workers_and_supervisor_then_resuming_matches_reference() {
     let reference = fleet_json(&reference_args, &[]);
     assert_eq!(int_of(&reference, "models"), 14);
 
-    // Launch the same campaign and murder it mid-flight.
+    // Launch the same campaign and murder it mid-flight. The sweep is
+    // fast enough that the supervisor can win the race and finish before
+    // the kill lands; relaunch until a kill actually interrupts it.
     let jc = chaos_journal.to_str().unwrap().to_owned();
-    let mut child = Command::new(decisive_bin())
-        .args(["fleet"])
-        .args(base)
-        .args(["--journal", &jc, "--format", "json"])
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("fleet spawns");
-    let status_file = chaos_journal.join("FLEET_STATUS.json");
-    let deadline = Instant::now() + Duration::from_secs(120);
-    let progressed = loop {
-        if Instant::now() > deadline {
-            break false;
-        }
-        if let Some(completed) = std::fs::read_to_string(&status_file)
-            .ok()
-            .and_then(|text| json::parse(&text).ok())
-            .map(|status| int_of(&status, "completed"))
-        {
-            if completed >= 2 {
-                break true;
+    let mut interrupted = false;
+    for _attempt in 0..10 {
+        std::fs::remove_dir_all(&chaos_journal).ok();
+        let mut child = Command::new(decisive_bin())
+            .args(["fleet"])
+            .args(base)
+            .args(["--journal", &jc, "--format", "json"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("fleet spawns");
+        let status_file = chaos_journal.join("FLEET_STATUS.json");
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let progressed = loop {
+            if Instant::now() > deadline {
+                break false;
             }
+            if let Some(completed) = std::fs::read_to_string(&status_file)
+                .ok()
+                .and_then(|text| json::parse(&text).ok())
+                .map(|status| int_of(&status, "completed"))
+            {
+                if completed >= 2 {
+                    break true;
+                }
+            }
+            if child.try_wait().expect("try_wait").is_some() {
+                break false; // Finished before we could interfere.
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        if !progressed {
+            // Either finished clean before two rows were journaled or (worse)
+            // hung; reap and retry — the deadline bounds each attempt.
+            let _ = Command::new("kill").args(["-9", &child.id().to_string()]).status();
+            child.wait().expect("fleet reaped");
+            continue;
         }
-        if child.try_wait().expect("try_wait").is_some() {
-            break false; // Finished before we could interfere.
+        // kill -9 up to two workers first, then the supervisor itself.
+        for worker in children_of(child.id()).into_iter().take(2) {
+            let _ = Command::new("kill").args(["-9", &worker.to_string()]).status();
         }
-        std::thread::sleep(Duration::from_millis(25));
-    };
-    assert!(progressed, "campaign made observable progress before the kill");
-    // kill -9 up to two workers first, then the supervisor itself.
-    for worker in children_of(child.id()).into_iter().take(2) {
-        let _ = Command::new("kill").args(["-9", &worker.to_string()]).status();
+        let _ = Command::new("kill").args(["-9", &child.id().to_string()]).status();
+        let status = child.wait().expect("fleet reaped");
+        if !status.success() {
+            interrupted = true;
+            break;
+        }
     }
-    std::thread::sleep(Duration::from_millis(50));
-    let _ = Command::new("kill").args(["-9", &child.id().to_string()]).status();
-    let status = child.wait().expect("fleet reaped");
-    assert!(!status.success(), "the supervisor was killed, not finished");
+    assert!(interrupted, "no launch was interruptible mid-flight");
 
     // Resume: only unfinished models re-run, and the report identity is
     // byte-identical to the uninterrupted reference.
