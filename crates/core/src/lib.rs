@@ -56,9 +56,12 @@ pub mod impact;
 pub mod mechanism;
 pub mod metrics;
 pub mod monitor;
+pub mod montecarlo;
+pub mod patterns;
 pub mod persist;
 pub mod process;
 pub mod reliability;
+pub mod request;
 pub mod trace;
 
 pub use error::{CoreError, Result};

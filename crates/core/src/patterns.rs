@@ -1,0 +1,402 @@
+//! A small safety-pattern catalog and the recommendation step it feeds —
+//! the "what mechanism do I add next?" half of the paper's
+//! iterate-until-ASIL loop, à la Dantas et al.'s *Less Manual Work for
+//! Safety Engineers*.
+//!
+//! Each [`SafetyPattern`] is an architectural tactic (comparison monitor,
+//! redundant channel, watchdog, range check) with a typical diagnostic
+//! coverage and engineering cost. [`catalog_for`] matches the patterns
+//! against the failure modes an FMEA left uncovered, instantiating one
+//! [`MechanismSpec`] candidate per applicable pairing; [`recommend`] then
+//! scores deployments of those candidates with the existing Pareto search
+//! and reports them ranked, with the projected metric deltas of each.
+
+use serde::{Deserialize, Serialize};
+
+use decisive_ssam::architecture::{Coverage, FailureNature};
+use decisive_ssam::base::IntegrityLevel;
+
+use crate::error::Result;
+use crate::fmea::FmeaTable;
+use crate::mechanism::search::{pareto_front, SearchOutcome};
+use crate::mechanism::{MechanismCatalog, MechanismSpec};
+use crate::metrics::{self, ArchitectureMetrics};
+
+/// One entry of the safety-pattern catalog: an architectural tactic with
+/// its typical diagnostic coverage, engineering cost, and an
+/// applicability predicate over the failure mode it would guard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyPattern {
+    /// Pattern name, used as the instantiated mechanism name.
+    pub name: String,
+    /// What the pattern does, for the recommendation table.
+    pub description: String,
+    /// Typical diagnostic coverage when deployed (ISO 26262-5 Annex D
+    /// ballpark figures).
+    pub coverage: Coverage,
+    /// Engineering cost in hours, comparable across patterns.
+    pub cost_hours: f64,
+}
+
+/// The failure natures a pattern can diagnose. Matching is by nature, the
+/// one attribute every FMEA row carries regardless of which pass (graph
+/// or injection) produced it.
+fn applies(pattern_name: &str, nature: &FailureNature) -> bool {
+    match pattern_name {
+        // A comparison monitor cross-checks an output against an
+        // independent computation — it sees wrong values, not silence.
+        "Comparison monitor" => {
+            matches!(nature, FailureNature::Erroneous | FailureNature::Degraded)
+        }
+        // A redundant channel takes over when the primary stops working,
+        // and out-votes intermittent glitches.
+        "Redundant channel" => matches!(
+            nature,
+            FailureNature::LossOfFunction | FailureNature::Intermittent | FailureNature::Other(_)
+        ),
+        // A watchdog catches a function that stops responding.
+        "Watchdog" => {
+            matches!(nature, FailureNature::LossOfFunction | FailureNature::Intermittent)
+        }
+        // A range check bounds a signal — it sees drift and spurious
+        // activity as soon as they leave the plausible window.
+        "Range check" => matches!(
+            nature,
+            FailureNature::Erroneous | FailureNature::Degraded | FailureNature::Commission
+        ),
+        _ => false,
+    }
+}
+
+/// The built-in pattern catalog: the four tactics of Dantas et al.'s
+/// running example, with Annex-D-flavoured coverage/cost figures.
+pub fn builtin_patterns() -> Vec<SafetyPattern> {
+    vec![
+        SafetyPattern {
+            name: "Comparison monitor".to_owned(),
+            description: "cross-check the output against an independent computation".to_owned(),
+            coverage: Coverage::new(0.99),
+            cost_hours: 6.0,
+        },
+        SafetyPattern {
+            name: "Redundant channel".to_owned(),
+            description: "duplicate the element and switch over on failure".to_owned(),
+            coverage: Coverage::new(0.99),
+            cost_hours: 10.0,
+        },
+        SafetyPattern {
+            name: "Watchdog".to_owned(),
+            description: "supervise liveness with an independent timer".to_owned(),
+            coverage: Coverage::new(0.90),
+            cost_hours: 3.0,
+        },
+        SafetyPattern {
+            name: "Range check".to_owned(),
+            description: "bound the signal to its plausible window".to_owned(),
+            coverage: Coverage::new(0.60),
+            cost_hours: 1.0,
+        },
+    ]
+}
+
+/// `true` for a row the analysis left uncovered: safety-related, with no
+/// deployed mechanism (or one providing no coverage).
+pub fn is_uncovered(row: &crate::fmea::FmeaRow) -> bool {
+    row.safety_related && (row.mechanism.is_none() || row.coverage == Coverage::NONE)
+}
+
+/// Builds a [`MechanismCatalog`] of candidate pattern instantiations for
+/// every *uncovered* safety-related failure mode of `table`: each
+/// applicable pattern becomes one catalog option keyed on the row's
+/// component type and failure mode, ready for the Pareto search. Rows
+/// without a type key cannot be matched and contribute nothing.
+pub fn catalog_for(table: &FmeaTable) -> MechanismCatalog {
+    let mut catalog = MechanismCatalog::new();
+    let patterns = builtin_patterns();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for row in &table.rows {
+        let Some(type_key) = row.type_key.as_deref() else {
+            continue;
+        };
+        if !is_uncovered(row) {
+            continue;
+        }
+        let slot = (type_key.to_owned(), row.failure_mode.clone());
+        if seen.contains(&slot) {
+            continue; // same (type, mode) on another instance: options already exist
+        }
+        seen.push(slot);
+        for pattern in &patterns {
+            if applies(&pattern.name, &row.nature) {
+                catalog.push(MechanismSpec {
+                    component_type: type_key.to_owned(),
+                    failure_mode: row.failure_mode.clone(),
+                    name: pattern.name.clone(),
+                    coverage: pattern.coverage,
+                    cost_hours: pattern.cost_hours,
+                });
+            }
+        }
+    }
+    catalog
+}
+
+/// One pattern instantiation inside a recommended deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendedMechanism {
+    /// Component instance to guard.
+    pub component: String,
+    /// Failure mode being covered.
+    pub failure_mode: String,
+    /// Pattern (mechanism) name.
+    pub pattern: String,
+    /// Diagnostic coverage of the instantiation.
+    pub coverage: f64,
+    /// Engineering cost in hours.
+    pub cost_hours: f64,
+}
+
+/// One ranked recommendation: a Pareto-optimal deployment with its
+/// projected architecture metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// 1-based rank (1 = highest projected SPFM).
+    pub rank: usize,
+    /// The pattern instantiations of this deployment.
+    pub mechanisms: Vec<RecommendedMechanism>,
+    /// Total engineering cost in hours.
+    pub cost_hours: f64,
+    /// Projected SPFM after deployment.
+    pub projected_spfm: f64,
+    /// Projected LFM after deployment.
+    pub projected_lfm: f64,
+    /// Projected PMHF (per hour) after deployment.
+    pub projected_pmhf: f64,
+    /// SPFM improvement over the undeployed table.
+    pub spfm_delta: f64,
+    /// ASIL grade the projected SPFM achieves.
+    pub achieved_asil: IntegrityLevel,
+}
+
+/// The report of a recommendation pass: the baseline metrics, the
+/// uncovered modes that drove the matching, and the ranked Pareto front
+/// of candidate deployments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationReport {
+    /// System under analysis.
+    pub system: String,
+    /// Metrics of the table as analysed, before any recommendation.
+    pub baseline: ArchitectureMetrics,
+    /// Baseline PMHF (per hour).
+    pub baseline_pmhf: f64,
+    /// `component/failure-mode` labels of the uncovered rows.
+    pub uncovered: Vec<String>,
+    /// Pareto-ranked candidate deployments, best projected SPFM first.
+    pub recommendations: Vec<Recommendation>,
+}
+
+impl RecommendationReport {
+    /// The recommendations whose projected SPFM meets `target` (every
+    /// recommendation, for a target without an SPFM requirement).
+    pub fn meeting(&self, target: IntegrityLevel) -> impl Iterator<Item = &Recommendation> {
+        let threshold = metrics::spfm_target(target).unwrap_or(0.0);
+        self.recommendations.iter().filter(move |r| r.projected_spfm >= threshold)
+    }
+
+    /// Text rendering in the CLI's `# `-commented report style: the
+    /// baseline, the uncovered modes that drove the matching, and one
+    /// block per ranked recommendation.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# recommend: `{}` baseline SPFM {:.2}% ({}), PMHF {:.3e}/h",
+            self.system,
+            self.baseline.spfm * 100.0,
+            self.baseline.achieved_asil,
+            self.baseline_pmhf,
+        );
+        let _ = writeln!(
+            out,
+            "# {} uncovered failure mode(s): {}",
+            self.uncovered.len(),
+            if self.uncovered.is_empty() { "-".to_owned() } else { self.uncovered.join(", ") },
+        );
+        if self.recommendations.is_empty() {
+            let _ = writeln!(out, "# no candidate deployments (nothing uncovered to guard)");
+            return out;
+        }
+        for rec in &self.recommendations {
+            let _ = writeln!(
+                out,
+                "# rank {}: SPFM {:.2}% ({}, {:+.2}pp), LFM {:.2}%, PMHF {:.3e}/h, {} h",
+                rec.rank,
+                rec.projected_spfm * 100.0,
+                rec.achieved_asil,
+                rec.spfm_delta * 100.0,
+                rec.projected_lfm * 100.0,
+                rec.projected_pmhf,
+                rec.cost_hours,
+            );
+            for m in &rec.mechanisms {
+                let _ = writeln!(
+                    out,
+                    "#   {} on {}/{} (coverage {:.2}, {} h)",
+                    m.pattern, m.component, m.failure_mode, m.coverage, m.cost_hours,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Runs the recommendation step on an analysed FMEA table: match the
+/// pattern catalog against the uncovered modes, score candidate
+/// deployments with the Pareto search, and rank them by projected SPFM
+/// (ties broken by lower cost, which the front's cost ordering already
+/// guarantees).
+///
+/// # Errors
+///
+/// Propagates [`pareto_front`] failures (an unsatisfiable search is not
+/// one — an empty front simply yields no recommendations).
+pub fn recommend(table: &FmeaTable) -> Result<RecommendationReport> {
+    let catalog = catalog_for(table);
+    let baseline = metrics::compute(table);
+    let uncovered: Vec<String> = table
+        .rows
+        .iter()
+        .filter(|r| is_uncovered(r))
+        .map(|r| format!("{}/{}", r.component, r.failure_mode))
+        .collect();
+    let front: Vec<SearchOutcome> = pareto_front(table, &catalog)?;
+    let mut recommendations: Vec<Recommendation> = front
+        .into_iter()
+        .filter(|outcome| !outcome.deployment.is_empty())
+        .map(|outcome| {
+            let projected = table.with_deployment(&outcome.deployment);
+            let mut mechanisms: Vec<RecommendedMechanism> = outcome
+                .deployment
+                .iter()
+                .map(|((component, mode), mech)| RecommendedMechanism {
+                    component: component.clone(),
+                    failure_mode: mode.clone(),
+                    pattern: mech.name.clone(),
+                    coverage: mech.coverage.value(),
+                    cost_hours: mech.cost_hours,
+                })
+                .collect();
+            // Deployment iteration order is unspecified; sort so the
+            // report (and anything keyed on it) is reproducible.
+            mechanisms.sort_by(|a, b| {
+                (&a.component, &a.failure_mode).cmp(&(&b.component, &b.failure_mode))
+            });
+            Recommendation {
+                rank: 0,
+                mechanisms,
+                cost_hours: outcome.cost,
+                projected_spfm: outcome.spfm,
+                projected_lfm: projected.lfm(),
+                projected_pmhf: metrics::pmhf(&projected),
+                spfm_delta: outcome.spfm - baseline.spfm,
+                achieved_asil: metrics::achieved_asil(outcome.spfm),
+            }
+        })
+        .collect();
+    recommendations.sort_by(|a, b| b.projected_spfm.total_cmp(&a.projected_spfm));
+    for (i, rec) in recommendations.iter_mut().enumerate() {
+        rec.rank = i + 1;
+    }
+    Ok(RecommendationReport {
+        system: table.system.clone(),
+        baseline,
+        baseline_pmhf: metrics::pmhf(table),
+        uncovered,
+        recommendations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmea::injection::{self, InjectionConfig};
+    use crate::mechanism::Deployment;
+    use crate::reliability::ReliabilityDb;
+    use decisive_blocks::gallery;
+
+    fn case_study_table() -> FmeaTable {
+        let (diagram, _) = gallery::sensor_power_supply();
+        injection::run(&diagram, &ReliabilityDb::paper_table_ii(), &InjectionConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn catalog_matches_only_uncovered_safety_related_modes() {
+        let table = case_study_table();
+        let catalog = catalog_for(&table);
+        // D1/Open (loss) gets redundancy + watchdog; no options for the
+        // masked C1/C2 modes.
+        assert!(catalog.options_for("Diode", "Open").count() >= 2);
+        assert_eq!(catalog.options_for("Capacitor", "Open").count(), 0);
+        assert_eq!(catalog.options_for("Capacitor", "Short").count(), 0);
+    }
+
+    #[test]
+    fn nature_applicability() {
+        assert!(applies("Watchdog", &FailureNature::LossOfFunction));
+        assert!(!applies("Watchdog", &FailureNature::Erroneous));
+        assert!(applies("Comparison monitor", &FailureNature::Erroneous));
+        assert!(!applies("Comparison monitor", &FailureNature::LossOfFunction));
+        assert!(applies("Range check", &FailureNature::Degraded));
+        assert!(applies("Redundant channel", &FailureNature::Other("jitter".into())));
+    }
+
+    #[test]
+    fn recommendation_reaches_asil_b_on_the_case_study() {
+        let table = case_study_table();
+        let report = recommend(&table).unwrap();
+        assert!(!report.uncovered.is_empty());
+        assert!(!report.recommendations.is_empty());
+        // Ranked best-first with contiguous ranks.
+        for (i, rec) in report.recommendations.iter().enumerate() {
+            assert_eq!(rec.rank, i + 1);
+            if i > 0 {
+                assert!(rec.projected_spfm <= report.recommendations[i - 1].projected_spfm);
+            }
+            assert!(rec.spfm_delta >= 0.0);
+        }
+        // At least one deployment meets ASIL B, and applying it to the
+        // table reproduces the projected SPFM.
+        let best = report.meeting(IntegrityLevel::AsilB).next().expect("an ASIL-B deployment");
+        assert!(best.projected_spfm >= metrics::spfm_target(IntegrityLevel::AsilB).unwrap());
+        let mut deployment = Deployment::new();
+        for m in &best.mechanisms {
+            deployment.deploy(
+                &m.component,
+                &m.failure_mode,
+                crate::mechanism::DeployedMechanism {
+                    name: m.pattern.clone(),
+                    coverage: Coverage::new(m.coverage),
+                    cost_hours: m.cost_hours,
+                },
+            );
+        }
+        let applied = table.with_deployment(&deployment);
+        assert!((applied.spfm() - best.projected_spfm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_covered_table_yields_no_recommendations() {
+        let mut table = case_study_table();
+        for row in &mut table.rows {
+            if row.safety_related {
+                row.mechanism = Some("ECC".to_owned());
+                row.coverage = Coverage::new(0.99);
+            }
+        }
+        let report = recommend(&table).unwrap();
+        assert!(report.uncovered.is_empty());
+        assert!(report.recommendations.is_empty());
+    }
+}

@@ -72,6 +72,11 @@ pub fn mil_hdbk_338b_default_fit(type_key: &str) -> f64 {
     }
 }
 
+/// Slack allowed when checking that a type's distribution shares sum to at
+/// most 1.0 — absorbs decimal rounding in hand-written tables (e.g. thirds
+/// entered as 0.333/0.333/0.334) without letting real over-allocation pass.
+const SHARE_SUM_TOLERANCE: f64 = 1e-9;
+
 /// One failure mode of a component type with its probability share.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureModeSpec {
@@ -207,6 +212,18 @@ impl ReliabilityDb {
             });
             entry.modes.push(FailureModeSpec { name: mode_name, nature, distribution });
         }
+        for entry in db.entries.values() {
+            let share_sum: f64 = entry.modes.iter().map(|m| m.distribution).sum();
+            if share_sum > 1.0 + SHARE_SUM_TOLERANCE {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "reliability type `{}`: failure-mode distribution shares sum to \
+                         {share_sum} — a component cannot spend more than its whole FIT budget",
+                        entry.type_key
+                    ),
+                });
+            }
+        }
         Ok(db)
     }
 
@@ -310,6 +327,22 @@ impl ReliabilityDb {
                 ComponentReliability { type_key, fit: Fit::new(fit_value), modes: Vec::new() }
             });
             entry.modes.push(FailureModeSpec { name: mode_name, nature, distribution });
+        }
+        // A type whose shares sum above 1.0 would spend more than its whole
+        // FIT budget; renormalise to a unit budget with a provenance trail.
+        let mut keys: Vec<String> = out.db.entries.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let entry = out.db.entries.get_mut(&key).expect("key enumerated above");
+            let share_sum: f64 = entry.modes.iter().map(|m| m.distribution).sum();
+            if share_sum > 1.0 + SHARE_SUM_TOLERANCE {
+                for mode in &mut entry.modes {
+                    mode.distribution /= share_sum;
+                }
+                out.substitutions.push(format!(
+                    "type {key}: distribution shares sum to {share_sum} > 1.0 — normalised to a unit budget"
+                ));
+            }
         }
         out
     }
@@ -534,6 +567,40 @@ mod tests {
         assert_eq!(widget.modes[0].name, "Unspecified");
         assert_eq!(widget.modes[0].nature, FailureNature::LossOfFunction);
         assert_eq!(widget.modes[0].distribution, 1.0);
+    }
+
+    #[test]
+    fn strict_load_rejects_over_allocated_distribution_shares() {
+        let text = "Component,FIT,Failure_Mode,Distribution\n\
+                    Diode,10,Open,0.6\n\
+                    Diode,10,Short,0.7\n";
+        let err = ReliabilityDb::from_csv_str(text).unwrap_err();
+        assert!(err.to_string().contains("distribution shares sum to"), "{err}");
+        // A rounding-level overshoot is not an over-allocation.
+        let thirds = "Component,FIT,Failure_Mode,Distribution\n\
+                      Relay,40,Stuck,0.333\n\
+                      Relay,40,Chatter,0.333\n\
+                      Relay,40,Weld,0.334\n";
+        assert!(ReliabilityDb::from_csv_str(thirds).is_ok());
+    }
+
+    #[test]
+    fn lenient_load_normalises_over_allocated_shares() {
+        let text = "Component,FIT,Failure_Mode,Distribution\n\
+                    Diode,10,Open,0.6\n\
+                    Diode,10,Short,0.7\n\
+                    Capacitor,2,Open,0.3\n";
+        let load = ReliabilityDb::from_csv_str_lenient(text, "over.csv");
+        let diode = load.db.get("Diode").unwrap();
+        let sum: f64 = diode.modes.iter().map(|m| m.distribution).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "normalised sum = {sum}");
+        // Relative proportions survive the normalisation.
+        assert!((diode.modes[0].distribution - 0.6 / 1.3).abs() < 1e-12);
+        assert!((diode.modes[1].distribution - 0.7 / 1.3).abs() < 1e-12);
+        // Under-allocated types are untouched.
+        assert_eq!(load.db.get("Capacitor").unwrap().modes[0].distribution, 0.3);
+        assert_eq!(load.substitutions.len(), 1, "{:?}", load.substitutions);
+        assert!(load.substitutions[0].contains("normalised to a unit budget"));
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! The unified typed request API: one [`RunSpec`] describing *how* an
+//! analysis runs, one [`AnalysisRequest`] naming *what* to run on it.
+//!
+//! Three front ends used to grow their own flag/field sprawl — the CLI
+//! verbs parsed `--reliability`/`--mission-hours`/`--solver`/`--strict`
+//! by hand, the serve protocol re-declared the same fields on every op,
+//! and the fleet wire format carried `mission_hours` loose on each task
+//! line. All of them now build the same [`RunSpec`] through one parser
+//! pair: [`RunSpec::from_args`] for CLI-style flag lists and
+//! [`RunSpec::from_value`] for JSON wire records. The historical per-verb
+//! flag spellings keep working — they *are* the spellings this parser
+//! accepts — but are documented as aliases of the unified request fields.
+
+use decisive_circuit::SolverKernel;
+use decisive_federation::Value;
+
+use crate::fmea::injection::InjectionConfig;
+use crate::montecarlo;
+
+/// Mission time applied when a request names none, hours (the paper's
+/// 10 000-hour evaluation horizon).
+pub const DEFAULT_MISSION_HOURS: f64 = 10_000.0;
+
+/// Which analysis a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisOp {
+    /// One FMEA (graph for SSAM models, injection campaign for `.bd`).
+    Analyze,
+    /// The full pass pipeline (FMEA → FTA → monitors → HARA → assurance).
+    #[default]
+    Pipeline,
+    /// A stochastic injection campaign: N perturbed trials, CI metrics.
+    MonteCarlo,
+    /// Safety-pattern recommendations for uncovered failure modes.
+    Recommend,
+}
+
+impl AnalysisOp {
+    /// The stable wire/CLI name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisOp::Analyze => "analyze",
+            AnalysisOp::Pipeline => "pipeline",
+            AnalysisOp::MonteCarlo => "montecarlo",
+            AnalysisOp::Recommend => "recommend",
+        }
+    }
+
+    /// Parses a wire/CLI name back.
+    pub fn parse(name: &str) -> Option<AnalysisOp> {
+        match name {
+            "analyze" => Some(AnalysisOp::Analyze),
+            "pipeline" => Some(AnalysisOp::Pipeline),
+            "montecarlo" => Some(AnalysisOp::MonteCarlo),
+            "recommend" => Some(AnalysisOp::Recommend),
+            _ => None,
+        }
+    }
+}
+
+/// How one analysis run is configured, independent of front end.
+///
+/// Every field has a serviceable default, so a bare request is valid; the
+/// parsers only ever tighten it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Reliability CSV path override (`None` = the front end's default,
+    /// ultimately the paper's Table II).
+    pub reliability: Option<String>,
+    /// Promote any degradation (lenient substitutions, unsolvable cases,
+    /// quarantined artefacts) to a hard failure.
+    pub strict: bool,
+    /// FTA mission time in hours (`None` = the front end's default,
+    /// ultimately [`DEFAULT_MISSION_HOURS`]).
+    pub mission_hours: Option<f64>,
+    /// Linear kernel behind the injection campaign's Newton iteration.
+    pub solver: SolverKernel,
+    /// Monte-Carlo trial count.
+    pub trials: usize,
+    /// Monte-Carlo master seed.
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> RunSpec {
+        RunSpec {
+            reliability: None,
+            strict: false,
+            mission_hours: None,
+            solver: SolverKernel::default(),
+            trials: montecarlo::DEFAULT_TRIALS,
+            seed: 0,
+        }
+    }
+}
+
+fn parse_solver(tag: &str) -> Result<SolverKernel, String> {
+    match tag {
+        "sparse" => Ok(SolverKernel::Sparse),
+        "dense" => Ok(SolverKernel::Dense),
+        other => Err(format!("`solver` wants sparse|dense, got `{other}`")),
+    }
+}
+
+impl RunSpec {
+    /// The injection configuration this spec asks for.
+    pub fn injection_config(&self) -> InjectionConfig {
+        let mut config = InjectionConfig::default();
+        config.campaign.solver.kernel = self.solver;
+        config
+    }
+
+    /// The effective mission time.
+    pub fn mission_hours_or_default(&self) -> f64 {
+        self.mission_hours.unwrap_or(DEFAULT_MISSION_HOURS)
+    }
+
+    /// The single CLI-side parser: reads `--reliability <csv>`,
+    /// `--strict`, `--mission-hours <h>`, `--solver sparse|dense`,
+    /// `--trials <n>` and `--seed <n>` out of a raw argument list.
+    /// Unrelated flags are ignored (the verb's own `check_flags` already
+    /// rejected unknown ones).
+    ///
+    /// # Errors
+    ///
+    /// A usage-style message naming the offending flag and value.
+    pub fn from_args(args: &[String]) -> Result<RunSpec, String> {
+        let value_of = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str());
+        let mut spec = RunSpec {
+            reliability: value_of("--reliability").map(str::to_owned),
+            strict: args.iter().any(|a| a == "--strict"),
+            ..RunSpec::default()
+        };
+        if let Some(h) = value_of("--mission-hours") {
+            spec.mission_hours =
+                Some(h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(
+                    || format!("--mission-hours wants a positive number, got `{h}`"),
+                )?);
+        }
+        if let Some(tag) = value_of("--solver") {
+            spec.solver = parse_solver(tag).map_err(|e| format!("--{e}"))?;
+        }
+        if let Some(n) = value_of("--trials") {
+            spec.trials = n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--trials wants a positive integer, got `{n}`"))?;
+        }
+        if let Some(n) = value_of("--seed") {
+            spec.seed = n
+                .parse::<u64>()
+                .map_err(|_| format!("--seed wants an unsigned integer, got `{n}`"))?;
+        }
+        Ok(spec)
+    }
+
+    /// The single wire-side parser: reads the same fields (snake_case
+    /// keys) out of a JSON record — the serve request body and the fleet
+    /// task line both go through here. Missing fields keep their
+    /// defaults; ill-typed ones are errors, never silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field.
+    pub fn from_value(value: &Value) -> Result<RunSpec, String> {
+        let mut spec = RunSpec::default();
+        match value.get("reliability") {
+            None | Some(Value::Null) => {}
+            Some(Value::Str(csv)) => spec.reliability = Some(csv.clone()),
+            Some(_) => return Err("`reliability` must be a string path".to_owned()),
+        }
+        match value.get("strict") {
+            None | Some(Value::Null) => {}
+            Some(Value::Bool(strict)) => spec.strict = *strict,
+            Some(_) => return Err("`strict` must be a boolean".to_owned()),
+        }
+        match value.get("mission_hours") {
+            None | Some(Value::Null) => {}
+            Some(v) => {
+                spec.mission_hours = Some(
+                    v.as_f64()
+                        .filter(|h| *h > 0.0 && h.is_finite())
+                        .ok_or_else(|| "`mission_hours` wants a positive number".to_owned())?,
+                );
+            }
+        }
+        match value.get("solver") {
+            None | Some(Value::Null) => {}
+            Some(Value::Str(tag)) => spec.solver = parse_solver(tag)?,
+            Some(_) => return Err("`solver` wants sparse|dense".to_owned()),
+        }
+        match value.get("trials") {
+            None | Some(Value::Null) => {}
+            Some(v) => {
+                spec.trials = v
+                    .as_i64()
+                    .filter(|&n| n > 0)
+                    .map(|n| n as usize)
+                    .ok_or_else(|| "`trials` wants a positive integer".to_owned())?;
+            }
+        }
+        match value.get("seed") {
+            None | Some(Value::Null) => {}
+            Some(v) => {
+                spec.seed = v
+                    .as_i64()
+                    .filter(|&n| n >= 0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| "`seed` wants a non-negative integer".to_owned())?;
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The wire record form, round-trippable through
+    /// [`RunSpec::from_value`]. Defaults are written out explicitly — a
+    /// journaled fleet row must not change meaning if a default drifts.
+    pub fn to_value(&self) -> Value {
+        Value::record([
+            ("reliability", self.reliability.as_deref().map_or(Value::Null, Value::from)),
+            ("strict", Value::Bool(self.strict)),
+            ("mission_hours", self.mission_hours.map_or(Value::Null, Value::Real)),
+            ("solver", Value::from(self.solver.tag())),
+            ("trials", Value::Int(self.trials as i64)),
+            ("seed", Value::Int(self.seed as i64)),
+        ])
+    }
+}
+
+/// One complete analysis request: the operation, the model it applies to
+/// and the run configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisRequest {
+    /// Which analysis to run.
+    pub op: AnalysisOp,
+    /// Model path (`.json` SSAM graph or `.bd` block diagram).
+    pub path: String,
+    /// How to run it.
+    pub spec: RunSpec,
+}
+
+impl AnalysisRequest {
+    /// Bundles an operation, a model path and a spec.
+    pub fn new(op: AnalysisOp, path: impl Into<String>, spec: RunSpec) -> AnalysisRequest {
+        AnalysisRequest { op, path: path.into(), spec }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisive_federation::json;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn cli_and_wire_parsers_agree_on_the_same_request() {
+        let from_cli = RunSpec::from_args(&args(&[
+            "--reliability",
+            "fits.csv",
+            "--strict",
+            "--mission-hours",
+            "5000",
+            "--solver",
+            "dense",
+            "--trials",
+            "256",
+            "--seed",
+            "99",
+        ]))
+        .unwrap();
+        let from_wire = RunSpec::from_value(
+            &json::parse(
+                r#"{"reliability":"fits.csv","strict":true,"mission_hours":5000,
+                    "solver":"dense","trials":256,"seed":99}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(from_cli, from_wire);
+        assert_eq!(from_cli.trials, 256);
+        assert_eq!(from_cli.solver, SolverKernel::Dense);
+        assert_eq!(from_cli.mission_hours_or_default(), 5000.0);
+    }
+
+    #[test]
+    fn defaults_survive_an_empty_request() {
+        let spec = RunSpec::from_args(&[]).unwrap();
+        assert_eq!(spec, RunSpec::default());
+        assert_eq!(spec.trials, montecarlo::DEFAULT_TRIALS);
+        assert_eq!(spec.mission_hours_or_default(), DEFAULT_MISSION_HOURS);
+        assert_eq!(spec.injection_config().campaign.solver.kernel, SolverKernel::Sparse);
+    }
+
+    #[test]
+    fn wire_form_round_trips() {
+        let spec = RunSpec {
+            reliability: Some("r.csv".to_owned()),
+            strict: true,
+            mission_hours: Some(1234.5),
+            solver: SolverKernel::Dense,
+            trials: 64,
+            seed: 7,
+        };
+        assert_eq!(RunSpec::from_value(&spec.to_value()).unwrap(), spec);
+        assert_eq!(
+            RunSpec::from_value(&RunSpec::default().to_value()).unwrap(),
+            RunSpec::default()
+        );
+    }
+
+    #[test]
+    fn malformed_fields_are_named_errors() {
+        for (flags, needle) in [
+            (vec!["--mission-hours", "-1"], "--mission-hours"),
+            (vec!["--solver", "magic"], "sparse|dense"),
+            (vec!["--trials", "0"], "--trials"),
+            (vec!["--seed", "minus"], "--seed"),
+        ] {
+            let err = RunSpec::from_args(&args(&flags)).unwrap_err();
+            assert!(err.contains(needle), "{flags:?}: {err}");
+        }
+        for (line, needle) in [
+            (r#"{"trials":0}"#, "trials"),
+            (r#"{"seed":-1}"#, "seed"),
+            (r#"{"solver":7}"#, "solver"),
+            (r#"{"mission_hours":"soon"}"#, "mission_hours"),
+            (r#"{"strict":"yes"}"#, "strict"),
+            (r#"{"reliability":[1]}"#, "reliability"),
+        ] {
+            let err = RunSpec::from_value(&json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn ops_round_trip_their_names() {
+        for op in [
+            AnalysisOp::Analyze,
+            AnalysisOp::Pipeline,
+            AnalysisOp::MonteCarlo,
+            AnalysisOp::Recommend,
+        ] {
+            assert_eq!(AnalysisOp::parse(op.name()), Some(op));
+        }
+        assert_eq!(AnalysisOp::parse("frobnicate"), None);
+    }
+}

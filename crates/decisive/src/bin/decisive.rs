@@ -8,6 +8,8 @@
 //! decisive analyze model.json --cache .dc  # incremental FMEA via the engine
 //! decisive analyze design.bd --strict      # fault-injection campaign (.bd)
 //! decisive pipeline design.bd --cache .dc  # full pass pipeline (FMEA → FTA → HARA → assurance)
+//! decisive montecarlo design.bd --trials 256 --seed 7  # stochastic campaign: mean + 95% CI metrics
+//! decisive recommend design.bd             # safety-pattern recommendations for uncovered modes
 //! decisive passes design.bd --cache .dc    # pass DAG with per-pass cache status
 //! decisive rerun old.json new.json --cache .dc  # diff-driven re-analysis
 //! decisive spfm table.json                 # metrics of a saved FMEA table
@@ -31,13 +33,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use decisive::core::fmea::graph::{self, GraphAlgorithm, GraphConfig};
-use decisive::core::fmea::injection::InjectionConfig;
 use decisive::core::monitor::RuntimeMonitor;
 use decisive::core::reliability::ReliabilityDb;
+use decisive::core::request::{AnalysisOp, AnalysisRequest, RunSpec};
 use decisive::core::{case_study, metrics, persist};
 use decisive::engine::Engine;
 use decisive::obs::{RecordingSink, Telemetry};
-use decisive::output::{self, AnalyzeOutput, PassesOutput, PipelineOutput};
+use decisive::output::{
+    self, AnalyzeOutput, MonteCarloOutput, PassesOutput, PipelineOutput, RecommendOutput,
+};
 use decisive::ssam::model::SsamModel;
 
 /// CLI failures, split by who got it wrong: `Usage` is the caller's
@@ -69,6 +73,8 @@ fn main() -> ExitCode {
         Some("fmea") => cmd_fmea(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
+        Some("montecarlo") => cmd_montecarlo(&args[1..]),
+        Some("recommend") => cmd_recommend(&args[1..]),
         Some("passes") => cmd_passes(&args[1..]),
         Some("rerun") => cmd_rerun(&args[1..]),
         Some("spfm") => cmd_spfm(&args[1..]),
@@ -114,23 +120,29 @@ fn print_usage() {
          decisive fmea <model.json> [--algorithm paths|cut] [--csv <out.csv>] [--json <out.json>]\n  \
          decisive analyze <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--solver sparse|dense] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
          decisive pipeline <model.json|design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--mission-hours <h>] [--csv <out.csv>] [--json <out.json>] [--reliability <csv>] [--solver sparse|dense] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive montecarlo <design.bd> [--trials <n>] [--seed <n>] [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--solver sparse|dense] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive recommend <design.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--solver sparse|dense] [--strict] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
          decisive passes [<model.json|design.bd>] [--cache <dir>] [--jobs <n>] [--format text|json]\n  \
          decisive rerun <old.json|old.bd> <new.json|new.bd> [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--strict] [--trace-out <trace.json>] [--metrics]\n  \
          decisive spfm <table.json>\n  decisive render <model.json> [--dot]\n  \
          decisive monitor <model.json>\n  decisive impact <old.json> <new.json>\n  \
          decisive trace <model.json>\n  \
          decisive serve [--socket <path>|--watch <model>] [--poll-ms <ms>] [--idle-timeout-ms <ms>] [--cache <dir>] [--jobs <n>] [--deadline-ms <ms>] [--reliability <csv>] [--mission-hours <h>] [--fleet <journal-dir>] [--trace-out <trace.json>] [--metrics]\n  \
-         decisive fleet [<dir>...] [--workload Set0..Set5|all --scale <k>] [--seed <n>] [--workers <n>] [--deadline-ms <ms>] [--retries <n>] [--backoff-ms <ms>] [--poison-kills <n>] [--journal <dir>] [--resume] [--mission-hours <h>] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
+         decisive fleet [<dir>...] [--workload Set0..Set5|all --scale <k>] [--seed <n>] [--workers <n>] [--deadline-ms <ms>] [--retries <n>] [--backoff-ms <ms>] [--poison-kills <n>] [--journal <dir>] [--resume] [--montecarlo] [--trials <n>] [--reliability <fit.csv>] [--solver dense|sparse] [--mission-hours <h>] [--format text|json] [--trace-out <trace.json>] [--metrics]\n  \
          decisive store status|compact --cache <dir> [--format text|json]\n  \
          decisive store export|import <snapshot.json> --cache <dir>\n  \
-         decisive --version"
+         decisive --version\n\n\
+         The run flags (--reliability, --strict, --mission-hours, --solver, --trials, --seed)\n\
+         are one unified request spec parsed identically by every analysis verb, the serve\n\
+         protocol and the fleet journal; the historical per-verb spellings are aliases of it."
     );
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 24] = [
+const VALUE_FLAGS: [&str; 25] = [
     "--algorithm",
     "--solver",
+    "--trials",
     "--csv",
     "--json",
     "--cache",
@@ -322,11 +334,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         ],
     )?;
     let format = output_format(args)?;
-    let path = one_path("analyze", args)?;
-    if path.ends_with(".bd") {
-        return analyze_diagram(path, args);
+    let request = analysis_request(AnalysisOp::Analyze, "analyze", args)?;
+    if request.path.ends_with(".bd") {
+        return analyze_diagram(&request, args);
     }
-    let model = load(path)?;
+    let model = load(&request.path)?;
     let top = top_of(&model)?;
     let (mut engine, sink) = engine_from_flags(args)?;
     install_interrupt_flush(args, sink.as_ref());
@@ -352,10 +364,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                 );
             }
         }
-        enforce_strict(args, &engine)
+        enforce_strict(request.spec.strict, &engine)
     })();
     finish_observability(args, sink)?;
     result
+}
+
+/// Builds the verb's [`AnalysisRequest`]: the one positional path plus the
+/// unified run spec parsed out of the flag list.
+fn analysis_request(
+    op: AnalysisOp,
+    command: &str,
+    args: &[String],
+) -> Result<AnalysisRequest, CliError> {
+    let path = one_path(command, args)?;
+    let spec = RunSpec::from_args(args).map_err(CliError::usage)?;
+    Ok(AnalysisRequest::new(op, path, spec))
 }
 
 /// `decisive pipeline`: one full DECISIVE iteration through the pass
@@ -383,18 +407,10 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
         ],
     )?;
     let format = output_format(args)?;
-    let path = one_path("pipeline", args)?;
-    let mission_hours = match flag_value(args, "--mission-hours") {
-        Some(h) => {
-            h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(|| {
-                CliError::usage(format!("--mission-hours wants a positive number, got `{h}`"))
-            })?
-        }
-        None => 10_000.0,
-    };
+    let request = analysis_request(AnalysisOp::Pipeline, "pipeline", args)?;
     let (mut engine, sink) = engine_from_flags(args)?;
     install_interrupt_flush(args, sink.as_ref());
-    let result = run_pipeline_verb(path, args, format, mission_hours, &mut engine);
+    let result = run_pipeline_verb(&request, args, format, &mut engine);
     finish_observability(args, sink)?;
     result
 }
@@ -402,12 +418,14 @@ fn cmd_pipeline(args: &[String]) -> Result<(), CliError> {
 /// The `pipeline` body proper, split out so `cmd_pipeline` can flush the
 /// trace regardless of how the run ends.
 fn run_pipeline_verb(
-    path: &str,
+    request: &AnalysisRequest,
     args: &[String],
     format: OutputFormat,
-    mission_hours: f64,
     engine: &mut Engine,
 ) -> Result<(), CliError> {
+    let path = request.path.as_str();
+    let spec = &request.spec;
+    let mission_hours = spec.mission_hours_or_default();
     // Both arms keep the loaded data alive for the borrow-carrying input.
     let diagram;
     let reliability;
@@ -415,14 +433,14 @@ fn run_pipeline_verb(
     let (pipeline, input) = if path.ends_with(".bd") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-        reliability = load_reliability(args, engine)?;
+        reliability = load_reliability(spec, engine)?;
         let mut ssam = decisive::blocks::to_ssam(&diagram);
         reliability.aggregate_into(&mut ssam);
         model = ssam;
         let top = top_of(&model)?;
         let input = decisive::engine::PipelineInput::for_model(&model, top)
             .with_diagram(&diagram, &reliability)
-            .with_injection_config(injection_config(args)?)
+            .with_injection_config(spec.injection_config())
             .with_mission_hours(mission_hours);
         (decisive::engine::Pipeline::standard(true), input)
     } else {
@@ -458,7 +476,7 @@ fn run_pipeline_verb(
             output::to_json_string(&PipelineOutput::new(&run, engine))
                 .map_err(CliError::Failure)?
         );
-        return enforce_strict(args, engine);
+        return enforce_strict(spec.strict, engine);
     }
     if let Some(table) = run.fmea() {
         print_table(table, args)?;
@@ -493,7 +511,7 @@ fn run_pipeline_verb(
         print!("{}", engine.degraded_report().render());
     }
     print!("{}", engine.stats().render());
-    enforce_strict(args, engine)
+    enforce_strict(spec.strict, engine)
 }
 
 /// `decisive passes`: the pass DAG in topological order, with each pass's
@@ -554,6 +572,7 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
         ],
     )?;
     let (old_path, new_path) = two_paths("rerun", args)?;
+    let spec = RunSpec::from_args(args).map_err(CliError::usage)?;
     if new_path.ends_with(".bd") || old_path.ends_with(".bd") {
         if !(new_path.ends_with(".bd") && old_path.ends_with(".bd")) {
             return Err(CliError::usage(
@@ -562,7 +581,8 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
         }
         // The injection cache is content-addressed by the whole circuit:
         // rows of an unchanged diagram are pure hits, any edit misses.
-        return analyze_diagram(new_path, args);
+        let request = AnalysisRequest::new(AnalysisOp::Analyze, new_path, spec);
+        return analyze_diagram(&request, args);
     }
     let old_model = load(old_path)?;
     let new_model = load(new_path)?;
@@ -579,7 +599,7 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
         print_table(&table, args)?;
         print!("{}", engine.stats().render());
         print!("{}", engine.degraded_report().render());
-        enforce_strict(args, &engine)
+        enforce_strict(spec.strict, &engine)
     })();
     finish_observability(args, sink)?;
     result
@@ -589,15 +609,17 @@ fn cmd_rerun(args: &[String]) -> Result<(), CliError> {
 /// campaign through the incremental engine, with the campaign-health report
 /// printed after the table — even when the campaign breaker aborts the run,
 /// since that is exactly when the failed-case list matters.
-fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
+fn analyze_diagram(request: &AnalysisRequest, args: &[String]) -> Result<(), CliError> {
+    let path = request.path.as_str();
+    let spec = &request.spec;
     let format = output_format(args)?;
     let (mut engine, sink) = engine_from_flags(args)?;
     install_interrupt_flush(args, sink.as_ref());
     let result = (|| {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let diagram = decisive::blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-        let reliability = load_reliability(args, &mut engine)?;
-        let table = match engine.analyze_injection(&diagram, &reliability, &injection_config(args)?)
+        let reliability = load_reliability(spec, &mut engine)?;
+        let table = match engine.analyze_injection(&diagram, &reliability, &spec.injection_config())
         {
             Ok(table) => table,
             Err(e) => {
@@ -617,7 +639,7 @@ fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
                 output::to_json_string(&AnalyzeOutput::new(table, &engine))
                     .map_err(CliError::Failure)?
             );
-            return enforce_strict(args, &engine);
+            return enforce_strict(spec.strict, &engine);
         }
         print_table(&table, args)?;
         // The campaign-health render includes the absorbed degraded-mode
@@ -628,21 +650,142 @@ fn analyze_diagram(path: &str, args: &[String]) -> Result<(), CliError> {
             print!("{}", engine.degraded_report().render());
         }
         print!("{}", engine.stats().render());
-        enforce_strict(args, &engine)
+        enforce_strict(spec.strict, &engine)
     })();
     finish_observability(args, sink)?;
     result
 }
 
-/// Resolves `--reliability`. Without `--strict` the file is loaded
-/// leniently: malformed rows degrade per the MIL-HDBK-338B defaults (one
-/// provenance warning each), and a missing file falls back to the paper's
-/// Table II with an unresolved-reference entry — all recorded in the
-/// engine's degraded-mode report. Under `--strict` any defect is an
+/// Flag set shared by `montecarlo` and `recommend` (the `montecarlo`-only
+/// `--trials`/`--seed` flags are harmless aliases of spec defaults for
+/// `recommend`, so both verbs accept the full unified-request set).
+const STOCHASTIC_FLAGS: [&str; 11] = [
+    "--cache",
+    "--jobs",
+    "--deadline-ms",
+    "--reliability",
+    "--solver",
+    "--strict",
+    "--trials",
+    "--seed",
+    "--format",
+    "--trace-out",
+    "--metrics",
+];
+
+/// Loads the `.bd` diagram a stochastic/recommendation verb applies to;
+/// the SSAM graph path has no injection campaign to sample or cover, so
+/// anything else is a usage error.
+fn load_diagram(request: &AnalysisRequest) -> Result<decisive::blocks::BlockDiagram, CliError> {
+    let path = request.path.as_str();
+    if !path.ends_with(".bd") {
+        return Err(CliError::usage(format!(
+            "`decisive {}` needs a `.bd` block-diagram path, got `{path}`",
+            request.op.name()
+        )));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    decisive::blocks::text::from_text(&text).map_err(|e| CliError::Failure(e.to_string()))
+}
+
+/// `decisive montecarlo`: a stochastic injection campaign — `--trials`
+/// perturbed reliability annexes (lognormal FIT noise, jittered
+/// distribution shares), each run through the supervised campaign, and
+/// the three architecture metrics reported as mean ± 95 % CI. Seeded by
+/// `--seed`; the report is bitwise identical for a given seed regardless
+/// of `--jobs` or cache warmth.
+fn cmd_montecarlo(args: &[String]) -> Result<(), CliError> {
+    check_flags("montecarlo", args, &STOCHASTIC_FLAGS)?;
+    let format = output_format(args)?;
+    let request = analysis_request(AnalysisOp::MonteCarlo, "montecarlo", args)?;
+    let spec = &request.spec;
+    let (mut engine, sink) = engine_from_flags(args)?;
+    install_interrupt_flush(args, sink.as_ref());
+    let result = (|| {
+        let diagram = load_diagram(&request)?;
+        let reliability = load_reliability(spec, &mut engine)?;
+        let report = engine
+            .analyze_montecarlo(
+                &diagram,
+                &reliability,
+                &spec.injection_config(),
+                spec.trials,
+                spec.seed,
+            )
+            .map_err(|e| e.to_string())?;
+        if let Some(dir) = flag_value(args, "--cache") {
+            engine.save_cache(dir).map_err(|e| e.to_string())?;
+        }
+        match format {
+            OutputFormat::Text => {
+                print!("{}", report.render());
+                print!("{}", engine.degraded_report().render());
+                print!("{}", engine.stats().render());
+            }
+            OutputFormat::Json => {
+                println!(
+                    "{}",
+                    output::to_json_string(&MonteCarloOutput::new(report, &engine))
+                        .map_err(CliError::Failure)?
+                );
+            }
+        }
+        enforce_strict(spec.strict, &engine)
+    })();
+    finish_observability(args, sink)?;
+    result
+}
+
+/// `decisive recommend`: match the safety-pattern catalog (comparison
+/// monitor, redundant channel, watchdog, range check) against every
+/// uncovered failure mode of the analysed design, score the candidate
+/// deployments with the Pareto search, and print the ranked table with
+/// projected SPFM/LFM/PMHF deltas.
+fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
+    check_flags("recommend", args, &STOCHASTIC_FLAGS)?;
+    let format = output_format(args)?;
+    let request = analysis_request(AnalysisOp::Recommend, "recommend", args)?;
+    let spec = &request.spec;
+    let (mut engine, sink) = engine_from_flags(args)?;
+    install_interrupt_flush(args, sink.as_ref());
+    let result = (|| {
+        let diagram = load_diagram(&request)?;
+        let reliability = load_reliability(spec, &mut engine)?;
+        let report = engine
+            .analyze_recommend(&diagram, &reliability, &spec.injection_config())
+            .map_err(|e| e.to_string())?;
+        if let Some(dir) = flag_value(args, "--cache") {
+            engine.save_cache(dir).map_err(|e| e.to_string())?;
+        }
+        match format {
+            OutputFormat::Text => {
+                print!("{}", report.render());
+                print!("{}", engine.degraded_report().render());
+                print!("{}", engine.stats().render());
+            }
+            OutputFormat::Json => {
+                println!(
+                    "{}",
+                    output::to_json_string(&RecommendOutput::new(report, &engine))
+                        .map_err(CliError::Failure)?
+                );
+            }
+        }
+        enforce_strict(spec.strict, &engine)
+    })();
+    finish_observability(args, sink)?;
+    result
+}
+
+/// Resolves the spec's reliability override. Without `strict` the file is
+/// loaded leniently: malformed rows degrade per the MIL-HDBK-338B defaults
+/// (one provenance warning each), and a missing file falls back to the
+/// paper's Table II with an unresolved-reference entry — all recorded in
+/// the engine's degraded-mode report. Under `strict` any defect is an
 /// immediate failure.
-fn load_reliability(args: &[String], engine: &mut Engine) -> Result<ReliabilityDb, CliError> {
-    let strict = args.iter().any(|a| a == "--strict");
-    let Some(csv) = flag_value(args, "--reliability") else {
+fn load_reliability(spec: &RunSpec, engine: &mut Engine) -> Result<ReliabilityDb, CliError> {
+    let strict = spec.strict;
+    let Some(csv) = spec.reliability.as_deref() else {
         return Ok(ReliabilityDb::paper_table_ii());
     };
     match std::fs::read_to_string(csv) {
@@ -670,8 +813,8 @@ fn load_reliability(args: &[String], engine: &mut Engine) -> Result<ReliabilityD
 /// degradation (quarantined cache entries, substituted FITs, unresolved
 /// references, timed-out jobs) is promoted to a failure. A pristine run
 /// without campaign health (the SSAM graph path) passes vacuously.
-fn enforce_strict(args: &[String], engine: &Engine) -> Result<(), CliError> {
-    if !args.iter().any(|a| a == "--strict") {
+fn enforce_strict(strict: bool, engine: &Engine) -> Result<(), CliError> {
+    if !strict {
         return Ok(());
     }
     if let Some(health) = engine.campaign_health() {
@@ -950,14 +1093,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
         None => None,
     };
-    let mission_hours = match flag_value(args, "--mission-hours") {
-        Some(h) => {
-            Some(h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(|| {
-                CliError::usage(format!("--mission-hours wants a positive number, got `{h}`"))
-            })?)
-        }
-        None => None,
-    };
+    // The daemon-wide defaults are a unified run spec like any other
+    // front end's; requests override per call.
+    let defaults = RunSpec::from_args(args).map_err(CliError::usage)?;
     let sink = if flag_value(args, "--trace-out").is_some() || args.iter().any(|a| a == "--metrics")
     {
         Some(Telemetry::recording())
@@ -983,8 +1121,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         jobs,
         deadline_ms,
         cache_dir: flag_value(args, "--cache").map(std::path::PathBuf::from),
-        reliability: flag_value(args, "--reliability").map(str::to_owned),
-        mission_hours,
+        reliability: defaults.reliability.clone(),
+        mission_hours: defaults.mission_hours,
         idle_timeout_ms,
         fleet_status: flag_value(args, "--fleet")
             .map(|dir| std::path::Path::new(dir).join(decisive::fleet::STATUS_FILE)),
@@ -1034,6 +1172,8 @@ fn uint_flag(args: &[String], flag: &str, default: u64) -> Result<u64, CliError>
 /// crash, hang or poison model never takes down the campaign. Terminal
 /// rows are journaled (append + fsync) through the segmented store, so
 /// `--resume` after any interruption re-runs only unfinished models.
+/// Under `--montecarlo` each `.bd` model instead runs the stochastic
+/// campaign and its row reports the SPFM mean plus 95%-CI half-width.
 fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "fleet",
@@ -1049,6 +1189,10 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
             "--poison-kills",
             "--journal",
             "--resume",
+            "--montecarlo",
+            "--trials",
+            "--reliability",
+            "--solver",
             "--mission-hours",
             "--format",
             "--trace-out",
@@ -1096,11 +1240,12 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
     options.retry = decisive::engine::RetryPolicy::backoff(retries, backoff_ms);
     options.poison_kills = uint_flag(args, "--poison-kills", 2)? as u32;
     options.resume = args.iter().any(|a| a == "--resume");
-    if let Some(h) = flag_value(args, "--mission-hours") {
-        options.mission_hours =
-            h.parse::<f64>().ok().filter(|&h| h > 0.0 && h.is_finite()).ok_or_else(|| {
-                CliError::usage(format!("--mission-hours wants a positive number, got `{h}`"))
-            })?;
+    // The unified run spec travels to every worker on the task line;
+    // `--seed` seeds both the workload generators and (under
+    // `--montecarlo`) the stochastic campaigns.
+    options.spec = RunSpec::from_args(args).map_err(CliError::usage)?;
+    if args.iter().any(|a| a == "--montecarlo") {
+        options.op = AnalysisOp::MonteCarlo;
     }
     let (telemetry, sink) =
         if flag_value(args, "--trace-out").is_some() || args.iter().any(|a| a == "--metrics") {
@@ -1274,20 +1419,4 @@ fn serve_on_socket(_daemon: decisive::serve::Daemon, _path: &str) -> Result<(), 
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str())
-}
-
-/// Builds the injection configuration from `--solver`: `sparse` (default)
-/// runs the CSC kernel with factorization reuse, `dense` the O(n³) oracle
-/// kernel kept for differential testing.
-fn injection_config(args: &[String]) -> Result<InjectionConfig, CliError> {
-    let mut config = InjectionConfig::default();
-    config.campaign.solver.kernel = match flag_value(args, "--solver") {
-        None => decisive::circuit::SolverKernel::default(),
-        Some("sparse") => decisive::circuit::SolverKernel::Sparse,
-        Some("dense") => decisive::circuit::SolverKernel::Dense,
-        Some(other) => {
-            return Err(CliError::usage(format!("--solver wants sparse|dense, got `{other}`")))
-        }
-    };
-    Ok(config)
 }

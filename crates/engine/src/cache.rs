@@ -68,11 +68,15 @@ pub enum ArtifactKind {
     /// Completed per-model row of a fleet sweep (the fleet journal: the
     /// supervisor appends one on completion, `--resume` replays them).
     FleetRow,
+    /// Per-trial metrics of one Monte-Carlo draw (the stochastic pass).
+    McTrial,
+    /// Ranked safety-pattern recommendation report of one FMEA table.
+    Recommendation,
 }
 
 impl ArtifactKind {
     /// All kinds, for iteration.
-    pub const ALL: [ArtifactKind; 8] = [
+    pub const ALL: [ArtifactKind; 10] = [
         ArtifactKind::GraphFacts,
         ArtifactKind::GraphRow,
         ArtifactKind::InjectionRow,
@@ -81,6 +85,8 @@ impl ArtifactKind {
         ArtifactKind::RiskLog,
         ArtifactKind::AssuranceCase,
         ArtifactKind::FleetRow,
+        ArtifactKind::McTrial,
+        ArtifactKind::Recommendation,
     ];
 
     /// The stable persistence tag (also the display name in `decisive
@@ -95,6 +101,8 @@ impl ArtifactKind {
             ArtifactKind::RiskLog => "risk-log",
             ArtifactKind::AssuranceCase => "assurance-case",
             ArtifactKind::FleetRow => "fleet-row",
+            ArtifactKind::McTrial => "mc-trial",
+            ArtifactKind::Recommendation => "recommendation",
         }
     }
 

@@ -21,6 +21,8 @@ use decisive_core::fmea::injection::InjectionConfig;
 use decisive_core::fmea::FmeaTable;
 use decisive_core::impact::{self, ImpactReport, ModelChange};
 use decisive_core::monitor::RuntimeMonitor;
+use decisive_core::montecarlo::MonteCarloReport;
+use decisive_core::patterns::RecommendationReport;
 use decisive_core::reliability::ReliabilityDb;
 use decisive_ssam::architecture::Component;
 use decisive_ssam::id::Idx;
@@ -29,9 +31,10 @@ use decisive_ssam::model::SsamModel;
 use crate::cache::{ArtifactKind, CacheStore, SharedStore};
 use crate::error::{EngineError, Result};
 use crate::pass::{
-    AnalysisPass, FtaPass, GraphFmeaPass, InjectionFmeaPass, MonitorPass, PassArtifact,
-    PipelineInput,
+    ids, AnalysisPass, FtaPass, GraphFmeaPass, InjectionFmeaPass, MonitorPass, MonteCarloPass,
+    PassArtifact, PipelineInput, RecommendPass,
 };
+use crate::pipeline::Pipeline;
 use crate::scheduler::RetryPolicy;
 use crate::stats::EngineStats;
 
@@ -565,6 +568,57 @@ impl Engine {
         let input =
             PipelineInput::for_diagram(diagram, reliability).with_injection_config(config.clone());
         self.run_extracting(&InjectionFmeaPass, &input, PassArtifact::into_injection_table)
+    }
+
+    /// Runs the Monte-Carlo injection campaign: `trials` seeded draws of
+    /// the perturbed reliability model, each swept through the supervised
+    /// injection campaign, aggregated into mean + 95 % CI on SPFM / LFM /
+    /// PMHF. The report is bitwise identical for the same `(inputs, seed,
+    /// trials)` across thread counts and warm/cold caches. (Thin wrapper
+    /// over [`crate::pass::MonteCarloPass`].)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::analyze_injection`], plus
+    /// [`decisive_core::CoreError::InvalidParameter`] for zero trials.
+    pub fn analyze_montecarlo(
+        &mut self,
+        diagram: &BlockDiagram,
+        reliability: &ReliabilityDb,
+        config: &InjectionConfig,
+        trials: usize,
+        seed: u64,
+    ) -> Result<MonteCarloReport> {
+        let input = PipelineInput::for_diagram(diagram, reliability)
+            .with_injection_config(config.clone())
+            .with_trials(trials)
+            .with_seed(seed);
+        self.run_extracting(&MonteCarloPass, &input, PassArtifact::into_montecarlo)
+    }
+
+    /// Runs the safety-pattern recommendation step on the injection FMEA
+    /// of `diagram`: a two-pass pipeline (injection → recommend) whose
+    /// second stage matches the built-in pattern catalog against every
+    /// uncovered failure mode and ranks Pareto-optimal deployments by
+    /// projected SPFM. (Thin wrapper over [`crate::pass::RecommendPass`].)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::analyze_injection`], plus pipeline
+    /// failures.
+    pub fn analyze_recommend(
+        &mut self,
+        diagram: &BlockDiagram,
+        reliability: &ReliabilityDb,
+        config: &InjectionConfig,
+    ) -> Result<RecommendationReport> {
+        let input =
+            PipelineInput::for_diagram(diagram, reliability).with_injection_config(config.clone());
+        let pipeline = Pipeline::new().with(InjectionFmeaPass).with(RecommendPass::default());
+        let run = self.run_pipeline(&pipeline, &input)?;
+        run.artifact(ids::RECOMMEND).and_then(PassArtifact::recommendation).cloned().ok_or_else(
+            || EngineError::Pipeline("recommendation pass produced no artefact".to_owned()),
+        )
     }
 
     // ------------------------------------------------------------------

@@ -48,7 +48,7 @@ pub use error::{EngineError, Result};
 pub use fingerprint::Fingerprint;
 pub use pass::{
     AnalysisPass, ArtifactId, AssurancePass, FtaPass, GraphFmeaPass, HaraPass, InjectionFmeaPass,
-    MonitorPass, PassArtifact, PassContext, PipelineInput, WorkItem,
+    MonitorPass, MonteCarloPass, PassArtifact, PassContext, PipelineInput, RecommendPass, WorkItem,
 };
 pub use pipeline::{PassStatus, Pipeline, PipelineRun};
 pub use scheduler::{CancelToken, RetryPolicy, Scheduler};

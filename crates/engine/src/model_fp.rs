@@ -193,6 +193,27 @@ pub fn serialized_fingerprint<T: serde::Serialize>(artefact: &T, tag: &str) -> F
     h.finish()
 }
 
+/// Digest of a reliability database, stable across processes: entries are
+/// hashed field-wise in sorted type-key order. The backing map's
+/// iteration order is seeded per process, so [`serialized_fingerprint`]
+/// (which digests whatever order the serializer visits) must not be used
+/// for it — a warm cache would miss every key after a restart.
+pub fn reliability_fingerprint(db: &decisive_core::reliability::ReliabilityDb) -> Fingerprint {
+    let mut entries: Vec<_> = db.iter().collect();
+    entries.sort_by(|a, b| a.type_key.cmp(&b.type_key));
+    let mut h = Hasher::new();
+    h.write_str("reliability-db");
+    for entry in entries {
+        h.write_str(&entry.type_key).write_f64(entry.fit.value());
+        for mode in &entry.modes {
+            h.write_str(&mode.name)
+                .write_str(&format!("{:?}", mode.nature))
+                .write_f64(mode.distribution);
+        }
+    }
+    h.finish()
+}
+
 /// Digest of the monitor-relevant slice of a model: every limited IO node
 /// with its owner, limits, and whether a dynamic component encloses it —
 /// exactly the inputs of `RuntimeMonitor::generate`.
@@ -267,6 +288,34 @@ mod tests {
         let c1 = new.component_by_name("C1").unwrap();
         new.connect(d1, c1);
         assert_ne!(topology_fingerprint(&old, old_top), topology_fingerprint(&new, new_top));
+    }
+
+    #[test]
+    fn reliability_digest_ignores_map_iteration_order() {
+        use decisive_core::reliability::ReliabilityDb;
+        let csv = "Component,FIT,Failure_Mode,Distribution\n\
+                   Diode,10,Open,0.3\n\
+                   Diode,10,Short,0.7\n\
+                   Resistor,5,Open,0.3\n\
+                   Resistor,5,Short,0.7\n\
+                   MC,300,RAM Failure,1.0\n";
+        let forward = ReliabilityDb::from_csv_str(csv).unwrap();
+        // The same entries inserted in reverse: the backing map iterates
+        // differently, the digest must not care (warm caches in a NEW
+        // process depend on this — map order is seeded per process).
+        let mut reversed = ReliabilityDb::new();
+        let mut entries: Vec<_> = forward.iter().cloned().collect();
+        entries.reverse();
+        for entry in entries {
+            reversed.insert(entry);
+        }
+        assert_eq!(reliability_fingerprint(&forward), reliability_fingerprint(&reversed));
+        // And a FIT edit must change it.
+        let mut edited = forward.clone();
+        let mut diode = edited.get("Diode").unwrap().clone();
+        diode.fit = decisive_ssam::architecture::Fit::new(11.0);
+        edited.insert(diode);
+        assert_ne!(reliability_fingerprint(&forward), reliability_fingerprint(&edited));
     }
 
     #[test]

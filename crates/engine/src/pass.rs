@@ -25,6 +25,8 @@ use decisive_core::fmea::graph::{self, ContainerFacts};
 use decisive_core::fmea::injection::{self, InjectionConfig};
 use decisive_core::fmea::{FmeaRow, FmeaTable};
 use decisive_core::monitor::RuntimeMonitor;
+use decisive_core::montecarlo::{self, MonteCarloReport, TrialMetrics};
+use decisive_core::patterns::{self, RecommendationReport};
 use decisive_core::reliability::ReliabilityDb;
 use decisive_core::CoreError;
 use decisive_federation::{DriverRegistry, Value};
@@ -56,6 +58,10 @@ pub mod ids {
     pub const HARA: &str = "hara";
     /// Assurance-case generation and evaluation.
     pub const ASSURANCE: &str = "assurance";
+    /// Monte-Carlo injection campaign over the perturbed reliability model.
+    pub const MONTECARLO: &str = "montecarlo";
+    /// Safety-pattern recommendation over uncovered failure modes.
+    pub const RECOMMEND: &str = "recommend";
 }
 
 /// Content-addressed identity of one cached artefact.
@@ -99,6 +105,10 @@ pub enum PassArtifact {
     RiskLog(RiskLog),
     /// An evaluated assurance case.
     Assurance(AssuranceReport),
+    /// Interval estimates of a Monte-Carlo injection campaign.
+    MonteCarlo(MonteCarloReport),
+    /// A ranked safety-pattern recommendation report.
+    Recommend(RecommendationReport),
     /// Free-form artefact for custom passes.
     Opaque(Value),
 }
@@ -113,6 +123,8 @@ impl PassArtifact {
             PassArtifact::Monitor(_) => "monitor-set",
             PassArtifact::RiskLog(_) => "risk-log",
             PassArtifact::Assurance(_) => "assurance-report",
+            PassArtifact::MonteCarlo(_) => "montecarlo-report",
+            PassArtifact::Recommend(_) => "recommendation-report",
             PassArtifact::Opaque(_) => "opaque",
         }
     }
@@ -161,6 +173,22 @@ impl PassArtifact {
     pub fn assurance(&self) -> Option<&AssuranceReport> {
         match self {
             PassArtifact::Assurance(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The Monte-Carlo report, if this is a Monte-Carlo artefact.
+    pub fn montecarlo(&self) -> Option<&MonteCarloReport> {
+        match self {
+            PassArtifact::MonteCarlo(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The recommendation report, if this is a recommendation artefact.
+    pub fn recommendation(&self) -> Option<&RecommendationReport> {
+        match self {
+            PassArtifact::Recommend(report) => Some(report),
             _ => None,
         }
     }
@@ -220,6 +248,34 @@ impl PassArtifact {
         }
     }
 
+    /// Consumes a Monte-Carlo artefact into its report.
+    ///
+    /// # Errors
+    ///
+    /// The artefact itself, boxed, when it is not
+    /// [`PassArtifact::MonteCarlo`].
+    pub fn into_montecarlo(self) -> std::result::Result<MonteCarloReport, Box<PassArtifact>> {
+        match self {
+            PassArtifact::MonteCarlo(report) => Ok(report),
+            other => Err(Box::new(other)),
+        }
+    }
+
+    /// Consumes a recommendation artefact into its report.
+    ///
+    /// # Errors
+    ///
+    /// The artefact itself, boxed, when it is not
+    /// [`PassArtifact::Recommend`].
+    pub fn into_recommendation(
+        self,
+    ) -> std::result::Result<RecommendationReport, Box<PassArtifact>> {
+        match self {
+            PassArtifact::Recommend(report) => Ok(report),
+            other => Err(Box::new(other)),
+        }
+    }
+
     /// Semantic equality, ignoring wall-clock noise: campaign timing
     /// (slowest cases, per-case wall time) legitimately differs between a
     /// warm and a cold run of the *same* inputs, so pipeline verification
@@ -270,6 +326,12 @@ pub struct PipelineInput<'a> {
     pub hazards: Option<&'a HazardLog>,
     /// Fallback s/e/c assumptions for the HARA assessment.
     pub policy: RiskAssessmentPolicy,
+    /// Monte-Carlo trial count.
+    pub trials: usize,
+    /// Monte-Carlo master seed — together with the trial index this fully
+    /// determines every sampling decision, making reports bitwise
+    /// reproducible across thread counts and cache states.
+    pub seed: u64,
 }
 
 impl Default for PipelineInput<'_> {
@@ -283,6 +345,8 @@ impl Default for PipelineInput<'_> {
             mission_hours: 10_000.0,
             hazards: None,
             policy: RiskAssessmentPolicy::default(),
+            trials: montecarlo::DEFAULT_TRIALS,
+            seed: 0,
         }
     }
 }
@@ -348,6 +412,18 @@ impl<'a> PipelineInput<'a> {
     /// Sets the HARA fallback policy.
     pub fn with_policy(mut self, policy: RiskAssessmentPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the Monte-Carlo trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the Monte-Carlo master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -1131,6 +1207,186 @@ impl AnalysisPass for HaraPass {
             |_, log| log.clone(),
         )?;
         Ok(PassArtifact::RiskLog(logs.pop().expect("one risk-log item")))
+    }
+}
+
+/// The Monte-Carlo campaign as a pass: every trial perturbs the
+/// reliability model (lognormal FIT, Dirichlet-style shares, seeded per
+/// trial from the master seed) and re-runs the full supervised injection
+/// sweep against the *unchanged* circuit, so all trials share one nominal
+/// lowering/solve and — through the thread-local `SolverWorkspace` inside
+/// `analyse_candidate_supervised` — the healthy circuit's sparse symbolic
+/// layout. Trials are the keyed work items, cached per `(circuit,
+/// reliability, solver, seed, index)`, and aggregated in trial-index
+/// order, so the report is bitwise identical across worker counts and
+/// warm/cold caches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonteCarloPass;
+
+impl AnalysisPass for MonteCarloPass {
+    fn id(&self) -> &'static str {
+        ids::MONTECARLO
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::McTrial]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let diagram =
+            ctx.input.diagram.ok_or_else(|| missing_input(self.id(), "a block diagram"))?;
+        let reliability =
+            ctx.input.reliability.ok_or_else(|| missing_input(self.id(), "reliability data"))?;
+        let config = ctx.input.injection.clone();
+        if !(config.threshold > 0.0 && config.threshold.is_finite()) {
+            return Err(EngineError::Core(CoreError::InvalidParameter {
+                message: format!("threshold must be positive and finite, got {}", config.threshold),
+            }));
+        }
+        config.campaign.validate().map_err(EngineError::Core)?;
+        let trials = ctx.input.trials;
+        if trials == 0 {
+            return Err(EngineError::Core(CoreError::InvalidParameter {
+                message: "a Monte-Carlo campaign needs at least one trial".to_owned(),
+            }));
+        }
+        let seed = ctx.input.seed;
+        let circuit_fp = model_fp::serialized_fingerprint(diagram, "block-diagram");
+        let reliability_fp = model_fp::reliability_fingerprint(reliability);
+        let solver = &config.campaign.solver;
+        let items: Vec<WorkItem> = (0..trials)
+            .map(|trial| {
+                let key = Hasher::new()
+                    .write_str("mc-trial")
+                    .write_fingerprint(circuit_fp)
+                    .write_fingerprint(reliability_fp)
+                    .write_f64(config.threshold)
+                    .write_bool(solver.damped)
+                    .write_bool(solver.gmin_stepping)
+                    .write_bool(solver.source_stepping)
+                    .write_u64(solver.budget as u64)
+                    .write_str(solver.kernel.tag())
+                    .write_u64(seed)
+                    .write_u64(trial as u64)
+                    .finish();
+                WorkItem {
+                    id: ArtifactId { kind: ArtifactKind::McTrial, key },
+                    owner: diagram.name().to_owned(),
+                    label: format!("trial-{trial}"),
+                }
+            })
+            .collect();
+        let results = ctx.run_keyed(
+            "mc-trials",
+            &items,
+            |_, metrics: TrialMetrics| metrics,
+            |_| {
+                // One nominal lowering/solve for every trial that needs
+                // simulating: the perturbation touches only reliability
+                // numbers, never the circuit.
+                let lowered = to_circuit(diagram).map_err(CoreError::from)?;
+                let nominal_options = decisive_circuit::SolverOptions {
+                    kernel: config.campaign.solver.kernel,
+                    ..decisive_circuit::SolverOptions::default()
+                };
+                let (nominal_solution, _) = decisive_circuit::SolverWorkspace::new()
+                    .dc(&lowered.circuit, &nominal_options)
+                    .map_err(CoreError::from)?;
+                let nominal = lowered
+                    .circuit
+                    .all_sensor_readings(&nominal_solution)
+                    .map_err(CoreError::from)?;
+                Ok((lowered, nominal))
+            },
+            |(lowered, nominal), trial| {
+                let mut rng = montecarlo::trial_rng(seed, trial);
+                let drawn = montecarlo::perturb(reliability, &mut rng);
+                let candidates = injection::candidates(diagram, &drawn);
+                let mut table = FmeaTable::new(diagram.name());
+                let mut reports = Vec::with_capacity(candidates.len());
+                for candidate in &candidates {
+                    let (row, report) = injection::analyse_candidate_supervised(
+                        candidate, lowered, nominal, &config,
+                    );
+                    table.push(row);
+                    reports.push(report);
+                }
+                // Each trial is a full campaign; the supervisor's circuit
+                // breaker applies to it like to any other sweep.
+                CampaignHealth::from_reports(&reports).enforce(&config.campaign)?;
+                Ok(TrialMetrics::of(&table))
+            },
+            |_, metrics| *metrics,
+        )?;
+        Ok(PassArtifact::MonteCarlo(MonteCarloReport::from_trials(seed, &results)))
+    }
+}
+
+/// Safety-pattern recommendation as a pass: matches the built-in pattern
+/// catalog (comparison monitor, redundant channel, watchdog, range check)
+/// against the failure modes an upstream FMEA left uncovered, scores the
+/// candidate deployments with the Pareto search, and reports them ranked
+/// by projected SPFM with the metric deltas of each.
+#[derive(Debug, Clone)]
+pub struct RecommendPass {
+    deps: [&'static str; 1],
+}
+
+impl RecommendPass {
+    /// A recommendation pass consuming the FMEA table of the pass named
+    /// `source`.
+    pub fn new(source: &'static str) -> Self {
+        RecommendPass { deps: [source] }
+    }
+}
+
+impl Default for RecommendPass {
+    fn default() -> Self {
+        RecommendPass::new(ids::INJECTION)
+    }
+}
+
+impl AnalysisPass for RecommendPass {
+    fn id(&self) -> &'static str {
+        ids::RECOMMEND
+    }
+
+    fn depends_on(&self) -> &[&'static str] {
+        &self.deps
+    }
+
+    fn kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Recommendation]
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<PassArtifact> {
+        let source = ctx.dep_arc(self.deps[0])?;
+        let table = source.fmea_table().ok_or_else(|| {
+            EngineError::Pipeline(format!(
+                "pass `{}` expects an FMEA table from `{}`, got {}",
+                self.id(),
+                self.deps[0],
+                source.kind_name()
+            ))
+        })?;
+        let key = Hasher::new()
+            .write_str("recommendation")
+            .write_fingerprint(model_fp::serialized_fingerprint(table, "fmea-table"))
+            .finish();
+        let items = [WorkItem {
+            id: ArtifactId { kind: ArtifactKind::Recommendation, key },
+            owner: table.system.clone(),
+            label: table.system.clone(),
+        }];
+        let mut reports = ctx.run_keyed(
+            "recommendation",
+            &items,
+            |_, report: RecommendationReport| report,
+            |_| Ok(()),
+            |_: &(), _| patterns::recommend(table),
+            |_, report| report.clone(),
+        )?;
+        Ok(PassArtifact::Recommend(reports.pop().expect("one recommendation item")))
     }
 }
 

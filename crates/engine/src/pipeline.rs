@@ -192,6 +192,16 @@ impl PipelineRun {
     pub fn assurance(&self) -> Option<&AssuranceReport> {
         self.artifact(ids::ASSURANCE).and_then(PassArtifact::assurance)
     }
+
+    /// The Monte-Carlo report, when the Monte-Carlo pass ran.
+    pub fn montecarlo(&self) -> Option<&decisive_core::montecarlo::MonteCarloReport> {
+        self.artifact(ids::MONTECARLO).and_then(PassArtifact::montecarlo)
+    }
+
+    /// The recommendation report, when the recommendation pass ran.
+    pub fn recommendation(&self) -> Option<&decisive_core::patterns::RecommendationReport> {
+        self.artifact(ids::RECOMMEND).and_then(PassArtifact::recommendation)
+    }
 }
 
 /// Cache status of one pass, as shown by `decisive passes`.

@@ -15,10 +15,14 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
+use decisive_blocks::gallery;
 use decisive_core::case_study;
 use decisive_core::fmea::graph::{self, GraphConfig};
+use decisive_core::fmea::injection::InjectionConfig;
+use decisive_core::reliability::ReliabilityDb;
 use decisive_engine::{
-    AnalysisPass, Engine, EngineConfig, PassArtifact, PassContext, Pipeline, PipelineInput,
+    AnalysisPass, Engine, EngineConfig, InjectionFmeaPass, MonteCarloPass, PassArtifact,
+    PassContext, Pipeline, PipelineInput, RecommendPass,
 };
 use decisive_federation::Value;
 use decisive_ssam::architecture::Fit;
@@ -182,4 +186,146 @@ fn warm_pipeline_after_edit_verifies_against_cold() {
     let rows = engine.stats().phase("graph-rows").expect("graph-rows phase ran");
     assert!(rows.cache_hits > 0, "the edit invalidated some rows, not all of them");
     assert_eq!(rows.jobs_executed, 1, "only the edited component's row recomputes");
+}
+
+// ----------------------------------------------------------------------
+// Stochastic campaigns and recommendations (ISSUE 10)
+// ----------------------------------------------------------------------
+
+/// The reliability annex shipped with the brownout gallery model: both the
+/// series resistor and the microcontroller carry stochastic FIT budgets, so
+/// Monte-Carlo metrics genuinely vary from trial to trial.
+const BROWNOUT_RELIABILITY: &str =
+    "Component,FIT,Failure_Mode,Distribution\nResistor,5,Drift,1\nMC,300,RAM Failure,1\n";
+
+fn brownout_db() -> ReliabilityDb {
+    ReliabilityDb::from_csv_str(BROWNOUT_RELIABILITY).expect("brownout reliability annex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A seeded Monte-Carlo campaign is bitwise identical across scheduler
+    /// thread counts and across warm/cold caches: the trial RNG is keyed by
+    /// `(seed, trial index)` alone, and the report folds samples in trial
+    /// order, so neither the worker count nor cache hits can reorder or
+    /// perturb a single bit of the estimate.
+    #[test]
+    fn seeded_montecarlo_is_bitwise_identical_across_threads_and_caches(
+        jobs in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let (diagram, _) = gallery::brownout_threshold_supply();
+        let db = brownout_db();
+        let config = InjectionConfig::default();
+        let trials = 8;
+
+        let mut reference = Engine::new(EngineConfig::with_jobs(1));
+        let baseline = reference
+            .analyze_montecarlo(&diagram, &db, &config, trials, seed)
+            .expect("single-worker reference run");
+
+        let mut engine = Engine::new(EngineConfig::with_jobs(jobs));
+        let cold = engine
+            .analyze_montecarlo(&diagram, &db, &config, trials, seed)
+            .expect("cold run");
+        prop_assert_eq!(&cold, &baseline);
+
+        let warm = engine
+            .analyze_montecarlo(&diagram, &db, &config, trials, seed)
+            .expect("warm run");
+        prop_assert_eq!(&warm, &baseline);
+    }
+}
+
+/// Confidence intervals tighten as the campaign grows: on the brownout
+/// gallery model the PMHF half-width shrinks strictly from N=64 to N=256 to
+/// N=1024 trials, and no metric's half-width ever widens. The three runs
+/// share one engine, so the larger campaigns re-serve the earlier trials
+/// from cache — exactly how an interactive refinement session would run.
+#[test]
+fn montecarlo_ci_half_widths_shrink_with_trial_count() {
+    let (diagram, _) = gallery::brownout_threshold_supply();
+    let db = brownout_db();
+    let config = InjectionConfig::default();
+    let mut engine = Engine::new(EngineConfig::with_jobs(4));
+
+    let reports: Vec<_> = [64usize, 256, 1024]
+        .iter()
+        .map(|&trials| {
+            engine
+                .analyze_montecarlo(&diagram, &db, &config, trials, 7)
+                .unwrap_or_else(|e| panic!("{trials}-trial campaign: {e}"))
+        })
+        .collect();
+
+    for pair in reports.windows(2) {
+        let (small, large) = (&pair[0], &pair[1]);
+        assert!(
+            large.pmhf.half_width < small.pmhf.half_width,
+            "PMHF CI tightens: {} trials gave ±{}, {} trials gave ±{}",
+            small.trials,
+            small.pmhf.half_width,
+            large.trials,
+            large.pmhf.half_width
+        );
+        assert!(large.spfm.half_width <= small.spfm.half_width, "SPFM CI never widens");
+        assert!(large.lfm.half_width <= small.lfm.half_width, "LFM CI never widens");
+        assert!(large.pmhf.mean > 0.0, "the PMHF estimate is a real failure rate");
+    }
+}
+
+/// The recommendation pass, run as a pipeline stage downstream of the
+/// injection FMEA, proposes at least one deployment whose projected SPFM
+/// meets ASIL B on a gallery model — the paper's iterate-until-compliant
+/// loop closed mechanically.
+#[test]
+fn recommend_pass_reaches_asil_b_on_the_gallery_model() {
+    let (diagram, _) = gallery::sensor_power_supply();
+    let db = ReliabilityDb::paper_table_ii();
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    let input =
+        PipelineInput::for_diagram(&diagram, &db).with_injection_config(InjectionConfig::default());
+    let pipeline = Pipeline::new().with(InjectionFmeaPass).with(RecommendPass::default());
+    let run = engine.run_pipeline(&pipeline, &input).expect("injection + recommend pipeline");
+
+    let report = run.recommendation().expect("recommendation artefact");
+    assert!(!report.uncovered.is_empty(), "the bare supply has uncovered failure modes");
+    let compliant: Vec<_> = report.meeting(IntegrityLevel::AsilB).collect();
+    assert!(
+        !compliant.is_empty(),
+        "at least one recommended deployment projects to ASIL B (baseline SPFM {})",
+        report.baseline.spfm
+    );
+    for rec in &report.recommendations {
+        assert!(
+            rec.projected_spfm >= report.baseline.spfm - 1e-12,
+            "a recommendation never degrades SPFM"
+        );
+    }
+}
+
+/// `MonteCarloPass` participates in a pipeline like any other pass, and the
+/// engine wrapper equals the pipeline route bit for bit.
+#[test]
+fn montecarlo_pass_runs_inside_a_pipeline() {
+    let (diagram, _) = gallery::brownout_threshold_supply();
+    let db = brownout_db();
+    let input = PipelineInput::for_diagram(&diagram, &db)
+        .with_injection_config(InjectionConfig::default())
+        .with_trials(16)
+        .with_seed(42);
+    let mut engine = Engine::new(EngineConfig::with_jobs(2));
+    let run = engine
+        .run_pipeline(&Pipeline::new().with(MonteCarloPass), &input)
+        .expect("montecarlo pipeline");
+    let via_pipeline = run.montecarlo().expect("montecarlo artefact").clone();
+
+    let mut direct = Engine::new(EngineConfig::with_jobs(2));
+    let via_wrapper = direct
+        .analyze_montecarlo(&diagram, &db, &InjectionConfig::default(), 16, 42)
+        .expect("wrapper run");
+    assert_eq!(via_pipeline, via_wrapper, "pipeline and wrapper routes agree");
+    assert_eq!(via_pipeline.trials, 16);
+    assert_eq!(via_pipeline.seed, 42);
 }

@@ -39,8 +39,12 @@ pub struct FleetRow {
     pub content_fp: u64,
     /// One of the [`status`] constants.
     pub status: String,
-    /// Single Point Fault Metric when the pipeline produced a table.
+    /// Single Point Fault Metric when the pipeline produced a table (for
+    /// `montecarlo` campaigns: the trial mean).
     pub spfm: Option<f64>,
+    /// 95 % confidence half-width of the SPFM mean — only `montecarlo`
+    /// rows carry one.
+    pub spfm_half_width: Option<f64>,
     /// Achieved ASIL display string (`"QM"`, `"ASIL-B"`, …).
     pub asil: Option<String>,
     /// Model element count.
@@ -67,6 +71,7 @@ impl FleetRow {
             content_fp,
             status: status.to_owned(),
             spfm: None,
+            spfm_half_width: None,
             asil: None,
             elements: 0,
             error: Some(error),
@@ -85,6 +90,7 @@ impl FleetRow {
             ("content_fp", Value::from(format!("{:016x}", self.content_fp))),
             ("status", Value::from(self.status.as_str())),
             ("spfm", self.spfm.map_or(Value::Null, Value::Real)),
+            ("spfm_half_width", self.spfm_half_width.map_or(Value::Null, Value::Real)),
             ("asil", self.asil.as_deref().map_or(Value::Null, Value::from)),
             ("elements", Value::Int(self.elements as i64)),
             ("error", self.error.as_deref().map_or(Value::Null, Value::from)),
@@ -116,6 +122,7 @@ impl FleetRow {
             content_fp,
             status,
             spfm: value.get("spfm").and_then(Value::as_f64),
+            spfm_half_width: value.get("spfm_half_width").and_then(Value::as_f64),
             asil: text("asil"),
             elements: int("elements").max(0) as u64,
             error: text("error"),
@@ -134,6 +141,7 @@ impl FleetRow {
             ("content_fp", Value::from(format!("{:016x}", self.content_fp))),
             ("status", Value::from(self.status.as_str())),
             ("spfm", self.spfm.map_or(Value::Null, Value::Real)),
+            ("spfm_half_width", self.spfm_half_width.map_or(Value::Null, Value::Real)),
             ("asil", self.asil.as_deref().map_or(Value::Null, Value::from)),
             ("elements", Value::Int(self.elements as i64)),
             ("error", self.error.as_deref().map_or(Value::Null, Value::from)),
@@ -338,6 +346,7 @@ mod tests {
             content_fp: 7,
             status: status::OK.to_owned(),
             spfm: Some(0.5),
+            spfm_half_width: None,
             asil: Some(asil.to_owned()),
             elements: 10,
             error: None,

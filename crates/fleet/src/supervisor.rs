@@ -24,6 +24,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use decisive_core::request::{AnalysisOp, RunSpec};
 use decisive_engine::obs::metrics::DurationHistogram;
 use decisive_engine::obs::Telemetry;
 use decisive_engine::{
@@ -56,8 +57,12 @@ pub struct FleetOptions {
     /// Keep journaled rows whose content fingerprint still matches instead
     /// of starting the campaign over.
     pub resume: bool,
-    /// Mission time handed to every pipeline run.
-    pub mission_hours: f64,
+    /// Which analysis every task runs (`pipeline` by default,
+    /// `montecarlo` for stochastic sweeps over `.bd` designs).
+    pub op: AnalysisOp,
+    /// The unified run spec handed to every worker (mission time,
+    /// reliability override, solver kernel, trials, seed).
+    pub spec: RunSpec,
     /// The binary to re-exec with `fleet-worker` (normally
     /// `std::env::current_exe()`).
     pub worker_exe: PathBuf,
@@ -74,7 +79,8 @@ impl FleetOptions {
             poison_kills: 2,
             journal: journal.into(),
             resume: false,
-            mission_hours: 10_000.0,
+            op: AnalysisOp::Pipeline,
+            spec: RunSpec::default(),
             worker_exe: worker_exe.into(),
         }
     }
@@ -348,7 +354,8 @@ fn dispatch(
     shared: &Shared<'_>,
     deadline: Duration,
 ) -> (Option<WorkerProc>, Result<FleetRow, Death>) {
-    let line = json::to_string(&item.task.to_wire(item.attempt, shared.options.mission_hours));
+    let line =
+        json::to_string(&item.task.to_wire(item.attempt, shared.options.op, &shared.options.spec));
     if writeln!(proc.stdin, "{line}").is_err() || proc.stdin.flush().is_err() {
         proc.reap();
         return (None, Err(Death::Died));

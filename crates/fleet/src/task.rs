@@ -10,6 +10,7 @@
 
 use std::path::{Path, PathBuf};
 
+use decisive_core::request::{AnalysisOp, RunSpec};
 use decisive_engine::fingerprint::Hasher;
 use decisive_engine::Fingerprint;
 use decisive_federation::Value;
@@ -75,10 +76,11 @@ impl FleetTask {
         }
     }
 
-    /// The wire form sent to a worker (one line), including the attempt
-    /// counter so the deterministic chaos hooks can distinguish first
-    /// tries from retries.
-    pub fn to_wire(&self, attempt: u32, mission_hours: f64) -> Value {
+    /// The wire form sent to a worker (one line): the model source, the
+    /// attempt counter (so the deterministic chaos hooks can distinguish
+    /// first tries from retries), and the unified request — the
+    /// [`AnalysisOp`] plus the full [`RunSpec`] record.
+    pub fn to_wire(&self, attempt: u32, op: AnalysisOp, spec: &RunSpec) -> Value {
         let mut fields = vec![("id", Value::from(self.id.as_str()))];
         match &self.source {
             TaskSource::File(path) => {
@@ -93,23 +95,42 @@ impl FleetTask {
             }
         }
         fields.push(("attempt", Value::Int(i64::from(attempt))));
-        fields.push(("mission_hours", Value::Real(mission_hours)));
+        fields.push(("op", Value::from(op.name())));
+        fields.push(("spec", spec.to_value()));
         Value::record(fields)
     }
 
-    /// Parses the wire form back (the worker side).
+    /// Parses the wire form back (the worker side). Legacy lines without
+    /// an `op`/`spec` pair — journals written before the unified request
+    /// API — still parse: the op defaults to `pipeline` and a loose
+    /// top-level `mission_hours` field, when present, seeds the spec.
     ///
     /// # Errors
     ///
     /// A message naming the missing or malformed field.
-    pub fn from_wire(value: &Value) -> Result<(FleetTask, u32, f64), String> {
+    pub fn from_wire(value: &Value) -> Result<(FleetTask, u32, AnalysisOp, RunSpec), String> {
         let id = value
             .get("id")
             .and_then(Value::as_str)
             .ok_or("task line lacks an `id` string")?
             .to_owned();
         let attempt = value.get("attempt").and_then(Value::as_i64).unwrap_or(0).max(0) as u32;
-        let mission_hours = value.get("mission_hours").and_then(Value::as_f64).unwrap_or(10_000.0);
+        let op = match value.get("op") {
+            None | Some(Value::Null) => AnalysisOp::Pipeline,
+            Some(Value::Str(name)) => {
+                AnalysisOp::parse(name).ok_or_else(|| format!("unknown task op `{name}`"))?
+            }
+            Some(other) => return Err(format!("task `op` must be a string, got {other:?}")),
+        };
+        let mut spec = match value.get("spec") {
+            None | Some(Value::Null) => RunSpec::default(),
+            Some(record) => RunSpec::from_value(record)?,
+        };
+        if spec.mission_hours.is_none() {
+            // Pre-unification task lines carried mission time loose.
+            spec.mission_hours =
+                value.get("mission_hours").and_then(Value::as_f64).filter(|&h| h > 0.0);
+        }
         let source = match value.get("kind").and_then(Value::as_str) {
             Some("file") => TaskSource::File(PathBuf::from(
                 value.get("path").and_then(Value::as_str).ok_or("file task lacks a `path`")?,
@@ -139,7 +160,7 @@ impl FleetTask {
                 task
             }
         };
-        Ok((task, attempt, mission_hours))
+        Ok((task, attempt, op, spec))
     }
 }
 
@@ -201,11 +222,29 @@ mod tests {
     #[test]
     fn wire_round_trip_preserves_identity() {
         let task = FleetTask::for_workload("Set1", 7, 99);
-        let wire = task.to_wire(2, 5_000.0);
-        let (back, attempt, hours) = FleetTask::from_wire(&wire).unwrap();
+        let spec =
+            RunSpec { mission_hours: Some(5_000.0), trials: 32, seed: 9, ..RunSpec::default() };
+        let wire = task.to_wire(2, AnalysisOp::MonteCarlo, &spec);
+        let (back, attempt, op, back_spec) = FleetTask::from_wire(&wire).unwrap();
         assert_eq!(back, task);
         assert_eq!(attempt, 2);
-        assert_eq!(hours, 5_000.0);
+        assert_eq!(op, AnalysisOp::MonteCarlo);
+        assert_eq!(back_spec, spec);
+    }
+
+    #[test]
+    fn legacy_wire_lines_without_op_or_spec_still_parse() {
+        use decisive_federation::json;
+        // A pre-unification task line: no `op`, no `spec`, loose
+        // `mission_hours` — exactly what an old journal replays.
+        let line = r#"{"id":"Set1#7","kind":"workload","set":"Set1","instance":7,
+                       "seed":99,"attempt":1,"mission_hours":2500}"#;
+        let (task, attempt, op, spec) = FleetTask::from_wire(&json::parse(line).unwrap()).unwrap();
+        assert_eq!(task.id, "Set1#7");
+        assert_eq!(attempt, 1);
+        assert_eq!(op, AnalysisOp::Pipeline);
+        assert_eq!(spec.mission_hours, Some(2500.0));
+        assert_eq!(spec.trials, RunSpec::default().trials);
     }
 
     #[test]

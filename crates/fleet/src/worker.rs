@@ -15,6 +15,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use decisive_core::reliability::ReliabilityDb;
+use decisive_core::request::{AnalysisOp, RunSpec};
 use decisive_core::{metrics, persist};
 use decisive_engine::{Engine, Pipeline, PipelineInput, SharedStore};
 use decisive_federation::json;
@@ -57,17 +58,80 @@ fn top_of(model: &SsamModel) -> Result<Idx<Component>, String> {
         .ok_or_else(|| "model has no top-level component".to_owned())
 }
 
-/// Analyses one task through the full standard pipeline and reports the
-/// worker-side row fields (identity subset plus wall time and cache
-/// traffic; the supervisor owns attempts and shard).
+/// The reliability annex a task's spec asks for: the override CSV when
+/// one is named (strictly parsed — a fleet row must not silently degrade),
+/// the paper's Table II otherwise.
+fn reliability_of(spec: &RunSpec) -> Result<ReliabilityDb, String> {
+    match spec.reliability.as_deref() {
+        None => Ok(ReliabilityDb::paper_table_ii()),
+        Some(csv) => {
+            let text = std::fs::read_to_string(csv).map_err(|e| format!("{csv}: {e}"))?;
+            ReliabilityDb::from_csv_str(&text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Analyses one task and reports the worker-side row fields (identity
+/// subset plus wall time and cache traffic; the supervisor owns attempts
+/// and shard). `op` selects the analysis: the full standard pipeline, or
+/// a seeded Monte-Carlo campaign for `.bd` tasks.
 ///
 /// # Errors
 ///
 /// The standardized error text for a deterministic analysis failure.
-fn analyze(task: &FleetTask, mission_hours: f64, store: &SharedStore) -> Result<FleetRow, String> {
+fn analyze(
+    task: &FleetTask,
+    op: AnalysisOp,
+    spec: &RunSpec,
+    store: &SharedStore,
+) -> Result<FleetRow, String> {
     let mut engine =
         Engine::builder().jobs(1).shared_store(store.clone()).build().map_err(|e| e.to_string())?;
     let started = Instant::now();
+    let mission_hours = spec.mission_hours_or_default();
+
+    if op == AnalysisOp::MonteCarlo {
+        // A stochastic campaign needs an injection campaign to perturb;
+        // only `.bd` designs have one (workload sets generate SSAM
+        // graphs), so anything else is a typed failure row.
+        let TaskSource::File(path) = &task.source else {
+            return Err("montecarlo needs a `.bd` design; workload sets have no campaign".into());
+        };
+        if path.extension().is_none_or(|e| e != "bd") {
+            return Err(format!("montecarlo needs a `.bd` design, got `{}`", path.display()));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let diagram = decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())?;
+        let reliability = reliability_of(spec)?;
+        let report = engine
+            .analyze_montecarlo(
+                &diagram,
+                &reliability,
+                &spec.injection_config(),
+                spec.trials,
+                spec.seed,
+            )
+            .map_err(|e| e.to_string())?;
+        let model = decisive_blocks::to_ssam(&diagram);
+        return Ok(FleetRow {
+            id: task.id.clone(),
+            content_fp: task.content_fp,
+            status: status::OK.to_owned(),
+            spfm: Some(report.spfm.mean),
+            spfm_half_width: Some(report.spfm.half_width),
+            asil: Some(metrics::achieved_asil(report.spfm.mean).to_string()),
+            elements: model.element_count() as u64,
+            error: None,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            attempts: 0,
+            shard: 0,
+            cache_hits: engine.stats().cache_hits() as u64,
+            cache_misses: engine.stats().cache_misses() as u64,
+        });
+    }
+    if op != AnalysisOp::Pipeline && op != AnalysisOp::Analyze {
+        return Err(format!("op `{}` is not a fleet operation", op.name()));
+    }
 
     // Both arms keep the loaded data alive for the borrow-carrying input.
     let diagram;
@@ -78,13 +142,14 @@ fn analyze(task: &FleetTask, mission_hours: f64, store: &SharedStore) -> Result<
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
             diagram = decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-            reliability = ReliabilityDb::paper_table_ii();
+            reliability = reliability_of(spec)?;
             let mut ssam = decisive_blocks::to_ssam(&diagram);
             reliability.aggregate_into(&mut ssam);
             model = ssam;
             let top = top_of(&model)?;
             let input = PipelineInput::for_model(&model, top)
                 .with_diagram(&diagram, &reliability)
+                .with_injection_config(spec.injection_config())
                 .with_mission_hours(mission_hours);
             (Pipeline::standard(true), input)
         }
@@ -110,6 +175,7 @@ fn analyze(task: &FleetTask, mission_hours: f64, store: &SharedStore) -> Result<
         content_fp: task.content_fp,
         status: status::OK.to_owned(),
         spfm: m.as_ref().map(|m| m.spfm),
+        spfm_half_width: None,
         asil: m.as_ref().map(|m| m.achieved_asil.to_string()),
         elements: model.element_count() as u64,
         error: None,
@@ -126,7 +192,7 @@ fn handle_line(line: &str, store: &SharedStore) -> FleetRow {
     let parsed = json::parse(line)
         .map_err(|e| format!("bad task line: {e}"))
         .and_then(|v| FleetTask::from_wire(&v));
-    let (task, attempt, mission_hours) = match parsed {
+    let (task, attempt, op, spec) = match parsed {
         Ok(t) => t,
         Err(message) => {
             return FleetRow::failure("<unparsed>", 0, status::FAILED, message);
@@ -141,7 +207,7 @@ fn handle_line(line: &str, store: &SharedStore) -> FleetRow {
             std::thread::sleep(std::time::Duration::from_secs(3600));
         }
     }
-    let outcome = catch_unwind(AssertUnwindSafe(|| analyze(&task, mission_hours, store)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| analyze(&task, op, &spec, store)));
     match outcome {
         Ok(Ok(row)) => row,
         Ok(Err(message)) => FleetRow::failure(&task.id, task.content_fp, status::FAILED, message),
@@ -195,7 +261,7 @@ mod tests {
     use super::*;
 
     fn wire(task: &FleetTask) -> String {
-        json::to_string(&task.to_wire(0, 10_000.0))
+        json::to_string(&task.to_wire(0, AnalysisOp::Pipeline, &RunSpec::default()))
     }
 
     #[test]
@@ -231,6 +297,33 @@ mod tests {
         let row = handle_line(&wire(&task), &store);
         assert_eq!(row.status, status::FAILED);
         assert!(row.error.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn montecarlo_task_reports_mean_and_half_width() {
+        let dir = std::env::temp_dir().join(format!("fleet_worker_mc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("supply.bd");
+        let (diagram, _) = decisive_blocks::gallery::sensor_power_supply();
+        std::fs::write(&path, decisive_blocks::text::to_text(&diagram)).unwrap();
+        let store = SharedStore::new();
+        let task = FleetTask::for_file(&path).unwrap();
+        let spec = RunSpec { trials: 8, seed: 3, ..RunSpec::default() };
+        let line = json::to_string(&task.to_wire(0, AnalysisOp::MonteCarlo, &spec));
+        let row = handle_line(&line, &store);
+        assert_eq!(row.status, status::OK, "{:?}", row.error);
+        assert!(row.spfm.is_some());
+        assert!(row.spfm_half_width.is_some(), "montecarlo rows carry a CI half-width");
+        // Same seed → identical identity, chaos-style.
+        let again = handle_line(&line, &store);
+        assert_eq!(row.identity_value(), again.identity_value());
+        // Workload sources have no injection campaign to sample.
+        let workload = FleetTask::for_workload("Set0", 0, 1);
+        let bad = json::to_string(&workload.to_wire(0, AnalysisOp::MonteCarlo, &spec));
+        let row = handle_line(&bad, &store);
+        assert_eq!(row.status, status::FAILED);
+        assert!(row.error.as_deref().unwrap().contains(".bd"), "{:?}", row.error);
         std::fs::remove_dir_all(&dir).ok();
     }
 

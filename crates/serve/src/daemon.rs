@@ -16,9 +16,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use decisive_core::fmea::injection::InjectionConfig;
 use decisive_core::persist;
 use decisive_core::reliability::ReliabilityDb;
+use decisive_core::request::RunSpec;
 use decisive_engine::{Engine, Pipeline, PipelineInput, SharedStore, StoreOptions, StoreRecovery};
 use decisive_federation::{json, serde_bridge, Value};
 use decisive_obs::Telemetry;
@@ -27,7 +27,7 @@ use decisive_ssam::id::Idx;
 use decisive_ssam::model::SsamModel;
 
 use crate::interrupt;
-use crate::output::{AnalyzeOutput, PipelineOutput};
+use crate::output::{AnalyzeOutput, MonteCarloOutput, PipelineOutput, RecommendOutput};
 use crate::protocol::{self, Request, RequestMeta, PROTOCOL_VERSION};
 use crate::session::{Session, SessionRegistry};
 
@@ -237,12 +237,10 @@ impl Daemon {
 
     fn dispatch(&self, request: &Request) -> Result<Value, String> {
         match request {
-            Request::Analyze { meta, path, reliability } => {
-                self.run_analyze(meta, path, reliability.as_deref())
-            }
-            Request::Pipeline { meta, path, reliability, mission_hours } => {
-                self.run_pipeline(meta, path, reliability.as_deref(), *mission_hours)
-            }
+            Request::Analyze { meta, path, spec } => self.run_analyze(meta, path, spec),
+            Request::Pipeline { meta, path, spec } => self.run_pipeline(meta, path, spec),
+            Request::MonteCarlo { meta, path, spec } => self.run_montecarlo(meta, path, spec),
+            Request::Recommend { meta, path, spec } => self.run_recommend(meta, path, spec),
             Request::Status { .. } => Ok(self.status_value()),
             Request::Shutdown { .. } => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -278,12 +276,7 @@ impl Daemon {
         }
     }
 
-    fn run_analyze(
-        &self,
-        meta: &RequestMeta,
-        path: &str,
-        reliability: Option<&str>,
-    ) -> Result<Value, String> {
+    fn run_analyze(&self, meta: &RequestMeta, path: &str, spec: &RunSpec) -> Result<Value, String> {
         let session = self.registry.get_or_create(&meta.session)?;
         let mut session = lock_session(&session);
         session.requests += 1;
@@ -294,9 +287,9 @@ impl Daemon {
         let table = if path.ends_with(".bd") {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let diagram = decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-            let reliability = self.load_reliability(reliability, engine);
+            let reliability = self.load_reliability(spec.reliability.as_deref(), engine);
             engine
-                .analyze_injection(&diagram, &reliability, &InjectionConfig::default())
+                .analyze_injection(&diagram, &reliability, &spec.injection_config())
                 .map_err(|e| e.to_string())?
         } else {
             let model = persist::load_model(path).map_err(|e| e.to_string())?;
@@ -310,15 +303,14 @@ impl Daemon {
         &self,
         meta: &RequestMeta,
         path: &str,
-        reliability: Option<&str>,
-        mission_hours: Option<f64>,
+        spec: &RunSpec,
     ) -> Result<Value, String> {
         let session = self.registry.get_or_create(&meta.session)?;
         let mut session = lock_session(&session);
         session.requests += 1;
         let engine = &mut session.engine;
         engine.reset_run_state();
-        let mission_hours = mission_hours.or(self.options.mission_hours).unwrap_or(10_000.0);
+        let mission_hours = spec.mission_hours.or(self.options.mission_hours).unwrap_or(10_000.0);
         // Both arms keep the loaded data alive for the borrow-carrying
         // input, the same shape as the CLI's pipeline verb.
         let diagram;
@@ -327,13 +319,14 @@ impl Daemon {
         let (pipeline, input) = if path.ends_with(".bd") {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             diagram = decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())?;
-            reliability_db = self.load_reliability(reliability, engine);
+            reliability_db = self.load_reliability(spec.reliability.as_deref(), engine);
             let mut ssam = decisive_blocks::to_ssam(&diagram);
             reliability_db.aggregate_into(&mut ssam);
             model = ssam;
             let top = top_of(&model)?;
             let input = PipelineInput::for_model(&model, top)
                 .with_diagram(&diagram, &reliability_db)
+                .with_injection_config(spec.injection_config())
                 .with_mission_hours(mission_hours);
             (Pipeline::standard(true), input)
         } else {
@@ -344,6 +337,61 @@ impl Daemon {
         };
         let run = engine.run_pipeline(&pipeline, &input).map_err(|e| e.to_string())?;
         to_result(&PipelineOutput::new(&run, engine))
+    }
+
+    /// Loads the `.bd` diagram a stochastic/recommendation op applies to;
+    /// the graph-side SSAM path has no injection campaign to sample or
+    /// cover, so anything else is a typed error.
+    fn load_diagram(op: &str, path: &str) -> Result<decisive_blocks::BlockDiagram, String> {
+        if !path.ends_with(".bd") {
+            return Err(format!("`{op}` needs a `.bd` block-diagram path, got `{path}`"));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        decisive_blocks::text::from_text(&text).map_err(|e| e.to_string())
+    }
+
+    fn run_montecarlo(
+        &self,
+        meta: &RequestMeta,
+        path: &str,
+        spec: &RunSpec,
+    ) -> Result<Value, String> {
+        let diagram = Self::load_diagram("montecarlo", path)?;
+        let session = self.registry.get_or_create(&meta.session)?;
+        let mut session = lock_session(&session);
+        session.requests += 1;
+        let engine = &mut session.engine;
+        engine.reset_run_state();
+        let reliability = self.load_reliability(spec.reliability.as_deref(), engine);
+        let report = engine
+            .analyze_montecarlo(
+                &diagram,
+                &reliability,
+                &spec.injection_config(),
+                spec.trials,
+                spec.seed,
+            )
+            .map_err(|e| e.to_string())?;
+        to_result(&MonteCarloOutput::new(report, engine))
+    }
+
+    fn run_recommend(
+        &self,
+        meta: &RequestMeta,
+        path: &str,
+        spec: &RunSpec,
+    ) -> Result<Value, String> {
+        let diagram = Self::load_diagram("recommend", path)?;
+        let session = self.registry.get_or_create(&meta.session)?;
+        let mut session = lock_session(&session);
+        session.requests += 1;
+        let engine = &mut session.engine;
+        engine.reset_run_state();
+        let reliability = self.load_reliability(spec.reliability.as_deref(), engine);
+        let report = engine
+            .analyze_recommend(&diagram, &reliability, &spec.injection_config())
+            .map_err(|e| e.to_string())?;
+        to_result(&RecommendOutput::new(report, engine))
     }
 
     fn status_value(&self) -> Value {
@@ -677,6 +725,74 @@ mod tests {
         assert!(report.spans.iter().any(|s| s.name == "request:analyze"
             && s.args.iter().any(|(k, v)| k == "session" && v == "y")));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn diagram_file(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("decisive_serve_{}_{name}.bd", std::process::id()));
+        let (diagram, _) = decisive_blocks::gallery::sensor_power_supply();
+        std::fs::write(&path, decisive_blocks::text::to_text(&diagram)).unwrap();
+        path
+    }
+
+    #[test]
+    fn montecarlo_request_is_seeded_and_repeatable() {
+        let daemon = daemon();
+        let path = diagram_file("mc");
+        let request = format!(
+            r#"{{"v":1,"op":"montecarlo","id":1,"session":"mc","path":"{}","trials":16,"seed":9}}"#,
+            path.display()
+        );
+        let response = daemon.handle_line(&request).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true), "{response}");
+        assert_eq!(parsed.get("v").and_then(Value::as_i64), Some(PROTOCOL_VERSION));
+        let report = parsed.get("result").unwrap().get("report").unwrap();
+        assert_eq!(report.get("trials").and_then(Value::as_i64), Some(16));
+        assert_eq!(report.get("seed").and_then(Value::as_i64), Some(9));
+        let spfm = report.get("spfm").unwrap().clone();
+        assert!(spfm.get("mean").is_some() && spfm.get("half_width").is_some());
+        // Same seed again, warm session: bitwise-identical report.
+        let again = daemon.handle_line(&request).unwrap();
+        let reparsed = json::parse(&again).unwrap();
+        assert_eq!(reparsed.get("result").unwrap().get("report").unwrap(), report);
+        // Graph models have no injection campaign to sample.
+        let model_path = model_file("mc_graph.json");
+        let bad = format!(r#"{{"op":"montecarlo","path":"{}"}}"#, model_path.display());
+        let response = daemon.handle_line(&bad).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(parsed.get("error").and_then(Value::as_str).unwrap().contains(".bd"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn recommend_request_ranks_candidate_deployments() {
+        let daemon = daemon();
+        let path = diagram_file("rec");
+        let request = format!(r#"{{"op":"recommend","id":2,"path":"{}"}}"#, path.display());
+        let response = daemon.handle_line(&request).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true), "{response}");
+        let report = parsed.get("result").unwrap().get("report").unwrap();
+        let Some(Value::List(recs)) = report.get("recommendations") else {
+            panic!("recommendations list in {response}");
+        };
+        assert!(!recs.is_empty());
+        assert!(report.get("baseline").unwrap().get("spfm").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_protocol_version_is_rejected_with_context() {
+        let daemon = daemon();
+        let response = daemon.handle_line(r#"{"v":2,"op":"status","id":7,"session":"s"}"#).unwrap();
+        let parsed = json::parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(parsed.get("id").and_then(Value::as_i64), Some(7));
+        let error = parsed.get("error").and_then(Value::as_str).unwrap();
+        assert!(error.contains("protocol version"), "{response}");
     }
 
     #[cfg(unix)]

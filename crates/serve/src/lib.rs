@@ -32,11 +32,16 @@
 //! # Protocol example
 //!
 //! ```text
-//! → {"op":"pipeline","id":1,"session":"alice","path":"design.bd"}
-//! ← {"id":1,"session":"alice","op":"pipeline","ok":true,"wall_ms":12.3,"result":{...}}
+//! → {"v":1,"op":"pipeline","id":1,"session":"alice","path":"design.bd"}
+//! ← {"v":1,"id":1,"session":"alice","op":"pipeline","ok":true,"wall_ms":12.3,"result":{...}}
+//! → {"op":"montecarlo","id":2,"session":"alice","path":"design.bd","trials":256,"seed":7}
+//! ← {"v":1,"id":2,"session":"alice","op":"montecarlo","ok":true,"wall_ms":40.1,"result":{...}}
 //! → {"op":"nonsense"}
-//! ← {"ok":false,"error":"unknown op `nonsense` (analyze|pipeline|status|shutdown)"}
+//! ← {"v":1,"ok":false,"error":"unknown op `nonsense` (analyze|pipeline|montecarlo|recommend|status|shutdown)"}
 //! ```
+//!
+//! Requests may carry `"v":1`; an absent `v` means v1, anything else is
+//! rejected with a typed error.
 
 #![warn(missing_docs)]
 

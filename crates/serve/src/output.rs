@@ -13,6 +13,8 @@ use decisive_core::campaign::CampaignHealth;
 use decisive_core::degraded::DegradedModeReport;
 use decisive_core::fmea::FmeaTable;
 use decisive_core::metrics;
+use decisive_core::montecarlo::MonteCarloReport;
+use decisive_core::patterns::RecommendationReport;
 use decisive_engine::{Engine, EngineStats, FtaSubtreeSummary, PassStatus, PipelineRun};
 use decisive_hara::RiskLog;
 
@@ -106,6 +108,55 @@ impl PipelineOutput {
             assurance: run.assurance().cloned(),
             stats: engine.stats().clone(),
             campaign: engine.campaign_health().cloned(),
+            degraded: engine.degraded_report().clone(),
+        }
+    }
+}
+
+/// The `decisive montecarlo --format json` document (and the daemon's
+/// `montecarlo` op result).
+#[derive(Debug, Clone, Serialize)]
+pub struct MonteCarloOutput {
+    /// The stochastic campaign report: trial count, seed, mean and 95 %
+    /// confidence interval per metric.
+    pub report: MonteCarloReport,
+    /// Engine phase statistics (trial cache traffic shows up here).
+    pub stats: EngineStats,
+    /// Everything the run substituted or abandoned instead of failing.
+    pub degraded: DegradedModeReport,
+}
+
+impl MonteCarloOutput {
+    /// Bundles a finished campaign with the engine's observability state.
+    pub fn new(report: MonteCarloReport, engine: &Engine) -> Self {
+        MonteCarloOutput {
+            report,
+            stats: engine.stats().clone(),
+            degraded: engine.degraded_report().clone(),
+        }
+    }
+}
+
+/// The `decisive recommend --format json` document (and the daemon's
+/// `recommend` op result).
+#[derive(Debug, Clone, Serialize)]
+pub struct RecommendOutput {
+    /// The ranked recommendation report: baseline metrics, uncovered
+    /// modes and candidate deployments with projected metric deltas.
+    pub report: RecommendationReport,
+    /// Engine phase statistics.
+    pub stats: EngineStats,
+    /// Everything the run substituted or abandoned instead of failing.
+    pub degraded: DegradedModeReport,
+}
+
+impl RecommendOutput {
+    /// Bundles a recommendation report with the engine's observability
+    /// state.
+    pub fn new(report: RecommendationReport, engine: &Engine) -> Self {
+        RecommendOutput {
+            report,
+            stats: engine.stats().clone(),
             degraded: engine.degraded_report().clone(),
         }
     }

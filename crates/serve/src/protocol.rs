@@ -4,26 +4,39 @@
 //! Requests are flat records — `op` selects the operation, `id` (any JSON
 //! scalar) and `session` (a string, default `"default"`) are echoed back
 //! so clients can interleave requests from several sessions over one
-//! connection and still correlate responses:
+//! connection and still correlate responses. Run configuration (the
+//! [`RunSpec`] fields `reliability`, `strict`, `mission_hours`, `solver`,
+//! `trials`, `seed`) rides flat on the same record, parsed by the one
+//! shared parser every front end uses:
 //!
 //! ```text
 //! {"op":"analyze","id":7,"session":"alice","path":"model.json"}
 //! {"op":"pipeline","path":"design.bd","reliability":"fits.csv","mission_hours":5000}
+//! {"op":"montecarlo","path":"design.bd","trials":256,"seed":7}
+//! {"op":"recommend","path":"design.bd"}
 //! {"op":"status"}
 //! {"op":"shutdown"}
 //! ```
 //!
+//! Requests and responses carry a `"v"` protocol-version field; a request
+//! without one speaks v1 (the only version so far), a request with any
+//! other value is answered by a typed error instead of being
+//! misinterpreted.
+//!
 //! Responses always carry `ok`; successful ones echo `id`/`session`/`op`
 //! and wrap the operation's document (an [`crate::output::AnalyzeOutput`],
-//! [`crate::output::PipelineOutput`] or status record) under `result`,
+//! [`crate::output::PipelineOutput`], [`crate::output::MonteCarloOutput`],
+//! [`crate::output::RecommendOutput`] or status record) under `result`,
 //! failed ones carry a single human-readable `error` string. A malformed
 //! line — junk bytes, a truncated frame, an unknown op — is answered by
 //! exactly one `error` response and never terminates the daemon.
 
+use decisive_core::request::RunSpec;
 use decisive_federation::{json, Value};
 
-/// Version stamp reported by `status`, bumped on incompatible protocol
-/// changes.
+/// The wire protocol version this daemon speaks: stamped on every
+/// response, accepted (or defaulted) on every request, bumped on
+/// incompatible changes.
 pub const PROTOCOL_VERSION: i64 = 1;
 
 /// The session requests land in when they name none.
@@ -49,8 +62,8 @@ pub enum Request {
         meta: RequestMeta,
         /// Model path (`.json` or `.bd`).
         path: String,
-        /// Per-request reliability CSV override.
-        reliability: Option<String>,
+        /// Run configuration parsed off the request record.
+        spec: RunSpec,
     },
     /// Run the full pass pipeline — the daemon form of `decisive
     /// pipeline`.
@@ -59,10 +72,28 @@ pub enum Request {
         meta: RequestMeta,
         /// Model path (`.json` or `.bd`).
         path: String,
-        /// Per-request reliability CSV override.
-        reliability: Option<String>,
-        /// Mission time for the FTA pass; `None` uses the daemon default.
-        mission_hours: Option<f64>,
+        /// Run configuration parsed off the request record.
+        spec: RunSpec,
+    },
+    /// Run a stochastic injection campaign — the daemon form of
+    /// `decisive montecarlo` (`.bd` designs only).
+    MonteCarlo {
+        /// Correlation id and session.
+        meta: RequestMeta,
+        /// Model path (must be `.bd`).
+        path: String,
+        /// Run configuration (trials/seed live here).
+        spec: RunSpec,
+    },
+    /// Rank safety-pattern deployments for uncovered failure modes — the
+    /// daemon form of `decisive recommend` (`.bd` designs only).
+    Recommend {
+        /// Correlation id and session.
+        meta: RequestMeta,
+        /// Model path (must be `.bd`).
+        path: String,
+        /// Run configuration.
+        spec: RunSpec,
     },
     /// Report daemon state: sessions, shared-store size, dedup hits.
     Status {
@@ -82,6 +113,8 @@ impl Request {
         match self {
             Request::Analyze { meta, .. }
             | Request::Pipeline { meta, .. }
+            | Request::MonteCarlo { meta, .. }
+            | Request::Recommend { meta, .. }
             | Request::Status { meta }
             | Request::Shutdown { meta } => meta,
         }
@@ -92,6 +125,8 @@ impl Request {
         match self {
             Request::Analyze { .. } => "analyze",
             Request::Pipeline { .. } => "pipeline",
+            Request::MonteCarlo { .. } => "montecarlo",
+            Request::Recommend { .. } => "recommend",
             Request::Status { .. } => "status",
             Request::Shutdown { .. } => "shutdown",
         }
@@ -148,6 +183,15 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     if value.get("session").is_some() && session.is_none() {
         return Err(err("bad request: `session` must be a string".to_owned()));
     }
+    match value.get("v") {
+        None | Some(Value::Int(PROTOCOL_VERSION)) => {}
+        Some(other) => {
+            return Err(err(format!(
+                "unsupported protocol version {other:?} (this daemon speaks v{PROTOCOL_VERSION}; \
+                 omit `v` or send {PROTOCOL_VERSION})"
+            )));
+        }
+    }
     let meta = RequestMeta {
         id: id.clone(),
         session: session.clone().unwrap_or_else(|| DEFAULT_SESSION.to_owned()),
@@ -162,32 +206,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         Some(_) => Err(err(format!("bad request: `{op}` wants a string `path`"))),
         None => Err(err(format!("bad request: `{op}` needs a `path`"))),
     };
-    let reliability = || match value.get("reliability") {
-        None | Some(Value::Null) => Ok(None),
-        Some(Value::Str(csv)) => Ok(Some(csv.clone())),
-        Some(_) => Err(err("bad request: `reliability` must be a string path".to_owned())),
-    };
+    let spec = || RunSpec::from_value(&value).map_err(|e| err(format!("bad request: {e}")));
     match op.as_str() {
-        "analyze" => Ok(Request::Analyze { meta, path: path()?, reliability: reliability()? }),
-        "pipeline" => {
-            let mission_hours = match value.get("mission_hours") {
-                None | Some(Value::Null) => None,
-                Some(v) => {
-                    Some(v.as_f64().filter(|h| *h > 0.0 && h.is_finite()).ok_or_else(|| {
-                        err("bad request: `mission_hours` wants a positive number".to_owned())
-                    })?)
-                }
-            };
-            Ok(Request::Pipeline {
-                meta,
-                path: path()?,
-                reliability: reliability()?,
-                mission_hours,
-            })
-        }
+        "analyze" => Ok(Request::Analyze { meta, path: path()?, spec: spec()? }),
+        "pipeline" => Ok(Request::Pipeline { meta, path: path()?, spec: spec()? }),
+        "montecarlo" => Ok(Request::MonteCarlo { meta, path: path()?, spec: spec()? }),
+        "recommend" => Ok(Request::Recommend { meta, path: path()?, spec: spec()? }),
         "status" => Ok(Request::Status { meta }),
         "shutdown" => Ok(Request::Shutdown { meta }),
-        other => Err(err(format!("unknown op `{other}` (analyze|pipeline|status|shutdown)"))),
+        other => Err(err(format!(
+            "unknown op `{other}` (analyze|pipeline|montecarlo|recommend|status|shutdown)"
+        ))),
     }
 }
 
@@ -196,6 +225,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 /// line.
 pub fn ok_response(meta: &RequestMeta, op: &str, wall_ms: f64, result: Value) -> String {
     json::to_string(&Value::record([
+        ("v", Value::Int(PROTOCOL_VERSION)),
         ("id", meta.id.clone().unwrap_or(Value::Null)),
         ("session", Value::from(meta.session.as_str())),
         ("op", Value::from(op)),
@@ -209,12 +239,13 @@ pub fn ok_response(meta: &RequestMeta, op: &str, wall_ms: f64, result: Value) ->
 /// failed request.
 pub fn error_response(id: Option<Value>, session: Option<&str>, message: &str) -> String {
     let mut fields = vec![
+        ("v".to_owned(), Value::Int(PROTOCOL_VERSION)),
         ("id".to_owned(), id.unwrap_or(Value::Null)),
         ("ok".to_owned(), Value::Bool(false)),
         ("error".to_owned(), Value::from(message)),
     ];
     if let Some(session) = session {
-        fields.insert(1, ("session".to_owned(), Value::from(session)));
+        fields.insert(2, ("session".to_owned(), Value::from(session)));
     }
     json::to_string(&Value::Record(fields))
 }
@@ -226,19 +257,52 @@ mod tests {
     #[test]
     fn parses_a_full_pipeline_request() {
         let req = parse_request(
-            r#"{"op":"pipeline","id":7,"session":"alice","path":"d.bd","reliability":"f.csv","mission_hours":5000}"#,
+            r#"{"v":1,"op":"pipeline","id":7,"session":"alice","path":"d.bd","reliability":"f.csv","mission_hours":5000}"#,
         )
         .unwrap();
         match req {
-            Request::Pipeline { meta, path, reliability, mission_hours } => {
+            Request::Pipeline { meta, path, spec } => {
                 assert_eq!(meta.id, Some(Value::Int(7)));
                 assert_eq!(meta.session, "alice");
                 assert_eq!(path, "d.bd");
-                assert_eq!(reliability.as_deref(), Some("f.csv"));
-                assert_eq!(mission_hours, Some(5000.0));
+                assert_eq!(spec.reliability.as_deref(), Some("f.csv"));
+                assert_eq!(spec.mission_hours, Some(5000.0));
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_the_stochastic_and_recommendation_ops() {
+        let req =
+            parse_request(r#"{"op":"montecarlo","path":"d.bd","trials":256,"seed":9}"#).unwrap();
+        match req {
+            Request::MonteCarlo { spec, path, .. } => {
+                assert_eq!(path, "d.bd");
+                assert_eq!(spec.trials, 256);
+                assert_eq!(spec.seed, 9);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        let req = parse_request(r#"{"op":"recommend","path":"d.bd"}"#).unwrap();
+        assert_eq!(req.op(), "recommend");
+        let err = parse_request(r#"{"op":"montecarlo","path":"d.bd","trials":0}"#).unwrap_err();
+        assert!(err.message.contains("trials"), "{}", err.message);
+    }
+
+    #[test]
+    fn protocol_version_is_enforced_and_echoed() {
+        assert!(parse_request(r#"{"v":1,"op":"status"}"#).is_ok(), "explicit v1 accepted");
+        assert!(parse_request(r#"{"op":"status"}"#).is_ok(), "absent v means v1");
+        let err = parse_request(r#"{"v":2,"op":"status","id":4}"#).unwrap_err();
+        assert!(err.message.contains("unsupported protocol version"), "{}", err.message);
+        assert_eq!(err.id, Some(Value::Int(4)), "version errors still correlate");
+
+        let meta = RequestMeta { id: None, session: "s".into() };
+        let ok = json::parse(&ok_response(&meta, "status", 0.1, Value::Null)).unwrap();
+        assert_eq!(ok.get("v").and_then(Value::as_i64), Some(PROTOCOL_VERSION));
+        let error = json::parse(&error_response(None, None, "boom")).unwrap();
+        assert_eq!(error.get("v").and_then(Value::as_i64), Some(PROTOCOL_VERSION));
     }
 
     #[test]
